@@ -1,0 +1,356 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of Croupier's design choices and
+// micro-benchmarks of the hot substrate paths.
+//
+// Figure benchmarks default to a reduced scale (REPRO_BENCH_SCALE,
+// default 0.05 → 250-node deployments, one seed) so the whole suite
+// completes in minutes; run paper scale with
+//
+//	REPRO_BENCH_SCALE=1 REPRO_BENCH_SEEDS=5 go test -bench Fig -benchtime 1x -timeout 0
+//
+// or use cmd/croupier-sim, which also writes the TSV tables.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/experiment"
+	"repro/internal/graph"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/view"
+	"repro/internal/world"
+)
+
+// benchScale reads the figure-benchmark scale from the environment.
+func benchScale(rounds int) experiment.Scale {
+	factor := 0.05
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			factor = f
+		}
+	}
+	seeds := 1
+	if s := os.Getenv("REPRO_BENCH_SEEDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	if factor >= 1 {
+		rounds = 0 // paper-scale runs use the paper's round counts
+	}
+	return experiment.Scale{Factor: factor, Seeds: seeds, Rounds: rounds}
+}
+
+// lastY returns the final value of a series, for ReportMetric.
+func lastY(s stats.Series) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	return s.Y[s.Len()-1]
+}
+
+func BenchmarkFig1StableRatioHistoryWindows(b *testing.B) {
+	cfg := experiment.NewFig1Config()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Avg[1]), "err_avg_a25")
+		b.ReportMetric(lastY(fig.Max[1]), "err_max_a25")
+	}
+}
+
+func BenchmarkFig2DynamicRatio(b *testing.B) {
+	cfg := experiment.NewFig2Config()
+	cfg.Scale = benchScale(120)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Avg[0]), "err_avg_a10")
+	}
+}
+
+func BenchmarkFig3SystemSize(b *testing.B) {
+	cfg := experiment.NewFig3Config()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Avg[0]), "err_avg_smallest")
+		b.ReportMetric(lastY(fig.Avg[len(fig.Avg)-1]), "err_avg_largest")
+	}
+}
+
+func BenchmarkFig4Ratios(b *testing.B) {
+	cfg := experiment.NewFig4Config()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Avg[2]), "err_avg_r02")
+	}
+}
+
+func BenchmarkFig5Churn(b *testing.B) {
+	cfg := experiment.NewFig5Config()
+	cfg.Scale = benchScale(120)
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Avg[len(fig.Avg)-1]), "err_avg_worst_churn")
+	}
+}
+
+func BenchmarkFig6aInDegree(b *testing.B) {
+	cfg := experiment.NewFig6aConfig()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig6a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Hist["croupier"])), "distinct_indegrees")
+	}
+}
+
+func BenchmarkFig6bPathLength(b *testing.B) {
+	cfg := experiment.NewFig6bcConfig()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig6b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			b.ReportMetric(lastY(s), "pathlen_"+s.Name)
+		}
+	}
+}
+
+func BenchmarkFig6cClustering(b *testing.B) {
+	cfg := experiment.NewFig6bcConfig()
+	cfg.Scale = benchScale(100)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig6c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			b.ReportMetric(lastY(s), "clust_"+s.Name)
+		}
+	}
+}
+
+func BenchmarkFig7aOverhead(b *testing.B) {
+	cfg := experiment.NewFig7aConfig()
+	cfg.Scale = benchScale(0)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig7a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.PrivateBps, "privBps_"+row.System)
+		}
+	}
+}
+
+func BenchmarkFig7bCatastrophicFailure(b *testing.B) {
+	cfg := experiment.NewFig7bConfig()
+	cfg.Scale = benchScale(0)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig7b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			b.ReportMetric(lastY(s), "cluster90_"+s.Name)
+		}
+	}
+}
+
+// ablationWorld builds a 200-node Croupier deployment with the given
+// config, runs it for 80 rounds and returns the final mean estimation
+// error and clustering coefficient.
+func ablationWorld(b *testing.B, cfg croupier.Config, seed int64) (avgErr, clustering float64) {
+	b.Helper()
+	w, err := world.New(world.Config{Kind: world.KindCroupier, Seed: seed, SkipNatID: true, Croupier: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.MixedPoissonJoins(0, 40, 160, 10*time.Millisecond)
+	w.RunUntil(80 * time.Second)
+
+	truth := w.ActualRatio()
+	sum, n := 0.0, 0
+	for _, node := range w.AliveNodes() {
+		c, ok := node.Proto.(*croupier.Node)
+		if !ok {
+			continue
+		}
+		if est, ok := c.Estimate(); ok {
+			d := truth - est
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	snap := graph.Build(w.Overlay())
+	if n == 0 {
+		return 0, snap.ClusteringCoefficient()
+	}
+	return sum / float64(n), snap.ClusteringCoefficient()
+}
+
+// BenchmarkAblationSelectionPolicy compares the paper's tail selection
+// against uniform random selection (DESIGN.md §5).
+func BenchmarkAblationSelectionPolicy(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		sel  croupier.SelectionPolicy
+	}{{"tail", croupier.SelectTail}, {"random", croupier.SelectRandom}} {
+		b.Run(pol.name, func(b *testing.B) {
+			cfg := croupier.DefaultConfig()
+			cfg.Selection = pol.sel
+			for i := 0; i < b.N; i++ {
+				err, clust := ablationWorld(b, cfg, 31+int64(i))
+				b.ReportMetric(err, "err_avg")
+				b.ReportMetric(clust, "clustering")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMergePolicy compares swapper against healer merging.
+func BenchmarkAblationMergePolicy(b *testing.B) {
+	for _, pol := range []struct {
+		name  string
+		merge croupier.MergePolicy
+	}{{"swapper", croupier.MergeSwapper}, {"healer", croupier.MergeHealer}} {
+		b.Run(pol.name, func(b *testing.B) {
+			cfg := croupier.DefaultConfig()
+			cfg.Merge = pol.merge
+			for i := 0; i < b.N; i++ {
+				err, clust := ablationWorld(b, cfg, 47+int64(i))
+				b.ReportMetric(err, "err_avg")
+				b.ReportMetric(clust, "clustering")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimateSubset sweeps the number of piggybacked
+// estimations per shuffle message (the paper fixes 10).
+func BenchmarkAblationEstimateSubset(b *testing.B) {
+	for _, k := range []int{2, 5, 10, 20} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := croupier.DefaultConfig()
+			cfg.EstimateSubset = k
+			for i := 0; i < b.N; i++ {
+				err, _ := ablationWorld(b, cfg, 61+int64(i))
+				b.ReportMetric(err, "err_avg")
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSchedulerEventThroughput(b *testing.B) {
+	s := sim.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			s.RunUntil(s.Now() + time.Second)
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkViewMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := view.New(10, 0)
+	var pool []view.Descriptor
+	for i := 1; i <= 64; i++ {
+		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: i % 7})
+	}
+	for _, d := range pool[:10] {
+		v.Add(d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent := v.RandomSubset(rng, 5)
+		recv := pool[rng.Intn(50) : rng.Intn(5)+50]
+		v.Merge(sent, recv[:5])
+	}
+}
+
+func BenchmarkKingLikeDelay(b *testing.B) {
+	m := latency.NewKingLike(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Delay(addr.NodeID(i%1000), addr.NodeID((i*7)%1000))
+	}
+}
+
+func BenchmarkGraphMetrics1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adj := make(map[addr.NodeID][]addr.NodeID, 1000)
+	for i := 0; i < 1000; i++ {
+		var ns []addr.NodeID
+		for k := 0; k < 20; k++ {
+			ns = append(ns, addr.NodeID(rng.Intn(1000)))
+		}
+		adj[addr.NodeID(i)] = ns
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := graph.Build(adj)
+		_ = snap.ClusteringCoefficient()
+		_, _ = snap.AvgPathLength(50, rng)
+		_ = snap.BiggestCluster()
+	}
+}
+
+// BenchmarkCroupierSimulatedRound measures the full-stack cost of one
+// gossip round across a 200-node deployment (events, NAT translation,
+// view merges, estimation updates).
+func BenchmarkCroupierSimulatedRound(b *testing.B) {
+	w, err := world.New(world.Config{Kind: world.KindCroupier, Seed: 1, SkipNatID: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.MixedPoissonJoins(0, 40, 160, 5*time.Millisecond)
+	w.RunUntil(20 * time.Second) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunUntil(w.Sched.Now() + time.Second)
+	}
+}

@@ -1,0 +1,222 @@
+// Command croupier-node runs the Croupier peer-sampling service over
+// real UDP — the open-internet deployment the paper leaves as future
+// work.
+//
+// Usage:
+//
+//	croupier-node bootstrap -listen <ip:port>
+//	    Run the bootstrap directory.
+//
+//	croupier-node run -listen <ip:port> -directory <ip:port> -nat public|private [-id N]
+//	    Run one node. Determine -nat out-of-band or with `natprobe`.
+//	    Prints the ratio estimate and a peer sample once per second.
+//
+//	croupier-node demo
+//	    Self-contained loopback swarm: a directory plus 5 public and
+//	    10 private nodes in one process, reporting convergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/deploy"
+	"repro/internal/pss"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "croupier-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: croupier-node bootstrap|run|demo [flags]")
+	}
+	switch args[0] {
+	case "bootstrap":
+		return runBootstrap(args[1:])
+	case "run":
+		return runNode(args[1:])
+	case "demo":
+		return demo()
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func parseEndpoint(s string) (addr.Endpoint, error) {
+	udp, err := net.ResolveUDPAddr("udp4", s)
+	if err != nil {
+		return addr.Endpoint{}, fmt.Errorf("bad endpoint %q: %w", s, err)
+	}
+	v4 := udp.IP.To4()
+	if v4 == nil {
+		return addr.Endpoint{}, fmt.Errorf("endpoint %q is not IPv4", s)
+	}
+	return addr.Endpoint{IP: addr.MakeIP(v4[0], v4[1], v4[2], v4[3]), Port: uint16(udp.Port)}, nil
+}
+
+func runBootstrap(args []string) error {
+	fs := flag.NewFlagSet("bootstrap", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:7000", "UDP address to listen on")
+	ttl := fs.Duration("ttl", 30*time.Second, "registration expiry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := deploy.ListenBootstrap(*listen, *ttl, time.Now().UnixNano())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("bootstrap directory on %v (ttl %v)\n", srv.Endpoint(), *ttl)
+	waitForSignal()
+	return nil
+}
+
+func runNode(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:0", "UDP address to bind")
+	directory := fs.String("directory", "", "bootstrap directory endpoint")
+	natStr := fs.String("nat", "", "NAT type: public or private")
+	id := fs.Uint64("id", 0, "node id (0 = random)")
+	period := fs.Duration("period", time.Second, "gossip round period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *directory == "" {
+		return fmt.Errorf("-directory is required")
+	}
+	dir, err := parseEndpoint(*directory)
+	if err != nil {
+		return err
+	}
+	var natType addr.NatType
+	switch *natStr {
+	case "public":
+		natType = addr.Public
+	case "private":
+		natType = addr.Private
+	default:
+		return fmt.Errorf("-nat must be public or private (use natprobe to find out)")
+	}
+	nodeID := addr.NodeID(*id)
+	if nodeID == 0 {
+		nodeID = addr.NodeID(rand.New(rand.NewSource(time.Now().UnixNano())).Uint64())
+	}
+	cfg := croupier.DefaultConfig()
+	cfg.Params.Period = *period
+
+	node, err := deploy.StartNode(deploy.NodeConfig{
+		Listen:    *listen,
+		ID:        nodeID,
+		Nat:       natType,
+		Directory: dir,
+		Croupier:  cfg,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("node %v (%v) gossiping on %v\n", nodeID, natType, node.Endpoint())
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	sig := signalChan()
+	for {
+		select {
+		case <-ticker.C:
+			est, ok := node.Estimate()
+			sample, sok := node.Sample()
+			if !ok {
+				fmt.Printf("round %3d: estimate pending, %d neighbors\n",
+					node.Rounds(), len(node.Neighbors()))
+				continue
+			}
+			line := fmt.Sprintf("round %3d: ratio=%.3f neighbors=%d", node.Rounds(), est, len(node.Neighbors()))
+			if sok {
+				line += fmt.Sprintf(" sample=%v", sample.ID)
+			}
+			fmt.Println(line)
+		case <-sig:
+			return nil
+		}
+	}
+}
+
+func demo() error {
+	srv, err := deploy.ListenBootstrap("127.0.0.1:0", 10*time.Second, 1)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("bootstrap directory: %v\n", srv.Endpoint())
+
+	cfg := croupier.DefaultConfig()
+	cfg.Params = pss.Params{ViewSize: 10, ShuffleSize: 5, Period: 100 * time.Millisecond}
+
+	var nodes []*deploy.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i := 1; i <= 15; i++ {
+		natType := addr.Private
+		if i <= 5 {
+			natType = addr.Public
+		}
+		n, err := deploy.StartNode(deploy.NodeConfig{
+			Listen:    "127.0.0.1:0",
+			ID:        addr.NodeID(i),
+			Nat:       natType,
+			Directory: srv.Endpoint(),
+			Croupier:  cfg,
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, n)
+		fmt.Printf("started node %2d (%v) on %v\n", i, natType, n.Endpoint())
+		if natType == addr.Public {
+			time.Sleep(120 * time.Millisecond) // let publics register first
+		}
+	}
+
+	fmt.Println("\ngossiping with 100 ms rounds (true ratio 5/15 = 0.333)...")
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Second)
+		sum, cnt := 0.0, 0
+		for _, n := range nodes {
+			if est, ok := n.Estimate(); ok {
+				sum += est
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			fmt.Printf("t=%2ds: no estimates yet\n", i+1)
+			continue
+		}
+		fmt.Printf("t=%2ds: %d/%d nodes estimating, mean ratio %.3f\n",
+			i+1, cnt, len(nodes), sum/float64(cnt))
+	}
+	return nil
+}
+
+func waitForSignal() { <-signalChan() }
+
+func signalChan() chan os.Signal {
+	c := make(chan os.Signal, 1)
+	signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+	return c
+}

@@ -1,0 +1,194 @@
+// Command natprobe runs the paper's distributed NAT-type identification
+// protocol (Algorithm 1, §V) over real UDP sockets.
+//
+// Usage:
+//
+//	natprobe serve -listen <ip:port> [-forwarder <ip:port>]
+//	    Run the public-node side. When a MatchingIpTest arrives, the
+//	    ForwardTest is relayed to -forwarder (another natprobe server).
+//
+//	natprobe probe -helpers <ip:port>[,<ip:port>...] [-timeout 2s]
+//	    Run the node-under-test side against the given helper servers
+//	    and print the verdict.
+//
+//	natprobe demo
+//	    Self-contained loopback demonstration: starts two helper
+//	    servers and a client in one process and prints the exchange.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/natid"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "natprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: natprobe serve|probe|demo [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return serve(args[1:])
+	case "probe":
+		return probe(args[1:])
+	case "demo":
+		return demo()
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve, probe or demo)", args[0])
+	}
+}
+
+func parseEndpoint(s string) (addr.Endpoint, error) {
+	udp, err := net.ResolveUDPAddr("udp4", s)
+	if err != nil {
+		return addr.Endpoint{}, fmt.Errorf("bad endpoint %q: %w", s, err)
+	}
+	v4 := udp.IP.To4()
+	if v4 == nil {
+		return addr.Endpoint{}, fmt.Errorf("endpoint %q is not IPv4", s)
+	}
+	return addr.Endpoint{
+		IP:   addr.MakeIP(v4[0], v4[1], v4[2], v4[3]),
+		Port: uint16(udp.Port),
+	}, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:3478", "UDP address to listen on")
+	forwarder := fs.String("forwarder", "", "second public node for ForwardTest relay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	node, err := natid.ListenUDP(*listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	var fwd addr.Endpoint
+	if *forwarder != "" {
+		fwd, err = parseEndpoint(*forwarder)
+		if err != nil {
+			return err
+		}
+	}
+	node.SetServer(natid.NewServer(node, func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
+		if fwd.IsZero() {
+			return addr.Endpoint{}, false
+		}
+		for _, ex := range exclude {
+			if ex == fwd {
+				return addr.Endpoint{}, false
+			}
+		}
+		return fwd, true
+	}))
+	fmt.Printf("natprobe server listening on %v (forwarder: %v)\n", node.Endpoint(), fwd)
+	select {} // serve until killed
+}
+
+func probe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	helpers := fs.String("helpers", "", "comma-separated helper endpoints")
+	timeout := fs.Duration("timeout", 2*time.Second, "ForwardResp wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *helpers == "" {
+		return fmt.Errorf("-helpers is required")
+	}
+	var probes []addr.Endpoint
+	for _, h := range strings.Split(*helpers, ",") {
+		ep, err := parseEndpoint(strings.TrimSpace(h))
+		if err != nil {
+			return err
+		}
+		probes = append(probes, ep)
+	}
+
+	node, err := natid.ListenUDP("0.0.0.0:0")
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	results := make(chan natid.Result, 1)
+	client := natid.NewClient(node, *timeout, func(r natid.Result) { results <- r })
+	node.StartClient(client, probes, nil)
+
+	r := <-results
+	printResult(r)
+	return nil
+}
+
+func demo() error {
+	second, err := natid.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer second.Close()
+	second.SetServer(natid.NewServer(second, func([]addr.Endpoint) (addr.Endpoint, bool) {
+		return addr.Endpoint{}, false
+	}))
+
+	first, err := natid.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer first.Close()
+	fwd := second.Endpoint()
+	first.SetServer(natid.NewServer(first, func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
+		for _, ex := range exclude {
+			if ex == fwd {
+				return addr.Endpoint{}, false
+			}
+		}
+		return fwd, true
+	}))
+
+	client, err := natid.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	fmt.Printf("helper 1 (probe target): %v\n", first.Endpoint())
+	fmt.Printf("helper 2 (forwarder):    %v\n", second.Endpoint())
+	fmt.Printf("client:                  %v\n", client.Endpoint())
+	fmt.Println("running MatchingIpTest → ForwardTest → ForwardResp ...")
+
+	results := make(chan natid.Result, 1)
+	c := natid.NewClient(client, 2*time.Second, func(r natid.Result) { results <- r })
+	client.StartClient(c, []addr.Endpoint{first.Endpoint()}, nil)
+
+	r := <-results
+	printResult(r)
+	return nil
+}
+
+func printResult(r natid.Result) {
+	fmt.Printf("NAT type: %v\n", r.Type)
+	if !r.Observed.IsZero() {
+		fmt.Printf("observed public endpoint: %v\n", r.Observed)
+	}
+	if r.ViaUPnP {
+		fmt.Println("(public via UPnP port mapping)")
+	}
+	if r.Type == addr.Private && r.Observed.IsZero() {
+		fmt.Println("(no ForwardResp received before the timeout — filtering NAT or firewall)")
+	}
+}

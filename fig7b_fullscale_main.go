@@ -1,0 +1,50 @@
+//go:build ignore
+
+// One-off driver for the two experiments whose results only separate at
+// full population size: the Fig 7(b) catastrophic-failure points at 80%
+// and 90%, and the Fig 6(c) clustering coefficient, both at the paper's
+// 1000-node scale.
+//
+//	go run fig7b_fullscale_main.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	for _, recovery := range []int{5, 30} {
+		fail := experiment.NewFig7bConfig()
+		fail.Scale = experiment.Scale{Factor: 1, Seeds: 1}
+		fail.FailureFractions = []float64{0.8, 0.9}
+		fail.RecoveryRounds = recovery
+		res, err := experiment.RunFig7b(fail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %d recovery rounds\n", recovery)
+		if err := res.WriteTSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	clust := experiment.NewFig6bcConfig()
+	clust.Scale = experiment.Scale{Factor: 1, Seeds: 1, Rounds: 150}
+	clust.SampleEvery = 25
+	cres, err := experiment.RunFig6c(clust)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := cres.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

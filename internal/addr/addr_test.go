@@ -1,0 +1,89 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPString(t *testing.T) {
+	tests := []struct {
+		ip   IP
+		want string
+	}{
+		{MakeIP(10, 0, 0, 2), "10.0.0.2"},
+		{MakeIP(255, 255, 255, 255), "255.255.255.255"},
+		{MakeIP(0, 0, 0, 0), "0.0.0.0"},
+		{MakeIP(192, 168, 1, 10), "192.168.1.10"},
+	}
+	for _, tt := range tests {
+		if got := tt.ip.String(); got != tt.want {
+			t.Fatalf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestIPPredicates(t *testing.T) {
+	if !IP(0).IsZero() {
+		t.Fatal("zero IP not IsZero")
+	}
+	if MakeIP(1, 2, 3, 4).IsZero() {
+		t.Fatal("non-zero IP IsZero")
+	}
+	if !MakeIP(10, 9, 8, 7).Private() {
+		t.Fatal("10/8 address not Private")
+	}
+	if MakeIP(11, 0, 0, 1).Private() {
+		t.Fatal("11.0.0.1 reported Private")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	e := Endpoint{IP: MakeIP(2, 0, 0, 1), Port: 1000}
+	if got := e.String(); got != "2.0.0.1:1000" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !(Endpoint{}).IsZero() {
+		t.Fatal("zero endpoint not IsZero")
+	}
+	if e.IsZero() {
+		t.Fatal("non-zero endpoint IsZero")
+	}
+	// An endpoint with only a port set is still not zero.
+	if (Endpoint{Port: 1}).IsZero() {
+		t.Fatal("port-only endpoint IsZero")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Fatalf("String() = %q, want n42", got)
+	}
+}
+
+func TestNatTypeString(t *testing.T) {
+	tests := []struct {
+		nat  NatType
+		want string
+	}{
+		{Public, "public"},
+		{Private, "private"},
+		{NatUnknown, "unknown"},
+		{NatType(9), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.nat.String(); got != tt.want {
+			t.Fatalf("String(%d) = %q, want %q", tt.nat, got, tt.want)
+		}
+	}
+}
+
+// Property: MakeIP round-trips through the four octets.
+func TestMakeIPRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		ip := MakeIP(a, b, c, d)
+		return byte(ip>>24) == a && byte(ip>>16) == b && byte(ip>>8) == c && byte(ip) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

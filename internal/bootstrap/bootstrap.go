@@ -1,0 +1,87 @@
+// Package bootstrap provides the out-of-band bootstrap service nodes use
+// when joining: a directory of live public nodes.
+//
+// The paper assumes such a service exists ("a number of public nodes
+// returned by a bootstrap server", §V) without specifying it further; it
+// plays no part in steady-state gossiping. Joining nodes receive a small
+// random set of public-node descriptors to seed their views and to run
+// the NAT-type identification protocol against.
+package bootstrap
+
+import (
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+// Server is the bootstrap directory. It is not itself a simulated node;
+// contacting it is treated as out-of-band (e.g. an HTTP well-known URL
+// in a deployment). Not safe for concurrent use.
+type Server struct {
+	ids     []addr.NodeID
+	byID    map[addr.NodeID]view.Descriptor
+	indexOf map[addr.NodeID]int
+}
+
+// NewServer returns an empty directory.
+func NewServer() *Server {
+	return &Server{
+		byID:    make(map[addr.NodeID]view.Descriptor),
+		indexOf: make(map[addr.NodeID]int),
+	}
+}
+
+// Register adds or refreshes a public node's descriptor. Private nodes
+// are ignored: the directory only hands out globally reachable
+// addresses.
+func (s *Server) Register(d view.Descriptor) {
+	if d.Nat != addr.Public {
+		return
+	}
+	if _, ok := s.byID[d.ID]; !ok {
+		s.indexOf[d.ID] = len(s.ids)
+		s.ids = append(s.ids, d.ID)
+	}
+	s.byID[d.ID] = d
+}
+
+// Unregister removes a node (it left or crashed).
+func (s *Server) Unregister(id addr.NodeID) {
+	i, ok := s.indexOf[id]
+	if !ok {
+		return
+	}
+	last := len(s.ids) - 1
+	s.ids[i] = s.ids[last]
+	s.indexOf[s.ids[i]] = i
+	s.ids = s.ids[:last]
+	delete(s.indexOf, id)
+	delete(s.byID, id)
+}
+
+// Count returns the number of registered public nodes.
+func (s *Server) Count() int { return len(s.ids) }
+
+// Publics returns up to n distinct public-node descriptors drawn
+// uniformly at random, never including exclude. The age of returned
+// descriptors is reset to zero — the directory vouches they are alive.
+func (s *Server) Publics(rng *rand.Rand, n int, exclude addr.NodeID) []view.Descriptor {
+	if n <= 0 || len(s.ids) == 0 {
+		return nil
+	}
+	out := make([]view.Descriptor, 0, n)
+	for _, i := range rng.Perm(len(s.ids)) {
+		id := s.ids[i]
+		if id == exclude {
+			continue
+		}
+		d := s.byID[id]
+		d.Age = 0
+		out = append(out, d)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

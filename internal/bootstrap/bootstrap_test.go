@@ -1,0 +1,142 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+func pub(id int) view.Descriptor {
+	return view.Descriptor{
+		ID:       addr.NodeID(id),
+		Endpoint: addr.Endpoint{IP: addr.IP(id), Port: 100},
+		Nat:      addr.Public,
+		Age:      7,
+	}
+}
+
+func TestRegisterAndCount(t *testing.T) {
+	s := NewServer()
+	s.Register(pub(1))
+	s.Register(pub(2))
+	s.Register(pub(1)) // refresh, not duplicate
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+}
+
+func TestPrivateNodesRejected(t *testing.T) {
+	s := NewServer()
+	d := pub(1)
+	d.Nat = addr.Private
+	s.Register(d)
+	if s.Count() != 0 {
+		t.Fatal("directory accepted a private node")
+	}
+}
+
+func TestPublicsExcludesAndResetsAge(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 5; i++ {
+		s.Register(pub(i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	got := s.Publics(rng, 10, 3)
+	if len(got) != 4 {
+		t.Fatalf("returned %d descriptors, want 4 (excluding n3)", len(got))
+	}
+	for _, d := range got {
+		if d.ID == 3 {
+			t.Fatal("excluded node returned")
+		}
+		if d.Age != 0 {
+			t.Fatalf("age = %d, want reset to 0", d.Age)
+		}
+	}
+}
+
+func TestPublicsBoundedAndDistinct(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 20; i++ {
+		s.Register(pub(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	got := s.Publics(rng, 5, 0)
+	if len(got) != 5 {
+		t.Fatalf("returned %d, want 5", len(got))
+	}
+	seen := make(map[addr.NodeID]bool)
+	for _, d := range got {
+		if seen[d.ID] {
+			t.Fatalf("duplicate %v", d.ID)
+		}
+		seen[d.ID] = true
+	}
+}
+
+func TestPublicsZeroOrEmpty(t *testing.T) {
+	s := NewServer()
+	rng := rand.New(rand.NewSource(1))
+	if got := s.Publics(rng, 3, 0); got != nil {
+		t.Fatalf("empty directory returned %v", got)
+	}
+	s.Register(pub(1))
+	if got := s.Publics(rng, 0, 0); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 4; i++ {
+		s.Register(pub(i))
+	}
+	s.Unregister(2)
+	s.Unregister(2) // idempotent
+	s.Unregister(99)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range s.Publics(rng, 10, 0) {
+		if d.ID == 2 {
+			t.Fatal("unregistered node still served")
+		}
+	}
+}
+
+func TestUnregisterSwapKeepsIndexConsistent(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 10; i++ {
+		s.Register(pub(i))
+	}
+	// Remove from the middle repeatedly; remaining set must stay intact.
+	s.Unregister(5)
+	s.Unregister(1)
+	s.Unregister(10)
+	rng := rand.New(rand.NewSource(4))
+	got := s.Publics(rng, 10, 0)
+	if len(got) != 7 {
+		t.Fatalf("returned %d, want 7", len(got))
+	}
+	for _, d := range got {
+		if d.ID == 5 || d.ID == 1 || d.ID == 10 {
+			t.Fatalf("removed node %v still present", d.ID)
+		}
+	}
+}
+
+func TestRegisterRefreshesDescriptor(t *testing.T) {
+	s := NewServer()
+	s.Register(pub(1))
+	updated := pub(1)
+	updated.Endpoint = addr.Endpoint{IP: 99, Port: 200}
+	s.Register(updated)
+	rng := rand.New(rand.NewSource(5))
+	got := s.Publics(rng, 1, 0)
+	if got[0].Endpoint.IP != 99 {
+		t.Fatalf("endpoint = %v, want refreshed 99", got[0].Endpoint)
+	}
+}

@@ -1,0 +1,654 @@
+// Package croupier implements the paper's primary contribution: the
+// Croupier NAT-aware peer-sampling service (Algorithms 2 and 3).
+//
+// Every node maintains two bounded views — a public view and a private
+// view. All nodes initiate one shuffle per round, but shuffle requests
+// are only ever sent to public nodes (the croupiers), which shuffle both
+// views on behalf of everyone; no relaying or hole-punching is needed.
+// Croupiers count the shuffle requests they receive from public and
+// private senders over a sliding window of α rounds; the ratio of those
+// counts estimates the global public/private ratio ω (equations 1–7).
+// Estimates are piggybacked on shuffle traffic, cached for γ rounds, and
+// averaged locally (equations 8–9) to steer sampling between the two
+// views (Algorithm 3).
+package croupier
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/pss"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// SelectionPolicy chooses the shuffle target from the public view.
+type SelectionPolicy uint8
+
+const (
+	// SelectTail picks the oldest descriptor (the paper's policy).
+	// It is the zero value.
+	SelectTail SelectionPolicy = iota
+	// SelectRandom picks uniformly at random — an ablation alternative
+	// exercised by BenchmarkAblationSelectionPolicy.
+	SelectRandom
+)
+
+// MergePolicy chooses how received descriptors enter a full view.
+type MergePolicy uint8
+
+const (
+	// MergeSwapper replaces descriptors that were sent to the peer
+	// (the paper's policy). It is the zero value.
+	MergeSwapper MergePolicy = iota
+	// MergeHealer replaces the oldest descriptor with fresher ones —
+	// an ablation alternative.
+	MergeHealer
+)
+
+// Config parameterises one Croupier node.
+type Config struct {
+	// Params holds the shared gossip parameters (view size 10, shuffle
+	// size 5, 1 s rounds in the paper).
+	Params pss.Params
+	// LocalHistory is α: how many rounds of shuffle-request hits a
+	// croupier aggregates into its local estimate (25 by default).
+	LocalHistory int
+	// NeighbourHistory is γ: cached estimates older than this many
+	// rounds are discarded (50 by default).
+	NeighbourHistory int
+	// EstimateSubset bounds the number of cached estimates piggybacked
+	// per shuffle message (10 in the paper, 5 bytes each).
+	EstimateSubset int
+	// PendingTTL is how many rounds a record of sent-but-unanswered
+	// shuffle state is kept for the swapper merge before being dropped
+	// as lost.
+	PendingTTL int
+	// Selection and Merge default to the paper's tail + swapper
+	// policies; the alternatives exist for ablation studies.
+	Selection SelectionPolicy
+	Merge     MergePolicy
+}
+
+// DefaultConfig returns the paper's experimental setup with the medium
+// history windows (α=25, γ=50) used for all PSS experiments.
+func DefaultConfig() Config {
+	return Config{
+		Params:           pss.DefaultParams(),
+		LocalHistory:     25,
+		NeighbourHistory: 50,
+		EstimateSubset:   10,
+		PendingTTL:       5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.LocalHistory <= 0 {
+		return fmt.Errorf("croupier: local history (alpha) must be positive, got %d", c.LocalHistory)
+	}
+	if c.NeighbourHistory <= 0 {
+		return fmt.Errorf("croupier: neighbour history (gamma) must be positive, got %d", c.NeighbourHistory)
+	}
+	if c.EstimateSubset < 0 {
+		return fmt.Errorf("croupier: estimate subset must be non-negative, got %d", c.EstimateSubset)
+	}
+	if c.PendingTTL <= 0 {
+		return fmt.Errorf("croupier: pending TTL must be positive, got %d", c.PendingTTL)
+	}
+	return nil
+}
+
+// Estimate is one public node's local public/private ratio estimation,
+// as disseminated on shuffle messages. Age counts gossip rounds since
+// the estimate was produced; lower is fresher.
+type Estimate struct {
+	Node  addr.NodeID
+	Value float64
+	Age   int
+}
+
+// ShuffleReq is sent once per round by every node to the oldest node in
+// its public view (Algorithm 2 line 22).
+type ShuffleReq struct {
+	// From describes the sender (fresh descriptor, age 0); croupiers
+	// classify the request by From.Nat.
+	From view.Descriptor
+	// Pub and Pri are bounded random subsets of the sender's views,
+	// with the sender itself added to the subset matching its type.
+	Pub []view.Descriptor
+	Pri []view.Descriptor
+	// Estimates carries a bounded subset of the sender's cached
+	// estimations plus, for public senders, their own local estimate.
+	Estimates []Estimate
+}
+
+// Size implements simnet.Message.
+func (m ShuffleReq) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) +
+		wire.DescriptorsSize(m.Pub) + wire.DescriptorsSize(m.Pri) +
+		wire.EstimatesSize(len(m.Estimates))
+}
+
+// ShuffleRes answers a ShuffleReq (Algorithm 2 line 37).
+type ShuffleRes struct {
+	From      view.Descriptor
+	Pub       []view.Descriptor
+	Pri       []view.Descriptor
+	Estimates []Estimate
+}
+
+// Size implements simnet.Message.
+func (m ShuffleRes) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) +
+		wire.DescriptorsSize(m.Pub) + wire.DescriptorsSize(m.Pri) +
+		wire.EstimatesSize(len(m.Estimates))
+}
+
+// pendingShuffle remembers what a requester sent, so the response merge
+// can apply swapper semantics.
+type pendingShuffle struct {
+	pub   []view.Descriptor
+	pri   []view.Descriptor
+	round int
+}
+
+// estimateStore holds M_p in deterministic insertion order, so sums and
+// random subsets never depend on map iteration order.
+type estimateStore struct {
+	order []addr.NodeID
+	byID  map[addr.NodeID]Estimate
+}
+
+func newEstimateStore() *estimateStore {
+	return &estimateStore{byID: make(map[addr.NodeID]Estimate)}
+}
+
+func (s *estimateStore) len() int { return len(s.order) }
+
+func (s *estimateStore) get(id addr.NodeID) (Estimate, bool) {
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// put inserts or replaces an estimate, preserving insertion order for
+// existing origins.
+func (s *estimateStore) put(e Estimate) {
+	if _, ok := s.byID[e.Node]; !ok {
+		s.order = append(s.order, e.Node)
+	}
+	s.byID[e.Node] = e
+}
+
+// ageAndExpire advances every entry's age and drops entries older than
+// maxAge, compacting in place.
+func (s *estimateStore) ageAndExpire(maxAge int) {
+	kept := s.order[:0]
+	for _, id := range s.order {
+		e := s.byID[id]
+		e.Age++
+		if e.Age > maxAge {
+			delete(s.byID, id)
+			continue
+		}
+		s.byID[id] = e
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// sum returns the total of all estimate values in insertion order.
+func (s *estimateStore) sum() float64 {
+	total := 0.0
+	for _, id := range s.order {
+		total += s.byID[id].Value
+	}
+	return total
+}
+
+// Transport sends protocol messages; *simnet.Socket satisfies it inside
+// simulations and internal/deploy provides a real-UDP implementation.
+type Transport interface {
+	Send(to addr.Endpoint, msg simnet.Message)
+}
+
+// Node is one Croupier protocol instance. All methods must be called on
+// a single goroutine: the simulation event loop, or the deployment
+// runtime's driver loop.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler // nil when externally driven
+	sock  Transport
+	rng   *rand.Rand
+
+	self addr.NodeID
+	ep   addr.Endpoint
+	nat  addr.NatType
+
+	pub *view.View
+	pri *view.View
+
+	// Ratio-estimation state (Algorithm 3).
+	estimates *estimateStore // M_p, keyed by origin
+	localEst  float64        // E_p (croupiers only)
+	hasLocal  bool
+	cu, cv    int   // current-round hit counters
+	histU     []int // per-round public hits, newest last, ≤ α entries
+	histV     []int // per-round private hits
+
+	pending     map[addr.NodeID]pendingShuffle
+	ticker      *pss.Ticker
+	rounds      int
+	running     bool
+	rebootstrap func() []view.Descriptor
+
+	// Diagnostics.
+	sentReqs, recvReqs, recvRess uint64
+}
+
+// New constructs a Croupier node bound to the given simulated socket.
+// selfEP is the node's advertised endpoint (its own address for public
+// nodes, the NAT-mapped endpoint discovered during NAT-type
+// identification for private nodes). seeds initialises the public view
+// (from the bootstrap service).
+func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.NatType,
+	selfEP addr.Endpoint, seeds []view.Descriptor) (*Node, error) {
+	n, err := NewWithTransport(cfg, sock.Host().ID(),
+		rand.New(rand.NewSource(sched.Rand().Int63())), sock, natType, selfEP, seeds)
+	if err != nil {
+		return nil, err
+	}
+	n.sched = sched
+	return n, nil
+}
+
+// NewWithTransport constructs a node over an arbitrary transport, for
+// deployments outside the simulator. Such a node has no scheduler:
+// Start/Stop are no-ops and the owner drives it by calling RunRound once
+// per gossip period and HandlePacket for every received message, all
+// from one goroutine.
+func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
+	natType addr.NatType, selfEP addr.Endpoint, seeds []view.Descriptor) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if natType == addr.NatUnknown {
+		return nil, fmt.Errorf("croupier: node %v has unknown NAT type; run natid first", id)
+	}
+	n := &Node{
+		cfg:       cfg,
+		sock:      tr,
+		rng:       rng,
+		self:      id,
+		ep:        selfEP,
+		nat:       natType,
+		estimates: newEstimateStore(),
+		pending:   make(map[addr.NodeID]pendingShuffle),
+	}
+	n.pub = view.New(cfg.Params.ViewSize, n.self)
+	n.pri = view.New(cfg.Params.ViewSize, n.self)
+	for _, d := range seeds {
+		if d.Nat == addr.Public {
+			n.pub.Add(d)
+		} else {
+			n.pri.Add(d)
+		}
+	}
+	return n, nil
+}
+
+// RunRound executes one gossip round. Externally driven deployments
+// call this once per period; simulated nodes tick it from Start.
+func (n *Node) RunRound() { n.round() }
+
+// SetRebootstrap installs a callback queried for fresh public-node
+// descriptors whenever the public view runs empty — the standard client
+// behaviour of re-contacting the bootstrap service rather than staying
+// isolated (e.g. when a node joined before any croupier existed, or all
+// known croupiers died).
+func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// ID implements pss.Protocol.
+func (n *Node) ID() addr.NodeID { return n.self }
+
+// NatType implements pss.Protocol.
+func (n *Node) NatType() addr.NatType { return n.nat }
+
+// Endpoint returns the node's advertised endpoint.
+func (n *Node) Endpoint() addr.Endpoint { return n.ep }
+
+// Rounds returns the number of gossip rounds executed, used by the
+// evaluation to apply the paper's two-round grace period to joiners.
+func (n *Node) Rounds() int { return n.rounds }
+
+// PublicView returns a snapshot of the public view.
+func (n *Node) PublicView() []view.Descriptor { return n.pub.Descriptors() }
+
+// PrivateView returns a snapshot of the private view.
+func (n *Node) PrivateView() []view.Descriptor { return n.pri.Descriptors() }
+
+// Neighbors implements pss.Protocol: the union of both views.
+func (n *Node) Neighbors() []view.Descriptor {
+	out := n.pub.Descriptors()
+	return append(out, n.pri.Descriptors()...)
+}
+
+// Start implements pss.Protocol, beginning periodic rounds after a
+// random phase offset. It is a no-op for externally driven nodes (no
+// scheduler attached).
+func (n *Node) Start() {
+	if n.running || n.sched == nil {
+		return
+	}
+	n.running = true
+	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+}
+
+// Stop implements pss.Protocol.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.ticker.Stop()
+}
+
+// selfDescriptor builds a fresh (age 0) descriptor for this node.
+func (n *Node) selfDescriptor() view.Descriptor {
+	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
+}
+
+// round executes Algorithm 2's Round procedure.
+func (n *Node) round() {
+	n.rounds++
+	// Lines 3-5: age views and estimations, expire old estimations.
+	n.pub.IncrementAges()
+	n.pri.IncrementAges()
+	n.ageEstimates()
+	// Lines 6-8: croupiers recompute their local estimate from the
+	// current hit history.
+	if n.nat == addr.Public {
+		if est, ok := n.calcHitsRatio(); ok {
+			n.localEst = est
+			n.hasLocal = true
+		}
+	}
+	// Lines 9-11: archive this round's hit counters.
+	n.pushHits()
+	// Expire pending shuffle state for lost exchanges.
+	for id, p := range n.pending {
+		if n.rounds-p.round > n.cfg.PendingTTL {
+			delete(n.pending, id)
+		}
+	}
+	// Re-seed an empty public view from the bootstrap service: without
+	// croupiers the node cannot gossip at all.
+	if n.pub.Len() == 0 && n.rebootstrap != nil {
+		for _, d := range n.rebootstrap() {
+			if d.Nat == addr.Public {
+				n.pub.Add(d)
+			}
+		}
+	}
+	// Lines 12-13: tail selection from the public view. The selected
+	// descriptor is removed; if the target is dead this is also the
+	// purge mechanism. (SelectRandom is the ablation variant.)
+	var q view.Descriptor
+	var ok bool
+	if n.cfg.Selection == SelectRandom {
+		if q, ok = n.pub.Random(n.rng); ok {
+			n.pub.Remove(q.ID)
+		}
+	} else {
+		q, ok = n.pub.TakeOldest()
+	}
+	if !ok {
+		return // no croupier known this round
+	}
+	// Lines 14-21: build the exchange subsets, adding self.
+	pub, pri := n.buildSubsets(q.ID)
+	req := ShuffleReq{
+		From:      n.selfDescriptor(),
+		Pub:       pub,
+		Pri:       pri,
+		Estimates: n.estimateSubset(),
+	}
+	n.pending[q.ID] = pendingShuffle{pub: pub, pri: pri, round: n.rounds}
+	n.sentReqs++
+	n.sock.Send(q.Endpoint, req)
+}
+
+// buildSubsets draws the random view subsets for an exchange with peer,
+// placing this node's own fresh descriptor into the subset matching its
+// NAT type (Algorithm 2 lines 14-21). Total payload stays within
+// ShuffleSize descriptors per view.
+func (n *Node) buildSubsets(peer addr.NodeID) (pub, pri []view.Descriptor) {
+	k := n.cfg.Params.ShuffleSize
+	if n.nat == addr.Public {
+		pub = append(n.pub.RandomSubset(n.rng, k-1), n.selfDescriptor())
+		pri = n.pri.RandomSubset(n.rng, k)
+	} else {
+		pub = n.pub.RandomSubset(n.rng, k)
+		pri = append(n.pri.RandomSubset(n.rng, k-1), n.selfDescriptor())
+	}
+	// Never advertise the peer back to itself.
+	pub = dropNode(pub, peer)
+	pri = dropNode(pri, peer)
+	return pub, pri
+}
+
+func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.ID != id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HandlePacket dispatches an incoming message; it is the socket handler.
+func (n *Node) HandlePacket(pkt simnet.Packet) {
+	switch m := pkt.Msg.(type) {
+	case ShuffleReq:
+		n.handleShuffleReq(pkt.From, m)
+	case ShuffleRes:
+		n.handleShuffleRes(m)
+	}
+}
+
+// handleShuffleReq implements the croupier side (Algorithm 2 line 25).
+// Only public nodes receive requests in normal operation; a private
+// node receiving one (stale descriptor advertising it as public) drops
+// it.
+func (n *Node) handleShuffleReq(from addr.Endpoint, req ShuffleReq) {
+	if n.nat != addr.Public {
+		return
+	}
+	n.recvReqs++
+	// Lines 26-30: count the hit by sender type.
+	if req.From.Nat == addr.Public {
+		n.cu++
+	} else {
+		n.cv++
+	}
+	// Lines 31-33: draw response subsets before merging, so the swap
+	// exchanges disjoint state.
+	pub := dropNode(n.pub.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
+	pri := dropNode(n.pri.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
+	res := ShuffleRes{
+		From:      n.selfDescriptor(),
+		Pub:       pub,
+		Pri:       pri,
+		Estimates: n.estimateSubset(),
+	}
+	// Lines 34-36: merge sender state with swapper semantics.
+	n.mergeView(n.pub, pub, req.Pub)
+	n.mergeView(n.pri, pri, req.Pri)
+	n.mergeEstimates(req.Estimates)
+	// Line 37: respond to the observed source endpoint so the reply
+	// traverses the sender's NAT on the existing mapping.
+	n.sock.Send(from, res)
+}
+
+// handleShuffleRes implements the requester's merge (Algorithm 2
+// line 40).
+func (n *Node) handleShuffleRes(res ShuffleRes) {
+	p, ok := n.pending[res.From.ID]
+	if !ok {
+		return // late or duplicate response; sent state already gone
+	}
+	delete(n.pending, res.From.ID)
+	n.recvRess++
+	n.mergeView(n.pub, p.pub, res.Pub)
+	n.mergeView(n.pri, p.pri, res.Pri)
+	n.mergeEstimates(res.Estimates)
+}
+
+// mergeView applies the configured merge policy.
+func (n *Node) mergeView(v *view.View, sent, received []view.Descriptor) {
+	if n.cfg.Merge == MergeHealer {
+		v.MergeHealer(received)
+		return
+	}
+	v.Merge(sent, received)
+}
+
+// ageEstimates advances estimate timestamps and drops entries older
+// than γ (Algorithm 2 lines 4-5).
+func (n *Node) ageEstimates() {
+	n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
+}
+
+// pushHits archives the current round's hit counters into the α-bounded
+// local history (Algorithm 2 lines 9-11).
+func (n *Node) pushHits() {
+	n.histU = append(n.histU, n.cu)
+	n.histV = append(n.histV, n.cv)
+	if len(n.histU) > n.cfg.LocalHistory {
+		n.histU = n.histU[1:]
+		n.histV = n.histV[1:]
+	}
+	n.cu, n.cv = 0, 0
+}
+
+// calcHitsRatio computes E_p over the local history (Algorithm 2
+// line 60, equation 6). It reports false when no hits were observed.
+func (n *Node) calcHitsRatio() (float64, bool) {
+	pubCnt, priCnt := 0, 0
+	for _, u := range n.histU {
+		pubCnt += u
+	}
+	for _, v := range n.histV {
+		priCnt += v
+	}
+	if pubCnt+priCnt == 0 {
+		return 0, false
+	}
+	return float64(pubCnt) / float64(pubCnt+priCnt), true
+}
+
+// estimateSubset draws the bounded random subset of cached estimates to
+// piggyback, appending this croupier's own fresh local estimate.
+func (n *Node) estimateSubset() []Estimate {
+	k := n.cfg.EstimateSubset
+	out := make([]Estimate, 0, k+1)
+	if n.estimates.len() <= k {
+		for _, id := range n.estimates.order {
+			out = append(out, n.estimates.byID[id])
+		}
+	} else {
+		for _, i := range n.rng.Perm(n.estimates.len())[:k] {
+			out = append(out, n.estimates.byID[n.estimates.order[i]])
+		}
+	}
+	if n.nat == addr.Public && n.hasLocal {
+		out = append(out, Estimate{Node: n.self, Value: n.localEst})
+	}
+	return out
+}
+
+// mergeEstimates folds received estimates into M_p, keeping the most
+// recent per origin (Algorithm 2 lines 36/43).
+func (n *Node) mergeEstimates(es []Estimate) {
+	for _, e := range es {
+		if e.Node == n.self {
+			continue // own estimate lives in localEst
+		}
+		if e.Age > n.cfg.NeighbourHistory {
+			continue
+		}
+		cur, ok := n.estimates.get(e.Node)
+		if !ok || e.Age < cur.Age {
+			n.estimates.put(e)
+		}
+	}
+}
+
+// Estimate implements Algorithm 3's estimatePublicPrivateRatio:
+// croupiers average their cached estimates together with their own
+// (equation 8); private nodes average the cache alone (equation 9). It
+// reports false while the node has no estimation data at all.
+func (n *Node) Estimate() (float64, bool) {
+	// The store keeps insertion order, so the (non-associative) float
+	// summation is reproducible across identical runs.
+	sum := n.estimates.sum()
+	cnt := n.estimates.len()
+	if n.nat == addr.Public && n.hasLocal {
+		sum += n.localEst
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, false
+	}
+	return sum / float64(cnt), true
+}
+
+// Sample implements Algorithm 3's generateRandomSample: with
+// probability equal to the ratio estimate the sample is drawn from the
+// public view, otherwise from the private view. If the chosen view is
+// empty the other view backs it up, so a sample is returned whenever
+// the node knows anyone at all.
+func (n *Node) Sample() (view.Descriptor, bool) {
+	est, ok := n.Estimate()
+	if !ok {
+		est = 0.5 // no information yet: treat views as equally likely
+	}
+	first, second := n.pri, n.pub
+	if n.rng.Float64() < est {
+		first, second = n.pub, n.pri
+	}
+	if d, ok := first.Random(n.rng); ok {
+		return d, true
+	}
+	return second.Random(n.rng)
+}
+
+// CachedEstimates returns a copy of M_p for tests and diagnostics,
+// sorted by origin.
+func (n *Node) CachedEstimates() []Estimate {
+	out := make([]Estimate, 0, n.estimates.len())
+	for _, id := range n.estimates.order {
+		out = append(out, n.estimates.byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// LocalEstimate returns E_p and whether the croupier has one.
+func (n *Node) LocalEstimate() (float64, bool) { return n.localEst, n.hasLocal }
+
+// Stats returns message counters for overhead diagnostics.
+func (n *Node) Stats() (sentReqs, recvReqs, recvRess uint64) {
+	return n.sentReqs, n.recvReqs, n.recvRess
+}
+
+var _ pss.Protocol = (*Node)(nil)

@@ -1,0 +1,216 @@
+// Package cyclon implements the Cyclon peer-sampling service (Voulgaris
+// et al., 2005), the paper's baseline for true randomness.
+//
+// Cyclon maintains a single bounded view and swaps random subsets with
+// the oldest neighbour each round. Following the paper's setup, this
+// implementation uses the same tail selection and swapper merging
+// policies as Croupier, and its experiments run with public nodes only —
+// classic Cyclon has no NAT handling at all.
+package cyclon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/pss"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Config parameterises one Cyclon node.
+type Config struct {
+	// Params holds view size, shuffle size and round period.
+	Params pss.Params
+	// PendingTTL bounds how many rounds sent-shuffle state is retained.
+	PendingTTL int
+}
+
+// DefaultConfig matches the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{Params: pss.DefaultParams(), PendingTTL: 5}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.PendingTTL <= 0 {
+		return fmt.Errorf("cyclon: pending TTL must be positive, got %d", c.PendingTTL)
+	}
+	return nil
+}
+
+// ShuffleReq initiates a view exchange with the oldest neighbour.
+type ShuffleReq struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleReq) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+// ShuffleRes answers a ShuffleReq.
+type ShuffleRes struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleRes) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+type pendingShuffle struct {
+	sent  []view.Descriptor
+	round int
+}
+
+// Node is one Cyclon instance.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler
+	sock  *simnet.Socket
+	rng   *rand.Rand
+
+	self addr.NodeID
+	ep   addr.Endpoint
+
+	view        *view.View
+	pending     map[addr.NodeID]pendingShuffle
+	ticker      *pss.Ticker
+	rounds      int
+	running     bool
+	rebootstrap func() []view.Descriptor
+}
+
+// New constructs a Cyclon node seeded with the given descriptors.
+func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, selfEP addr.Endpoint,
+	seeds []view.Descriptor) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		sched:   sched,
+		sock:    sock,
+		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		self:    sock.Host().ID(),
+		ep:      selfEP,
+		pending: make(map[addr.NodeID]pendingShuffle),
+	}
+	n.view = view.New(cfg.Params.ViewSize, n.self)
+	for _, d := range seeds {
+		n.view.Add(d)
+	}
+	return n, nil
+}
+
+// ID implements pss.Protocol.
+func (n *Node) ID() addr.NodeID { return n.self }
+
+// NatType implements pss.Protocol; Cyclon nodes are always public.
+func (n *Node) NatType() addr.NatType { return addr.Public }
+
+// Rounds returns the number of rounds executed.
+func (n *Node) Rounds() int { return n.rounds }
+
+// Neighbors implements pss.Protocol.
+func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
+
+// Sample implements pss.Protocol with a uniform draw from the view.
+func (n *Node) Sample() (view.Descriptor, bool) { return n.view.Random(n.rng) }
+
+// SetRebootstrap installs a callback queried for fresh seed
+// descriptors whenever the view runs empty, mirroring a real client
+// re-contacting the bootstrap service instead of staying isolated.
+func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// Start implements pss.Protocol.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+}
+
+// Stop implements pss.Protocol.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.ticker.Stop()
+}
+
+func (n *Node) selfDescriptor() view.Descriptor {
+	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: addr.Public}
+}
+
+func (n *Node) round() {
+	n.rounds++
+	n.view.IncrementAges()
+	for id, p := range n.pending {
+		if n.rounds-p.round > n.cfg.PendingTTL {
+			delete(n.pending, id)
+		}
+	}
+	if n.view.Len() == 0 && n.rebootstrap != nil {
+		for _, d := range n.rebootstrap() {
+			n.view.Add(d)
+		}
+	}
+	q, ok := n.view.TakeOldest()
+	if !ok {
+		return
+	}
+	subset := n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1)
+	subset = append(subset, n.selfDescriptor())
+	subset = dropNode(subset, q.ID)
+	n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
+	n.sock.Send(q.Endpoint, ShuffleReq{From: n.selfDescriptor(), Descs: subset})
+}
+
+func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.ID != id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HandlePacket is the socket handler.
+func (n *Node) HandlePacket(pkt simnet.Packet) {
+	switch m := pkt.Msg.(type) {
+	case ShuffleReq:
+		n.handleReq(pkt.From, m)
+	case ShuffleRes:
+		n.handleRes(m)
+	}
+}
+
+func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq) {
+	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
+	n.sock.Send(from, ShuffleRes{From: n.selfDescriptor(), Descs: subset})
+	n.view.Merge(subset, req.Descs)
+}
+
+func (n *Node) handleRes(res ShuffleRes) {
+	p, ok := n.pending[res.From.ID]
+	if !ok {
+		return
+	}
+	delete(n.pending, res.From.ID)
+	n.view.Merge(p.sent, res.Descs)
+}
+
+var _ pss.Protocol = (*Node)(nil)

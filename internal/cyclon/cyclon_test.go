@@ -1,0 +1,180 @@
+package cyclon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/latency"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+type rig struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.New(1)
+	n, err := simnet.New(sched, simnet.Config{Latency: latency.Constant(5 * time.Millisecond)})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	return &rig{sched: sched, net: n}
+}
+
+func (r *rig) node(t *testing.T, id addr.NodeID, seeds []view.Descriptor) *Node {
+	t.Helper()
+	h, err := r.net.AddPublicHost(id)
+	if err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	var n *Node
+	sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	n, err = New(DefaultConfig(), r.sched, sock, addr.Endpoint{IP: h.IP(), Port: 100}, seeds)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func desc(id int, age int) view.Descriptor {
+	return view.Descriptor{
+		ID:       addr.NodeID(id),
+		Endpoint: addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(id)), Port: 100},
+		Nat:      addr.Public,
+		Age:      age,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg.PendingTTL = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted zero pending TTL")
+	}
+	cfg = DefaultConfig()
+	cfg.Params.ViewSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative view size")
+	}
+}
+
+func TestNatTypeAlwaysPublic(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, nil)
+	if n.NatType() != addr.Public {
+		t.Fatalf("NatType = %v, want public", n.NatType())
+	}
+}
+
+func TestRoundUsesTailSelection(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, []view.Descriptor{desc(2, 9), desc(3, 1)})
+	n.round()
+	if n.view.Contains(2) {
+		t.Fatal("oldest descriptor not removed on shuffle")
+	}
+	if !n.view.Contains(3) {
+		t.Fatal("younger descriptor removed")
+	}
+}
+
+func TestTwoNodeExchange(t *testing.T) {
+	r := newRig(t)
+	a := r.node(t, 1, []view.Descriptor{desc(3, 0), desc(4, 0)})
+	b := r.node(t, 2, []view.Descriptor{desc(5, 0), desc(6, 0)})
+	a.view.Add(view.Descriptor{ID: 2, Endpoint: b.ep, Nat: addr.Public, Age: 50})
+
+	a.round()
+	r.sched.Run()
+
+	learnedFromB := a.view.Contains(5) || a.view.Contains(6)
+	if !learnedFromB {
+		t.Fatal("requester learned nothing")
+	}
+	if !b.view.Contains(1) {
+		t.Fatal("responder did not learn the requester")
+	}
+}
+
+func TestSelfNeverEntersOwnView(t *testing.T) {
+	r := newRig(t)
+	a := r.node(t, 1, []view.Descriptor{desc(2, 5)})
+	b := r.node(t, 2, nil)
+	_ = b
+	for i := 0; i < 10; i++ {
+		a.round()
+		r.sched.Run()
+	}
+	if a.view.Contains(1) {
+		t.Fatal("node added itself to its own view")
+	}
+}
+
+func TestUnsolicitedResponseIgnored(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, nil)
+	n.handleRes(ShuffleRes{From: desc(9, 0), Descs: []view.Descriptor{desc(8, 0)}})
+	if n.view.Contains(8) {
+		t.Fatal("unsolicited response merged")
+	}
+}
+
+func TestSampleUniformOverView(t *testing.T) {
+	r := newRig(t)
+	seeds := []view.Descriptor{desc(2, 0), desc(3, 0), desc(4, 0), desc(5, 0)}
+	n := r.node(t, 1, seeds)
+	counts := make(map[addr.NodeID]int)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		d, ok := n.Sample()
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[d.ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.18 || frac > 0.32 {
+			t.Fatalf("node %v sampled with frequency %.3f, want ~0.25", id, frac)
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, []view.Descriptor{desc(2, 0)})
+	n.Start()
+	n.Start() // second call is a no-op
+	r.sched.RunUntil(3 * time.Second)
+	rounds := n.Rounds()
+	if rounds < 2 || rounds > 4 {
+		t.Fatalf("rounds = %d after 3s, want ~3 (double Start must not double-tick)", rounds)
+	}
+	n.Stop()
+	n.Stop()
+	r.sched.RunUntil(10 * time.Second)
+	if n.Rounds() != rounds {
+		t.Fatal("rounds advanced after Stop")
+	}
+}
+
+func TestDeadTargetPurgedByTailSelection(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, []view.Descriptor{desc(99, 50)}) // 99 does not exist
+	n.round()
+	r.sched.Run()
+	if n.view.Contains(99) {
+		t.Fatal("dead descriptor survived a shuffle attempt")
+	}
+}

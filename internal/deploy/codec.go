@@ -1,0 +1,210 @@
+// Package deploy runs the Croupier protocol over real UDP sockets — the
+// deployment path the paper leaves as future work ("evaluate on the
+// open Internet"). It provides a binary wire codec for the protocol
+// messages, a UDP bootstrap directory, and a single-goroutine node
+// runtime that drives the same protocol core the simulator uses.
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Message kinds on the deployment wire.
+const (
+	kindShuffleReq uint8 = iota + 1
+	kindShuffleRes
+	kindBootRegister
+	kindBootList
+	kindBootListRes
+)
+
+// BootRegister announces a public node to the bootstrap directory; also
+// used as a periodic liveness refresh.
+type BootRegister struct {
+	Desc view.Descriptor
+}
+
+// BootList asks the directory for up to Max public descriptors.
+type BootList struct {
+	Max uint8
+}
+
+// BootListRes answers a BootList.
+type BootListRes struct {
+	Descs []view.Descriptor
+}
+
+// EncodeShuffleReq serialises a shuffle request.
+func EncodeShuffleReq(m croupier.ShuffleReq) []byte {
+	var w wire.Writer
+	w.PutU8(kindShuffleReq)
+	putDescriptor(&w, m.From)
+	putDescriptors(&w, m.Pub)
+	putDescriptors(&w, m.Pri)
+	putEstimates(&w, m.Estimates)
+	return w.Bytes()
+}
+
+// EncodeShuffleRes serialises a shuffle response.
+func EncodeShuffleRes(m croupier.ShuffleRes) []byte {
+	var w wire.Writer
+	w.PutU8(kindShuffleRes)
+	putDescriptor(&w, m.From)
+	putDescriptors(&w, m.Pub)
+	putDescriptors(&w, m.Pri)
+	putEstimates(&w, m.Estimates)
+	return w.Bytes()
+}
+
+// EncodeBootRegister serialises a directory registration.
+func EncodeBootRegister(m BootRegister) []byte {
+	var w wire.Writer
+	w.PutU8(kindBootRegister)
+	putDescriptor(&w, m.Desc)
+	return w.Bytes()
+}
+
+// EncodeBootList serialises a directory query.
+func EncodeBootList(m BootList) []byte {
+	var w wire.Writer
+	w.PutU8(kindBootList)
+	w.PutU8(m.Max)
+	return w.Bytes()
+}
+
+// EncodeBootListRes serialises a directory answer.
+func EncodeBootListRes(m BootListRes) []byte {
+	var w wire.Writer
+	w.PutU8(kindBootListRes)
+	putDescriptors(&w, m.Descs)
+	return w.Bytes()
+}
+
+// Decode parses any deployment datagram into one of the message types
+// (croupier.ShuffleReq, croupier.ShuffleRes, BootRegister, BootList,
+// BootListRes).
+func Decode(b []byte) (any, error) {
+	r := wire.NewReader(b)
+	kind := r.U8()
+	var out any
+	switch kind {
+	case kindShuffleReq:
+		m := croupier.ShuffleReq{From: getDescriptor(r)}
+		m.Pub = getDescriptors(r)
+		m.Pri = getDescriptors(r)
+		m.Estimates = getEstimates(r)
+		out = m
+	case kindShuffleRes:
+		m := croupier.ShuffleRes{From: getDescriptor(r)}
+		m.Pub = getDescriptors(r)
+		m.Pri = getDescriptors(r)
+		m.Estimates = getEstimates(r)
+		out = m
+	case kindBootRegister:
+		out = BootRegister{Desc: getDescriptor(r)}
+	case kindBootList:
+		out = BootList{Max: r.U8()}
+	case kindBootListRes:
+		out = BootListRes{Descs: getDescriptors(r)}
+	default:
+		return nil, fmt.Errorf("deploy: unknown message kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("deploy: decode kind %d: %w", kind, err)
+	}
+	return out, nil
+}
+
+// putDescriptor writes id(8) + endpoint(6) + nat(1) + age(2).
+func putDescriptor(w *wire.Writer, d view.Descriptor) {
+	w.PutU64(uint64(d.ID))
+	w.PutEndpoint(d.Endpoint)
+	w.PutU8(uint8(d.Nat))
+	age := d.Age
+	if age < 0 {
+		age = 0
+	}
+	if age > math.MaxUint16 {
+		age = math.MaxUint16
+	}
+	w.PutU16(uint16(age))
+}
+
+func getDescriptor(r *wire.Reader) view.Descriptor {
+	return view.Descriptor{
+		ID:       addr.NodeID(r.U64()),
+		Endpoint: r.Endpoint(),
+		Nat:      addr.NatType(r.U8()),
+		Age:      int(r.U16()),
+	}
+}
+
+func putDescriptors(w *wire.Writer, ds []view.Descriptor) {
+	if len(ds) > math.MaxUint8 {
+		ds = ds[:math.MaxUint8]
+	}
+	w.PutU8(uint8(len(ds)))
+	for _, d := range ds {
+		putDescriptor(w, d)
+	}
+}
+
+func getDescriptors(r *wire.Reader) []view.Descriptor {
+	n := int(r.U8())
+	if n == 0 {
+		return nil
+	}
+	out := make([]view.Descriptor, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, getDescriptor(r))
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// putEstimates writes node(8) + value(4, float32 bits) + age(2) each.
+func putEstimates(w *wire.Writer, es []croupier.Estimate) {
+	if len(es) > math.MaxUint8 {
+		es = es[:math.MaxUint8]
+	}
+	w.PutU8(uint8(len(es)))
+	for _, e := range es {
+		w.PutU64(uint64(e.Node))
+		w.PutU32(math.Float32bits(float32(e.Value)))
+		age := e.Age
+		if age < 0 {
+			age = 0
+		}
+		if age > math.MaxUint16 {
+			age = math.MaxUint16
+		}
+		w.PutU16(uint16(age))
+	}
+}
+
+func getEstimates(r *wire.Reader) []croupier.Estimate {
+	n := int(r.U8())
+	if n == 0 {
+		return nil
+	}
+	out := make([]croupier.Estimate, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, croupier.Estimate{
+			Node:  addr.NodeID(r.U64()),
+			Value: float64(math.Float32frombits(r.U32())),
+			Age:   int(r.U16()),
+		})
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}

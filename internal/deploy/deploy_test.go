@@ -1,0 +1,274 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/pss"
+	"repro/internal/view"
+)
+
+func sampleDesc(id int) view.Descriptor {
+	return view.Descriptor{
+		ID:       addr.NodeID(id),
+		Endpoint: addr.Endpoint{IP: addr.MakeIP(127, 0, 0, 1), Port: uint16(40000 + id)},
+		Nat:      addr.Public,
+		Age:      id % 20,
+	}
+}
+
+// descEq compares the fields the deployment codec carries (Croupier
+// descriptors have no relay/via extensions).
+func descEq(a, b view.Descriptor) bool {
+	return a.ID == b.ID && a.Endpoint == b.Endpoint && a.Nat == b.Nat && a.Age == b.Age
+}
+
+func TestShuffleReqRoundTrip(t *testing.T) {
+	m := croupier.ShuffleReq{
+		From: sampleDesc(1),
+		Pub:  []view.Descriptor{sampleDesc(2), sampleDesc(3)},
+		Pri:  []view.Descriptor{sampleDesc(4)},
+		Estimates: []croupier.Estimate{
+			{Node: 7, Value: 0.25, Age: 3},
+			{Node: 9, Value: 0.5, Age: 0},
+		},
+	}
+	got, err := Decode(EncodeShuffleReq(m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	back, ok := got.(croupier.ShuffleReq)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if !descEq(back.From, m.From) {
+		t.Fatalf("From = %v, want %v", back.From, m.From)
+	}
+	if len(back.Pub) != 2 || !descEq(back.Pub[1], m.Pub[1]) {
+		t.Fatalf("Pub = %v", back.Pub)
+	}
+	if len(back.Pri) != 1 || !descEq(back.Pri[0], m.Pri[0]) {
+		t.Fatalf("Pri = %v", back.Pri)
+	}
+	if len(back.Estimates) != 2 || back.Estimates[0].Node != 7 {
+		t.Fatalf("Estimates = %v", back.Estimates)
+	}
+	if math.Abs(back.Estimates[1].Value-0.5) > 1e-6 {
+		t.Fatalf("estimate value = %v, want 0.5 within float32", back.Estimates[1].Value)
+	}
+}
+
+func TestShuffleResRoundTrip(t *testing.T) {
+	m := croupier.ShuffleRes{From: sampleDesc(5), Pub: []view.Descriptor{sampleDesc(6)}}
+	got, err := Decode(EncodeShuffleRes(m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	back, ok := got.(croupier.ShuffleRes)
+	if !ok || !descEq(back.From, m.From) || len(back.Pub) != 1 {
+		t.Fatalf("decoded %#v", got)
+	}
+}
+
+func TestBootstrapMessagesRoundTrip(t *testing.T) {
+	reg, err := Decode(EncodeBootRegister(BootRegister{Desc: sampleDesc(1)}))
+	if err != nil {
+		t.Fatalf("Decode register: %v", err)
+	}
+	if r, ok := reg.(BootRegister); !ok || !descEq(r.Desc, sampleDesc(1)) {
+		t.Fatalf("register = %#v", reg)
+	}
+	lst, err := Decode(EncodeBootList(BootList{Max: 7}))
+	if err != nil {
+		t.Fatalf("Decode list: %v", err)
+	}
+	if l, ok := lst.(BootList); !ok || l.Max != 7 {
+		t.Fatalf("list = %#v", lst)
+	}
+	res, err := Decode(EncodeBootListRes(BootListRes{Descs: []view.Descriptor{sampleDesc(2)}}))
+	if err != nil {
+		t.Fatalf("Decode list res: %v", err)
+	}
+	if r, ok := res.(BootListRes); !ok || len(r.Descs) != 1 {
+		t.Fatalf("list res = %#v", res)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode accepted empty datagram")
+	}
+	if _, err := Decode([]byte{200}); err == nil {
+		t.Fatal("Decode accepted unknown kind")
+	}
+	truncated := EncodeShuffleReq(croupier.ShuffleReq{From: sampleDesc(1)})
+	if _, err := Decode(truncated[:len(truncated)-3]); err == nil {
+		t.Fatal("Decode accepted truncated shuffle")
+	}
+}
+
+// Property: descriptors survive the codec bit-exactly for all field
+// values within wire ranges.
+func TestDescriptorCodecProperty(t *testing.T) {
+	f := func(id uint64, ip uint32, port uint16, natRaw uint8, age uint16) bool {
+		d := view.Descriptor{
+			ID:       addr.NodeID(id),
+			Endpoint: addr.Endpoint{IP: addr.IP(ip), Port: port},
+			Nat:      addr.NatType(natRaw%2 + 1),
+			Age:      int(age),
+		}
+		got, err := Decode(EncodeBootRegister(BootRegister{Desc: d}))
+		if err != nil {
+			return false
+		}
+		back, ok := got.(BootRegister)
+		return ok && descEq(back.Desc, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoopbackDeployment runs a real-UDP Croupier deployment on
+// loopback: a bootstrap directory, 5 public and 10 private nodes with
+// 50 ms rounds. After a few seconds of wall-clock gossip the estimates
+// must be near the true ratio 1/3 and views populated.
+func TestLoopbackDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock deployment test")
+	}
+	boot, err := ListenBootstrap("127.0.0.1:0", 10*time.Second, 1)
+	if err != nil {
+		t.Fatalf("ListenBootstrap: %v", err)
+	}
+	defer boot.Close()
+
+	cfg := croupier.DefaultConfig()
+	cfg.Params = pss.Params{ViewSize: 10, ShuffleSize: 5, Period: 50 * time.Millisecond}
+
+	var nodes []*Node
+	start := func(id int, nat addr.NatType) {
+		t.Helper()
+		n, err := StartNode(NodeConfig{
+			Listen:    "127.0.0.1:0",
+			ID:        addr.NodeID(id),
+			Nat:       nat,
+			Directory: boot.Endpoint(),
+			Croupier:  cfg,
+		})
+		if err != nil {
+			t.Fatalf("StartNode(%d): %v", id, err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 1; i <= 5; i++ {
+		start(i, addr.Public)
+		time.Sleep(60 * time.Millisecond) // let it register before the next joiner queries
+	}
+	for i := 6; i <= 15; i++ {
+		start(i, addr.Private)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		time.Sleep(500 * time.Millisecond)
+		good := 0
+		for _, n := range nodes {
+			est, ok := n.Estimate()
+			if ok && math.Abs(est-1.0/3) < 0.12 && len(n.Neighbors()) >= 5 {
+				good++
+			}
+		}
+		if good == len(nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, n := range nodes {
+				est, ok := n.Estimate()
+				t.Logf("node %v: est=%.3f ok=%v neighbors=%d rounds=%d",
+					n.ID(), est, ok, len(n.Neighbors()), n.Rounds())
+			}
+			t.Fatalf("only %d/%d nodes converged on loopback", good, len(nodes))
+		}
+	}
+
+	// Samples must cover both NAT classes.
+	pub, pri := 0, 0
+	for i := 0; i < 100; i++ {
+		d, ok := nodes[7].Sample()
+		if !ok {
+			t.Fatal("sampling failed")
+		}
+		if d.Nat == addr.Public {
+			pub++
+		} else {
+			pri++
+		}
+	}
+	if pub == 0 || pri == 0 {
+		t.Fatalf("samples covered only one class: %d public / %d private", pub, pri)
+	}
+}
+
+func TestBootstrapServerExpiry(t *testing.T) {
+	boot, err := ListenBootstrap("127.0.0.1:0", 200*time.Millisecond, 1)
+	if err != nil {
+		t.Fatalf("ListenBootstrap: %v", err)
+	}
+	defer boot.Close()
+
+	n, err := StartNode(NodeConfig{
+		Listen:    "127.0.0.1:0",
+		ID:        1,
+		Nat:       addr.Public,
+		Directory: boot.Endpoint(),
+		Croupier: croupier.Config{
+			Params:           pss.Params{ViewSize: 10, ShuffleSize: 5, Period: 40 * time.Millisecond},
+			LocalHistory:     25,
+			NeighbourHistory: 50,
+			EstimateSubset:   10,
+			PendingTTL:       5,
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
+
+	waitFor := func(want int, msg string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for boot.Count() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: directory count = %d, want %d", msg, boot.Count(), want)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	waitFor(1, "after registration")
+	n.Close()
+	waitFor(0, "after node shutdown + TTL")
+}
+
+func TestStartNodeValidation(t *testing.T) {
+	if _, err := StartNode(NodeConfig{Listen: "127.0.0.1:0", ID: 1}); err == nil {
+		t.Fatal("StartNode accepted unknown NAT type")
+	}
+	// A private node with an unreachable directory must fail fast.
+	dead := addr.Endpoint{IP: addr.MakeIP(127, 0, 0, 1), Port: 9}
+	cfg := croupier.DefaultConfig()
+	cfg.Params.Period = 50 * time.Millisecond
+	if _, err := StartNode(NodeConfig{
+		Listen: "127.0.0.1:0", ID: 2, Nat: addr.Private, Directory: dead, Croupier: cfg,
+	}); err == nil {
+		t.Fatal("StartNode succeeded for a private node without a directory")
+	}
+}

@@ -1,0 +1,269 @@
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+// NodeConfig describes one deployed Croupier node.
+type NodeConfig struct {
+	// Listen is the UDP address to bind ("ip:port"; port 0 allowed).
+	Listen string
+	// ID must be unique in the deployment (e.g. random 64-bit).
+	ID addr.NodeID
+	// Nat declares the node's NAT type, as determined out-of-band or
+	// by the natid protocol (cmd/natprobe).
+	Nat addr.NatType
+	// Advertise is the endpoint put into the node's own descriptor;
+	// zero means the bound socket address (open-internet hosts).
+	Advertise addr.Endpoint
+	// Directory is the bootstrap server's endpoint.
+	Directory addr.Endpoint
+	// Croupier holds the protocol parameters; zero means defaults.
+	// The Params.Period also drives the real-time gossip ticker.
+	Croupier croupier.Config
+	// Seed drives protocol randomness; 0 derives one from the ID.
+	Seed int64
+}
+
+// Node is a Croupier instance gossiping over real UDP. All protocol
+// state is confined to one driver goroutine; public methods communicate
+// with it through channels, so Node is safe for concurrent use.
+type Node struct {
+	cfg  NodeConfig
+	conn *net.UDPConn
+	core *croupier.Node
+
+	inbox chan simnet.Packet
+	query chan func(*croupier.Node)
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// udpTransport implements croupier.Transport over the node's socket.
+type udpTransport struct {
+	conn *net.UDPConn
+}
+
+// Send implements croupier.Transport. Encoding errors cannot happen
+// (both message types are always encodable); write errors are dropped
+// like any UDP loss.
+func (t udpTransport) Send(to addr.Endpoint, msg simnet.Message) {
+	var b []byte
+	switch m := msg.(type) {
+	case croupier.ShuffleReq:
+		b = EncodeShuffleReq(m)
+	case croupier.ShuffleRes:
+		b = EncodeShuffleRes(m)
+	default:
+		return
+	}
+	_, _ = t.conn.WriteToUDP(b, udpFromEndpoint(to))
+}
+
+// StartNode binds the socket, fetches seeds from the bootstrap
+// directory, registers (public nodes), and starts gossiping.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Nat == addr.NatUnknown {
+		return nil, fmt.Errorf("deploy: node %v needs a NAT type (run natprobe)", cfg.ID)
+	}
+	if cfg.Croupier.Params.ViewSize == 0 {
+		cfg.Croupier = croupier.DefaultConfig()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID)
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp4", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: listen %q: %w", cfg.Listen, err)
+	}
+	local, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("deploy: unexpected local address type")
+	}
+	if cfg.Advertise.IsZero() {
+		cfg.Advertise = endpointFromUDP(local)
+	}
+
+	var seeds []view.Descriptor
+	if !cfg.Directory.IsZero() {
+		seeds, err = FetchPublics(cfg.Directory, 5, 2*time.Second)
+		if err != nil && cfg.Nat != addr.Public {
+			// Private nodes cannot start without croupiers to talk
+			// to; public nodes may legitimately be first.
+			conn.Close()
+			return nil, fmt.Errorf("deploy: node %v: %w", cfg.ID, err)
+		}
+	}
+
+	core, err := croupier.NewWithTransport(cfg.Croupier, cfg.ID,
+		rand.New(rand.NewSource(cfg.Seed)), udpTransport{conn: conn},
+		cfg.Nat, cfg.Advertise, seeds)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n := &Node{
+		cfg:   cfg,
+		conn:  conn,
+		core:  core,
+		inbox: make(chan simnet.Packet, 256),
+		query: make(chan func(*croupier.Node)),
+		done:  make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.driverLoop()
+	return n, nil
+}
+
+// Endpoint returns the bound socket endpoint.
+func (n *Node) Endpoint() addr.Endpoint {
+	local, ok := n.conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return addr.Endpoint{}
+	}
+	return endpointFromUDP(local)
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() addr.NodeID { return n.cfg.ID }
+
+// Close stops gossiping and releases the socket.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.done)
+		err = n.conn.Close()
+		n.wg.Wait()
+	})
+	return err
+}
+
+// Estimate returns the node's current public/private ratio estimate.
+func (n *Node) Estimate() (est float64, ok bool) {
+	n.do(func(c *croupier.Node) { est, ok = c.Estimate() })
+	return est, ok
+}
+
+// Sample draws one peer from the node's views.
+func (n *Node) Sample() (d view.Descriptor, ok bool) {
+	n.do(func(c *croupier.Node) { d, ok = c.Sample() })
+	return d, ok
+}
+
+// Neighbors snapshots the node's current views.
+func (n *Node) Neighbors() (ds []view.Descriptor) {
+	n.do(func(c *croupier.Node) { ds = c.Neighbors() })
+	return ds
+}
+
+// Rounds returns the number of gossip rounds executed so far.
+func (n *Node) Rounds() (r int) {
+	n.do(func(c *croupier.Node) { r = c.Rounds() })
+	return r
+}
+
+// do runs fn on the driver goroutine and waits for it, keeping all
+// protocol state single-threaded.
+func (n *Node) do(fn func(*croupier.Node)) {
+	doneCh := make(chan struct{})
+	select {
+	case n.query <- func(c *croupier.Node) {
+		fn(c)
+		close(doneCh)
+	}:
+		<-doneCh
+	case <-n.done:
+	}
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		size, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		msg, err := Decode(buf[:size])
+		if err != nil {
+			continue
+		}
+		var payload simnet.Message
+		switch m := msg.(type) {
+		case croupier.ShuffleReq:
+			payload = m
+		case croupier.ShuffleRes:
+			payload = m
+		default:
+			continue
+		}
+		pkt := simnet.Packet{From: endpointFromUDP(from), Msg: payload}
+		select {
+		case n.inbox <- pkt:
+		case <-n.done:
+			return
+		default:
+			// Inbox full: drop, as a kernel socket buffer would.
+		}
+	}
+}
+
+// driverLoop owns the protocol core: packets, rounds, registration
+// refreshes, and state queries all execute here sequentially.
+func (n *Node) driverLoop() {
+	defer n.wg.Done()
+	period := n.cfg.Croupier.Params.Period
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+
+	registerEvery := 5
+	rounds := 0
+	n.maybeRegister()
+	for {
+		select {
+		case pkt := <-n.inbox:
+			n.core.HandlePacket(pkt)
+		case <-ticker.C:
+			n.core.RunRound()
+			rounds++
+			if rounds%registerEvery == 0 {
+				n.maybeRegister()
+			}
+		case fn := <-n.query:
+			fn(n.core)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// maybeRegister refreshes the bootstrap registration for public nodes.
+func (n *Node) maybeRegister() {
+	if n.cfg.Nat != addr.Public || n.cfg.Directory.IsZero() {
+		return
+	}
+	d := view.Descriptor{ID: n.cfg.ID, Endpoint: n.cfg.Advertise, Nat: addr.Public}
+	_, _ = n.conn.WriteToUDP(EncodeBootRegister(BootRegister{Desc: d}), udpFromEndpoint(n.cfg.Directory))
+}

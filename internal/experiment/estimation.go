@@ -1,0 +1,391 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// EstimationScenario describes one estimation-error run: a join process,
+// optional ratio dynamics, optional churn, and the (α,γ) windows.
+type EstimationScenario struct {
+	// Name labels the output series.
+	Name string
+	// Publics and Privates join from t=0 with the given mean
+	// exponential inter-arrival gaps (the paper's Poisson joins).
+	Publics, Privates int
+	PubGap, PrivGap   time.Duration
+	// Mixed switches to a single interleaved arrival stream with
+	// MixedGap mean (the paper's 1000-node setup) instead of two
+	// parallel streams.
+	Mixed    bool
+	MixedGap time.Duration
+	// Alpha is the local history window α, Gamma the neighbour history
+	// window γ.
+	Alpha, Gamma int
+	// Rounds is the measured duration.
+	Rounds int
+	// ExtraPublics joins additional public nodes (the paper's dynamic
+	// ratio) starting at ExtraStart with ExtraGap mean gaps.
+	ExtraPublics int
+	ExtraStart   time.Duration
+	ExtraGap     time.Duration
+	// ChurnFraction replaces that fraction of nodes per round from
+	// ChurnStart onward, preserving the ratio.
+	ChurnFraction float64
+	ChurnStart    time.Duration
+	// Seed drives the run.
+	Seed int64
+}
+
+// EstimationResult is one run's error time series plus the true-ratio
+// trajectory.
+type EstimationResult struct {
+	Avg   stats.Series // average |ω − E_n(ω)| over nodes, per round
+	Max   stats.Series // maximum |ω − E_n(ω)| over nodes, per round
+	Ratio stats.Series // ω itself, per round
+}
+
+// RunEstimation executes one estimation scenario and samples the error
+// metrics once per round (paper equations 10-13, with the two-round
+// grace period for joiners).
+func RunEstimation(sc EstimationScenario) (EstimationResult, error) {
+	cfg := croupier.DefaultConfig()
+	cfg.LocalHistory = sc.Alpha
+	cfg.NeighbourHistory = sc.Gamma
+	w, err := world.New(world.Config{
+		Kind:      world.KindCroupier,
+		Seed:      sc.Seed,
+		SkipNatID: true,
+		Croupier:  cfg,
+	})
+	if err != nil {
+		return EstimationResult{}, fmt.Errorf("estimation scenario %q: %w", sc.Name, err)
+	}
+	if sc.Mixed {
+		w.MixedPoissonJoins(0, sc.Publics, sc.Privates, sc.MixedGap)
+	} else {
+		w.PoissonJoins(0, sc.Publics, sc.PubGap, addr.Public)
+		w.PoissonJoins(0, sc.Privates, sc.PrivGap, addr.Private)
+	}
+	if sc.ExtraPublics > 0 {
+		w.PoissonJoins(sc.ExtraStart, sc.ExtraPublics, sc.ExtraGap, addr.Public)
+	}
+	end := time.Duration(sc.Rounds) * round
+	if sc.ChurnFraction > 0 {
+		w.ReplacementChurn(sc.ChurnStart, end, round, sc.ChurnFraction)
+	}
+
+	res := EstimationResult{
+		Avg:   stats.Series{Name: sc.Name},
+		Max:   stats.Series{Name: sc.Name},
+		Ratio: stats.Series{Name: "ratio"},
+	}
+	for r := 1; r <= sc.Rounds; r++ {
+		w.RunUntil(time.Duration(r) * round)
+		avg, maxE, ratio := measureEstimation(w)
+		res.Avg.Append(float64(r), avg)
+		res.Max.Append(float64(r), maxE)
+		res.Ratio.Append(float64(r), ratio)
+	}
+	return res, nil
+}
+
+// measureEstimation computes the paper's error metrics at one instant:
+// the node-averaged and node-maximum absolute estimation error against
+// the current true ratio ω, over nodes that have run ≥ 2 rounds.
+func measureEstimation(w *world.World) (avg, maxE, ratio float64) {
+	ratio = w.ActualRatio()
+	var sum float64
+	var n int
+	maxE = math.NaN()
+	for _, node := range w.AliveNodes() {
+		c, ok := node.Proto.(*croupier.Node)
+		if !ok || c.Rounds() < 2 {
+			continue
+		}
+		est, ok := c.Estimate()
+		if !ok {
+			continue
+		}
+		e := math.Abs(ratio - est)
+		sum += e
+		n++
+		if math.IsNaN(maxE) || e > maxE {
+			maxE = e
+		}
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), ratio
+	}
+	return sum / float64(n), maxE, ratio
+}
+
+// EstimationFigure is a complete estimation figure: one averaged (avg,
+// max) series pair per scenario variant.
+type EstimationFigure struct {
+	Title string
+	Avg   []stats.Series
+	Max   []stats.Series
+	Ratio stats.Series
+}
+
+// runEstimationFigure runs each scenario variant across the seeds and
+// averages the series.
+func runEstimationFigure(title string, variants []EstimationScenario, seeds []int64) (EstimationFigure, error) {
+	fig := EstimationFigure{Title: title}
+	for _, v := range variants {
+		var avgRuns, maxRuns []stats.Series
+		var ratio stats.Series
+		for _, seed := range seeds {
+			v.Seed = seed
+			res, err := RunEstimation(v)
+			if err != nil {
+				return EstimationFigure{}, err
+			}
+			avgRuns = append(avgRuns, res.Avg)
+			maxRuns = append(maxRuns, res.Max)
+			ratio = res.Ratio
+		}
+		avg, err := stats.MeanOfSeries(avgRuns)
+		if err != nil {
+			return EstimationFigure{}, fmt.Errorf("averaging %q: %w", v.Name, err)
+		}
+		maxS, err := stats.MeanOfSeries(maxRuns)
+		if err != nil {
+			return EstimationFigure{}, fmt.Errorf("averaging %q: %w", v.Name, err)
+		}
+		fig.Avg = append(fig.Avg, avg)
+		fig.Max = append(fig.Max, maxS)
+		fig.Ratio = ratio
+	}
+	return fig, nil
+}
+
+// WriteTSV renders the figure as two TSV tables (average and maximum
+// error).
+func (f EstimationFigure) WriteTSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s — average estimation error\n", f.Title)
+	if err := trace.SeriesTSV(w, "round", f.Avg); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n# %s — maximum estimation error\n", f.Title)
+	return trace.SeriesTSV(w, "round", f.Max)
+}
+
+// Render draws terminal plots mirroring the paper's two sub-figures.
+func (f EstimationFigure) Render() string {
+	var b strings.Builder
+	p := trace.Plot{Title: f.Title + " — avg estimation error (log y)", Log10: true}
+	b.WriteString(p.Render(f.Avg))
+	b.WriteString("\n")
+	p.Title = f.Title + " — max estimation error (log y)"
+	b.WriteString(p.Render(f.Max))
+	return b.String()
+}
+
+// Fig1Config reproduces Fig 1: stable ratio, 1000 public + 4000 private
+// Poisson joins (50 ms / 12.5 ms), three history-window pairs.
+type Fig1Config struct {
+	Scale   Scale
+	Windows []struct{ Alpha, Gamma int }
+}
+
+// NewFig1Config returns the paper's parameters.
+func NewFig1Config() Fig1Config {
+	return Fig1Config{
+		Windows: []struct{ Alpha, Gamma int }{
+			{10, 25}, {25, 50}, {100, 250},
+		},
+	}
+}
+
+// RunFig1 regenerates Fig 1(a,b).
+func RunFig1(cfg Fig1Config) (EstimationFigure, error) {
+	if len(cfg.Windows) == 0 {
+		cfg = NewFig1Config()
+	}
+	s := cfg.Scale
+	var variants []EstimationScenario
+	for _, wdw := range cfg.Windows {
+		variants = append(variants, EstimationScenario{
+			Name:     fmt.Sprintf("a=%d,g=%d", wdw.Alpha, wdw.Gamma),
+			Publics:  s.nodes(1000),
+			Privates: s.nodes(4000),
+			PubGap:   50 * time.Millisecond,
+			PrivGap:  12500 * time.Microsecond,
+			Alpha:    wdw.Alpha,
+			Gamma:    wdw.Gamma,
+			Rounds:   s.rounds(250),
+		})
+	}
+	return runEstimationFigure("Fig 1: stable ratio, history windows", variants, seedList(1000, s.seeds()))
+}
+
+// Fig2Config reproduces Fig 2: the ratio drifts from 0.30 to 0.33 as a
+// new public node joins every 42 ms between t=58 and t=72.
+type Fig2Config struct {
+	Scale   Scale
+	Windows []struct{ Alpha, Gamma int }
+}
+
+// NewFig2Config returns the paper's parameters.
+func NewFig2Config() Fig2Config {
+	return Fig2Config{
+		Windows: []struct{ Alpha, Gamma int }{
+			{10, 25}, {25, 50}, {100, 250},
+		},
+	}
+}
+
+// RunFig2 regenerates Fig 2(a,b). The paper states the pre-drift ratio
+// is 0.3; the join counts scale 1500 public / 3500 private to match,
+// with ~225 extra publics pushing the ratio to 0.33.
+func RunFig2(cfg Fig2Config) (EstimationFigure, error) {
+	if len(cfg.Windows) == 0 {
+		cfg = NewFig2Config()
+	}
+	s := cfg.Scale
+	var variants []EstimationScenario
+	for _, wdw := range cfg.Windows {
+		variants = append(variants, EstimationScenario{
+			Name:         fmt.Sprintf("a=%d,g=%d", wdw.Alpha, wdw.Gamma),
+			Publics:      s.nodes(1500),
+			Privates:     s.nodes(3500),
+			PubGap:       34 * time.Millisecond,
+			PrivGap:      14500 * time.Microsecond,
+			Alpha:        wdw.Alpha,
+			Gamma:        wdw.Gamma,
+			Rounds:       s.rounds(300),
+			ExtraPublics: s.nodes(225),
+			ExtraStart:   58 * time.Second,
+			ExtraGap:     62 * time.Millisecond,
+		})
+	}
+	return runEstimationFigure("Fig 2: dynamic ratio 0.30→0.33", variants, seedList(2000, s.seeds()))
+}
+
+// Fig3Config reproduces Fig 3: estimation error vs system size.
+type Fig3Config struct {
+	Scale Scale
+	Sizes []int
+}
+
+// NewFig3Config returns the paper's parameters.
+func NewFig3Config() Fig3Config {
+	return Fig3Config{Sizes: []int{50, 100, 500, 1000, 5000}}
+}
+
+// RunFig3 regenerates Fig 3(a,b): ratio 0.2 at every size.
+func RunFig3(cfg Fig3Config) (EstimationFigure, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg = NewFig3Config()
+	}
+	s := cfg.Scale
+	var variants []EstimationScenario
+	for _, size := range cfg.Sizes {
+		n := s.nodes(size)
+		pub := n / 5
+		if pub < 2 {
+			pub = 2
+		}
+		variants = append(variants, EstimationScenario{
+			Name:     fmt.Sprintf("N=%d", size),
+			Publics:  pub,
+			Privates: n - pub,
+			PubGap:   50 * time.Millisecond,
+			PrivGap:  12500 * time.Microsecond,
+			Alpha:    25,
+			Gamma:    50,
+			Rounds:   s.rounds(200),
+		})
+	}
+	return runEstimationFigure("Fig 3: system sizes", variants, seedList(3000, s.seeds()))
+}
+
+// Fig4Config reproduces Fig 4: estimation error vs public/private ratio.
+type Fig4Config struct {
+	Scale  Scale
+	Ratios []float64
+}
+
+// NewFig4Config returns the paper's parameters.
+func NewFig4Config() Fig4Config {
+	return Fig4Config{Ratios: []float64{0.05, 0.1, 0.2, 0.33, 0.5, 0.9}}
+}
+
+// RunFig4 regenerates Fig 4(a,b): 1000 nodes joining with 10 ms mean
+// gaps in one mixed stream.
+func RunFig4(cfg Fig4Config) (EstimationFigure, error) {
+	if len(cfg.Ratios) == 0 {
+		cfg = NewFig4Config()
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	var variants []EstimationScenario
+	for _, ratio := range cfg.Ratios {
+		pub := int(float64(total)*ratio + 0.5)
+		if pub < 2 {
+			pub = 2
+		}
+		variants = append(variants, EstimationScenario{
+			Name:     fmt.Sprintf("ratio=%.2g", ratio),
+			Publics:  pub,
+			Privates: total - pub,
+			Mixed:    true,
+			MixedGap: 10 * time.Millisecond,
+			Alpha:    25,
+			Gamma:    50,
+			Rounds:   s.rounds(200),
+		})
+	}
+	return runEstimationFigure("Fig 4: public/private ratios", variants, seedList(4000, s.seeds()))
+}
+
+// Fig5Config reproduces Fig 5: estimation under replacement churn.
+type Fig5Config struct {
+	Scale      Scale
+	ChurnRates []float64
+}
+
+// NewFig5Config returns the paper's parameters (churn starts at t=61).
+func NewFig5Config() Fig5Config {
+	return Fig5Config{ChurnRates: []float64{0.001, 0.01, 0.025, 0.05}}
+}
+
+// RunFig5 regenerates Fig 5(a,b).
+func RunFig5(cfg Fig5Config) (EstimationFigure, error) {
+	if len(cfg.ChurnRates) == 0 {
+		cfg = NewFig5Config()
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	pub := total / 5
+	if pub < 2 {
+		pub = 2
+	}
+	var variants []EstimationScenario
+	for _, rate := range cfg.ChurnRates {
+		variants = append(variants, EstimationScenario{
+			Name:          fmt.Sprintf("churn=%.1f%%", rate*100),
+			Publics:       pub,
+			Privates:      total - pub,
+			Mixed:         true,
+			MixedGap:      10 * time.Millisecond,
+			Alpha:         25,
+			Gamma:         50,
+			Rounds:        s.rounds(250),
+			ChurnFraction: rate,
+			ChurnStart:    61 * time.Second,
+		})
+	}
+	return runEstimationFigure("Fig 5: churn", variants, seedList(5000, s.seeds()))
+}

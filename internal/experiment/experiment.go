@@ -1,0 +1,78 @@
+// Package experiment reproduces every figure of the paper's evaluation
+// (§VII). Each figure has a configuration struct preset to the paper's
+// parameters, a runner that executes the simulation across seeds, and a
+// result type that renders both TSV tables and terminal plots.
+//
+// Figures and their runners:
+//
+//	Fig 1(a,b)  RunFig1  — estimation error, stable ratio, (α,γ) sweep
+//	Fig 2(a,b)  RunFig2  — estimation error, dynamic ratio
+//	Fig 3(a,b)  RunFig3  — estimation error vs system size
+//	Fig 4(a,b)  RunFig4  — estimation error vs public/private ratio
+//	Fig 5(a,b)  RunFig5  — estimation error under churn
+//	Fig 6(a)    RunFig6a — in-degree distribution, 4 systems
+//	Fig 6(b)    RunFig6b — average path length over time, 4 systems
+//	Fig 6(c)    RunFig6c — clustering coefficient over time, 4 systems
+//	Fig 7(a)    RunFig7a — protocol overhead, public vs private nodes
+//	Fig 7(b)    RunFig7b — biggest cluster after catastrophic failure
+//
+// Paper-scale runs (5000 nodes, 5 seeds) are the defaults of the Fig*
+// config constructors; Scale lets tests and benchmarks shrink node
+// counts and seed counts proportionally while keeping every protocol
+// parameter intact.
+package experiment
+
+import "time"
+
+// Scale shrinks an experiment for quick runs. Factor scales node counts
+// (1.0 = paper scale); Seeds overrides the number of runs averaged
+// (paper uses 5). Zero values mean "paper defaults".
+type Scale struct {
+	Factor float64
+	Seeds  int
+	// Rounds optionally overrides the measured duration in rounds.
+	Rounds int
+}
+
+func (s Scale) factor() float64 {
+	if s.Factor <= 0 {
+		return 1
+	}
+	return s.Factor
+}
+
+func (s Scale) seeds() int {
+	if s.Seeds <= 0 {
+		return 5
+	}
+	return s.Seeds
+}
+
+func (s Scale) nodes(n int) int {
+	out := int(float64(n)*s.factor() + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func (s Scale) rounds(r int) int {
+	if s.Rounds > 0 {
+		return s.Rounds
+	}
+	return r
+}
+
+// seedList derives the deterministic per-run seeds. Experiments differ
+// by base so their randomness never aliases.
+func seedList(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*7919
+	}
+	return out
+}
+
+// round is the common gossip period used to convert between rounds and
+// virtual time in the runners.
+const round = time.Second

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps experiment smoke tests fast: ~100-250 nodes, 1 seed.
+var tinyScale = Scale{Factor: 0.05, Seeds: 1, Rounds: 60}
+
+func TestScaleDefaults(t *testing.T) {
+	var s Scale
+	if s.factor() != 1 || s.seeds() != 5 {
+		t.Fatalf("zero Scale → factor %v seeds %d, want 1 and 5", s.factor(), s.seeds())
+	}
+	if s.nodes(1000) != 1000 {
+		t.Fatalf("nodes(1000) = %d, want 1000", s.nodes(1000))
+	}
+	s = Scale{Factor: 0.01}
+	if s.nodes(50) < 1 {
+		t.Fatal("scaled node count must stay positive")
+	}
+	if got := (Scale{Rounds: 7}).rounds(250); got != 7 {
+		t.Fatalf("rounds override = %d, want 7", got)
+	}
+}
+
+func TestSeedListDistinctAndDeterministic(t *testing.T) {
+	a := seedList(100, 5)
+	b := seedList(100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seed lists differ across calls")
+		}
+		for j := i + 1; j < len(a); j++ {
+			if a[i] == a[j] {
+				t.Fatal("duplicate seeds")
+			}
+		}
+	}
+}
+
+func TestRunEstimationConverges(t *testing.T) {
+	res, err := RunEstimation(EstimationScenario{
+		Name:     "smoke",
+		Publics:  20,
+		Privates: 80,
+		PubGap:   20 * time.Millisecond,
+		PrivGap:  5 * time.Millisecond,
+		Alpha:    25,
+		Gamma:    50,
+		Rounds:   80,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("RunEstimation: %v", err)
+	}
+	if res.Avg.Len() != 80 {
+		t.Fatalf("series length = %d, want 80", res.Avg.Len())
+	}
+	final := res.Avg.Y[res.Avg.Len()-1]
+	if math.IsNaN(final) || final > 0.05 {
+		t.Fatalf("final avg error = %v, want < 0.05", final)
+	}
+	// Max error dominates average error at every sample.
+	for i := range res.Avg.Y {
+		if !math.IsNaN(res.Max.Y[i]) && res.Max.Y[i] < res.Avg.Y[i]-1e-12 {
+			t.Fatalf("round %d: max %v < avg %v", i, res.Max.Y[i], res.Avg.Y[i])
+		}
+	}
+}
+
+func TestFig1SmallScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := NewFig1Config()
+	cfg.Scale = tinyScale
+	fig, err := RunFig1(cfg)
+	if err != nil {
+		t.Fatalf("RunFig1: %v", err)
+	}
+	if len(fig.Avg) != 3 || len(fig.Max) != 3 {
+		t.Fatalf("variants = %d, want 3 window pairs", len(fig.Avg))
+	}
+	// Errors must decay from the join phase to the end of the run for
+	// every window pair.
+	for _, s := range fig.Avg {
+		early := s.Y[10]
+		late := s.Y[s.Len()-1]
+		if !(late < early) {
+			t.Fatalf("%s: error did not decay (%v → %v)", s.Name, early, late)
+		}
+		if late > 0.1 {
+			t.Fatalf("%s: final error %v too high", s.Name, late)
+		}
+	}
+	var sb strings.Builder
+	if err := fig.WriteTSV(&sb); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	if !strings.Contains(sb.String(), "round\t") {
+		t.Fatal("TSV output missing header")
+	}
+	if fig.Render() == "" {
+		t.Fatal("Render produced nothing")
+	}
+}
+
+func TestFig4CoversAllRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := NewFig4Config()
+	cfg.Scale = Scale{Factor: 0.1, Seeds: 1, Rounds: 50}
+	fig, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	if len(fig.Avg) != 6 {
+		t.Fatalf("variants = %d, want 6 ratios", len(fig.Avg))
+	}
+	for _, s := range fig.Avg {
+		if final := s.Y[s.Len()-1]; math.IsNaN(final) || final > 0.15 {
+			t.Fatalf("%s: final error %v", s.Name, final)
+		}
+	}
+}
+
+func TestFig6aAllSystemsPresent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := NewFig6aConfig()
+	cfg.Scale = Scale{Factor: 0.1, Seeds: 1, Rounds: 60}
+	res, err := RunFig6a(cfg)
+	if err != nil {
+		t.Fatalf("RunFig6a: %v", err)
+	}
+	for _, name := range []string{"croupier", "cyclon", "gozar", "nylon"} {
+		hist, ok := res.Hist[name]
+		if !ok || len(hist) == 0 {
+			t.Fatalf("missing histogram for %s", name)
+		}
+		total := 0.0
+		for _, c := range hist {
+			total += c
+		}
+		if total < 90 || total > 110 { // 100 nodes at factor 0.1
+			t.Fatalf("%s histogram covers %v nodes, want ~100", name, total)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteTSV(&sb); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+}
+
+func TestFig7aOverheadOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := NewFig7aConfig()
+	cfg.Scale = Scale{Factor: 0.2, Seeds: 1}
+	cfg.WarmupRounds = 40
+	cfg.MeasureRounds = 40
+	res, err := RunFig7a(cfg)
+	if err != nil {
+		t.Fatalf("RunFig7a: %v", err)
+	}
+	byName := map[string]OverheadRow{}
+	for _, row := range res.Rows {
+		byName[row.System] = row
+	}
+	cr, gz, ny := byName["croupier"], byName["gozar"], byName["nylon"]
+	if cr.PrivateBps == 0 || gz.PrivateBps == 0 || ny.PrivateBps == 0 {
+		t.Fatalf("zero overhead rows: %+v", res.Rows)
+	}
+	// The paper's headline ordering: croupier private overhead is the
+	// lowest of the three systems.
+	if !(cr.PrivateBps < gz.PrivateBps && cr.PrivateBps < ny.PrivateBps) {
+		t.Fatalf("private overhead ordering violated: croupier %.0f gozar %.0f nylon %.0f",
+			cr.PrivateBps, gz.PrivateBps, ny.PrivateBps)
+	}
+}
+
+func TestFig7bCroupierMostRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	cfg := NewFig7bConfig()
+	cfg.Scale = Scale{Factor: 0.2, Seeds: 1}
+	cfg.WarmupRounds = 50
+	cfg.RecoveryRounds = 20
+	cfg.FailureFractions = []float64{0.7, 0.9}
+	res, err := RunFig7b(cfg)
+	if err != nil {
+		t.Fatalf("RunFig7b: %v", err)
+	}
+	vals := map[string]float64{}
+	for _, s := range res.Series {
+		vals[s.Name] = s.Y[s.Len()-1] // biggest cluster % at 90% failure
+	}
+	if vals["croupier"] < 50 {
+		t.Fatalf("croupier biggest cluster at 90%% failure = %.1f%%, want ≥50%%", vals["croupier"])
+	}
+	if vals["croupier"] < vals["gozar"] && vals["croupier"] < vals["nylon"] {
+		t.Fatalf("croupier (%.1f%%) less robust than both gozar (%.1f%%) and nylon (%.1f%%)",
+			vals["croupier"], vals["gozar"], vals["nylon"])
+	}
+}

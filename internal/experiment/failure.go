@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig7bConfig reproduces Fig 7(b): the size of the biggest cluster after
+// a catastrophic failure, for failure fractions from 40% to 90%, with
+// 80% private nodes.
+type Fig7bConfig struct {
+	Scale Scale
+	// FailureFractions are the x-axis points.
+	FailureFractions []float64
+	// WarmupRounds before the failure strikes.
+	WarmupRounds int
+	// RecoveryRounds between the failure and the connectivity
+	// measurement, during which survivors keep gossiping and purge
+	// dead descriptors. A handful of rounds matches the paper's
+	// "after a catastrophic failure" measurement point; with long
+	// windows (~30 rounds) the relay-based baselines re-register and
+	// heal, flattening the comparison (see EXPERIMENTS.md).
+	RecoveryRounds int
+}
+
+// NewFig7bConfig returns the paper's parameters.
+func NewFig7bConfig() Fig7bConfig {
+	return Fig7bConfig{
+		FailureFractions: []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		WarmupRounds:     100,
+		RecoveryRounds:   5,
+	}
+}
+
+// Fig7bResult maps each system to its biggest-cluster percentage per
+// failure fraction.
+type Fig7bResult struct {
+	Series []stats.Series // X = failure %, Y = biggest cluster % of survivors
+}
+
+// RunFig7b regenerates Fig 7(b).
+func RunFig7b(cfg Fig7bConfig) (Fig7bResult, error) {
+	if len(cfg.FailureFractions) == 0 {
+		cfg = NewFig7bConfig()
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	seeds := seedList(7200, s.seeds())
+	res := Fig7bResult{}
+	for _, kind := range Systems {
+		var runs []stats.Series
+		for _, seed := range seeds {
+			run := stats.Series{Name: kind.String()}
+			for _, frac := range cfg.FailureFractions {
+				w, err := buildComparisonWorld(kind, total, seed)
+				if err != nil {
+					return Fig7bResult{}, err
+				}
+				warm := time.Duration(cfg.WarmupRounds) * round
+				w.RunUntil(warm)
+				w.CatastrophicFailure(warm, frac)
+				w.RunUntil(warm + time.Duration(cfg.RecoveryRounds)*round)
+
+				survivors := len(w.AliveNodes())
+				pct := 0.0
+				if survivors > 0 {
+					snap := graph.Build(w.Overlay())
+					pct = 100 * float64(snap.BiggestCluster()) / float64(survivors)
+				}
+				run.Append(100*frac, pct)
+			}
+			runs = append(runs, run)
+		}
+		mean, err := stats.MeanOfSeries(runs)
+		if err != nil {
+			return Fig7bResult{}, fmt.Errorf("fig7b %v: %w", kind, err)
+		}
+		res.Series = append(res.Series, mean)
+	}
+	return res, nil
+}
+
+// WriteTSV renders the cluster table.
+func (r Fig7bResult) WriteTSV(w io.Writer) error {
+	fmt.Fprintln(w, "# Fig 7(b) — biggest cluster (% of survivors) after catastrophic failure")
+	return trace.SeriesTSV(w, "failure_pct", r.Series)
+}
+
+// Render draws the per-system curves.
+func (r Fig7bResult) Render() string {
+	p := trace.Plot{Title: "Fig 7(b) — biggest cluster after catastrophic failure (%)"}
+	return p.Render(r.Series)
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/world"
+)
+
+// Fig7aConfig reproduces Fig 7(a): steady-state protocol overhead per
+// node, split by NAT type, for the three NAT-aware systems. The paper
+// uses α=25 and γ=100 here, with 10 piggybacked estimations per message.
+type Fig7aConfig struct {
+	Scale Scale
+	// WarmupRounds before the measurement window opens.
+	WarmupRounds int
+	// MeasureRounds is the measurement window length.
+	MeasureRounds int
+}
+
+// NewFig7aConfig returns the paper's parameters.
+func NewFig7aConfig() Fig7aConfig {
+	return Fig7aConfig{WarmupRounds: 100, MeasureRounds: 100}
+}
+
+// OverheadRow is one system's average load (bytes per second, sent plus
+// received, including IP/UDP framing) per public and per private node.
+type OverheadRow struct {
+	System      string
+	PublicBps   float64
+	PrivateBps  float64
+	PublicMsgs  float64 // messages per round per public node
+	PrivateMsgs float64
+}
+
+// Fig7aResult is the overhead table.
+type Fig7aResult struct {
+	Rows []OverheadRow
+}
+
+// RunFig7a regenerates Fig 7(a).
+func RunFig7a(cfg Fig7aConfig) (Fig7aResult, error) {
+	if cfg.WarmupRounds == 0 && cfg.MeasureRounds == 0 {
+		cfg = NewFig7aConfig()
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	seeds := seedList(7100, s.seeds())
+	systems := []world.Kind{world.KindCroupier, world.KindGozar, world.KindNylon}
+	res := Fig7aResult{}
+	for _, kind := range systems {
+		var accPubB, accPriB, accPubM, accPriM float64
+		for _, seed := range seeds {
+			w, err := world.New(world.Config{
+				Kind:      kind,
+				Seed:      seed,
+				SkipNatID: true,
+				Croupier:  fig7aCroupierConfig(),
+			})
+			if err != nil {
+				return Fig7aResult{}, fmt.Errorf("fig7a %v: %w", kind, err)
+			}
+			pub := total / 5
+			if pub < 2 {
+				pub = 2
+			}
+			w.MixedPoissonJoins(0, pub, total-pub, 10*time.Millisecond)
+			w.RunUntil(time.Duration(cfg.WarmupRounds) * round)
+			w.Net.ResetTraffic()
+			w.RunUntil(time.Duration(cfg.WarmupRounds+cfg.MeasureRounds) * round)
+
+			window := float64(cfg.MeasureRounds) * round.Seconds()
+			var pubB, priB, pubM, priM float64
+			var nPub, nPri int
+			for _, n := range w.AliveNodes() {
+				t := w.Net.TrafficFor(n.ID)
+				bps := float64(t.BytesSent+t.BytesRecv) / window
+				mps := float64(t.MsgsSent+t.MsgsRecv) / float64(cfg.MeasureRounds)
+				if n.Nat == addr.Public {
+					pubB += bps
+					pubM += mps
+					nPub++
+				} else {
+					priB += bps
+					priM += mps
+					nPri++
+				}
+			}
+			if nPub > 0 {
+				accPubB += pubB / float64(nPub)
+				accPubM += pubM / float64(nPub)
+			}
+			if nPri > 0 {
+				accPriB += priB / float64(nPri)
+				accPriM += priM / float64(nPri)
+			}
+		}
+		k := float64(len(seeds))
+		res.Rows = append(res.Rows, OverheadRow{
+			System:      kind.String(),
+			PublicBps:   accPubB / k,
+			PrivateBps:  accPriB / k,
+			PublicMsgs:  accPubM / k,
+			PrivateMsgs: accPriM / k,
+		})
+	}
+	return res, nil
+}
+
+// fig7aCroupierConfig applies the paper's overhead-experiment tweak:
+// neighbour history γ=100.
+func fig7aCroupierConfig() croupier.Config {
+	cfg := croupier.DefaultConfig()
+	cfg.NeighbourHistory = 100
+	return cfg
+}
+
+// WriteTSV renders the overhead table.
+func (r Fig7aResult) WriteTSV(w io.Writer) error {
+	fmt.Fprintln(w, "# Fig 7(a) — avg load per node (B/s, sent+received, incl. IP/UDP headers)")
+	fmt.Fprintln(w, "system\tpublic_Bps\tprivate_Bps\tpublic_msgs_per_round\tprivate_msgs_per_round")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			row.System, row.PublicBps, row.PrivateBps, row.PublicMsgs, row.PrivateMsgs)
+	}
+	return nil
+}
+
+// Render prints a bar-style text table.
+func (r Fig7aResult) Render() string {
+	out := "Fig 7(a) — protocol overhead (B/s per node)\n"
+	out += fmt.Sprintf("%-10s %14s %14s\n", "system", "public nodes", "private nodes")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-10s %14.1f %14.1f\n", row.System, row.PublicBps, row.PrivateBps)
+	}
+	return out
+}

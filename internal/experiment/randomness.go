@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/croupier"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Systems are the four compared protocols, in the paper's legend order.
+var Systems = []world.Kind{
+	world.KindCroupier,
+	world.KindGozar,
+	world.KindNylon,
+	world.KindCyclon,
+}
+
+// buildComparisonWorld assembles the standard 1000-node comparison
+// deployment: 20% public / 80% private for the NAT-aware systems, all
+// public for Cyclon (which the paper evaluates with public nodes only),
+// joining in a mixed Poisson stream with 10 ms mean gaps.
+//
+// Croupier keeps the paper's per-view size of 10 ("the size of a node's
+// partial view is 10 entries" applies to each view): private nodes then
+// sit at in-degree ≈ 10·N/(0.8N) = 12.5, right next to Cyclon's 10 in
+// Fig 6(a), while croupiers absorb the remaining references — see
+// EXPERIMENTS.md for the interpretation notes.
+func buildComparisonWorld(kind world.Kind, total int, seed int64) (*world.World, error) {
+	w, err := world.New(world.Config{Kind: kind, Seed: seed, SkipNatID: true, Croupier: croupier.DefaultConfig()})
+	if err != nil {
+		return nil, fmt.Errorf("comparison world %v: %w", kind, err)
+	}
+	pub := total / 5
+	if pub < 2 {
+		pub = 2
+	}
+	if kind == world.KindCyclon {
+		pub = total
+	}
+	w.MixedPoissonJoins(0, pub, total-pub, 10*time.Millisecond)
+	return w, nil
+}
+
+// Fig6aConfig reproduces Fig 6(a): the in-degree distribution after 250
+// rounds, per system.
+type Fig6aConfig struct {
+	Scale Scale
+	// Rounds before the snapshot (250 in the paper).
+	Rounds int
+}
+
+// NewFig6aConfig returns the paper's parameters.
+func NewFig6aConfig() Fig6aConfig { return Fig6aConfig{Rounds: 250} }
+
+// Fig6aResult maps each system to its in-degree histogram, averaged
+// over seeds: Hist[system][indegree] = mean number of nodes.
+type Fig6aResult struct {
+	Hist map[string]map[int]float64
+}
+
+// RunFig6a regenerates Fig 6(a).
+func RunFig6a(cfg Fig6aConfig) (Fig6aResult, error) {
+	if cfg.Rounds == 0 {
+		cfg = NewFig6aConfig()
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	rounds := s.rounds(cfg.Rounds)
+	seeds := seedList(6100, s.seeds())
+	res := Fig6aResult{Hist: make(map[string]map[int]float64)}
+	for _, kind := range Systems {
+		acc := make(map[int]float64)
+		for _, seed := range seeds {
+			w, err := buildComparisonWorld(kind, total, seed)
+			if err != nil {
+				return Fig6aResult{}, err
+			}
+			w.RunUntil(time.Duration(rounds) * round)
+			snap := graph.Build(w.Overlay())
+			for deg, cnt := range snap.InDegreeHistogram() {
+				acc[deg] += float64(cnt)
+			}
+		}
+		for deg := range acc {
+			acc[deg] /= float64(len(seeds))
+		}
+		res.Hist[kind.String()] = acc
+	}
+	return res, nil
+}
+
+// WriteTSV renders the histogram table: indegree, then one column per
+// system.
+func (r Fig6aResult) WriteTSV(w io.Writer) error {
+	names := sortedKeys(r.Hist)
+	maxDeg := 0
+	for _, h := range r.Hist {
+		for d := range h {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+	}
+	header := append([]string{"indegree"}, names...)
+	rows := make([][]float64, 0, maxDeg+1)
+	for d := 0; d <= maxDeg; d++ {
+		row := []float64{float64(d)}
+		for _, name := range names {
+			row = append(row, r.Hist[name][d])
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w, "# Fig 6(a) — in-degree distribution")
+	return trace.WriteTSV(w, header, rows)
+}
+
+// Render draws the histogram as one series per system.
+func (r Fig6aResult) Render() string {
+	var series []stats.Series
+	for _, name := range sortedKeys(r.Hist) {
+		s := stats.Series{Name: name}
+		degs := make([]int, 0, len(r.Hist[name]))
+		for d := range r.Hist[name] {
+			degs = append(degs, d)
+		}
+		sort.Ints(degs)
+		for _, d := range degs {
+			s.Append(float64(d), r.Hist[name][d])
+		}
+		series = append(series, s)
+	}
+	p := trace.Plot{Title: "Fig 6(a) — in-degree distribution"}
+	return p.Render(series)
+}
+
+// Fig6bcConfig covers Figs 6(b) and 6(c): a randomness metric sampled
+// over time for the four systems.
+type Fig6bcConfig struct {
+	Scale Scale
+	// Rounds of total runtime (250 in the paper).
+	Rounds int
+	// SampleEvery controls metric cadence in rounds.
+	SampleEvery int
+	// PathSources bounds BFS sources per sample for the path-length
+	// metric; 0 means exact all-pairs (used up to 1000 nodes, per
+	// DESIGN.md).
+	PathSources int
+}
+
+// NewFig6bcConfig returns the paper's parameters.
+func NewFig6bcConfig() Fig6bcConfig {
+	return Fig6bcConfig{Rounds: 250, SampleEvery: 5}
+}
+
+// Fig6bcResult is one series per system.
+type Fig6bcResult struct {
+	Title  string
+	Series []stats.Series
+}
+
+// RunFig6b regenerates Fig 6(b): average path length over time.
+func RunFig6b(cfg Fig6bcConfig) (Fig6bcResult, error) {
+	return runOverlayMetric(cfg, "Fig 6(b) — average path length", 6200,
+		func(snap *graph.Snapshot, w *world.World) float64 {
+			avg, _ := snap.AvgPathLength(cfg.PathSources, w.Sched.Rand())
+			return avg
+		})
+}
+
+// RunFig6c regenerates Fig 6(c): clustering coefficient over time.
+func RunFig6c(cfg Fig6bcConfig) (Fig6bcResult, error) {
+	return runOverlayMetric(cfg, "Fig 6(c) — clustering coefficient", 6300,
+		func(snap *graph.Snapshot, _ *world.World) float64 {
+			return snap.ClusteringCoefficient()
+		})
+}
+
+func runOverlayMetric(cfg Fig6bcConfig, title string, seedBase int64,
+	metric func(*graph.Snapshot, *world.World) float64) (Fig6bcResult, error) {
+	if cfg.Rounds == 0 {
+		cfg = NewFig6bcConfig()
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5
+	}
+	s := cfg.Scale
+	total := s.nodes(1000)
+	rounds := s.rounds(cfg.Rounds)
+	seeds := seedList(seedBase, s.seeds())
+	res := Fig6bcResult{Title: title}
+	for _, kind := range Systems {
+		var runs []stats.Series
+		for _, seed := range seeds {
+			w, err := buildComparisonWorld(kind, total, seed)
+			if err != nil {
+				return Fig6bcResult{}, err
+			}
+			run := stats.Series{Name: kind.String()}
+			for r := cfg.SampleEvery; r <= rounds; r += cfg.SampleEvery {
+				w.RunUntil(time.Duration(r) * round)
+				snap := graph.Build(w.Overlay())
+				run.Append(float64(r), metric(snap, w))
+			}
+			runs = append(runs, run)
+		}
+		mean, err := stats.MeanOfSeries(runs)
+		if err != nil {
+			return Fig6bcResult{}, fmt.Errorf("%s: %w", title, err)
+		}
+		res.Series = append(res.Series, mean)
+	}
+	return res, nil
+}
+
+// WriteTSV renders the metric table.
+func (r Fig6bcResult) WriteTSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s\n", r.Title)
+	return trace.SeriesTSV(w, "round", r.Series)
+}
+
+// Render draws the time series.
+func (r Fig6bcResult) Render() string {
+	p := trace.Plot{Title: r.Title}
+	return p.Render(r.Series)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

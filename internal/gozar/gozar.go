@@ -1,0 +1,471 @@
+// Package gozar implements the Gozar NAT-friendly peer-sampling service
+// (Payberah, Dowling, Haridi — DAIS 2011), one of the paper's two
+// comparison baselines.
+//
+// Gozar keeps a single Cyclon-style partial view but makes private nodes
+// reachable through one-hop relaying: every private node discovers and
+// keeps a small redundant set of public relay nodes, registers with them
+// (the registration doubles as the NAT keep-alive), and caches the relay
+// addresses inside its own descriptor. A node shuffling with a private
+// target sends the request via one of the relays cached in the target's
+// descriptor; the response is relayed back the same way when the
+// requester is itself private, or sent directly when it is public.
+//
+// The costs the Croupier paper measures — relay keep-alive traffic,
+// doubled message legs for private targets, and failed shuffles when all
+// cached relays have died — all emerge from this implementation.
+package gozar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/pss"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Config parameterises one Gozar node.
+type Config struct {
+	// Params holds the shared gossip parameters.
+	Params pss.Params
+	// NumRelays is z, the number of redundant relays each private node
+	// maintains (3 in the Gozar paper).
+	NumRelays int
+	// RelayTTL is how many rounds a relay keeps a registration alive
+	// without hearing a keep-alive.
+	RelayTTL int
+	// RelayAckTimeout is how many rounds a private node waits for
+	// keep-alive acknowledgements before dropping a relay as dead.
+	RelayAckTimeout int
+	// PendingTTL bounds how many rounds sent-shuffle state is kept.
+	PendingTTL int
+}
+
+// DefaultConfig returns the setup used in the comparison experiments.
+func DefaultConfig() Config {
+	return Config{
+		Params:          pss.DefaultParams(),
+		NumRelays:       3,
+		RelayTTL:        5,
+		RelayAckTimeout: 3,
+		PendingTTL:      5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.NumRelays <= 0 {
+		return fmt.Errorf("gozar: number of relays must be positive, got %d", c.NumRelays)
+	}
+	if c.RelayTTL <= 0 || c.RelayAckTimeout <= 0 || c.PendingTTL <= 0 {
+		return fmt.Errorf("gozar: TTLs must be positive")
+	}
+	return nil
+}
+
+// ShuffleReq is a view-exchange request, delivered directly to public
+// targets or wrapped in a RelayForward for private ones.
+type ShuffleReq struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleReq) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+// ShuffleRes answers a ShuffleReq.
+type ShuffleRes struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleRes) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+// RelayRegister is sent by a private node to each of its relays every
+// round; it establishes the registration and keeps the NAT mapping warm.
+type RelayRegister struct {
+	From view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m RelayRegister) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
+
+// RelayRegisterAck confirms a registration.
+type RelayRegisterAck struct{}
+
+// Size implements simnet.Message.
+func (RelayRegisterAck) Size() int { return wire.MsgHeaderSize }
+
+// RelayForward asks a relay to deliver the inner request to one of its
+// registered private clients.
+type RelayForward struct {
+	Target addr.NodeID
+	Inner  ShuffleReq
+}
+
+// Size implements simnet.Message.
+func (m RelayForward) Size() int { return wire.MsgHeaderSize + 2 + m.Inner.Size() }
+
+// RelayedReq is the relay-to-client leg, carrying the origin's observed
+// endpoint so a private requester can be answered through the relay.
+type RelayedReq struct {
+	Origin addr.Endpoint
+	Inner  ShuffleReq
+}
+
+// Size implements simnet.Message.
+func (m RelayedReq) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+
+// RelayResForward asks the relay to deliver a shuffle response back to a
+// private requester's observed endpoint.
+type RelayResForward struct {
+	Target addr.Endpoint
+	Inner  ShuffleRes
+}
+
+// Size implements simnet.Message.
+func (m RelayResForward) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+
+// registration is a relay-side record of a private client.
+type registration struct {
+	endpoint addr.Endpoint
+	lastSeen int // relay-local round count
+}
+
+// relayState is a private node's record of one of its relays.
+type relayState struct {
+	relay   view.Relay
+	lastAck int
+}
+
+type pendingShuffle struct {
+	sent  []view.Descriptor
+	round int
+}
+
+// Node is one Gozar protocol instance.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler
+	sock  *simnet.Socket
+	rng   *rand.Rand
+
+	self addr.NodeID
+	ep   addr.Endpoint
+	nat  addr.NatType
+
+	view    *view.View
+	pending map[addr.NodeID]pendingShuffle
+
+	// Private-side relay management.
+	relays []relayState
+
+	// Public-side relay service.
+	clients map[addr.NodeID]*registration
+
+	ticker      *pss.Ticker
+	rounds      int
+	running     bool
+	rebootstrap func() []view.Descriptor
+
+	failedShuffles uint64
+}
+
+// New constructs a Gozar node. seeds initialise the view; private nodes
+// acquire their first relays from the public seeds.
+func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.NatType,
+	selfEP addr.Endpoint, seeds []view.Descriptor) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if natType == addr.NatUnknown {
+		return nil, fmt.Errorf("gozar: node %v has unknown NAT type; run natid first", sock.Host().ID())
+	}
+	n := &Node{
+		cfg:     cfg,
+		sched:   sched,
+		sock:    sock,
+		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		self:    sock.Host().ID(),
+		ep:      selfEP,
+		nat:     natType,
+		pending: make(map[addr.NodeID]pendingShuffle),
+		clients: make(map[addr.NodeID]*registration),
+	}
+	n.view = view.New(cfg.Params.ViewSize, n.self)
+	for _, d := range seeds {
+		n.view.Add(d)
+	}
+	return n, nil
+}
+
+// ID implements pss.Protocol.
+func (n *Node) ID() addr.NodeID { return n.self }
+
+// NatType implements pss.Protocol.
+func (n *Node) NatType() addr.NatType { return n.nat }
+
+// Rounds returns the number of gossip rounds executed.
+func (n *Node) Rounds() int { return n.rounds }
+
+// Neighbors implements pss.Protocol.
+func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
+
+// Sample implements pss.Protocol with a uniform draw over the single
+// view.
+func (n *Node) Sample() (view.Descriptor, bool) { return n.view.Random(n.rng) }
+
+// Relays returns the node's current live relay set (private nodes only).
+func (n *Node) Relays() []view.Relay {
+	out := make([]view.Relay, 0, len(n.relays))
+	for _, r := range n.relays {
+		out = append(out, r.relay)
+	}
+	return out
+}
+
+// RegisteredClients returns how many private nodes this public node is
+// currently relaying for.
+func (n *Node) RegisteredClients() int { return len(n.clients) }
+
+// FailedShuffles counts exchanges abandoned because a private target had
+// no usable relays.
+func (n *Node) FailedShuffles() uint64 { return n.failedShuffles }
+
+// SetRebootstrap installs a callback queried for fresh seed
+// descriptors whenever the view runs empty, mirroring a real client
+// re-contacting the bootstrap service instead of staying isolated.
+func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// Start implements pss.Protocol.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+}
+
+// Stop implements pss.Protocol.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.ticker.Stop()
+}
+
+// selfDescriptor advertises this node, embedding the current relay set
+// for private nodes so peers can reach them.
+func (n *Node) selfDescriptor() view.Descriptor {
+	d := view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
+	if n.nat == addr.Private {
+		d.Relays = n.Relays()
+	}
+	return d
+}
+
+func (n *Node) round() {
+	n.rounds++
+	n.view.IncrementAges()
+	for id, p := range n.pending {
+		if n.rounds-p.round > n.cfg.PendingTTL {
+			delete(n.pending, id)
+		}
+	}
+	if n.nat == addr.Private {
+		n.maintainRelays()
+	} else {
+		n.expireClients()
+	}
+
+	if n.view.Len() == 0 && n.rebootstrap != nil {
+		for _, d := range n.rebootstrap() {
+			n.view.Add(d)
+		}
+	}
+	q, ok := n.view.TakeOldest()
+	if !ok {
+		return
+	}
+	subset := append(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1), n.selfDescriptor())
+	subset = dropNode(subset, q.ID)
+	req := ShuffleReq{From: n.selfDescriptor(), Descs: subset}
+	n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
+
+	if q.Nat == addr.Public {
+		n.sock.Send(q.Endpoint, req)
+		return
+	}
+	// Private target: go through one of its cached relays.
+	if len(q.Relays) == 0 {
+		n.failedShuffles++
+		return
+	}
+	relay := q.Relays[n.rng.Intn(len(q.Relays))]
+	n.sock.Send(relay.Endpoint, RelayForward{Target: q.ID, Inner: req})
+}
+
+// maintainRelays runs once per round on private nodes: drop relays whose
+// acks stopped, top the set back up from public view members, and send
+// keep-alive registrations.
+func (n *Node) maintainRelays() {
+	live := n.relays[:0]
+	for _, r := range n.relays {
+		if n.rounds-r.lastAck <= n.cfg.RelayAckTimeout {
+			live = append(live, r)
+		}
+	}
+	n.relays = live
+	for len(n.relays) < n.cfg.NumRelays {
+		cand, ok := n.pickNewRelay()
+		if !ok {
+			break
+		}
+		n.relays = append(n.relays, relayState{relay: cand, lastAck: n.rounds})
+	}
+	reg := RelayRegister{From: n.selfDescriptor()}
+	for _, r := range n.relays {
+		n.sock.Send(r.relay.Endpoint, reg)
+	}
+}
+
+// pickNewRelay selects a public view member not already used as a relay.
+func (n *Node) pickNewRelay() (view.Relay, bool) {
+	used := make(map[addr.NodeID]bool, len(n.relays))
+	for _, r := range n.relays {
+		used[r.relay.ID] = true
+	}
+	var candidates []view.Descriptor
+	for _, d := range n.view.Descriptors() {
+		if d.Nat == addr.Public && !used[d.ID] {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return view.Relay{}, false
+	}
+	pick := candidates[n.rng.Intn(len(candidates))]
+	return view.Relay{ID: pick.ID, Endpoint: pick.Endpoint}, true
+}
+
+// expireClients drops registrations that stopped sending keep-alives.
+func (n *Node) expireClients() {
+	for id, reg := range n.clients {
+		if n.rounds-reg.lastSeen > n.cfg.RelayTTL {
+			delete(n.clients, id)
+		}
+	}
+}
+
+func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.ID != id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HandlePacket is the socket handler.
+func (n *Node) HandlePacket(pkt simnet.Packet) {
+	switch m := pkt.Msg.(type) {
+	case ShuffleReq:
+		n.handleReq(pkt.From, m, addr.Endpoint{})
+	case ShuffleRes:
+		n.handleRes(m)
+	case RelayRegister:
+		n.handleRegister(pkt.From, m)
+	case RelayRegisterAck:
+		n.handleRegisterAck(pkt.From)
+	case RelayForward:
+		n.handleRelayForward(pkt.From, m)
+	case RelayedReq:
+		n.handleReq(pkt.From, m.Inner, m.Origin)
+	case RelayResForward:
+		n.sock.Send(m.Target, m.Inner)
+	}
+}
+
+// handleReq processes a view-exchange request. relayOrigin is non-zero
+// when the request arrived through a relay and names the requester's
+// observed endpoint; pkt.From is then the relay itself.
+func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq, relayOrigin addr.Endpoint) {
+	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
+	res := ShuffleRes{From: n.selfDescriptor(), Descs: subset}
+	n.view.Merge(subset, req.Descs)
+
+	switch {
+	case relayOrigin.IsZero():
+		// Direct request: answer the observed source.
+		n.sock.Send(from, res)
+	case req.From.Nat == addr.Public:
+		// Relayed request from a public node: answer it directly.
+		n.sock.Send(req.From.Endpoint, res)
+	default:
+		// Relayed request from a private node: route the response back
+		// through the same relay.
+		n.sock.Send(from, RelayResForward{Target: relayOrigin, Inner: res})
+	}
+}
+
+func (n *Node) handleRes(res ShuffleRes) {
+	p, ok := n.pending[res.From.ID]
+	if !ok {
+		return
+	}
+	delete(n.pending, res.From.ID)
+	n.view.Merge(p.sent, res.Descs)
+}
+
+// handleRegister serves the relay side of a registration/keep-alive.
+func (n *Node) handleRegister(from addr.Endpoint, reg RelayRegister) {
+	if n.nat != addr.Public {
+		return // only public nodes relay
+	}
+	r, ok := n.clients[reg.From.ID]
+	if !ok {
+		r = &registration{}
+		n.clients[reg.From.ID] = r
+	}
+	r.endpoint = from
+	r.lastSeen = n.rounds
+	n.sock.Send(from, RelayRegisterAck{})
+}
+
+// handleRegisterAck refreshes the liveness of the acknowledging relay.
+func (n *Node) handleRegisterAck(from addr.Endpoint) {
+	for i := range n.relays {
+		if n.relays[i].relay.Endpoint == from {
+			n.relays[i].lastAck = n.rounds
+			return
+		}
+	}
+}
+
+// handleRelayForward forwards a wrapped request to a registered client.
+// Unknown clients are dropped silently — the requester's shuffle simply
+// fails, as it would on a real dead relay.
+func (n *Node) handleRelayForward(from addr.Endpoint, fwd RelayForward) {
+	reg, ok := n.clients[fwd.Target]
+	if !ok {
+		return
+	}
+	n.sock.Send(reg.endpoint, RelayedReq{Origin: from, Inner: fwd.Inner})
+}
+
+var _ pss.Protocol = (*Node)(nil)

@@ -1,0 +1,278 @@
+package gozar
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/latency"
+	"repro/internal/nat"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+type rig struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.New(1)
+	n, err := simnet.New(sched, simnet.Config{Latency: latency.Constant(5 * time.Millisecond)})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	return &rig{sched: sched, net: n}
+}
+
+// pubNode attaches a Gozar node on a public host.
+func (r *rig) pubNode(t *testing.T, id addr.NodeID, seeds []view.Descriptor) *Node {
+	t.Helper()
+	h, err := r.net.AddPublicHost(id)
+	if err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	return r.attach(t, h, addr.Public, seeds)
+}
+
+// priNode attaches a Gozar node behind a default NAT.
+func (r *rig) priNode(t *testing.T, id addr.NodeID, seeds []view.Descriptor) *Node {
+	t.Helper()
+	h, err := r.net.AddPrivateHost(id, nat.DefaultConfig(0))
+	if err != nil {
+		t.Fatalf("AddPrivateHost: %v", err)
+	}
+	return r.attach(t, h, addr.Private, seeds)
+}
+
+func (r *rig) attach(t *testing.T, h *simnet.Host, natType addr.NatType, seeds []view.Descriptor) *Node {
+	t.Helper()
+	var n *Node
+	sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	ep := addr.Endpoint{IP: h.IP(), Port: 100}
+	if gw := h.Gateway(); gw != nil {
+		ep = addr.Endpoint{IP: gw.PublicIP(), Port: 100}
+	}
+	n, err = New(DefaultConfig(), r.sched, sock, natType, ep, seeds)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func pubDesc(n *Node) view.Descriptor {
+	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: addr.Public}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg.NumRelays = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted zero relays")
+	}
+	cfg = DefaultConfig()
+	cfg.RelayTTL = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted zero relay TTL")
+	}
+}
+
+func TestNewRejectsUnknownNatType(t *testing.T) {
+	r := newRig(t)
+	h, _ := r.net.AddPublicHost(1)
+	sock, _ := h.Bind(100, func(simnet.Packet) {})
+	if _, err := New(DefaultConfig(), r.sched, sock, addr.NatUnknown, addr.Endpoint{}, nil); err == nil {
+		t.Fatal("New accepted unknown NAT type")
+	}
+}
+
+func TestPrivateNodeAcquiresRelays(t *testing.T) {
+	r := newRig(t)
+	p1 := r.pubNode(t, 1, nil)
+	p2 := r.pubNode(t, 2, nil)
+	p3 := r.pubNode(t, 3, nil)
+	priv := r.priNode(t, 4, []view.Descriptor{pubDesc(p1), pubDesc(p2), pubDesc(p3)})
+
+	priv.round()
+	r.sched.Run()
+
+	if got := len(priv.Relays()); got != 3 {
+		t.Fatalf("relay count = %d, want 3", got)
+	}
+	total := p1.RegisteredClients() + p2.RegisteredClients() + p3.RegisteredClients()
+	if total != 3 {
+		t.Fatalf("registered clients across relays = %d, want 3", total)
+	}
+}
+
+func TestSelfDescriptorCarriesRelays(t *testing.T) {
+	r := newRig(t)
+	p1 := r.pubNode(t, 1, nil)
+	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(p1)})
+	priv.round()
+	r.sched.Run()
+	d := priv.selfDescriptor()
+	if len(d.Relays) != 1 || d.Relays[0].ID != 1 {
+		t.Fatalf("self descriptor relays = %v, want [n1]", d.Relays)
+	}
+}
+
+func TestShuffleWithPrivateTargetViaRelay(t *testing.T) {
+	r := newRig(t)
+	relay := r.pubNode(t, 1, nil)
+	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
+	priv.round() // registers with the relay
+	r.sched.Run()
+
+	// A public node that knows priv's descriptor (with relay info).
+	requester := r.pubNode(t, 3, []view.Descriptor{priv.selfDescriptor()})
+	requester.round()
+	r.sched.Run()
+
+	if !priv.view.Contains(3) {
+		t.Fatal("private node never received the relayed shuffle")
+	}
+	if !requester.view.Contains(2) && len(requester.pending) > 0 {
+		t.Fatal("requester never received the response")
+	}
+	if requester.FailedShuffles() != 0 {
+		t.Fatalf("failed shuffles = %d, want 0", requester.FailedShuffles())
+	}
+}
+
+func TestPrivateToPrivateShuffleRoundTrip(t *testing.T) {
+	r := newRig(t)
+	relay := r.pubNode(t, 1, nil)
+	target := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
+	target.round() // register
+	r.sched.Run()
+
+	// Give the target view content to hand back in the response.
+	extra := view.Descriptor{ID: 50, Endpoint: addr.Endpoint{IP: 50, Port: 100}, Nat: addr.Public}
+	target.view.Add(extra)
+
+	requester := r.priNode(t, 3, []view.Descriptor{pubDesc(relay)})
+	requester.round() // register with relay too
+	r.sched.Run()
+	requester.view.Add(target.selfDescriptor())
+	// Make the target's descriptor oldest so it is selected.
+	for _, d := range requester.view.Descriptors() {
+		if d.ID != 2 {
+			requester.view.Remove(d.ID)
+		}
+	}
+
+	requester.round()
+	r.sched.Run()
+
+	if !target.view.Contains(3) {
+		t.Fatal("target never saw the relayed request")
+	}
+	// The relayed response was processed: pending state consumed and
+	// the target's view content learned. (A swapper responder does not
+	// advertise itself, so Contains(2) is not the right check.)
+	if len(requester.pending) != 0 {
+		t.Fatal("private requester never received the relayed response")
+	}
+	if !requester.view.Contains(50) {
+		t.Fatal("requester did not merge the relayed response payload")
+	}
+}
+
+func TestShuffleFailsWithoutRelays(t *testing.T) {
+	r := newRig(t)
+	orphan := view.Descriptor{ID: 99, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
+	n := r.pubNode(t, 1, []view.Descriptor{orphan})
+	n.round()
+	r.sched.Run()
+	if n.FailedShuffles() != 1 {
+		t.Fatalf("failed shuffles = %d, want 1", n.FailedShuffles())
+	}
+}
+
+func TestRelayExpiresSilentClients(t *testing.T) {
+	r := newRig(t)
+	relay := r.pubNode(t, 1, nil)
+	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
+	priv.round()
+	r.sched.Run()
+	if relay.RegisteredClients() != 1 {
+		t.Fatalf("clients = %d, want 1", relay.RegisteredClients())
+	}
+	// The client goes silent; the relay must expire it after RelayTTL.
+	priv.Stop()
+	for i := 0; i < relay.cfg.RelayTTL+2; i++ {
+		relay.round()
+	}
+	if relay.RegisteredClients() != 0 {
+		t.Fatalf("clients = %d after TTL, want 0", relay.RegisteredClients())
+	}
+}
+
+func TestPrivateNodeReplacesDeadRelay(t *testing.T) {
+	r := newRig(t)
+	dead := r.pubNode(t, 1, nil)
+	backup := r.pubNode(t, 2, nil)
+	priv := r.priNode(t, 3, []view.Descriptor{pubDesc(dead), pubDesc(backup)})
+
+	cfgRelays := priv.cfg.NumRelays
+	_ = cfgRelays
+	priv.round()
+	r.sched.Run()
+	before := len(priv.Relays())
+	if before != 2 {
+		t.Fatalf("relays = %d, want both publics", before)
+	}
+
+	// Kill one relay; after the ack timeout the private node drops it.
+	r.net.Remove(1)
+	for i := 0; i < priv.cfg.RelayAckTimeout+2; i++ {
+		priv.round()
+		r.sched.Run()
+	}
+	for _, rl := range priv.Relays() {
+		if rl.ID == 1 {
+			t.Fatal("dead relay still in the relay set")
+		}
+	}
+}
+
+func TestPublicNodeIgnoresRegistration(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.priNode(t, 2, nil)
+	_ = b
+	a.handleRegister(addr.Endpoint{IP: 9, Port: 9}, RelayRegister{From: view.Descriptor{ID: 2, Nat: addr.Private}})
+	if a.RegisteredClients() != 1 {
+		t.Fatal("public node must accept registrations")
+	}
+	// But a private node must not.
+	priv := r.priNode(t, 3, nil)
+	priv.handleRegister(addr.Endpoint{IP: 9, Port: 9}, RelayRegister{From: view.Descriptor{ID: 4, Nat: addr.Private}})
+	if priv.RegisteredClients() != 0 {
+		t.Fatal("private node accepted a relay registration")
+	}
+}
+
+func TestRelayForwardUnknownClientDropped(t *testing.T) {
+	r := newRig(t)
+	relay := r.pubNode(t, 1, nil)
+	relay.handleRelayForward(addr.Endpoint{IP: 9, Port: 9}, RelayForward{
+		Target: 42,
+		Inner:  ShuffleReq{From: view.Descriptor{ID: 5, Nat: addr.Public}},
+	})
+	// Nothing to assert beyond "no panic, no delivery": the requester's
+	// shuffle just fails, matching a dead relay in production.
+	r.sched.Run()
+	if r.net.Delivered() != 0 {
+		t.Fatal("relay forwarded to an unknown client")
+	}
+}

@@ -1,0 +1,277 @@
+// Package graph analyses overlay snapshots: in-degree distributions,
+// clustering coefficients, average path lengths and connected
+// components — the randomness and robustness metrics of the paper's
+// evaluation (§VII-C).
+package graph
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// Snapshot is an immutable directed graph over the overlay at one
+// instant. Vertices are the live nodes; edges point from a node to the
+// entries of its partial view(s). Edges to vertices outside the snapshot
+// (stale descriptors of dead nodes) are dropped at construction.
+type Snapshot struct {
+	ids   []addr.NodeID
+	index map[addr.NodeID]int
+	out   [][]int32
+	in    [][]int32
+	edges int
+}
+
+// Build constructs a snapshot from an adjacency map. Neighbor lists may
+// contain duplicates or unknown nodes; both are cleaned up.
+func Build(adj map[addr.NodeID][]addr.NodeID) *Snapshot {
+	ids := make([]addr.NodeID, 0, len(adj))
+	for id := range adj {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	index := make(map[addr.NodeID]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	s := &Snapshot{
+		ids:   ids,
+		index: index,
+		out:   make([][]int32, len(ids)),
+		in:    make([][]int32, len(ids)),
+	}
+	for i, id := range ids {
+		seen := make(map[int32]bool)
+		for _, nb := range adj[id] {
+			j, ok := index[nb]
+			if !ok || j == i {
+				continue
+			}
+			if seen[int32(j)] {
+				continue
+			}
+			seen[int32(j)] = true
+			s.out[i] = append(s.out[i], int32(j))
+			s.in[j] = append(s.in[j], int32(i))
+			s.edges++
+		}
+	}
+	return s
+}
+
+// Order returns the number of vertices.
+func (s *Snapshot) Order() int { return len(s.ids) }
+
+// Edges returns the number of directed edges.
+func (s *Snapshot) Edges() int { return s.edges }
+
+// IDs returns the vertex identifiers in ascending order.
+func (s *Snapshot) IDs() []addr.NodeID {
+	out := make([]addr.NodeID, len(s.ids))
+	copy(out, s.ids)
+	return out
+}
+
+// InDegrees returns each vertex's in-degree, indexed like IDs.
+func (s *Snapshot) InDegrees() []int {
+	out := make([]int, len(s.ids))
+	for i := range s.in {
+		out[i] = len(s.in[i])
+	}
+	return out
+}
+
+// InDegreeHistogram buckets vertices by in-degree: result[d] is the
+// number of vertices with in-degree d (Fig 6(a)).
+func (s *Snapshot) InDegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, d := range s.InDegrees() {
+		h[d]++
+	}
+	return h
+}
+
+// AvgPathLength returns the mean shortest-path length over ordered
+// reachable vertex pairs, following directed edges (Fig 6(b)), together
+// with the fraction of ordered pairs that were reachable. For graphs
+// larger than maxSources vertices, BFS runs from maxSources random
+// sources (documented sampling; exact below). rng may be nil when no
+// sampling is needed.
+func (s *Snapshot) AvgPathLength(maxSources int, rng *rand.Rand) (avg float64, reachable float64) {
+	n := len(s.ids)
+	if n < 2 {
+		return 0, 0
+	}
+	sources := make([]int, 0, n)
+	if maxSources <= 0 || maxSources >= n {
+		for i := 0; i < n; i++ {
+			sources = append(sources, i)
+		}
+	} else {
+		for _, i := range rng.Perm(n)[:maxSources] {
+			sources = append(sources, i)
+		}
+	}
+	var sum, pairs, possible uint64
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for _, src := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], int32(src))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range s.out[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for i, d := range dist {
+			if i == src {
+				continue
+			}
+			possible++
+			if d > 0 {
+				sum += uint64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(sum) / float64(pairs), float64(pairs) / float64(possible)
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// over all vertices (Fig 6(c)), computed on the undirected union graph:
+// vertices u,v are adjacent when either holds the other in its view.
+// Vertices with fewer than two neighbours contribute zero, and a
+// complete graph scores 1.
+func (s *Snapshot) ClusteringCoefficient() float64 {
+	n := len(s.ids)
+	if n == 0 {
+		return 0
+	}
+	und := make([]map[int32]bool, n)
+	for i := range und {
+		und[i] = make(map[int32]bool, len(s.out[i])+len(s.in[i]))
+	}
+	for i := range s.out {
+		for _, j := range s.out[i] {
+			und[i][j] = true
+			und[j][int32(i)] = true
+		}
+	}
+	total := 0.0
+	for i := range und {
+		k := len(und[i])
+		if k < 2 {
+			continue
+		}
+		neigh := make([]int32, 0, k)
+		for j := range und[i] {
+			neigh = append(neigh, j)
+		}
+		sort.Slice(neigh, func(a, b int) bool { return neigh[a] < neigh[b] })
+		links := 0
+		for a := 0; a < len(neigh); a++ {
+			for b := a + 1; b < len(neigh); b++ {
+				if und[neigh[a]][neigh[b]] {
+					links++
+				}
+			}
+		}
+		total += float64(2*links) / float64(k*(k-1))
+	}
+	return total / float64(n)
+}
+
+// BiggestCluster returns the size of the largest weakly-connected
+// component — the paper's connectivity metric after catastrophic
+// failures (Fig 7(b)).
+func (s *Snapshot) BiggestCluster() int {
+	n := len(s.ids)
+	if n == 0 {
+		return 0
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	best := 0
+	queue := make([]int32, 0, n)
+	var label int32
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		size := 0
+		comp[i] = label
+		queue = append(queue[:0], int32(i))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			size++
+			for _, w := range s.out[v] {
+				if comp[w] < 0 {
+					comp[w] = label
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range s.in[v] {
+				if comp[w] < 0 {
+					comp[w] = label
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+		label++
+	}
+	return best
+}
+
+// ComponentCount returns the number of weakly-connected components.
+func (s *Snapshot) ComponentCount() int {
+	n := len(s.ids)
+	if n == 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	count := 0
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		count++
+		seen[i] = true
+		queue = append(queue[:0], int32(i))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range s.out[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range s.in[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func adjFrom(edges map[int][]int) map[addr.NodeID][]addr.NodeID {
+	adj := make(map[addr.NodeID][]addr.NodeID)
+	for u, vs := range edges {
+		ids := make([]addr.NodeID, 0, len(vs))
+		for _, v := range vs {
+			ids = append(ids, addr.NodeID(v))
+		}
+		adj[addr.NodeID(u)] = ids
+	}
+	return adj
+}
+
+func TestBuildFiltersUnknownAndSelfAndDuplicates(t *testing.T) {
+	s := Build(adjFrom(map[int][]int{
+		1: {2, 2, 1, 99}, // dup, self-loop, unknown
+		2: {1},
+	}))
+	if s.Order() != 2 {
+		t.Fatalf("Order = %d, want 2", s.Order())
+	}
+	if s.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2 (1→2, 2→1)", s.Edges())
+	}
+}
+
+func TestInDegrees(t *testing.T) {
+	s := Build(adjFrom(map[int][]int{
+		1: {2, 3},
+		2: {3},
+		3: {},
+	}))
+	h := s.InDegreeHistogram()
+	if h[0] != 1 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v, want one node each at 0,1,2", h)
+	}
+}
+
+func TestAvgPathLengthLine(t *testing.T) {
+	// Directed line 1→2→3→4: pairs (1,2)=1 (1,3)=2 (1,4)=3 (2,3)=1
+	// (2,4)=2 (3,4)=1 → avg = 10/6.
+	s := Build(adjFrom(map[int][]int{1: {2}, 2: {3}, 3: {4}, 4: {}}))
+	avg, reach := s.AvgPathLength(0, nil)
+	if math.Abs(avg-10.0/6) > 1e-12 {
+		t.Fatalf("avg = %v, want %v", avg, 10.0/6)
+	}
+	if math.Abs(reach-0.5) > 1e-12 { // 6 of 12 ordered pairs reachable
+		t.Fatalf("reachable = %v, want 0.5", reach)
+	}
+}
+
+func TestAvgPathLengthCompleteGraph(t *testing.T) {
+	adj := map[int][]int{}
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 6; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	s := Build(adjFrom(adj))
+	avg, reach := s.AvgPathLength(0, nil)
+	if avg != 1 || reach != 1 {
+		t.Fatalf("complete graph avg=%v reach=%v, want 1,1", avg, reach)
+	}
+}
+
+func TestAvgPathLengthSampledIsClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	adj := map[int][]int{}
+	for i := 0; i < 200; i++ {
+		for k := 0; k < 8; k++ {
+			adj[i] = append(adj[i], rng.Intn(200))
+		}
+	}
+	s := Build(adjFrom(adj))
+	exact, _ := s.AvgPathLength(0, nil)
+	sampled, _ := s.AvgPathLength(60, rand.New(rand.NewSource(2)))
+	if math.Abs(exact-sampled) > 0.2 {
+		t.Fatalf("sampled %v too far from exact %v", sampled, exact)
+	}
+}
+
+func TestClusteringCoefficientExtremes(t *testing.T) {
+	// Complete graph on 4 vertices: coefficient 1.
+	complete := map[int][]int{}
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			if i != j {
+				complete[i] = append(complete[i], j)
+			}
+		}
+	}
+	if got := Build(adjFrom(complete)).ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("complete graph clustering = %v, want 1", got)
+	}
+	// Star: centre joined to 4 leaves, no leaf-leaf edges: coefficient 0.
+	star := map[int][]int{0: {1, 2, 3, 4}, 1: {}, 2: {}, 3: {}, 4: {}}
+	if got := Build(adjFrom(star)).ClusteringCoefficient(); got != 0 {
+		t.Fatalf("star clustering = %v, want 0", got)
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	// Triangle plus a pendant vertex: triangle nodes score 1 except the
+	// one attached to the pendant.
+	adj := map[int][]int{1: {2, 3}, 2: {3}, 3: {}, 4: {1}}
+	// Undirected: 1-2, 1-3, 2-3, 1-4.
+	// c(1): neighbours {2,3,4}, links {2-3} → 1/3. c(2)=1, c(3)=1,
+	// c(4)=0 (degree 1) → avg = (1/3+1+1+0)/4.
+	want := (1.0/3 + 1 + 1) / 4
+	if got := Build(adjFrom(adj)).ClusteringCoefficient(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("clustering = %v, want %v", got, want)
+	}
+}
+
+func TestBiggestClusterAndComponents(t *testing.T) {
+	s := Build(adjFrom(map[int][]int{
+		1: {2}, 2: {}, 3: {4}, 4: {5}, 5: {}, 6: {},
+	}))
+	if got := s.BiggestCluster(); got != 3 {
+		t.Fatalf("BiggestCluster = %d, want 3", got)
+	}
+	if got := s.ComponentCount(); got != 3 {
+		t.Fatalf("ComponentCount = %d, want 3", got)
+	}
+}
+
+func TestWeaklyConnectedUsesBothDirections(t *testing.T) {
+	// 1→2 and 3→2: weakly connected through 2 despite no directed path
+	// from 1 to 3.
+	s := Build(adjFrom(map[int][]int{1: {2}, 2: {}, 3: {2}}))
+	if got := s.BiggestCluster(); got != 3 {
+		t.Fatalf("BiggestCluster = %d, want 3", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	s := Build(nil)
+	if s.Order() != 0 || s.BiggestCluster() != 0 || s.ComponentCount() != 0 {
+		t.Fatal("empty graph metrics should be zero")
+	}
+	if got := s.ClusteringCoefficient(); got != 0 {
+		t.Fatalf("clustering of empty graph = %v", got)
+	}
+	if avg, reach := s.AvgPathLength(0, nil); avg != 0 || reach != 0 {
+		t.Fatal("path length of empty graph should be 0")
+	}
+}
+
+// Property: component sizes partition the vertex set, so the biggest
+// cluster is between 1 and n for any non-empty graph.
+func TestBiggestClusterBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		adj := map[int][]int{}
+		for i := 0; i < n; i++ {
+			adj[i] = nil
+			for k := 0; k < rng.Intn(4); k++ {
+				adj[i] = append(adj[i], rng.Intn(n))
+			}
+		}
+		s := Build(adjFrom(adj))
+		big := s.BiggestCluster()
+		return big >= 1 && big <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in-degree total equals edge count.
+func TestInDegreeSumEqualsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		adj := map[int][]int{}
+		for i := 0; i < n; i++ {
+			adj[i] = nil
+			for k := 0; k < rng.Intn(5); k++ {
+				adj[i] = append(adj[i], rng.Intn(n))
+			}
+		}
+		s := Build(adjFrom(adj))
+		sum := 0
+		for _, d := range s.InDegrees() {
+			sum += d
+		}
+		return sum == s.Edges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package latency provides the network round-trip models used by the
+// simulated internet.
+//
+// The paper models inter-node latency on the King data-set (Gummadi et
+// al., IMW 2002), a matrix of measured RTTs between internet end hosts
+// with a median around 80 ms and a long right tail. The data-set itself
+// is not redistributable, so KingLike synthesises a matrix with the same
+// shape: hosts are embedded on a sphere (two random angular coordinates),
+// propagation delay grows with great-circle distance, and each pair gets
+// a fixed lognormal access-link penalty. The substitution is documented
+// in DESIGN.md §1.
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// Model yields the one-way delay between two hosts. Implementations must
+// be symmetric and deterministic: the same pair always maps to the same
+// delay, so retransmissions and reverse traffic see consistent timing.
+type Model interface {
+	// Delay returns the one-way latency from a to b.
+	Delay(a, b addr.NodeID) time.Duration
+}
+
+// Constant is a Model with the same one-way delay between every pair.
+type Constant time.Duration
+
+// Delay implements Model.
+func (c Constant) Delay(_, _ addr.NodeID) time.Duration { return time.Duration(c) }
+
+// Uniform draws each pair's delay uniformly from [Min, Max], keyed by the
+// pair, so repeated lookups agree.
+type Uniform struct {
+	Min, Max time.Duration
+	Seed     int64
+}
+
+// Delay implements Model.
+func (u Uniform) Delay(a, b addr.NodeID) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	r := rand.New(rand.NewSource(pairSeed(u.Seed, a, b)))
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)))
+}
+
+// KingLike approximates the King data-set's RTT distribution. The zero
+// value is not usable; construct with NewKingLike.
+type KingLike struct {
+	seed int64
+	// geo maps a node to its cached spherical coordinates.
+	base       time.Duration
+	propFactor float64
+	sigma      float64
+	mu         float64
+	minDelay   time.Duration
+	maxDelay   time.Duration
+}
+
+// NewKingLike builds a King-like model. The defaults are calibrated so
+// the resulting one-way delays have a median near 40 ms (80 ms RTT) and
+// a tail reaching several hundred milliseconds, matching the published
+// statistics of the King measurements.
+func NewKingLike(seed int64) *KingLike {
+	return &KingLike{
+		seed:       seed,
+		base:       4 * time.Millisecond,
+		propFactor: 32, // ms of one-way delay for antipodal hosts
+		mu:         math.Log(9),
+		sigma:      0.55,
+		minDelay:   time.Millisecond,
+		maxDelay:   400 * time.Millisecond,
+	}
+}
+
+// Delay implements Model. The delay is base + propagation(great-circle
+// distance) + lognormal access penalty, clamped to [minDelay, maxDelay].
+func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
+	if a == b {
+		return k.minDelay
+	}
+	la1, lo1 := k.coords(a)
+	la2, lo2 := k.coords(b)
+	// Normalised great-circle distance in [0, 1].
+	dist := greatCircle(la1, lo1, la2, lo2) / math.Pi
+
+	r := rand.New(rand.NewSource(pairSeed(k.seed, a, b)))
+	penaltyMs := math.Exp(k.mu + k.sigma*r.NormFloat64())
+
+	d := k.base +
+		time.Duration(dist*k.propFactor*float64(time.Millisecond)) +
+		time.Duration(penaltyMs*float64(time.Millisecond))
+	if d < k.minDelay {
+		d = k.minDelay
+	}
+	if d > k.maxDelay {
+		d = k.maxDelay
+	}
+	return d
+}
+
+// coords returns the node's latitude in [-pi/2, pi/2] and longitude in
+// [-pi, pi), derived deterministically from the node ID. Latitude uses
+// an arcsine transform so hosts are uniform on the sphere.
+func (k *KingLike) coords(n addr.NodeID) (lat, lon float64) {
+	r := rand.New(rand.NewSource(pairSeed(k.seed, n, n)))
+	lat = math.Asin(2*r.Float64() - 1)
+	lon = 2*math.Pi*r.Float64() - math.Pi
+	return lat, lon
+}
+
+// greatCircle returns the central angle between two points on the unit
+// sphere, in radians, using the haversine formula.
+func greatCircle(lat1, lon1, lat2, lon2 float64) float64 {
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	if h > 1 {
+		h = 1
+	}
+	return 2 * math.Asin(math.Sqrt(h))
+}
+
+// pairSeed mixes the model seed with an unordered node pair into a stable
+// 64-bit seed (splitmix64-style finaliser).
+func pairSeed(seed int64, a, b addr.NodeID) int64 {
+	lo, hi := uint64(a), uint64(b)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	x := uint64(seed) ^ (lo * 0x9e3779b97f4a7c15) ^ (hi * 0xc2b2ae3d27d4eb4f)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

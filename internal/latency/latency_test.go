@@ -1,0 +1,116 @@
+package latency
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+func TestConstantModel(t *testing.T) {
+	m := Constant(25 * time.Millisecond)
+	if got := m.Delay(1, 2); got != 25*time.Millisecond {
+		t.Fatalf("Delay = %v, want 25ms", got)
+	}
+	if m.Delay(1, 2) != m.Delay(7, 9) {
+		t.Fatal("constant model varies across pairs")
+	}
+}
+
+func TestUniformWithinBounds(t *testing.T) {
+	m := Uniform{Min: 10 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 3}
+	for i := 0; i < 200; i++ {
+		d := m.Delay(addr.NodeID(i), addr.NodeID(i*7+1))
+		if d < m.Min || d > m.Max {
+			t.Fatalf("Delay = %v outside [%v, %v]", d, m.Min, m.Max)
+		}
+	}
+}
+
+func TestUniformDegenerateRange(t *testing.T) {
+	m := Uniform{Min: 10 * time.Millisecond, Max: 10 * time.Millisecond}
+	if got := m.Delay(1, 2); got != 10*time.Millisecond {
+		t.Fatalf("Delay = %v, want Min for empty range", got)
+	}
+}
+
+func TestUniformDeterministicAndSymmetric(t *testing.T) {
+	m := Uniform{Min: time.Millisecond, Max: 100 * time.Millisecond, Seed: 11}
+	if m.Delay(3, 9) != m.Delay(3, 9) {
+		t.Fatal("repeated lookup differs")
+	}
+	if m.Delay(3, 9) != m.Delay(9, 3) {
+		t.Fatal("model is asymmetric")
+	}
+}
+
+func TestKingLikeDeterministicAndSymmetric(t *testing.T) {
+	m := NewKingLike(42)
+	for i := 0; i < 100; i++ {
+		a, b := addr.NodeID(i), addr.NodeID(i*13+5)
+		if m.Delay(a, b) != m.Delay(a, b) {
+			t.Fatalf("pair (%v,%v): repeated lookup differs", a, b)
+		}
+		if m.Delay(a, b) != m.Delay(b, a) {
+			t.Fatalf("pair (%v,%v): asymmetric delay", a, b)
+		}
+	}
+}
+
+func TestKingLikeBounds(t *testing.T) {
+	m := NewKingLike(7)
+	for i := 0; i < 500; i++ {
+		d := m.Delay(addr.NodeID(i), addr.NodeID(1000+i))
+		if d < time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("Delay = %v outside clamp range", d)
+		}
+	}
+}
+
+// TestKingLikeDistributionShape checks that the synthetic matrix has
+// King-like statistics: a median one-way delay in the tens of
+// milliseconds and a long right tail (p95 well above the median).
+func TestKingLikeDistributionShape(t *testing.T) {
+	m := NewKingLike(1)
+	r := rand.New(rand.NewSource(2))
+	var delays []time.Duration
+	for i := 0; i < 3000; i++ {
+		a := addr.NodeID(r.Intn(2000))
+		b := addr.NodeID(r.Intn(2000))
+		if a == b {
+			continue
+		}
+		delays = append(delays, m.Delay(a, b))
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	median := delays[len(delays)/2]
+	p95 := delays[len(delays)*95/100]
+	if median < 15*time.Millisecond || median > 90*time.Millisecond {
+		t.Fatalf("median one-way delay = %v, want King-like tens of ms", median)
+	}
+	if p95 < median*3/2 {
+		t.Fatalf("p95 %v too close to median %v: missing long tail", p95, median)
+	}
+}
+
+func TestKingLikeSelfDelayIsMinimal(t *testing.T) {
+	m := NewKingLike(1)
+	if got := m.Delay(5, 5); got != time.Millisecond {
+		t.Fatalf("self delay = %v, want clamp minimum", got)
+	}
+}
+
+func TestDifferentSeedsDifferentMatrices(t *testing.T) {
+	a, b := NewKingLike(1), NewKingLike(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Delay(addr.NodeID(i), addr.NodeID(i+500)) == b.Delay(addr.NodeID(i), addr.NodeID(i+500)) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/100 pairs identical across seeds; matrices should differ", same)
+	}
+}

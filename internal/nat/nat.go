@@ -1,0 +1,370 @@
+// Package nat emulates NAT gateways for the simulated internet.
+//
+// The emulator follows the NATcracker taxonomy cited by the paper
+// (Roverso et al., ICCCN 2009): a gateway is characterised by a mapping
+// policy (when an outbound flow reuses an existing public port), an
+// allocation policy (which public port a new mapping receives) and a
+// filtering policy (which remote endpoints may send inbound traffic
+// through a mapping). UDP mappings expire after an idle timeout, and
+// gateways may support UPnP IGD port mapping, which makes the node
+// behave as a public node (paper §V).
+//
+// The protocols in this repository never inspect gateways directly; they
+// only observe the resulting reachability through the simulated network,
+// exactly as real protocols observe real NATs.
+package nat
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// MappingPolicy controls when two outbound flows from the same internal
+// socket share one public port.
+type MappingPolicy uint8
+
+const (
+	// MappingEndpointIndependent reuses one public port for all
+	// destinations of an internal socket (most common in practice).
+	MappingEndpointIndependent MappingPolicy = iota + 1
+	// MappingAddressDependent allocates one public port per remote IP.
+	MappingAddressDependent
+	// MappingAddressPortDependent allocates one public port per remote
+	// endpoint (symmetric NAT).
+	MappingAddressPortDependent
+)
+
+// String returns the RFC 4787-style policy name.
+func (p MappingPolicy) String() string {
+	switch p {
+	case MappingEndpointIndependent:
+		return "EI-mapping"
+	case MappingAddressDependent:
+		return "AD-mapping"
+	case MappingAddressPortDependent:
+		return "APD-mapping"
+	default:
+		return "unknown-mapping"
+	}
+}
+
+// FilteringPolicy controls which remote endpoints may send inbound
+// packets through an established mapping.
+type FilteringPolicy uint8
+
+const (
+	// FilteringEndpointIndependent admits any remote endpoint once the
+	// mapping exists.
+	FilteringEndpointIndependent FilteringPolicy = iota + 1
+	// FilteringAddressDependent admits remotes whose IP the internal
+	// socket has contacted through the mapping.
+	FilteringAddressDependent
+	// FilteringAddressPortDependent admits only exact remote endpoints
+	// the internal socket has contacted (strictest; the default in the
+	// experiments, making hole-punching and relaying meaningful).
+	FilteringAddressPortDependent
+)
+
+// String returns the RFC 4787-style policy name.
+func (p FilteringPolicy) String() string {
+	switch p {
+	case FilteringEndpointIndependent:
+		return "EI-filtering"
+	case FilteringAddressDependent:
+		return "AD-filtering"
+	case FilteringAddressPortDependent:
+		return "APD-filtering"
+	default:
+		return "unknown-filtering"
+	}
+}
+
+// AllocationPolicy controls which public port a fresh mapping receives.
+type AllocationPolicy uint8
+
+const (
+	// AllocPortPreservation tries to reuse the internal port number,
+	// falling back to contiguous allocation on conflict.
+	AllocPortPreservation AllocationPolicy = iota + 1
+	// AllocContiguous hands out sequential ports from a counter.
+	AllocContiguous
+	// AllocRandom draws ports uniformly from the dynamic range.
+	AllocRandom
+)
+
+// Config describes a gateway. The zero value is not valid; use the
+// documented fields.
+type Config struct {
+	// PublicIP is the gateway's globally reachable address.
+	PublicIP addr.IP
+	// Mapping, Filtering and Allocation select the NAT behaviour.
+	Mapping    MappingPolicy
+	Filtering  FilteringPolicy
+	Allocation AllocationPolicy
+	// MappingTimeout is the UDP idle timeout after which a mapping
+	// (and its filtering state) is discarded. The paper assumes this
+	// is below five minutes; 30 s is a common real-world value.
+	MappingTimeout time.Duration
+	// UPnP reports whether the gateway implements the UPnP IGD
+	// protocol, letting the host install a permanent port mapping and
+	// act as a public node.
+	UPnP bool
+}
+
+// DefaultConfig returns the gateway behaviour used by the paper-style
+// experiments: endpoint-independent mapping (descriptors can carry a
+// stable public endpoint), port-dependent filtering (unsolicited inbound
+// traffic is dropped) and a 30-second UDP mapping timeout.
+func DefaultConfig(publicIP addr.IP) Config {
+	return Config{
+		PublicIP:       publicIP,
+		Mapping:        MappingEndpointIndependent,
+		Filtering:      FilteringAddressPortDependent,
+		Allocation:     AllocPortPreservation,
+		MappingTimeout: 30 * time.Second,
+	}
+}
+
+// mapKey identifies a mapping according to the mapping policy.
+type mapKey struct {
+	internal addr.Endpoint
+	remoteIP addr.IP // set for AD and APD mapping
+	remotePt uint16  // set for APD mapping
+}
+
+type mapping struct {
+	internal   addr.Endpoint
+	public     addr.Endpoint
+	lastActive time.Duration
+	permanent  bool // UPnP mappings never expire
+	// contacted records the remote endpoints this mapping has sent to
+	// and when, for filtering decisions.
+	contacted map[addr.Endpoint]time.Duration
+}
+
+// Gateway is a single emulated NAT box. A gateway fronts one or more
+// internal hosts (the experiments place one host behind each gateway, as
+// the paper does). Gateways are not safe for concurrent use; all access
+// happens inside the simulation event loop.
+type Gateway struct {
+	cfg      Config
+	now      func() time.Duration
+	rng      *rand.Rand
+	byKey    map[mapKey]*mapping
+	byPublic map[uint16]*mapping
+	nextPort uint16
+}
+
+// NewGateway builds a gateway. now supplies the virtual clock and rng the
+// port-randomisation source (only used with AllocRandom; may be nil
+// otherwise).
+func NewGateway(cfg Config, now func() time.Duration, rng *rand.Rand) (*Gateway, error) {
+	if cfg.PublicIP.IsZero() {
+		return nil, fmt.Errorf("nat: gateway needs a public IP")
+	}
+	if cfg.Mapping == 0 || cfg.Filtering == 0 || cfg.Allocation == 0 {
+		return nil, fmt.Errorf("nat: mapping, filtering and allocation policies are required")
+	}
+	if cfg.MappingTimeout <= 0 {
+		return nil, fmt.Errorf("nat: mapping timeout must be positive, got %v", cfg.MappingTimeout)
+	}
+	if cfg.Allocation == AllocRandom && rng == nil {
+		return nil, fmt.Errorf("nat: random allocation requires a random source")
+	}
+	return &Gateway{
+		cfg:      cfg,
+		now:      now,
+		rng:      rng,
+		byKey:    make(map[mapKey]*mapping),
+		byPublic: make(map[uint16]*mapping),
+		nextPort: 50000,
+	}, nil
+}
+
+// PublicIP returns the gateway's public address.
+func (g *Gateway) PublicIP() addr.IP { return g.cfg.PublicIP }
+
+// SupportsUPnP reports whether the host behind this gateway can install
+// a UPnP port mapping.
+func (g *Gateway) SupportsUPnP() bool { return g.cfg.UPnP }
+
+// Config returns the gateway's configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+func (g *Gateway) key(src, dst addr.Endpoint) mapKey {
+	k := mapKey{internal: src}
+	switch g.cfg.Mapping {
+	case MappingAddressDependent:
+		k.remoteIP = dst.IP
+	case MappingAddressPortDependent:
+		k.remoteIP = dst.IP
+		k.remotePt = dst.Port
+	}
+	return k
+}
+
+func (g *Gateway) expired(m *mapping) bool {
+	return !m.permanent && g.now()-m.lastActive > g.cfg.MappingTimeout
+}
+
+func (g *Gateway) drop(k mapKey, m *mapping) {
+	delete(g.byKey, k)
+	delete(g.byPublic, m.public.Port)
+}
+
+// Outbound translates an outbound packet from internal source src to
+// destination dst, creating or refreshing a mapping. It returns the
+// public source endpoint the packet appears to come from.
+func (g *Gateway) Outbound(src, dst addr.Endpoint) addr.Endpoint {
+	k := g.key(src, dst)
+	m, ok := g.byKey[k]
+	if ok && g.expired(m) {
+		g.drop(k, m)
+		ok = false
+	}
+	if !ok {
+		m = &mapping{
+			internal:  src,
+			public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: g.allocPort(src.Port)},
+			contacted: make(map[addr.Endpoint]time.Duration),
+		}
+		g.byKey[k] = m
+		g.byPublic[m.public.Port] = m
+	}
+	m.lastActive = g.now()
+	m.contacted[dst] = g.now()
+	return m.public
+}
+
+// Inbound checks a packet from remote to the gateway's public endpoint
+// pub against the mapping table and filtering policy. It returns the
+// internal destination endpoint and whether the packet is admitted.
+// Inbound traffic does not refresh mappings (conservative, as on most
+// real gateways).
+func (g *Gateway) Inbound(remote, pub addr.Endpoint) (addr.Endpoint, bool) {
+	if pub.IP != g.cfg.PublicIP {
+		return addr.Endpoint{}, false
+	}
+	m, ok := g.byPublic[pub.Port]
+	if !ok {
+		return addr.Endpoint{}, false
+	}
+	if g.expired(m) {
+		g.drop(g.keyFor(m), m)
+		return addr.Endpoint{}, false
+	}
+	if m.permanent {
+		return m.internal, true
+	}
+	switch g.cfg.Filtering {
+	case FilteringEndpointIndependent:
+		return m.internal, true
+	case FilteringAddressDependent:
+		for ep, at := range m.contacted {
+			if ep.IP == remote.IP && g.now()-at <= g.cfg.MappingTimeout {
+				return m.internal, true
+			}
+		}
+	case FilteringAddressPortDependent:
+		if at, ok := m.contacted[remote]; ok && g.now()-at <= g.cfg.MappingTimeout {
+			return m.internal, true
+		}
+	}
+	return addr.Endpoint{}, false
+}
+
+// keyFor reconstructs the map key of an existing mapping so it can be
+// dropped. For address/port-dependent mapping the remote half of the key
+// is recovered from the contacted set (each such mapping has exactly one
+// destination).
+func (g *Gateway) keyFor(m *mapping) mapKey {
+	k := mapKey{internal: m.internal}
+	if g.cfg.Mapping == MappingEndpointIndependent {
+		return k
+	}
+	for ep := range m.contacted {
+		k.remoteIP = ep.IP
+		if g.cfg.Mapping == MappingAddressPortDependent {
+			k.remotePt = ep.Port
+		}
+		break
+	}
+	return k
+}
+
+// MapPort installs a permanent UPnP IGD port mapping from the gateway's
+// publicPort to the internal endpoint. It fails if the gateway does not
+// support UPnP or the port is taken.
+func (g *Gateway) MapPort(internal addr.Endpoint, publicPort uint16) (addr.Endpoint, error) {
+	if !g.cfg.UPnP {
+		return addr.Endpoint{}, fmt.Errorf("nat: gateway %v does not support UPnP", g.cfg.PublicIP)
+	}
+	if old, ok := g.byPublic[publicPort]; ok && !g.expired(old) {
+		return addr.Endpoint{}, fmt.Errorf("nat: public port %d already mapped", publicPort)
+	}
+	m := &mapping{
+		internal:  internal,
+		public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: publicPort},
+		permanent: true,
+		contacted: make(map[addr.Endpoint]time.Duration),
+	}
+	g.byKey[mapKey{internal: internal}] = m
+	g.byPublic[publicPort] = m
+	return m.public, nil
+}
+
+// ActiveMappings returns the number of unexpired mappings (for tests and
+// diagnostics).
+func (g *Gateway) ActiveMappings() int {
+	n := 0
+	for _, m := range g.byKey {
+		if !g.expired(m) {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gateway) allocPort(want uint16) uint16 {
+	switch g.cfg.Allocation {
+	case AllocPortPreservation:
+		if want != 0 {
+			if _, taken := g.byPublic[want]; !taken {
+				return want
+			}
+		}
+		return g.contiguousPort()
+	case AllocRandom:
+		for i := 0; i < 1024; i++ {
+			p := uint16(49152 + g.rng.Intn(16384))
+			if _, taken := g.byPublic[p]; !taken {
+				return p
+			}
+		}
+		return g.contiguousPort()
+	default:
+		return g.contiguousPort()
+	}
+}
+
+func (g *Gateway) contiguousPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := g.nextPort
+		g.nextPort++
+		if g.nextPort == 0 {
+			g.nextPort = 49152
+		}
+		if p == 0 {
+			continue
+		}
+		if _, taken := g.byPublic[p]; !taken {
+			return p
+		}
+	}
+	// The port space is exhausted; reuse the counter value. In practice
+	// simulations never open 65k concurrent mappings per gateway.
+	return g.nextPort
+}

@@ -1,0 +1,296 @@
+package nat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) fn() func() time.Duration { return func() time.Duration { return c.now } }
+
+var (
+	natIP    = addr.MakeIP(80, 1, 1, 1)
+	inside   = addr.Endpoint{IP: addr.MakeIP(10, 0, 0, 2), Port: 7000}
+	remoteA  = addr.Endpoint{IP: addr.MakeIP(90, 0, 0, 1), Port: 1111}
+	remoteA2 = addr.Endpoint{IP: addr.MakeIP(90, 0, 0, 1), Port: 2222}
+	remoteB  = addr.Endpoint{IP: addr.MakeIP(91, 0, 0, 1), Port: 1111}
+)
+
+func newGW(t *testing.T, cfg Config, clk *fakeClock) *Gateway {
+	t.Helper()
+	g, err := NewGateway(cfg, clk.fn(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	return g
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := &fakeClock{}
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero ip", Config{Mapping: MappingEndpointIndependent, Filtering: FilteringEndpointIndependent, Allocation: AllocContiguous, MappingTimeout: time.Second}},
+		{"no policies", Config{PublicIP: natIP, MappingTimeout: time.Second}},
+		{"no timeout", Config{PublicIP: natIP, Mapping: MappingEndpointIndependent, Filtering: FilteringEndpointIndependent, Allocation: AllocContiguous}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewGateway(tt.cfg, clk.fn(), nil); err == nil {
+				t.Fatal("NewGateway accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRandomAllocationRequiresRNG(t *testing.T) {
+	cfg := DefaultConfig(natIP)
+	cfg.Allocation = AllocRandom
+	if _, err := NewGateway(cfg, (&fakeClock{}).fn(), nil); err == nil {
+		t.Fatal("NewGateway accepted AllocRandom without rng")
+	}
+}
+
+func TestOutboundCreatesStableMappingEI(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	p1 := g.Outbound(inside, remoteA)
+	p2 := g.Outbound(inside, remoteB)
+	if p1 != p2 {
+		t.Fatalf("EI mapping allocated different public endpoints %v and %v", p1, p2)
+	}
+	if p1.IP != natIP {
+		t.Fatalf("public endpoint IP = %v, want gateway IP", p1.IP)
+	}
+}
+
+func TestPortPreservationKeepsInternalPort(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	p := g.Outbound(inside, remoteA)
+	if p.Port != inside.Port {
+		t.Fatalf("port = %d, want preserved %d", p.Port, inside.Port)
+	}
+}
+
+func TestPortPreservationFallsBackOnConflict(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	other := addr.Endpoint{IP: addr.MakeIP(10, 0, 0, 3), Port: inside.Port}
+	p1 := g.Outbound(inside, remoteA)
+	p2 := g.Outbound(other, remoteA)
+	if p1.Port == p2.Port {
+		t.Fatal("two internal sockets share one public port")
+	}
+}
+
+func TestAddressPortDependentMappingAllocatesPerDestination(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.Mapping = MappingAddressPortDependent
+	g := newGW(t, cfg, clk)
+	p1 := g.Outbound(inside, remoteA)
+	p2 := g.Outbound(inside, remoteA2)
+	p3 := g.Outbound(inside, remoteA)
+	if p1 == p2 {
+		t.Fatal("APD mapping reused a public port across destinations")
+	}
+	if p1 != p3 {
+		t.Fatal("APD mapping not stable for a repeated destination")
+	}
+}
+
+func TestAddressDependentMappingSharesPortAcrossRemotePorts(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.Mapping = MappingAddressDependent
+	g := newGW(t, cfg, clk)
+	p1 := g.Outbound(inside, remoteA)
+	p2 := g.Outbound(inside, remoteA2) // same IP, different port
+	p3 := g.Outbound(inside, remoteB)  // different IP
+	if p1 != p2 {
+		t.Fatal("AD mapping split a single remote IP across public ports")
+	}
+	if p1 == p3 {
+		t.Fatal("AD mapping reused a public port across remote IPs")
+	}
+}
+
+func TestInboundUnsolicitedDropped(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	if _, ok := g.Inbound(remoteA, addr.Endpoint{IP: natIP, Port: 7000}); ok {
+		t.Fatal("unsolicited inbound packet admitted")
+	}
+}
+
+func TestFilteringPolicies(t *testing.T) {
+	tests := []struct {
+		name      string
+		filtering FilteringPolicy
+		sender    addr.Endpoint
+		admitted  bool
+	}{
+		{"EI admits anyone", FilteringEndpointIndependent, remoteB, true},
+		{"AD admits same IP different port", FilteringAddressDependent, remoteA2, true},
+		{"AD rejects other IP", FilteringAddressDependent, remoteB, false},
+		{"APD admits exact endpoint", FilteringAddressPortDependent, remoteA, true},
+		{"APD rejects same IP different port", FilteringAddressPortDependent, remoteA2, false},
+		{"APD rejects other IP", FilteringAddressPortDependent, remoteB, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			clk := &fakeClock{}
+			cfg := DefaultConfig(natIP)
+			cfg.Filtering = tt.filtering
+			g := newGW(t, cfg, clk)
+			pub := g.Outbound(inside, remoteA)
+			got, ok := g.Inbound(tt.sender, pub)
+			if ok != tt.admitted {
+				t.Fatalf("Inbound admitted=%v, want %v", ok, tt.admitted)
+			}
+			if ok && got != inside {
+				t.Fatalf("Inbound translated to %v, want %v", got, inside)
+			}
+		})
+	}
+}
+
+func TestMappingExpiry(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	pub := g.Outbound(inside, remoteA)
+	clk.now = 31 * time.Second // past the 30s timeout
+	if _, ok := g.Inbound(remoteA, pub); ok {
+		t.Fatal("expired mapping admitted inbound traffic")
+	}
+}
+
+func TestOutboundRefreshesMapping(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	pub := g.Outbound(inside, remoteA)
+	clk.now = 20 * time.Second
+	g.Outbound(inside, remoteA) // refresh
+	clk.now = 45 * time.Second  // 25s after refresh, within timeout
+	if _, ok := g.Inbound(remoteA, pub); !ok {
+		t.Fatal("refreshed mapping rejected inbound traffic")
+	}
+}
+
+func TestExpiredMappingReplacedOnNextOutbound(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	p1 := g.Outbound(inside, remoteA)
+	clk.now = 120 * time.Second
+	p2 := g.Outbound(inside, remoteA)
+	if p1 != p2 {
+		// Port preservation gives the same port back; the important
+		// part is that old filtering state is gone.
+		t.Logf("new mapping endpoint %v differs from %v (allowed)", p2, p1)
+	}
+	if g.ActiveMappings() != 1 {
+		t.Fatalf("ActiveMappings = %d, want 1", g.ActiveMappings())
+	}
+}
+
+func TestInboundDoesNotRefresh(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	pub := g.Outbound(inside, remoteA)
+	clk.now = 29 * time.Second
+	if _, ok := g.Inbound(remoteA, pub); !ok {
+		t.Fatal("mapping should still be alive at 29s")
+	}
+	clk.now = 58 * time.Second
+	if _, ok := g.Inbound(remoteA, pub); ok {
+		t.Fatal("inbound traffic refreshed the mapping; it should have expired")
+	}
+}
+
+func TestUPnPMapping(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.UPnP = true
+	g := newGW(t, cfg, clk)
+	pub, err := g.MapPort(inside, 9000)
+	if err != nil {
+		t.Fatalf("MapPort: %v", err)
+	}
+	if pub != (addr.Endpoint{IP: natIP, Port: 9000}) {
+		t.Fatalf("MapPort returned %v", pub)
+	}
+	// Unsolicited traffic from anyone passes, even after long idle.
+	clk.now = time.Hour
+	got, ok := g.Inbound(remoteB, pub)
+	if !ok || got != inside {
+		t.Fatalf("UPnP mapping rejected unsolicited inbound (ok=%v, got=%v)", ok, got)
+	}
+}
+
+func TestUPnPRejectedWithoutSupport(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	if _, err := g.MapPort(inside, 9000); err == nil {
+		t.Fatal("MapPort succeeded on a gateway without UPnP")
+	}
+}
+
+func TestUPnPPortConflict(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.UPnP = true
+	g := newGW(t, cfg, clk)
+	if _, err := g.MapPort(inside, 9000); err != nil {
+		t.Fatalf("first MapPort: %v", err)
+	}
+	other := addr.Endpoint{IP: addr.MakeIP(10, 0, 0, 3), Port: 8000}
+	if _, err := g.MapPort(other, 9000); err == nil {
+		t.Fatal("second MapPort on the same public port succeeded")
+	}
+}
+
+func TestInboundWrongIPRejected(t *testing.T) {
+	clk := &fakeClock{}
+	g := newGW(t, DefaultConfig(natIP), clk)
+	pub := g.Outbound(inside, remoteA)
+	wrong := addr.Endpoint{IP: addr.MakeIP(80, 1, 1, 2), Port: pub.Port}
+	if _, ok := g.Inbound(remoteA, wrong); ok {
+		t.Fatal("packet addressed to a different IP admitted")
+	}
+}
+
+func TestRandomAllocationStaysInDynamicRange(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.Allocation = AllocRandom
+	g := newGW(t, cfg, clk)
+	for i := 0; i < 100; i++ {
+		src := addr.Endpoint{IP: addr.MakeIP(10, 0, 0, byte(i+2)), Port: 7000}
+		p := g.Outbound(src, remoteA)
+		if p.Port < 49152 {
+			t.Fatalf("random port %d below dynamic range", p.Port)
+		}
+	}
+}
+
+func TestManyMappingsDistinctPorts(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := DefaultConfig(natIP)
+	cfg.Allocation = AllocContiguous
+	g := newGW(t, cfg, clk)
+	seen := make(map[uint16]bool)
+	for i := 0; i < 500; i++ {
+		src := addr.Endpoint{IP: addr.MakeIP(10, 0, byte(i>>8), byte(i)), Port: 7000}
+		p := g.Outbound(src, remoteA)
+		if seen[p.Port] {
+			t.Fatalf("public port %d allocated twice", p.Port)
+		}
+		seen[p.Port] = true
+	}
+}

@@ -1,0 +1,125 @@
+// Package natid implements the paper's minimal distributed NAT-type
+// identification protocol (Algorithm 1, §V).
+//
+// A joining node either short-circuits to public via UPnP IGD, or probes
+// bootstrap-provided public nodes: it sends a MatchingIpTest; the first
+// public node forwards a ForwardTest — carrying the client's observed
+// public endpoint — to a *different* public node not on the client's
+// probe list; that second node sends a ForwardResp straight back to the
+// observed endpoint. Receiving the response with a matching local IP
+// proves the node is publicly reachable; a mismatch or a timeout means
+// it sits behind a NAT or firewall.
+//
+// The protocol logic is transport-independent: it runs over the
+// simulated network inside experiments and over real UDP sockets in
+// cmd/natprobe.
+package natid
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Message kinds, one per event in Algorithm 1.
+const (
+	KindMatchingIPTest Kind = iota + 1
+	KindForwardTest
+	KindForwardResp
+)
+
+// Msg is implemented by all three protocol messages. Size doubles as the
+// simulated wire size.
+type Msg interface {
+	Kind() Kind
+	Size() int
+}
+
+// MatchingIPTest is sent by the node-under-test to each bootstrap-
+// provided public node. Probed lists those public nodes so the receiver
+// can pick a forwarder the client's NAT has no mapping towards
+// (Algorithm 1 line 28).
+type MatchingIPTest struct {
+	Probed []addr.Endpoint
+}
+
+// Kind implements Msg.
+func (MatchingIPTest) Kind() Kind { return KindMatchingIPTest }
+
+// Size implements Msg.
+func (m MatchingIPTest) Size() int {
+	return 1 + wire.CountSize + len(m.Probed)*wire.EndpointSize
+}
+
+// ForwardTest carries the client's observed public endpoint from the
+// first public node to the second.
+type ForwardTest struct {
+	Client addr.Endpoint
+}
+
+// Kind implements Msg.
+func (ForwardTest) Kind() Kind { return KindForwardTest }
+
+// Size implements Msg.
+func (ForwardTest) Size() int { return 1 + wire.EndpointSize }
+
+// ForwardResp is sent by the second public node directly to the client's
+// observed endpoint, echoing that endpoint so the client can compare it
+// with its local address.
+type ForwardResp struct {
+	Observed addr.Endpoint
+}
+
+// Kind implements Msg.
+func (ForwardResp) Kind() Kind { return KindForwardResp }
+
+// Size implements Msg.
+func (ForwardResp) Size() int { return 1 + wire.EndpointSize }
+
+// Encode serialises a message for the real-UDP transport.
+func Encode(m Msg) []byte {
+	var w wire.Writer
+	w.PutU8(uint8(m.Kind()))
+	switch t := m.(type) {
+	case MatchingIPTest:
+		w.PutU8(uint8(len(t.Probed)))
+		for _, ep := range t.Probed {
+			w.PutEndpoint(ep)
+		}
+	case ForwardTest:
+		w.PutEndpoint(t.Client)
+	case ForwardResp:
+		w.PutEndpoint(t.Observed)
+	}
+	return w.Bytes()
+}
+
+// Decode parses a datagram produced by Encode.
+func Decode(b []byte) (Msg, error) {
+	r := wire.NewReader(b)
+	kind := Kind(r.U8())
+	var m Msg
+	switch kind {
+	case KindMatchingIPTest:
+		n := int(r.U8())
+		t := MatchingIPTest{}
+		for i := 0; i < n; i++ {
+			t.Probed = append(t.Probed, r.Endpoint())
+		}
+		m = t
+	case KindForwardTest:
+		m = ForwardTest{Client: r.Endpoint()}
+	case KindForwardResp:
+		m = ForwardResp{Observed: r.Endpoint()}
+	default:
+		return nil, fmt.Errorf("natid: unknown message kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("natid: decode %v: %w", kind, err)
+	}
+	return m, nil
+}

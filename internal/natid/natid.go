@@ -1,0 +1,156 @@
+package natid
+
+import (
+	"time"
+
+	"repro/internal/addr"
+)
+
+// Env abstracts the transport and timer facilities the protocol needs,
+// so the same client/server logic runs over the simulated network and
+// over real UDP sockets.
+type Env interface {
+	// Send transmits a protocol message to an endpoint.
+	Send(to addr.Endpoint, m Msg)
+	// After schedules fn once after d; the returned function cancels it.
+	After(d time.Duration, fn func()) (cancel func())
+	// LocalIP returns the host's own interface address, compared
+	// against the observed address in ForwardResp.
+	LocalIP() addr.IP
+}
+
+// Result is the outcome of a NAT-type identification run.
+type Result struct {
+	// Type is the discovered NAT type (never NatUnknown).
+	Type addr.NatType
+	// Observed is the node's public endpoint as seen by the first
+	// responding public node. For public nodes it equals the local
+	// endpoint; for private nodes behind endpoint-independent-mapping
+	// NATs it is the stable mapped endpoint worth advertising. Zero if
+	// the run timed out.
+	Observed addr.Endpoint
+	// ViaUPnP reports that the node became public by installing a UPnP
+	// IGD port mapping rather than by the probe exchange.
+	ViaUPnP bool
+}
+
+// UPnPMapper installs a UPnP IGD port mapping and returns the resulting
+// public endpoint. Implementations return an error when the gateway does
+// not support UPnP.
+type UPnPMapper func() (addr.Endpoint, error)
+
+// Client executes Algorithm 1 on the node under test. Construct with
+// NewClient, then call Start once. The done callback fires exactly once.
+type Client struct {
+	env         Env
+	timeout     time.Duration
+	done        func(Result)
+	finished    bool
+	cancelTimer func()
+}
+
+// DefaultTimeout is the ForwardResp wait used when the caller does not
+// override it. It must comfortably exceed two internet round trips.
+const DefaultTimeout = 4 * time.Second
+
+// NewClient builds a client. done receives the result exactly once.
+func NewClient(env Env, timeout time.Duration, done func(Result)) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{env: env, timeout: timeout, done: done}
+}
+
+// Start runs the protocol: UPnP short-circuit if available, otherwise
+// parallel MatchingIpTest probes to the given public nodes and a single
+// timeout (Algorithm 1 lines 3-11). A run with no public nodes and no
+// UPnP resolves to private immediately.
+func (c *Client) Start(publics []addr.Endpoint, upnp UPnPMapper) {
+	if c.finished {
+		return
+	}
+	if upnp != nil {
+		if ep, err := upnp(); err == nil {
+			c.finish(Result{Type: addr.Public, Observed: ep, ViaUPnP: true})
+			return
+		}
+	}
+	if len(publics) == 0 {
+		c.finish(Result{Type: addr.Private})
+		return
+	}
+	probe := MatchingIPTest{Probed: publics}
+	for _, ep := range publics {
+		c.env.Send(ep, probe)
+	}
+	c.cancelTimer = c.env.After(c.timeout, func() {
+		// Timeout event (line 14): no ForwardResp arrived in time.
+		c.finish(Result{Type: addr.Private})
+	})
+}
+
+// HandleForwardResp processes the ForwardResp event (Algorithm 1
+// line 18): first response wins; a matching local IP means public.
+func (c *Client) HandleForwardResp(m ForwardResp) {
+	if c.finished {
+		return
+	}
+	typ := addr.Private
+	if m.Observed.IP == c.env.LocalIP() {
+		typ = addr.Public
+	}
+	c.finish(Result{Type: typ, Observed: m.Observed})
+}
+
+// Finished reports whether the run has concluded.
+func (c *Client) Finished() bool { return c.finished }
+
+func (c *Client) finish(r Result) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+	if c.done != nil {
+		c.done(r)
+	}
+}
+
+// ForwarderPicker selects the second public node for a ForwardTest: a
+// good public node *not* in the exclude list (the client's probe set),
+// because the client's NAT may hold mappings towards probed nodes that
+// would let the response through erroneously (paper §V).
+type ForwarderPicker func(exclude []addr.Endpoint) (addr.Endpoint, bool)
+
+// Server implements the public-node side of the protocol. Every public
+// node runs one.
+type Server struct {
+	env  Env
+	pick ForwarderPicker
+}
+
+// NewServer builds a server around a forwarder picker.
+func NewServer(env Env, pick ForwarderPicker) *Server {
+	return &Server{env: env, pick: pick}
+}
+
+// HandleMatchingIPTest processes a probe from a client (Algorithm 1
+// line 27): it relays the client's observed endpoint to a second public
+// node outside the client's probe set. With no eligible forwarder the
+// test is silently dropped and the client's timeout decides.
+func (s *Server) HandleMatchingIPTest(from addr.Endpoint, m MatchingIPTest) {
+	second, ok := s.pick(m.Probed)
+	if !ok {
+		return
+	}
+	s.env.Send(second, ForwardTest{Client: from})
+}
+
+// HandleForwardTest processes a relayed test (Algorithm 1 line 32),
+// answering straight to the client's observed endpoint.
+func (s *Server) HandleForwardTest(m ForwardTest) {
+	s.env.Send(m.Client, ForwardResp{Observed: m.Client})
+}

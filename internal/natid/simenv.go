@@ -1,0 +1,65 @@
+package natid
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// SimEnv adapts a simulated socket and the event scheduler to the
+// protocol's Env interface. Incoming packets must be routed to Dispatch
+// by the owner of the socket.
+type SimEnv struct {
+	sched  *sim.Scheduler
+	sock   *simnet.Socket
+	client *Client
+	server *Server
+}
+
+// NewSimEnv wraps a socket. Attach a client and/or server afterwards via
+// SetClient / SetServer.
+func NewSimEnv(sched *sim.Scheduler, sock *simnet.Socket) *SimEnv {
+	return &SimEnv{sched: sched, sock: sock}
+}
+
+// SetClient routes ForwardResp messages to c.
+func (e *SimEnv) SetClient(c *Client) { e.client = c }
+
+// SetServer routes test messages to s.
+func (e *SimEnv) SetServer(s *Server) { e.server = s }
+
+// Send implements Env over the simulated network.
+func (e *SimEnv) Send(to addr.Endpoint, m Msg) {
+	e.sock.Send(to, m)
+}
+
+// After implements Env using the simulation scheduler.
+func (e *SimEnv) After(d time.Duration, fn func()) func() {
+	ev := e.sched.After(d, fn)
+	return ev.Cancel
+}
+
+// LocalIP implements Env.
+func (e *SimEnv) LocalIP() addr.IP { return e.sock.Host().IP() }
+
+// Dispatch routes a received packet to the attached client or server.
+// Unknown payloads are ignored, mirroring a UDP service skipping
+// malformed datagrams.
+func (e *SimEnv) Dispatch(pkt simnet.Packet) {
+	switch m := pkt.Msg.(type) {
+	case MatchingIPTest:
+		if e.server != nil {
+			e.server.HandleMatchingIPTest(pkt.From, m)
+		}
+	case ForwardTest:
+		if e.server != nil {
+			e.server.HandleForwardTest(m)
+		}
+	case ForwardResp:
+		if e.client != nil {
+			e.client.HandleForwardResp(m)
+		}
+	}
+}

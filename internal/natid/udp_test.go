@@ -1,0 +1,162 @@
+package natid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// newUDPHelper starts a loopback helper node running the server side,
+// with a picker that returns forward (if non-zero).
+func newUDPHelper(t *testing.T, forward addr.Endpoint) *UDPNode {
+	t.Helper()
+	n, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	t.Cleanup(func() { n.Close() })
+	n.SetServer(NewServer(n, func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
+		if forward.IsZero() {
+			return addr.Endpoint{}, false
+		}
+		for _, ex := range exclude {
+			if ex == forward {
+				return addr.Endpoint{}, false
+			}
+		}
+		return forward, true
+	}))
+	return n
+}
+
+func TestUDPLoopbackPublicVerdict(t *testing.T) {
+	second := newUDPHelper(t, addr.Endpoint{})
+	first := newUDPHelper(t, second.Endpoint())
+
+	client, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP client: %v", err)
+	}
+	defer client.Close()
+
+	results := make(chan Result, 1)
+	c := NewClient(client, 2*time.Second, func(r Result) { results <- r })
+	client.StartClient(c, []addr.Endpoint{first.Endpoint()}, nil)
+
+	select {
+	case r := <-results:
+		if r.Type != addr.Public {
+			t.Fatalf("Type = %v, want public on loopback", r.Type)
+		}
+		if r.Observed != client.Endpoint() {
+			t.Fatalf("Observed = %v, want %v", r.Observed, client.Endpoint())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never finished")
+	}
+}
+
+func TestUDPLoopbackMismatchVerdict(t *testing.T) {
+	second := newUDPHelper(t, addr.Endpoint{})
+	first := newUDPHelper(t, second.Endpoint())
+
+	client, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP client: %v", err)
+	}
+	defer client.Close()
+	// Pretend the local interface has a different address than the one
+	// observed by the helpers — the NATed situation.
+	client.SetLocalIP(addr.MakeIP(10, 0, 0, 2))
+
+	results := make(chan Result, 1)
+	c := NewClient(client, 2*time.Second, func(r Result) { results <- r })
+	client.StartClient(c, []addr.Endpoint{first.Endpoint()}, nil)
+
+	select {
+	case r := <-results:
+		if r.Type != addr.Private {
+			t.Fatalf("Type = %v, want private on IP mismatch", r.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never finished")
+	}
+}
+
+func TestUDPLoopbackTimeoutVerdict(t *testing.T) {
+	// Probe a black-holed endpoint: nothing answers, timeout ⇒ private.
+	client, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP client: %v", err)
+	}
+	defer client.Close()
+
+	results := make(chan Result, 1)
+	c := NewClient(client, 300*time.Millisecond, func(r Result) { results <- r })
+	// An unbound loopback port; writes succeed, nothing listens.
+	dead := addr.Endpoint{IP: addr.MakeIP(127, 0, 0, 1), Port: 1}
+	client.StartClient(c, []addr.Endpoint{dead}, nil)
+
+	select {
+	case r := <-results:
+		if r.Type != addr.Private {
+			t.Fatalf("Type = %v, want private on timeout", r.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never finished")
+	}
+}
+
+func TestEncodeDecodeAllKinds(t *testing.T) {
+	msgs := []Msg{
+		MatchingIPTest{Probed: []addr.Endpoint{{IP: 1, Port: 2}, {IP: 3, Port: 4}}},
+		MatchingIPTest{},
+		ForwardTest{Client: addr.Endpoint{IP: 5, Port: 6}},
+		ForwardResp{Observed: addr.Endpoint{IP: 7, Port: 8}},
+	}
+	for _, m := range msgs {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m.Kind(), err)
+		}
+		if got.Kind() != m.Kind() {
+			t.Fatalf("kind = %v, want %v", got.Kind(), m.Kind())
+		}
+		switch orig := m.(type) {
+		case MatchingIPTest:
+			back, ok := got.(MatchingIPTest)
+			if !ok || len(back.Probed) != len(orig.Probed) {
+				t.Fatalf("round trip mangled %#v to %#v", orig, got)
+			}
+			for i := range orig.Probed {
+				if back.Probed[i] != orig.Probed[i] {
+					t.Fatalf("probe %d: %v != %v", i, back.Probed[i], orig.Probed[i])
+				}
+			}
+		case ForwardTest:
+			if got.(ForwardTest) != orig {
+				t.Fatalf("round trip mangled %#v", orig)
+			}
+		case ForwardResp:
+			if got.(ForwardResp) != orig {
+				t.Fatalf("round trip mangled %#v", orig)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{}); err == nil {
+		t.Fatal("Decode accepted empty datagram")
+	}
+	if _, err := Decode([]byte{99, 1, 2}); err == nil {
+		t.Fatal("Decode accepted unknown kind")
+	}
+	if _, err := Decode([]byte{byte(KindForwardTest), 1}); err == nil {
+		t.Fatal("Decode accepted truncated ForwardTest")
+	}
+	if _, err := Decode([]byte{byte(KindMatchingIPTest), 5, 0}); err == nil {
+		t.Fatal("Decode accepted truncated probe list")
+	}
+}

@@ -1,0 +1,505 @@
+// Package nylon implements the Nylon NAT-resilient peer-sampling service
+// (Kermarrec, Pace, Quéma, Schiavoni — ICDCS 2009), the paper's second
+// comparison baseline.
+//
+// Nylon keeps a single Cyclon-style view. Any two nodes that complete a
+// view exchange become each other's rendezvous points (RVPs) and keep
+// their mutual NAT mappings warm with periodic keep-alives. To shuffle
+// with a private node, the requester first punches toward the target's
+// mapped endpoint, then routes a hole-punch request along the chain of
+// RVPs through which it learned the target's descriptor; the target
+// punches back, and the view exchange itself happens directly over the
+// freshly punched hole. Chains are unbounded in length, which is exactly
+// what makes Nylon fragile under churn and expensive on high-latency
+// paths — behaviours the Croupier paper measures against it.
+package nylon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/pss"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Config parameterises one Nylon node.
+type Config struct {
+	// Params holds the shared gossip parameters.
+	Params pss.Params
+	// RVPTTL is how many rounds an RVP relationship (and its routing
+	// usefulness) survives without being refreshed.
+	RVPTTL int
+	// KeepAliveEvery is the keep-alive period towards RVPs, in rounds.
+	KeepAliveEvery int
+	// RouteTTL is how many rounds a routing-table entry stays valid.
+	RouteTTL int
+	// MaxHops bounds chain length as a routing-loop guard. The
+	// protocol itself places no bound (the source of its fragility);
+	// this only protects the simulation from pathological cycles.
+	MaxHops int
+	// PendingTTL bounds how many rounds punch/shuffle state is kept.
+	PendingTTL int
+}
+
+// DefaultConfig returns the setup used in the comparison experiments.
+func DefaultConfig() Config {
+	return Config{
+		Params:         pss.DefaultParams(),
+		RVPTTL:         20,
+		KeepAliveEvery: 5,
+		RouteTTL:       30,
+		MaxHops:        16,
+		PendingTTL:     5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.RVPTTL <= 0 || c.KeepAliveEvery <= 0 || c.RouteTTL <= 0 || c.PendingTTL <= 0 {
+		return fmt.Errorf("nylon: TTLs and keep-alive period must be positive")
+	}
+	if c.MaxHops <= 0 {
+		return fmt.Errorf("nylon: max hops must be positive, got %d", c.MaxHops)
+	}
+	return nil
+}
+
+// ShuffleReq is the direct view-exchange request (sent after any needed
+// hole punching).
+type ShuffleReq struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleReq) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+// ShuffleRes answers a ShuffleReq.
+type ShuffleRes struct {
+	From  view.Descriptor
+	Descs []view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m ShuffleRes) Size() int {
+	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
+}
+
+// Punch is the hole-opening packet sent straight at a NATed endpoint; it
+// is expected to be filtered on first contact.
+type Punch struct{}
+
+// Size implements simnet.Message.
+func (Punch) Size() int { return wire.MsgHeaderSize }
+
+// HolePunchReq travels along the RVP chain to a private target, asking
+// it to punch back to Origin.
+type HolePunchReq struct {
+	Origin   addr.NodeID
+	OriginEP addr.Endpoint // observed endpoint, stamped by the first hop
+	Target   addr.NodeID
+	Hops     int
+}
+
+// Size implements simnet.Message.
+func (m HolePunchReq) Size() int { return wire.MsgHeaderSize + 2 + wire.EndpointSize + 2 + 1 }
+
+// PunchOK tells the requester the target punched toward it and the
+// direct path is open.
+type PunchOK struct {
+	From view.Descriptor
+}
+
+// Size implements simnet.Message.
+func (m PunchOK) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
+
+// KeepAlive refreshes an RVP relationship and the underlying NAT
+// mapping.
+type KeepAlive struct {
+	From addr.NodeID
+}
+
+// Size implements simnet.Message.
+func (m KeepAlive) Size() int { return wire.MsgHeaderSize + 2 }
+
+// KeepAliveAck answers a KeepAlive, refreshing the reverse mapping.
+type KeepAliveAck struct {
+	From addr.NodeID
+}
+
+// Size implements simnet.Message.
+func (m KeepAliveAck) Size() int { return wire.MsgHeaderSize + 2 }
+
+// rvp records a rendezvous relationship with a direct, punched peer.
+type rvp struct {
+	endpoint    addr.Endpoint
+	lastRefresh int
+}
+
+// route is a routing-table entry: the next hop towards a (private) node.
+type route struct {
+	nextHop   addr.NodeID
+	nextHopEP addr.Endpoint
+	updated   int
+}
+
+type pendingShuffle struct {
+	sent  []view.Descriptor
+	round int
+}
+
+// pendingPunch is requester-side state waiting for a PunchOK.
+type pendingPunch struct {
+	req   ShuffleReq
+	sent  []view.Descriptor
+	round int
+}
+
+// Node is one Nylon protocol instance.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler
+	sock  *simnet.Socket
+	rng   *rand.Rand
+
+	self addr.NodeID
+	ep   addr.Endpoint
+	nat  addr.NatType
+
+	view    *view.View
+	pending map[addr.NodeID]pendingShuffle
+	punches map[addr.NodeID]pendingPunch
+	rvps    map[addr.NodeID]*rvp
+	routes  map[addr.NodeID]*route
+
+	ticker      *pss.Ticker
+	rounds      int
+	running     bool
+	rebootstrap func() []view.Descriptor
+
+	failedShuffles uint64
+	relayedMsgs    uint64
+}
+
+// New constructs a Nylon node seeded with the given descriptors.
+func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.NatType,
+	selfEP addr.Endpoint, seeds []view.Descriptor) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if natType == addr.NatUnknown {
+		return nil, fmt.Errorf("nylon: node %v has unknown NAT type; run natid first", sock.Host().ID())
+	}
+	n := &Node{
+		cfg:     cfg,
+		sched:   sched,
+		sock:    sock,
+		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		self:    sock.Host().ID(),
+		ep:      selfEP,
+		nat:     natType,
+		pending: make(map[addr.NodeID]pendingShuffle),
+		punches: make(map[addr.NodeID]pendingPunch),
+		rvps:    make(map[addr.NodeID]*rvp),
+		routes:  make(map[addr.NodeID]*route),
+	}
+	n.view = view.New(cfg.Params.ViewSize, n.self)
+	for _, d := range seeds {
+		n.view.Add(d)
+	}
+	return n, nil
+}
+
+// ID implements pss.Protocol.
+func (n *Node) ID() addr.NodeID { return n.self }
+
+// NatType implements pss.Protocol.
+func (n *Node) NatType() addr.NatType { return n.nat }
+
+// Rounds returns the number of gossip rounds executed.
+func (n *Node) Rounds() int { return n.rounds }
+
+// Neighbors implements pss.Protocol.
+func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
+
+// Sample implements pss.Protocol with a uniform draw over the view.
+func (n *Node) Sample() (view.Descriptor, bool) { return n.view.Random(n.rng) }
+
+// FailedShuffles counts exchanges abandoned for lack of a route.
+func (n *Node) FailedShuffles() uint64 { return n.failedShuffles }
+
+// RelayedMessages counts chain messages this node forwarded for others.
+func (n *Node) RelayedMessages() uint64 { return n.relayedMsgs }
+
+// RVPCount returns the number of live rendezvous relationships.
+func (n *Node) RVPCount() int { return len(n.rvps) }
+
+// SetRebootstrap installs a callback queried for fresh seed
+// descriptors whenever the view runs empty, mirroring a real client
+// re-contacting the bootstrap service instead of staying isolated.
+func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// Start implements pss.Protocol.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+}
+
+// Stop implements pss.Protocol.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	n.ticker.Stop()
+}
+
+func (n *Node) selfDescriptor() view.Descriptor {
+	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
+}
+
+func (n *Node) round() {
+	n.rounds++
+	n.view.IncrementAges()
+	n.expireState()
+	if n.rounds%n.cfg.KeepAliveEvery == 0 {
+		n.sendKeepAlives()
+	}
+
+	if n.view.Len() == 0 && n.rebootstrap != nil {
+		for _, d := range n.rebootstrap() {
+			n.view.Add(d)
+		}
+	}
+	q, ok := n.view.TakeOldest()
+	if !ok {
+		return
+	}
+	subset := append(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1), n.selfDescriptor())
+	subset = dropNode(subset, q.ID)
+	req := ShuffleReq{From: n.selfDescriptor(), Descs: subset}
+
+	if q.Nat == addr.Public {
+		n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
+		n.sock.Send(q.Endpoint, req)
+		return
+	}
+	// Private target with a live punched hole: exchange directly.
+	if r, ok := n.rvps[q.ID]; ok {
+		n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
+		n.sock.Send(r.endpoint, req)
+		return
+	}
+	// Otherwise hole-punch through the RVP chain: open this side, then
+	// route the punch request towards the target.
+	hop, ok := n.nextHopFor(q)
+	if !ok {
+		n.failedShuffles++
+		return
+	}
+	n.punches[q.ID] = pendingPunch{req: req, sent: subset, round: n.rounds}
+	n.sock.Send(q.Endpoint, Punch{}) // opens our NAT toward the target
+	n.sock.Send(hop, HolePunchReq{Origin: n.self, Target: q.ID, Hops: 1})
+}
+
+// nextHopFor finds where to route a chain message for target q: the
+// routing table first, the descriptor's via as fallback.
+func (n *Node) nextHopFor(q view.Descriptor) (addr.Endpoint, bool) {
+	if r, ok := n.routes[q.ID]; ok && n.rounds-r.updated <= n.cfg.RouteTTL {
+		return r.nextHopEP, true
+	}
+	if q.Via != 0 && q.Via != n.self && !q.ViaEndpoint.IsZero() {
+		return q.ViaEndpoint, true
+	}
+	return addr.Endpoint{}, false
+}
+
+// expireState ages out dead RVPs, stale routes, and abandoned punch or
+// shuffle attempts.
+func (n *Node) expireState() {
+	for id, r := range n.rvps {
+		if n.rounds-r.lastRefresh > n.cfg.RVPTTL {
+			delete(n.rvps, id)
+		}
+	}
+	for id, r := range n.routes {
+		if n.rounds-r.updated > n.cfg.RouteTTL {
+			delete(n.routes, id)
+		}
+	}
+	for id, p := range n.pending {
+		if n.rounds-p.round > n.cfg.PendingTTL {
+			delete(n.pending, id)
+		}
+	}
+	for id, p := range n.punches {
+		if n.rounds-p.round > n.cfg.PendingTTL {
+			delete(n.punches, id)
+			n.failedShuffles++
+		}
+	}
+}
+
+func (n *Node) sendKeepAlives() {
+	// Send in sorted order so packet sequencing (and thus the whole
+	// run) stays deterministic.
+	ids := make([]addr.NodeID, 0, len(n.rvps))
+	for id := range n.rvps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n.sock.Send(n.rvps[id].endpoint, KeepAlive{From: n.self})
+	}
+}
+
+// becomeRVPs records a completed direct exchange with a peer: both sides
+// now relay for each other (the defining Nylon mechanism).
+func (n *Node) becomeRVPs(id addr.NodeID, ep addr.Endpoint) {
+	r, ok := n.rvps[id]
+	if !ok {
+		r = &rvp{}
+		n.rvps[id] = r
+	}
+	r.endpoint = ep
+	r.lastRefresh = n.rounds
+	// A direct relationship is also the best route.
+	n.routes[id] = &route{nextHop: id, nextHopEP: ep, updated: n.rounds}
+}
+
+// learnRoutes updates the routing table and stamps Via on received
+// private descriptors: the exchange partner is the next hop towards
+// every private node it advertised (Nylon's routing-table maintenance).
+func (n *Node) learnRoutes(descs []view.Descriptor, partner addr.NodeID, partnerEP addr.Endpoint) []view.Descriptor {
+	out := make([]view.Descriptor, 0, len(descs))
+	for _, d := range descs {
+		if d.Nat == addr.Private && d.ID != n.self {
+			d.Via = partner
+			d.ViaEndpoint = partnerEP
+			if cur, ok := n.routes[d.ID]; !ok || cur.nextHop != d.ID {
+				n.routes[d.ID] = &route{nextHop: partner, nextHopEP: partnerEP, updated: n.rounds}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.ID != id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HandlePacket is the socket handler.
+func (n *Node) HandlePacket(pkt simnet.Packet) {
+	switch m := pkt.Msg.(type) {
+	case ShuffleReq:
+		n.handleReq(pkt.From, m)
+	case ShuffleRes:
+		n.handleRes(pkt.From, m)
+	case Punch:
+		// Hole-opening packet: nothing to do, the NAT state is the
+		// side effect.
+	case HolePunchReq:
+		n.handleHolePunchReq(pkt.From, m)
+	case PunchOK:
+		n.handlePunchOK(pkt.From, m)
+	case KeepAlive:
+		n.handleKeepAlive(pkt.From, m)
+	case KeepAliveAck:
+		n.handleKeepAliveAck(m)
+	}
+}
+
+func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq) {
+	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
+	res := ShuffleRes{From: n.selfDescriptor(), Descs: subset}
+	n.sock.Send(from, res)
+	n.view.Merge(subset, n.learnRoutes(req.Descs, req.From.ID, from))
+	n.becomeRVPs(req.From.ID, from)
+}
+
+func (n *Node) handleRes(from addr.Endpoint, res ShuffleRes) {
+	p, ok := n.pending[res.From.ID]
+	if !ok {
+		return
+	}
+	delete(n.pending, res.From.ID)
+	n.view.Merge(p.sent, n.learnRoutes(res.Descs, res.From.ID, from))
+	n.becomeRVPs(res.From.ID, from)
+}
+
+// handleHolePunchReq either delivers the punch request to the target (if
+// this node holds a live direct relationship with it) or forwards it one
+// hop further along its own route.
+func (n *Node) handleHolePunchReq(from addr.Endpoint, m HolePunchReq) {
+	if m.OriginEP.IsZero() {
+		// First hop observes the requester's public endpoint.
+		m.OriginEP = from
+	}
+	if m.Target == n.self {
+		// We are the target: punch back to the origin and confirm.
+		n.sock.Send(m.OriginEP, PunchOK{From: n.selfDescriptor()})
+		return
+	}
+	if m.Hops >= n.cfg.MaxHops {
+		return
+	}
+	m.Hops++
+	n.relayedMsgs++
+	if r, ok := n.rvps[m.Target]; ok {
+		n.sock.Send(r.endpoint, m)
+		return
+	}
+	if r, ok := n.routes[m.Target]; ok && n.rounds-r.updated <= n.cfg.RouteTTL {
+		n.sock.Send(r.nextHopEP, m)
+		return
+	}
+	// Route lost: the chain breaks and the requester's punch times out.
+}
+
+// handlePunchOK fires the deferred shuffle over the now-open hole.
+func (n *Node) handlePunchOK(from addr.Endpoint, m PunchOK) {
+	p, ok := n.punches[m.From.ID]
+	if !ok {
+		return
+	}
+	delete(n.punches, m.From.ID)
+	n.pending[m.From.ID] = pendingShuffle{sent: p.sent, round: n.rounds}
+	n.sock.Send(from, p.req)
+}
+
+func (n *Node) handleKeepAlive(from addr.Endpoint, m KeepAlive) {
+	if r, ok := n.rvps[m.From]; ok {
+		r.lastRefresh = n.rounds
+		r.endpoint = from
+	}
+	n.sock.Send(from, KeepAliveAck{From: n.self})
+}
+
+func (n *Node) handleKeepAliveAck(m KeepAliveAck) {
+	if r, ok := n.rvps[m.From]; ok {
+		r.lastRefresh = n.rounds
+	}
+}
+
+var _ pss.Protocol = (*Node)(nil)

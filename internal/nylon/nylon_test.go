@@ -1,0 +1,304 @@
+package nylon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/latency"
+	"repro/internal/nat"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+type rig struct {
+	sched *sim.Scheduler
+	net   *simnet.Network
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.New(1)
+	n, err := simnet.New(sched, simnet.Config{Latency: latency.Constant(5 * time.Millisecond)})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	return &rig{sched: sched, net: n}
+}
+
+func (r *rig) pubNode(t *testing.T, id addr.NodeID, seeds []view.Descriptor) *Node {
+	t.Helper()
+	h, err := r.net.AddPublicHost(id)
+	if err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	return r.attach(t, h, addr.Public, seeds)
+}
+
+func (r *rig) priNode(t *testing.T, id addr.NodeID, seeds []view.Descriptor) *Node {
+	t.Helper()
+	h, err := r.net.AddPrivateHost(id, nat.DefaultConfig(0))
+	if err != nil {
+		t.Fatalf("AddPrivateHost: %v", err)
+	}
+	return r.attach(t, h, addr.Private, seeds)
+}
+
+func (r *rig) attach(t *testing.T, h *simnet.Host, natType addr.NatType, seeds []view.Descriptor) *Node {
+	t.Helper()
+	var n *Node
+	sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	ep := addr.Endpoint{IP: h.IP(), Port: 100}
+	if gw := h.Gateway(); gw != nil {
+		ep = addr.Endpoint{IP: gw.PublicIP(), Port: 100}
+	}
+	n, err = New(DefaultConfig(), r.sched, sock, natType, ep, seeds)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func descOf(n *Node) view.Descriptor { return n.selfDescriptor() }
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg.MaxHops = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted zero max hops")
+	}
+	cfg = DefaultConfig()
+	cfg.RVPTTL = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted zero RVP TTL")
+	}
+}
+
+func TestDirectExchangeCreatesRVPs(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.pubNode(t, 2, nil)
+	a.view.Add(descOf(b))
+
+	a.round()
+	r.sched.Run()
+
+	if a.RVPCount() != 1 {
+		t.Fatalf("requester RVP count = %d, want 1", a.RVPCount())
+	}
+	if b.RVPCount() != 1 {
+		t.Fatalf("responder RVP count = %d, want 1", b.RVPCount())
+	}
+}
+
+func TestHolePunchThroughOneHop(t *testing.T) {
+	// priv exchanged with hub (public). A second node learns priv's
+	// descriptor from hub and must reach priv via punch-through-chain.
+	r := newRig(t)
+	hub := r.pubNode(t, 1, nil)
+	priv := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
+
+	priv.round() // priv <-> hub exchange; both become RVPs
+	r.sched.Run()
+	if hub.RVPCount() == 0 {
+		t.Fatal("hub has no RVP after direct exchange")
+	}
+
+	requester := r.pubNode(t, 3, nil)
+	// Learn priv's descriptor "from hub": via = hub.
+	d := descOf(priv)
+	d.Via = hub.self
+	d.ViaEndpoint = hub.ep
+	requester.view.Add(d)
+
+	requester.round()
+	r.sched.Run()
+
+	if !priv.view.Contains(3) {
+		t.Fatal("private target never received the shuffle")
+	}
+	if !requester.view.Contains(2) && requester.FailedShuffles() > 0 {
+		t.Fatal("requester's punched shuffle failed")
+	}
+	if requester.RVPCount() == 0 {
+		t.Fatal("requester did not become the private node's RVP after exchange")
+	}
+	if hub.RelayedMessages() == 0 {
+		t.Fatal("hub relayed no chain messages")
+	}
+}
+
+func TestPrivateToPrivateHolePunch(t *testing.T) {
+	r := newRig(t)
+	hub := r.pubNode(t, 1, nil)
+	a := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
+	b := r.priNode(t, 3, []view.Descriptor{descOf(hub)})
+
+	a.round() // a <-> hub
+	b.round() // b <-> hub
+	r.sched.Run()
+
+	// Give b view content to hand back in its response.
+	extra := view.Descriptor{ID: 50, Endpoint: addr.Endpoint{IP: 50, Port: 100}, Nat: addr.Public}
+	b.view.Add(extra)
+
+	// a learns b via hub.
+	d := descOf(b)
+	d.Via = hub.self
+	d.ViaEndpoint = hub.ep
+	a.view.Add(d)
+	// Ensure b's descriptor is the oldest so it gets selected.
+	for _, x := range a.view.Descriptors() {
+		if x.ID != b.self {
+			a.view.Remove(x.ID)
+		}
+	}
+
+	a.round()
+	r.sched.Run()
+
+	if !b.view.Contains(2) {
+		t.Fatal("private-to-private exchange did not reach the target")
+	}
+	// The response completed over the punched hole: a merged b's
+	// payload and both sides became RVPs.
+	if !a.view.Contains(50) {
+		t.Fatal("private requester got no response over the punched hole")
+	}
+	if a.RVPCount() == 0 || b.RVPCount() == 0 {
+		t.Fatal("punched exchange did not establish the RVP relationship")
+	}
+}
+
+func TestShuffleFailsWithoutRoute(t *testing.T) {
+	r := newRig(t)
+	orphan := view.Descriptor{ID: 99, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
+	n := r.pubNode(t, 1, []view.Descriptor{orphan})
+	n.round()
+	r.sched.Run()
+	if n.FailedShuffles() != 1 {
+		t.Fatalf("failed shuffles = %d, want 1", n.FailedShuffles())
+	}
+}
+
+func TestPunchTimesOutThroughBrokenChain(t *testing.T) {
+	r := newRig(t)
+	hub := r.pubNode(t, 1, nil)
+	priv := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
+	priv.round()
+	r.sched.Run()
+
+	requester := r.pubNode(t, 3, nil)
+	d := descOf(priv)
+	d.Via = hub.self
+	d.ViaEndpoint = hub.ep
+	requester.view.Add(d)
+
+	r.net.Remove(1) // the chain hop dies
+	requester.round()
+	r.sched.Run()
+	// Run enough rounds for the pending punch to expire.
+	for i := 0; i <= requester.cfg.PendingTTL+1; i++ {
+		requester.round()
+		r.sched.Run()
+	}
+	if requester.FailedShuffles() == 0 {
+		t.Fatal("broken chain did not surface as a failed shuffle")
+	}
+}
+
+func TestHopLimitStopsRoutingLoops(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.pubNode(t, 2, nil)
+	// Adversarial routing state: a and b point at each other for an
+	// unreachable target.
+	a.routes[99] = &route{nextHop: 2, nextHopEP: b.ep, updated: 0}
+	b.routes[99] = &route{nextHop: 1, nextHopEP: a.ep, updated: 0}
+
+	a.handleHolePunchReq(b.ep, HolePunchReq{Origin: 5, OriginEP: addr.Endpoint{IP: 9, Port: 9}, Target: 99, Hops: 0})
+	r.sched.Run()
+	total := a.RelayedMessages() + b.RelayedMessages()
+	if total > uint64(a.cfg.MaxHops)+1 {
+		t.Fatalf("%d relays for a looping route, want ≤ MaxHops", total)
+	}
+}
+
+func TestKeepAliveRefreshesRVP(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.pubNode(t, 2, nil)
+	a.view.Add(descOf(b))
+	a.round()
+	r.sched.Run()
+
+	// Idle past the TTL but with keep-alives flowing: RVPs survive.
+	for i := 0; i < a.cfg.RVPTTL*2; i++ {
+		a.rounds++
+		b.rounds++
+		if a.rounds%a.cfg.KeepAliveEvery == 0 {
+			a.sendKeepAlives()
+			b.sendKeepAlives()
+			r.sched.Run()
+		}
+		a.expireState()
+		b.expireState()
+	}
+	if a.RVPCount() != 1 || b.RVPCount() != 1 {
+		t.Fatalf("RVPs lost despite keep-alives: a=%d b=%d", a.RVPCount(), b.RVPCount())
+	}
+}
+
+func TestRVPExpiresWithoutKeepAlive(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.pubNode(t, 2, nil)
+	a.view.Add(descOf(b))
+	a.round()
+	r.sched.Run()
+	if a.RVPCount() != 1 {
+		t.Fatalf("RVP count = %d, want 1", a.RVPCount())
+	}
+	for i := 0; i <= a.cfg.RVPTTL+1; i++ {
+		a.rounds++
+		a.expireState()
+	}
+	if a.RVPCount() != 0 {
+		t.Fatal("RVP survived past TTL without refresh")
+	}
+}
+
+func TestLearnRoutesStampsVia(t *testing.T) {
+	r := newRig(t)
+	n := r.pubNode(t, 1, nil)
+	privDesc := view.Descriptor{ID: 7, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
+	partnerEP := addr.Endpoint{IP: 8, Port: 8}
+	out := n.learnRoutes([]view.Descriptor{privDesc}, 5, partnerEP)
+	if out[0].Via != 5 || out[0].ViaEndpoint != partnerEP {
+		t.Fatalf("descriptor via = %v/%v, want partner 5", out[0].Via, out[0].ViaEndpoint)
+	}
+	rt, ok := n.routes[7]
+	if !ok || rt.nextHop != 5 {
+		t.Fatal("routing table not updated from received descriptor")
+	}
+}
+
+func TestDirectRoutePreferredOverChain(t *testing.T) {
+	r := newRig(t)
+	n := r.pubNode(t, 1, nil)
+	// A direct route (nextHop == target) must not be overwritten by a
+	// learned chain hop.
+	n.routes[7] = &route{nextHop: 7, nextHopEP: addr.Endpoint{IP: 7, Port: 7}, updated: 0}
+	privDesc := view.Descriptor{ID: 7, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
+	n.learnRoutes([]view.Descriptor{privDesc}, 5, addr.Endpoint{IP: 8, Port: 8})
+	if n.routes[7].nextHop != 7 {
+		t.Fatal("direct route displaced by chain hop")
+	}
+}

@@ -1,0 +1,108 @@
+// Package pss defines what every peer-sampling protocol in this
+// repository has in common: the Protocol interface the experiment
+// harness drives, the shared parameter set from the paper's experimental
+// setup (§VII-A), and the periodic round ticker.
+package pss
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// Params are the gossip parameters shared by all four systems, defaulted
+// to the paper's experimental setup: view size 10, shuffle subset 5, one
+// round per second.
+type Params struct {
+	// ViewSize bounds each partial view (10 in the paper).
+	ViewSize int
+	// ShuffleSize bounds the subset of the view sent per exchange (5).
+	ShuffleSize int
+	// Period is the gossip round length (1 s).
+	Period time.Duration
+}
+
+// DefaultParams returns the paper's experimental setup.
+func DefaultParams() Params {
+	return Params{ViewSize: 10, ShuffleSize: 5, Period: time.Second}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.ViewSize <= 0 {
+		return fmt.Errorf("pss: view size must be positive, got %d", p.ViewSize)
+	}
+	if p.ShuffleSize <= 0 || p.ShuffleSize > p.ViewSize {
+		return fmt.Errorf("pss: shuffle size %d outside (0, %d]", p.ShuffleSize, p.ViewSize)
+	}
+	if p.Period <= 0 {
+		return fmt.Errorf("pss: period must be positive, got %v", p.Period)
+	}
+	return nil
+}
+
+// Protocol is a running peer-sampling instance on one node. The
+// experiment harness and the example applications program against this
+// interface only, so any of the four systems can back them.
+type Protocol interface {
+	// ID returns the node's identifier.
+	ID() addr.NodeID
+	// NatType returns the node's connectivity class.
+	NatType() addr.NatType
+	// Sample draws one node, aiming for uniformity over live nodes.
+	Sample() (view.Descriptor, bool)
+	// Neighbors snapshots the node's current partial view(s), the
+	// edges of the overlay graph used by the randomness metrics.
+	Neighbors() []view.Descriptor
+	// Start begins periodic gossiping.
+	Start()
+	// Stop halts gossiping. A stopped protocol stays queryable.
+	Stop()
+}
+
+// Ticker drives periodic protocol rounds on the simulation scheduler.
+// The first tick fires after a phase offset (nodes are not synchronised
+// in real deployments), then every period.
+type Ticker struct {
+	sched   *sim.Scheduler
+	period  time.Duration
+	fn      func()
+	next    *sim.Event
+	stopped bool
+}
+
+// StartTicker schedules fn every period, first firing after phase.
+func StartTicker(sched *sim.Scheduler, period, phase time.Duration, fn func()) *Ticker {
+	t := &Ticker{sched: sched, period: period, fn: fn}
+	t.next = sched.After(phase, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.next = t.sched.After(t.period, t.tick)
+	t.fn()
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// RandomPhase draws a uniform phase offset in [0, period) from the
+// scheduler's random source, desynchronising node rounds the way real
+// deployments are desynchronised.
+func RandomPhase(sched *sim.Scheduler, period time.Duration) time.Duration {
+	if period <= 0 {
+		return 0
+	}
+	return time.Duration(sched.Rand().Int63n(int64(period)))
+}

@@ -1,0 +1,97 @@
+package pss
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.ViewSize != 10 || p.ShuffleSize != 5 || p.Period != time.Second {
+		t.Fatalf("defaults = %+v, want view 10 / shuffle 5 / 1s", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+	}{
+		{"zero view", Params{ViewSize: 0, ShuffleSize: 1, Period: time.Second}},
+		{"zero shuffle", Params{ViewSize: 5, ShuffleSize: 0, Period: time.Second}},
+		{"shuffle > view", Params{ViewSize: 5, ShuffleSize: 6, Period: time.Second}},
+		{"zero period", Params{ViewSize: 5, ShuffleSize: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Fatal("Validate accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestTickerFiresEveryPeriod(t *testing.T) {
+	sched := sim.New(1)
+	var at []time.Duration
+	tk := StartTicker(sched, time.Second, 500*time.Millisecond, func() {
+		at = append(at, sched.Now())
+	})
+	sched.RunUntil(3700 * time.Millisecond)
+	tk.Stop()
+	want := []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, 2500 * time.Millisecond, 3500 * time.Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("ticks = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopPreventsFutureTicks(t *testing.T) {
+	sched := sim.New(1)
+	count := 0
+	tk := StartTicker(sched, time.Second, 0, func() { count++ })
+	sched.RunUntil(2500 * time.Millisecond)
+	tk.Stop()
+	sched.RunUntil(10 * time.Second)
+	if count != 3 { // t=0, 1s, 2s
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	sched := sim.New(1)
+	count := 0
+	var tk *Ticker
+	tk = StartTicker(sched, time.Second, 0, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	sched.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("ticks = %d, want 2 (stopped from callback)", count)
+	}
+}
+
+func TestRandomPhaseWithinPeriod(t *testing.T) {
+	sched := sim.New(42)
+	for i := 0; i < 100; i++ {
+		ph := RandomPhase(sched, time.Second)
+		if ph < 0 || ph >= time.Second {
+			t.Fatalf("phase %v outside [0, 1s)", ph)
+		}
+	}
+	if got := RandomPhase(sched, 0); got != 0 {
+		t.Fatalf("phase for zero period = %v, want 0", got)
+	}
+}

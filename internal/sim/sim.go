@@ -1,0 +1,169 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// on which every protocol in this repository runs.
+//
+// The kernel plays the role the Kompics simulator played in the paper: a
+// virtual clock, an ordered event queue and a seeded random source. All
+// protocol logic executes single-threaded inside the event loop, so a
+// simulation run is a pure function of its scenario and seed — two runs
+// with the same seed produce byte-identical traces.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Events are ordered by (time, sequence
+// number) so simultaneous events fire in scheduling order, which keeps
+// runs deterministic.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once popped
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event simulation kernel. The zero value is
+// not usable; construct one with New.
+type Scheduler struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns a scheduler whose clock starts at zero and whose random
+// source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All protocol
+// randomness must come from this source (or sources derived from it) to
+// keep runs reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued, including cancelled
+// events that have not yet been discarded.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at virtual time t. Times in the past are clamped
+// to the present. The returned event may be cancelled.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative delays are clamped to
+// zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single next event. It reports false when the queue is
+// empty.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			continue
+		}
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes every event scheduled at or before t and then
+// advances the clock to exactly t. Events scheduled after t remain
+// queued.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

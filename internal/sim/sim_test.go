@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerStartsAtZero(t *testing.T) {
+	s := New(1)
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(42*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if at != 42*time.Millisecond {
+		t.Fatalf("clock at event = %v, want 42ms", at)
+	}
+	if s.Now() != 42*time.Millisecond {
+		t.Fatalf("final clock = %v, want 42ms", s.Now())
+	}
+}
+
+func TestAfterSchedulesRelativeToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(10*time.Millisecond, func() {
+		s.After(5*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("fired at %v, want 15ms", at)
+	}
+}
+
+func TestPastEventsClampToPresent(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	fired := false
+	s.At(10*time.Millisecond, func() {
+		s.At(1*time.Millisecond, func() {
+			fired = true
+			at = s.Now()
+		})
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestNegativeAfterClampsToZeroDelay(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", s.Now())
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.At(time.Second, func() { fired = true })
+	ev.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromWithinEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.At(2*time.Second, func() { fired = true })
+	s.At(time.Second, func() { ev.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("event fired despite being cancelled by earlier event")
+	}
+}
+
+func TestRunUntilExecutesOnlyDueEvents(t *testing.T) {
+	s := New(1)
+	var fired []int
+	s.At(1*time.Second, func() { fired = append(fired, 1) })
+	s.At(2*time.Second, func() { fired = append(fired, 2) })
+	s.At(3*time.Second, func() { fired = append(fired, 3) })
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want first two events", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after Run, want all three", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New(1)
+	s.RunUntil(5 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestStepReportsQueueExhaustion(t *testing.T) {
+	s := New(1)
+	s.At(0, func() {})
+	if !s.Step() {
+		t.Fatal("Step() = false with event queued")
+	}
+	if s.Step() {
+		t.Fatal("Step() = true with empty queue")
+	}
+}
+
+func TestFiredCountsExecutedEvents(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	ev := s.At(time.Second, func() {})
+	ev.Cancel()
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5 (cancelled events do not count)", s.Fired())
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var draws []int64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+			s.After(d, func() { draws = append(draws, s.Rand().Int63()) })
+		}
+		s.Run()
+		return draws
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestManyEventsStressOrdering(t *testing.T) {
+	s := New(99)
+	last := time.Duration(-1)
+	n := 0
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(s.Rand().Intn(100000)) * time.Microsecond
+		s.At(d, func() {
+			if s.Now() < last {
+				t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+			}
+			last = s.Now()
+			n++
+		})
+	}
+	s.Run()
+	if n != 10000 {
+		t.Fatalf("executed %d events, want 10000", n)
+	}
+}

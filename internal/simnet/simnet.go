@@ -1,0 +1,341 @@
+// Package simnet simulates the internet the protocols run over: hosts
+// with UDP-style sockets, NAT gateways in front of private hosts,
+// pairwise latency, probabilistic loss, and per-node traffic accounting.
+//
+// The network is intentionally datagram-only and unreliable, like the
+// UDP substrate the paper's protocols use. A packet sent to a private
+// host is checked against that host's NAT gateway *at delivery time*, so
+// hole-punching and mapping expiry behave exactly as they would on a
+// real gateway.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/latency"
+	"repro/internal/nat"
+	"repro/internal/sim"
+)
+
+// Message is an application payload. Size must return the encoded body
+// length in bytes; the network adds HeaderBytes of IP/UDP framing on top
+// for traffic accounting.
+type Message interface {
+	Size() int
+}
+
+// Packet is what a socket handler receives. From is the source endpoint
+// as observed by the receiver (post-NAT translation), so replying to
+// From always traverses the reverse path.
+type Packet struct {
+	From addr.Endpoint
+	To   addr.Endpoint
+	Msg  Message
+}
+
+// Handler consumes packets delivered to a bound socket.
+type Handler func(pkt Packet)
+
+// Config parameterises the network.
+type Config struct {
+	// Latency supplies one-way delays between hosts. Required.
+	Latency latency.Model
+	// Loss is the independent per-packet drop probability in [0, 1).
+	Loss float64
+	// HeaderBytes is the per-packet framing overhead added to every
+	// message for traffic accounting. Defaults to 28 (IPv4 + UDP).
+	HeaderBytes int
+}
+
+// Traffic accumulates a node's network usage. Relayed traffic counts on
+// both legs, which is what makes relaying overhead visible in the
+// Fig 7(a) experiment.
+type Traffic struct {
+	BytesSent uint64
+	BytesRecv uint64
+	MsgsSent  uint64
+	MsgsRecv  uint64
+}
+
+// Network is the simulated internet. It is not safe for concurrent use;
+// all calls must happen on the simulation event loop.
+type Network struct {
+	sched *sim.Scheduler
+	cfg   Config
+
+	hostsByID map[addr.NodeID]*Host
+	hostsByIP map[addr.IP]*Host
+	// gatewayHosts maps a gateway's public IP to the private host
+	// behind it (one host per gateway, as in the paper's model).
+	gatewayHosts map[addr.IP]*Host
+	traffic      map[addr.NodeID]*Traffic
+
+	nextPublicIP uint32
+	dropped      uint64
+	delivered    uint64
+}
+
+// New builds a network on the given scheduler.
+func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("simnet: latency model is required")
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return nil, fmt.Errorf("simnet: loss %v outside [0, 1)", cfg.Loss)
+	}
+	if cfg.HeaderBytes == 0 {
+		cfg.HeaderBytes = 28
+	}
+	return &Network{
+		sched:        sched,
+		cfg:          cfg,
+		hostsByID:    make(map[addr.NodeID]*Host),
+		hostsByIP:    make(map[addr.IP]*Host),
+		gatewayHosts: make(map[addr.IP]*Host),
+		traffic:      make(map[addr.NodeID]*Traffic),
+		nextPublicIP: uint32(addr.MakeIP(2, 0, 0, 1)),
+	}, nil
+}
+
+// Scheduler returns the simulation scheduler the network runs on.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Host is a machine attached to the network. Public hosts own a global
+// IP; private hosts sit behind a dedicated NAT gateway.
+type Host struct {
+	net   *Network
+	id    addr.NodeID
+	ip    addr.IP
+	gw    *nat.Gateway
+	ports map[uint16]Handler
+	up    bool
+}
+
+// allocPublicIP hands out the next unused global address, skipping the
+// 10.0.0.0/8 private range.
+func (n *Network) allocPublicIP() addr.IP {
+	for {
+		ip := addr.IP(n.nextPublicIP)
+		n.nextPublicIP++
+		if ip.Private() || ip.IsZero() {
+			continue
+		}
+		if _, taken := n.hostsByIP[ip]; taken {
+			continue
+		}
+		if _, taken := n.gatewayHosts[ip]; taken {
+			continue
+		}
+		return ip
+	}
+}
+
+// AddPublicHost attaches a host with a fresh global IP.
+func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
+	if _, dup := n.hostsByID[id]; dup {
+		return nil, fmt.Errorf("simnet: node %v already attached", id)
+	}
+	h := &Host{
+		net:   n,
+		id:    id,
+		ip:    n.allocPublicIP(),
+		ports: make(map[uint16]Handler),
+		up:    true,
+	}
+	n.hostsByID[id] = h
+	n.hostsByIP[h.ip] = h
+	n.traffic[id] = &Traffic{}
+	return h, nil
+}
+
+// AddPrivateHost attaches a host behind a fresh NAT gateway. natCfg's
+// PublicIP field is ignored and replaced with a newly allocated global
+// address for the gateway.
+func (n *Network) AddPrivateHost(id addr.NodeID, natCfg nat.Config) (*Host, error) {
+	if _, dup := n.hostsByID[id]; dup {
+		return nil, fmt.Errorf("simnet: node %v already attached", id)
+	}
+	natCfg.PublicIP = n.allocPublicIP()
+	gw, err := nat.NewGateway(natCfg, n.sched.Now, n.sched.Rand())
+	if err != nil {
+		return nil, fmt.Errorf("simnet: add private host: %w", err)
+	}
+	h := &Host{
+		net:   n,
+		id:    id,
+		ip:    addr.MakeIP(10, 0, 0, 2),
+		gw:    gw,
+		ports: make(map[uint16]Handler),
+		up:    true,
+	}
+	n.hostsByID[id] = h
+	n.gatewayHosts[gw.PublicIP()] = h
+	n.traffic[id] = &Traffic{}
+	return h, nil
+}
+
+// Remove detaches a host, simulating a crash: queued packets to it are
+// dropped at delivery time and its gateway disappears with it.
+func (n *Network) Remove(id addr.NodeID) {
+	h, ok := n.hostsByID[id]
+	if !ok {
+		return
+	}
+	h.up = false
+	delete(n.hostsByID, id)
+	if h.gw != nil {
+		delete(n.gatewayHosts, h.gw.PublicIP())
+	} else {
+		delete(n.hostsByIP, h.ip)
+	}
+}
+
+// Host returns the attached host for a node, if it exists and is up.
+func (n *Network) Host(id addr.NodeID) (*Host, bool) {
+	h, ok := n.hostsByID[id]
+	return h, ok
+}
+
+// TrafficFor returns a copy of the node's accumulated counters. Counters
+// survive host removal so post-mortem accounting works.
+func (n *Network) TrafficFor(id addr.NodeID) Traffic {
+	if t, ok := n.traffic[id]; ok {
+		return *t
+	}
+	return Traffic{}
+}
+
+// ResetTraffic zeroes every node's counters, marking the start of a
+// measurement window.
+func (n *Network) ResetTraffic() {
+	for _, t := range n.traffic {
+		*t = Traffic{}
+	}
+}
+
+// Delivered returns the number of packets handed to socket handlers.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the number of packets lost to random loss, NAT
+// filtering, or dead hosts.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// ID returns the node this host belongs to.
+func (h *Host) ID() addr.NodeID { return h.id }
+
+// IP returns the host's own interface address (private for NATed hosts).
+func (h *Host) IP() addr.IP { return h.ip }
+
+// Gateway returns the host's NAT gateway, or nil for public hosts.
+func (h *Host) Gateway() *nat.Gateway { return h.gw }
+
+// Up reports whether the host is attached and running.
+func (h *Host) Up() bool { return h.up }
+
+// Bind attaches a handler to a local UDP-style port and returns the
+// bound socket.
+func (h *Host) Bind(port uint16, fn Handler) (*Socket, error) {
+	if port == 0 {
+		return nil, fmt.Errorf("simnet: cannot bind port 0")
+	}
+	if _, taken := h.ports[port]; taken {
+		return nil, fmt.Errorf("simnet: %v port %d already bound", h.id, port)
+	}
+	h.ports[port] = fn
+	return &Socket{host: h, port: port}, nil
+}
+
+// Socket is a bound port on a host; the unit protocols send from.
+type Socket struct {
+	host *Host
+	port uint16
+}
+
+// LocalEndpoint returns the socket's address on its own host.
+func (s *Socket) LocalEndpoint() addr.Endpoint {
+	return addr.Endpoint{IP: s.host.ip, Port: s.port}
+}
+
+// Host returns the socket's host.
+func (s *Socket) Host() *Host { return s.host }
+
+// Send transmits msg to the destination endpoint. Sends from dead hosts
+// vanish; everything else is accounted and scheduled for delivery.
+func (s *Socket) Send(to addr.Endpoint, msg Message) {
+	s.host.net.send(s.host, s.LocalEndpoint(), to, msg)
+}
+
+func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
+	if !h.up {
+		return
+	}
+	src := from
+	if h.gw != nil {
+		src = h.gw.Outbound(from, to)
+	}
+	size := uint64(msg.Size() + n.cfg.HeaderBytes)
+	t := n.traffic[h.id]
+	t.BytesSent += size
+	t.MsgsSent++
+
+	// Resolve the physical destination host for latency lookup. The NAT
+	// admission decision is postponed to delivery time.
+	dst, ok := n.resolveHost(to)
+	if !ok {
+		n.dropped++
+		return
+	}
+	if n.cfg.Loss > 0 && n.sched.Rand().Float64() < n.cfg.Loss {
+		n.dropped++
+		return
+	}
+	delay := n.cfg.Latency.Delay(h.id, dst.id)
+	dstID := dst.id
+	n.sched.After(delay, func() {
+		n.deliver(dstID, src, to, msg, size)
+	})
+}
+
+// resolveHost finds the machine that owns the destination IP, either a
+// public host or the private host behind the gateway with that IP.
+func (n *Network) resolveHost(to addr.Endpoint) (*Host, bool) {
+	if h, ok := n.hostsByIP[to.IP]; ok {
+		return h, true
+	}
+	if h, ok := n.gatewayHosts[to.IP]; ok {
+		return h, true
+	}
+	return nil, false
+}
+
+func (n *Network) deliver(dstID addr.NodeID, src, to addr.Endpoint, msg Message, size uint64) {
+	h, ok := n.hostsByID[dstID]
+	if !ok || !h.up {
+		n.dropped++
+		return
+	}
+	local := to
+	if h.gw != nil {
+		translated, admitted := h.gw.Inbound(src, to)
+		if !admitted {
+			n.dropped++
+			return
+		}
+		local = translated
+	} else if h.ip != to.IP {
+		// Host changed identity between send and delivery.
+		n.dropped++
+		return
+	}
+	fn, bound := h.ports[local.Port]
+	if !bound {
+		n.dropped++
+		return
+	}
+	t := n.traffic[dstID]
+	t.BytesRecv += size
+	t.MsgsRecv++
+	n.delivered++
+	fn(Packet{From: src, To: to, Msg: msg})
+}

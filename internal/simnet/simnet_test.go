@@ -1,0 +1,352 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/latency"
+	"repro/internal/nat"
+	"repro/internal/sim"
+)
+
+type testMsg struct {
+	body string
+	size int
+}
+
+func (m testMsg) Size() int { return m.size }
+
+func newNet(t *testing.T, loss float64) (*sim.Scheduler, *Network) {
+	t.Helper()
+	sched := sim.New(1)
+	n, err := New(sched, Config{Latency: latency.Constant(10 * time.Millisecond), Loss: loss})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sched, n
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched := sim.New(1)
+	if _, err := New(sched, Config{}); err == nil {
+		t.Fatal("New accepted a config without a latency model")
+	}
+	if _, err := New(sched, Config{Latency: latency.Constant(0), Loss: 1.0}); err == nil {
+		t.Fatal("New accepted loss = 1.0")
+	}
+}
+
+func TestPublicToPublicDelivery(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+
+	var got []Packet
+	sockB, err := hb.Bind(100, func(p Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"hi", 5})
+	sched.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	if got[0].From != sockA.LocalEndpoint() {
+		t.Fatalf("From = %v, want %v", got[0].From, sockA.LocalEndpoint())
+	}
+	if m, ok := got[0].Msg.(testMsg); !ok || m.body != "hi" {
+		t.Fatalf("payload = %#v", got[0].Msg)
+	}
+}
+
+func TestDeliveryHonoursLatency(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var at time.Duration
+	sockB, _ := hb.Bind(1, func(Packet) { at = sched.Now() })
+	sockA, _ := ha.Bind(1, func(Packet) {})
+	sockA.Send(sockB.LocalEndpoint(), testMsg{size: 1})
+	sched.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+}
+
+func TestUnsolicitedToPrivateDropped(t *testing.T) {
+	sched, n := newNet(t, 0)
+	pub, _ := n.AddPublicHost(1)
+	priv, _ := n.AddPrivateHost(2, nat.DefaultConfig(0))
+
+	recv := 0
+	_, err := priv.Bind(100, func(Packet) { recv++ })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	sockPub, _ := pub.Bind(100, func(Packet) {})
+	// Guess the private host's would-be public endpoint: gateway IP and
+	// preserved port. Even with the right guess, filtering must drop it.
+	target := addr.Endpoint{IP: priv.Gateway().PublicIP(), Port: 100}
+	sockPub.Send(target, testMsg{size: 10})
+	sched.Run()
+	if recv != 0 {
+		t.Fatalf("private host received %d unsolicited packets", recv)
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("drop not accounted")
+	}
+}
+
+func TestPrivateInitiatedExchange(t *testing.T) {
+	sched, n := newNet(t, 0)
+	pub, _ := n.AddPublicHost(1)
+	priv, _ := n.AddPrivateHost(2, nat.DefaultConfig(0))
+
+	var privGot []Packet
+	sockPriv, _ := priv.Bind(100, func(p Packet) { privGot = append(privGot, p) })
+	var pubGot []Packet
+	sockPub, _ := pub.Bind(200, func(p Packet) {
+		pubGot = append(pubGot, p)
+		// Reply to the observed (post-NAT) source endpoint.
+		sockPubReply(t, pub, p.From)
+	})
+	_ = sockPub
+
+	sockPriv.Send(addr.Endpoint{IP: pub.IP(), Port: 200}, testMsg{"req", 10})
+	sched.Run()
+
+	if len(pubGot) != 1 {
+		t.Fatalf("public host got %d packets, want 1", len(pubGot))
+	}
+	if pubGot[0].From.IP != priv.Gateway().PublicIP() {
+		t.Fatalf("observed source %v, want gateway IP %v", pubGot[0].From.IP, priv.Gateway().PublicIP())
+	}
+	if len(privGot) != 1 {
+		t.Fatalf("private host got %d replies, want 1 (reverse path through NAT)", len(privGot))
+	}
+}
+
+// sockPubReply sends a reply from the public host's port 200 socket.
+func sockPubReply(t *testing.T, pub *Host, to addr.Endpoint) {
+	t.Helper()
+	s := &Socket{host: pub, port: 200}
+	s.Send(to, testMsg{"resp", 10})
+}
+
+func TestHolePunchOpensReversePath(t *testing.T) {
+	// Two private hosts A and B. A punches toward B's mapped endpoint,
+	// then B can reach A directly — the sequence Nylon relies on.
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPrivateHost(1, nat.DefaultConfig(0))
+	hb, _ := n.AddPrivateHost(2, nat.DefaultConfig(0))
+
+	gotA, gotB := 0, 0
+	sockA, _ := ha.Bind(100, func(Packet) { gotA++ })
+	sockB, _ := hb.Bind(100, func(Packet) { gotB++ })
+
+	// Both NATs use port preservation, so mapped endpoints are
+	// predictable: gatewayIP:100.
+	epA := addr.Endpoint{IP: ha.Gateway().PublicIP(), Port: 100}
+	epB := addr.Endpoint{IP: hb.Gateway().PublicIP(), Port: 100}
+
+	// A punches toward B: dropped by B's NAT but opens A's side.
+	sockA.Send(epB, testMsg{"punch", 4})
+	sched.Run()
+	if gotB != 0 {
+		t.Fatal("punch packet should have been filtered at B")
+	}
+
+	// Now B sends to A: admitted because A contacted epB and B's
+	// mapping sends from epB.
+	sockB.Send(epA, testMsg{"hello", 5})
+	sched.Run()
+	if gotA != 1 {
+		t.Fatalf("A received %d packets after punch, want 1", gotA)
+	}
+
+	// And A can now reach B since B contacted epA.
+	sockA.Send(epB, testMsg{"data", 4})
+	sched.Run()
+	if gotB != 1 {
+		t.Fatalf("B received %d packets, want 1", gotB)
+	}
+}
+
+func TestLossDropsApproximatelyExpectedFraction(t *testing.T) {
+	sched, n := newNet(t, 0.3)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	recv := 0
+	sockB, _ := hb.Bind(1, func(Packet) { recv++ })
+	sockA, _ := ha.Bind(1, func(Packet) {})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		sockA.Send(sockB.LocalEndpoint(), testMsg{size: 1})
+	}
+	sched.Run()
+	frac := float64(recv) / total
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("delivered fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestRemoveHostDropsInFlightAndFutureTraffic(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	recv := 0
+	sockB, _ := hb.Bind(1, func(Packet) { recv++ })
+	sockA, _ := ha.Bind(1, func(Packet) {})
+
+	sockA.Send(sockB.LocalEndpoint(), testMsg{size: 1}) // in flight
+	n.Remove(2)
+	sockA.Send(sockB.LocalEndpoint(), testMsg{size: 1}) // future
+	sched.Run()
+	if recv != 0 {
+		t.Fatalf("dead host received %d packets", recv)
+	}
+}
+
+func TestSendFromDeadHostVanishes(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	recv := 0
+	sockB, _ := hb.Bind(1, func(Packet) { recv++ })
+	sockA, _ := ha.Bind(1, func(Packet) {})
+	n.Remove(1)
+	sockA.Send(sockB.LocalEndpoint(), testMsg{size: 1})
+	sched.Run()
+	if recv != 0 {
+		t.Fatalf("received %d packets from dead host", recv)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	sockB, _ := hb.Bind(1, func(Packet) {})
+	sockA, _ := ha.Bind(1, func(Packet) {})
+	sockA.Send(sockB.LocalEndpoint(), testMsg{size: 100})
+	sched.Run()
+
+	ta, tb := n.TrafficFor(1), n.TrafficFor(2)
+	if ta.BytesSent != 128 { // 100 + 28 header
+		t.Fatalf("sender bytes = %d, want 128", ta.BytesSent)
+	}
+	if ta.MsgsSent != 1 || tb.MsgsRecv != 1 {
+		t.Fatalf("msg counts sent=%d recv=%d", ta.MsgsSent, tb.MsgsRecv)
+	}
+	if tb.BytesRecv != 128 {
+		t.Fatalf("receiver bytes = %d, want 128", tb.BytesRecv)
+	}
+
+	n.ResetTraffic()
+	if n.TrafficFor(1).BytesSent != 0 {
+		t.Fatal("ResetTraffic did not zero counters")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	_, n := newNet(t, 0)
+	h, _ := n.AddPublicHost(1)
+	if _, err := h.Bind(0, func(Packet) {}); err == nil {
+		t.Fatal("Bind accepted port 0")
+	}
+	if _, err := h.Bind(5, func(Packet) {}); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if _, err := h.Bind(5, func(Packet) {}); err == nil {
+		t.Fatal("double Bind succeeded")
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	_, n := newNet(t, 0)
+	if _, err := n.AddPublicHost(1); err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	if _, err := n.AddPublicHost(1); err == nil {
+		t.Fatal("duplicate AddPublicHost succeeded")
+	}
+	if _, err := n.AddPrivateHost(1, nat.DefaultConfig(0)); err == nil {
+		t.Fatal("duplicate AddPrivateHost succeeded")
+	}
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	sockA, _ := ha.Bind(1, func(Packet) {})
+	sockA.Send(addr.Endpoint{IP: hb.IP(), Port: 9999}, testMsg{size: 1})
+	sched.Run()
+	if n.Delivered() != 0 {
+		t.Fatal("packet delivered to unbound port")
+	}
+}
+
+func TestUniquePublicIPs(t *testing.T) {
+	_, n := newNet(t, 0)
+	seen := make(map[addr.IP]bool)
+	for i := 0; i < 300; i++ {
+		h, err := n.AddPublicHost(addr.NodeID(i))
+		if err != nil {
+			t.Fatalf("AddPublicHost(%d): %v", i, err)
+		}
+		if seen[h.IP()] {
+			t.Fatalf("IP %v allocated twice", h.IP())
+		}
+		seen[h.IP()] = true
+	}
+	for i := 300; i < 600; i++ {
+		h, err := n.AddPrivateHost(addr.NodeID(i), nat.DefaultConfig(0))
+		if err != nil {
+			t.Fatalf("AddPrivateHost(%d): %v", i, err)
+		}
+		gwIP := h.Gateway().PublicIP()
+		if seen[gwIP] {
+			t.Fatalf("gateway IP %v collides", gwIP)
+		}
+		seen[gwIP] = true
+	}
+}
+
+func TestMappingExpiryBreaksReversePath(t *testing.T) {
+	sched, n := newNet(t, 0)
+	pub, _ := n.AddPublicHost(1)
+	cfg := nat.DefaultConfig(0)
+	cfg.MappingTimeout = 5 * time.Second
+	priv, _ := n.AddPrivateHost(2, cfg)
+
+	got := 0
+	sockPriv, _ := priv.Bind(100, func(Packet) { got++ })
+	var observed addr.Endpoint
+	sockPub, _ := pub.Bind(200, func(p Packet) { observed = p.From })
+
+	sockPriv.Send(addr.Endpoint{IP: pub.IP(), Port: 200}, testMsg{size: 1})
+	sched.Run()
+	if observed.IsZero() {
+		t.Fatal("public host never observed the private source")
+	}
+
+	// Within the timeout the reverse path works.
+	sockPub.Send(observed, testMsg{size: 1})
+	sched.Run()
+	if got != 1 {
+		t.Fatalf("reverse path delivered %d, want 1", got)
+	}
+
+	// After expiry it does not.
+	sched.RunUntil(sched.Now() + 10*time.Second)
+	sockPub.Send(observed, testMsg{size: 1})
+	sched.Run()
+	if got != 1 {
+		t.Fatalf("reverse path delivered %d after expiry, want still 1", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats provides the small statistical toolkit the evaluation
+// uses: summary statistics, percentiles, and multi-seed time-series
+// aggregation for the paper's figures (every experiment is averaged
+// over five runs).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Min returns the minimum, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation. It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// StdDev returns the population standard deviation, or NaN for fewer
+// than one element.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Series is a sampled time series: Y[i] observed at X[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// MeanOfSeries averages several runs of the same experiment point-wise.
+// All series must share the same X grid; the result carries the first
+// series' name.
+func MeanOfSeries(runs []Series) (Series, error) {
+	if len(runs) == 0 {
+		return Series{}, fmt.Errorf("stats: no series to average")
+	}
+	n := runs[0].Len()
+	for _, r := range runs[1:] {
+		if r.Len() != n {
+			return Series{}, fmt.Errorf("stats: series length mismatch: %d vs %d", r.Len(), n)
+		}
+	}
+	out := Series{Name: runs[0].Name, X: make([]float64, n), Y: make([]float64, n)}
+	copy(out.X, runs[0].X)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		cnt := 0
+		for _, r := range runs {
+			if !math.IsNaN(r.Y[i]) {
+				sum += r.Y[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out.Y[i] = math.NaN()
+			continue
+		}
+		out.Y[i] = sum / float64(cnt)
+	}
+	return out, nil
+}
+
+// Histogram counts occurrences of integer-valued observations.
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int, len(xs))
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between two
+// empirical samples: the maximum absolute difference between their
+// empirical CDFs. The paper uses the KS idea for its maximum-error
+// metric; this full two-sample statistic also serves the in-degree
+// randomness comparison.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	as := make([]float64, len(a))
+	copy(as, a)
+	sort.Float64s(as)
+	bs := make([]float64, len(b))
+	copy(bs, b)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

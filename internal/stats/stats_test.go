@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); math.Abs(got-2.8) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2.8", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+}
+
+func TestEmptySlicesGiveNaN(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{
+		"Mean": Mean, "Max": Max, "Min": Min, "StdDev": StdDev,
+	} {
+		if got := f(nil); !math.IsNaN(got) {
+			t.Fatalf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Fatalf("Percentile(nil) = %v, want NaN", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("StdDev of constants = %v, want 0", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 1", got)
+	}
+}
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 || s.X[1] != 2 || s.Y[1] != 20 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestMeanOfSeries(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	b := Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}}
+	m, err := MeanOfSeries([]Series{a, b})
+	if err != nil {
+		t.Fatalf("MeanOfSeries: %v", err)
+	}
+	if m.Y[0] != 20 || m.Y[1] != 30 {
+		t.Fatalf("mean Y = %v, want [20 30]", m.Y)
+	}
+	if m.Name != "a" {
+		t.Fatalf("name = %q, want first series' name", m.Name)
+	}
+}
+
+func TestMeanOfSeriesSkipsNaN(t *testing.T) {
+	a := Series{X: []float64{1}, Y: []float64{math.NaN()}}
+	b := Series{X: []float64{1}, Y: []float64{4}}
+	m, err := MeanOfSeries([]Series{a, b})
+	if err != nil {
+		t.Fatalf("MeanOfSeries: %v", err)
+	}
+	if m.Y[0] != 4 {
+		t.Fatalf("mean with NaN = %v, want 4", m.Y[0])
+	}
+}
+
+func TestMeanOfSeriesErrors(t *testing.T) {
+	if _, err := MeanOfSeries(nil); err == nil {
+		t.Fatal("MeanOfSeries(nil) succeeded")
+	}
+	a := Series{X: []float64{1}, Y: []float64{1}}
+	b := Series{X: []float64{1, 2}, Y: []float64{1, 2}}
+	if _, err := MeanOfSeries([]Series{a, b}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestKSDistanceIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KSDistance(a, a); got != 0 {
+		t.Fatalf("KS of identical samples = %v, want 0", got)
+	}
+}
+
+func TestKSDistanceDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if got := KSDistance(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", got)
+	}
+}
+
+func TestKSDistanceEmpty(t *testing.T) {
+	if got := KSDistance(nil, []float64{1}); !math.IsNaN(got) {
+		t.Fatalf("KS with empty sample = %v, want NaN", got)
+	}
+}
+
+// Property: Min ≤ Mean ≤ Max, and every percentile lies within range.
+// Inputs are bounded to 1e100 so the naive sum cannot overflow — at
+// float64 extremes the sum hits ±Inf, which is expected behaviour.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		mn, mean, mx := Min(xs), Mean(xs), Max(xs)
+		if mn > mean+1e-9 || mean > mx+1e-9 {
+			return false
+		}
+		for _, p := range []float64{0, 25, 50, 75, 100} {
+			v := Percentile(xs, p)
+			if v < mn-1e-9 || v > mx+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KS distance is symmetric and within [0, 1].
+func TestKSDistanceProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		fa := filterFinite(a)
+		fb := filterFinite(b)
+		if len(fa) == 0 || len(fb) == 0 {
+			return true
+		}
+		d1 := KSDistance(fa, fb)
+		d2 := KSDistance(fb, fa)
+		return d1 >= 0 && d1 <= 1 && math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func filterFinite(xs []float64) []float64 {
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package trace renders experiment results: tab-separated tables for
+// machine consumption and quick ASCII line plots for eyeballing figure
+// shapes in a terminal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// WriteTSV emits a header line and one row per entry, tab-separated.
+func WriteTSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatCell(v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// SeriesTSV writes several series sharing an X grid as one table with
+// columns x, then one column per series name.
+func SeriesTSV(w io.Writer, xLabel string, series []stats.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xLabel)
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]float64, 0, series[0].Len())
+	for i := 0; i < series[0].Len(); i++ {
+		row := make([]float64, 0, len(series)+1)
+		row = append(row, series[0].X[i])
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, math.NaN())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return WriteTSV(w, header, rows)
+}
+
+// Plot renders series as an ASCII chart. Log10 scales the Y axis
+// logarithmically, as the paper's error figures do. Each series is drawn
+// with its own glyph.
+type Plot struct {
+	Title  string
+	Width  int
+	Height int
+	Log10  bool
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart into a string.
+func (p Plot) Render(series []stats.Series) string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			if p.Log10 {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			if p.Log10 {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop, yBot := maxY, minY
+	if p.Log10 {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yTop, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yBot, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%11s%-12.4g%*s\n", "", minX, width-11, fmt.Sprintf("%.4g", maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "    %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

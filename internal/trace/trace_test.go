@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWriteTSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteTSV(&b, []string{"x", "y"}, [][]float64{{1, 0.5}, {2, 0.25}})
+	if err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "x\ty" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1\t0.5" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSeriesTSVAlignsColumns(t *testing.T) {
+	a := stats.Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	b := stats.Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}}
+	var sb strings.Builder
+	if err := SeriesTSV(&sb, "round", []stats.Series{a, b}); err != nil {
+		t.Fatalf("SeriesTSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "round\ta\tb" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1\t10\t30" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSeriesTSVEmptyIsNoop(t *testing.T) {
+	var sb strings.Builder
+	if err := SeriesTSV(&sb, "x", nil); err != nil {
+		t.Fatalf("SeriesTSV: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("output = %q, want empty", sb.String())
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	s1 := stats.Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}
+	s2 := stats.Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}}
+	out := Plot{Title: "demo"}.Render([]stats.Series{s1, s2})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("series glyphs missing")
+	}
+}
+
+func TestPlotLogScaleSkipsNonPositive(t *testing.T) {
+	s := stats.Series{Name: "e", X: []float64{0, 1, 2}, Y: []float64{0, 0.1, 0.01}}
+	out := Plot{Log10: true}.Render([]stats.Series{s})
+	if !strings.Contains(out, "*") {
+		t.Fatal("log plot rendered nothing for positive points")
+	}
+}
+
+func TestPlotNoData(t *testing.T) {
+	out := Plot{Title: "empty"}.Render(nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output = %q", out)
+	}
+}
+
+func TestPlotConstantSeriesDoesNotPanic(t *testing.T) {
+	s := stats.Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}
+	out := Plot{}.Render([]stats.Series{s})
+	if out == "" {
+		t.Fatal("constant series rendered nothing")
+	}
+}

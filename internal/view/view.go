@@ -1,0 +1,271 @@
+// Package view implements node descriptors and the bounded, aged partial
+// views every gossip protocol in this repository maintains.
+//
+// The merge logic follows the swapper policy of Algorithm 2's updateView
+// procedure: known descriptors are refreshed if the incoming copy is
+// newer, new descriptors fill free slots, and when the view is full they
+// replace descriptors that were sent to the peer in the same exchange —
+// minimising information loss in the system (Jelasity et al. 2007).
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/addr"
+)
+
+// Relay identifies a public node relaying for a private node (used by
+// Gozar descriptors, which cache relay addresses).
+type Relay struct {
+	ID       addr.NodeID
+	Endpoint addr.Endpoint
+}
+
+// Descriptor advertises a node in partial views. It carries the node's
+// address, NAT type and an age counted in gossip rounds since creation
+// (paper §VI). The Relays and Via fields are used only by the Gozar and
+// Nylon baselines respectively; Croupier descriptors leave them empty.
+type Descriptor struct {
+	ID       addr.NodeID
+	Endpoint addr.Endpoint
+	Nat      addr.NatType
+	Age      int
+	// Relays caches the private node's relay set (Gozar).
+	Relays []Relay
+	// Via records the neighbour this descriptor was received from, the
+	// next hop of Nylon's RVP chains.
+	Via addr.NodeID
+	// ViaEndpoint is Via's address, so the chain can be followed.
+	ViaEndpoint addr.Endpoint
+}
+
+// String renders a compact human-readable descriptor.
+func (d Descriptor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v(%v,%v,age=%d", d.ID, d.Endpoint, d.Nat, d.Age)
+	if len(d.Relays) > 0 {
+		fmt.Fprintf(&b, ",relays=%d", len(d.Relays))
+	}
+	if d.Via != 0 {
+		fmt.Fprintf(&b, ",via=%v", d.Via)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// View is a bounded set of descriptors, at most one per node, excluding
+// the owner. The zero value is unusable; construct with New.
+type View struct {
+	self     addr.NodeID
+	capacity int
+	items    []Descriptor
+}
+
+// New returns an empty view with the given capacity. Descriptors for
+// self are silently ignored on insertion, so a node never lists itself.
+func New(capacity int, self addr.NodeID) *View {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &View{self: self, capacity: capacity, items: make([]Descriptor, 0, capacity)}
+}
+
+// Len returns the number of descriptors held.
+func (v *View) Len() int { return len(v.items) }
+
+// Cap returns the view's capacity.
+func (v *View) Cap() int { return v.capacity }
+
+// Full reports whether the view has no free slots.
+func (v *View) Full() bool { return len(v.items) >= v.capacity }
+
+// Contains reports whether a descriptor for the node is present.
+func (v *View) Contains(id addr.NodeID) bool { return v.find(id) >= 0 }
+
+// Get returns the descriptor for the node, if present.
+func (v *View) Get(id addr.NodeID) (Descriptor, bool) {
+	if i := v.find(id); i >= 0 {
+		return v.items[i], true
+	}
+	return Descriptor{}, false
+}
+
+func (v *View) find(id addr.NodeID) int {
+	for i := range v.items {
+		if v.items[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts a descriptor if there is free space and no entry for the
+// node exists yet. It reports whether the descriptor was inserted.
+func (v *View) Add(d Descriptor) bool {
+	if d.ID == v.self || v.Full() || v.Contains(d.ID) {
+		return false
+	}
+	v.items = append(v.items, d)
+	return true
+}
+
+// Remove deletes the node's descriptor, reporting whether it was present.
+func (v *View) Remove(id addr.NodeID) bool {
+	i := v.find(id)
+	if i < 0 {
+		return false
+	}
+	v.items = append(v.items[:i], v.items[i+1:]...)
+	return true
+}
+
+// UpdateIfNewer replaces the stored descriptor for d.ID when d has a
+// strictly lower age (is fresher). It reports whether a replacement
+// happened. Nodes not in the view are left untouched.
+func (v *View) UpdateIfNewer(d Descriptor) bool {
+	i := v.find(d.ID)
+	if i < 0 || d.Age >= v.items[i].Age {
+		return false
+	}
+	v.items[i] = d
+	return true
+}
+
+// IncrementAges ages every descriptor by one round.
+func (v *View) IncrementAges() {
+	for i := range v.items {
+		v.items[i].Age++
+	}
+}
+
+// Oldest returns the descriptor with the highest age without removing
+// it. Ties break towards the earliest-inserted entry, keeping runs
+// deterministic.
+func (v *View) Oldest() (Descriptor, bool) {
+	if len(v.items) == 0 {
+		return Descriptor{}, false
+	}
+	best := 0
+	for i := 1; i < len(v.items); i++ {
+		if v.items[i].Age > v.items[best].Age {
+			best = i
+		}
+	}
+	return v.items[best], true
+}
+
+// TakeOldest removes and returns the oldest descriptor — the tail
+// selection policy of Algorithm 2 (line 12-13).
+func (v *View) TakeOldest() (Descriptor, bool) {
+	d, ok := v.Oldest()
+	if ok {
+		v.Remove(d.ID)
+	}
+	return d, ok
+}
+
+// Random returns a uniformly random descriptor.
+func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
+	if len(v.items) == 0 {
+		return Descriptor{}, false
+	}
+	return v.items[rng.Intn(len(v.items))], true
+}
+
+// RandomSubset returns up to n distinct descriptors drawn uniformly at
+// random, in random order. The returned slice is freshly allocated.
+func (v *View) RandomSubset(rng *rand.Rand, n int) []Descriptor {
+	if n <= 0 || len(v.items) == 0 {
+		return nil
+	}
+	if n > len(v.items) {
+		n = len(v.items)
+	}
+	idx := rng.Perm(len(v.items))[:n]
+	out := make([]Descriptor, 0, n)
+	for _, i := range idx {
+		out = append(out, v.items[i])
+	}
+	return out
+}
+
+// Descriptors returns a copy of the view's contents.
+func (v *View) Descriptors() []Descriptor {
+	out := make([]Descriptor, len(v.items))
+	copy(out, v.items)
+	return out
+}
+
+// IDs returns the node identifiers in the view, sorted for deterministic
+// iteration by callers.
+func (v *View) IDs() []addr.NodeID {
+	out := make([]addr.NodeID, 0, len(v.items))
+	for i := range v.items {
+		out = append(out, v.items[i].ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MergeHealer applies the healer policy from Jelasity et al. (2007) as
+// an ablation alternative to the paper's swapper: known descriptors are
+// refreshed, free slots are filled, and on a full view the incoming
+// descriptor replaces the oldest stored one when it is strictly
+// fresher — biasing views towards recent information instead of
+// preserving in-flight state.
+func (v *View) MergeHealer(received []Descriptor) {
+	for _, d := range received {
+		if d.ID == v.self {
+			continue
+		}
+		if v.Contains(d.ID) {
+			v.UpdateIfNewer(d)
+			continue
+		}
+		if v.Add(d) {
+			continue
+		}
+		oldest, ok := v.Oldest()
+		if ok && oldest.Age > d.Age {
+			v.Remove(oldest.ID)
+			v.Add(d)
+		}
+	}
+}
+
+// Merge applies Algorithm 2's updateView: for every received descriptor,
+// refresh it if already known, otherwise add it to free space, otherwise
+// swap out a descriptor that was sent to the peer in this exchange
+// (swapper policy). Descriptors for self are skipped. sent is consumed
+// front-to-back and not modified.
+func (v *View) Merge(sent, received []Descriptor) {
+	queue := make([]Descriptor, len(sent))
+	copy(queue, sent)
+	for _, d := range received {
+		if d.ID == v.self {
+			continue
+		}
+		if v.Contains(d.ID) {
+			v.UpdateIfNewer(d)
+			continue
+		}
+		if v.Add(d) {
+			continue
+		}
+		// View full: evict a sent descriptor to make room.
+		for len(queue) > 0 {
+			victim := queue[0]
+			queue = queue[1:]
+			if victim.ID == d.ID {
+				continue
+			}
+			if v.Remove(victim.ID) {
+				v.Add(d)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func desc(id int, age int) Descriptor {
+	return Descriptor{
+		ID:       addr.NodeID(id),
+		Endpoint: addr.Endpoint{IP: addr.MakeIP(2, 0, 0, byte(id)), Port: 100},
+		Nat:      addr.Public,
+		Age:      age,
+	}
+}
+
+func TestAddAndContains(t *testing.T) {
+	v := New(3, 99)
+	if !v.Add(desc(1, 0)) {
+		t.Fatal("Add rejected a descriptor with free space")
+	}
+	if !v.Contains(1) {
+		t.Fatal("Contains(1) = false after Add")
+	}
+	if v.Contains(2) {
+		t.Fatal("Contains(2) = true for absent node")
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", v.Len())
+	}
+}
+
+func TestAddRejectsSelf(t *testing.T) {
+	v := New(3, 7)
+	if v.Add(desc(7, 0)) {
+		t.Fatal("Add accepted the owner's own descriptor")
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	if v.Add(desc(1, 5)) {
+		t.Fatal("Add accepted a duplicate node")
+	}
+	if d, _ := v.Get(1); d.Age != 0 {
+		t.Fatalf("duplicate Add mutated stored age to %d", d.Age)
+	}
+}
+
+func TestAddRejectsWhenFull(t *testing.T) {
+	v := New(2, 99)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 0))
+	if v.Add(desc(3, 0)) {
+		t.Fatal("Add accepted beyond capacity")
+	}
+	if !v.Full() {
+		t.Fatal("Full() = false at capacity")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	if !v.Remove(1) {
+		t.Fatal("Remove(1) = false for present node")
+	}
+	if v.Remove(1) {
+		t.Fatal("Remove(1) = true for absent node")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d after removal, want 0", v.Len())
+	}
+}
+
+func TestUpdateIfNewer(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 5))
+	if !v.UpdateIfNewer(desc(1, 2)) {
+		t.Fatal("fresher descriptor not applied")
+	}
+	if d, _ := v.Get(1); d.Age != 2 {
+		t.Fatalf("age = %d, want 2", d.Age)
+	}
+	if v.UpdateIfNewer(desc(1, 4)) {
+		t.Fatal("staler descriptor applied")
+	}
+	if v.UpdateIfNewer(desc(1, 2)) {
+		t.Fatal("equal-age descriptor applied; want strictly newer only")
+	}
+	if v.UpdateIfNewer(desc(2, 0)) {
+		t.Fatal("UpdateIfNewer inserted an absent node")
+	}
+}
+
+func TestIncrementAges(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 7))
+	v.IncrementAges()
+	d1, _ := v.Get(1)
+	d2, _ := v.Get(2)
+	if d1.Age != 1 || d2.Age != 8 {
+		t.Fatalf("ages = %d,%d want 1,8", d1.Age, d2.Age)
+	}
+}
+
+func TestOldestAndTakeOldest(t *testing.T) {
+	v := New(4, 99)
+	if _, ok := v.Oldest(); ok {
+		t.Fatal("Oldest on empty view returned a descriptor")
+	}
+	v.Add(desc(1, 3))
+	v.Add(desc(2, 9))
+	v.Add(desc(3, 1))
+	d, ok := v.Oldest()
+	if !ok || d.ID != 2 {
+		t.Fatalf("Oldest = %v, want n2", d)
+	}
+	taken, ok := v.TakeOldest()
+	if !ok || taken.ID != 2 {
+		t.Fatalf("TakeOldest = %v, want n2", taken)
+	}
+	if v.Contains(2) {
+		t.Fatal("TakeOldest left the descriptor in the view")
+	}
+}
+
+func TestOldestTieBreaksDeterministically(t *testing.T) {
+	v := New(4, 99)
+	v.Add(desc(5, 2))
+	v.Add(desc(6, 2))
+	d, _ := v.Oldest()
+	if d.ID != 5 {
+		t.Fatalf("tie broke to %v, want earliest-inserted n5", d.ID)
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(10, 99)
+	for i := 1; i <= 10; i++ {
+		v.Add(desc(i, 0))
+	}
+	sub := v.RandomSubset(rng, 5)
+	if len(sub) != 5 {
+		t.Fatalf("subset size = %d, want 5", len(sub))
+	}
+	seen := make(map[addr.NodeID]bool)
+	for _, d := range sub {
+		if seen[d.ID] {
+			t.Fatalf("duplicate %v in subset", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	if got := v.RandomSubset(rng, 50); len(got) != 10 {
+		t.Fatalf("oversized request returned %d, want full view", len(got))
+	}
+	if got := v.RandomSubset(rng, 0); got != nil {
+		t.Fatal("zero-size subset should be nil")
+	}
+}
+
+func TestRandomSubsetIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	v := New(10, 99)
+	for i := 1; i <= 10; i++ {
+		v.Add(desc(i, 0))
+	}
+	counts := make(map[addr.NodeID]int)
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		for _, d := range v.RandomSubset(rng, 3) {
+			counts[d.ID]++
+		}
+	}
+	// Every node should appear roughly trials*3/10 times.
+	want := float64(trials) * 3 / 10
+	for id, c := range counts {
+		if float64(c) < want*0.85 || float64(c) > want*1.15 {
+			t.Fatalf("node %v sampled %d times, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+func TestMergeRefreshesKnownNodes(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 8))
+	v.Merge(nil, []Descriptor{desc(1, 2)})
+	if d, _ := v.Get(1); d.Age != 2 {
+		t.Fatalf("merge kept age %d, want refreshed 2", d.Age)
+	}
+}
+
+func TestMergeFillsFreeSpace(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	v.Merge(nil, []Descriptor{desc(2, 0), desc(3, 0)})
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+}
+
+func TestMergeSwapsSentDescriptorsWhenFull(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 0))
+	v.Add(desc(3, 0))
+	sent := []Descriptor{desc(1, 0), desc(2, 0)}
+	v.Merge(sent, []Descriptor{desc(4, 0), desc(5, 0)})
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (bounded)", v.Len())
+	}
+	if !v.Contains(4) || !v.Contains(5) {
+		t.Fatal("received descriptors not swapped in")
+	}
+	if v.Contains(1) || v.Contains(2) {
+		t.Fatal("sent descriptors not swapped out")
+	}
+	if !v.Contains(3) {
+		t.Fatal("unsent descriptor evicted")
+	}
+}
+
+func TestMergeFullViewNothingSentKeepsView(t *testing.T) {
+	v := New(2, 99)
+	v.Add(desc(1, 0))
+	v.Add(desc(2, 0))
+	v.Merge(nil, []Descriptor{desc(3, 0)})
+	if v.Len() != 2 || v.Contains(3) {
+		t.Fatal("merge exceeded capacity with nothing to swap")
+	}
+}
+
+func TestMergeSkipsSelf(t *testing.T) {
+	v := New(3, 7)
+	v.Merge(nil, []Descriptor{desc(7, 0), desc(1, 0)})
+	if v.Contains(7) {
+		t.Fatal("merge inserted owner's descriptor")
+	}
+	if !v.Contains(1) {
+		t.Fatal("merge dropped valid descriptor")
+	}
+}
+
+func TestMergeDoesNotEvictForDuplicateVictim(t *testing.T) {
+	// The victim polled from sent must not be the received node itself.
+	v := New(1, 99)
+	v.Add(desc(1, 5))
+	v.Merge([]Descriptor{desc(1, 5)}, []Descriptor{desc(1, 3)})
+	if !v.Contains(1) {
+		t.Fatal("merge lost the only descriptor")
+	}
+	if d, _ := v.Get(1); d.Age != 3 {
+		t.Fatalf("age = %d, want refreshed 3", d.Age)
+	}
+}
+
+func TestDescriptorsReturnsCopy(t *testing.T) {
+	v := New(3, 99)
+	v.Add(desc(1, 0))
+	ds := v.Descriptors()
+	ds[0].Age = 42
+	if d, _ := v.Get(1); d.Age == 42 {
+		t.Fatal("Descriptors exposed internal storage")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	v := New(5, 99)
+	v.Add(desc(9, 0))
+	v.Add(desc(3, 0))
+	v.Add(desc(6, 0))
+	ids := v.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+// Property: no sequence of merges can exceed capacity, create
+// duplicates, or insert the owner.
+func TestMergeInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := New(5, 0)
+		for _, op := range opsRaw {
+			nIn := int(op%4) + 1
+			recv := make([]Descriptor, 0, nIn)
+			for i := 0; i < nIn; i++ {
+				recv = append(recv, desc(rng.Intn(20), rng.Intn(10)))
+			}
+			sent := v.RandomSubset(rng, int(op/4)%4)
+			v.Merge(sent, recv)
+
+			if v.Len() > v.Cap() {
+				return false
+			}
+			if v.Contains(0) {
+				return false
+			}
+			seen := make(map[addr.NodeID]bool)
+			for _, d := range v.Descriptors() {
+				if seen[d.ID] {
+					return false
+				}
+				seen[d.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TakeOldest always returns a maximal-age element.
+func TestTakeOldestIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := New(8, 0)
+		maxAge := -1
+		for i := 1; i <= 8; i++ {
+			age := rng.Intn(100)
+			if age > maxAge {
+				maxAge = age
+			}
+			v.Add(desc(i, age))
+		}
+		d, ok := v.TakeOldest()
+		return ok && d.Age == maxAge
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package wire defines the on-the-wire sizes of protocol data and small
+// binary encoding helpers.
+//
+// Sizes follow the paper's accounting: each piggybacked ratio estimation
+// costs 5 bytes (two bytes of node identifier, one byte each for the
+// public and private hit counts, one byte of timestamp — §VII), so ten
+// estimations add 50 bytes to a shuffle message. Descriptors carry an
+// IPv4 endpoint (6 bytes), a NAT type byte and an age byte; Gozar
+// descriptors additionally cache relay endpoints and Nylon descriptors a
+// via endpoint.
+//
+// The encoding helpers (Writer/Reader) implement the subset of binary
+// serialisation needed by the real-UDP transport of the NAT-type
+// identification protocol.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+// Wire size constants, in bytes.
+const (
+	// EndpointSize is an IPv4 address plus UDP port.
+	EndpointSize = 6
+	// MsgHeaderSize fronts every protocol message: one type byte, the
+	// sender's advertised endpoint and a flags byte.
+	MsgHeaderSize = 1 + EndpointSize + 1
+	// EstimateSize is one piggybacked ratio estimation (paper §VII).
+	EstimateSize = 5
+	// DescriptorBaseSize is endpoint + NAT type + age.
+	DescriptorBaseSize = EndpointSize + 2
+	// RelaySize is one cached relay endpoint in a Gozar descriptor.
+	RelaySize = EndpointSize
+	// CountSize prefixes each variable-length list with a length byte.
+	CountSize = 1
+)
+
+// DescriptorSize returns the encoded size of one descriptor, including
+// baseline-specific extensions.
+func DescriptorSize(d view.Descriptor) int {
+	n := DescriptorBaseSize + len(d.Relays)*RelaySize
+	if len(d.Relays) > 0 {
+		n += CountSize
+	}
+	if d.Via != 0 {
+		n += EndpointSize
+	}
+	return n
+}
+
+// DescriptorsSize returns the encoded size of a descriptor list
+// (length prefix plus entries).
+func DescriptorsSize(ds []view.Descriptor) int {
+	n := CountSize
+	for _, d := range ds {
+		n += DescriptorSize(d)
+	}
+	return n
+}
+
+// EstimatesSize returns the encoded size of n piggybacked estimations.
+func EstimatesSize(n int) int { return CountSize + n*EstimateSize }
+
+// Writer serialises values into a growing byte slice. Writes never fail.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// PutU8 appends one byte.
+func (w *Writer) PutU8(v uint8) { w.buf = append(w.buf, v) }
+
+// PutU16 appends a big-endian uint16.
+func (w *Writer) PutU16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// PutU32 appends a big-endian uint32.
+func (w *Writer) PutU32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// PutU64 appends a big-endian uint64.
+func (w *Writer) PutU64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// PutEndpoint appends an endpoint as 4 address bytes plus 2 port bytes.
+func (w *Writer) PutEndpoint(e addr.Endpoint) {
+	w.PutU32(uint32(e.IP))
+	w.PutU16(e.Port)
+}
+
+// ErrShortBuffer is returned when a Reader runs out of input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Reader deserialises values from a byte slice. After any failure all
+// subsequent reads fail, so callers may check Err once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a received datagram.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Endpoint reads a 6-byte endpoint.
+func (r *Reader) Endpoint() addr.Endpoint {
+	ip := r.U32()
+	port := r.U16()
+	if r.err != nil {
+		return addr.Endpoint{}
+	}
+	return addr.Endpoint{IP: addr.IP(ip), Port: port}
+}

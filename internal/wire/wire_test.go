@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var w Writer
+	w.PutU8(0xAB)
+	w.PutU16(0xCDEF)
+	w.PutU32(0xDEADBEEF)
+	w.PutU64(0x0123456789ABCDEF)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Fatalf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestRoundTripEndpoint(t *testing.T) {
+	ep := addr.Endpoint{IP: addr.MakeIP(192, 168, 7, 9), Port: 54321}
+	var w Writer
+	w.PutEndpoint(ep)
+	if len(w.Bytes()) != EndpointSize {
+		t.Fatalf("endpoint encoded to %d bytes, want %d", len(w.Bytes()), EndpointSize)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.Endpoint(); got != ep {
+		t.Fatalf("Endpoint = %v, want %v", got, ep)
+	}
+}
+
+func TestShortBufferSticksAsError(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	_ = r.U32()
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// All subsequent reads keep failing and return zero values.
+	if got := r.U8(); got != 0 {
+		t.Fatalf("U8 after error = %d, want 0", got)
+	}
+	if ep := r.Endpoint(); !ep.IsZero() {
+		t.Fatalf("Endpoint after error = %v, want zero", ep)
+	}
+}
+
+func TestDescriptorSizePlain(t *testing.T) {
+	d := view.Descriptor{ID: 1, Endpoint: addr.Endpoint{IP: 5, Port: 6}, Nat: addr.Public}
+	if got := DescriptorSize(d); got != 8 {
+		t.Fatalf("plain descriptor = %d bytes, want 8", got)
+	}
+}
+
+func TestDescriptorSizeWithRelays(t *testing.T) {
+	d := view.Descriptor{
+		ID:  1,
+		Nat: addr.Private,
+		Relays: []view.Relay{
+			{ID: 2, Endpoint: addr.Endpoint{IP: 9, Port: 1}},
+			{ID: 3, Endpoint: addr.Endpoint{IP: 9, Port: 2}},
+		},
+	}
+	want := DescriptorBaseSize + CountSize + 2*RelaySize
+	if got := DescriptorSize(d); got != want {
+		t.Fatalf("relay descriptor = %d bytes, want %d", got, want)
+	}
+}
+
+func TestDescriptorSizeWithVia(t *testing.T) {
+	d := view.Descriptor{ID: 1, Nat: addr.Private, Via: 7, ViaEndpoint: addr.Endpoint{IP: 9, Port: 3}}
+	want := DescriptorBaseSize + EndpointSize
+	if got := DescriptorSize(d); got != want {
+		t.Fatalf("via descriptor = %d bytes, want %d", got, want)
+	}
+}
+
+func TestEstimatesSizeMatchesPaper(t *testing.T) {
+	// Ten estimations at 5 bytes each = 50 bytes of estimation payload
+	// per shuffle message (paper §VII), plus the length prefix.
+	if got := EstimatesSize(10); got != 51 {
+		t.Fatalf("EstimatesSize(10) = %d, want 51", got)
+	}
+}
+
+func TestDescriptorsSize(t *testing.T) {
+	ds := []view.Descriptor{
+		{ID: 1, Nat: addr.Public},
+		{ID: 2, Nat: addr.Private, Relays: []view.Relay{{ID: 3}}},
+	}
+	want := CountSize + 8 + (DescriptorBaseSize + CountSize + RelaySize)
+	if got := DescriptorsSize(ds); got != want {
+		t.Fatalf("DescriptorsSize = %d, want %d", got, want)
+	}
+}
+
+// Property: every (u32, u16, u8) triple survives a write/read cycle.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint16, c uint8) bool {
+		var w Writer
+		w.PutU32(a)
+		w.PutU16(b)
+		w.PutU8(c)
+		r := NewReader(w.Bytes())
+		return r.U32() == a && r.U16() == b && r.U8() == c && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: endpoints round-trip bit-exactly.
+func TestEndpointRoundTripProperty(t *testing.T) {
+	f := func(ip uint32, port uint16) bool {
+		ep := addr.Endpoint{IP: addr.IP(ip), Port: port}
+		var w Writer
+		w.PutEndpoint(ep)
+		return NewReader(w.Bytes()).Endpoint() == ep
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

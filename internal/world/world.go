@@ -1,0 +1,582 @@
+// Package world assembles complete simulated deployments: a network with
+// NAT gateways, a bootstrap service, NAT-type identification at join
+// time, and one peer-sampling protocol instance per node. The experiment
+// harness, the examples and the integration tests all build on it.
+//
+// A world is deterministic: the same configuration and seed replays the
+// same run event-for-event.
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/bootstrap"
+	"repro/internal/croupier"
+	"repro/internal/cyclon"
+	"repro/internal/gozar"
+	"repro/internal/latency"
+	"repro/internal/nat"
+	"repro/internal/natid"
+	"repro/internal/nylon"
+	"repro/internal/pss"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+// Well-known simulated ports.
+const (
+	// ProtoPort carries peer-sampling traffic.
+	ProtoPort = 1000
+	// NatIDPort carries NAT-type identification traffic.
+	NatIDPort = 2000
+)
+
+// Kind selects the peer-sampling system a world runs.
+type Kind int
+
+// The four systems evaluated in the paper.
+const (
+	KindCroupier Kind = iota + 1
+	KindCyclon
+	KindGozar
+	KindNylon
+)
+
+// String returns the system name as used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case KindCroupier:
+		return "croupier"
+	case KindCyclon:
+		return "cyclon"
+	case KindGozar:
+		return "gozar"
+	case KindNylon:
+		return "nylon"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a deployment.
+type Config struct {
+	// Kind selects the protocol. Required.
+	Kind Kind
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Latency is the delay model; defaults to the King-like model
+	// seeded with Seed.
+	Latency latency.Model
+	// Loss is the per-packet drop probability.
+	Loss float64
+	// NAT is the gateway template for private nodes (PublicIP is
+	// allocated per node). Defaults to nat.DefaultConfig.
+	NAT *nat.Config
+	// BootstrapPublics is how many public descriptors joiners receive
+	// (default 5).
+	BootstrapPublics int
+	// SkipNatID starts protocols immediately with their declared NAT
+	// type instead of running the identification protocol first. The
+	// estimation experiments enable it for speed; protocol behaviour
+	// is unchanged because identification is always correct for the
+	// emulated gateways.
+	SkipNatID bool
+	// NatIDTimeout bounds the identification wait (default 1.5 s).
+	NatIDTimeout time.Duration
+
+	// Exactly one of the following is consulted, per Kind. Zero values
+	// select each protocol's defaults.
+	Croupier croupier.Config
+	Cyclon   cyclon.Config
+	Gozar    gozar.Config
+	Nylon    nylon.Config
+}
+
+// Node is one deployed node: its host, protocol instance and metadata.
+type Node struct {
+	ID   addr.NodeID
+	Host *simnet.Host
+	// Proto is nil until the node finished NAT-type identification and
+	// started gossiping.
+	Proto pss.Protocol
+	// Nat is the node's effective NAT type (declared at join, refined
+	// by identification — a UPnP node joins private and turns public).
+	Nat addr.NatType
+	// Endpoint is the advertised protocol endpoint.
+	Endpoint addr.Endpoint
+	// JoinedAt is the virtual time the node attached.
+	JoinedAt time.Duration
+
+	alive    bool
+	dispatch func(simnet.Packet)
+	natidEnv *natid.SimEnv
+}
+
+// Alive reports whether the node is attached and running.
+func (n *Node) Alive() bool { return n.alive }
+
+// Started reports whether the protocol instance is gossiping.
+func (n *Node) Started() bool { return n.Proto != nil }
+
+// World is a complete simulated deployment.
+type World struct {
+	Cfg   Config
+	Sched *sim.Scheduler
+	Net   *simnet.Network
+	Boot  *bootstrap.Server
+
+	nodes  map[addr.NodeID]*Node
+	order  []addr.NodeID // join order, for deterministic iteration
+	nextID uint64
+}
+
+// New builds an empty world.
+func New(cfg Config) (*World, error) {
+	if cfg.Kind == 0 {
+		return nil, fmt.Errorf("world: protocol kind is required")
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = latency.NewKingLike(cfg.Seed)
+	}
+	if cfg.BootstrapPublics == 0 {
+		cfg.BootstrapPublics = 5
+	}
+	if cfg.NatIDTimeout == 0 {
+		cfg.NatIDTimeout = 1500 * time.Millisecond
+	}
+	if cfg.NAT == nil {
+		c := nat.DefaultConfig(0)
+		cfg.NAT = &c
+	}
+	sched := sim.New(cfg.Seed)
+	net, err := simnet.New(sched, simnet.Config{Latency: cfg.Latency, Loss: cfg.Loss})
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	return &World{
+		Cfg:   cfg,
+		Sched: sched,
+		Net:   net,
+		Boot:  bootstrap.NewServer(),
+		nodes: make(map[addr.NodeID]*Node),
+	}, nil
+}
+
+// JoinPublic attaches a node with an open global IP.
+func (w *World) JoinPublic() (*Node, error) { return w.join(addr.Public, false) }
+
+// JoinPrivate attaches a node behind a NAT gateway built from the
+// configured template.
+func (w *World) JoinPrivate() (*Node, error) { return w.join(addr.Private, false) }
+
+// JoinPrivateUPnP attaches a node behind a UPnP-capable gateway; NAT-type
+// identification will turn it into a public node via a port mapping.
+func (w *World) JoinPrivateUPnP() (*Node, error) { return w.join(addr.Private, true) }
+
+func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
+	w.nextID++
+	id := addr.NodeID(w.nextID)
+
+	var host *simnet.Host
+	var err error
+	if declared == addr.Public {
+		host, err = w.Net.AddPublicHost(id)
+	} else {
+		natCfg := *w.Cfg.NAT
+		natCfg.UPnP = upnp
+		host, err = w.Net.AddPrivateHost(id, natCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("world: join: %w", err)
+	}
+
+	n := &Node{ID: id, Host: host, Nat: declared, JoinedAt: w.Sched.Now(), alive: true}
+	w.nodes[id] = n
+	w.order = append(w.order, id)
+
+	// Bind the protocol port now; the protocol instance arrives after
+	// identification and is reached through the dispatch indirection.
+	protoSock, err := host.Bind(ProtoPort, func(pkt simnet.Packet) {
+		if n.dispatch != nil {
+			n.dispatch(pkt)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("world: bind proto: %w", err)
+	}
+	// Bind the NAT-type identification port. Public nodes serve it for
+	// future joiners; the joiner's own client also answers here.
+	env := &natid.SimEnv{}
+	natSock, err := host.Bind(NatIDPort, env.Dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("world: bind natid: %w", err)
+	}
+	*env = *natid.NewSimEnv(w.Sched, natSock)
+	n.natidEnv = env
+
+	// Probe at most two publics, but always leave at least one public
+	// unprobed: the ForwardTest forwarder must come from outside the
+	// probe set (paper §V), so probing the whole directory would make
+	// every run time out.
+	probeN := 2
+	if avail := w.Boot.Count(); avail-probeN < 1 {
+		probeN = avail - 1
+	}
+	if w.Cfg.SkipNatID || (probeN < 1 && !upnp) {
+		// Identification impossible (bootstrap era) or disabled:
+		// trust the declared type.
+		w.startProtocol(n, protoSock, declared, false)
+		return n, nil
+	}
+	helpers := w.Boot.Publics(w.Sched.Rand(), probeN, id)
+
+	probes := make([]addr.Endpoint, 0, len(helpers))
+	for _, h := range helpers {
+		probes = append(probes, addr.Endpoint{IP: h.Endpoint.IP, Port: NatIDPort})
+	}
+	var mapper natid.UPnPMapper
+	if upnp && host.Gateway() != nil && host.Gateway().SupportsUPnP() {
+		gw := host.Gateway()
+		ip := host.IP()
+		mapper = func() (addr.Endpoint, error) {
+			// Map both service ports; advertise the protocol one.
+			if _, err := gw.MapPort(addr.Endpoint{IP: ip, Port: NatIDPort}, NatIDPort); err != nil {
+				return addr.Endpoint{}, err
+			}
+			return gw.MapPort(addr.Endpoint{IP: ip, Port: ProtoPort}, ProtoPort)
+		}
+	}
+	client := natid.NewClient(env, w.Cfg.NatIDTimeout, func(res natid.Result) {
+		if !n.alive {
+			return
+		}
+		w.startProtocol(n, protoSock, res.Type, res.ViaUPnP)
+	})
+	env.SetClient(client)
+	client.Start(probes, mapper)
+	return n, nil
+}
+
+// startProtocol constructs and starts the protocol instance once the
+// node's NAT type is known.
+func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType, viaUPnP bool) {
+	n.Nat = natType
+	n.Endpoint = w.advertisedEndpoint(n, viaUPnP)
+
+	seeds := w.Boot.Publics(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID)
+	var (
+		proto    pss.Protocol
+		dispatch func(simnet.Packet)
+		err      error
+	)
+	switch w.Cfg.Kind {
+	case KindCroupier:
+		cfg := w.Cfg.Croupier
+		if cfg.Params.ViewSize == 0 {
+			cfg = croupier.DefaultConfig()
+		}
+		var node *croupier.Node
+		node, err = croupier.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		proto, dispatch = node, node.HandlePacket
+	case KindCyclon:
+		cfg := w.Cfg.Cyclon
+		if cfg.Params.ViewSize == 0 {
+			cfg = cyclon.DefaultConfig()
+		}
+		var node *cyclon.Node
+		node, err = cyclon.New(cfg, w.Sched, sock, n.Endpoint, seeds)
+		proto, dispatch = node, node.HandlePacket
+	case KindGozar:
+		cfg := w.Cfg.Gozar
+		if cfg.Params.ViewSize == 0 {
+			cfg = gozar.DefaultConfig()
+		}
+		var node *gozar.Node
+		node, err = gozar.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		proto, dispatch = node, node.HandlePacket
+	case KindNylon:
+		cfg := w.Cfg.Nylon
+		if cfg.Params.ViewSize == 0 {
+			cfg = nylon.DefaultConfig()
+		}
+		var node *nylon.Node
+		node, err = nylon.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		proto, dispatch = node, node.HandlePacket
+	default:
+		err = fmt.Errorf("world: unknown kind %d", w.Cfg.Kind)
+	}
+	if err != nil {
+		// Joins are programmatic; a failure here is a configuration
+		// bug surfaced deterministically in tests.
+		panic(err)
+	}
+	n.Proto = proto
+	n.dispatch = dispatch
+
+	// Nodes that drain their view (joined before any public existed, or
+	// lost every known croupier) re-query the bootstrap directory, as
+	// any real client would.
+	reseed := func() []view.Descriptor {
+		return w.Boot.Publics(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID)
+	}
+	switch p := proto.(type) {
+	case *croupier.Node:
+		p.SetRebootstrap(reseed)
+	case *cyclon.Node:
+		p.SetRebootstrap(reseed)
+	case *gozar.Node:
+		p.SetRebootstrap(reseed)
+	case *nylon.Node:
+		p.SetRebootstrap(reseed)
+	}
+
+	if natType == addr.Public {
+		w.Boot.Register(view.Descriptor{ID: n.ID, Endpoint: n.Endpoint, Nat: addr.Public})
+		// Serve NAT-type identification for future joiners, picking
+		// forwarders from the bootstrap directory.
+		n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n.ID)))
+	}
+	proto.Start()
+}
+
+// advertisedEndpoint computes the endpoint a node puts in its own
+// descriptor. Public hosts use their interface address; UPnP nodes the
+// mapped port; NATed hosts their reflexive endpoint, which is stable and
+// predictable under endpoint-independent mapping with port preservation
+// (production systems learn it STUN-style from shuffle partners; see
+// DESIGN.md).
+func (w *World) advertisedEndpoint(n *Node, viaUPnP bool) addr.Endpoint {
+	gw := n.Host.Gateway()
+	if gw == nil {
+		return addr.Endpoint{IP: n.Host.IP(), Port: ProtoPort}
+	}
+	if viaUPnP {
+		return addr.Endpoint{IP: gw.PublicIP(), Port: ProtoPort}
+	}
+	return addr.Endpoint{IP: gw.PublicIP(), Port: ProtoPort}
+}
+
+// pickForwarder builds a natid forwarder picker backed by the bootstrap
+// directory.
+func (w *World) pickForwarder(self addr.NodeID) natid.ForwarderPicker {
+	return func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
+		banned := make(map[addr.Endpoint]bool, len(exclude))
+		for _, e := range exclude {
+			banned[e] = true
+		}
+		for _, d := range w.Boot.Publics(w.Sched.Rand(), 8, self) {
+			ep := addr.Endpoint{IP: d.Endpoint.IP, Port: NatIDPort}
+			if !banned[ep] {
+				return ep, true
+			}
+		}
+		return addr.Endpoint{}, false
+	}
+}
+
+// Fail crashes a node: it vanishes from the network and the bootstrap
+// directory without any goodbye traffic.
+func (w *World) Fail(id addr.NodeID) {
+	n, ok := w.nodes[id]
+	if !ok || !n.alive {
+		return
+	}
+	n.alive = false
+	if n.Proto != nil {
+		n.Proto.Stop()
+	}
+	w.Net.Remove(id)
+	w.Boot.Unregister(id)
+}
+
+// Node returns a node by ID.
+func (w *World) Node(id addr.NodeID) (*Node, bool) {
+	n, ok := w.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes in join order, dead ones included.
+func (w *World) Nodes() []*Node {
+	out := make([]*Node, 0, len(w.order))
+	for _, id := range w.order {
+		out = append(out, w.nodes[id])
+	}
+	return out
+}
+
+// AliveNodes returns running nodes in join order.
+func (w *World) AliveNodes() []*Node {
+	out := make([]*Node, 0, len(w.order))
+	for _, id := range w.order {
+		if n := w.nodes[id]; n.alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AliveIDs returns the sorted identifiers of running nodes.
+func (w *World) AliveIDs() []addr.NodeID {
+	out := make([]addr.NodeID, 0, len(w.nodes))
+	for id, n := range w.nodes {
+		if n.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActualRatio returns ω, the live fraction of public nodes (equation 1).
+func (w *World) ActualRatio() float64 {
+	pub, total := 0, 0
+	for _, n := range w.nodes {
+		if !n.alive {
+			continue
+		}
+		total++
+		if n.Nat == addr.Public {
+			pub++
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(pub) / float64(total)
+}
+
+// Overlay snapshots the current overlay adjacency: node → neighbor IDs
+// from every started, live protocol instance.
+func (w *World) Overlay() map[addr.NodeID][]addr.NodeID {
+	adj := make(map[addr.NodeID][]addr.NodeID, len(w.nodes))
+	for _, id := range w.order {
+		n := w.nodes[id]
+		if !n.alive || n.Proto == nil {
+			continue
+		}
+		neigh := n.Proto.Neighbors()
+		ids := make([]addr.NodeID, 0, len(neigh))
+		for _, d := range neigh {
+			ids = append(ids, d.ID)
+		}
+		adj[id] = ids
+	}
+	return adj
+}
+
+// RunUntil advances the simulation to virtual time t.
+func (w *World) RunUntil(t time.Duration) { w.Sched.RunUntil(t) }
+
+// PoissonJoins schedules n joins starting at start with exponentially
+// distributed inter-arrival gaps of the given mean — the paper's join
+// process ("nodes join following a Poisson distribution with an
+// inter-arrival time of X ms").
+func (w *World) PoissonJoins(start time.Duration, n int, meanGap time.Duration, natType addr.NatType) {
+	t := start
+	for i := 0; i < n; i++ {
+		w.Sched.At(t, func() {
+			var err error
+			if natType == addr.Public {
+				_, err = w.JoinPublic()
+			} else {
+				_, err = w.JoinPrivate()
+			}
+			if err != nil {
+				panic(err)
+			}
+		})
+		gap := time.Duration(w.Sched.Rand().ExpFloat64() * float64(meanGap))
+		t += gap
+	}
+}
+
+// MixedPoissonJoins schedules nPub public and nPriv private joins in a
+// single exponentially spaced arrival stream with the given mean gap,
+// with NAT types shuffled uniformly over the stream (the join process of
+// the paper's 1000-node experiments: "nodes join following a Poisson
+// distribution with an inter-arrival time of 10 ms").
+func (w *World) MixedPoissonJoins(start time.Duration, nPub, nPriv int, meanGap time.Duration) {
+	types := make([]addr.NatType, 0, nPub+nPriv)
+	for i := 0; i < nPub; i++ {
+		types = append(types, addr.Public)
+	}
+	for i := 0; i < nPriv; i++ {
+		types = append(types, addr.Private)
+	}
+	rng := w.Sched.Rand()
+	rng.Shuffle(len(types), func(i, j int) { types[i], types[j] = types[j], types[i] })
+	t := start
+	for _, natType := range types {
+		natType := natType
+		w.Sched.At(t, func() {
+			var err error
+			if natType == addr.Public {
+				_, err = w.JoinPublic()
+			} else {
+				_, err = w.JoinPrivate()
+			}
+			if err != nil {
+				panic(err)
+			}
+		})
+		t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+	}
+}
+
+// ReplacementChurn replaces `fraction` of the live population every
+// round from start to end: victims crash and an equal number of fresh
+// nodes of the same NAT type join immediately, keeping the ratio stable
+// (the paper's churn model, §VII-B).
+func (w *World) ReplacementChurn(start, end, period time.Duration, fraction float64) {
+	var tick func()
+	next := start
+	tick = func() {
+		if w.Sched.Now() > end {
+			return
+		}
+		alive := w.AliveNodes()
+		started := make([]*Node, 0, len(alive))
+		for _, n := range alive {
+			if n.Started() {
+				started = append(started, n)
+			}
+		}
+		k := int(math.Round(fraction * float64(len(started))))
+		perm := w.Sched.Rand().Perm(len(started))
+		for i := 0; i < k && i < len(perm); i++ {
+			victim := started[perm[i]]
+			natType := victim.Nat
+			w.Fail(victim.ID)
+			var err error
+			if natType == addr.Public {
+				_, err = w.JoinPublic()
+			} else {
+				_, err = w.JoinPrivate()
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		next += period
+		w.Sched.At(next, tick)
+	}
+	w.Sched.At(next, tick)
+}
+
+// CatastrophicFailure kills `fraction` of the live population at time t,
+// chosen uniformly at random (the paper's massive-failure scenario).
+func (w *World) CatastrophicFailure(t time.Duration, fraction float64) {
+	w.Sched.At(t, func() {
+		alive := w.AliveNodes()
+		k := int(math.Round(fraction * float64(len(alive))))
+		perm := w.Sched.Rand().Perm(len(alive))
+		for i := 0; i < k && i < len(perm); i++ {
+			w.Fail(alive[perm[i]].ID)
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package world
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/gozar"
+	"repro/internal/graph"
+	"repro/internal/nylon"
+)
+
+// buildMixed joins pub public and priv private nodes with SkipNatID for
+// speed and runs the world until t.
+func buildMixed(t *testing.T, kind Kind, pub, priv int, until time.Duration) *World {
+	t.Helper()
+	w, err := New(Config{Kind: kind, Seed: 7, SkipNatID: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pub; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+	}
+	for i := 0; i < priv; i++ {
+		if _, err := w.JoinPrivate(); err != nil {
+			t.Fatalf("JoinPrivate: %v", err)
+		}
+	}
+	w.RunUntil(until)
+	return w
+}
+
+func TestCroupierConvergesToRatio(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 120*time.Second)
+	actual := w.ActualRatio()
+	if math.Abs(actual-0.2) > 1e-9 {
+		t.Fatalf("ActualRatio = %v, want 0.2", actual)
+	}
+	bad := 0
+	for _, n := range w.AliveNodes() {
+		c, ok := n.Proto.(*croupier.Node)
+		if !ok {
+			t.Fatalf("protocol is %T, want croupier", n.Proto)
+		}
+		est, ok := c.Estimate()
+		if !ok {
+			t.Fatalf("node %v has no estimate after 120 rounds", n.ID)
+		}
+		if math.Abs(est-actual) > 0.05 {
+			bad++
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d/100 nodes off by more than 5%% from the true ratio", bad)
+	}
+}
+
+func TestCroupierViewsFillAndStayTyped(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 60*time.Second)
+	for _, n := range w.AliveNodes() {
+		c := n.Proto.(*croupier.Node)
+		if got := len(c.PublicView()); got < 5 {
+			t.Fatalf("node %v public view has %d entries, want ≥5", n.ID, got)
+		}
+		if got := len(c.PrivateView()); got < 5 {
+			t.Fatalf("node %v private view has %d entries, want ≥5", n.ID, got)
+		}
+		for _, d := range c.PublicView() {
+			if d.Nat != addr.Public {
+				t.Fatalf("node %v has %v in its public view", n.ID, d)
+			}
+		}
+		for _, d := range c.PrivateView() {
+			if d.Nat != addr.Private {
+				t.Fatalf("node %v has %v in its private view", n.ID, d)
+			}
+		}
+	}
+}
+
+func TestCroupierSamplesMatchRatio(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 120*time.Second)
+	pubSamples, total := 0, 0
+	for _, n := range w.AliveNodes() {
+		c := n.Proto.(*croupier.Node)
+		for i := 0; i < 50; i++ {
+			d, ok := c.Sample()
+			if !ok {
+				t.Fatalf("node %v failed to sample", n.ID)
+			}
+			total++
+			if d.Nat == addr.Public {
+				pubSamples++
+			}
+		}
+	}
+	frac := float64(pubSamples) / float64(total)
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("public sample fraction = %.3f, want ≈0.2", frac)
+	}
+}
+
+func TestCroupierOverlayConnected(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 60*time.Second)
+	snap := graph.Build(w.Overlay())
+	if snap.Order() != 100 {
+		t.Fatalf("overlay has %d vertices, want 100", snap.Order())
+	}
+	if got := snap.BiggestCluster(); got != 100 {
+		t.Fatalf("biggest cluster = %d, want fully connected 100", got)
+	}
+}
+
+func TestCyclonAllPublicConverges(t *testing.T) {
+	w := buildMixed(t, KindCyclon, 60, 0, 60*time.Second)
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got != 60 {
+		t.Fatalf("biggest cluster = %d, want 60", got)
+	}
+	degs := snap.InDegrees()
+	for i, d := range degs {
+		if d == 0 {
+			t.Fatalf("vertex %d has in-degree 0 after convergence", i)
+		}
+	}
+}
+
+func TestGozarPrivateNodesExchange(t *testing.T) {
+	w := buildMixed(t, KindGozar, 20, 80, 90*time.Second)
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got < 95 {
+		t.Fatalf("biggest cluster = %d, want ≥95", got)
+	}
+	relayed, failed := 0, 0
+	for _, n := range w.AliveNodes() {
+		g := n.Proto.(*gozar.Node)
+		if n.Nat == addr.Private {
+			if len(g.Relays()) == 0 {
+				t.Fatalf("private node %v has no relays", n.ID)
+			}
+		} else {
+			relayed += g.RegisteredClients()
+		}
+		failed += int(g.FailedShuffles())
+	}
+	if relayed == 0 {
+		t.Fatal("no relay registrations in a Gozar world")
+	}
+	// Private nodes must actually be receiving exchanges: their views
+	// should not be dominated by bootstrap-era publics.
+	for _, n := range w.AliveNodes() {
+		if n.Nat != addr.Private {
+			continue
+		}
+		hasPrivate := false
+		for _, d := range n.Proto.Neighbors() {
+			if d.Nat == addr.Private {
+				hasPrivate = true
+				break
+			}
+		}
+		if !hasPrivate {
+			t.Fatalf("private node %v never learned another private node", n.ID)
+		}
+	}
+}
+
+func TestNylonHolePunchingWorks(t *testing.T) {
+	w := buildMixed(t, KindNylon, 20, 80, 90*time.Second)
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got < 95 {
+		t.Fatalf("biggest cluster = %d, want ≥95", got)
+	}
+	// Private nodes must appear in views across the system (they are
+	// reachable through chains), and some chains must have relayed.
+	relayed := uint64(0)
+	for _, n := range w.AliveNodes() {
+		ny := n.Proto.(*nylon.Node)
+		relayed += ny.RelayedMessages()
+	}
+	if relayed == 0 {
+		t.Fatal("no chain messages relayed in a Nylon world")
+	}
+	indeg := make(map[addr.NodeID]int)
+	for _, n := range w.AliveNodes() {
+		for _, d := range n.Proto.Neighbors() {
+			indeg[d.ID]++
+		}
+	}
+	zero := 0
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Private && indeg[n.ID] == 0 {
+			zero++
+		}
+	}
+	if zero > 8 {
+		t.Fatalf("%d/80 private nodes invisible in all views", zero)
+	}
+}
+
+func TestNatIDPathProducesCorrectTypes(t *testing.T) {
+	w, err := New(Config{Kind: KindCroupier, Seed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Stagger public joins: identification needs an already-identified
+	// public node outside the probe set to act as forwarder, so a
+	// thundering herd at t=0 would (correctly) time out to private.
+	for i := 0; i < 10; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+		w.RunUntil(w.Sched.Now() + 2*time.Second)
+	}
+	w.RunUntil(25 * time.Second)
+	for i := 0; i < 20; i++ {
+		if _, err := w.JoinPrivate(); err != nil {
+			t.Fatalf("JoinPrivate: %v", err)
+		}
+	}
+	up, err := w.JoinPrivateUPnP()
+	if err != nil {
+		t.Fatalf("JoinPrivateUPnP: %v", err)
+	}
+	w.RunUntil(50 * time.Second)
+
+	for _, n := range w.AliveNodes() {
+		if !n.Started() {
+			t.Fatalf("node %v never finished NAT identification", n.ID)
+		}
+	}
+	if up.Nat != addr.Public {
+		t.Fatalf("UPnP node identified as %v, want public", up.Nat)
+	}
+	pub := 0
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Public {
+			pub++
+		}
+	}
+	if pub != 11 { // 10 open + 1 UPnP
+		t.Fatalf("%d public nodes, want 11", pub)
+	}
+}
+
+func TestReplacementChurnKeepsSystemAlive(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 30*time.Second)
+	w.ReplacementChurn(30*time.Second, 60*time.Second, time.Second, 0.01)
+	w.RunUntil(90 * time.Second)
+	alive := w.AliveNodes()
+	if len(alive) != 100 {
+		t.Fatalf("%d nodes alive under replacement churn, want 100", len(alive))
+	}
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got < 95 {
+		t.Fatalf("biggest cluster = %d under churn, want ≥95", got)
+	}
+}
+
+func TestCatastrophicFailureCroupierStaysConnected(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 20, 80, 60*time.Second)
+	w.CatastrophicFailure(60*time.Second, 0.5)
+	w.RunUntil(90 * time.Second)
+	alive := w.AliveNodes()
+	if len(alive) != 50 {
+		t.Fatalf("%d alive after 50%% failure, want 50", len(alive))
+	}
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got < 45 {
+		t.Fatalf("biggest cluster = %d of 50 after failure, want ≥45", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		w := buildMixed(t, KindCroupier, 10, 40, 40*time.Second)
+		var ests []float64
+		for _, n := range w.AliveNodes() {
+			c := n.Proto.(*croupier.Node)
+			if e, ok := c.Estimate(); ok {
+				ests = append(ests, e)
+			}
+		}
+		return ests
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFailIsIdempotentAndStopsTraffic(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 5, 5, 10*time.Second)
+	id := w.AliveNodes()[0].ID
+	w.Fail(id)
+	w.Fail(id) // second call is a no-op
+	before := w.Net.TrafficFor(id).MsgsSent
+	w.RunUntil(20 * time.Second)
+	after := w.Net.TrafficFor(id).MsgsSent
+	if after != before {
+		t.Fatalf("dead node kept sending: %d -> %d msgs", before, after)
+	}
+	if got := len(w.AliveNodes()); got != 9 {
+		t.Fatalf("alive = %d, want 9", got)
+	}
+}
+
+func TestCroupierConvergesUnderPacketLoss(t *testing.T) {
+	// 10% independent packet loss: shuffles fail occasionally, but the
+	// estimator and the overlay must still converge.
+	w, err := New(Config{Kind: KindCroupier, Seed: 13, SkipNatID: true, Loss: 0.10})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := w.JoinPrivate(); err != nil {
+			t.Fatalf("JoinPrivate: %v", err)
+		}
+	}
+	w.RunUntil(120 * time.Second)
+
+	if w.Net.Dropped() == 0 {
+		t.Fatal("loss configured but nothing dropped")
+	}
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got < 95 {
+		t.Fatalf("biggest cluster = %d under 10%% loss, want ≥95", got)
+	}
+	bad := 0
+	for _, n := range w.AliveNodes() {
+		c := n.Proto.(*croupier.Node)
+		est, ok := c.Estimate()
+		if !ok || math.Abs(est-0.2) > 0.06 {
+			bad++
+		}
+	}
+	if bad > 5 {
+		t.Fatalf("%d/100 nodes failed to converge under loss", bad)
+	}
+}
+
+func TestMixedPoissonJoinsHitExactCounts(t *testing.T) {
+	w, err := New(Config{Kind: KindCroupier, Seed: 21, SkipNatID: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.MixedPoissonJoins(0, 30, 70, 5*time.Millisecond)
+	w.RunUntil(10 * time.Second)
+	pub, pri := 0, 0
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Public {
+			pub++
+		} else {
+			pri++
+		}
+	}
+	if pub != 30 || pri != 70 {
+		t.Fatalf("joined %d public / %d private, want 30/70", pub, pri)
+	}
+}
+
+func TestOverlayExcludesDeadAndUnstarted(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 10, 10, 20*time.Second)
+	victim := w.AliveNodes()[3].ID
+	w.Fail(victim)
+	adj := w.Overlay()
+	if _, ok := adj[victim]; ok {
+		t.Fatal("dead node present in overlay snapshot")
+	}
+	if len(adj) != 19 {
+		t.Fatalf("overlay has %d vertices, want 19", len(adj))
+	}
+}
+
+func TestPoissonJoinsArriveOverTime(t *testing.T) {
+	w, err := New(Config{Kind: KindCroupier, Seed: 11, SkipNatID: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.PoissonJoins(0, 50, 100*time.Millisecond, addr.Public)
+	w.RunUntil(2 * time.Second)
+	mid := len(w.AliveNodes())
+	if mid == 0 || mid == 50 {
+		t.Fatalf("after 2s of mean-100ms joins, %d/50 joined; expected partial progress", mid)
+	}
+	w.RunUntil(60 * time.Second)
+	if got := len(w.AliveNodes()); got != 50 {
+		t.Fatalf("%d joined, want 50", got)
+	}
+}
