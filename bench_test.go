@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/graph"
 	"repro/internal/latency"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/view"
@@ -354,3 +356,56 @@ func BenchmarkCroupierSimulatedRound(b *testing.B) {
 		w.RunUntil(w.Sched.Now() + time.Second)
 	}
 }
+
+// --- scenario-engine benchmarks ---
+
+// benchScenario runs one library scenario at benchmark scale and
+// reports its headline robustness metrics so future changes can track
+// adverse-workload behaviour alongside the figure benchmarks.
+func benchScenario(b *testing.B, name string) {
+	b.Helper()
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale(0)
+	for i := 0; i < b.N; i++ {
+		// Honour REPRO_BENCH_SEEDS like the figure benchmarks: average
+		// the headline metrics over the requested seeds.
+		var clusterSum, errSum float64
+		errRuns := 0
+		recovery := make(map[string]float64)
+		for seed := 1; seed <= s.Seeds; seed++ {
+			res, err := scenario.Run(sc, scenario.RunConfig{Kind: world.KindCroupier, Seed: int64(seed), Scale: s.Factor})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last := res.Samples[len(res.Samples)-1]
+			clusterSum += float64(last.ClusterFrac)
+			if !math.IsNaN(float64(last.EstErrAvg)) {
+				errSum += float64(last.EstErrAvg)
+				errRuns++
+			}
+			for _, rec := range res.Recoveries {
+				if rec.Rounds >= 0 {
+					recovery[rec.Event] += rec.Rounds / float64(s.Seeds)
+				}
+			}
+		}
+		b.ReportMetric(clusterSum/float64(s.Seeds), "cluster_frac")
+		if errRuns > 0 {
+			b.ReportMetric(errSum/float64(errRuns), "est_err_avg")
+		}
+		for event, rounds := range recovery {
+			b.ReportMetric(rounds, "recovery_rounds_"+event)
+		}
+	}
+}
+
+func BenchmarkScenarioFlashcrowd(b *testing.B) { benchScenario(b, "flashcrowd") }
+func BenchmarkScenarioPartition(b *testing.B)  { benchScenario(b, "partition") }
+func BenchmarkScenarioChurnstorm(b *testing.B) { benchScenario(b, "churnstorm") }
+func BenchmarkScenarioNatdrift(b *testing.B)   { benchScenario(b, "natdrift") }
+func BenchmarkScenarioLossburst(b *testing.B)  { benchScenario(b, "lossburst") }
+func BenchmarkScenarioMassfail(b *testing.B)   { benchScenario(b, "massfail") }
+func BenchmarkScenarioMapexpiry(b *testing.B)  { benchScenario(b, "mapexpiry") }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"io"
-	"math"
 	"strings"
 	"time"
 
@@ -99,34 +98,11 @@ func RunEstimation(sc EstimationScenario) (EstimationResult, error) {
 	return res, nil
 }
 
-// measureEstimation computes the paper's error metrics at one instant:
-// the node-averaged and node-maximum absolute estimation error against
-// the current true ratio ω, over nodes that have run ≥ 2 rounds.
+// measureEstimation reports the paper's error metrics at one instant;
+// the shared implementation lives on world.World so every harness
+// (figures, scenarios) measures identically.
 func measureEstimation(w *world.World) (avg, maxE, ratio float64) {
-	ratio = w.ActualRatio()
-	var sum float64
-	var n int
-	maxE = math.NaN()
-	for _, node := range w.AliveNodes() {
-		c, ok := node.Proto.(*croupier.Node)
-		if !ok || c.Rounds() < 2 {
-			continue
-		}
-		est, ok := c.Estimate()
-		if !ok {
-			continue
-		}
-		e := math.Abs(ratio - est)
-		sum += e
-		n++
-		if math.IsNaN(maxE) || e > maxE {
-			maxE = e
-		}
-	}
-	if n == 0 {
-		return math.NaN(), math.NaN(), ratio
-	}
-	return sum / float64(n), maxE, ratio
+	return w.MeasureEstimationError()
 }
 
 // EstimationFigure is a complete estimation figure: one averaged (avg,

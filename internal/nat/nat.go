@@ -194,6 +194,25 @@ func (g *Gateway) SupportsUPnP() bool { return g.cfg.UPnP }
 // Config returns the gateway's configuration.
 func (g *Gateway) Config() Config { return g.cfg }
 
+// SetMappingTimeout changes the UDP idle timeout mid-run — a firmware
+// update or ISP policy change in scenario terms. Live mappings are
+// judged against the new timeout from now on; mappings already expired
+// under the old timeout are purged first, because a real gateway
+// forgets an expired mapping for good — raising the timeout must not
+// resurrect it.
+func (g *Gateway) SetMappingTimeout(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("nat: mapping timeout must be positive, got %v", d)
+	}
+	for k, m := range g.byKey {
+		if g.expired(m) {
+			g.drop(k, m)
+		}
+	}
+	g.cfg.MappingTimeout = d
+	return nil
+}
+
 func (g *Gateway) key(src, dst addr.Endpoint) mapKey {
 	k := mapKey{internal: src}
 	switch g.cfg.Mapping {

@@ -294,3 +294,34 @@ func TestManyMappingsDistinctPorts(t *testing.T) {
 		seen[p.Port] = true
 	}
 }
+
+func TestSetMappingTimeoutDoesNotResurrectExpiredMappings(t *testing.T) {
+	now := time.Duration(0)
+	cfg := DefaultConfig(addr.MakeIP(9, 0, 0, 1))
+	g, err := NewGateway(cfg, func() time.Duration { return now }, nil)
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	src := addr.Endpoint{IP: addr.MakeIP(10, 0, 0, 2), Port: 100}
+	dst := addr.Endpoint{IP: addr.MakeIP(8, 0, 0, 1), Port: 200}
+	pub := g.Outbound(src, dst)
+
+	// Shrink the timeout, let the mapping expire under it, then raise
+	// the timeout back: the expired mapping must stay dead.
+	if err := g.SetMappingTimeout(3 * time.Second); err != nil {
+		t.Fatalf("SetMappingTimeout: %v", err)
+	}
+	now = 10 * time.Second // idle 10s > 3s: expired
+	if err := g.SetMappingTimeout(30 * time.Second); err != nil {
+		t.Fatalf("SetMappingTimeout: %v", err)
+	}
+	if _, admitted := g.Inbound(dst, pub); admitted {
+		t.Fatal("raising the mapping timeout resurrected an expired mapping")
+	}
+	if g.ActiveMappings() != 0 {
+		t.Fatalf("ActiveMappings = %d after purge, want 0", g.ActiveMappings())
+	}
+	if err := g.SetMappingTimeout(0); err == nil {
+		t.Fatal("SetMappingTimeout accepted 0")
+	}
+}

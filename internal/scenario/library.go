@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fp builds the optional pub_frac pointer field.
+func fp(v float64) *float64 { return &v }
+
+// The library's base population mirrors the paper's 1000-node setup:
+// 20% public, joining in one mixed Poisson stream with 10 ms gaps.
+const (
+	basePublics  = 200
+	basePrivates = 800
+)
+
+// library maps scenario names to constructors. Constructors return a
+// fresh value every call so callers can mutate their copy freely.
+var library = map[string]func() Scenario{
+	"flashcrowd": func() Scenario {
+		return Scenario{
+			Name: "flashcrowd",
+			Description: "A steady 500-node system is hit at round 60 by a flash crowd " +
+				"doubling the population within seconds, with the paper's 20% public mix. " +
+				"Watches ω̂ re-convergence and in-degree dilation while the crowd is absorbed.",
+			Publics:  basePublics / 2,
+			Privates: basePrivates / 2,
+			Rounds:   150,
+			Events: []Event{
+				{At: 60, Type: EvFlashCrowd, Count: 500, PubFrac: fp(0.2), MeanGapMS: fp(20)},
+			},
+		}
+	},
+	"partition": func() Scenario {
+		return Scenario{
+			Name: "partition",
+			Description: "30% of the network is cut off for 30 rounds, then healed. Background " +
+				"churn (1%/round, the paper's model) keeps fresh bootstrap-seeded joiners arriving — " +
+				"the only bridge that re-mixes the two shuffle universes after the heal, since a " +
+				"partition outliving the view purge horizon permanently segregates the public views.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   200,
+			Events: []Event{
+				{At: 10, Type: EvChurn, Fraction: 0.01, Duration: 185},
+				{At: 60, Type: EvPartition, Fraction: 0.3},
+				{At: 90, Type: EvHeal},
+			},
+		}
+	},
+	"churnstorm": func() Scenario {
+		return Scenario{
+			Name: "churnstorm",
+			Description: "Churn ramps from the paper's 1%/round to a 10%/round storm for 60 " +
+				"rounds and back. Estimation error and overlay randomness must degrade gracefully " +
+				"and recover once the storm passes.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   180,
+			// Churn phases tick inclusively at their end round, so each
+			// phase ends one round before the next begins.
+			Events: []Event{
+				{At: 10, Type: EvChurn, Fraction: 0.01, Duration: 49},
+				{At: 60, Type: EvChurn, Fraction: 0.10, Duration: 60},
+				{At: 121, Type: EvChurn, Fraction: 0.01, Duration: 55},
+			},
+		}
+	},
+	"natdrift": func() Scenario {
+		return Scenario{
+			Name: "natdrift",
+			Description: "NAT-type distribution drift: from round 60, 2%/round replacement " +
+				"churn draws replacements 50% public, drifting ω from 0.20 toward 0.50 over 120 " +
+				"rounds. The headline metric is how closely ω̂ tracks the moving target.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   220,
+			Events: []Event{
+				{At: 60, Type: EvNatDrift, Fraction: 0.02, Duration: 120, PubFrac: fp(0.5)},
+			},
+		}
+	},
+	"lossburst": func() Scenario {
+		return Scenario{
+			Name: "lossburst",
+			Description: "A 30-round congestion episode: 25% packet loss plus 150 ms of added " +
+				"one-way delay network-wide, then clear skies. Shuffle timeouts and half-completed " +
+				"exchanges stress view freshness and the estimation pipeline.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   150,
+			Events: []Event{
+				{At: 60, Type: EvLossBurst, Loss: 0.25, Duration: 30},
+				{At: 60, Type: EvDelayBurst, DelayMS: 150, Duration: 30},
+			},
+		}
+	},
+	"massfail": func() Scenario {
+		return Scenario{
+			Name: "massfail",
+			Description: "The paper's catastrophic-failure sweep as a timeline: 60% of the " +
+				"population crashes at round 80 with no goodbye traffic. Measures how much of the " +
+				"surviving overlay stays in one cluster and how long reconvergence takes.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   160,
+			Events: []Event{
+				{At: 80, Type: EvMassFail, Fraction: 0.6},
+			},
+		}
+	},
+	"mapexpiry": func() Scenario {
+		return Scenario{
+			Name: "mapexpiry",
+			Description: "Gateway mapping-expiry drift: at round 60 every NAT gateway's UDP " +
+				"mapping timeout collapses from 30 s to 3 s (aggressive ISP middleboxes). Reverse " +
+				"paths to private nodes now expire between rounds, stressing relaying and " +
+				"hole-punched exchanges.",
+			Publics:  basePublics,
+			Privates: basePrivates,
+			Rounds:   150,
+			Events: []Event{
+				{At: 60, Type: EvMapExpiry, TimeoutMS: 3000},
+			},
+		}
+	},
+}
+
+// Names lists the library's scenario names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(library))
+	for name := range library {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a named library scenario.
+func Lookup(name string) (Scenario, error) {
+	ctor, ok := library[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// F is a float64 that survives JSON round-trips when NaN: metrics that
+// are undefined at a probe point (ω̂ error on a non-Croupier run, cross
+// fraction before any partition) marshal as null instead of failing.
+type F float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null becomes NaN.
+func (f *F) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = F(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = F(v)
+	return nil
+}
+
+// Sample is one periodic metric probe of a running scenario.
+type Sample struct {
+	// Round is the virtual time of the probe in gossip rounds.
+	Round float64 `json:"round"`
+	// Alive and Started count attached nodes and gossiping nodes.
+	Alive   int `json:"alive"`
+	Started int `json:"started"`
+	// Publics counts live public nodes; Ratio is ω, their fraction.
+	Publics int `json:"publics"`
+	Ratio   F   `json:"ratio"`
+	// EstErrAvg and EstErrMax are the paper's ω̂ estimation-error
+	// metrics (average and maximum |ω − E_n(ω)| over started Croupier
+	// nodes with ≥2 rounds); NaN for the other systems.
+	EstErrAvg F `json:"est_err_avg"`
+	EstErrMax F `json:"est_err_max"`
+	// In-degree distribution of the effective overlay (the randomness
+	// lens of Fig 6a).
+	InDegMean F `json:"indeg_mean"`
+	InDegStd  F `json:"indeg_std"`
+	InDegMax  F `json:"indeg_max"`
+	// ClusterFrac is the biggest weakly-connected cluster of the
+	// effective overlay (edges the network can currently carry) as a
+	// fraction of started nodes; Components counts its components.
+	ClusterFrac F   `json:"cluster_frac"`
+	Components  int `json:"components"`
+	// PubClusterFrac is the same connectivity measure restricted to the
+	// public-node layer — the shuffle substrate whose segregation
+	// decides whether a healed partition ever re-mixes.
+	PubClusterFrac F `json:"pub_cluster_frac"`
+	// CrossFrac is the fraction of raw view edges crossing the most
+	// recent partition's cut; NaN before any partition event.
+	CrossFrac F `json:"cross_frac"`
+	// Traffic per live node per second since the previous probe.
+	BytesPerNodeSec F `json:"bytes_per_node_s"`
+	MsgsPerNodeSec  F `json:"msgs_per_node_s"`
+	// Packet drops since the previous probe, total and partition-caused.
+	Dropped     uint64 `json:"dropped"`
+	PartDropped uint64 `json:"part_dropped"`
+	// Current network conditions at the probe instant, so exports are
+	// self-describing about which timeline phase each row sits in.
+	Loss         F `json:"loss"`
+	ExtraDelayMS F `json:"extra_delay_ms"`
+}
+
+// Recovery tracks how long the overlay needed to knit itself back
+// together after a disruptive event (a heal or a massive failure): the
+// first probe at which both the overall effective overlay and the
+// public layer are ≥99% connected again.
+type Recovery struct {
+	// Event is "heal" or "massfail".
+	Event string `json:"event"`
+	// AtRound is when the disruption-clearing event fired.
+	AtRound float64 `json:"at_round"`
+	// RecoveredRound is the probe round that first met the recovery
+	// threshold, or -1 if the run ended still fractured.
+	RecoveredRound float64 `json:"recovered_round"`
+	// Rounds is RecoveredRound − AtRound, or -1 if never recovered.
+	Rounds float64 `json:"rounds"`
+}
+
+// Result is one scenario run's complete output.
+type Result struct {
+	Scenario    string     `json:"scenario"`
+	Description string     `json:"description,omitempty"`
+	Kind        string     `json:"kind"`
+	Seed        int64      `json:"seed"`
+	Scale       float64    `json:"scale"`
+	Rounds      int        `json:"rounds"`
+	ProbeEvery  int        `json:"probe_every"`
+	Publics     int        `json:"publics"`
+	Privates    int        `json:"privates"`
+	Samples     []Sample   `json:"samples"`
+	Recoveries  []Recovery `json:"recoveries"`
+
+	// Final-state summary, copied from the last sample.
+	FinalAlive       int `json:"final_alive"`
+	FinalRatio       F   `json:"final_ratio"`
+	FinalEstErrAvg   F   `json:"final_est_err_avg"`
+	FinalClusterFrac F   `json:"final_cluster_frac"`
+}
+
+// WriteJSON renders the result as deterministic, indented JSON: the
+// same scenario and seed produce byte-identical output.
+func (r *Result) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: marshal result: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("scenario: write result: %w", err)
+	}
+	return nil
+}
+
+// WriteTSV renders the sample table with a comment header carrying the
+// run identity and the recovery summary.
+func (r *Result) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# scenario=%s kind=%s seed=%d scale=%g rounds=%d publics=%d privates=%d\n",
+		r.Scenario, r.Kind, r.Seed, r.Scale, r.Rounds, r.Publics, r.Privates); err != nil {
+		return fmt.Errorf("scenario: write tsv: %w", err)
+	}
+	for _, rec := range r.Recoveries {
+		if _, err := fmt.Fprintf(w, "# recovery event=%s at_round=%g recovered_round=%g rounds=%g\n",
+			rec.Event, rec.AtRound, rec.RecoveredRound, rec.Rounds); err != nil {
+			return fmt.Errorf("scenario: write tsv: %w", err)
+		}
+	}
+	header := []string{
+		"round", "alive", "started", "publics", "ratio",
+		"est_err_avg", "est_err_max",
+		"indeg_mean", "indeg_std", "indeg_max",
+		"cluster_frac", "components", "pub_cluster_frac", "cross_frac",
+		"bytes_per_node_s", "msgs_per_node_s", "dropped", "part_dropped",
+		"loss", "extra_delay_ms",
+	}
+	rows := make([][]float64, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []float64{
+			s.Round, float64(s.Alive), float64(s.Started), float64(s.Publics), float64(s.Ratio),
+			float64(s.EstErrAvg), float64(s.EstErrMax),
+			float64(s.InDegMean), float64(s.InDegStd), float64(s.InDegMax),
+			float64(s.ClusterFrac), float64(s.Components), float64(s.PubClusterFrac), float64(s.CrossFrac),
+			float64(s.BytesPerNodeSec), float64(s.MsgsPerNodeSec), float64(s.Dropped), float64(s.PartDropped),
+			float64(s.Loss), float64(s.ExtraDelayMS),
+		})
+	}
+	return trace.WriteTSV(w, header, rows)
+}

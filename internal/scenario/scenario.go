@@ -1,0 +1,743 @@
+// Package scenario is a declarative, timeline-driven adverse-network
+// workload engine. A Scenario is an initial population plus a list of
+// typed events on a round timeline — join waves and flash crowds,
+// catastrophic failures, partitions and heals, loss and latency bursts,
+// NAT-type distribution drift, gateway mapping-expiry changes — which
+// the engine compiles into scheduled actions against a world.World.
+// While the timeline plays out, periodic probes sample the health of
+// the overlay (estimation error ω̂, in-degree distribution, effective
+// connectivity, partition-recovery time, traffic overhead) into a
+// Result with deterministic TSV and JSON export.
+//
+// Scenarios go beyond the fixed conditions of the paper's figures
+// (internal/experiment): any of the four systems can run any scenario,
+// at any scale, for head-to-head robustness comparisons. A library of
+// named scenarios ships in library.go; arbitrary ones load from JSON.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// EventType names a scenario event.
+type EventType string
+
+// The event vocabulary.
+const (
+	// EvJoinWave joins Count nodes from At with exponential gaps of
+	// mean MeanGapMS (default 1000 ms): a slow arrival wave. PubFrac
+	// sets the public probability (omitted = 0.2, the paper's mix; an
+	// all-private wave must say "pub_frac": 0 explicitly), UPnPFrac
+	// the UPnP share of privates.
+	EvJoinWave EventType = "joinwave"
+	// EvFlashCrowd is a join wave at flash-crowd speed (default gap
+	// 20 ms): Count nodes pile in almost at once. PubFrac/UPnPFrac as
+	// for EvJoinWave, including the 0.2 default for an omitted PubFrac.
+	EvFlashCrowd EventType = "flashcrowd"
+	// EvMassFail crashes Fraction of the live population at At.
+	EvMassFail EventType = "massfail"
+	// EvPartition cuts a random Fraction of live nodes off from the
+	// rest until a heal. Later joiners land on the majority side.
+	EvPartition EventType = "partition"
+	// EvHeal removes the active partition.
+	EvHeal EventType = "heal"
+	// EvSetLoss sets the steady-state network-wide packet-loss
+	// probability to Loss (what bursts restore to).
+	EvSetLoss EventType = "setloss"
+	// EvLossBurst raises loss to Loss for Duration rounds. While any
+	// bursts are active the worst (highest) active level wins, and the
+	// steady state returns when the last one ends — overlapping bursts
+	// compose like overlapping outages.
+	EvLossBurst EventType = "lossburst"
+	// EvSetDelay sets the steady-state extra one-way delay to DelayMS.
+	EvSetDelay EventType = "setdelay"
+	// EvDelayBurst adds DelayMS of delay for Duration rounds, with the
+	// same worst-active-level composition as EvLossBurst.
+	EvDelayBurst EventType = "delayburst"
+	// EvChurn replaces Fraction of the population every Period rounds
+	// (default 1) for Duration rounds. Without PubFrac replacements
+	// keep their victim's NAT type (the paper's churn model); with
+	// PubFrac they are drawn public with that probability, so the
+	// public/private ratio drifts toward it.
+	EvChurn EventType = "churn"
+	// EvNatDrift is EvChurn with a mandatory PubFrac — the NAT-type
+	// distribution drift workload, spelled out for scenario files.
+	EvNatDrift EventType = "natdrift"
+	// EvMapExpiry sets every gateway's UDP mapping timeout (and the
+	// template for future joiners) to TimeoutMS.
+	EvMapExpiry EventType = "mapexpiry"
+)
+
+// Event is one timeline entry. Only the fields its Type documents are
+// consulted; times and durations are in gossip rounds (1 round = 1 s of
+// virtual time).
+type Event struct {
+	At   float64   `json:"at"`
+	Type EventType `json:"type"`
+
+	Count    int      `json:"count,omitempty"`
+	Fraction float64  `json:"fraction,omitempty"`
+	PubFrac  *float64 `json:"pub_frac,omitempty"`
+	UPnPFrac float64  `json:"upnp_frac,omitempty"`
+	// MeanGapMS is a pointer so an explicit 0 (one-instant burst) stays
+	// distinguishable from an omitted field (per-type default).
+	MeanGapMS *float64 `json:"mean_gap_ms,omitempty"`
+	Loss      float64  `json:"loss,omitempty"`
+	DelayMS   float64  `json:"delay_ms,omitempty"`
+	Duration  float64  `json:"duration,omitempty"`
+	Period    float64  `json:"period,omitempty"`
+	TimeoutMS float64  `json:"timeout_ms,omitempty"`
+}
+
+// validate checks the event against its type's requirements.
+func (e Event) validate(rounds int) error {
+	if e.At < 0 || e.At > float64(rounds) {
+		return fmt.Errorf("event %q at %g outside [0, %d]", e.Type, e.At, rounds)
+	}
+	switch e.Type {
+	case EvJoinWave, EvFlashCrowd:
+		if e.Count <= 0 {
+			return fmt.Errorf("%s needs count > 0", e.Type)
+		}
+		if e.PubFrac != nil && (*e.PubFrac < 0 || *e.PubFrac > 1) {
+			return fmt.Errorf("%s pub_frac %g outside [0, 1]", e.Type, *e.PubFrac)
+		}
+		if e.UPnPFrac < 0 || e.UPnPFrac > 1 {
+			return fmt.Errorf("%s upnp_frac %g outside [0, 1]", e.Type, e.UPnPFrac)
+		}
+		if e.MeanGapMS != nil && (*e.MeanGapMS < 0 || *e.MeanGapMS > maxMS) {
+			return fmt.Errorf("%s mean_gap_ms %g outside [0, %g]", e.Type, *e.MeanGapMS, float64(maxMS))
+		}
+		// Bound the whole wave's expected span, not just the per-join
+		// gap: the accumulated schedule time must stay far from
+		// time.Duration overflow.
+		gap := 1000.0
+		if e.Type == EvFlashCrowd {
+			gap = 20
+		}
+		if e.MeanGapMS != nil {
+			gap = *e.MeanGapMS
+		}
+		if float64(e.Count)*gap > maxMS {
+			return fmt.Errorf("%s count %d × mean_gap_ms %g exceeds the %g ms schedule bound", e.Type, e.Count, gap, float64(maxMS))
+		}
+	case EvMassFail, EvPartition:
+		if e.Fraction <= 0 || e.Fraction >= 1 {
+			return fmt.Errorf("%s fraction %g outside (0, 1)", e.Type, e.Fraction)
+		}
+	case EvHeal:
+	case EvSetLoss, EvLossBurst:
+		if e.Loss < 0 || e.Loss >= 1 {
+			return fmt.Errorf("%s loss %g outside [0, 1)", e.Type, e.Loss)
+		}
+		if e.Type == EvLossBurst && (e.Duration <= 0 || e.Duration > float64(rounds)) {
+			return fmt.Errorf("lossburst duration %g outside (0, %d]", e.Duration, rounds)
+		}
+	case EvSetDelay, EvDelayBurst:
+		if e.DelayMS < 0 || e.DelayMS > maxMS {
+			return fmt.Errorf("%s delay_ms %g outside [0, %g]", e.Type, e.DelayMS, float64(maxMS))
+		}
+		if e.Type == EvDelayBurst && (e.Duration <= 0 || e.Duration > float64(rounds)) {
+			return fmt.Errorf("delayburst duration %g outside (0, %d]", e.Duration, rounds)
+		}
+	case EvChurn, EvNatDrift:
+		if e.Fraction <= 0 || e.Fraction >= 1 {
+			return fmt.Errorf("%s fraction %g outside (0, 1)", e.Type, e.Fraction)
+		}
+		if e.Duration <= 0 || e.Duration > float64(rounds) {
+			return fmt.Errorf("%s duration %g outside (0, %d]", e.Type, e.Duration, rounds)
+		}
+		if e.Period < 0 || e.Period > float64(rounds) {
+			return fmt.Errorf("%s period %g outside [0, %d]", e.Type, e.Period, rounds)
+		}
+		if e.Type == EvNatDrift && e.PubFrac == nil {
+			return fmt.Errorf("natdrift needs pub_frac")
+		}
+		if e.PubFrac != nil && (*e.PubFrac < 0 || *e.PubFrac > 1) {
+			return fmt.Errorf("%s pub_frac %g outside [0, 1]", e.Type, *e.PubFrac)
+		}
+	case EvMapExpiry:
+		// Floor at 1 ms: sub-millisecond values would truncate to a
+		// zero Duration and blow up at apply time instead of here.
+		if e.TimeoutMS < 1 || e.TimeoutMS > maxMS {
+			return fmt.Errorf("mapexpiry timeout_ms %g outside [1, %g]", e.TimeoutMS, float64(maxMS))
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+	return nil
+}
+
+// Scenario is a declarative adverse-network timeline: an initial
+// population joining from t=0, a run length, and events.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Publics and Privates join from round 0 in one mixed Poisson
+	// stream with mean gap JoinGapMS (default 10 ms).
+	Publics   int     `json:"publics"`
+	Privates  int     `json:"privates"`
+	JoinGapMS float64 `json:"join_gap_ms,omitempty"`
+	// Rounds is the run length; ProbeEvery the sampling period in
+	// rounds (default 5).
+	Rounds     int     `json:"rounds"`
+	ProbeEvery int     `json:"probe_every,omitempty"`
+	Events     []Event `json:"events,omitempty"`
+}
+
+// nameOK restricts scenario names to a filename-safe charset: results
+// are written to "<out>/<name>-<kind>.tsv", so separators or parent
+// references in a JSON scenario's name must not escape the output dir.
+func nameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}
+
+// maxRounds bounds run length and maxMS every millisecond-valued field,
+// so round arithmetic stays far from time.Duration overflow (1e7 rounds
+// ≈ 115 days of virtual time; 1e9 ms ≈ 11.5 days).
+const (
+	maxRounds = 10_000_000
+	maxMS     = 1_000_000_000
+)
+
+// Validate checks the scenario for structural problems.
+func (sc Scenario) Validate() error {
+	if !nameOK(sc.Name) {
+		return fmt.Errorf("scenario: name %q must be non-empty and use only [a-zA-Z0-9._-]", sc.Name)
+	}
+	if sc.Publics < 2 {
+		return fmt.Errorf("scenario %q: need ≥2 publics to bootstrap, got %d", sc.Name, sc.Publics)
+	}
+	if sc.Privates < 0 {
+		return fmt.Errorf("scenario %q: negative privates", sc.Name)
+	}
+	if sc.Rounds <= 0 || sc.Rounds > maxRounds {
+		return fmt.Errorf("scenario %q: rounds %d outside (0, %d]", sc.Name, sc.Rounds, maxRounds)
+	}
+	if sc.ProbeEvery < 0 {
+		return fmt.Errorf("scenario %q: negative probe_every", sc.Name)
+	}
+	for i, ev := range sc.Events {
+		if err := ev.validate(sc.Rounds); err != nil {
+			return fmt.Errorf("scenario %q: event %d: %w", sc.Name, i, err)
+		}
+	}
+	// Every heal must have a partition since the previous heal, or the
+	// recovery table would report reconvergence from a disruption that
+	// never happened.
+	type cutEvent struct {
+		at   float64
+		heal bool
+		idx  int
+	}
+	var cuts []cutEvent
+	for i, ev := range sc.Events {
+		switch ev.Type {
+		case EvPartition:
+			cuts = append(cuts, cutEvent{at: ev.At, idx: i})
+		case EvHeal:
+			cuts = append(cuts, cutEvent{at: ev.At, heal: true, idx: i})
+		}
+	}
+	sort.SliceStable(cuts, func(i, j int) bool { return cuts[i].at < cuts[j].at })
+	open := false // a partition is active
+	for _, c := range cuts {
+		if c.heal && !open {
+			return fmt.Errorf("scenario %q: event %d: heal at %g without an active partition", sc.Name, c.idx, c.at)
+		}
+		open = !c.heal
+	}
+	return nil
+}
+
+// Scaled returns a copy with node counts multiplied by factor (≤0 or 1
+// mean unchanged). Event counts scale with the population; timeline,
+// fractions and rates stay fixed, so a scaled run exercises the same
+// story on a smaller cast. Publics never drop below 2.
+func (sc Scenario) Scaled(factor float64) Scenario {
+	if factor <= 0 {
+		factor = 1
+	}
+	n := func(v int) int {
+		out := int(float64(v)*factor + 0.5)
+		if v > 0 && out < 1 {
+			out = 1
+		}
+		return out
+	}
+	out := sc
+	out.Publics = n(sc.Publics)
+	if out.Publics < 2 {
+		out.Publics = 2
+	}
+	out.Privates = n(sc.Privates)
+	out.Events = make([]Event, len(sc.Events))
+	copy(out.Events, sc.Events)
+	for i := range out.Events {
+		if out.Events[i].Count > 0 {
+			out.Events[i].Count = n(out.Events[i].Count)
+		}
+		// Deep-copy the optional pointer fields so the scaled copy
+		// cannot alias (and mutate) the source scenario.
+		if p := out.Events[i].PubFrac; p != nil {
+			v := *p
+			out.Events[i].PubFrac = &v
+		}
+		if p := out.Events[i].MeanGapMS; p != nil {
+			v := *p
+			out.Events[i].MeanGapMS = &v
+		}
+	}
+	return out
+}
+
+// ParseJSON reads one scenario from JSON, rejecting unknown fields so
+// typos in hand-written scenario files surface as errors.
+func ParseJSON(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// RunConfig parameterises one scenario execution.
+type RunConfig struct {
+	// Kind selects the peer-sampling system. Required.
+	Kind world.Kind
+	// Seed drives all randomness; the same scenario, config and seed
+	// produce byte-identical results.
+	Seed int64
+	// Scale multiplies node counts (0 or 1 = as declared).
+	Scale float64
+	// BaseLoss is the steady-state packet-loss probability, restored
+	// after loss bursts.
+	BaseLoss float64
+	// RunNatID runs the NAT-type identification protocol at every join
+	// instead of trusting declared types. Slower; off by default.
+	RunNatID bool
+	// Croupier overrides the Croupier configuration (zero = defaults).
+	Croupier croupier.Config
+}
+
+// round is the gossip period used to convert rounds to virtual time.
+const round = time.Second
+
+func toTime(rounds float64) time.Duration {
+	return time.Duration(rounds * float64(round))
+}
+
+// runState carries the mutable bookkeeping the timeline writes and the
+// probes read.
+type runState struct {
+	minority map[addr.NodeID]bool // last partition's minority side
+	marks    []mark               // disruption-clearing events
+	// baseLoss and baseDelay are the steady-state network conditions:
+	// the RunConfig values, updated whenever a setloss or setdelay
+	// event establishes a new steady state.
+	baseLoss  float64
+	baseDelay time.Duration
+	// Active bursts. The effective condition at any instant is the
+	// worst of the steady state and every active burst, so overlapping
+	// bursts compose like overlapping outages.
+	lossBursts  []burst
+	delayBursts []burst
+
+	// previous-probe counters for rate computation
+	lastBytes, lastMsgs      uint64
+	lastDropped, lastPartDrp uint64
+	lastRound                float64
+	lastAlive                int
+}
+
+type mark struct {
+	event string
+	round float64
+}
+
+// burst is one active loss or delay episode.
+type burst struct {
+	end   time.Duration
+	level float64
+}
+
+// worstActive drops bursts that have ended by now and returns the
+// highest level among the steady state and the survivors.
+func worstActive(bursts []burst, now time.Duration, steady float64) ([]burst, float64) {
+	kept := bursts[:0]
+	level := steady
+	for _, b := range bursts {
+		if b.end <= now {
+			continue
+		}
+		kept = append(kept, b)
+		if b.level > level {
+			level = b.level
+		}
+	}
+	return kept, level
+}
+
+// Run executes the scenario and returns its sampled result.
+func Run(sc Scenario, rc RunConfig) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if rc.Kind == 0 {
+		return nil, fmt.Errorf("scenario %q: protocol kind required", sc.Name)
+	}
+	scale := rc.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	if scale > 1000 {
+		return nil, fmt.Errorf("scenario %q: scale %g unreasonably large (max 1000)", sc.Name, scale)
+	}
+	run := sc.Scaled(scale)
+	// Re-validate after scaling: scaled event counts must still honour
+	// the schedule bounds the un-scaled validation checked.
+	if err := run.Validate(); err != nil {
+		return nil, err
+	}
+	probeEvery := run.ProbeEvery
+	if probeEvery == 0 {
+		probeEvery = 5
+	}
+	joinGap := run.JoinGapMS
+	if joinGap <= 0 {
+		joinGap = 10
+	}
+
+	w, err := world.New(world.Config{
+		Kind:      rc.Kind,
+		Seed:      rc.Seed,
+		Loss:      rc.BaseLoss,
+		SkipNatID: !rc.RunNatID,
+		Croupier:  rc.Croupier,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", run.Name, err)
+	}
+	st := &runState{baseLoss: rc.BaseLoss}
+
+	w.MixedPoissonJoins(0, run.Publics, run.Privates, time.Duration(joinGap*float64(time.Millisecond)))
+	for i := range run.Events {
+		if err := scheduleEvent(w, st, run.Events[i]); err != nil {
+			return nil, fmt.Errorf("scenario %q: event %d: %w", run.Name, i, err)
+		}
+	}
+
+	res := &Result{
+		Scenario:    run.Name,
+		Description: run.Description,
+		Kind:        rc.Kind.String(),
+		Seed:        rc.Seed,
+		Scale:       scale,
+		Rounds:      run.Rounds,
+		ProbeEvery:  probeEvery,
+		Publics:     run.Publics,
+		Privates:    run.Privates,
+	}
+	for r := probeEvery; ; r += probeEvery {
+		if r > run.Rounds {
+			break
+		}
+		w.RunUntil(toTime(float64(r)))
+		res.Samples = append(res.Samples, probe(w, st, float64(r)))
+	}
+	if n := len(res.Samples); n == 0 || res.Samples[n-1].Round < float64(run.Rounds) {
+		w.RunUntil(toTime(float64(run.Rounds)))
+		res.Samples = append(res.Samples, probe(w, st, float64(run.Rounds)))
+	}
+
+	res.Recoveries = computeRecoveries(st.marks, res.Samples)
+	last := res.Samples[len(res.Samples)-1]
+	res.FinalAlive = last.Alive
+	res.FinalRatio = last.Ratio
+	res.FinalEstErrAvg = last.EstErrAvg
+	res.FinalClusterFrac = last.ClusterFrac
+	return res, nil
+}
+
+// scheduleEvent compiles one event onto the world's timeline.
+func scheduleEvent(w *world.World, st *runState, ev Event) error {
+	at := toTime(ev.At)
+	pubFrac := 0.2
+	if ev.PubFrac != nil {
+		pubFrac = *ev.PubFrac
+	}
+	switch ev.Type {
+	case EvJoinWave, EvFlashCrowd:
+		gap := 1000.0
+		if ev.Type == EvFlashCrowd {
+			gap = 20
+		}
+		if ev.MeanGapMS != nil {
+			gap = *ev.MeanGapMS // explicit 0 = whole wave in one instant
+		}
+		w.FlashCrowd(at, ev.Count, pubFrac, ev.UPnPFrac, time.Duration(gap*float64(time.Millisecond)))
+	case EvMassFail:
+		w.CatastrophicFailure(at, ev.Fraction)
+		st.marks = append(st.marks, mark{event: "massfail", round: ev.At})
+	case EvPartition:
+		frac := ev.Fraction
+		w.Sched.At(at, func() {
+			ids := w.Partition(frac)
+			st.minority = make(map[addr.NodeID]bool, len(ids))
+			for _, id := range ids {
+				st.minority[id] = true
+			}
+		})
+	case EvHeal:
+		w.Sched.At(at, w.Heal)
+		st.marks = append(st.marks, mark{event: "heal", round: ev.At})
+	case EvSetLoss:
+		loss := ev.Loss
+		w.Sched.At(at, func() {
+			st.baseLoss = loss // new steady state; bursts restore to it
+			applyLossConditions(w, st)
+		})
+	case EvLossBurst:
+		loss, end := ev.Loss, at+toTime(ev.Duration)
+		w.Sched.At(at, func() {
+			st.lossBursts = append(st.lossBursts, burst{end: end, level: loss})
+			applyLossConditions(w, st)
+		})
+		w.Sched.At(end, func() { applyLossConditions(w, st) })
+	case EvSetDelay:
+		d := ev.DelayMS
+		w.Sched.At(at, func() {
+			st.baseDelay = time.Duration(d * float64(time.Millisecond))
+			applyDelayConditions(w, st)
+		})
+	case EvDelayBurst:
+		d, end := ev.DelayMS, at+toTime(ev.Duration)
+		w.Sched.At(at, func() {
+			st.delayBursts = append(st.delayBursts, burst{end: end, level: d})
+			applyDelayConditions(w, st)
+		})
+		w.Sched.At(end, func() { applyDelayConditions(w, st) })
+	case EvChurn, EvNatDrift:
+		period := toTime(ev.Period)
+		if period <= 0 {
+			period = round
+		}
+		end := at + toTime(ev.Duration)
+		if ev.PubFrac == nil {
+			w.ReplacementChurn(at, end, period, ev.Fraction)
+		} else {
+			w.MixChurn(at, end, period, ev.Fraction, pubFrac)
+		}
+	case EvMapExpiry:
+		d := time.Duration(ev.TimeoutMS * float64(time.Millisecond))
+		w.Sched.At(at, func() {
+			if err := w.SetMappingTimeout(d); err != nil {
+				panic(err)
+			}
+		})
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}
+
+// applyLossConditions recomputes and installs the effective loss from
+// the steady state and the currently active bursts.
+func applyLossConditions(w *world.World, st *runState) {
+	var level float64
+	st.lossBursts, level = worstActive(st.lossBursts, w.Sched.Now(), st.baseLoss)
+	if err := w.SetLoss(level); err != nil {
+		panic(err)
+	}
+}
+
+// applyDelayConditions does the same for the extra one-way delay
+// (burst levels are in milliseconds).
+func applyDelayConditions(w *world.World, st *runState) {
+	levelMS := float64(st.baseDelay) / float64(time.Millisecond)
+	st.delayBursts, levelMS = worstActive(st.delayBursts, w.Sched.Now(), levelMS)
+	w.SetExtraDelay(time.Duration(levelMS * float64(time.Millisecond)))
+}
+
+// probe samples every scenario metric at the current instant.
+func probe(w *world.World, st *runState, roundNo float64) Sample {
+	s := Sample{Round: roundNo}
+	nan := F(math.NaN())
+	s.Ratio, s.EstErrAvg, s.EstErrMax = nan, nan, nan
+	s.InDegMean, s.InDegStd, s.InDegMax = nan, nan, nan
+	s.ClusterFrac, s.PubClusterFrac, s.CrossFrac = nan, nan, nan
+
+	alive := w.AliveNodes()
+	s.Alive = len(alive)
+	for _, n := range alive {
+		if n.Started() {
+			s.Started++
+		}
+		if n.Nat == addr.Public {
+			s.Publics++
+		}
+	}
+	if s.Alive > 0 {
+		s.Ratio = F(float64(s.Publics) / float64(s.Alive))
+	}
+
+	// ω̂ estimation error, Croupier only: the same metric the figure
+	// reproduction reports (paper equations 10-13, with the two-round
+	// grace period for joiners).
+	errAvg, errMax, _ := w.MeasureEstimationError()
+	s.EstErrAvg, s.EstErrMax = F(errAvg), F(errMax)
+
+	// Overlay structure on the effective (routable) graph.
+	adj := w.EffectiveOverlay()
+	snap := graph.Build(adj)
+	if n := snap.Order(); n > 0 {
+		degs := make([]float64, 0, n)
+		for _, d := range snap.InDegrees() {
+			degs = append(degs, float64(d))
+		}
+		s.InDegMean = F(stats.Mean(degs))
+		s.InDegStd = F(stats.StdDev(degs))
+		s.InDegMax = F(stats.Max(degs))
+		s.ClusterFrac = F(float64(snap.BiggestCluster()) / float64(n))
+		s.Components = snap.ComponentCount()
+	}
+
+	// Public-layer connectivity: the shuffle substrate. Built from the
+	// effective overlay restricted to public nodes.
+	pubSet := make(map[addr.NodeID]bool, s.Publics)
+	for _, n := range alive {
+		if n.Nat == addr.Public && n.Started() {
+			pubSet[n.ID] = true
+		}
+	}
+	if len(pubSet) > 0 {
+		pubAdj := make(map[addr.NodeID][]addr.NodeID, len(pubSet))
+		for _, n := range alive {
+			if !pubSet[n.ID] {
+				continue
+			}
+			var kept []addr.NodeID
+			for _, nb := range adj[n.ID] {
+				if pubSet[nb] {
+					kept = append(kept, nb)
+				}
+			}
+			pubAdj[n.ID] = kept
+		}
+		pubSnap := graph.Build(pubAdj)
+		if pubSnap.Order() > 0 {
+			s.PubClusterFrac = F(float64(pubSnap.BiggestCluster()) / float64(pubSnap.Order()))
+		}
+	}
+
+	// Cross-cut mixing against the last partition's sides, measured on
+	// raw views (stale entries included — this is what the protocol
+	// believes, not what the network permits).
+	if st.minority != nil {
+		cross, total := 0, 0
+		for _, n := range alive {
+			if n.Proto == nil {
+				continue
+			}
+			for _, d := range n.Proto.Neighbors() {
+				total++
+				if st.minority[n.ID] != st.minority[d.ID] {
+					cross++
+				}
+			}
+		}
+		if total > 0 {
+			s.CrossFrac = F(float64(cross) / float64(total))
+		}
+	}
+
+	// Traffic and drop rates since the last probe.
+	var bytes, msgs uint64
+	for _, n := range w.Nodes() {
+		t := w.Net.TrafficFor(n.ID)
+		bytes += t.BytesSent
+		msgs += t.MsgsSent
+	}
+	dropped, partDrp := w.Net.Dropped(), w.Net.PartitionDropped()
+	// Normalise by the mean population over the interval, so traffic
+	// sent by nodes that died (or joined) mid-interval is not billed
+	// entirely to the endpoint population — a massive failure would
+	// otherwise show a phantom per-node traffic spike.
+	meanAlive := (float64(s.Alive) + float64(st.lastAlive)) / 2
+	if dt := roundNo - st.lastRound; dt > 0 && meanAlive > 0 {
+		perNodeSec := meanAlive * dt // dt is in rounds of 1 s
+		s.BytesPerNodeSec = F(float64(bytes-st.lastBytes) / perNodeSec)
+		s.MsgsPerNodeSec = F(float64(msgs-st.lastMsgs) / perNodeSec)
+	}
+	s.Dropped = dropped - st.lastDropped
+	s.PartDropped = partDrp - st.lastPartDrp
+	st.lastBytes, st.lastMsgs = bytes, msgs
+	st.lastDropped, st.lastPartDrp = dropped, partDrp
+	st.lastRound = roundNo
+	st.lastAlive = s.Alive
+
+	s.Loss = F(w.Net.Loss())
+	s.ExtraDelayMS = F(float64(w.Net.ExtraDelay()) / float64(time.Millisecond))
+	return s
+}
+
+// recovered reports whether a sample meets the reconvergence threshold:
+// the effective overlay and its public layer both ≥99% connected.
+func recovered(s Sample) bool {
+	if math.IsNaN(float64(s.ClusterFrac)) || float64(s.ClusterFrac) < 0.99 {
+		return false
+	}
+	if !math.IsNaN(float64(s.PubClusterFrac)) && float64(s.PubClusterFrac) < 0.99 {
+		return false
+	}
+	return true
+}
+
+// computeRecoveries derives the recovery table from the disruption
+// marks and the sample series.
+func computeRecoveries(marks []mark, samples []Sample) []Recovery {
+	sort.SliceStable(marks, func(i, j int) bool { return marks[i].round < marks[j].round })
+	out := make([]Recovery, 0, len(marks))
+	for _, m := range marks {
+		rec := Recovery{Event: m.event, AtRound: m.round, RecoveredRound: -1, Rounds: -1}
+		for _, s := range samples {
+			if s.Round < m.round {
+				continue
+			}
+			if recovered(s) {
+				rec.RecoveredRound = s.Round
+				rec.Rounds = s.Round - m.round
+				break
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}

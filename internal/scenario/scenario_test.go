@@ -1,0 +1,384 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+func TestLibraryHasAtLeastSixValidScenarios(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("library has %d scenarios, want ≥6: %v", len(names), names)
+	}
+	for _, name := range names {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("library scenario %q invalid: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Errorf("library key %q holds scenario named %q", name, sc.Name)
+		}
+		if sc.Description == "" {
+			t.Errorf("library scenario %q has no description", name)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+func TestScaledAdjustsCountsOnly(t *testing.T) {
+	sc, err := Lookup("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := sc.Scaled(0.5)
+	if half.Publics != sc.Publics/2 || half.Privates != sc.Privates/2 {
+		t.Fatalf("Scaled(0.5) population = %d/%d, want %d/%d",
+			half.Publics, half.Privates, sc.Publics/2, sc.Privates/2)
+	}
+	if half.Events[0].Count != sc.Events[0].Count/2 {
+		t.Fatalf("Scaled(0.5) flash-crowd count = %d, want %d", half.Events[0].Count, sc.Events[0].Count/2)
+	}
+	if half.Rounds != sc.Rounds {
+		t.Fatalf("Scaled changed rounds: %d -> %d", sc.Rounds, half.Rounds)
+	}
+	// Scaling must not alias the original's event slice.
+	half.Events[0].Count = 1
+	if sc.Events[0].Count == 1 {
+		t.Fatal("Scaled shares the event slice with its source")
+	}
+	tiny := sc.Scaled(0.001)
+	if tiny.Publics < 2 {
+		t.Fatalf("Scaled floor broken: %d publics", tiny.Publics)
+	}
+}
+
+func TestParseJSONValidatesAndRejectsTypos(t *testing.T) {
+	good := `{
+		"name": "custom", "publics": 10, "privates": 40, "rounds": 50,
+		"events": [
+			{"at": 10, "type": "partition", "fraction": 0.5},
+			{"at": 20, "type": "heal"},
+			{"at": 25, "type": "natdrift", "fraction": 0.05, "duration": 20, "pub_frac": 0.4}
+		]
+	}`
+	sc, err := ParseJSON(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseJSON(good): %v", err)
+	}
+	if len(sc.Events) != 3 || sc.Events[2].PubFrac == nil || *sc.Events[2].PubFrac != 0.4 {
+		t.Fatalf("parsed scenario mangled: %+v", sc)
+	}
+
+	bad := []string{
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "evnets": []}`,                                                              // typo field
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "events": [{"at": 1, "type": "wat"}]}`,                                      // unknown event
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "events": [{"at": 99, "type": "heal"}]}`,                                    // beyond rounds
+		`{"name": "x", "publics": 1, "privates": 0, "rounds": 50}`,                                                                             // too few publics
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "events": [{"at": 1, "type": "massfail"}]}`,                                 // missing fraction
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "events": [{"at": 1, "type": "natdrift", "fraction": 0.1, "duration": 5}]}`, // natdrift without pub_frac
+		`{"name": "a/b", "publics": 10, "privates": 0, "rounds": 50}`,                                                                          // path separator in name
+		`{"name": "..", "publics": 10, "privates": 0, "rounds": 50}`,                                                                           // parent reference as name
+		`{"name": "x", "publics": 10, "privates": 0, "rounds": 50, "events": [{"at": 1, "type": "lossburst", "loss": 0.5, "duration": 1e10}]}`, // overflow-scale duration
+	}
+	for i, src := range bad {
+		if _, err := ParseJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseJSON accepted bad input %d", i)
+		}
+	}
+}
+
+// TestDeterministicExport is the determinism contract: the same
+// scenario, kind and seed must produce byte-identical TSV and JSON.
+func TestDeterministicExport(t *testing.T) {
+	sc, err := Lookup("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	export := func() (string, string) {
+		res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 42, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var tsv, js bytes.Buffer
+		if err := res.WriteTSV(&tsv); err != nil {
+			t.Fatalf("WriteTSV: %v", err)
+		}
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return tsv.String(), js.String()
+	}
+	tsv1, js1 := export()
+	tsv2, js2 := export()
+	if tsv1 != tsv2 {
+		t.Error("TSV export differs across identical runs")
+	}
+	if js1 != js2 {
+		t.Error("JSON export differs across identical runs")
+	}
+	if !strings.Contains(tsv1, "est_err_avg") || !strings.Contains(js1, "\"est_err_avg\"") {
+		t.Error("exports missing the estimation-error column")
+	}
+}
+
+// TestPartitionScenarioReconverges runs the library partition scenario
+// and checks the full arc: the effective overlay fractures while the
+// cut lasts, and after the heal the system reconverges, with the
+// recovery table reporting a finite partition-recovery time.
+func TestPartitionScenarioReconverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenario run")
+	}
+	sc, err := Lookup("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 7, Scale: 0.1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fractured := false
+	for _, s := range res.Samples {
+		if s.Round > 60 && s.Round <= 90 && s.Components >= 2 {
+			fractured = true
+		}
+	}
+	if !fractured {
+		t.Error("effective overlay never fractured during the partition window")
+	}
+	var heal *Recovery
+	for i := range res.Recoveries {
+		if res.Recoveries[i].Event == "heal" {
+			heal = &res.Recoveries[i]
+		}
+	}
+	if heal == nil {
+		t.Fatal("no heal entry in the recovery table")
+	}
+	if heal.Rounds < 0 {
+		t.Fatalf("system never reconverged after the heal: %+v", *heal)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if float64(last.ClusterFrac) < 0.99 {
+		t.Errorf("final cluster fraction %.3f, want ≥0.99", float64(last.ClusterFrac))
+	}
+	if math.IsNaN(float64(last.CrossFrac)) {
+		t.Error("cross fraction missing after a partition scenario")
+	}
+	if math.IsNaN(float64(last.EstErrAvg)) || float64(last.EstErrAvg) > 0.1 {
+		t.Errorf("final ω̂ error %.3f, want ≤0.1", float64(last.EstErrAvg))
+	}
+}
+
+// TestMassFailScenarioKillsAndRecovers checks the massfail timeline:
+// population drops by the configured fraction and the survivors knit
+// back into one cluster.
+func TestMassFailScenarioKillsAndRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenario run")
+	}
+	sc, err := Lookup("massfail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 3, Scale: 0.1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FinalAlive < 35 || res.FinalAlive > 45 {
+		t.Errorf("final alive = %d after 60%% failure of 100, want ≈40", res.FinalAlive)
+	}
+	if float64(res.FinalClusterFrac) < 0.99 {
+		t.Errorf("survivors did not reconverge: cluster fraction %.3f", float64(res.FinalClusterFrac))
+	}
+	if len(res.Recoveries) != 1 || res.Recoveries[0].Event != "massfail" {
+		t.Fatalf("recovery table = %+v, want one massfail entry", res.Recoveries)
+	}
+}
+
+// TestAllKindsRunFlashcrowd proves every protocol stays selectable per
+// scenario: the same timeline runs head-to-head across the four systems.
+func TestAllKindsRunFlashcrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute scenario run")
+	}
+	sc, err := Lookup("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []world.Kind{world.KindCroupier, world.KindCyclon, world.KindGozar, world.KindNylon} {
+		res, err := Run(sc, RunConfig{Kind: kind, Seed: 11, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("Run(%v): %v", kind, err)
+		}
+		if res.Kind != kind.String() {
+			t.Errorf("result kind = %q, want %q", res.Kind, kind)
+		}
+		last := res.Samples[len(res.Samples)-1]
+		if last.Alive != 50 {
+			t.Errorf("%v: final alive = %d, want 50", kind, last.Alive)
+		}
+		if float64(last.ClusterFrac) < 0.95 {
+			t.Errorf("%v: flash crowd never absorbed, cluster fraction %.3f", kind, float64(last.ClusterFrac))
+		}
+		// ω̂ is Croupier's contribution; the baselines must report NaN.
+		if kind == world.KindCroupier && math.IsNaN(float64(last.EstErrAvg)) {
+			t.Errorf("croupier run missing ω̂ error")
+		}
+		if kind != world.KindCroupier && !math.IsNaN(float64(last.EstErrAvg)) {
+			t.Errorf("%v reported an ω̂ error of %.3f, want NaN", kind, float64(last.EstErrAvg))
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	sc, err := Lookup("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc, RunConfig{Seed: 1}); err == nil {
+		t.Fatal("Run accepted a config without a protocol kind")
+	}
+	if _, err := Run(Scenario{}, RunConfig{Kind: world.KindCroupier}); err == nil {
+		t.Fatal("Run accepted an empty scenario")
+	}
+}
+
+// TestLossBurstRestoresSteadyState pins the burst-restore semantics: a
+// lossburst ending after a setloss must restore the setloss level, not
+// the RunConfig base.
+func TestLossBurstRestoresSteadyState(t *testing.T) {
+	sc := Scenario{
+		Name: "loss-steady", Publics: 5, Privates: 15, Rounds: 30, ProbeEvery: 5,
+		Events: []Event{
+			{At: 5, Type: EvSetLoss, Loss: 0.1},
+			{At: 10, Type: EvLossBurst, Loss: 0.5, Duration: 10},
+			{At: 12, Type: EvSetDelay, DelayMS: 40},
+			{At: 15, Type: EvDelayBurst, DelayMS: 200, Duration: 5},
+		},
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byRound := make(map[float64]Sample, len(res.Samples))
+	for _, s := range res.Samples {
+		byRound[s.Round] = s
+	}
+	if got := float64(byRound[15].Loss); got != 0.5 {
+		t.Errorf("loss during burst = %v, want 0.5", got)
+	}
+	if got := float64(byRound[25].Loss); got != 0.1 {
+		t.Errorf("loss after burst = %v, want the setloss steady state 0.1", got)
+	}
+	if got := float64(byRound[25].ExtraDelayMS); got != 40 {
+		t.Errorf("extra delay after burst = %v ms, want the setdelay steady state 40", got)
+	}
+}
+
+// TestOverlappingLossBurstsRunToTheLaterEnd pins that an earlier
+// burst's restore does not cut a still-active later burst short.
+func TestOverlappingLossBurstsRunToTheLaterEnd(t *testing.T) {
+	sc := Scenario{
+		Name: "loss-overlap", Publics: 5, Privates: 15, Rounds: 40, ProbeEvery: 5,
+		Events: []Event{
+			{At: 5, Type: EvLossBurst, Loss: 0.4, Duration: 15},   // ends r20
+			{At: 10, Type: EvLossBurst, Loss: 0.25, Duration: 20}, // ends r30
+		},
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byRound := make(map[float64]Sample, len(res.Samples))
+	for _, s := range res.Samples {
+		byRound[s.Round] = s
+	}
+	if got := float64(byRound[25].Loss); got != 0.25 {
+		t.Errorf("loss at r25 = %v, want the later burst's 0.25 (first restore must not fire)", got)
+	}
+	if got := float64(byRound[35].Loss); got != 0 {
+		t.Errorf("loss at r35 = %v, want 0 after the later burst ends", got)
+	}
+}
+
+// TestNestedWeakerBurstDoesNotMaskStrongerOne pins the composition
+// rule: while bursts overlap, the worst active level wins, and the
+// outer burst's level returns once the inner one ends.
+func TestNestedWeakerBurstDoesNotMaskStrongerOne(t *testing.T) {
+	sc := Scenario{
+		Name: "loss-nested", Publics: 5, Privates: 15, Rounds: 40, ProbeEvery: 5,
+		Events: []Event{
+			{At: 5, Type: EvLossBurst, Loss: 0.5, Duration: 25},  // ends r30
+			{At: 10, Type: EvLossBurst, Loss: 0.2, Duration: 10}, // ends r20, nested
+		},
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byRound := make(map[float64]Sample, len(res.Samples))
+	for _, s := range res.Samples {
+		byRound[s.Round] = s
+	}
+	for _, r := range []float64{10, 15, 25} {
+		if got := float64(byRound[r].Loss); got != 0.5 {
+			t.Errorf("loss at r%g = %v, want the stronger outer burst's 0.5", r, got)
+		}
+	}
+	if got := float64(byRound[35].Loss); got != 0 {
+		t.Errorf("loss at r35 = %v, want 0 after all bursts end", got)
+	}
+}
+
+// TestExplicitZeroGapFlashCrowdIsInstant pins that "mean_gap_ms": 0 in
+// a scenario file means one-instant arrival, not the 20 ms default.
+func TestExplicitZeroGapFlashCrowdIsInstant(t *testing.T) {
+	src := `{"name":"instant","publics":5,"privates":15,"rounds":10,"probe_every":5,
+		"events":[{"at":4,"type":"flashcrowd","count":100,"pub_frac":0,"mean_gap_ms":0}]}`
+	sc, err := ParseJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if sc.Events[0].MeanGapMS == nil || *sc.Events[0].MeanGapMS != 0 {
+		t.Fatal("explicit mean_gap_ms: 0 was not preserved through parsing")
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The whole crowd lands at round 4, so the r5 probe must already
+	// see all 120 nodes.
+	if got := res.Samples[0].Alive; got != 120 {
+		t.Fatalf("alive at r5 = %d, want 120 (instant crowd)", got)
+	}
+}
+
+// TestUPnPFractionTakesEffect pins that upnp_frac is not a silent no-op
+// in default (SkipNatID) runs: UPnP joiners turn public and raise ω.
+func TestUPnPFractionTakesEffect(t *testing.T) {
+	sc := Scenario{
+		Name: "upnp-crowd", Publics: 5, Privates: 20, Rounds: 20, ProbeEvery: 5,
+		Events: []Event{
+			{At: 5, Type: EvFlashCrowd, Count: 40, PubFrac: fp(0), UPnPFrac: 1.0},
+		},
+	}
+	res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	// 5 seed publics + 40 UPnP-promoted joiners out of 65 total.
+	if last.Publics != 45 {
+		t.Fatalf("publics = %d after an all-UPnP flash crowd, want 45", last.Publics)
+	}
+}

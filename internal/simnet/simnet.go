@@ -11,6 +11,7 @@ package simnet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/latency"
@@ -58,6 +59,28 @@ type Traffic struct {
 	MsgsRecv  uint64
 }
 
+// LinkOverride replaces a link's default loss and adds extra one-way
+// delay on top of the latency model, letting scenarios degrade specific
+// paths at runtime.
+type LinkOverride struct {
+	// Loss is the per-packet drop probability for the link. Ignored
+	// unless HasLoss is set, so an override can change only the delay.
+	Loss    float64
+	HasLoss bool
+	// ExtraDelay is added to the model delay in both directions.
+	ExtraDelay time.Duration
+}
+
+// linkKey identifies an undirected host pair.
+type linkKey struct{ a, b addr.NodeID }
+
+func makeLinkKey(a, b addr.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
 // Network is the simulated internet. It is not safe for concurrent use;
 // all calls must happen on the simulation event loop.
 type Network struct {
@@ -71,8 +94,17 @@ type Network struct {
 	gatewayHosts map[addr.IP]*Host
 	traffic      map[addr.NodeID]*Traffic
 
+	// Runtime condition state, mutable mid-run by scenarios.
+	loss        float64
+	extraDelay  time.Duration
+	links       map[linkKey]LinkOverride
+	partitioned bool
+	partSide    map[addr.NodeID]int
+	partDefault int
+
 	nextPublicIP uint32
 	dropped      uint64
+	partDropped  uint64
 	delivered    uint64
 }
 
@@ -94,8 +126,114 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		hostsByIP:    make(map[addr.IP]*Host),
 		gatewayHosts: make(map[addr.IP]*Host),
 		traffic:      make(map[addr.NodeID]*Traffic),
+		loss:         cfg.Loss,
+		links:        make(map[linkKey]LinkOverride),
 		nextPublicIP: uint32(addr.MakeIP(2, 0, 0, 1)),
 	}, nil
+}
+
+// Loss returns the current default per-packet drop probability.
+func (n *Network) Loss() float64 { return n.loss }
+
+// SetLoss changes the default per-packet drop probability mid-run.
+// Per-link overrides keep precedence.
+func (n *Network) SetLoss(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("simnet: loss %v outside [0, 1)", p)
+	}
+	n.loss = p
+	return nil
+}
+
+// ExtraDelay returns the network-wide additional one-way delay.
+func (n *Network) ExtraDelay() time.Duration { return n.extraDelay }
+
+// SetExtraDelay adds d of one-way delay to every packet on top of the
+// latency model — a network-wide congestion episode. Negative values
+// are clamped to zero.
+func (n *Network) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.extraDelay = d
+}
+
+// SetLink installs an override for the undirected link between a and b.
+func (n *Network) SetLink(a, b addr.NodeID, o LinkOverride) error {
+	if o.HasLoss && (o.Loss < 0 || o.Loss >= 1) {
+		return fmt.Errorf("simnet: link loss %v outside [0, 1)", o.Loss)
+	}
+	if o.ExtraDelay < 0 {
+		return fmt.Errorf("simnet: link extra delay %v negative", o.ExtraDelay)
+	}
+	n.links[makeLinkKey(a, b)] = o
+	return nil
+}
+
+// ClearLink removes the override for the link between a and b.
+func (n *Network) ClearLink(a, b addr.NodeID) {
+	delete(n.links, makeLinkKey(a, b))
+}
+
+// ClearLinks removes every link override.
+func (n *Network) ClearLinks() {
+	clear(n.links)
+}
+
+// Partition splits the network: every node is assigned to the side given
+// by groups (group i holds the IDs on side i); nodes absent from every
+// group — including ones that join later — fall into defaultGroup.
+// Packets crossing sides are dropped at delivery time, so a heal lets
+// traffic already in flight arrive. Calling Partition again replaces the
+// previous partition.
+func (n *Network) Partition(groups [][]addr.NodeID, defaultGroup int) error {
+	if defaultGroup < 0 || defaultGroup >= len(groups) {
+		return fmt.Errorf("simnet: default group %d outside the %d declared groups", defaultGroup, len(groups))
+	}
+	n.partitioned = true
+	n.partDefault = defaultGroup
+	n.partSide = make(map[addr.NodeID]int)
+	for side, ids := range groups {
+		for _, id := range ids {
+			n.partSide[id] = side
+		}
+	}
+	return nil
+}
+
+// Heal removes the active partition.
+func (n *Network) Heal() {
+	n.partitioned = false
+	n.partSide = nil
+}
+
+// Partitioned reports whether a partition is active.
+func (n *Network) Partitioned() bool { return n.partitioned }
+
+func (n *Network) side(id addr.NodeID) int {
+	if s, ok := n.partSide[id]; ok {
+		return s
+	}
+	return n.partDefault
+}
+
+// Reachable reports whether the active partition (if any) lets a packet
+// travel from src to dst. Without a partition every pair is reachable.
+func (n *Network) Reachable(src, dst addr.NodeID) bool {
+	return !n.partitioned || n.side(src) == n.side(dst)
+}
+
+// linkConditions resolves the effective loss probability and extra delay
+// for the undirected link between a and b.
+func (n *Network) linkConditions(a, b addr.NodeID) (loss float64, extra time.Duration) {
+	loss, extra = n.loss, n.extraDelay
+	if o, ok := n.links[makeLinkKey(a, b)]; ok {
+		if o.HasLoss {
+			loss = o.Loss
+		}
+		extra += o.ExtraDelay
+	}
+	return loss, extra
 }
 
 // Scheduler returns the simulation scheduler the network runs on.
@@ -218,8 +356,11 @@ func (n *Network) ResetTraffic() {
 func (n *Network) Delivered() uint64 { return n.delivered }
 
 // Dropped returns the number of packets lost to random loss, NAT
-// filtering, or dead hosts.
+// filtering, partitions, or dead hosts.
 func (n *Network) Dropped() uint64 { return n.dropped }
+
+// PartitionDropped returns the number of packets killed by partitions.
+func (n *Network) PartitionDropped() uint64 { return n.partDropped }
 
 // ID returns the node this host belongs to.
 func (h *Host) ID() addr.NodeID { return h.id }
@@ -286,14 +427,15 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 		n.dropped++
 		return
 	}
-	if n.cfg.Loss > 0 && n.sched.Rand().Float64() < n.cfg.Loss {
+	loss, extra := n.linkConditions(h.id, dst.id)
+	if loss > 0 && n.sched.Rand().Float64() < loss {
 		n.dropped++
 		return
 	}
-	delay := n.cfg.Latency.Delay(h.id, dst.id)
-	dstID := dst.id
+	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
+	srcID, dstID := h.id, dst.id
 	n.sched.After(delay, func() {
-		n.deliver(dstID, src, to, msg, size)
+		n.deliver(srcID, dstID, src, to, msg, size)
 	})
 }
 
@@ -309,10 +451,18 @@ func (n *Network) resolveHost(to addr.Endpoint) (*Host, bool) {
 	return nil, false
 }
 
-func (n *Network) deliver(dstID addr.NodeID, src, to addr.Endpoint, msg Message, size uint64) {
+func (n *Network) deliver(srcID, dstID addr.NodeID, src, to addr.Endpoint, msg Message, size uint64) {
 	h, ok := n.hostsByID[dstID]
 	if !ok || !h.up {
 		n.dropped++
+		return
+	}
+	// The partition check happens at delivery time against the current
+	// partition state: a partition struck mid-flight kills the packet, a
+	// heal lets queued traffic through.
+	if !n.Reachable(srcID, dstID) {
+		n.dropped++
+		n.partDropped++
 		return
 	}
 	local := to

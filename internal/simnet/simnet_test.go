@@ -350,3 +350,170 @@ func TestMappingExpiryBreaksReversePath(t *testing.T) {
 		t.Fatalf("reverse path delivered %d after expiry, want still 1", got)
 	}
 }
+
+func TestPartitionDropsCrossTrafficAndHeals(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var got int
+	sockB, _ := hb.Bind(100, func(Packet) { got++ })
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	if err := n.Partition([][]addr.NodeID{{1}, {2}}, 0); err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := n.Partition([][]addr.NodeID{{1}, {2}}, 2); err == nil {
+		t.Fatal("Partition accepted an out-of-range default group")
+	}
+	if !n.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 0 {
+		t.Fatalf("delivered %d packets across partition, want 0", got)
+	}
+	if n.PartitionDropped() != 1 {
+		t.Fatalf("PartitionDropped = %d, want 1", n.PartitionDropped())
+	}
+
+	n.Heal()
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d packets after heal, want 1", got)
+	}
+}
+
+func TestPartitionDefaultGroupCoversLateJoiners(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	sockA, _ := ha.Bind(100, func(Packet) {})
+	n.Partition([][]addr.NodeID{{1}, {}}, 1)
+
+	// Host 2 attaches during the partition; it falls into group 1,
+	// unreachable from host 1 in group 0.
+	hb, _ := n.AddPublicHost(2)
+	var got int
+	sockB, _ := hb.Bind(100, func(Packet) { got++ })
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 0 {
+		t.Fatalf("delivered %d packets to default-group host, want 0", got)
+	}
+}
+
+func TestPartitionKillsInFlightPackets(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var got int
+	sockB, _ := hb.Bind(100, func(Packet) { got++ })
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	// Send, then partition before the 10 ms delivery fires.
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.After(time.Millisecond, func() {
+		n.Partition([][]addr.NodeID{{1}, {2}}, 0)
+	})
+	sched.Run()
+	if got != 0 {
+		t.Fatalf("in-flight packet survived a partition: delivered %d", got)
+	}
+}
+
+func TestSetLossMidRun(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var got int
+	sockB, _ := hb.Bind(100, func(Packet) { got++ })
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	if err := n.SetLoss(0.999999999); err != nil {
+		t.Fatalf("SetLoss: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	}
+	sched.Run()
+	if got != 0 {
+		t.Fatalf("delivered %d packets at ~certain loss, want 0", got)
+	}
+	if err := n.SetLoss(0); err != nil {
+		t.Fatalf("SetLoss: %v", err)
+	}
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d packets after loss cleared, want 1", got)
+	}
+	if err := n.SetLoss(1.5); err == nil {
+		t.Fatal("SetLoss accepted 1.5")
+	}
+}
+
+func TestLinkOverrideLossAndDelay(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var at time.Duration
+	var got int
+	sockB, _ := hb.Bind(100, func(Packet) { got++; at = sched.Now() })
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	// Extra delay stacks on the 10 ms constant model.
+	n.SetLink(1, 2, LinkOverride{ExtraDelay: 90 * time.Millisecond})
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 1 || at != 100*time.Millisecond {
+		t.Fatalf("delivered %d at %v, want 1 at 100ms", got, at)
+	}
+
+	// Full-loss override blackholes the link in both directions.
+	n.SetLink(2, 1, LinkOverride{Loss: 0.9999999999, HasLoss: true})
+	for i := 0; i < 20; i++ {
+		sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	}
+	sched.Run()
+	if got != 1 {
+		t.Fatalf("blackholed link delivered %d extra packets", got-1)
+	}
+
+	n.ClearLink(1, 2)
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if got != 2 {
+		t.Fatalf("cleared link delivered %d packets total, want 2", got)
+	}
+
+	if err := n.SetLink(1, 2, LinkOverride{Loss: -0.3, HasLoss: true}); err == nil {
+		t.Fatal("SetLink accepted negative loss")
+	}
+	if err := n.SetLink(1, 2, LinkOverride{Loss: 1.5, HasLoss: true}); err == nil {
+		t.Fatal("SetLink accepted loss ≥ 1")
+	}
+}
+
+func TestGlobalExtraDelay(t *testing.T) {
+	sched, n := newNet(t, 0)
+	ha, _ := n.AddPublicHost(1)
+	hb, _ := n.AddPublicHost(2)
+	var at time.Duration
+	sockB, _ := hb.Bind(100, func(Packet) { at = sched.Now() })
+	sockA, _ := ha.Bind(100, func(Packet) {})
+
+	n.SetExtraDelay(40 * time.Millisecond)
+	if n.ExtraDelay() != 40*time.Millisecond {
+		t.Fatalf("ExtraDelay = %v", n.ExtraDelay())
+	}
+	sockA.Send(sockB.LocalEndpoint(), testMsg{"x", 1})
+	sched.Run()
+	if at != 50*time.Millisecond {
+		t.Fatalf("delivered at %v, want 50ms", at)
+	}
+	n.SetExtraDelay(-time.Second)
+	if n.ExtraDelay() != 0 {
+		t.Fatalf("negative extra delay not clamped: %v", n.ExtraDelay())
+	}
+}

@@ -228,9 +228,18 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 		probeN = avail - 1
 	}
 	if w.Cfg.SkipNatID || (probeN < 1 && !upnp) {
-		// Identification impossible (bootstrap era) or disabled:
-		// trust the declared type.
-		w.startProtocol(n, protoSock, declared, false)
+		// Identification impossible (bootstrap era) or disabled: trust
+		// the declared type. UPnP-capable joiners still install their
+		// port mapping and turn public — identification is always
+		// correct for the emulated gateways, so skipping it must not
+		// change protocol behaviour.
+		typ, viaUPnP := declared, false
+		if upnp && host.Gateway() != nil && host.Gateway().SupportsUPnP() {
+			if _, err := mapServicePorts(host.Gateway(), host.IP()); err == nil {
+				typ, viaUPnP = addr.Public, true
+			}
+		}
+		w.startProtocol(n, protoSock, typ, viaUPnP)
 		return n, nil
 	}
 	helpers := w.Boot.Publics(w.Sched.Rand(), probeN, id)
@@ -244,11 +253,7 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 		gw := host.Gateway()
 		ip := host.IP()
 		mapper = func() (addr.Endpoint, error) {
-			// Map both service ports; advertise the protocol one.
-			if _, err := gw.MapPort(addr.Endpoint{IP: ip, Port: NatIDPort}, NatIDPort); err != nil {
-				return addr.Endpoint{}, err
-			}
-			return gw.MapPort(addr.Endpoint{IP: ip, Port: ProtoPort}, ProtoPort)
+			return mapServicePorts(gw, ip)
 		}
 	}
 	client := natid.NewClient(env, w.Cfg.NatIDTimeout, func(res natid.Result) {
@@ -342,6 +347,17 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 		n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n.ID)))
 	}
 	proto.Start()
+}
+
+// mapServicePorts installs UPnP mappings for both well-known service
+// ports on the gateway and returns the protocol endpoint to advertise.
+// Both the natid client's mapper and the SkipNatID fast path use it, so
+// the two join paths cannot drift apart.
+func mapServicePorts(gw *nat.Gateway, ip addr.IP) (addr.Endpoint, error) {
+	if _, err := gw.MapPort(addr.Endpoint{IP: ip, Port: NatIDPort}, NatIDPort); err != nil {
+		return addr.Endpoint{}, err
+	}
+	return gw.MapPort(addr.Endpoint{IP: ip, Port: ProtoPort}, ProtoPort)
 }
 
 // advertisedEndpoint computes the endpoint a node puts in its own
@@ -450,6 +466,41 @@ func (w *World) ActualRatio() float64 {
 	return float64(pub) / float64(total)
 }
 
+// MeasureEstimationError computes the paper's ω̂ error metrics at the
+// current instant: the node-averaged and node-maximum absolute
+// estimation error against the current true ratio ω, over Croupier
+// nodes that have run ≥ 2 rounds (the grace period for joiners, paper
+// equations 10-13). avg and max are NaN when no node qualifies — in
+// particular for the three baseline systems, which do not estimate.
+// Both the figure reproduction and the scenario engine report this
+// exact metric.
+func (w *World) MeasureEstimationError() (avg, max, ratio float64) {
+	ratio = w.ActualRatio()
+	var sum float64
+	var n int
+	max = math.NaN()
+	for _, node := range w.AliveNodes() {
+		c, ok := node.Proto.(*croupier.Node)
+		if !ok || c.Rounds() < 2 {
+			continue
+		}
+		est, ok := c.Estimate()
+		if !ok {
+			continue
+		}
+		e := math.Abs(ratio - est)
+		sum += e
+		n++
+		if math.IsNaN(max) || e > max {
+			max = e
+		}
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), ratio
+	}
+	return sum / float64(n), max, ratio
+}
+
 // Overlay snapshots the current overlay adjacency: node → neighbor IDs
 // from every started, live protocol instance.
 func (w *World) Overlay() map[addr.NodeID][]addr.NodeID {
@@ -472,6 +523,24 @@ func (w *World) Overlay() map[addr.NodeID][]addr.NodeID {
 // RunUntil advances the simulation to virtual time t.
 func (w *World) RunUntil(t time.Duration) { w.Sched.RunUntil(t) }
 
+// joinAs attaches one fresh node of the given declared type. Scheduled
+// joins are programmatic, so a failure here is a configuration bug
+// surfaced deterministically.
+func (w *World) joinAs(natType addr.NatType, upnp bool) {
+	var err error
+	switch {
+	case natType == addr.Public:
+		_, err = w.JoinPublic()
+	case upnp:
+		_, err = w.JoinPrivateUPnP()
+	default:
+		_, err = w.JoinPrivate()
+	}
+	if err != nil {
+		panic(err)
+	}
+}
+
 // PoissonJoins schedules n joins starting at start with exponentially
 // distributed inter-arrival gaps of the given mean — the paper's join
 // process ("nodes join following a Poisson distribution with an
@@ -479,17 +548,7 @@ func (w *World) RunUntil(t time.Duration) { w.Sched.RunUntil(t) }
 func (w *World) PoissonJoins(start time.Duration, n int, meanGap time.Duration, natType addr.NatType) {
 	t := start
 	for i := 0; i < n; i++ {
-		w.Sched.At(t, func() {
-			var err error
-			if natType == addr.Public {
-				_, err = w.JoinPublic()
-			} else {
-				_, err = w.JoinPrivate()
-			}
-			if err != nil {
-				panic(err)
-			}
-		})
+		w.Sched.At(t, func() { w.joinAs(natType, false) })
 		gap := time.Duration(w.Sched.Rand().ExpFloat64() * float64(meanGap))
 		t += gap
 	}
@@ -513,17 +572,7 @@ func (w *World) MixedPoissonJoins(start time.Duration, nPub, nPriv int, meanGap 
 	t := start
 	for _, natType := range types {
 		natType := natType
-		w.Sched.At(t, func() {
-			var err error
-			if natType == addr.Public {
-				_, err = w.JoinPublic()
-			} else {
-				_, err = w.JoinPrivate()
-			}
-			if err != nil {
-				panic(err)
-			}
-		})
+		w.Sched.At(t, func() { w.joinAs(natType, false) })
 		t += time.Duration(rng.ExpFloat64() * float64(meanGap))
 	}
 }
@@ -533,6 +582,15 @@ func (w *World) MixedPoissonJoins(start time.Duration, nPub, nPriv int, meanGap 
 // nodes of the same NAT type join immediately, keeping the ratio stable
 // (the paper's churn model, §VII-B).
 func (w *World) ReplacementChurn(start, end, period time.Duration, fraction float64) {
+	w.churn(start, end, period, fraction, func(victim *Node) addr.NatType {
+		return victim.Nat
+	})
+}
+
+// churn is the shared replacement-churn scaffold: every period from
+// start to end, `fraction` of started live nodes crash and are replaced
+// by fresh joiners whose NAT type replacementType chooses per victim.
+func (w *World) churn(start, end, period time.Duration, fraction float64, replacementType func(victim *Node) addr.NatType) {
 	var tick func()
 	next := start
 	tick = func() {
@@ -550,17 +608,9 @@ func (w *World) ReplacementChurn(start, end, period time.Duration, fraction floa
 		perm := w.Sched.Rand().Perm(len(started))
 		for i := 0; i < k && i < len(perm); i++ {
 			victim := started[perm[i]]
-			natType := victim.Nat
+			natType := replacementType(victim)
 			w.Fail(victim.ID)
-			var err error
-			if natType == addr.Public {
-				_, err = w.JoinPublic()
-			} else {
-				_, err = w.JoinPrivate()
-			}
-			if err != nil {
-				panic(err)
-			}
+			w.joinAs(natType, false)
 		}
 		next += period
 		w.Sched.At(next, tick)
@@ -578,5 +628,126 @@ func (w *World) CatastrophicFailure(t time.Duration, fraction float64) {
 		for i := 0; i < k && i < len(perm); i++ {
 			w.Fail(alive[perm[i]].ID)
 		}
+	})
+}
+
+// Partition splits the live population in two: a random `fraction` of
+// live nodes moves to side 1, everyone else (and every later joiner)
+// stays on side 0. Cross-side packets die in the network until Heal.
+// It returns the identifiers moved to the minority side, so callers can
+// track cross-side mixing afterwards.
+// Fractions are clamped to [0, 1]; fraction ≤ 0 partitions nobody.
+func (w *World) Partition(fraction float64) []addr.NodeID {
+	alive := w.AliveNodes()
+	k := int(math.Round(fraction * float64(len(alive))))
+	if k < 0 {
+		k = 0
+	}
+	if k > len(alive) {
+		k = len(alive)
+	}
+	perm := w.Sched.Rand().Perm(len(alive))
+	minority := make([]addr.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		minority = append(minority, alive[perm[i]].ID)
+	}
+	if err := w.Net.Partition([][]addr.NodeID{nil, minority}, 0); err != nil {
+		// Group 0 always exists; a failure here is a programming bug.
+		panic(err)
+	}
+	return minority
+}
+
+// EffectiveOverlay snapshots the overlay like Overlay, but drops edges
+// the network cannot currently carry (cross-partition links). During a
+// partition this is the graph that actually routes gossip; stale view
+// entries pointing across the cut are excluded.
+func (w *World) EffectiveOverlay() map[addr.NodeID][]addr.NodeID {
+	adj := w.Overlay()
+	for id, neigh := range adj {
+		kept := neigh[:0]
+		for _, nb := range neigh {
+			if w.Net.Reachable(id, nb) {
+				kept = append(kept, nb)
+			}
+		}
+		adj[id] = kept
+	}
+	return adj
+}
+
+// Heal removes an active partition.
+func (w *World) Heal() { w.Net.Heal() }
+
+// SetLoss changes the network-wide packet-loss probability mid-run.
+func (w *World) SetLoss(p float64) error { return w.Net.SetLoss(p) }
+
+// SetExtraDelay adds network-wide one-way delay on top of the latency
+// model — a congestion episode.
+func (w *World) SetExtraDelay(d time.Duration) { w.Net.SetExtraDelay(d) }
+
+// SetLink degrades the specific path between two nodes (extra one-way
+// delay and/or a loss override) — targeted experiments like "the link
+// between these two croupiers is bad" that network-wide knobs cannot
+// express.
+func (w *World) SetLink(a, b addr.NodeID, o simnet.LinkOverride) error {
+	return w.Net.SetLink(a, b, o)
+}
+
+// ClearLink removes a per-link override installed with SetLink.
+func (w *World) ClearLink(a, b addr.NodeID) { w.Net.ClearLink(a, b) }
+
+// SetMappingTimeout changes the UDP mapping expiry of every live NAT
+// gateway and of the template used for future private joiners.
+func (w *World) SetMappingTimeout(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("world: mapping timeout must be positive, got %v", d)
+	}
+	natCfg := *w.Cfg.NAT
+	natCfg.MappingTimeout = d
+	w.Cfg.NAT = &natCfg
+	for _, id := range w.order {
+		n := w.nodes[id]
+		if !n.alive || n.Host.Gateway() == nil {
+			continue
+		}
+		if err := n.Host.Gateway().SetMappingTimeout(d); err != nil {
+			return fmt.Errorf("world: set mapping timeout: %w", err)
+		}
+	}
+	return nil
+}
+
+// FlashCrowd schedules a join burst: n nodes arrive from start with
+// exponentially distributed gaps of mean meanGap (zero packs the whole
+// crowd into one instant). Each joiner is public with probability
+// pubFrac; private joiners are UPnP-capable with probability upnpFrac.
+func (w *World) FlashCrowd(start time.Duration, n int, pubFrac, upnpFrac float64, meanGap time.Duration) {
+	rng := w.Sched.Rand()
+	t := start
+	for i := 0; i < n; i++ {
+		natType := addr.Private
+		if rng.Float64() < pubFrac {
+			natType = addr.Public
+		}
+		upnp := natType == addr.Private && rng.Float64() < upnpFrac
+		w.Sched.At(t, func() { w.joinAs(natType, upnp) })
+		if meanGap > 0 {
+			t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		}
+	}
+}
+
+// MixChurn replaces `fraction` of the live population every period from
+// start to end, like ReplacementChurn, except replacements are drawn
+// public with probability pubFrac instead of inheriting the victim's
+// type — so the public/private ratio drifts toward pubFrac over time
+// (NAT-type distribution drift).
+func (w *World) MixChurn(start, end, period time.Duration, fraction, pubFrac float64) {
+	w.churn(start, end, period, fraction, func(*Node) addr.NatType {
+		if w.Sched.Rand().Float64() < pubFrac {
+			return addr.Public
+		}
+		return addr.Private
 	})
 }

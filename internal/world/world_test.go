@@ -10,6 +10,7 @@ import (
 	"repro/internal/gozar"
 	"repro/internal/graph"
 	"repro/internal/nylon"
+	"repro/internal/simnet"
 )
 
 // buildMixed joins pub public and priv private nodes with SkipNatID for
@@ -35,6 +36,9 @@ func buildMixed(t *testing.T, kind Kind, pub, priv int, until time.Duration) *Wo
 }
 
 func TestCroupierConvergesToRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-round simulation; run without -short")
+	}
 	w := buildMixed(t, KindCroupier, 20, 80, 120*time.Second)
 	actual := w.ActualRatio()
 	if math.Abs(actual-0.2) > 1e-9 {
@@ -83,6 +87,9 @@ func TestCroupierViewsFillAndStayTyped(t *testing.T) {
 }
 
 func TestCroupierSamplesMatchRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-round simulation; run without -short")
+	}
 	w := buildMixed(t, KindCroupier, 20, 80, 120*time.Second)
 	pubSamples, total := 0, 0
 	for _, n := range w.AliveNodes() {
@@ -130,6 +137,9 @@ func TestCyclonAllPublicConverges(t *testing.T) {
 }
 
 func TestGozarPrivateNodesExchange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-round simulation; run without -short")
+	}
 	w := buildMixed(t, KindGozar, 20, 80, 90*time.Second)
 	snap := graph.Build(w.Overlay())
 	if got := snap.BiggestCluster(); got < 95 {
@@ -170,6 +180,9 @@ func TestGozarPrivateNodesExchange(t *testing.T) {
 }
 
 func TestNylonHolePunchingWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-round simulation; run without -short")
+	}
 	w := buildMixed(t, KindNylon, 20, 80, 90*time.Second)
 	snap := graph.Build(w.Overlay())
 	if got := snap.BiggestCluster(); got < 95 {
@@ -401,4 +414,203 @@ func TestPoissonJoinsArriveOverTime(t *testing.T) {
 	if got := len(w.AliveNodes()); got != 50 {
 		t.Fatalf("%d joined, want 50", got)
 	}
+}
+
+func TestPartitionSplitsOverlayAndHealRejoins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute convergence run")
+	}
+	// Background churn matters here: after a partition long enough to
+	// purge every cross-side public-view entry, the two sides' shuffle
+	// universes are closed sets — only fresh joiners, seeded from the
+	// bootstrap directory, bridge them again after the heal.
+	w, err := New(Config{Kind: KindCroupier, Seed: 7, SkipNatID: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := w.JoinPrivate(); err != nil {
+			t.Fatalf("JoinPrivate: %v", err)
+		}
+	}
+	w.ReplacementChurn(10*time.Second, 300*time.Second, time.Second, 0.01)
+	w.RunUntil(60 * time.Second)
+
+	minority := w.Partition(0.3)
+	if len(minority) != 30 {
+		t.Fatalf("Partition moved %d nodes, want 30", len(minority))
+	}
+	minoritySet := make(map[addr.NodeID]bool, len(minority))
+	for _, id := range minority {
+		minoritySet[id] = true
+	}
+	w.RunUntil(90 * time.Second)
+	// The routable overlay splits; each side keeps itself internally
+	// connected while the cut lasts.
+	snap := graph.Build(w.EffectiveOverlay())
+	if got := snap.BiggestCluster(); got > 80 {
+		t.Fatalf("biggest effective cluster = %d during 30%% partition, want ≤80", got)
+	}
+	if snap.ComponentCount() < 2 {
+		t.Fatalf("effective overlay has %d component(s) during partition, want ≥2", snap.ComponentCount())
+	}
+	w.Heal()
+	w.RunUntil(110 * time.Second)
+	snap = graph.Build(w.EffectiveOverlay())
+	if got, n := snap.BiggestCluster(), snap.Order(); got*100 < n*95 {
+		t.Fatalf("biggest cluster = %d of %d after heal, want ≥95%%", got, n)
+	}
+	// Shuffling must re-mix the public views across the old cut, not
+	// just barely reconnect the graph.
+	cross, total := 0, 0
+	for _, n := range w.AliveNodes() {
+		c, ok := n.Proto.(*croupier.Node)
+		if !ok {
+			continue
+		}
+		for _, d := range c.PublicView() {
+			total++
+			if minoritySet[n.ID] != minoritySet[d.ID] {
+				cross++
+			}
+		}
+	}
+	if total == 0 || float64(cross)/float64(total) < 0.15 {
+		t.Fatalf("public views re-mixed only %d/%d cross-side entries 20 rounds after heal", cross, total)
+	}
+}
+
+func TestFlashCrowdJoinsChosenMix(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 10, 10, 20*time.Second)
+	w.FlashCrowd(20*time.Second, 200, 0.25, 0, 0)
+	w.RunUntil(21 * time.Second)
+	pub, priv := 0, 0
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Public {
+			pub++
+		} else {
+			priv++
+		}
+	}
+	if pub+priv != 220 {
+		t.Fatalf("alive = %d after flash crowd, want 220", pub+priv)
+	}
+	// 200 draws at p=0.25 plus the 10 seed publics: expect pub ≈ 60.
+	if pub < 35 || pub > 85 {
+		t.Fatalf("publics = %d after 25%% flash crowd, want ≈60", pub)
+	}
+}
+
+func TestMixChurnDriftsRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute convergence run")
+	}
+	w := buildMixed(t, KindCroupier, 20, 80, 30*time.Second)
+	before := w.ActualRatio()
+	w.MixChurn(30*time.Second, 120*time.Second, time.Second, 0.05, 0.6)
+	w.RunUntil(121 * time.Second)
+	after := w.ActualRatio()
+	if after <= before+0.2 {
+		t.Fatalf("ratio did not drift: %.3f -> %.3f, want > %.3f", before, after, before+0.2)
+	}
+	if got := len(w.AliveNodes()); got != 100 {
+		t.Fatalf("alive = %d after replacement drift churn, want 100", got)
+	}
+}
+
+func TestSetLossMidRunTakesEffect(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 5, 15, 20*time.Second)
+	if err := w.SetLoss(0.9999999); err != nil {
+		t.Fatalf("SetLoss: %v", err)
+	}
+	// Drain packets that were already in flight when the loss was set
+	// (loss applies at send time).
+	w.RunUntil(21 * time.Second)
+	dropsBefore := w.Net.Dropped()
+	delivBefore := w.Net.Delivered()
+	w.RunUntil(30 * time.Second)
+	if w.Net.Delivered() != delivBefore {
+		t.Fatalf("packets delivered under ~certain loss: %d", w.Net.Delivered()-delivBefore)
+	}
+	if w.Net.Dropped() == dropsBefore {
+		t.Fatal("no drops recorded under ~certain loss")
+	}
+	if err := w.SetLoss(2); err == nil {
+		t.Fatal("SetLoss accepted 2")
+	}
+}
+
+func TestSetMappingTimeoutAppliesToLiveGateways(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 5, 15, 5*time.Second)
+	if err := w.SetMappingTimeout(3 * time.Second); err != nil {
+		t.Fatalf("SetMappingTimeout: %v", err)
+	}
+	for _, n := range w.AliveNodes() {
+		if gw := n.Host.Gateway(); gw != nil {
+			if got := gw.Config().MappingTimeout; got != 3*time.Second {
+				t.Fatalf("gateway timeout = %v, want 3s", got)
+			}
+		}
+	}
+	if w.Cfg.NAT.MappingTimeout != 3*time.Second {
+		t.Fatalf("template timeout = %v, want 3s", w.Cfg.NAT.MappingTimeout)
+	}
+	if err := w.SetMappingTimeout(0); err == nil {
+		t.Fatal("SetMappingTimeout accepted 0")
+	}
+}
+
+func TestSkipNatIDStillPromotesUPnPJoiners(t *testing.T) {
+	// SkipNatID trusts declared types for speed, but must not change
+	// protocol behaviour: a UPnP-capable joiner still installs its port
+	// mapping and gossips as a public node.
+	w, err := New(Config{Kind: KindCroupier, Seed: 5, SkipNatID: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+	}
+	up, err := w.JoinPrivateUPnP()
+	if err != nil {
+		t.Fatalf("JoinPrivateUPnP: %v", err)
+	}
+	if up.Nat != addr.Public {
+		t.Fatalf("UPnP joiner started as %v under SkipNatID, want public", up.Nat)
+	}
+	if gw := up.Host.Gateway(); gw == nil || up.Endpoint.IP != gw.PublicIP() {
+		t.Fatalf("UPnP joiner advertises %v, want its gateway's public IP", up.Endpoint)
+	}
+	w.RunUntil(20 * time.Second)
+	// As a public node it must be shuffling: other nodes should receive
+	// traffic from it.
+	if tr := w.Net.TrafficFor(up.ID); tr.MsgsSent == 0 {
+		t.Fatal("promoted UPnP node never sent protocol traffic")
+	}
+}
+
+func TestSetLinkBlackholesOnePath(t *testing.T) {
+	w := buildMixed(t, KindCroupier, 5, 5, 10*time.Second)
+	a, b := w.AliveNodes()[0].ID, w.AliveNodes()[1].ID
+	if err := w.SetLink(a, b, simnet.LinkOverride{Loss: 0.999999999, HasLoss: true}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	if err := w.SetLink(a, b, simnet.LinkOverride{Loss: -1, HasLoss: true}); err == nil {
+		t.Fatal("SetLink accepted an invalid loss")
+	}
+	// The rest of the overlay keeps gossiping around the dead link.
+	w.RunUntil(40 * time.Second)
+	snap := graph.Build(w.Overlay())
+	if got := snap.BiggestCluster(); got != 10 {
+		t.Fatalf("biggest cluster = %d with one blackholed link, want 10", got)
+	}
+	w.ClearLink(a, b)
+	w.RunUntil(50 * time.Second)
 }
