@@ -25,14 +25,19 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/graph"
 	"repro/internal/latency"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/view"
 	"repro/internal/world"
 )
 
 // benchScale reads the figure-benchmark scale from the environment.
+// Benchmarks fan their (variant, seed) runs across all cores by
+// default; REPRO_BENCH_PARALLEL=1 forces the sequential path (the
+// before/after reference — results are identical either way).
 func benchScale(rounds int) experiment.Scale {
 	factor := 0.05
 	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
@@ -46,10 +51,16 @@ func benchScale(rounds int) experiment.Scale {
 			seeds = n
 		}
 	}
+	workers := -1 // experiment.Scale: negative = GOMAXPROCS
+	if s := os.Getenv("REPRO_BENCH_PARALLEL"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			workers = n
+		}
+	}
 	if factor >= 1 {
 		rounds = 0 // paper-scale runs use the paper's round counts
 	}
-	return experiment.Scale{Factor: factor, Seeds: seeds, Rounds: rounds}
+	return experiment.Scale{Factor: factor, Seeds: seeds, Rounds: rounds, Workers: workers}
 }
 
 // lastY returns the final value of a series, for ReportMetric.
@@ -292,6 +303,68 @@ func BenchmarkSchedulerEventThroughput(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkSchedulerPooledSchedule measures the fire-and-forget path
+// packet delivery uses: pooled events, zero allocations once warm.
+func BenchmarkSchedulerPooledSchedule(b *testing.B) {
+	s := sim.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			s.RunUntil(s.Now() + time.Second)
+		}
+	}
+	s.Run()
+}
+
+// benchMsg is a fixed-size payload for the unicast delivery benchmark.
+type benchMsg struct{}
+
+func (benchMsg) Size() int { return 64 }
+
+// BenchmarkSimnetUnicastDelivery measures the full send→deliver path
+// between two public hosts: traffic accounting, latency lookup, pooled
+// delivery scheduling and handler dispatch.
+func BenchmarkSimnetUnicastDelivery(b *testing.B) {
+	sched := sim.New(1)
+	net, err := simnet.New(sched, simnet.Config{Latency: latency.NewKingLike(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h1, err := net.AddPublicHost(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h2, err := net.AddPublicHost(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock, err := h1.Bind(100, func(simnet.Packet) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h2.Bind(100, func(simnet.Packet) {}); err != nil {
+		b.Fatal(err)
+	}
+	to := addr.Endpoint{IP: h2.IP(), Port: 100}
+	var msg benchMsg
+	// Warm the event, delivery and coordinate pools.
+	for i := 0; i < 64; i++ {
+		sock.Send(to, msg)
+	}
+	sched.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sock.Send(to, msg)
+		if i%64 == 63 {
+			sched.Run()
+		}
+	}
+	sched.Run()
+}
+
 func BenchmarkViewMerge(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	v := view.New(10, 0)
@@ -308,6 +381,29 @@ func BenchmarkViewMerge(b *testing.B) {
 		sent := v.RandomSubset(rng, 5)
 		recv := pool[rng.Intn(50) : rng.Intn(5)+50]
 		v.Merge(sent, recv[:5])
+	}
+}
+
+// BenchmarkViewShuffleBuffers measures the reusable-buffer shuffle
+// construction path: subset selection into a caller buffer plus merge,
+// zero allocations once warm.
+func BenchmarkViewShuffleBuffers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := view.New(10, 0)
+	var pool []view.Descriptor
+	for i := 1; i <= 64; i++ {
+		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: i % 7})
+	}
+	for _, d := range pool[:10] {
+		v.Add(d)
+	}
+	buf := make([]view.Descriptor, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = v.RandomSubsetInto(rng, 5, buf)
+		recv := pool[rng.Intn(50) : rng.Intn(5)+50]
+		v.Merge(buf, recv[:5])
 	}
 }
 
@@ -361,7 +457,9 @@ func BenchmarkCroupierSimulatedRound(b *testing.B) {
 
 // benchScenario runs one library scenario at benchmark scale and
 // reports its headline robustness metrics so future changes can track
-// adverse-workload behaviour alongside the figure benchmarks.
+// adverse-workload behaviour alongside the figure benchmarks. The
+// per-seed runs fan out over the parallel runner like the figure
+// benchmarks do.
 func benchScenario(b *testing.B, name string) {
 	b.Helper()
 	sc, err := scenario.Lookup(name)
@@ -369,17 +467,28 @@ func benchScenario(b *testing.B, name string) {
 		b.Fatal(err)
 	}
 	s := benchScale(0)
+	seeds := make([]int64, s.Seeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
 	for i := 0; i < b.N; i++ {
 		// Honour REPRO_BENCH_SEEDS like the figure benchmarks: average
 		// the headline metrics over the requested seeds.
+		results, err := runner.Map(runner.Options{Workers: s.Workers}, seeds, func(seed int64) (*scenario.Result, error) {
+			return scenario.Run(sc, scenario.RunConfig{Kind: world.KindCroupier, Seed: seed, Scale: s.Factor})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var clusterSum, errSum float64
 		errRuns := 0
-		recovery := make(map[string]float64)
-		for seed := 1; seed <= s.Seeds; seed++ {
-			res, err := scenario.Run(sc, scenario.RunConfig{Kind: world.KindCroupier, Seed: int64(seed), Scale: s.Factor})
-			if err != nil {
-				b.Fatal(err)
-			}
+		// Recovery rounds are averaged over the runs that actually
+		// reconverged — never-recovered seeds must not deflate the mean
+		// — and recovered_fraction reports how many did.
+		recoverySum := make(map[string]float64)
+		recovered := make(map[string]int)
+		attempts := make(map[string]int)
+		for _, res := range results {
 			last := res.Samples[len(res.Samples)-1]
 			clusterSum += float64(last.ClusterFrac)
 			if !math.IsNaN(float64(last.EstErrAvg)) {
@@ -387,8 +496,10 @@ func benchScenario(b *testing.B, name string) {
 				errRuns++
 			}
 			for _, rec := range res.Recoveries {
+				attempts[rec.Event]++
 				if rec.Rounds >= 0 {
-					recovery[rec.Event] += rec.Rounds / float64(s.Seeds)
+					recoverySum[rec.Event] += rec.Rounds
+					recovered[rec.Event]++
 				}
 			}
 		}
@@ -396,8 +507,11 @@ func benchScenario(b *testing.B, name string) {
 		if errRuns > 0 {
 			b.ReportMetric(errSum/float64(errRuns), "est_err_avg")
 		}
-		for event, rounds := range recovery {
-			b.ReportMetric(rounds, "recovery_rounds_"+event)
+		for event, n := range attempts {
+			if recovered[event] > 0 {
+				b.ReportMetric(recoverySum[event]/float64(recovered[event]), "recovery_rounds_"+event)
+			}
+			b.ReportMetric(float64(recovered[event])/float64(n), "recovered_fraction_"+event)
 		}
 	}
 }

@@ -13,7 +13,8 @@
 // scale produce byte-identical outputs. -scale shrinks populations for
 // quick runs (-scale 0.1 runs the 1000-node library scenarios with 100
 // nodes); -kind all compares the four systems head-to-head on one
-// timeline.
+// timeline; -parallel 0 fans the independent (scenario, kind) runs
+// across every core without changing any output byte.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/world"
 )
@@ -42,15 +44,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("croupier-scenario", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list the scenario library and exit")
-		file   = fs.String("file", "", "run a scenario from a JSON file instead of the library")
-		kindF  = fs.String("kind", "croupier", "protocol: croupier, cyclon, gozar, nylon, or all")
-		scale  = fs.Float64("scale", 1.0, "population scale factor (1.0 = as declared)")
-		seed   = fs.Int64("seed", 1, "simulation seed")
-		loss   = fs.Float64("loss", 0, "base packet-loss probability")
-		natid  = fs.Bool("natid", false, "run NAT-type identification at every join (slower)")
-		probe  = fs.Int("probe", 0, "override the probe period in rounds (0 = scenario default)")
-		outDir = fs.String("out", "results/scenarios", "directory for TSV/JSON output")
+		list     = fs.Bool("list", false, "list the scenario library and exit")
+		file     = fs.String("file", "", "run a scenario from a JSON file instead of the library")
+		kindF    = fs.String("kind", "croupier", "protocol: croupier, cyclon, gozar, nylon, or all")
+		scale    = fs.Float64("scale", 1.0, "population scale factor (1.0 = as declared)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		loss     = fs.Float64("loss", 0, "base packet-loss probability")
+		natid    = fs.Bool("natid", false, "run NAT-type identification at every join (slower)")
+		probe    = fs.Int("probe", 0, "override the probe period in rounds (0 = scenario default)")
+		parallel = fs.Int("parallel", 1, "worker goroutines for the (scenario, kind) fan-out; 0 = all cores, 1 = sequential (outputs are identical either way)")
+		outDir   = fs.String("out", "results/scenarios", "directory for TSV/JSON output")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: croupier-scenario -list\n")
@@ -86,28 +89,53 @@ func run(args []string) error {
 		return fmt.Errorf("create output dir: %w", err)
 	}
 
+	// One job per (scenario, kind) pair. Each run is an independent
+	// world, so the fan-out parallelises freely; results come back in
+	// job order and are written and summarised deterministically.
+	type job struct {
+		sc   scenario.Scenario
+		kind world.Kind
+	}
+	type outcome struct {
+		res     *scenario.Result
+		elapsed time.Duration
+	}
+	var jobs []job
 	for _, sc := range scenarios {
 		if *probe > 0 {
 			sc.ProbeEvery = *probe
 		}
 		for _, kind := range kinds {
-			start := time.Now()
-			res, err := scenario.Run(sc, scenario.RunConfig{
-				Kind:     kind,
-				Seed:     *seed,
-				Scale:    *scale,
-				BaseLoss: *loss,
-				RunNatID: *natid,
-			})
-			if err != nil {
-				return err
-			}
-			base := filepath.Join(*outDir, fmt.Sprintf("%s-%s", sc.Name, kind))
-			if err := writeResult(res, base); err != nil {
-				return err
-			}
-			printSummary(res, base, time.Since(start))
+			jobs = append(jobs, job{sc: sc, kind: kind})
 		}
+	}
+	workers := *parallel
+	if workers == 0 {
+		workers = -1 // runner: ≤0 (other than the flag's 1) = GOMAXPROCS
+	}
+	outcomes, err := runner.Map(runner.Options{Workers: workers}, jobs, func(j job) (outcome, error) {
+		start := time.Now()
+		res, err := scenario.Run(j.sc, scenario.RunConfig{
+			Kind:     j.kind,
+			Seed:     *seed,
+			Scale:    *scale,
+			BaseLoss: *loss,
+			RunNatID: *natid,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{res: res, elapsed: time.Since(start)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, oc := range outcomes {
+		base := filepath.Join(*outDir, fmt.Sprintf("%s-%s", jobs[i].sc.Name, jobs[i].kind))
+		if err := writeResult(oc.res, base); err != nil {
+			return err
+		}
+		printSummary(oc.res, base, oc.elapsed)
 	}
 	return nil
 }

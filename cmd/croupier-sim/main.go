@@ -10,7 +10,9 @@
 // rendition of the figure. -scale shrinks node counts for quick runs
 // (e.g. -scale 0.1 runs Fig 1 with 500 instead of 5000 nodes); paper
 // scale (-scale 1 -seeds 5) reproduces the published setup exactly but
-// takes tens of minutes for the estimation figures.
+// takes tens of minutes for the estimation figures. -parallel 0 fans
+// the independent (variant, seed) simulations across every core; the
+// merged figures are byte-identical to a sequential run.
 package main
 
 import (
@@ -42,11 +44,12 @@ type renderer interface {
 func run(args []string) error {
 	fs := flag.NewFlagSet("croupier-sim", flag.ContinueOnError)
 	var (
-		scaleF = fs.Float64("scale", 1.0, "node-count scale factor (1.0 = paper scale)")
-		seeds  = fs.Int("seeds", 5, "number of runs to average (paper: 5)")
-		rounds = fs.Int("rounds", 0, "override measured rounds (0 = paper value)")
-		outDir = fs.String("out", "results", "directory for TSV output")
-		noPlot = fs.Bool("no-plot", false, "suppress terminal plots")
+		scaleF   = fs.Float64("scale", 1.0, "node-count scale factor (1.0 = paper scale)")
+		seeds    = fs.Int("seeds", 5, "number of runs to average (paper: 5)")
+		rounds   = fs.Int("rounds", 0, "override measured rounds (0 = paper value)")
+		parallel = fs.Int("parallel", 1, "worker goroutines for the (variant, seed) fan-out; 0 = all cores, 1 = sequential (results are identical either way)")
+		outDir   = fs.String("out", "results", "directory for TSV output")
+		noPlot   = fs.Bool("no-plot", false, "suppress terminal plots")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: croupier-sim [flags] <experiment>\n")
@@ -60,7 +63,11 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("exactly one experiment required")
 	}
-	scale := experiment.Scale{Factor: *scaleF, Seeds: *seeds, Rounds: *rounds}
+	workers := *parallel
+	if workers == 0 {
+		workers = -1 // experiment.Scale: negative = GOMAXPROCS
+	}
+	scale := experiment.Scale{Factor: *scaleF, Seeds: *seeds, Rounds: *rounds, Workers: workers}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
 	}

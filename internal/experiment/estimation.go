@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/croupier"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/world"
@@ -114,22 +115,31 @@ type EstimationFigure struct {
 	Ratio stats.Series
 }
 
-// runEstimationFigure runs each scenario variant across the seeds and
-// averages the series.
-func runEstimationFigure(title string, variants []EstimationScenario, seeds []int64) (EstimationFigure, error) {
-	fig := EstimationFigure{Title: title}
+// runEstimationFigure runs each scenario variant across the seeds —
+// fanned out over the scale's worker pool, every (variant, seed) world
+// being independent — and averages the series in deterministic job
+// order, so the figure is identical at any worker count.
+func runEstimationFigure(title string, variants []EstimationScenario, seeds []int64, s Scale) (EstimationFigure, error) {
+	jobs := make([]EstimationScenario, 0, len(variants)*len(seeds))
 	for _, v := range variants {
-		var avgRuns, maxRuns []stats.Series
-		var ratio stats.Series
 		for _, seed := range seeds {
 			v.Seed = seed
-			res, err := RunEstimation(v)
-			if err != nil {
-				return EstimationFigure{}, err
-			}
+			jobs = append(jobs, v)
+		}
+	}
+	results, err := runner.Map(s.runnerOpts(), jobs, RunEstimation)
+	if err != nil {
+		return EstimationFigure{}, err
+	}
+
+	fig := EstimationFigure{Title: title}
+	for vi, v := range variants {
+		runs := results[vi*len(seeds) : (vi+1)*len(seeds)]
+		avgRuns := make([]stats.Series, 0, len(runs))
+		maxRuns := make([]stats.Series, 0, len(runs))
+		for _, res := range runs {
 			avgRuns = append(avgRuns, res.Avg)
 			maxRuns = append(maxRuns, res.Max)
-			ratio = res.Ratio
 		}
 		avg, err := stats.MeanOfSeries(avgRuns)
 		if err != nil {
@@ -141,7 +151,9 @@ func runEstimationFigure(title string, variants []EstimationScenario, seeds []in
 		}
 		fig.Avg = append(fig.Avg, avg)
 		fig.Max = append(fig.Max, maxS)
-		fig.Ratio = ratio
+		// Keep the sequential loop's convention: the ratio trajectory of
+		// the last (variant, seed) run.
+		fig.Ratio = runs[len(runs)-1].Ratio
 	}
 	return fig, nil
 }
@@ -203,7 +215,7 @@ func RunFig1(cfg Fig1Config) (EstimationFigure, error) {
 			Rounds:   s.rounds(250),
 		})
 	}
-	return runEstimationFigure("Fig 1: stable ratio, history windows", variants, seedList(1000, s.seeds()))
+	return runEstimationFigure("Fig 1: stable ratio, history windows", variants, seedList(1000, s.seeds()), s)
 }
 
 // Fig2Config reproduces Fig 2: the ratio drifts from 0.30 to 0.33 as a
@@ -246,7 +258,7 @@ func RunFig2(cfg Fig2Config) (EstimationFigure, error) {
 			ExtraGap:     62 * time.Millisecond,
 		})
 	}
-	return runEstimationFigure("Fig 2: dynamic ratio 0.30→0.33", variants, seedList(2000, s.seeds()))
+	return runEstimationFigure("Fig 2: dynamic ratio 0.30→0.33", variants, seedList(2000, s.seeds()), s)
 }
 
 // Fig3Config reproduces Fig 3: estimation error vs system size.
@@ -284,7 +296,7 @@ func RunFig3(cfg Fig3Config) (EstimationFigure, error) {
 			Rounds:   s.rounds(200),
 		})
 	}
-	return runEstimationFigure("Fig 3: system sizes", variants, seedList(3000, s.seeds()))
+	return runEstimationFigure("Fig 3: system sizes", variants, seedList(3000, s.seeds()), s)
 }
 
 // Fig4Config reproduces Fig 4: estimation error vs public/private ratio.
@@ -323,7 +335,7 @@ func RunFig4(cfg Fig4Config) (EstimationFigure, error) {
 			Rounds:   s.rounds(200),
 		})
 	}
-	return runEstimationFigure("Fig 4: public/private ratios", variants, seedList(4000, s.seeds()))
+	return runEstimationFigure("Fig 4: public/private ratios", variants, seedList(4000, s.seeds()), s)
 }
 
 // Fig5Config reproduces Fig 5: estimation under replacement churn.
@@ -363,5 +375,5 @@ func RunFig5(cfg Fig5Config) (EstimationFigure, error) {
 			ChurnStart:    61 * time.Second,
 		})
 	}
-	return runEstimationFigure("Fig 5: churn", variants, seedList(5000, s.seeds()))
+	return runEstimationFigure("Fig 5: churn", variants, seedList(5000, s.seeds()), s)
 }

@@ -22,7 +22,11 @@
 // parameter intact.
 package experiment
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/runner"
+)
 
 // Scale shrinks an experiment for quick runs. Factor scales node counts
 // (1.0 = paper scale); Seeds overrides the number of runs averaged
@@ -32,6 +36,12 @@ type Scale struct {
 	Seeds  int
 	// Rounds optionally overrides the measured duration in rounds.
 	Rounds int
+	// Workers fans the independent (variant, seed) simulations of a
+	// figure out across that many goroutines via internal/runner.
+	// 0 or 1 runs sequentially; negative means GOMAXPROCS. Results are
+	// aggregated in deterministic job order, so any worker count
+	// produces byte-identical figures.
+	Workers int
 }
 
 func (s Scale) factor() float64 {
@@ -66,11 +76,18 @@ func (s Scale) rounds(r int) int {
 // seedList derives the deterministic per-run seeds. Experiments differ
 // by base so their randomness never aliases.
 func seedList(base int64, n int) []int64 {
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = base + int64(i)*7919
+	return runner.Seeds(base, 7919, n)
+}
+
+// runnerOpts resolves the fan-out options for this scale: Workers 0
+// keeps the historical sequential behaviour, everything else is passed
+// through to the runner (which treats negative as GOMAXPROCS).
+func (s Scale) runnerOpts() runner.Options {
+	w := s.Workers
+	if w == 0 {
+		w = 1
 	}
-	return out
+	return runner.Options{Workers: w}
 }
 
 // round is the common gossip period used to convert between rounds and

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -51,32 +52,35 @@ func RunFig7b(cfg Fig7bConfig) (Fig7bResult, error) {
 	s := cfg.Scale
 	total := s.nodes(1000)
 	seeds := seedList(7200, s.seeds())
-	res := Fig7bResult{}
-	for _, kind := range Systems {
-		var runs []stats.Series
-		for _, seed := range seeds {
-			run := stats.Series{Name: kind.String()}
-			for _, frac := range cfg.FailureFractions {
-				w, err := buildComparisonWorld(kind, total, seed)
-				if err != nil {
-					return Fig7bResult{}, err
-				}
-				warm := time.Duration(cfg.WarmupRounds) * round
-				w.RunUntil(warm)
-				w.CatastrophicFailure(warm, frac)
-				w.RunUntil(warm + time.Duration(cfg.RecoveryRounds)*round)
-
-				survivors := len(w.AliveNodes())
-				pct := 0.0
-				if survivors > 0 {
-					snap := graph.Build(w.Overlay())
-					pct = 100 * float64(snap.BiggestCluster()) / float64(survivors)
-				}
-				run.Append(100*frac, pct)
+	jobs := comparisonJobs(Systems, seeds)
+	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
+		run := stats.Series{Name: j.kind.String()}
+		for _, frac := range cfg.FailureFractions {
+			w, err := buildComparisonWorld(j.kind, total, j.seed)
+			if err != nil {
+				return stats.Series{}, err
 			}
-			runs = append(runs, run)
+			warm := time.Duration(cfg.WarmupRounds) * round
+			w.RunUntil(warm)
+			w.CatastrophicFailure(warm, frac)
+			w.RunUntil(warm + time.Duration(cfg.RecoveryRounds)*round)
+
+			survivors := len(w.AliveNodes())
+			pct := 0.0
+			if survivors > 0 {
+				snap := graph.Build(w.Overlay())
+				pct = 100 * float64(snap.BiggestCluster()) / float64(survivors)
+			}
+			run.Append(100*frac, pct)
 		}
-		mean, err := stats.MeanOfSeries(runs)
+		return run, nil
+	})
+	if err != nil {
+		return Fig7bResult{}, err
+	}
+	res := Fig7bResult{}
+	for ki, kind := range Systems {
+		mean, err := stats.MeanOfSeries(runs[ki*len(seeds) : (ki+1)*len(seeds)])
 		if err != nil {
 			return Fig7bResult{}, fmt.Errorf("fig7b %v: %w", kind, err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/croupier"
+	"repro/internal/runner"
 	"repro/internal/world"
 )
 
@@ -50,62 +51,73 @@ func RunFig7a(cfg Fig7aConfig) (Fig7aResult, error) {
 	total := s.nodes(1000)
 	seeds := seedList(7100, s.seeds())
 	systems := []world.Kind{world.KindCroupier, world.KindGozar, world.KindNylon}
-	res := Fig7aResult{}
-	for _, kind := range systems {
-		var accPubB, accPriB, accPubM, accPriM float64
-		for _, seed := range seeds {
-			w, err := world.New(world.Config{
-				Kind:      kind,
-				Seed:      seed,
-				SkipNatID: true,
-				Croupier:  fig7aCroupierConfig(),
-			})
-			if err != nil {
-				return Fig7aResult{}, fmt.Errorf("fig7a %v: %w", kind, err)
-			}
-			pub := total / 5
-			if pub < 2 {
-				pub = 2
-			}
-			w.MixedPoissonJoins(0, pub, total-pub, 10*time.Millisecond)
-			w.RunUntil(time.Duration(cfg.WarmupRounds) * round)
-			w.Net.ResetTraffic()
-			w.RunUntil(time.Duration(cfg.WarmupRounds+cfg.MeasureRounds) * round)
+	jobs := comparisonJobs(systems, seeds)
+	rows, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (OverheadRow, error) {
+		w, err := world.New(world.Config{
+			Kind:      j.kind,
+			Seed:      j.seed,
+			SkipNatID: true,
+			Croupier:  fig7aCroupierConfig(),
+		})
+		if err != nil {
+			return OverheadRow{}, fmt.Errorf("fig7a %v: %w", j.kind, err)
+		}
+		pub := total / 5
+		if pub < 2 {
+			pub = 2
+		}
+		w.MixedPoissonJoins(0, pub, total-pub, 10*time.Millisecond)
+		w.RunUntil(time.Duration(cfg.WarmupRounds) * round)
+		w.Net.ResetTraffic()
+		w.RunUntil(time.Duration(cfg.WarmupRounds+cfg.MeasureRounds) * round)
 
-			window := float64(cfg.MeasureRounds) * round.Seconds()
-			var pubB, priB, pubM, priM float64
-			var nPub, nPri int
-			for _, n := range w.AliveNodes() {
-				t := w.Net.TrafficFor(n.ID)
-				bps := float64(t.BytesSent+t.BytesRecv) / window
-				mps := float64(t.MsgsSent+t.MsgsRecv) / float64(cfg.MeasureRounds)
-				if n.Nat == addr.Public {
-					pubB += bps
-					pubM += mps
-					nPub++
-				} else {
-					priB += bps
-					priM += mps
-					nPri++
-				}
-			}
-			if nPub > 0 {
-				accPubB += pubB / float64(nPub)
-				accPubM += pubM / float64(nPub)
-			}
-			if nPri > 0 {
-				accPriB += priB / float64(nPri)
-				accPriM += priM / float64(nPri)
+		window := float64(cfg.MeasureRounds) * round.Seconds()
+		var pubB, priB, pubM, priM float64
+		var nPub, nPri int
+		for _, n := range w.AliveNodes() {
+			t := w.Net.TrafficFor(n.ID)
+			bps := float64(t.BytesSent+t.BytesRecv) / window
+			mps := float64(t.MsgsSent+t.MsgsRecv) / float64(cfg.MeasureRounds)
+			if n.Nat == addr.Public {
+				pubB += bps
+				pubM += mps
+				nPub++
+			} else {
+				priB += bps
+				priM += mps
+				nPri++
 			}
 		}
+		row := OverheadRow{System: j.kind.String()}
+		if nPub > 0 {
+			row.PublicBps = pubB / float64(nPub)
+			row.PublicMsgs = pubM / float64(nPub)
+		}
+		if nPri > 0 {
+			row.PrivateBps = priB / float64(nPri)
+			row.PrivateMsgs = priM / float64(nPri)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return Fig7aResult{}, err
+	}
+	res := Fig7aResult{}
+	for ki, kind := range systems {
+		var acc OverheadRow
+		acc.System = kind.String()
+		for _, row := range rows[ki*len(seeds) : (ki+1)*len(seeds)] {
+			acc.PublicBps += row.PublicBps
+			acc.PrivateBps += row.PrivateBps
+			acc.PublicMsgs += row.PublicMsgs
+			acc.PrivateMsgs += row.PrivateMsgs
+		}
 		k := float64(len(seeds))
-		res.Rows = append(res.Rows, OverheadRow{
-			System:      kind.String(),
-			PublicBps:   accPubB / k,
-			PrivateBps:  accPriB / k,
-			PublicMsgs:  accPubM / k,
-			PrivateMsgs: accPriM / k,
-		})
+		acc.PublicBps /= k
+		acc.PrivateBps /= k
+		acc.PublicMsgs /= k
+		acc.PrivateMsgs /= k
+		res.Rows = append(res.Rows, acc)
 	}
 	return res, nil
 }

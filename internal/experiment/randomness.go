@@ -8,10 +8,30 @@ import (
 
 	"repro/internal/croupier"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/world"
 )
+
+// comparisonJob is one (system, seed) world in a head-to-head sweep —
+// the unit of work the comparison figures fan out over the runner.
+type comparisonJob struct {
+	kind world.Kind
+	seed int64
+}
+
+// comparisonJobs builds the kind-major job list the comparison figures
+// share: results[ki*len(seeds)+si] then groups deterministically.
+func comparisonJobs(kinds []world.Kind, seeds []int64) []comparisonJob {
+	jobs := make([]comparisonJob, 0, len(kinds)*len(seeds))
+	for _, kind := range kinds {
+		for _, seed := range seeds {
+			jobs = append(jobs, comparisonJob{kind: kind, seed: seed})
+		}
+	}
+	return jobs
+}
 
 // Systems are the four compared protocols, in the paper's legend order.
 var Systems = []world.Kind{
@@ -73,17 +93,23 @@ func RunFig6a(cfg Fig6aConfig) (Fig6aResult, error) {
 	total := s.nodes(1000)
 	rounds := s.rounds(cfg.Rounds)
 	seeds := seedList(6100, s.seeds())
+	jobs := comparisonJobs(Systems, seeds)
+	hists, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (map[int]int, error) {
+		w, err := buildComparisonWorld(j.kind, total, j.seed)
+		if err != nil {
+			return nil, err
+		}
+		w.RunUntil(time.Duration(rounds) * round)
+		return graph.Build(w.Overlay()).InDegreeHistogram(), nil
+	})
+	if err != nil {
+		return Fig6aResult{}, err
+	}
 	res := Fig6aResult{Hist: make(map[string]map[int]float64)}
-	for _, kind := range Systems {
+	for ki, kind := range Systems {
 		acc := make(map[int]float64)
-		for _, seed := range seeds {
-			w, err := buildComparisonWorld(kind, total, seed)
-			if err != nil {
-				return Fig6aResult{}, err
-			}
-			w.RunUntil(time.Duration(rounds) * round)
-			snap := graph.Build(w.Overlay())
-			for deg, cnt := range snap.InDegreeHistogram() {
+		for _, hist := range hists[ki*len(seeds) : (ki+1)*len(seeds)] {
+			for deg, cnt := range hist {
 				acc[deg] += float64(cnt)
 			}
 		}
@@ -193,23 +219,26 @@ func runOverlayMetric(cfg Fig6bcConfig, title string, seedBase int64,
 	total := s.nodes(1000)
 	rounds := s.rounds(cfg.Rounds)
 	seeds := seedList(seedBase, s.seeds())
-	res := Fig6bcResult{Title: title}
-	for _, kind := range Systems {
-		var runs []stats.Series
-		for _, seed := range seeds {
-			w, err := buildComparisonWorld(kind, total, seed)
-			if err != nil {
-				return Fig6bcResult{}, err
-			}
-			run := stats.Series{Name: kind.String()}
-			for r := cfg.SampleEvery; r <= rounds; r += cfg.SampleEvery {
-				w.RunUntil(time.Duration(r) * round)
-				snap := graph.Build(w.Overlay())
-				run.Append(float64(r), metric(snap, w))
-			}
-			runs = append(runs, run)
+	jobs := comparisonJobs(Systems, seeds)
+	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
+		w, err := buildComparisonWorld(j.kind, total, j.seed)
+		if err != nil {
+			return stats.Series{}, err
 		}
-		mean, err := stats.MeanOfSeries(runs)
+		run := stats.Series{Name: j.kind.String()}
+		for r := cfg.SampleEvery; r <= rounds; r += cfg.SampleEvery {
+			w.RunUntil(time.Duration(r) * round)
+			snap := graph.Build(w.Overlay())
+			run.Append(float64(r), metric(snap, w))
+		}
+		return run, nil
+	})
+	if err != nil {
+		return Fig6bcResult{}, err
+	}
+	res := Fig6bcResult{Title: title}
+	for ki := range Systems {
+		mean, err := stats.MeanOfSeries(runs[ki*len(seeds) : (ki+1)*len(seeds)])
 		if err != nil {
 			return Fig6bcResult{}, fmt.Errorf("%s: %w", title, err)
 		}

@@ -51,9 +51,18 @@ func (u Uniform) Delay(a, b addr.NodeID) time.Duration {
 
 // KingLike approximates the King data-set's RTT distribution. The zero
 // value is not usable; construct with NewKingLike.
+//
+// Delay sits on the per-packet fast path of the simulated network, so
+// it is engineered to be allocation-free: per-node coordinates are
+// memoised in coord and the per-pair lognormal penalty is derived
+// directly from a splitmix64 hash instead of seeding a rand.Rand per
+// call. The memo makes an instance unsafe for concurrent use — every
+// simulation world must own its model (world.New builds one per world),
+// which also keeps parallel multi-seed runs independent.
 type KingLike struct {
 	seed int64
-	// geo maps a node to its cached spherical coordinates.
+	// coord memoises each node's spherical coordinates {lat, lon}.
+	coord      map[addr.NodeID][2]float64
 	base       time.Duration
 	propFactor float64
 	sigma      float64
@@ -69,6 +78,7 @@ type KingLike struct {
 func NewKingLike(seed int64) *KingLike {
 	return &KingLike{
 		seed:       seed,
+		coord:      make(map[addr.NodeID][2]float64),
 		base:       4 * time.Millisecond,
 		propFactor: 32, // ms of one-way delay for antipodal hosts
 		mu:         math.Log(9),
@@ -89,8 +99,16 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 	// Normalised great-circle distance in [0, 1].
 	dist := greatCircle(la1, lo1, la2, lo2) / math.Pi
 
-	r := rand.New(rand.NewSource(pairSeed(k.seed, a, b)))
-	penaltyMs := math.Exp(k.mu + k.sigma*r.NormFloat64())
+	// Standard normal via Box–Muller on two hash-derived uniforms: the
+	// same lognormal shape a seeded rand.Rand produced, without the
+	// per-call source allocation and 607-word reseed.
+	h := uint64(pairSeed(k.seed, a, b))
+	u1 := unit(mix(h, 1))
+	if u1 < 1e-300 {
+		u1 = 1e-300 // keep Log finite
+	}
+	norm := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*unit(mix(h, 2)))
+	penaltyMs := math.Exp(k.mu + k.sigma*norm)
 
 	d := k.base +
 		time.Duration(dist*k.propFactor*float64(time.Millisecond)) +
@@ -105,13 +123,34 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 }
 
 // coords returns the node's latitude in [-pi/2, pi/2] and longitude in
-// [-pi, pi), derived deterministically from the node ID. Latitude uses
-// an arcsine transform so hosts are uniform on the sphere.
+// [-pi, pi), derived deterministically from the node ID and memoised.
+// Latitude uses an arcsine transform so hosts are uniform on the sphere.
 func (k *KingLike) coords(n addr.NodeID) (lat, lon float64) {
-	r := rand.New(rand.NewSource(pairSeed(k.seed, n, n)))
-	lat = math.Asin(2*r.Float64() - 1)
-	lon = 2*math.Pi*r.Float64() - math.Pi
+	if c, ok := k.coord[n]; ok {
+		return c[0], c[1]
+	}
+	h := uint64(pairSeed(k.seed, n, n))
+	lat = math.Asin(2*unit(mix(h, 1)) - 1)
+	lon = 2*math.Pi*unit(mix(h, 2)) - math.Pi
+	k.coord[n] = [2]float64{lat, lon}
 	return lat, lon
+}
+
+// mix derives the i-th substream value from a hash (splitmix64-style
+// finaliser over h advanced by the golden-ratio increment).
+func mix(h uint64, i uint64) uint64 {
+	x := h + i*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a 64-bit hash to a float64 in [0, 1).
+func unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
 }
 
 // greatCircle returns the central angle between two points on the unit

@@ -1,0 +1,183 @@
+// Package runner is the parallel multi-run orchestrator: it fans
+// independent (config, seed) simulation jobs out across a bounded pool
+// of worker goroutines and merges their results back in deterministic
+// submission order.
+//
+// Every simulation world in this repository is single-threaded and a
+// pure function of its configuration and seed, so runs never share
+// mutable state and cross-run parallelism cannot change any result —
+// only the wall-clock time to produce it. The experiment harness
+// (internal/experiment), the scenario engine benchmarks and both CLIs
+// run their seed and protocol sweeps through this package; the
+// determinism golden test in the repository root proves that a parallel
+// sweep is byte-identical to a sequential one.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Options parameterises one fan-out.
+type Options struct {
+	// Workers is the maximum number of jobs in flight at once.
+	// 1 runs the jobs inline on the calling goroutine (sequential
+	// mode, useful as the determinism reference); any other value ≤ 0
+	// means GOMAXPROCS. The worker count never exceeds the job count.
+	Workers int
+	// Context cancels the fan-out: jobs not yet started are abandoned
+	// (their results stay zero), jobs already running complete. A nil
+	// Context means no external cancellation.
+	Context context.Context
+	// Progress, when non-nil, is called after each job finishes with
+	// the number of completed jobs and the total. Calls are serialised
+	// and done is strictly increasing, but in parallel mode the order
+	// in which individual jobs complete is not deterministic — only
+	// the merged results are.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective worker count for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Map runs fn over every item and returns the outputs in item order,
+// regardless of completion order — the deterministic merge the
+// multi-seed aggregations depend on. fn must be safe to call from
+// multiple goroutines on distinct items; with Workers: 1 it runs
+// inline, sequentially, in item order.
+//
+// On failure Map returns the error of the lowest-indexed failed job
+// (the same one a sequential loop would surface first — job results
+// are pure functions of their inputs, so which jobs fail is itself
+// deterministic), cancels jobs that have not started, and waits for
+// running jobs to finish. Outputs of jobs that never ran are the zero
+// value.
+func Map[In, Out any](opts Options, items []In, fn func(In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	ctx := opts.ctx()
+	total := len(items)
+
+	if opts.workers(total) == 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			res, err := fn(item)
+			if err != nil {
+				return out, err
+			}
+			out[i] = res
+			if opts.Progress != nil {
+				opts.Progress(i+1, total)
+			}
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIdx   = total // index of the lowest-indexed failure so far
+		next     = make(chan int)
+		wg       sync.WaitGroup
+	)
+	wg.Add(opts.workers(total))
+	for w := 0; w < opts.workers(total); w++ {
+		go func() {
+			defer wg.Done()
+			// Every dispatched job runs, even after a cancel: jobs are
+			// dispatched in index order, so the lowest-indexed failure
+			// always executes and the returned error is deterministic.
+			for idx := range next {
+				res, err := fn(items[idx])
+				mu.Lock()
+				if err != nil {
+					if idx < errIdx {
+						firstErr, errIdx = err, idx
+					}
+					cancel()
+				} else {
+					out[idx] = res
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range items {
+		// Check cancellation with priority: when both the send and
+		// Done are ready, select would pick at random and could hand
+		// out a job after cancellation.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return out, firstErr
+	}
+	// External cancellation with no job error still reports it.
+	if err := opts.ctx().Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Each runs fn over every item with the same scheduling, cancellation
+// and error semantics as Map, for jobs whose only output is a side
+// effect (e.g. writing a result file per run).
+func Each[In any](opts Options, items []In, fn func(In) error) error {
+	_, err := Map(opts, items, func(item In) (struct{}, error) {
+		return struct{}{}, fn(item)
+	})
+	return err
+}
+
+// Seeds returns the n deterministic seeds {base, base+step, ...} — the
+// job axis of a multi-seed sweep, shared with the experiment package's
+// seed derivation so sweeps never alias across experiments.
+func Seeds(base, step int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*step
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4, 0} {
+		out, err := Map(Options{Workers: workers}, items, func(v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, got := range out {
+			if got != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSequentialMatchesParallel(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	fn := func(v int) (string, error) { return fmt.Sprintf("r%d", v*7), nil }
+	seq, err := Map(Options{Workers: 1}, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(Options{Workers: 8}, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("out[%d]: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(Options{}, nil, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fn := func(v int) (int, error) {
+		if v >= 3 {
+			return 0, fmt.Errorf("job %d failed", v)
+		}
+		return v, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Options{Workers: workers}, items, fn)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %q, want lowest-indexed failure", workers, err)
+		}
+	}
+}
+
+func TestMapCancellationStopsNewJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no job should start
+	var started atomic.Int32
+	_, err := Map(Options{Workers: 4, Context: ctx}, []int{1, 2, 3}, func(v int) (int, error) {
+		started.Add(1)
+		return v, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() != 0 {
+		t.Fatalf("%d jobs started under a cancelled context", started.Load())
+	}
+}
+
+func TestMapProgressMonotonic(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var mu sync.Mutex
+		var dones []int
+		items := make([]int, 20)
+		_, err := Map(Options{
+			Workers: workers,
+			Progress: func(done, total int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if total != 20 {
+					t.Errorf("total = %d, want 20", total)
+				}
+				dones = append(dones, done)
+			},
+		}, items, func(v int) (int, error) { return v, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 20 {
+			t.Fatalf("workers=%d: %d progress calls, want 20", workers, len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress sequence %v not strictly increasing", workers, dones)
+			}
+		}
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	// Two jobs that must overlap: each blocks until the other arrives.
+	gate := make(chan struct{}, 2)
+	ready := make(chan struct{})
+	var once sync.Once
+	_, err := Map(Options{Workers: 2}, []int{0, 1}, func(v int) (int, error) {
+		gate <- struct{}{}
+		if len(gate) == 2 {
+			once.Do(func() { close(ready) })
+		}
+		<-ready
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	err := Each(Options{Workers: 4}, []int64{1, 2, 3, 4}, func(v int64) error {
+		sum.Add(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 10 {
+		t.Fatalf("sum = %d, want 10", sum.Load())
+	}
+	wantErr := errors.New("boom")
+	err = Each(Options{Workers: 2}, []int64{1, 2}, func(v int64) error {
+		if v == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(1000, 7919, 3)
+	want := []int64{1000, 8919, 16838}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		workers, jobs, wantMax int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{-1, 3, 3},
+	}
+	for _, c := range cases {
+		got := Options{Workers: c.workers}.workers(c.jobs)
+		if got > c.wantMax || got < 1 {
+			t.Fatalf("workers(%d jobs, %d requested) = %d, want in [1, %d]", c.jobs, c.workers, got, c.wantMax)
+		}
+	}
+}

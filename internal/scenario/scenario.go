@@ -110,6 +110,12 @@ func (e Event) validate(rounds int) error {
 		if e.Count <= 0 {
 			return fmt.Errorf("%s needs count > 0", e.Type)
 		}
+		// Cap the wave size itself: the Count×gap schedule bound below
+		// is vacuous for an instant wave (explicit gap 0), which would
+		// otherwise admit arbitrarily large one-instant populations.
+		if e.Count > maxPopulation {
+			return fmt.Errorf("%s count %d exceeds the %d-node ceiling", e.Type, e.Count, maxPopulation)
+		}
 		if e.PubFrac != nil && (*e.PubFrac < 0 || *e.PubFrac > 1) {
 			return fmt.Errorf("%s pub_frac %g outside [0, 1]", e.Type, *e.PubFrac)
 		}
@@ -216,10 +222,16 @@ func nameOK(name string) bool {
 
 // maxRounds bounds run length and maxMS every millisecond-valued field,
 // so round arithmetic stays far from time.Duration overflow (1e7 rounds
-// ≈ 115 days of virtual time; 1e9 ms ≈ 11.5 days).
+// ≈ 115 days of virtual time; 1e9 ms ≈ 11.5 days). maxPopulation caps
+// the initial population and every join wave's Count: beyond a few
+// million nodes a single world exhausts memory long before the timeline
+// finishes, so the validator rejects it up front — and an explicit
+// Count ceiling also closes the gap where "mean_gap_ms": 0 made the
+// Count×gap schedule bound vacuously pass for any Count.
 const (
-	maxRounds = 10_000_000
-	maxMS     = 1_000_000_000
+	maxRounds     = 10_000_000
+	maxMS         = 1_000_000_000
+	maxPopulation = 2_000_000
 )
 
 // Validate checks the scenario for structural problems.
@@ -232,6 +244,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Privates < 0 {
 		return fmt.Errorf("scenario %q: negative privates", sc.Name)
+	}
+	if sc.Publics+sc.Privates > maxPopulation {
+		return fmt.Errorf("scenario %q: population %d exceeds the %d-node ceiling", sc.Name, sc.Publics+sc.Privates, maxPopulation)
 	}
 	if sc.Rounds <= 0 || sc.Rounds > maxRounds {
 		return fmt.Errorf("scenario %q: rounds %d outside (0, %d]", sc.Name, sc.Rounds, maxRounds)

@@ -96,6 +96,80 @@ func TestParseJSONValidatesAndRejectsTypos(t *testing.T) {
 	}
 }
 
+// TestValidatePopulationCeilings covers the population bounds: the
+// initial Publics+Privates ceiling and the per-wave Count ceiling that
+// an explicit "mean_gap_ms": 0 used to sneak past the Count×gap
+// schedule bound.
+func TestValidatePopulationCeilings(t *testing.T) {
+	zero := 0.0
+	base := func() Scenario {
+		return Scenario{Name: "x", Publics: 10, Privates: 40, Rounds: 50}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		wantOK bool
+	}{
+		{
+			name:   "population_at_ceiling",
+			mutate: func(sc *Scenario) { sc.Publics, sc.Privates = 2, maxPopulation-2 },
+			wantOK: true,
+		},
+		{
+			name:   "population_above_ceiling",
+			mutate: func(sc *Scenario) { sc.Publics, sc.Privates = 2, maxPopulation-1 },
+			wantOK: false,
+		},
+		{
+			name:   "population_split_above_ceiling",
+			mutate: func(sc *Scenario) { sc.Publics, sc.Privates = maxPopulation/2+1, maxPopulation/2 },
+			wantOK: false,
+		},
+		{
+			name: "instant_joinwave_at_ceiling",
+			mutate: func(sc *Scenario) {
+				sc.Events = []Event{{At: 1, Type: EvJoinWave, Count: maxPopulation, MeanGapMS: &zero}}
+			},
+			wantOK: true,
+		},
+		{
+			name: "instant_joinwave_above_ceiling",
+			mutate: func(sc *Scenario) {
+				sc.Events = []Event{{At: 1, Type: EvJoinWave, Count: maxPopulation + 1, MeanGapMS: &zero}}
+			},
+			wantOK: false,
+		},
+		{
+			name: "instant_flashcrowd_above_ceiling",
+			mutate: func(sc *Scenario) {
+				sc.Events = []Event{{At: 1, Type: EvFlashCrowd, Count: maxPopulation + 1, MeanGapMS: &zero}}
+			},
+			wantOK: false,
+		},
+		{
+			name: "paced_joinwave_above_count_ceiling",
+			mutate: func(sc *Scenario) {
+				gap := 0.001
+				sc.Events = []Event{{At: 1, Type: EvJoinWave, Count: maxPopulation + 1, MeanGapMS: &gap}}
+			},
+			wantOK: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			err := sc.Validate()
+			if tc.wantOK && err != nil {
+				t.Fatalf("Validate rejected a legal scenario: %v", err)
+			}
+			if !tc.wantOK && err == nil {
+				t.Fatal("Validate accepted an over-ceiling scenario")
+			}
+		})
+	}
+}
+
 // TestDeterministicExport is the determinism contract: the same
 // scenario, kind and seed must produce byte-identical TSV and JSON.
 func TestDeterministicExport(t *testing.T) {

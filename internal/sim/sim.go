@@ -23,6 +23,10 @@ type Event struct {
 	fn        func()
 	index     int // heap index, -1 once popped
 	cancelled bool
+	// pooled events come from the scheduler's free list and return to
+	// it after firing. They are only created by Schedule, which never
+	// hands out the *Event, so no caller can Cancel a recycled one.
+	pooled bool
 }
 
 // Time returns the virtual time at which the event fires.
@@ -79,6 +83,10 @@ type Scheduler struct {
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
+	// free holds fired pooled events for reuse, so the append-heavy,
+	// short-lived event traffic of packet delivery and gossip ticks
+	// stops allocating once the pool is warm.
+	free []*Event
 }
 
 // New returns a scheduler whose clock starts at zero and whose random
@@ -123,6 +131,29 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// Schedule runs fn d from now like After, but returns no handle: the
+// event cannot be cancelled, so its backing Event is drawn from a free
+// list and recycled after firing. Hot paths that fire-and-forget (packet
+// delivery, periodic ticks that never cancel) schedule allocation-free
+// through it once the pool is warm.
+func (s *Scheduler) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.fn, ev.cancelled = s.now+d, fn, false
+	} else {
+		ev = &Event{at: s.now + d, fn: fn, pooled: true}
+	}
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
 // Step executes the single next event. It reports false when the queue is
 // empty.
 func (s *Scheduler) Step() bool {
@@ -136,7 +167,14 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = ev.at
 		s.fired++
-		ev.fn()
+		fn := ev.fn
+		if ev.pooled {
+			// Recycle before running fn: fn may schedule again and is
+			// free to reuse this Event, since fn was saved above.
+			ev.fn = nil
+			s.free = append(s.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false

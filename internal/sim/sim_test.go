@@ -227,3 +227,75 @@ func TestManyEventsStressOrdering(t *testing.T) {
 		t.Fatalf("executed %d events, want 10000", n)
 	}
 }
+
+func TestScheduleRunsLikeAfter(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(-5*time.Millisecond, func() { order = append(order, 0) }) // clamps to now
+	s.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("pooled events fired in order %v, want [0 1 2]", order)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", s.Now())
+	}
+}
+
+func TestScheduleInterleavesWithAtDeterministically(t *testing.T) {
+	// Pooled and handle events share one sequence counter, so mixing
+	// them keeps the simultaneous-event ordering contract.
+	s := New(1)
+	var order []int
+	s.At(time.Second, func() { order = append(order, 0) })
+	s.Schedule(time.Second, func() { order = append(order, 1) })
+	s.At(time.Second, func() { order = append(order, 2) })
+	s.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("mixed events fired in order %v, want [0 1 2]", order)
+		}
+	}
+}
+
+func TestScheduleReusesEvents(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+	if got := len(s.free); got != 100 {
+		t.Fatalf("free list holds %d events after drain, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	if got := len(s.free); got != 0 {
+		t.Fatalf("free list holds %d events while all are queued, want 0", got)
+	}
+	s.Run()
+}
+
+// TestScheduleAllocationRegression is the hot-path allocation guard for
+// event scheduling: once the pool is warm, fire-and-forget scheduling
+// must not allocate. A regression here silently reintroduces per-packet
+// garbage across every simulation.
+func TestScheduleAllocationRegression(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.Schedule(time.Duration(i)*time.Millisecond, fn)
+		}
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("pooled Schedule allocates %.2f objects per batch, want 0", avg)
+	}
+}

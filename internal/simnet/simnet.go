@@ -106,6 +106,42 @@ type Network struct {
 	dropped      uint64
 	partDropped  uint64
 	delivered    uint64
+
+	// freeDeliveries pools in-flight packet records (and their
+	// pre-built run closures) so unicast delivery allocates nothing
+	// once warm; see newDelivery.
+	freeDeliveries []*delivery
+}
+
+// delivery is one packet in flight between send and deliver. The run
+// closure is built once per pooled record — it captures only the record
+// pointer — so scheduling a delivery costs no allocation.
+type delivery struct {
+	net          *Network
+	srcID, dstID addr.NodeID
+	src, to      addr.Endpoint
+	msg          Message
+	size         uint64
+	run          func()
+}
+
+// newDelivery takes a pooled record or builds one with its reusable run
+// closure.
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.freeDeliveries); k > 0 {
+		d := n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return d
+	}
+	d := &delivery{net: n}
+	d.run = func() {
+		nn := d.net
+		nn.deliver(d.srcID, d.dstID, d.src, d.to, d.msg, d.size)
+		d.msg = nil // do not retain the payload while pooled
+		nn.freeDeliveries = append(nn.freeDeliveries, d)
+	}
+	return d
 }
 
 // New builds a network on the given scheduler.
@@ -224,9 +260,14 @@ func (n *Network) Reachable(src, dst addr.NodeID) bool {
 }
 
 // linkConditions resolves the effective loss probability and extra delay
-// for the undirected link between a and b.
+// for the undirected link between a and b. The common case — no link
+// overrides installed at all — skips key construction and the map
+// lookup entirely, keeping the per-packet path cheap.
 func (n *Network) linkConditions(a, b addr.NodeID) (loss float64, extra time.Duration) {
 	loss, extra = n.loss, n.extraDelay
+	if len(n.links) == 0 {
+		return loss, extra
+	}
 	if o, ok := n.links[makeLinkKey(a, b)]; ok {
 		if o.HasLoss {
 			loss = o.Loss
@@ -248,6 +289,9 @@ type Host struct {
 	gw    *nat.Gateway
 	ports map[uint16]Handler
 	up    bool
+	// traffic points at the node's counters in Network.traffic, saving
+	// a map lookup on every send and delivery.
+	traffic *Traffic
 }
 
 // allocPublicIP hands out the next unused global address, skipping the
@@ -275,15 +319,16 @@ func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
 		return nil, fmt.Errorf("simnet: node %v already attached", id)
 	}
 	h := &Host{
-		net:   n,
-		id:    id,
-		ip:    n.allocPublicIP(),
-		ports: make(map[uint16]Handler),
-		up:    true,
+		net:     n,
+		id:      id,
+		ip:      n.allocPublicIP(),
+		ports:   make(map[uint16]Handler),
+		up:      true,
+		traffic: &Traffic{},
 	}
 	n.hostsByID[id] = h
 	n.hostsByIP[h.ip] = h
-	n.traffic[id] = &Traffic{}
+	n.traffic[id] = h.traffic
 	return h, nil
 }
 
@@ -300,16 +345,17 @@ func (n *Network) AddPrivateHost(id addr.NodeID, natCfg nat.Config) (*Host, erro
 		return nil, fmt.Errorf("simnet: add private host: %w", err)
 	}
 	h := &Host{
-		net:   n,
-		id:    id,
-		ip:    addr.MakeIP(10, 0, 0, 2),
-		gw:    gw,
-		ports: make(map[uint16]Handler),
-		up:    true,
+		net:     n,
+		id:      id,
+		ip:      addr.MakeIP(10, 0, 0, 2),
+		gw:      gw,
+		ports:   make(map[uint16]Handler),
+		up:      true,
+		traffic: &Traffic{},
 	}
 	n.hostsByID[id] = h
 	n.gatewayHosts[gw.PublicIP()] = h
-	n.traffic[id] = &Traffic{}
+	n.traffic[id] = h.traffic
 	return h, nil
 }
 
@@ -416,9 +462,8 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 		src = h.gw.Outbound(from, to)
 	}
 	size := uint64(msg.Size() + n.cfg.HeaderBytes)
-	t := n.traffic[h.id]
-	t.BytesSent += size
-	t.MsgsSent++
+	h.traffic.BytesSent += size
+	h.traffic.MsgsSent++
 
 	// Resolve the physical destination host for latency lookup. The NAT
 	// admission decision is postponed to delivery time.
@@ -433,10 +478,11 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 		return
 	}
 	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
-	srcID, dstID := h.id, dst.id
-	n.sched.After(delay, func() {
-		n.deliver(srcID, dstID, src, to, msg, size)
-	})
+	d := n.newDelivery()
+	d.srcID, d.dstID = h.id, dst.id
+	d.src, d.to = src, to
+	d.msg, d.size = msg, size
+	n.sched.Schedule(delay, d.run)
 }
 
 // resolveHost finds the machine that owns the destination IP, either a
@@ -483,9 +529,8 @@ func (n *Network) deliver(srcID, dstID addr.NodeID, src, to addr.Endpoint, msg M
 		n.dropped++
 		return
 	}
-	t := n.traffic[dstID]
-	t.BytesRecv += size
-	t.MsgsRecv++
+	h.traffic.BytesRecv += size
+	h.traffic.MsgsRecv++
 	n.delivered++
 	fn(Packet{From: src, To: to, Msg: msg})
 }

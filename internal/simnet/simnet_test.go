@@ -517,3 +517,45 @@ func TestGlobalExtraDelay(t *testing.T) {
 		t.Fatalf("negative extra delay not clamped: %v", n.ExtraDelay())
 	}
 }
+
+// TestUnicastDeliveryAllocationRegression is the per-packet allocation
+// guard: with pooled delivery records and pooled scheduler events, the
+// whole send→deliver path between two public hosts must be
+// allocation-free once warm. A regression here multiplies across every
+// packet of every simulation.
+func TestUnicastDeliveryAllocationRegression(t *testing.T) {
+	sched, n := newNet(t, 0)
+	h1, err := n.AddPublicHost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := n.AddPublicHost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := h1.Bind(100, func(Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Bind(100, func(Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	to := addr.Endpoint{IP: h2.IP(), Port: 100}
+	// Box the payload once: the guard measures what the network adds
+	// per packet on top of the caller's message, which must be nothing.
+	var msg Message = testMsg{body: "x", size: 64}
+	// Warm the delivery and event pools.
+	for i := 0; i < 64; i++ {
+		sock.Send(to, msg)
+	}
+	sched.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			sock.Send(to, msg)
+		}
+		sched.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("unicast delivery allocates %.2f objects per batch, want 0", avg)
+	}
+}

@@ -62,6 +62,12 @@ type View struct {
 	self     addr.NodeID
 	capacity int
 	items    []Descriptor
+	// permBuf and queueBuf are scratch space reused across shuffles so
+	// subset selection (RandomSubsetInto) and Merge stop allocating on
+	// the per-round hot path. Neither survives a call; no state leaks
+	// between shuffles.
+	permBuf  []int
+	queueBuf []Descriptor
 }
 
 // New returns an empty view with the given capacity. Descriptors for
@@ -176,7 +182,9 @@ func (v *View) Random(rng *rand.Rand) (Descriptor, bool) {
 }
 
 // RandomSubset returns up to n distinct descriptors drawn uniformly at
-// random, in random order. The returned slice is freshly allocated.
+// random, in random order. The returned slice is freshly allocated;
+// shuffle payloads that travel through the simulated network must own
+// their storage, because packets outlive the sender's round.
 func (v *View) RandomSubset(rng *rand.Rand, n int) []Descriptor {
 	if n <= 0 || len(v.items) == 0 {
 		return nil
@@ -184,12 +192,35 @@ func (v *View) RandomSubset(rng *rand.Rand, n int) []Descriptor {
 	if n > len(v.items) {
 		n = len(v.items)
 	}
-	idx := rng.Perm(len(v.items))[:n]
-	out := make([]Descriptor, 0, n)
-	for _, i := range idx {
-		out = append(out, v.items[i])
+	return v.RandomSubsetInto(rng, n, make([]Descriptor, 0, n))
+}
+
+// RandomSubsetInto is RandomSubset appending into dst (reset to length
+// zero first): with a caller-reused dst of sufficient capacity the
+// selection is allocation-free. Selection runs a partial Fisher–Yates
+// over an internal index scratch buffer instead of materialising a full
+// permutation per call.
+func (v *View) RandomSubsetInto(rng *rand.Rand, n int, dst []Descriptor) []Descriptor {
+	dst = dst[:0]
+	if n <= 0 || len(v.items) == 0 {
+		return dst
 	}
-	return out
+	if n > len(v.items) {
+		n = len(v.items)
+	}
+	if cap(v.permBuf) < len(v.items) {
+		v.permBuf = make([]int, len(v.items))
+	}
+	idx := v.permBuf[:len(v.items)]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		dst = append(dst, v.items[idx[i]])
+	}
+	return dst
 }
 
 // Descriptors returns a copy of the view's contents.
@@ -242,8 +273,10 @@ func (v *View) MergeHealer(received []Descriptor) {
 // (swapper policy). Descriptors for self are skipped. sent is consumed
 // front-to-back and not modified.
 func (v *View) Merge(sent, received []Descriptor) {
-	queue := make([]Descriptor, len(sent))
-	copy(queue, sent)
+	// The eviction queue lives in reusable scratch space; it is
+	// consumed by index so the buffer survives for the next merge.
+	v.queueBuf = append(v.queueBuf[:0], sent...)
+	qi := 0
 	for _, d := range received {
 		if d.ID == v.self {
 			continue
@@ -256,9 +289,9 @@ func (v *View) Merge(sent, received []Descriptor) {
 			continue
 		}
 		// View full: evict a sent descriptor to make room.
-		for len(queue) > 0 {
-			victim := queue[0]
-			queue = queue[1:]
+		for qi < len(v.queueBuf) {
+			victim := v.queueBuf[qi]
+			qi++
 			if victim.ID == d.ID {
 				continue
 			}

@@ -339,3 +339,57 @@ func TestTakeOldestIsMaximal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRandomSubsetIntoMatchesContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := New(10, 99)
+	for i := 1; i <= 10; i++ {
+		v.Add(desc(i, 0))
+	}
+	buf := make([]Descriptor, 0, 8)
+	buf = v.RandomSubsetInto(rng, 5, buf)
+	if len(buf) != 5 {
+		t.Fatalf("subset size = %d, want 5", len(buf))
+	}
+	seen := make(map[addr.NodeID]bool)
+	for _, d := range buf {
+		if seen[d.ID] {
+			t.Fatalf("duplicate %v in subset", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	if got := v.RandomSubsetInto(rng, 50, buf); len(got) != 10 {
+		t.Fatalf("oversized request returned %d, want full view", len(got))
+	}
+	if got := v.RandomSubsetInto(rng, 0, buf); len(got) != 0 {
+		t.Fatal("zero-size subset should be empty")
+	}
+}
+
+// TestShuffleBufferAllocationRegression is the shuffle-construction
+// allocation guard: subset selection into a reused buffer plus a merge
+// through the internal eviction queue must not allocate once the
+// scratch space is warm.
+func TestShuffleBufferAllocationRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := New(10, 0)
+	var pool []Descriptor
+	for i := 1; i <= 40; i++ {
+		pool = append(pool, desc(i, i%7))
+	}
+	for _, d := range pool[:10] {
+		v.Add(d)
+	}
+	buf := make([]Descriptor, 0, 8)
+	// Warm the internal perm and queue scratch buffers.
+	buf = v.RandomSubsetInto(rng, 5, buf)
+	v.Merge(buf, pool[20:25])
+	avg := testing.AllocsPerRun(100, func() {
+		buf = v.RandomSubsetInto(rng, 5, buf)
+		start := rng.Intn(30)
+		v.Merge(buf, pool[start:start+5])
+	})
+	if avg != 0 {
+		t.Fatalf("shuffle construction allocates %.2f objects per round, want 0", avg)
+	}
+}
