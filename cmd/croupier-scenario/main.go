@@ -54,6 +54,7 @@ func run(args []string) error {
 		probe    = fs.Int("probe", 0, "override the probe period in rounds (0 = scenario default)")
 		parallel = fs.Int("parallel", 1, "worker goroutines for the (scenario, kind) fan-out; 0 = all cores, 1 = sequential (outputs are identical either way)")
 		outDir   = fs.String("out", "results/scenarios", "directory for TSV/JSON output")
+		verbose  = fs.Bool("v", false, "print one progress line per finished (scenario, kind) job to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: croupier-scenario -list\n")
@@ -113,7 +114,18 @@ func run(args []string) error {
 	if workers == 0 {
 		workers = -1 // runner: ≤0 (other than the flag's 1) = GOMAXPROCS
 	}
-	outcomes, err := runner.Map(runner.Options{Workers: workers}, jobs, func(j job) (outcome, error) {
+	var progress func(done, total int)
+	if *verbose {
+		// One line per finished run, so long multi-scenario sweeps show
+		// liveness and remaining work. Progress order is completion
+		// order; the written results stay in deterministic job order.
+		sweepStart := time.Now()
+		progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "# job %d/%d done (%v elapsed)\n",
+				done, total, time.Since(sweepStart).Round(time.Second))
+		}
+	}
+	outcomes, err := runner.Map(runner.Options{Workers: workers, Progress: progress}, jobs, func(j job) (outcome, error) {
 		start := time.Now()
 		res, err := scenario.Run(j.sc, scenario.RunConfig{
 			Kind:     j.kind,

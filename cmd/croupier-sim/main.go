@@ -50,6 +50,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "worker goroutines for the (variant, seed) fan-out; 0 = all cores, 1 = sequential (results are identical either way)")
 		outDir   = fs.String("out", "results", "directory for TSV output")
 		noPlot   = fs.Bool("no-plot", false, "suppress terminal plots")
+		verbose  = fs.Bool("v", false, "print one progress line per finished (variant, seed) job to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: croupier-sim [flags] <experiment>\n")
@@ -78,6 +79,15 @@ func run(args []string) error {
 	}
 	for _, name := range names {
 		start := time.Now()
+		if *verbose {
+			// One line per finished simulation job, so multi-hour
+			// paper-scale sweeps show liveness and remaining work.
+			name, start := name, time.Now()
+			scale.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "# %s: job %d/%d done (%v elapsed)\n",
+					name, done, total, time.Since(start).Round(time.Second))
+			}
+		}
 		res, err := runOne(name, scale)
 		if err != nil {
 			return err

@@ -11,6 +11,13 @@
 // Estimates are piggybacked on shuffle traffic, cached for γ rounds, and
 // averaged locally (equations 8–9) to steer sampling between the two
 // views (Algorithm 3).
+//
+// The request/response machinery — pooled pointer messages, the
+// pending-exchange table with its per-request TTL, and the round driver
+// — lives in internal/exchange; this package supplies Croupier's
+// policies (tail selection over the public view, swapper merging of
+// both views, and the estimate piggyback) as the engine's strategy
+// hooks.
 package croupier
 
 import (
@@ -19,11 +26,11 @@ import (
 	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/pss"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/view"
-	"repro/internal/wire"
 )
 
 // SelectionPolicy chooses the shuffle target from the public view.
@@ -68,6 +75,15 @@ type Config struct {
 	// shuffle state is kept for the swapper merge before being dropped
 	// as lost.
 	PendingTTL int
+	// RebootstrapEvery, when positive, re-queries the bootstrap
+	// directory every that many rounds and anti-entropy-merges the
+	// returned croupiers into the public view even when it is not
+	// empty. A partition that outlives the view purge horizon
+	// permanently segregates public views (re-bootstrap normally fires
+	// only on an empty view); this knob lets static deployments heal
+	// after such an episode at the cost of periodic directory traffic.
+	// Zero (the default) disables it.
+	RebootstrapEvery int
 	// Selection and Merge default to the paper's tail + swapper
 	// policies; the alternatives exist for ablation studies.
 	Selection SelectionPolicy
@@ -103,68 +119,34 @@ func (c Config) Validate() error {
 	if c.PendingTTL <= 0 {
 		return fmt.Errorf("croupier: pending TTL must be positive, got %d", c.PendingTTL)
 	}
+	if c.RebootstrapEvery < 0 {
+		return fmt.Errorf("croupier: rebootstrap period must be non-negative, got %d", c.RebootstrapEvery)
+	}
 	return nil
 }
 
 // Estimate is one public node's local public/private ratio estimation,
-// as disseminated on shuffle messages. Age counts gossip rounds since
-// the estimate was produced; lower is fresher.
-type Estimate struct {
-	Node  addr.NodeID
-	Value float64
-	Age   int
-}
+// as disseminated on shuffle messages.
+type Estimate = exchange.Estimate
 
 // ShuffleReq is sent once per round by every node to the oldest node in
-// its public view (Algorithm 2 line 22).
-type ShuffleReq struct {
-	// From describes the sender (fresh descriptor, age 0); croupiers
-	// classify the request by From.Nat.
-	From view.Descriptor
-	// Pub and Pri are bounded random subsets of the sender's views,
-	// with the sender itself added to the subset matching its type.
-	Pub []view.Descriptor
-	Pri []view.Descriptor
-	// Estimates carries a bounded subset of the sender's cached
-	// estimations plus, for public senders, their own local estimate.
-	Estimates []Estimate
-}
-
-// Size implements simnet.Message.
-func (m ShuffleReq) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) +
-		wire.DescriptorsSize(m.Pub) + wire.DescriptorsSize(m.Pri) +
-		wire.EstimatesSize(len(m.Estimates))
-}
+// its public view (Algorithm 2 line 22). It is the engine's pooled
+// request: Pub and Pri are bounded random subsets of the sender's
+// views, with the sender itself added to the subset matching its type,
+// and Estimates carries the ratio-estimation piggyback.
+type ShuffleReq = exchange.Req
 
 // ShuffleRes answers a ShuffleReq (Algorithm 2 line 37).
-type ShuffleRes struct {
-	From      view.Descriptor
-	Pub       []view.Descriptor
-	Pri       []view.Descriptor
-	Estimates []Estimate
-}
-
-// Size implements simnet.Message.
-func (m ShuffleRes) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) +
-		wire.DescriptorsSize(m.Pub) + wire.DescriptorsSize(m.Pri) +
-		wire.EstimatesSize(len(m.Estimates))
-}
-
-// pendingShuffle remembers what a requester sent, so the response merge
-// can apply swapper semantics.
-type pendingShuffle struct {
-	pub   []view.Descriptor
-	pri   []view.Descriptor
-	round int
-}
+type ShuffleRes = exchange.Res
 
 // estimateStore holds M_p in deterministic insertion order, so sums and
 // random subsets never depend on map iteration order.
 type estimateStore struct {
 	order []addr.NodeID
 	byID  map[addr.NodeID]Estimate
+	// permBuf is scratch for drawing random piggyback subsets without
+	// materialising a permutation per message.
+	permBuf []int
 }
 
 func newEstimateStore() *estimateStore {
@@ -213,8 +195,28 @@ func (s *estimateStore) sum() float64 {
 	return total
 }
 
+// appendRandomSubset appends up to k entries drawn uniformly at random
+// (all of them when k covers the store) to dst, allocation-free once
+// the scratch buffer is warm.
+func (s *estimateStore) appendRandomSubset(rng *rand.Rand, k int, dst []Estimate) []Estimate {
+	if s.len() <= k {
+		for _, id := range s.order {
+			dst = append(dst, s.byID[id])
+		}
+		return dst
+	}
+	var drawn int
+	s.permBuf, drawn = view.SampleIndices(rng, k, s.len(), s.permBuf)
+	for _, i := range s.permBuf[:drawn] {
+		dst = append(dst, s.byID[s.order[i]])
+	}
+	return dst
+}
+
 // Transport sends protocol messages; *simnet.Socket satisfies it inside
 // simulations and internal/deploy provides a real-UDP implementation.
+// Send transfers ownership of pooled messages to the transport (see
+// simnet.Releasable).
 type Transport interface {
 	Send(to addr.Endpoint, msg simnet.Message)
 }
@@ -227,6 +229,7 @@ type Node struct {
 	sched *sim.Scheduler // nil when externally driven
 	sock  Transport
 	rng   *rand.Rand
+	eng   *exchange.Engine
 
 	self addr.NodeID
 	ep   addr.Endpoint
@@ -240,14 +243,14 @@ type Node struct {
 	localEst  float64        // E_p (croupiers only)
 	hasLocal  bool
 	cu, cv    int   // current-round hit counters
-	histU     []int // per-round public hits, newest last, ≤ α entries
+	histU     []int // per-round public hits, ≤ α entries (ring once full)
 	histV     []int // per-round private hits
+	histPos   int   // ring write position once the history is full
 
-	pending     map[addr.NodeID]pendingShuffle
 	ticker      *pss.Ticker
-	rounds      int
 	running     bool
 	rebootstrap func() []view.Descriptor
+	reseedBuf   []view.Descriptor // scratch for filtering rebootstrap seeds
 
 	// Diagnostics.
 	sentReqs, recvReqs, recvRess uint64
@@ -282,15 +285,21 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 	if natType == addr.NatUnknown {
 		return nil, fmt.Errorf("croupier: node %v has unknown NAT type; run natid first", id)
 	}
+	eng, err := exchange.NewEngine(cfg.PendingTTL)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
 		cfg:       cfg,
 		sock:      tr,
 		rng:       rng,
+		eng:       eng,
 		self:      id,
 		ep:        selfEP,
 		nat:       natType,
 		estimates: newEstimateStore(),
-		pending:   make(map[addr.NodeID]pendingShuffle),
+		histU:     make([]int, 0, cfg.LocalHistory),
+		histV:     make([]int, 0, cfg.LocalHistory),
 	}
 	n.pub = view.New(cfg.Params.ViewSize, n.self)
 	n.pri = view.New(cfg.Params.ViewSize, n.self)
@@ -304,15 +313,17 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 	return n, nil
 }
 
-// RunRound executes one gossip round. Externally driven deployments
-// call this once per period; simulated nodes tick it from Start.
-func (n *Node) RunRound() { n.round() }
+// RunRound executes one gossip round through the exchange engine.
+// Externally driven deployments call this once per period; simulated
+// nodes tick it from Start.
+func (n *Node) RunRound() { n.eng.RunRound((*policy)(n)) }
 
 // SetRebootstrap installs a callback queried for fresh public-node
 // descriptors whenever the public view runs empty — the standard client
 // behaviour of re-contacting the bootstrap service rather than staying
 // isolated (e.g. when a node joined before any croupier existed, or all
-// known croupiers died).
+// known croupiers died) — and, with Config.RebootstrapEvery set, on the
+// periodic anti-entropy schedule.
 func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
 
 // ID implements pss.Protocol.
@@ -326,7 +337,7 @@ func (n *Node) Endpoint() addr.Endpoint { return n.ep }
 
 // Rounds returns the number of gossip rounds executed, used by the
 // evaluation to apply the paper's two-round grace period to joiners.
-func (n *Node) Rounds() int { return n.rounds }
+func (n *Node) Rounds() int { return n.eng.Rounds() }
 
 // PublicView returns a snapshot of the public view.
 func (n *Node) PublicView() []view.Descriptor { return n.pub.Descriptors() }
@@ -349,7 +360,7 @@ func (n *Node) Start() {
 	}
 	n.running = true
 	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
-	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.RunRound)
 }
 
 // Stop implements pss.Protocol.
@@ -366,13 +377,19 @@ func (n *Node) selfDescriptor() view.Descriptor {
 	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
 }
 
-// round executes Algorithm 2's Round procedure.
-func (n *Node) round() {
-	n.rounds++
+// policy adapts a Node to the exchange engine's strategy hooks without
+// widening the package API; the engine drives Algorithm 2's Round
+// procedure through it.
+type policy Node
+
+// PrepareRound implements exchange.Protocol: Algorithm 2 lines 3-11
+// plus the re-bootstrap paths.
+func (p *policy) PrepareRound(int) {
+	n := (*Node)(p)
 	// Lines 3-5: age views and estimations, expire old estimations.
 	n.pub.IncrementAges()
 	n.pri.IncrementAges()
-	n.ageEstimates()
+	n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
 	// Lines 6-8: croupiers recompute their local estimate from the
 	// current hit history.
 	if n.nat == addr.Public {
@@ -383,85 +400,95 @@ func (n *Node) round() {
 	}
 	// Lines 9-11: archive this round's hit counters.
 	n.pushHits()
-	// Expire pending shuffle state for lost exchanges.
-	for id, p := range n.pending {
-		if n.rounds-p.round > n.cfg.PendingTTL {
-			delete(n.pending, id)
-		}
-	}
-	// Re-seed an empty public view from the bootstrap service: without
-	// croupiers the node cannot gossip at all.
-	if n.pub.Len() == 0 && n.rebootstrap != nil {
+	// Re-seed an empty public view from the bootstrap service (without
+	// croupiers the node cannot gossip at all), and — with the
+	// anti-entropy knob on — periodically fold fresh directory entries
+	// over the stalest view slots so views segregated by a long
+	// partition can re-mix after the heal.
+	empty := n.pub.Len() == 0
+	periodic := n.cfg.RebootstrapEvery > 0 && n.eng.Rounds()%n.cfg.RebootstrapEvery == 0
+	if (empty || periodic) && n.rebootstrap != nil {
+		// Filter the returned seeds to publics in node-owned scratch
+		// (the callback may return a cached slice) and healer-merge:
+		// free slots fill, and on a full view the fresh age-0 croupiers
+		// fold over the stalest entries — the anti-entropy that
+		// re-mixes views segregated by a long partition.
+		n.reseedBuf = n.reseedBuf[:0]
 		for _, d := range n.rebootstrap() {
 			if d.Nat == addr.Public {
-				n.pub.Add(d)
+				n.reseedBuf = append(n.reseedBuf, d)
 			}
 		}
+		n.pub.MergeHealer(n.reseedBuf)
 	}
-	// Lines 12-13: tail selection from the public view. The selected
-	// descriptor is removed; if the target is dead this is also the
-	// purge mechanism. (SelectRandom is the ablation variant.)
-	var q view.Descriptor
-	var ok bool
+}
+
+// SelectPeer implements exchange.Protocol: tail selection from the
+// public view (Algorithm 2 lines 12-13). The selected descriptor is
+// removed; if the target is dead this is also the purge mechanism.
+// (SelectRandom is the ablation variant.)
+func (p *policy) SelectPeer() (view.Descriptor, bool) {
+	n := (*Node)(p)
 	if n.cfg.Selection == SelectRandom {
-		if q, ok = n.pub.Random(n.rng); ok {
+		q, ok := n.pub.Random(n.rng)
+		if ok {
 			n.pub.Remove(q.ID)
 		}
-	} else {
-		q, ok = n.pub.TakeOldest()
+		return q, ok
 	}
-	if !ok {
-		return // no croupier known this round
-	}
-	// Lines 14-21: build the exchange subsets, adding self.
-	pub, pri := n.buildSubsets(q.ID)
-	req := ShuffleReq{
-		From:      n.selfDescriptor(),
-		Pub:       pub,
-		Pri:       pri,
-		Estimates: n.estimateSubset(),
-	}
-	n.pending[q.ID] = pendingShuffle{pub: pub, pri: pri, round: n.rounds}
-	n.sentReqs++
-	n.sock.Send(q.Endpoint, req)
+	return n.pub.TakeOldest()
 }
 
-// buildSubsets draws the random view subsets for an exchange with peer,
-// placing this node's own fresh descriptor into the subset matching its
-// NAT type (Algorithm 2 lines 14-21). Total payload stays within
-// ShuffleSize descriptors per view.
-func (n *Node) buildSubsets(peer addr.NodeID) (pub, pri []view.Descriptor) {
+// FillRequest implements exchange.Protocol: Algorithm 2 lines 14-21,
+// building the exchange subsets into the pooled request and adding
+// self to the subset matching this node's NAT type.
+func (p *policy) FillRequest(q view.Descriptor, req *ShuffleReq) {
+	n := (*Node)(p)
+	req.From = n.selfDescriptor()
 	k := n.cfg.Params.ShuffleSize
 	if n.nat == addr.Public {
-		pub = append(n.pub.RandomSubset(n.rng, k-1), n.selfDescriptor())
-		pri = n.pri.RandomSubset(n.rng, k)
+		req.Pub = append(n.pub.RandomSubsetInto(n.rng, k-1, req.Pub), n.selfDescriptor())
+		req.Pri = n.pri.RandomSubsetInto(n.rng, k, req.Pri)
 	} else {
-		pub = n.pub.RandomSubset(n.rng, k)
-		pri = append(n.pri.RandomSubset(n.rng, k-1), n.selfDescriptor())
+		req.Pub = n.pub.RandomSubsetInto(n.rng, k, req.Pub)
+		req.Pri = append(n.pri.RandomSubsetInto(n.rng, k-1, req.Pri), n.selfDescriptor())
 	}
 	// Never advertise the peer back to itself.
-	pub = dropNode(pub, peer)
-	pri = dropNode(pri, peer)
-	return pub, pri
+	req.Pub = exchange.DropNode(req.Pub, q.ID)
+	req.Pri = exchange.DropNode(req.Pri, q.ID)
+	req.Estimates = n.appendEstimateSubset(req.Estimates[:0])
 }
 
-func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
-	out := ds[:0]
-	for _, d := range ds {
-		if d.ID != id {
-			out = append(out, d)
-		}
-	}
-	return out
+// Deliver implements exchange.Protocol: requests go straight to the
+// selected croupier (Algorithm 2 line 22) — Croupier needs no relaying
+// or hole punching.
+func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
+	n := (*Node)(p)
+	n.sentReqs++
+	n.sock.Send(q.Endpoint, req)
+	return exchange.Sent
+}
+
+// MergeResponse implements exchange.Protocol: the requester's merge
+// (Algorithm 2 line 40), with swapper semantics against the recorded
+// sent subsets.
+func (p *policy) MergeResponse(res *ShuffleRes, sentPub, sentPri []view.Descriptor) {
+	n := (*Node)(p)
+	n.recvRess++
+	n.mergeView(n.pub, sentPub, res.Pub)
+	n.mergeView(n.pri, sentPri, res.Pri)
+	n.mergeEstimates(res.Estimates)
 }
 
 // HandlePacket dispatches an incoming message; it is the socket handler.
+// Message payloads are pooled: anything kept past the handler is copied
+// by the view and estimate merges.
 func (n *Node) HandlePacket(pkt simnet.Packet) {
 	switch m := pkt.Msg.(type) {
-	case ShuffleReq:
+	case *ShuffleReq:
 		n.handleShuffleReq(pkt.From, m)
-	case ShuffleRes:
-		n.handleShuffleRes(m)
+	case *ShuffleRes:
+		n.eng.HandleResponse((*policy)(n), m)
 	}
 }
 
@@ -469,7 +496,7 @@ func (n *Node) HandlePacket(pkt simnet.Packet) {
 // Only public nodes receive requests in normal operation; a private
 // node receiving one (stale descriptor advertising it as public) drops
 // it.
-func (n *Node) handleShuffleReq(from addr.Endpoint, req ShuffleReq) {
+func (n *Node) handleShuffleReq(from addr.Endpoint, req *ShuffleReq) {
 	if n.nat != addr.Public {
 		return
 	}
@@ -482,35 +509,19 @@ func (n *Node) handleShuffleReq(from addr.Endpoint, req ShuffleReq) {
 	}
 	// Lines 31-33: draw response subsets before merging, so the swap
 	// exchanges disjoint state.
-	pub := dropNode(n.pub.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
-	pri := dropNode(n.pri.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
-	res := ShuffleRes{
-		From:      n.selfDescriptor(),
-		Pub:       pub,
-		Pri:       pri,
-		Estimates: n.estimateSubset(),
-	}
+	k := n.cfg.Params.ShuffleSize
+	res := n.eng.NewRes()
+	res.From = n.selfDescriptor()
+	res.Pub = exchange.DropNode(n.pub.RandomSubsetInto(n.rng, k, res.Pub), req.From.ID)
+	res.Pri = exchange.DropNode(n.pri.RandomSubsetInto(n.rng, k, res.Pri), req.From.ID)
+	res.Estimates = n.appendEstimateSubset(res.Estimates[:0])
 	// Lines 34-36: merge sender state with swapper semantics.
-	n.mergeView(n.pub, pub, req.Pub)
-	n.mergeView(n.pri, pri, req.Pri)
+	n.mergeView(n.pub, res.Pub, req.Pub)
+	n.mergeView(n.pri, res.Pri, req.Pri)
 	n.mergeEstimates(req.Estimates)
 	// Line 37: respond to the observed source endpoint so the reply
 	// traverses the sender's NAT on the existing mapping.
 	n.sock.Send(from, res)
-}
-
-// handleShuffleRes implements the requester's merge (Algorithm 2
-// line 40).
-func (n *Node) handleShuffleRes(res ShuffleRes) {
-	p, ok := n.pending[res.From.ID]
-	if !ok {
-		return // late or duplicate response; sent state already gone
-	}
-	delete(n.pending, res.From.ID)
-	n.recvRess++
-	n.mergeView(n.pub, p.pub, res.Pub)
-	n.mergeView(n.pri, p.pri, res.Pri)
-	n.mergeEstimates(res.Estimates)
 }
 
 // mergeView applies the configured merge policy.
@@ -522,20 +533,18 @@ func (n *Node) mergeView(v *view.View, sent, received []view.Descriptor) {
 	v.Merge(sent, received)
 }
 
-// ageEstimates advances estimate timestamps and drops entries older
-// than γ (Algorithm 2 lines 4-5).
-func (n *Node) ageEstimates() {
-	n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
-}
-
 // pushHits archives the current round's hit counters into the α-bounded
-// local history (Algorithm 2 lines 9-11).
+// local history (Algorithm 2 lines 9-11). The history is a ring once
+// full — calcHitsRatio only ever sums it, so entry order is irrelevant
+// and the buffer never reallocates.
 func (n *Node) pushHits() {
-	n.histU = append(n.histU, n.cu)
-	n.histV = append(n.histV, n.cv)
-	if len(n.histU) > n.cfg.LocalHistory {
-		n.histU = n.histU[1:]
-		n.histV = n.histV[1:]
+	if len(n.histU) < n.cfg.LocalHistory {
+		n.histU = append(n.histU, n.cu)
+		n.histV = append(n.histV, n.cv)
+	} else {
+		n.histU[n.histPos] = n.cu
+		n.histV[n.histPos] = n.cv
+		n.histPos = (n.histPos + 1) % len(n.histU)
 	}
 	n.cu, n.cv = 0, 0
 }
@@ -556,24 +565,15 @@ func (n *Node) calcHitsRatio() (float64, bool) {
 	return float64(pubCnt) / float64(pubCnt+priCnt), true
 }
 
-// estimateSubset draws the bounded random subset of cached estimates to
-// piggyback, appending this croupier's own fresh local estimate.
-func (n *Node) estimateSubset() []Estimate {
-	k := n.cfg.EstimateSubset
-	out := make([]Estimate, 0, k+1)
-	if n.estimates.len() <= k {
-		for _, id := range n.estimates.order {
-			out = append(out, n.estimates.byID[id])
-		}
-	} else {
-		for _, i := range n.rng.Perm(n.estimates.len())[:k] {
-			out = append(out, n.estimates.byID[n.estimates.order[i]])
-		}
-	}
+// appendEstimateSubset appends the bounded random subset of cached
+// estimates to piggyback, plus this croupier's own fresh local
+// estimate. dst is a pooled message slice reset by the caller.
+func (n *Node) appendEstimateSubset(dst []Estimate) []Estimate {
+	dst = n.estimates.appendRandomSubset(n.rng, n.cfg.EstimateSubset, dst)
 	if n.nat == addr.Public && n.hasLocal {
-		out = append(out, Estimate{Node: n.self, Value: n.localEst})
+		dst = append(dst, Estimate{Node: n.self, Value: n.localEst})
 	}
-	return out
+	return dst
 }
 
 // mergeEstimates folds received estimates into M_p, keeping the most
@@ -651,4 +651,7 @@ func (n *Node) Stats() (sentReqs, recvReqs, recvRess uint64) {
 	return n.sentReqs, n.recvReqs, n.recvRess
 }
 
-var _ pss.Protocol = (*Node)(nil)
+var (
+	_ pss.Protocol      = (*Node)(nil)
+	_ exchange.Protocol = (*policy)(nil)
+)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/latency"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -62,6 +63,14 @@ func priDesc(id int) view.Descriptor {
 	return d
 }
 
+// buildSubsets fills a pooled request for peer and returns the drawn
+// subsets, exercising the engine-facing FillRequest hook directly.
+func buildSubsets(n *Node, peer addr.NodeID) (pub, pri []view.Descriptor) {
+	req := n.eng.NewReq()
+	(*policy)(n).FillRequest(view.Descriptor{ID: peer}, req)
+	return req.Pub, req.Pri
+}
+
 func TestConfigValidation(t *testing.T) {
 	base := DefaultConfig()
 	tests := []struct {
@@ -75,6 +84,7 @@ func TestConfigValidation(t *testing.T) {
 		{"zero gamma", func(c *Config) { c.NeighbourHistory = 0 }},
 		{"negative estimate subset", func(c *Config) { c.EstimateSubset = -1 }},
 		{"zero pending ttl", func(c *Config) { c.PendingTTL = 0 }},
+		{"negative rebootstrap period", func(c *Config) { c.RebootstrapEvery = -1 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -145,9 +155,9 @@ func TestCalcHitsRatio(t *testing.T) {
 func TestHandleShuffleReqCountsHitsByType(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Public, nil)
-	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, ShuffleReq{From: pubDesc(2)})
-	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, ShuffleReq{From: priDesc(3)})
-	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, ShuffleReq{From: priDesc(4)})
+	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, &ShuffleReq{From: pubDesc(2)})
+	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, &ShuffleReq{From: priDesc(3)})
+	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, &ShuffleReq{From: priDesc(4)})
 	if n.cu != 1 || n.cv != 2 {
 		t.Fatalf("cu=%d cv=%d, want 1 and 2", n.cu, n.cv)
 	}
@@ -156,7 +166,7 @@ func TestHandleShuffleReqCountsHitsByType(t *testing.T) {
 func TestPrivateNodeDropsShuffleReq(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Private, nil)
-	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, ShuffleReq{From: pubDesc(2)})
+	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, &ShuffleReq{From: pubDesc(2)})
 	if n.cu != 0 || n.cv != 0 || n.recvReqs != 0 {
 		t.Fatal("private node processed a shuffle request")
 	}
@@ -225,7 +235,7 @@ func TestEstimateExpiryAfterGamma(t *testing.T) {
 	n := r.node(t, 1, addr.Private, nil)
 	n.mergeEstimates([]Estimate{{Node: 5, Value: 0.3, Age: 0}})
 	for i := 0; i <= n.cfg.NeighbourHistory; i++ {
-		n.ageEstimates()
+		n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
 	}
 	if _, ok := n.Estimate(); ok {
 		t.Fatal("estimate survived past gamma rounds")
@@ -237,7 +247,7 @@ func TestBuildSubsetsPlacesSelfCorrectly(t *testing.T) {
 	seeds := []view.Descriptor{pubDesc(2), pubDesc(3), priDesc(4), priDesc(5)}
 
 	pub := r.node(t, 1, addr.Public, seeds)
-	p, _ := pub.buildSubsets(99)
+	p, _ := buildSubsets(pub, 99)
 	foundSelf := false
 	for _, d := range p {
 		if d.ID == 1 {
@@ -252,7 +262,7 @@ func TestBuildSubsetsPlacesSelfCorrectly(t *testing.T) {
 	}
 
 	pri := r.node(t, 10, addr.Private, seeds)
-	_, v := pri.buildSubsets(99)
+	_, v := buildSubsets(pri, 99)
 	foundSelf = false
 	for _, d := range v {
 		if d.ID == 10 {
@@ -275,7 +285,7 @@ func TestBuildSubsetsBoundedAndExcludesPeer(t *testing.T) {
 	}
 	n := r.node(t, 1, addr.Public, seeds)
 	for trial := 0; trial < 50; trial++ {
-		pub, pri := n.buildSubsets(2)
+		pub, pri := buildSubsets(n, 2)
 		if len(pub) > n.cfg.Params.ShuffleSize || len(pri) > n.cfg.Params.ShuffleSize {
 			t.Fatalf("subset sizes %d/%d exceed shuffle size %d",
 				len(pub), len(pri), n.cfg.Params.ShuffleSize)
@@ -291,7 +301,7 @@ func TestBuildSubsetsBoundedAndExcludesPeer(t *testing.T) {
 func TestRoundWithEmptyPublicViewIsSafe(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Private, []view.Descriptor{priDesc(2)})
-	n.round() // must not panic, nothing to shuffle with
+	n.RunRound() // must not panic, nothing to shuffle with
 	if n.sentReqs != 0 {
 		t.Fatal("node shuffled without any croupier in view")
 	}
@@ -303,14 +313,14 @@ func TestRoundTargetsOldestCroupier(t *testing.T) {
 	old.Age = 9
 	fresh := pubDesc(3)
 	n := r.node(t, 1, addr.Public, []view.Descriptor{old, fresh})
-	n.round()
+	n.RunRound()
 	if n.pub.Contains(2) {
 		t.Fatal("oldest descriptor not removed by tail selection")
 	}
 	if !n.pub.Contains(3) {
 		t.Fatal("fresh descriptor unexpectedly removed")
 	}
-	if _, ok := n.pending[2]; !ok {
+	if !n.eng.Pending(2) {
 		t.Fatal("no pending state recorded for the shuffle target")
 	}
 }
@@ -318,7 +328,7 @@ func TestRoundTargetsOldestCroupier(t *testing.T) {
 func TestLateShuffleResIgnored(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Public, []view.Descriptor{pubDesc(2)})
-	n.handleShuffleRes(ShuffleRes{From: pubDesc(7), Pub: []view.Descriptor{pubDesc(8)}})
+	n.HandlePacket(simnet.Packet{Msg: &ShuffleRes{From: pubDesc(7), Pub: []view.Descriptor{pubDesc(8)}}})
 	if n.pub.Contains(8) {
 		t.Fatal("unsolicited response merged into view")
 	}
@@ -327,15 +337,15 @@ func TestLateShuffleResIgnored(t *testing.T) {
 func TestPendingExpiresAfterTTL(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Public, []view.Descriptor{pubDesc(2)})
-	n.round()
-	if len(n.pending) != 1 {
-		t.Fatalf("pending = %d, want 1", len(n.pending))
+	n.RunRound()
+	if n.eng.PendingLen() != 1 {
+		t.Fatalf("pending = %d, want 1", n.eng.PendingLen())
 	}
 	for i := 0; i <= n.cfg.PendingTTL; i++ {
-		n.round()
+		n.RunRound()
 	}
-	if len(n.pending) != 0 {
-		t.Fatalf("pending = %d after TTL, want 0", len(n.pending))
+	if n.eng.PendingLen() != 0 {
+		t.Fatalf("pending = %d after TTL, want 0", n.eng.PendingLen())
 	}
 }
 
@@ -369,7 +379,7 @@ func TestTwoNodeExchangeSwapsState(t *testing.T) {
 	b := r.node(t, 2, addr.Public, []view.Descriptor{pubDesc(5), priDesc(6)})
 	// Point a at b.
 	a.pub.Add(view.Descriptor{ID: 2, Endpoint: b.Endpoint(), Nat: addr.Public, Age: 100})
-	a.round()
+	a.RunRound()
 	r.sched.Run()
 	// After one round trip a must know b's state and vice versa.
 	if !a.pub.Contains(5) && !a.pri.Contains(6) {
@@ -384,11 +394,13 @@ func TestTwoNodeExchangeSwapsState(t *testing.T) {
 }
 
 func TestShuffleMessageSizesMatchPaperAccounting(t *testing.T) {
-	// 10 estimates cost 50 bytes of estimation payload (paper §VII).
-	req := ShuffleReq{From: pubDesc(1), Estimates: make([]Estimate, 10)}
-	base := ShuffleReq{From: pubDesc(1)}
-	if diff := req.Size() - base.Size(); diff != 50 {
-		t.Fatalf("10 estimates add %d bytes, want 50", diff)
+	// 10 estimates cost 50 bytes of estimation payload (paper §VII),
+	// plus the one count byte that frames a non-empty estimate section
+	// (messages without estimates omit the section entirely).
+	req := &ShuffleReq{From: pubDesc(1), Estimates: make([]Estimate, 10)}
+	base := &ShuffleReq{From: pubDesc(1)}
+	if diff := req.Size() - base.Size(); diff != 51 {
+		t.Fatalf("10 estimates add %d bytes, want 50 payload + 1 count", diff)
 	}
 }
 
@@ -480,8 +492,8 @@ func TestSelectRandomPolicyVariesTargets(t *testing.T) {
 		old.Age = 50
 		n.pub.Add(old)
 		n.pub.Add(pubDesc(3))
-		n.round()
-		if _, pending := n.pending[3]; pending {
+		n.RunRound()
+		if n.eng.Pending(3) {
 			youngerFirst++
 		}
 	}
@@ -494,9 +506,44 @@ func TestSelectRandomPolicyVariesTargets(t *testing.T) {
 	old.Age = 50
 	n.pub.Add(old)
 	n.pub.Add(pubDesc(3))
-	n.round()
-	if _, pending := n.pending[2]; !pending {
+	n.RunRound()
+	if !n.eng.Pending(2) {
 		t.Fatal("tail selection did not pick the oldest descriptor")
+	}
+}
+
+// TestHandlerCopiesPooledPayloads is the pooling aliasing regression at
+// the protocol level: once a handler returns, its pooled request is
+// recycled and refilled by later exchanges — nothing the handler merged
+// may alias the recycled buffers.
+func TestHandlerCopiesPooledPayloads(t *testing.T) {
+	r := newRig(t)
+	n := r.node(t, 1, addr.Public, nil)
+	var pool exchange.Pool
+	req := pool.NewReq()
+	req.From = priDesc(9)
+	req.Pub = append(req.Pub, pubDesc(2))
+	req.Pri = append(req.Pri, priDesc(3))
+	req.Estimates = append(req.Estimates, Estimate{Node: 7, Value: 0.25, Age: 1})
+	n.handleShuffleReq(addr.Endpoint{IP: 9, Port: 9}, req)
+	req.Release() // what the network does after the handler
+
+	// Recycle the message and scribble a new exchange over the same
+	// backing arrays.
+	req2 := pool.NewReq()
+	req2.Pub = append(req2.Pub, pubDesc(77))
+	req2.Pri = append(req2.Pri, priDesc(78))
+	req2.Estimates = append(req2.Estimates, Estimate{Node: 77, Value: 0.99})
+
+	if !n.pub.Contains(2) || !n.pri.Contains(3) {
+		t.Fatal("handler lost the merged descriptors")
+	}
+	if n.pub.Contains(77) || n.pri.Contains(78) {
+		t.Fatal("view aliases a recycled message buffer")
+	}
+	es := n.CachedEstimates()
+	if len(es) != 1 || es[0].Node != 7 || es[0].Value != 0.25 {
+		t.Fatalf("estimates = %v, want the originally merged {n7 0.25}", es)
 	}
 }
 

@@ -5,7 +5,10 @@
 // the oldest neighbour each round. Following the paper's setup, this
 // implementation uses the same tail selection and swapper merging
 // policies as Croupier, and its experiments run with public nodes only —
-// classic Cyclon has no NAT handling at all.
+// classic Cyclon has no NAT handling at all. Being the simplest of the
+// four systems, it is also the smallest instantiation of the shared
+// exchange engine: its strategy hooks are a direct send and a plain
+// swapper merge.
 package cyclon
 
 import (
@@ -13,11 +16,11 @@ import (
 	"math/rand"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/pss"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/view"
-	"repro/internal/wire"
 )
 
 // Config parameterises one Cyclon node.
@@ -44,32 +47,12 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ShuffleReq initiates a view exchange with the oldest neighbour.
-type ShuffleReq struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleReq) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
+// ShuffleReq initiates a view exchange with the oldest neighbour; the
+// subset travels in the pooled request's Pub slice.
+type ShuffleReq = exchange.Req
 
 // ShuffleRes answers a ShuffleReq.
-type ShuffleRes struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleRes) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
-
-type pendingShuffle struct {
-	sent  []view.Descriptor
-	round int
-}
+type ShuffleRes = exchange.Res
 
 // Node is one Cyclon instance.
 type Node struct {
@@ -77,14 +60,13 @@ type Node struct {
 	sched *sim.Scheduler
 	sock  *simnet.Socket
 	rng   *rand.Rand
+	eng   *exchange.Engine
 
 	self addr.NodeID
 	ep   addr.Endpoint
 
 	view        *view.View
-	pending     map[addr.NodeID]pendingShuffle
 	ticker      *pss.Ticker
-	rounds      int
 	running     bool
 	rebootstrap func() []view.Descriptor
 }
@@ -95,14 +77,18 @@ func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, selfEP addr.Endp
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	eng, err := exchange.NewEngine(cfg.PendingTTL)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
-		cfg:     cfg,
-		sched:   sched,
-		sock:    sock,
-		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
-		self:    sock.Host().ID(),
-		ep:      selfEP,
-		pending: make(map[addr.NodeID]pendingShuffle),
+		cfg:   cfg,
+		sched: sched,
+		sock:  sock,
+		rng:   rand.New(rand.NewSource(sched.Rand().Int63())),
+		eng:   eng,
+		self:  sock.Host().ID(),
+		ep:    selfEP,
 	}
 	n.view = view.New(cfg.Params.ViewSize, n.self)
 	for _, d := range seeds {
@@ -118,7 +104,7 @@ func (n *Node) ID() addr.NodeID { return n.self }
 func (n *Node) NatType() addr.NatType { return addr.Public }
 
 // Rounds returns the number of rounds executed.
-func (n *Node) Rounds() int { return n.rounds }
+func (n *Node) Rounds() int { return n.eng.Rounds() }
 
 // Neighbors implements pss.Protocol.
 func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
@@ -138,7 +124,7 @@ func (n *Node) Start() {
 	}
 	n.running = true
 	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
-	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.runRound)
 }
 
 // Stop implements pss.Protocol.
@@ -154,63 +140,70 @@ func (n *Node) selfDescriptor() view.Descriptor {
 	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: addr.Public}
 }
 
-func (n *Node) round() {
-	n.rounds++
+// runRound drives one gossip round through the exchange engine.
+func (n *Node) runRound() { n.eng.RunRound((*policy)(n)) }
+
+// policy adapts the node to the exchange engine's strategy hooks.
+type policy Node
+
+// PrepareRound implements exchange.Protocol.
+func (p *policy) PrepareRound(int) {
+	n := (*Node)(p)
 	n.view.IncrementAges()
-	for id, p := range n.pending {
-		if n.rounds-p.round > n.cfg.PendingTTL {
-			delete(n.pending, id)
-		}
-	}
 	if n.view.Len() == 0 && n.rebootstrap != nil {
 		for _, d := range n.rebootstrap() {
 			n.view.Add(d)
 		}
 	}
-	q, ok := n.view.TakeOldest()
-	if !ok {
-		return
-	}
-	subset := n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1)
-	subset = append(subset, n.selfDescriptor())
-	subset = dropNode(subset, q.ID)
-	n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
-	n.sock.Send(q.Endpoint, ShuffleReq{From: n.selfDescriptor(), Descs: subset})
 }
 
-func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
-	out := ds[:0]
-	for _, d := range ds {
-		if d.ID != id {
-			out = append(out, d)
-		}
-	}
-	return out
+// SelectPeer implements exchange.Protocol with tail selection.
+func (p *policy) SelectPeer() (view.Descriptor, bool) {
+	return (*Node)(p).view.TakeOldest()
 }
 
-// HandlePacket is the socket handler.
+// FillRequest implements exchange.Protocol: a random view subset plus
+// this node's own fresh descriptor.
+func (p *policy) FillRequest(q view.Descriptor, req *ShuffleReq) {
+	n := (*Node)(p)
+	req.From = n.selfDescriptor()
+	req.Pub = append(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize-1, req.Pub), n.selfDescriptor())
+	req.Pub = exchange.DropNode(req.Pub, q.ID)
+}
+
+// Deliver implements exchange.Protocol: every Cyclon node is public, so
+// requests always go direct.
+func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
+	(*Node)(p).sock.Send(q.Endpoint, req)
+	return exchange.Sent
+}
+
+// MergeResponse implements exchange.Protocol with the swapper merge.
+func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
+	(*Node)(p).view.Merge(sentPub, res.Pub)
+}
+
+// HandlePacket is the socket handler. Payload slices are pooled and
+// recycled after the handler returns; the view merge copies what it
+// keeps.
 func (n *Node) HandlePacket(pkt simnet.Packet) {
 	switch m := pkt.Msg.(type) {
-	case ShuffleReq:
+	case *ShuffleReq:
 		n.handleReq(pkt.From, m)
-	case ShuffleRes:
-		n.handleRes(m)
+	case *ShuffleRes:
+		n.eng.HandleResponse((*policy)(n), m)
 	}
 }
 
-func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq) {
-	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
-	n.sock.Send(from, ShuffleRes{From: n.selfDescriptor(), Descs: subset})
-	n.view.Merge(subset, req.Descs)
+func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq) {
+	res := n.eng.NewRes()
+	res.From = n.selfDescriptor()
+	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	n.view.Merge(res.Pub, req.Pub)
+	n.sock.Send(from, res)
 }
 
-func (n *Node) handleRes(res ShuffleRes) {
-	p, ok := n.pending[res.From.ID]
-	if !ok {
-		return
-	}
-	delete(n.pending, res.From.ID)
-	n.view.Merge(p.sent, res.Descs)
-}
-
-var _ pss.Protocol = (*Node)(nil)
+var (
+	_ pss.Protocol      = (*Node)(nil)
+	_ exchange.Protocol = (*policy)(nil)
+)

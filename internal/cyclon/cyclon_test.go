@@ -80,7 +80,7 @@ func TestNatTypeAlwaysPublic(t *testing.T) {
 func TestRoundUsesTailSelection(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, []view.Descriptor{desc(2, 9), desc(3, 1)})
-	n.round()
+	n.runRound()
 	if n.view.Contains(2) {
 		t.Fatal("oldest descriptor not removed on shuffle")
 	}
@@ -95,7 +95,7 @@ func TestTwoNodeExchange(t *testing.T) {
 	b := r.node(t, 2, []view.Descriptor{desc(5, 0), desc(6, 0)})
 	a.view.Add(view.Descriptor{ID: 2, Endpoint: b.ep, Nat: addr.Public, Age: 50})
 
-	a.round()
+	a.runRound()
 	r.sched.Run()
 
 	learnedFromB := a.view.Contains(5) || a.view.Contains(6)
@@ -113,7 +113,7 @@ func TestSelfNeverEntersOwnView(t *testing.T) {
 	b := r.node(t, 2, nil)
 	_ = b
 	for i := 0; i < 10; i++ {
-		a.round()
+		a.runRound()
 		r.sched.Run()
 	}
 	if a.view.Contains(1) {
@@ -124,7 +124,7 @@ func TestSelfNeverEntersOwnView(t *testing.T) {
 func TestUnsolicitedResponseIgnored(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, nil)
-	n.handleRes(ShuffleRes{From: desc(9, 0), Descs: []view.Descriptor{desc(8, 0)}})
+	n.HandlePacket(simnet.Packet{Msg: &ShuffleRes{From: desc(9, 0), Pub: []view.Descriptor{desc(8, 0)}}})
 	if n.view.Contains(8) {
 		t.Fatal("unsolicited response merged")
 	}
@@ -172,7 +172,7 @@ func TestStartStopIdempotent(t *testing.T) {
 func TestDeadTargetPurgedByTailSelection(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, []view.Descriptor{desc(99, 50)}) // 99 does not exist
-	n.round()
+	n.runRound()
 	r.sched.Run()
 	if n.view.Contains(99) {
 		t.Fatal("dead descriptor survived a shuffle attempt")

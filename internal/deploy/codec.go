@@ -40,25 +40,43 @@ type BootListRes struct {
 	Descs []view.Descriptor
 }
 
+// Shuffle-section presence flags: empty optional sections are elided
+// from the wire entirely, matching the simulator's traffic accounting
+// (exchange.Req.Size) byte-for-byte at the payload level.
+const (
+	flagHasPri       uint8 = 1 << 0
+	flagHasEstimates uint8 = 1 << 1
+)
+
 // EncodeShuffleReq serialises a shuffle request.
-func EncodeShuffleReq(m croupier.ShuffleReq) []byte {
-	var w wire.Writer
-	w.PutU8(kindShuffleReq)
-	putDescriptor(&w, m.From)
-	putDescriptors(&w, m.Pub)
-	putDescriptors(&w, m.Pri)
-	putEstimates(&w, m.Estimates)
-	return w.Bytes()
+func EncodeShuffleReq(m *croupier.ShuffleReq) []byte {
+	return encodeShuffle(kindShuffleReq, m.From, m.Pub, m.Pri, m.Estimates)
 }
 
 // EncodeShuffleRes serialises a shuffle response.
-func EncodeShuffleRes(m croupier.ShuffleRes) []byte {
+func EncodeShuffleRes(m *croupier.ShuffleRes) []byte {
+	return encodeShuffle(kindShuffleRes, m.From, m.Pub, m.Pri, m.Estimates)
+}
+
+func encodeShuffle(kind uint8, from view.Descriptor, pub, pri []view.Descriptor, ests []croupier.Estimate) []byte {
 	var w wire.Writer
-	w.PutU8(kindShuffleRes)
-	putDescriptor(&w, m.From)
-	putDescriptors(&w, m.Pub)
-	putDescriptors(&w, m.Pri)
-	putEstimates(&w, m.Estimates)
+	w.PutU8(kind)
+	var flags uint8
+	if len(pri) > 0 {
+		flags |= flagHasPri
+	}
+	if len(ests) > 0 {
+		flags |= flagHasEstimates
+	}
+	w.PutU8(flags)
+	putDescriptor(&w, from)
+	putDescriptors(&w, pub)
+	if flags&flagHasPri != 0 {
+		putDescriptors(&w, pri)
+	}
+	if flags&flagHasEstimates != 0 {
+		putEstimates(&w, ests)
+	}
 	return w.Bytes()
 }
 
@@ -87,24 +105,21 @@ func EncodeBootListRes(m BootListRes) []byte {
 }
 
 // Decode parses any deployment datagram into one of the message types
-// (croupier.ShuffleReq, croupier.ShuffleRes, BootRegister, BootList,
-// BootListRes).
+// (*croupier.ShuffleReq, *croupier.ShuffleRes, BootRegister, BootList,
+// BootListRes). Decoded shuffle messages are freshly allocated and
+// unpooled, so their Release is a no-op.
 func Decode(b []byte) (any, error) {
 	r := wire.NewReader(b)
 	kind := r.U8()
 	var out any
 	switch kind {
 	case kindShuffleReq:
-		m := croupier.ShuffleReq{From: getDescriptor(r)}
-		m.Pub = getDescriptors(r)
-		m.Pri = getDescriptors(r)
-		m.Estimates = getEstimates(r)
+		m := &croupier.ShuffleReq{}
+		decodeShuffle(r, &m.From, &m.Pub, &m.Pri, &m.Estimates)
 		out = m
 	case kindShuffleRes:
-		m := croupier.ShuffleRes{From: getDescriptor(r)}
-		m.Pub = getDescriptors(r)
-		m.Pri = getDescriptors(r)
-		m.Estimates = getEstimates(r)
+		m := &croupier.ShuffleRes{}
+		decodeShuffle(r, &m.From, &m.Pub, &m.Pri, &m.Estimates)
 		out = m
 	case kindBootRegister:
 		out = BootRegister{Desc: getDescriptor(r)}
@@ -119,6 +134,18 @@ func Decode(b []byte) (any, error) {
 		return nil, fmt.Errorf("deploy: decode kind %d: %w", kind, err)
 	}
 	return out, nil
+}
+
+func decodeShuffle(r *wire.Reader, from *view.Descriptor, pub, pri *[]view.Descriptor, ests *[]croupier.Estimate) {
+	flags := r.U8()
+	*from = getDescriptor(r)
+	*pub = getDescriptors(r)
+	if flags&flagHasPri != 0 {
+		*pri = getDescriptors(r)
+	}
+	if flags&flagHasEstimates != 0 {
+		*ests = getEstimates(r)
+	}
 }
 
 // putDescriptor writes id(8) + endpoint(6) + nat(1) + age(2).

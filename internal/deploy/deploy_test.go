@@ -28,7 +28,7 @@ func descEq(a, b view.Descriptor) bool {
 }
 
 func TestShuffleReqRoundTrip(t *testing.T) {
-	m := croupier.ShuffleReq{
+	m := &croupier.ShuffleReq{
 		From: sampleDesc(1),
 		Pub:  []view.Descriptor{sampleDesc(2), sampleDesc(3)},
 		Pri:  []view.Descriptor{sampleDesc(4)},
@@ -41,7 +41,7 @@ func TestShuffleReqRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
-	back, ok := got.(croupier.ShuffleReq)
+	back, ok := got.(*croupier.ShuffleReq)
 	if !ok {
 		t.Fatalf("decoded %T", got)
 	}
@@ -63,12 +63,12 @@ func TestShuffleReqRoundTrip(t *testing.T) {
 }
 
 func TestShuffleResRoundTrip(t *testing.T) {
-	m := croupier.ShuffleRes{From: sampleDesc(5), Pub: []view.Descriptor{sampleDesc(6)}}
+	m := &croupier.ShuffleRes{From: sampleDesc(5), Pub: []view.Descriptor{sampleDesc(6)}}
 	got, err := Decode(EncodeShuffleRes(m))
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
-	back, ok := got.(croupier.ShuffleRes)
+	back, ok := got.(*croupier.ShuffleRes)
 	if !ok || !descEq(back.From, m.From) || len(back.Pub) != 1 {
 		t.Fatalf("decoded %#v", got)
 	}
@@ -105,7 +105,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := Decode([]byte{200}); err == nil {
 		t.Fatal("Decode accepted unknown kind")
 	}
-	truncated := EncodeShuffleReq(croupier.ShuffleReq{From: sampleDesc(1)})
+	truncated := EncodeShuffleReq(&croupier.ShuffleReq{From: sampleDesc(1)})
 	if _, err := Decode(truncated[:len(truncated)-3]); err == nil {
 		t.Fatal("Decode accepted truncated shuffle")
 	}

@@ -57,18 +57,23 @@ type udpTransport struct {
 
 // Send implements croupier.Transport. Encoding errors cannot happen
 // (both message types are always encodable); write errors are dropped
-// like any UDP loss.
+// like any UDP loss. Send owns the pooled message: once serialised it
+// is released back to the protocol core's pool, mirroring the simulated
+// network's recycle-after-flight contract.
 func (t udpTransport) Send(to addr.Endpoint, msg simnet.Message) {
 	var b []byte
 	switch m := msg.(type) {
-	case croupier.ShuffleReq:
+	case *croupier.ShuffleReq:
 		b = EncodeShuffleReq(m)
-	case croupier.ShuffleRes:
+	case *croupier.ShuffleRes:
 		b = EncodeShuffleRes(m)
 	default:
 		return
 	}
 	_, _ = t.conn.WriteToUDP(b, udpFromEndpoint(to))
+	if r, ok := msg.(simnet.Releasable); ok {
+		r.Release()
+	}
 }
 
 // StartNode binds the socket, fetches seeds from the bootstrap
@@ -212,9 +217,9 @@ func (n *Node) readLoop() {
 		}
 		var payload simnet.Message
 		switch m := msg.(type) {
-		case croupier.ShuffleReq:
+		case *croupier.ShuffleReq:
 			payload = m
-		case croupier.ShuffleRes:
+		case *croupier.ShuffleRes:
 			payload = m
 		default:
 			continue

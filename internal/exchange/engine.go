@@ -1,0 +1,185 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+// Delivery is a Protocol's verdict on how a request left the node.
+type Delivery uint8
+
+const (
+	// Sent means the request is on the wire; the engine records the
+	// pending exchange immediately.
+	Sent Delivery = iota
+	// Deferred means the protocol stashed the request until a path
+	// opens (nylon's hole punch); the protocol calls Open itself when
+	// it finally transmits, and releases the request if it never does.
+	Deferred
+	// Failed means no route existed; the engine releases the request
+	// and no exchange is recorded.
+	Failed
+)
+
+// Protocol is the strategy surface a peer-sampling implementation plugs
+// into the engine: everything protocol-specific about one shuffle
+// round, with the shared initiate → pending → merge machinery left to
+// the engine.
+type Protocol interface {
+	// PrepareRound runs protocol upkeep at the top of a round: view
+	// aging, estimate or relay maintenance, re-bootstrap of drained
+	// views. expired is how many pending exchanges the engine just
+	// dropped as lost.
+	PrepareRound(expired int)
+	// SelectPeer picks this round's shuffle target (typically removing
+	// the oldest view entry). Returning false skips the round.
+	SelectPeer() (view.Descriptor, bool)
+	// FillRequest populates the pooled request for the target by
+	// appending into its payload slices; the request owns its storage.
+	FillRequest(target view.Descriptor, req *Req)
+	// Deliver transmits the request — directly, via a relay, or not at
+	// all — and reports which of those happened.
+	Deliver(target view.Descriptor, req *Req) Delivery
+	// MergeResponse folds an accepted response into local state.
+	// sentPub and sentPri are the subsets recorded when the exchange
+	// was opened; neither they nor res may be retained past the call.
+	MergeResponse(res *Res, sentPub, sentPri []view.Descriptor)
+}
+
+// record remembers what a requester sent, so the response merge can
+// apply swapper semantics. Records are pooled alongside the messages.
+type record struct {
+	pub, pri []view.Descriptor
+	round    int
+}
+
+// Engine is the shared shuffle machinery of one protocol node: the
+// message pool and the table of sent-but-unanswered exchanges with
+// their per-request TTL. All methods must be called from the node's
+// single driving goroutine.
+type Engine struct {
+	pool    Pool
+	pending map[addr.NodeID]*record
+	recPool FreeList[record]
+	ttl     int
+	rounds  int
+}
+
+// NewEngine builds an engine whose pending exchanges expire after
+// pendingTTL rounds without a response.
+func NewEngine(pendingTTL int) (*Engine, error) {
+	if pendingTTL <= 0 {
+		return nil, fmt.Errorf("exchange: pending TTL must be positive, got %d", pendingTTL)
+	}
+	return &Engine{
+		pending: make(map[addr.NodeID]*record),
+		ttl:     pendingTTL,
+	}, nil
+}
+
+// Rounds returns the number of rounds driven so far.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// PendingLen returns the number of open exchanges, for tests and
+// diagnostics.
+func (e *Engine) PendingLen() int { return len(e.pending) }
+
+// Pending reports whether an exchange with peer is awaiting a response.
+func (e *Engine) Pending(peer addr.NodeID) bool {
+	_, ok := e.pending[peer]
+	return ok
+}
+
+// NewReq hands out a pooled request.
+func (e *Engine) NewReq() *Req { return e.pool.NewReq() }
+
+// NewRes hands out a pooled response.
+func (e *Engine) NewRes() *Res { return e.pool.NewRes() }
+
+// RunRound executes one round of the generic shuffle driver: advance
+// the round counter, expire stale pending exchanges, let the protocol
+// run its upkeep, select a target, build the request into a pooled
+// message, and hand it to the protocol's dispatcher — recording the
+// pending exchange when the request actually left.
+func (e *Engine) RunRound(p Protocol) {
+	e.rounds++
+	expired := 0
+	for id, r := range e.pending {
+		if e.rounds-r.round > e.ttl {
+			delete(e.pending, id)
+			e.putRecord(r)
+			expired++
+		}
+	}
+	p.PrepareRound(expired)
+	target, ok := p.SelectPeer()
+	if !ok {
+		return // nobody to shuffle with this round
+	}
+	req := e.NewReq()
+	p.FillRequest(target, req)
+	// The sent subsets are staged into a detached record before
+	// dispatch — a transport may recycle the request synchronously (the
+	// UDP deployment encodes and releases in Send) — but the record is
+	// only installed on a Sent verdict: a deferred or failed dispatch
+	// must leave any still-open exchange with the same peer from an
+	// earlier round intact, so its in-flight response can still merge.
+	r := e.getRecord()
+	r.pub = append(r.pub[:0], req.Pub...)
+	r.pri = append(r.pri[:0], req.Pri...)
+	r.round = e.rounds
+	switch p.Deliver(target, req) {
+	case Sent:
+		if old, ok := e.pending[target.ID]; ok {
+			e.putRecord(old)
+		}
+		e.pending[target.ID] = r
+	case Deferred:
+		// The protocol stashed the request and opens the exchange
+		// itself once the path is punched.
+		e.putRecord(r)
+	case Failed:
+		e.putRecord(r)
+		req.Release()
+	}
+}
+
+// Open records a pending exchange with peer: the sent subsets are
+// copied into a pooled record (the request's own slices travel with the
+// packet and cannot be retained), replacing any earlier record for the
+// same peer.
+func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
+	r, ok := e.pending[peer]
+	if !ok {
+		r = e.getRecord()
+		e.pending[peer] = r
+	}
+	r.pub = append(r.pub[:0], sentPub...)
+	r.pri = append(r.pri[:0], sentPri...)
+	r.round = e.rounds
+}
+
+// HandleResponse resolves a response against the pending table. An
+// accepted response is merged through the protocol hook with the
+// recorded sent subsets and the record is recycled; late or duplicate
+// responses report false and are ignored.
+func (e *Engine) HandleResponse(p Protocol, res *Res) bool {
+	r, ok := e.pending[res.From.ID]
+	if !ok {
+		return false
+	}
+	delete(e.pending, res.From.ID)
+	p.MergeResponse(res, r.pub, r.pri)
+	e.putRecord(r)
+	return true
+}
+
+func (e *Engine) getRecord() *record { return e.recPool.Get() }
+
+func (e *Engine) putRecord(r *record) {
+	r.pub = r.pub[:0]
+	r.pri = r.pri[:0]
+	e.recPool.Put(r)
+}

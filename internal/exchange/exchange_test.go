@@ -1,0 +1,303 @@
+package exchange
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/view"
+)
+
+func desc(id int, age int) view.Descriptor {
+	return view.Descriptor{
+		ID:       addr.NodeID(id),
+		Endpoint: addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(id)), Port: 100},
+		Nat:      addr.Public,
+		Age:      age,
+	}
+}
+
+func TestPoolRecyclesReleasedMessages(t *testing.T) {
+	var p Pool
+	req := p.NewReq()
+	req.From = desc(1, 0)
+	req.Pub = append(req.Pub, desc(2, 0), desc(3, 0))
+	req.Pri = append(req.Pri, desc(4, 0))
+	req.Estimates = append(req.Estimates, Estimate{Node: 5, Value: 0.5})
+	req.Release()
+
+	again := p.NewReq()
+	if again != req {
+		t.Fatal("released request not recycled")
+	}
+	if again.From.ID != 0 || len(again.Pub) != 0 || len(again.Pri) != 0 || len(again.Estimates) != 0 {
+		t.Fatalf("recycled request not cleared: %+v", again)
+	}
+	// The payload capacity survives the recycle — that is the point.
+	if cap(again.Pub) < 2 {
+		t.Fatal("recycled request lost its payload capacity")
+	}
+}
+
+func TestReleaseIsIdempotentAndSafeOnUnpooled(t *testing.T) {
+	var p Pool
+	req := p.NewReq()
+	req.Release()
+	req.Release() // double release must not double-insert
+	a, b := p.NewReq(), p.NewReq()
+	if a == b {
+		t.Fatal("double release handed the same message out twice")
+	}
+	// Literal messages (tests, wire decoder) have no pool.
+	(&Req{}).Release()
+	(&Res{}).Release()
+}
+
+// TestLiveMessagesNeverShareBuffers is the pooling aliasing regression:
+// any number of concurrently live messages must own disjoint payload
+// arrays, across arbitrary acquire/release cycles.
+func TestLiveMessagesNeverShareBuffers(t *testing.T) {
+	var p Pool
+	const rounds, liveN = 50, 8
+	for r := 0; r < rounds; r++ {
+		live := make([]*Req, liveN)
+		for i := range live {
+			m := p.NewReq()
+			m.Pub = append(m.Pub, desc(r, i), desc(r, i+1))
+			m.Pri = append(m.Pri, desc(r, i+2))
+			m.Estimates = append(m.Estimates, Estimate{Node: addr.NodeID(i)})
+			live[i] = m
+		}
+		seen := make(map[*view.Descriptor]int)
+		for i, m := range live {
+			for _, s := range [][]view.Descriptor{m.Pub, m.Pri} {
+				head := &s[:1][0]
+				if j, dup := seen[head]; dup {
+					t.Fatalf("round %d: messages %d and %d share a descriptor buffer", r, i, j)
+				}
+				seen[head] = i
+			}
+		}
+		// Contents must match what each message wrote — no cross-talk.
+		for i, m := range live {
+			if m.Pub[0].Age != i || m.Pri[0].Age != i+2 {
+				t.Fatalf("round %d: message %d payload overwritten by a sibling", r, i)
+			}
+		}
+		for _, m := range live {
+			m.Release()
+		}
+	}
+	if len(p.freeReqs) != liveN {
+		t.Fatalf("free list holds %d messages after the churn, want %d", len(p.freeReqs), liveN)
+	}
+}
+
+// fakeProto is a minimal engine client for driver-level tests.
+type fakeProto struct {
+	prepared  int
+	expired   int
+	target    view.Descriptor
+	haveTgt   bool
+	delivery  Delivery
+	delivered int
+	merged    [][]view.Descriptor // sentPub snapshots observed in merges
+}
+
+func (f *fakeProto) PrepareRound(expired int) {
+	f.prepared++
+	f.expired += expired
+}
+
+func (f *fakeProto) SelectPeer() (view.Descriptor, bool) { return f.target, f.haveTgt }
+
+func (f *fakeProto) FillRequest(q view.Descriptor, req *Req) {
+	req.From = desc(1, 0)
+	req.Pub = append(req.Pub, desc(2, 0), desc(3, 0))
+}
+
+func (f *fakeProto) Deliver(q view.Descriptor, req *Req) Delivery {
+	f.delivered++
+	return f.delivery
+}
+
+func (f *fakeProto) MergeResponse(res *Res, sentPub, sentPri []view.Descriptor) {
+	cp := append([]view.Descriptor(nil), sentPub...)
+	f.merged = append(f.merged, cp)
+}
+
+func newTestEngine(t *testing.T, ttl int) *Engine {
+	t.Helper()
+	e, err := NewEngine(ttl)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsBadTTL(t *testing.T) {
+	if _, err := NewEngine(0); err == nil {
+		t.Fatal("NewEngine accepted zero TTL")
+	}
+}
+
+func TestRunRoundOpensPendingOnSent(t *testing.T) {
+	e := newTestEngine(t, 3)
+	f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: Sent}
+	e.RunRound(f)
+	if !e.Pending(7) || e.PendingLen() != 1 {
+		t.Fatal("sent request did not open a pending exchange")
+	}
+	if e.Rounds() != 1 || f.prepared != 1 {
+		t.Fatalf("rounds = %d, prepared = %d", e.Rounds(), f.prepared)
+	}
+}
+
+func TestRunRoundCancelsOnFailedAndDeferred(t *testing.T) {
+	for _, d := range []Delivery{Failed, Deferred} {
+		e := newTestEngine(t, 3)
+		f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: d}
+		e.RunRound(f)
+		if e.PendingLen() != 0 {
+			t.Fatalf("delivery %v left a pending exchange", d)
+		}
+	}
+}
+
+func TestRunRoundSkipsWithoutTarget(t *testing.T) {
+	e := newTestEngine(t, 3)
+	f := &fakeProto{haveTgt: false}
+	e.RunRound(f)
+	if f.delivered != 0 || e.PendingLen() != 0 {
+		t.Fatal("round without a target still delivered")
+	}
+}
+
+func TestPendingExpiresAfterTTLAndReportsExpired(t *testing.T) {
+	e := newTestEngine(t, 2)
+	f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: Sent}
+	e.RunRound(f)
+	f.haveTgt = false
+	for i := 0; i < 2; i++ {
+		e.RunRound(f)
+		if !e.Pending(7) {
+			t.Fatalf("pending expired after %d rounds, TTL is 2", i+1)
+		}
+	}
+	e.RunRound(f)
+	if e.Pending(7) {
+		t.Fatal("pending survived past its TTL")
+	}
+	if f.expired != 1 {
+		t.Fatalf("expired count = %d, want 1", f.expired)
+	}
+}
+
+// TestOpenCopiesSentSubsets pins the record-ownership contract: the
+// pending record must keep its own copy, so recycling (and refilling)
+// the request after dispatch cannot corrupt the later merge.
+func TestOpenCopiesSentSubsets(t *testing.T) {
+	e := newTestEngine(t, 5)
+	f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: Sent}
+	e.RunRound(f)
+
+	// Simulate the network recycling the request and a new exchange
+	// scribbling over the same backing array.
+	req := e.NewReq()
+	req.Pub = append(req.Pub, desc(99, 9), desc(98, 9))
+
+	res := e.NewRes()
+	res.From = desc(7, 0)
+	if !e.HandleResponse(f, res) {
+		t.Fatal("response against an open exchange rejected")
+	}
+	if len(f.merged) != 1 {
+		t.Fatalf("merges = %d, want 1", len(f.merged))
+	}
+	got := f.merged[0]
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Fatalf("sent subset seen by merge = %v, want the originally sent [n2 n3]", got)
+	}
+}
+
+func TestHandleResponseRejectsLateAndDuplicate(t *testing.T) {
+	e := newTestEngine(t, 5)
+	f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: Sent}
+	e.RunRound(f)
+	res := e.NewRes()
+	res.From = desc(8, 0) // nobody pending
+	if e.HandleResponse(f, res) {
+		t.Fatal("unsolicited response accepted")
+	}
+	res.From = desc(7, 0)
+	if !e.HandleResponse(f, res) {
+		t.Fatal("first response rejected")
+	}
+	if e.HandleResponse(f, res) {
+		t.Fatal("duplicate response accepted")
+	}
+}
+
+func TestFreeListRecycles(t *testing.T) {
+	type wrapper struct{ n int }
+	var fl FreeList[wrapper]
+	w := fl.Get()
+	w.n = 42
+	fl.Put(w)
+	if got := fl.Get(); got != w {
+		t.Fatal("free list did not recycle")
+	}
+	if fresh := fl.Get(); fresh == w {
+		t.Fatal("free list handed the same value out twice")
+	}
+}
+
+func TestDropNodeFiltersInPlace(t *testing.T) {
+	ds := []view.Descriptor{desc(1, 0), desc(2, 0), desc(1, 3), desc(3, 0)}
+	out := DropNode(ds, 1)
+	if len(out) != 2 || out[0].ID != 2 || out[1].ID != 3 {
+		t.Fatalf("DropNode = %v", out)
+	}
+}
+
+func TestMessageSizesCountAllPayloads(t *testing.T) {
+	base := &Req{From: desc(1, 0)}
+	withPayload := &Req{
+		From:      desc(1, 0),
+		Pub:       []view.Descriptor{desc(2, 0)},
+		Pri:       []view.Descriptor{desc(3, 0)},
+		Estimates: []Estimate{{Node: 4}},
+	}
+	if withPayload.Size() <= base.Size() {
+		t.Fatal("payload descriptors and estimates not reflected in Size")
+	}
+	res := &Res{From: desc(1, 0)}
+	if res.Size() != base.Size() {
+		t.Fatal("request and response framing diverge")
+	}
+}
+
+// TestDeferredDispatchKeepsEarlierExchangeOpen pins the regression the
+// review caught: a later Deferred (or Failed) dispatch to the same peer
+// must not destroy a still-open exchange from an earlier round — its
+// in-flight response has to resolve against the originally sent
+// subsets.
+func TestDeferredDispatchKeepsEarlierExchangeOpen(t *testing.T) {
+	for _, second := range []Delivery{Deferred, Failed} {
+		e := newTestEngine(t, 5)
+		f := &fakeProto{target: desc(7, 5), haveTgt: true, delivery: Sent}
+		e.RunRound(f) // round 1: exchange opened, response in flight
+		f.delivery = second
+		e.RunRound(f) // round 2: same peer, dispatch does not go out
+		if !e.Pending(7) {
+			t.Fatalf("%v dispatch destroyed the round-1 pending exchange", second)
+		}
+		res := e.NewRes()
+		res.From = desc(7, 0)
+		if !e.HandleResponse(f, res) {
+			t.Fatalf("round-1 response rejected after a %v dispatch to the same peer", second)
+		}
+		if len(f.merged) != 1 || len(f.merged[0]) != 2 || f.merged[0][0].ID != 2 {
+			t.Fatalf("merge saw %v, want the round-1 sent subset", f.merged)
+		}
+	}
+}

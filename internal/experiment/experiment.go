@@ -42,6 +42,12 @@ type Scale struct {
 	// aggregated in deterministic job order, so any worker count
 	// produces byte-identical figures.
 	Workers int
+	// Progress, when non-nil, is forwarded to the runner and called
+	// after every finished (variant, seed) job with (done, total).
+	// Purely observational: it cannot change any result byte. The CLIs
+	// hook their -v per-job progress lines in here for paper-scale
+	// multi-hour sweeps.
+	Progress func(done, total int)
 }
 
 func (s Scale) factor() float64 {
@@ -87,7 +93,7 @@ func (s Scale) runnerOpts() runner.Options {
 	if w == 0 {
 		w = 1
 	}
-	return runner.Options{Workers: w}
+	return runner.Options{Workers: w, Progress: s.Progress}
 }
 
 // round is the common gossip period used to convert between rounds and

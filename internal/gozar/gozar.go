@@ -14,6 +14,13 @@
 // The costs the Croupier paper measures — relay keep-alive traffic,
 // doubled message legs for private targets, and failed shuffles when all
 // cached relays have died — all emerge from this implementation.
+//
+// The shuffle cycle itself runs on the shared exchange engine; Gozar
+// adds its relay-routing Deliver policy plus pooled wrapper messages
+// for the relay legs. Wrappers transfer ownership of the inner pooled
+// request/response when they forward it: the forwarding handler nils
+// the wrapper's Inner field, so the wrapper's own release leaves the
+// in-flight payload alone.
 package gozar
 
 import (
@@ -21,6 +28,7 @@ import (
 	"math/rand"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/pss"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -71,38 +79,32 @@ func (c Config) Validate() error {
 }
 
 // ShuffleReq is a view-exchange request, delivered directly to public
-// targets or wrapped in a RelayForward for private ones.
-type ShuffleReq struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleReq) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
+// targets or wrapped in a RelayForward for private ones. The subset
+// travels in the pooled request's Pub slice.
+type ShuffleReq = exchange.Req
 
 // ShuffleRes answers a ShuffleReq.
-type ShuffleRes struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleRes) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
+type ShuffleRes = exchange.Res
 
 // RelayRegister is sent by a private node to each of its relays every
 // round; it establishes the registration and keeps the NAT mapping warm.
 type RelayRegister struct {
 	From view.Descriptor
+	fl   *exchange.FreeList[RelayRegister]
 }
 
 // Size implements simnet.Message.
-func (m RelayRegister) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
+func (m *RelayRegister) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
 
-// RelayRegisterAck confirms a registration.
+// Release implements simnet.Releasable.
+func (m *RelayRegister) Release() {
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
+
+// RelayRegisterAck confirms a registration. It is an empty message, so
+// value boxing costs nothing and it needs no pooling.
 type RelayRegisterAck struct{}
 
 // Size implements simnet.Message.
@@ -112,31 +114,68 @@ func (RelayRegisterAck) Size() int { return wire.MsgHeaderSize }
 // registered private clients.
 type RelayForward struct {
 	Target addr.NodeID
-	Inner  ShuffleReq
+	Inner  *ShuffleReq
+	fl     *exchange.FreeList[RelayForward]
 }
 
 // Size implements simnet.Message.
-func (m RelayForward) Size() int { return wire.MsgHeaderSize + 2 + m.Inner.Size() }
+func (m *RelayForward) Size() int { return wire.MsgHeaderSize + 2 + m.Inner.Size() }
+
+// Release implements simnet.Releasable, recycling the inner request too
+// unless a handler took ownership of it (and nilled the field).
+func (m *RelayForward) Release() {
+	if m.Inner != nil {
+		m.Inner.Release()
+		m.Inner = nil
+	}
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // RelayedReq is the relay-to-client leg, carrying the origin's observed
 // endpoint so a private requester can be answered through the relay.
 type RelayedReq struct {
 	Origin addr.Endpoint
-	Inner  ShuffleReq
+	Inner  *ShuffleReq
+	fl     *exchange.FreeList[RelayedReq]
 }
 
 // Size implements simnet.Message.
-func (m RelayedReq) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+func (m *RelayedReq) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+
+// Release implements simnet.Releasable; see RelayForward.Release.
+func (m *RelayedReq) Release() {
+	if m.Inner != nil {
+		m.Inner.Release()
+		m.Inner = nil
+	}
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // RelayResForward asks the relay to deliver a shuffle response back to a
 // private requester's observed endpoint.
 type RelayResForward struct {
 	Target addr.Endpoint
-	Inner  ShuffleRes
+	Inner  *ShuffleRes
+	fl     *exchange.FreeList[RelayResForward]
 }
 
 // Size implements simnet.Message.
-func (m RelayResForward) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+func (m *RelayResForward) Size() int { return wire.MsgHeaderSize + wire.EndpointSize + m.Inner.Size() }
+
+// Release implements simnet.Releasable; see RelayForward.Release.
+func (m *RelayResForward) Release() {
+	if m.Inner != nil {
+		m.Inner.Release()
+		m.Inner = nil
+	}
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // registration is a relay-side record of a private client.
 type registration struct {
@@ -150,33 +189,37 @@ type relayState struct {
 	lastAck int
 }
 
-type pendingShuffle struct {
-	sent  []view.Descriptor
-	round int
-}
-
 // Node is one Gozar protocol instance.
 type Node struct {
 	cfg   Config
 	sched *sim.Scheduler
 	sock  *simnet.Socket
 	rng   *rand.Rand
+	eng   *exchange.Engine
 
 	self addr.NodeID
 	ep   addr.Endpoint
 	nat  addr.NatType
 
-	view    *view.View
-	pending map[addr.NodeID]pendingShuffle
+	view *view.View
 
-	// Private-side relay management.
-	relays []relayState
+	// Private-side relay management. advRelays is the relay list
+	// embedded in this node's own descriptor; it is rebuilt (freshly
+	// allocated) whenever the relay set changes, because descriptor
+	// copies in views and in-flight messages share its backing array.
+	relays    []relayState
+	advRelays []view.Relay
 
 	// Public-side relay service.
 	clients map[addr.NodeID]*registration
 
+	// Free lists for the relay-leg wrapper messages.
+	regPool    exchange.FreeList[RelayRegister]
+	fwdPool    exchange.FreeList[RelayForward]
+	relayPool  exchange.FreeList[RelayedReq]
+	resFwdPool exchange.FreeList[RelayResForward]
+
 	ticker      *pss.Ticker
-	rounds      int
 	running     bool
 	rebootstrap func() []view.Descriptor
 
@@ -193,15 +236,19 @@ func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.Nat
 	if natType == addr.NatUnknown {
 		return nil, fmt.Errorf("gozar: node %v has unknown NAT type; run natid first", sock.Host().ID())
 	}
+	eng, err := exchange.NewEngine(cfg.PendingTTL)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
 		cfg:     cfg,
 		sched:   sched,
 		sock:    sock,
 		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		eng:     eng,
 		self:    sock.Host().ID(),
 		ep:      selfEP,
 		nat:     natType,
-		pending: make(map[addr.NodeID]pendingShuffle),
 		clients: make(map[addr.NodeID]*registration),
 	}
 	n.view = view.New(cfg.Params.ViewSize, n.self)
@@ -218,7 +265,7 @@ func (n *Node) ID() addr.NodeID { return n.self }
 func (n *Node) NatType() addr.NatType { return n.nat }
 
 // Rounds returns the number of gossip rounds executed.
-func (n *Node) Rounds() int { return n.rounds }
+func (n *Node) Rounds() int { return n.eng.Rounds() }
 
 // Neighbors implements pss.Protocol.
 func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
@@ -227,7 +274,8 @@ func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
 // view.
 func (n *Node) Sample() (view.Descriptor, bool) { return n.view.Random(n.rng) }
 
-// Relays returns the node's current live relay set (private nodes only).
+// Relays returns a copy of the node's current live relay set (private
+// nodes only).
 func (n *Node) Relays() []view.Relay {
 	out := make([]view.Relay, 0, len(n.relays))
 	for _, r := range n.relays {
@@ -256,7 +304,7 @@ func (n *Node) Start() {
 	}
 	n.running = true
 	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
-	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.runRound)
 }
 
 // Stop implements pss.Protocol.
@@ -273,60 +321,83 @@ func (n *Node) Stop() {
 func (n *Node) selfDescriptor() view.Descriptor {
 	d := view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
 	if n.nat == addr.Private {
-		d.Relays = n.Relays()
+		d.Relays = n.advRelays
 	}
 	return d
 }
 
-func (n *Node) round() {
-	n.rounds++
+// runRound drives one gossip round through the exchange engine.
+func (n *Node) runRound() { n.eng.RunRound((*policy)(n)) }
+
+// policy adapts the node to the exchange engine's strategy hooks.
+type policy Node
+
+// PrepareRound implements exchange.Protocol: view aging, relay upkeep
+// and re-bootstrap.
+func (p *policy) PrepareRound(int) {
+	n := (*Node)(p)
 	n.view.IncrementAges()
-	for id, p := range n.pending {
-		if n.rounds-p.round > n.cfg.PendingTTL {
-			delete(n.pending, id)
-		}
-	}
 	if n.nat == addr.Private {
 		n.maintainRelays()
 	} else {
 		n.expireClients()
 	}
-
 	if n.view.Len() == 0 && n.rebootstrap != nil {
 		for _, d := range n.rebootstrap() {
 			n.view.Add(d)
 		}
 	}
-	q, ok := n.view.TakeOldest()
-	if !ok {
-		return
-	}
-	subset := append(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1), n.selfDescriptor())
-	subset = dropNode(subset, q.ID)
-	req := ShuffleReq{From: n.selfDescriptor(), Descs: subset}
-	n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
+}
 
+// SelectPeer implements exchange.Protocol with tail selection.
+func (p *policy) SelectPeer() (view.Descriptor, bool) {
+	return (*Node)(p).view.TakeOldest()
+}
+
+// FillRequest implements exchange.Protocol.
+func (p *policy) FillRequest(q view.Descriptor, req *ShuffleReq) {
+	n := (*Node)(p)
+	req.From = n.selfDescriptor()
+	req.Pub = append(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize-1, req.Pub), n.selfDescriptor())
+	req.Pub = exchange.DropNode(req.Pub, q.ID)
+}
+
+// Deliver implements exchange.Protocol: public targets get the request
+// directly, private targets through one of the relays cached in their
+// descriptor — or not at all when every cached relay is gone.
+func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
+	n := (*Node)(p)
 	if q.Nat == addr.Public {
 		n.sock.Send(q.Endpoint, req)
-		return
+		return exchange.Sent
 	}
-	// Private target: go through one of its cached relays.
 	if len(q.Relays) == 0 {
 		n.failedShuffles++
-		return
+		return exchange.Failed
 	}
 	relay := q.Relays[n.rng.Intn(len(q.Relays))]
-	n.sock.Send(relay.Endpoint, RelayForward{Target: q.ID, Inner: req})
+	fwd := n.fwdPool.Get()
+	fwd.Target, fwd.Inner, fwd.fl = q.ID, req, &n.fwdPool
+	n.sock.Send(relay.Endpoint, fwd)
+	return exchange.Sent
+}
+
+// MergeResponse implements exchange.Protocol with the swapper merge.
+func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
+	(*Node)(p).view.Merge(sentPub, res.Pub)
 }
 
 // maintainRelays runs once per round on private nodes: drop relays whose
 // acks stopped, top the set back up from public view members, and send
 // keep-alive registrations.
 func (n *Node) maintainRelays() {
+	changed := false
 	live := n.relays[:0]
 	for _, r := range n.relays {
-		if n.rounds-r.lastAck <= n.cfg.RelayAckTimeout {
+		if n.eng.Rounds()-r.lastAck <= n.cfg.RelayAckTimeout {
 			live = append(live, r)
+		} else {
+			changed = true
 		}
 	}
 	n.relays = live
@@ -335,10 +406,20 @@ func (n *Node) maintainRelays() {
 		if !ok {
 			break
 		}
-		n.relays = append(n.relays, relayState{relay: cand, lastAck: n.rounds})
+		n.relays = append(n.relays, relayState{relay: cand, lastAck: n.eng.Rounds()})
+		changed = true
 	}
-	reg := RelayRegister{From: n.selfDescriptor()}
+	if changed {
+		// Fresh allocation on purpose: descriptor copies already out in
+		// views and messages keep the old array.
+		n.advRelays = make([]view.Relay, len(n.relays))
+		for i, r := range n.relays {
+			n.advRelays[i] = r.relay
+		}
+	}
 	for _, r := range n.relays {
+		reg := n.regPool.Get()
+		reg.From, reg.fl = n.selfDescriptor(), &n.regPool
 		n.sock.Send(r.relay.Endpoint, reg)
 	}
 }
@@ -365,49 +446,44 @@ func (n *Node) pickNewRelay() (view.Relay, bool) {
 // expireClients drops registrations that stopped sending keep-alives.
 func (n *Node) expireClients() {
 	for id, reg := range n.clients {
-		if n.rounds-reg.lastSeen > n.cfg.RelayTTL {
+		if n.eng.Rounds()-reg.lastSeen > n.cfg.RelayTTL {
 			delete(n.clients, id)
 		}
 	}
 }
 
-func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
-	out := ds[:0]
-	for _, d := range ds {
-		if d.ID != id {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-// HandlePacket is the socket handler.
+// HandlePacket is the socket handler. Payloads are pooled and recycled
+// once the handler returns; forwarding handlers take ownership of a
+// wrapper's inner message by nilling the field before re-sending it.
 func (n *Node) HandlePacket(pkt simnet.Packet) {
 	switch m := pkt.Msg.(type) {
-	case ShuffleReq:
+	case *ShuffleReq:
 		n.handleReq(pkt.From, m, addr.Endpoint{})
-	case ShuffleRes:
-		n.handleRes(m)
-	case RelayRegister:
+	case *ShuffleRes:
+		n.eng.HandleResponse((*policy)(n), m)
+	case *RelayRegister:
 		n.handleRegister(pkt.From, m)
 	case RelayRegisterAck:
 		n.handleRegisterAck(pkt.From)
-	case RelayForward:
+	case *RelayForward:
 		n.handleRelayForward(pkt.From, m)
-	case RelayedReq:
+	case *RelayedReq:
 		n.handleReq(pkt.From, m.Inner, m.Origin)
-	case RelayResForward:
-		n.sock.Send(m.Target, m.Inner)
+	case *RelayResForward:
+		inner := m.Inner
+		m.Inner = nil // ownership moves to the final leg
+		n.sock.Send(m.Target, inner)
 	}
 }
 
 // handleReq processes a view-exchange request. relayOrigin is non-zero
 // when the request arrived through a relay and names the requester's
-// observed endpoint; pkt.From is then the relay itself.
-func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq, relayOrigin addr.Endpoint) {
-	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
-	res := ShuffleRes{From: n.selfDescriptor(), Descs: subset}
-	n.view.Merge(subset, req.Descs)
+// observed endpoint; from is then the relay itself.
+func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq, relayOrigin addr.Endpoint) {
+	res := n.eng.NewRes()
+	res.From = n.selfDescriptor()
+	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	n.view.Merge(res.Pub, req.Pub)
 
 	switch {
 	case relayOrigin.IsZero():
@@ -419,21 +495,14 @@ func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq, relayOrigin addr.En
 	default:
 		// Relayed request from a private node: route the response back
 		// through the same relay.
-		n.sock.Send(from, RelayResForward{Target: relayOrigin, Inner: res})
+		fwd := n.resFwdPool.Get()
+		fwd.Target, fwd.Inner, fwd.fl = relayOrigin, res, &n.resFwdPool
+		n.sock.Send(from, fwd)
 	}
-}
-
-func (n *Node) handleRes(res ShuffleRes) {
-	p, ok := n.pending[res.From.ID]
-	if !ok {
-		return
-	}
-	delete(n.pending, res.From.ID)
-	n.view.Merge(p.sent, res.Descs)
 }
 
 // handleRegister serves the relay side of a registration/keep-alive.
-func (n *Node) handleRegister(from addr.Endpoint, reg RelayRegister) {
+func (n *Node) handleRegister(from addr.Endpoint, reg *RelayRegister) {
 	if n.nat != addr.Public {
 		return // only public nodes relay
 	}
@@ -443,7 +512,7 @@ func (n *Node) handleRegister(from addr.Endpoint, reg RelayRegister) {
 		n.clients[reg.From.ID] = r
 	}
 	r.endpoint = from
-	r.lastSeen = n.rounds
+	r.lastSeen = n.eng.Rounds()
 	n.sock.Send(from, RelayRegisterAck{})
 }
 
@@ -451,7 +520,7 @@ func (n *Node) handleRegister(from addr.Endpoint, reg RelayRegister) {
 func (n *Node) handleRegisterAck(from addr.Endpoint) {
 	for i := range n.relays {
 		if n.relays[i].relay.Endpoint == from {
-			n.relays[i].lastAck = n.rounds
+			n.relays[i].lastAck = n.eng.Rounds()
 			return
 		}
 	}
@@ -460,12 +529,19 @@ func (n *Node) handleRegisterAck(from addr.Endpoint) {
 // handleRelayForward forwards a wrapped request to a registered client.
 // Unknown clients are dropped silently — the requester's shuffle simply
 // fails, as it would on a real dead relay.
-func (n *Node) handleRelayForward(from addr.Endpoint, fwd RelayForward) {
+func (n *Node) handleRelayForward(from addr.Endpoint, fwd *RelayForward) {
 	reg, ok := n.clients[fwd.Target]
 	if !ok {
-		return
+		return // fwd's release recycles the undeliverable inner request
 	}
-	n.sock.Send(reg.endpoint, RelayedReq{Origin: from, Inner: fwd.Inner})
+	inner := fwd.Inner
+	fwd.Inner = nil // ownership moves to the client leg
+	rr := n.relayPool.Get()
+	rr.Origin, rr.Inner, rr.fl = from, inner, &n.relayPool
+	n.sock.Send(reg.endpoint, rr)
 }
 
-var _ pss.Protocol = (*Node)(nil)
+var (
+	_ pss.Protocol      = (*Node)(nil)
+	_ exchange.Protocol = (*policy)(nil)
+)

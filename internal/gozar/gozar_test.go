@@ -101,7 +101,7 @@ func TestPrivateNodeAcquiresRelays(t *testing.T) {
 	p3 := r.pubNode(t, 3, nil)
 	priv := r.priNode(t, 4, []view.Descriptor{pubDesc(p1), pubDesc(p2), pubDesc(p3)})
 
-	priv.round()
+	priv.runRound()
 	r.sched.Run()
 
 	if got := len(priv.Relays()); got != 3 {
@@ -117,7 +117,7 @@ func TestSelfDescriptorCarriesRelays(t *testing.T) {
 	r := newRig(t)
 	p1 := r.pubNode(t, 1, nil)
 	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(p1)})
-	priv.round()
+	priv.runRound()
 	r.sched.Run()
 	d := priv.selfDescriptor()
 	if len(d.Relays) != 1 || d.Relays[0].ID != 1 {
@@ -129,18 +129,18 @@ func TestShuffleWithPrivateTargetViaRelay(t *testing.T) {
 	r := newRig(t)
 	relay := r.pubNode(t, 1, nil)
 	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
-	priv.round() // registers with the relay
+	priv.runRound() // registers with the relay
 	r.sched.Run()
 
 	// A public node that knows priv's descriptor (with relay info).
 	requester := r.pubNode(t, 3, []view.Descriptor{priv.selfDescriptor()})
-	requester.round()
+	requester.runRound()
 	r.sched.Run()
 
 	if !priv.view.Contains(3) {
 		t.Fatal("private node never received the relayed shuffle")
 	}
-	if !requester.view.Contains(2) && len(requester.pending) > 0 {
+	if !requester.view.Contains(2) && requester.eng.PendingLen() > 0 {
 		t.Fatal("requester never received the response")
 	}
 	if requester.FailedShuffles() != 0 {
@@ -152,7 +152,7 @@ func TestPrivateToPrivateShuffleRoundTrip(t *testing.T) {
 	r := newRig(t)
 	relay := r.pubNode(t, 1, nil)
 	target := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
-	target.round() // register
+	target.runRound() // register
 	r.sched.Run()
 
 	// Give the target view content to hand back in the response.
@@ -160,7 +160,7 @@ func TestPrivateToPrivateShuffleRoundTrip(t *testing.T) {
 	target.view.Add(extra)
 
 	requester := r.priNode(t, 3, []view.Descriptor{pubDesc(relay)})
-	requester.round() // register with relay too
+	requester.runRound() // register with relay too
 	r.sched.Run()
 	requester.view.Add(target.selfDescriptor())
 	// Make the target's descriptor oldest so it is selected.
@@ -170,7 +170,7 @@ func TestPrivateToPrivateShuffleRoundTrip(t *testing.T) {
 		}
 	}
 
-	requester.round()
+	requester.runRound()
 	r.sched.Run()
 
 	if !target.view.Contains(3) {
@@ -179,7 +179,7 @@ func TestPrivateToPrivateShuffleRoundTrip(t *testing.T) {
 	// The relayed response was processed: pending state consumed and
 	// the target's view content learned. (A swapper responder does not
 	// advertise itself, so Contains(2) is not the right check.)
-	if len(requester.pending) != 0 {
+	if requester.eng.PendingLen() != 0 {
 		t.Fatal("private requester never received the relayed response")
 	}
 	if !requester.view.Contains(50) {
@@ -191,7 +191,7 @@ func TestShuffleFailsWithoutRelays(t *testing.T) {
 	r := newRig(t)
 	orphan := view.Descriptor{ID: 99, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
 	n := r.pubNode(t, 1, []view.Descriptor{orphan})
-	n.round()
+	n.runRound()
 	r.sched.Run()
 	if n.FailedShuffles() != 1 {
 		t.Fatalf("failed shuffles = %d, want 1", n.FailedShuffles())
@@ -202,7 +202,7 @@ func TestRelayExpiresSilentClients(t *testing.T) {
 	r := newRig(t)
 	relay := r.pubNode(t, 1, nil)
 	priv := r.priNode(t, 2, []view.Descriptor{pubDesc(relay)})
-	priv.round()
+	priv.runRound()
 	r.sched.Run()
 	if relay.RegisteredClients() != 1 {
 		t.Fatalf("clients = %d, want 1", relay.RegisteredClients())
@@ -210,7 +210,7 @@ func TestRelayExpiresSilentClients(t *testing.T) {
 	// The client goes silent; the relay must expire it after RelayTTL.
 	priv.Stop()
 	for i := 0; i < relay.cfg.RelayTTL+2; i++ {
-		relay.round()
+		relay.runRound()
 	}
 	if relay.RegisteredClients() != 0 {
 		t.Fatalf("clients = %d after TTL, want 0", relay.RegisteredClients())
@@ -225,7 +225,7 @@ func TestPrivateNodeReplacesDeadRelay(t *testing.T) {
 
 	cfgRelays := priv.cfg.NumRelays
 	_ = cfgRelays
-	priv.round()
+	priv.runRound()
 	r.sched.Run()
 	before := len(priv.Relays())
 	if before != 2 {
@@ -235,7 +235,7 @@ func TestPrivateNodeReplacesDeadRelay(t *testing.T) {
 	// Kill one relay; after the ack timeout the private node drops it.
 	r.net.Remove(1)
 	for i := 0; i < priv.cfg.RelayAckTimeout+2; i++ {
-		priv.round()
+		priv.runRound()
 		r.sched.Run()
 	}
 	for _, rl := range priv.Relays() {
@@ -250,13 +250,13 @@ func TestPublicNodeIgnoresRegistration(t *testing.T) {
 	a := r.pubNode(t, 1, nil)
 	b := r.priNode(t, 2, nil)
 	_ = b
-	a.handleRegister(addr.Endpoint{IP: 9, Port: 9}, RelayRegister{From: view.Descriptor{ID: 2, Nat: addr.Private}})
+	a.handleRegister(addr.Endpoint{IP: 9, Port: 9}, &RelayRegister{From: view.Descriptor{ID: 2, Nat: addr.Private}})
 	if a.RegisteredClients() != 1 {
 		t.Fatal("public node must accept registrations")
 	}
 	// But a private node must not.
 	priv := r.priNode(t, 3, nil)
-	priv.handleRegister(addr.Endpoint{IP: 9, Port: 9}, RelayRegister{From: view.Descriptor{ID: 4, Nat: addr.Private}})
+	priv.handleRegister(addr.Endpoint{IP: 9, Port: 9}, &RelayRegister{From: view.Descriptor{ID: 4, Nat: addr.Private}})
 	if priv.RegisteredClients() != 0 {
 		t.Fatal("private node accepted a relay registration")
 	}
@@ -265,9 +265,9 @@ func TestPublicNodeIgnoresRegistration(t *testing.T) {
 func TestRelayForwardUnknownClientDropped(t *testing.T) {
 	r := newRig(t)
 	relay := r.pubNode(t, 1, nil)
-	relay.handleRelayForward(addr.Endpoint{IP: 9, Port: 9}, RelayForward{
+	relay.handleRelayForward(addr.Endpoint{IP: 9, Port: 9}, &RelayForward{
 		Target: 42,
-		Inner:  ShuffleReq{From: view.Descriptor{ID: 5, Nat: addr.Public}},
+		Inner:  &ShuffleReq{From: view.Descriptor{ID: 5, Nat: addr.Public}},
 	})
 	// Nothing to assert beyond "no panic, no delivery": the requester's
 	// shuffle just fails, matching a dead relay in production.

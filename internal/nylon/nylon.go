@@ -12,14 +12,21 @@
 // freshly punched hole. Chains are unbounded in length, which is exactly
 // what makes Nylon fragile under churn and expensive on high-latency
 // paths — behaviours the Croupier paper measures against it.
+//
+// The shuffle cycle runs on the shared exchange engine. Nylon's Deliver
+// policy is the interesting one: requests to unpunched private targets
+// are deferred — the pooled request is parked in the punch table until
+// the target's PunchOK opens the path (or the punch times out and the
+// request is recycled unsent).
 package nylon
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/pss"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -73,72 +80,92 @@ func (c Config) Validate() error {
 }
 
 // ShuffleReq is the direct view-exchange request (sent after any needed
-// hole punching).
-type ShuffleReq struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleReq) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
+// hole punching); the subset travels in the pooled request's Pub slice.
+type ShuffleReq = exchange.Req
 
 // ShuffleRes answers a ShuffleReq.
-type ShuffleRes struct {
-	From  view.Descriptor
-	Descs []view.Descriptor
-}
-
-// Size implements simnet.Message.
-func (m ShuffleRes) Size() int {
-	return wire.MsgHeaderSize + wire.DescriptorSize(m.From) + wire.DescriptorsSize(m.Descs)
-}
+type ShuffleRes = exchange.Res
 
 // Punch is the hole-opening packet sent straight at a NATed endpoint; it
-// is expected to be filtered on first contact.
+// is expected to be filtered on first contact. Empty, so value boxing
+// costs nothing.
 type Punch struct{}
 
 // Size implements simnet.Message.
 func (Punch) Size() int { return wire.MsgHeaderSize }
 
 // HolePunchReq travels along the RVP chain to a private target, asking
-// it to punch back to Origin.
+// it to punch back to Origin. Every hop rewrites it; since a handler
+// must not re-send the pooled message it received, a forwarding hop
+// copies it into a message from its own free list and lets the network
+// recycle the original.
 type HolePunchReq struct {
 	Origin   addr.NodeID
 	OriginEP addr.Endpoint // observed endpoint, stamped by the first hop
 	Target   addr.NodeID
 	Hops     int
+	fl       *exchange.FreeList[HolePunchReq]
 }
 
 // Size implements simnet.Message.
-func (m HolePunchReq) Size() int { return wire.MsgHeaderSize + 2 + wire.EndpointSize + 2 + 1 }
+func (m *HolePunchReq) Size() int { return wire.MsgHeaderSize + 2 + wire.EndpointSize + 2 + 1 }
+
+// Release implements simnet.Releasable.
+func (m *HolePunchReq) Release() {
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // PunchOK tells the requester the target punched toward it and the
 // direct path is open.
 type PunchOK struct {
 	From view.Descriptor
+	fl   *exchange.FreeList[PunchOK]
 }
 
 // Size implements simnet.Message.
-func (m PunchOK) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
+func (m *PunchOK) Size() int { return wire.MsgHeaderSize + wire.DescriptorSize(m.From) }
+
+// Release implements simnet.Releasable.
+func (m *PunchOK) Release() {
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // KeepAlive refreshes an RVP relationship and the underlying NAT
 // mapping.
 type KeepAlive struct {
 	From addr.NodeID
+	fl   *exchange.FreeList[KeepAlive]
 }
 
 // Size implements simnet.Message.
-func (m KeepAlive) Size() int { return wire.MsgHeaderSize + 2 }
+func (m *KeepAlive) Size() int { return wire.MsgHeaderSize + 2 }
+
+// Release implements simnet.Releasable.
+func (m *KeepAlive) Release() {
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // KeepAliveAck answers a KeepAlive, refreshing the reverse mapping.
 type KeepAliveAck struct {
 	From addr.NodeID
+	fl   *exchange.FreeList[KeepAliveAck]
 }
 
 // Size implements simnet.Message.
-func (m KeepAliveAck) Size() int { return wire.MsgHeaderSize + 2 }
+func (m *KeepAliveAck) Size() int { return wire.MsgHeaderSize + 2 }
+
+// Release implements simnet.Releasable.
+func (m *KeepAliveAck) Release() {
+	if m.fl != nil {
+		m.fl.Put(m)
+	}
+}
 
 // rvp records a rendezvous relationship with a direct, punched peer.
 type rvp struct {
@@ -153,15 +180,10 @@ type route struct {
 	updated   int
 }
 
-type pendingShuffle struct {
-	sent  []view.Descriptor
-	round int
-}
-
-// pendingPunch is requester-side state waiting for a PunchOK.
+// pendingPunch parks a filled request while the hole is punched; the
+// sent subset is the request's own Pub payload.
 type pendingPunch struct {
-	req   ShuffleReq
-	sent  []view.Descriptor
+	req   *ShuffleReq
 	round int
 }
 
@@ -171,21 +193,37 @@ type Node struct {
 	sched *sim.Scheduler
 	sock  *simnet.Socket
 	rng   *rand.Rand
+	eng   *exchange.Engine
 
 	self addr.NodeID
 	ep   addr.Endpoint
 	nat  addr.NatType
 
 	view    *view.View
-	pending map[addr.NodeID]pendingShuffle
 	punches map[addr.NodeID]pendingPunch
 	rvps    map[addr.NodeID]*rvp
 	routes  map[addr.NodeID]*route
 
+	punchOKPool exchange.FreeList[PunchOK]
+	hpPool      exchange.FreeList[HolePunchReq]
+	kaPool      exchange.FreeList[KeepAlive]
+	kaAckPool   exchange.FreeList[KeepAliveAck]
+	kaIDs       []addr.NodeID // scratch for deterministic keep-alive order
+
+	// Expired route and RVP records are recycled: route churn is the
+	// dominant per-exchange bookkeeping in Nylon (every merged private
+	// descriptor updates the table), so the records must not be
+	// reallocated per update.
+	routePool exchange.FreeList[route]
+	rvpPool   exchange.FreeList[rvp]
+
 	ticker      *pss.Ticker
-	rounds      int
 	running     bool
 	rebootstrap func() []view.Descriptor
+
+	// resFrom is the observed source endpoint of the response currently
+	// being handled; see handleRes.
+	resFrom addr.Endpoint
 
 	failedShuffles uint64
 	relayedMsgs    uint64
@@ -200,15 +238,19 @@ func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.Nat
 	if natType == addr.NatUnknown {
 		return nil, fmt.Errorf("nylon: node %v has unknown NAT type; run natid first", sock.Host().ID())
 	}
+	eng, err := exchange.NewEngine(cfg.PendingTTL)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
 		cfg:     cfg,
 		sched:   sched,
 		sock:    sock,
 		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		eng:     eng,
 		self:    sock.Host().ID(),
 		ep:      selfEP,
 		nat:     natType,
-		pending: make(map[addr.NodeID]pendingShuffle),
 		punches: make(map[addr.NodeID]pendingPunch),
 		rvps:    make(map[addr.NodeID]*rvp),
 		routes:  make(map[addr.NodeID]*route),
@@ -227,7 +269,7 @@ func (n *Node) ID() addr.NodeID { return n.self }
 func (n *Node) NatType() addr.NatType { return n.nat }
 
 // Rounds returns the number of gossip rounds executed.
-func (n *Node) Rounds() int { return n.rounds }
+func (n *Node) Rounds() int { return n.eng.Rounds() }
 
 // Neighbors implements pss.Protocol.
 func (n *Node) Neighbors() []view.Descriptor { return n.view.Descriptors() }
@@ -256,7 +298,7 @@ func (n *Node) Start() {
 	}
 	n.running = true
 	phase := pss.RandomPhase(n.sched, n.cfg.Params.Period)
-	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.round)
+	n.ticker = pss.StartTicker(n.sched, n.cfg.Params.Period, phase, n.runRound)
 }
 
 // Stop implements pss.Protocol.
@@ -272,54 +314,87 @@ func (n *Node) selfDescriptor() view.Descriptor {
 	return view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
 }
 
-func (n *Node) round() {
-	n.rounds++
+// runRound drives one gossip round through the exchange engine.
+func (n *Node) runRound() { n.eng.RunRound((*policy)(n)) }
+
+// policy adapts the node to the exchange engine's strategy hooks.
+type policy Node
+
+// PrepareRound implements exchange.Protocol: view aging, RVP/route/punch
+// expiry, keep-alives, and re-bootstrap.
+func (p *policy) PrepareRound(int) {
+	n := (*Node)(p)
 	n.view.IncrementAges()
 	n.expireState()
-	if n.rounds%n.cfg.KeepAliveEvery == 0 {
+	if n.eng.Rounds()%n.cfg.KeepAliveEvery == 0 {
 		n.sendKeepAlives()
 	}
-
 	if n.view.Len() == 0 && n.rebootstrap != nil {
 		for _, d := range n.rebootstrap() {
 			n.view.Add(d)
 		}
 	}
-	q, ok := n.view.TakeOldest()
-	if !ok {
-		return
-	}
-	subset := append(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize-1), n.selfDescriptor())
-	subset = dropNode(subset, q.ID)
-	req := ShuffleReq{From: n.selfDescriptor(), Descs: subset}
+}
 
+// SelectPeer implements exchange.Protocol with tail selection.
+func (p *policy) SelectPeer() (view.Descriptor, bool) {
+	return (*Node)(p).view.TakeOldest()
+}
+
+// FillRequest implements exchange.Protocol.
+func (p *policy) FillRequest(q view.Descriptor, req *ShuffleReq) {
+	n := (*Node)(p)
+	req.From = n.selfDescriptor()
+	req.Pub = append(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize-1, req.Pub), n.selfDescriptor())
+	req.Pub = exchange.DropNode(req.Pub, q.ID)
+}
+
+// Deliver implements exchange.Protocol: direct to public targets and
+// live punched holes; otherwise the request is parked and a hole-punch
+// request is routed along the RVP chain toward the target.
+func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
+	n := (*Node)(p)
 	if q.Nat == addr.Public {
-		n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
 		n.sock.Send(q.Endpoint, req)
-		return
+		return exchange.Sent
 	}
 	// Private target with a live punched hole: exchange directly.
 	if r, ok := n.rvps[q.ID]; ok {
-		n.pending[q.ID] = pendingShuffle{sent: subset, round: n.rounds}
 		n.sock.Send(r.endpoint, req)
-		return
+		return exchange.Sent
 	}
 	// Otherwise hole-punch through the RVP chain: open this side, then
 	// route the punch request towards the target.
 	hop, ok := n.nextHopFor(q)
 	if !ok {
 		n.failedShuffles++
-		return
+		return exchange.Failed
 	}
-	n.punches[q.ID] = pendingPunch{req: req, sent: subset, round: n.rounds}
+	if old, stale := n.punches[q.ID]; stale {
+		old.req.Release() // an unanswered punch to the same target is superseded
+	}
+	n.punches[q.ID] = pendingPunch{req: req, round: n.eng.Rounds()}
 	n.sock.Send(q.Endpoint, Punch{}) // opens our NAT toward the target
-	n.sock.Send(hop, HolePunchReq{Origin: n.self, Target: q.ID, Hops: 1})
+	hp := n.hpPool.Get()
+	hp.Origin, hp.OriginEP, hp.Target, hp.Hops, hp.fl = n.self, addr.Endpoint{}, q.ID, 1, &n.hpPool
+	n.sock.Send(hop, hp)
+	return exchange.Deferred
+}
+
+// MergeResponse implements exchange.Protocol: swapper merge plus Nylon's
+// route learning and RVP establishment. The response's payload is
+// mutated in place to stamp Via routing before the merge copies it —
+// safe, because the pooled slice is recycled right after the handler.
+func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
+	n := (*Node)(p)
+	n.view.Merge(sentPub, n.learnRoutes(res.Pub, res.From.ID, n.resFrom))
+	n.becomeRVPs(res.From.ID, n.resFrom)
 }
 
 // nextHopFor finds where to route a chain message for target q: the
 // routing table first, the descriptor's via as fallback.
 func (n *Node) nextHopFor(q view.Descriptor) (addr.Endpoint, bool) {
-	if r, ok := n.routes[q.ID]; ok && n.rounds-r.updated <= n.cfg.RouteTTL {
+	if r, ok := n.routes[q.ID]; ok && n.eng.Rounds()-r.updated <= n.cfg.RouteTTL {
 		return r.nextHopEP, true
 	}
 	if q.Via != 0 && q.Via != n.self && !q.ViaEndpoint.IsZero() {
@@ -328,27 +403,25 @@ func (n *Node) nextHopFor(q view.Descriptor) (addr.Endpoint, bool) {
 	return addr.Endpoint{}, false
 }
 
-// expireState ages out dead RVPs, stale routes, and abandoned punch or
-// shuffle attempts.
+// expireState ages out dead RVPs, stale routes, and abandoned punch
+// attempts (the engine expires pending shuffles itself).
 func (n *Node) expireState() {
 	for id, r := range n.rvps {
-		if n.rounds-r.lastRefresh > n.cfg.RVPTTL {
+		if n.eng.Rounds()-r.lastRefresh > n.cfg.RVPTTL {
 			delete(n.rvps, id)
+			n.rvpPool.Put(r)
 		}
 	}
 	for id, r := range n.routes {
-		if n.rounds-r.updated > n.cfg.RouteTTL {
+		if n.eng.Rounds()-r.updated > n.cfg.RouteTTL {
 			delete(n.routes, id)
-		}
-	}
-	for id, p := range n.pending {
-		if n.rounds-p.round > n.cfg.PendingTTL {
-			delete(n.pending, id)
+			n.routePool.Put(r)
 		}
 	}
 	for id, p := range n.punches {
-		if n.rounds-p.round > n.cfg.PendingTTL {
+		if n.eng.Rounds()-p.round > n.cfg.PendingTTL {
 			delete(n.punches, id)
+			p.req.Release() // never sent; recycle it here
 			n.failedShuffles++
 		}
 	}
@@ -357,13 +430,15 @@ func (n *Node) expireState() {
 func (n *Node) sendKeepAlives() {
 	// Send in sorted order so packet sequencing (and thus the whole
 	// run) stays deterministic.
-	ids := make([]addr.NodeID, 0, len(n.rvps))
+	n.kaIDs = n.kaIDs[:0]
 	for id := range n.rvps {
-		ids = append(ids, id)
+		n.kaIDs = append(n.kaIDs, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n.sock.Send(n.rvps[id].endpoint, KeepAlive{From: n.self})
+	slices.Sort(n.kaIDs)
+	for _, id := range n.kaIDs {
+		ka := n.kaPool.Get()
+		ka.From, ka.fl = n.self, &n.kaPool
+		n.sock.Send(n.rvps[id].endpoint, ka)
 	}
 }
 
@@ -372,134 +447,150 @@ func (n *Node) sendKeepAlives() {
 func (n *Node) becomeRVPs(id addr.NodeID, ep addr.Endpoint) {
 	r, ok := n.rvps[id]
 	if !ok {
-		r = &rvp{}
+		r = n.rvpPool.Get()
 		n.rvps[id] = r
 	}
 	r.endpoint = ep
-	r.lastRefresh = n.rounds
+	r.lastRefresh = n.eng.Rounds()
 	// A direct relationship is also the best route.
-	n.routes[id] = &route{nextHop: id, nextHopEP: ep, updated: n.rounds}
+	n.setRoute(id, id, ep)
+}
+
+// setRoute installs or refreshes a routing-table entry in place,
+// drawing recycled records from the free list.
+func (n *Node) setRoute(id, nextHop addr.NodeID, ep addr.Endpoint) {
+	r, ok := n.routes[id]
+	if !ok {
+		r = n.routePool.Get()
+		n.routes[id] = r
+	}
+	r.nextHop, r.nextHopEP, r.updated = nextHop, ep, n.eng.Rounds()
 }
 
 // learnRoutes updates the routing table and stamps Via on received
-// private descriptors: the exchange partner is the next hop towards
-// every private node it advertised (Nylon's routing-table maintenance).
+// private descriptors in place: the exchange partner is the next hop
+// towards every private node it advertised (Nylon's routing-table
+// maintenance). descs is a pooled message payload about to be recycled,
+// so mutating it is safe; the view merge copies what it keeps.
 func (n *Node) learnRoutes(descs []view.Descriptor, partner addr.NodeID, partnerEP addr.Endpoint) []view.Descriptor {
-	out := make([]view.Descriptor, 0, len(descs))
-	for _, d := range descs {
+	for i := range descs {
+		d := &descs[i]
 		if d.Nat == addr.Private && d.ID != n.self {
 			d.Via = partner
 			d.ViaEndpoint = partnerEP
 			if cur, ok := n.routes[d.ID]; !ok || cur.nextHop != d.ID {
-				n.routes[d.ID] = &route{nextHop: partner, nextHopEP: partnerEP, updated: n.rounds}
+				n.setRoute(d.ID, partner, partnerEP)
 			}
 		}
-		out = append(out, d)
 	}
-	return out
+	return descs
 }
 
-func dropNode(ds []view.Descriptor, id addr.NodeID) []view.Descriptor {
-	out := ds[:0]
-	for _, d := range ds {
-		if d.ID != id {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-// HandlePacket is the socket handler.
+// HandlePacket is the socket handler. Payloads are pooled and recycled
+// once the handler returns; everything kept is copied by the merges.
 func (n *Node) HandlePacket(pkt simnet.Packet) {
 	switch m := pkt.Msg.(type) {
-	case ShuffleReq:
+	case *ShuffleReq:
 		n.handleReq(pkt.From, m)
-	case ShuffleRes:
+	case *ShuffleRes:
 		n.handleRes(pkt.From, m)
 	case Punch:
 		// Hole-opening packet: nothing to do, the NAT state is the
 		// side effect.
-	case HolePunchReq:
+	case *HolePunchReq:
 		n.handleHolePunchReq(pkt.From, m)
-	case PunchOK:
+	case *PunchOK:
 		n.handlePunchOK(pkt.From, m)
-	case KeepAlive:
+	case *KeepAlive:
 		n.handleKeepAlive(pkt.From, m)
-	case KeepAliveAck:
+	case *KeepAliveAck:
 		n.handleKeepAliveAck(m)
 	}
 }
 
-func (n *Node) handleReq(from addr.Endpoint, req ShuffleReq) {
-	subset := dropNode(n.view.RandomSubset(n.rng, n.cfg.Params.ShuffleSize), req.From.ID)
-	res := ShuffleRes{From: n.selfDescriptor(), Descs: subset}
-	n.sock.Send(from, res)
-	n.view.Merge(subset, n.learnRoutes(req.Descs, req.From.ID, from))
+func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq) {
+	res := n.eng.NewRes()
+	res.From = n.selfDescriptor()
+	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	n.view.Merge(res.Pub, n.learnRoutes(req.Pub, req.From.ID, from))
 	n.becomeRVPs(req.From.ID, from)
+	n.sock.Send(from, res)
 }
 
-func (n *Node) handleRes(from addr.Endpoint, res ShuffleRes) {
-	p, ok := n.pending[res.From.ID]
-	if !ok {
-		return
-	}
-	delete(n.pending, res.From.ID)
-	n.view.Merge(p.sent, n.learnRoutes(res.Descs, res.From.ID, from))
-	n.becomeRVPs(res.From.ID, from)
+// resFrom carries the response's observed source endpoint from handleRes
+// into the MergeResponse hook; the two always run back to back on the
+// node's single goroutine.
+func (n *Node) handleRes(from addr.Endpoint, res *ShuffleRes) {
+	n.resFrom = from
+	n.eng.HandleResponse((*policy)(n), res)
 }
 
 // handleHolePunchReq either delivers the punch request to the target (if
 // this node holds a live direct relationship with it) or forwards it one
 // hop further along its own route.
-func (n *Node) handleHolePunchReq(from addr.Endpoint, m HolePunchReq) {
-	if m.OriginEP.IsZero() {
+func (n *Node) handleHolePunchReq(from addr.Endpoint, m *HolePunchReq) {
+	originEP := m.OriginEP
+	if originEP.IsZero() {
 		// First hop observes the requester's public endpoint.
-		m.OriginEP = from
+		originEP = from
 	}
 	if m.Target == n.self {
 		// We are the target: punch back to the origin and confirm.
-		n.sock.Send(m.OriginEP, PunchOK{From: n.selfDescriptor()})
+		ok := n.punchOKPool.Get()
+		ok.From, ok.fl = n.selfDescriptor(), &n.punchOKPool
+		n.sock.Send(originEP, ok)
 		return
 	}
 	if m.Hops >= n.cfg.MaxHops {
 		return
 	}
-	m.Hops++
 	n.relayedMsgs++
+	// The received message belongs to the network (it is recycled after
+	// this handler), so the next leg travels in a copy drawn from this
+	// node's own free list.
+	fw := n.hpPool.Get()
+	fw.Origin, fw.OriginEP, fw.Target, fw.Hops, fw.fl = m.Origin, originEP, m.Target, m.Hops+1, &n.hpPool
 	if r, ok := n.rvps[m.Target]; ok {
-		n.sock.Send(r.endpoint, m)
+		n.sock.Send(r.endpoint, fw)
 		return
 	}
-	if r, ok := n.routes[m.Target]; ok && n.rounds-r.updated <= n.cfg.RouteTTL {
-		n.sock.Send(r.nextHopEP, m)
+	if r, ok := n.routes[m.Target]; ok && n.eng.Rounds()-r.updated <= n.cfg.RouteTTL {
+		n.sock.Send(r.nextHopEP, fw)
 		return
 	}
 	// Route lost: the chain breaks and the requester's punch times out.
+	fw.Release()
 }
 
-// handlePunchOK fires the deferred shuffle over the now-open hole.
-func (n *Node) handlePunchOK(from addr.Endpoint, m PunchOK) {
+// handlePunchOK fires the deferred shuffle over the now-open hole,
+// re-opening the pending exchange the engine cancelled at defer time.
+func (n *Node) handlePunchOK(from addr.Endpoint, m *PunchOK) {
 	p, ok := n.punches[m.From.ID]
 	if !ok {
 		return
 	}
 	delete(n.punches, m.From.ID)
-	n.pending[m.From.ID] = pendingShuffle{sent: p.sent, round: n.rounds}
+	n.eng.Open(m.From.ID, p.req.Pub, nil)
 	n.sock.Send(from, p.req)
 }
 
-func (n *Node) handleKeepAlive(from addr.Endpoint, m KeepAlive) {
+func (n *Node) handleKeepAlive(from addr.Endpoint, m *KeepAlive) {
 	if r, ok := n.rvps[m.From]; ok {
-		r.lastRefresh = n.rounds
+		r.lastRefresh = n.eng.Rounds()
 		r.endpoint = from
 	}
-	n.sock.Send(from, KeepAliveAck{From: n.self})
+	ack := n.kaAckPool.Get()
+	ack.From, ack.fl = n.self, &n.kaAckPool
+	n.sock.Send(from, ack)
 }
 
-func (n *Node) handleKeepAliveAck(m KeepAliveAck) {
+func (n *Node) handleKeepAliveAck(m *KeepAliveAck) {
 	if r, ok := n.rvps[m.From]; ok {
-		r.lastRefresh = n.rounds
+		r.lastRefresh = n.eng.Rounds()
 	}
 }
 
-var _ pss.Protocol = (*Node)(nil)
+var (
+	_ pss.Protocol      = (*Node)(nil)
+	_ exchange.Protocol = (*policy)(nil)
+)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/latency"
 	"repro/internal/nat"
 	"repro/internal/sim"
@@ -65,6 +66,22 @@ func (r *rig) attach(t *testing.T, h *simnet.Host, natType addr.NatType, seeds [
 
 func descOf(n *Node) view.Descriptor { return n.selfDescriptor() }
 
+// idlePolicy advances an engine round with full upkeep (aging, expiry,
+// keep-alives) but never initiates a shuffle — for tests that need a
+// node to sit idle while its timers run.
+type idlePolicy struct{ n *Node }
+
+func (p idlePolicy) PrepareRound(expired int)                 { (*policy)(p.n).PrepareRound(expired) }
+func (p idlePolicy) SelectPeer() (view.Descriptor, bool)      { return view.Descriptor{}, false }
+func (p idlePolicy) FillRequest(view.Descriptor, *ShuffleReq) {}
+func (p idlePolicy) Deliver(view.Descriptor, *ShuffleReq) exchange.Delivery {
+	return exchange.Failed
+}
+func (p idlePolicy) MergeResponse(*ShuffleRes, []view.Descriptor, []view.Descriptor) {}
+
+// idleRound runs one upkeep-only round.
+func idleRound(n *Node) { n.eng.RunRound(idlePolicy{n}) }
+
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	if err := cfg.Validate(); err != nil {
@@ -87,7 +104,7 @@ func TestDirectExchangeCreatesRVPs(t *testing.T) {
 	b := r.pubNode(t, 2, nil)
 	a.view.Add(descOf(b))
 
-	a.round()
+	a.runRound()
 	r.sched.Run()
 
 	if a.RVPCount() != 1 {
@@ -105,7 +122,7 @@ func TestHolePunchThroughOneHop(t *testing.T) {
 	hub := r.pubNode(t, 1, nil)
 	priv := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
 
-	priv.round() // priv <-> hub exchange; both become RVPs
+	priv.runRound() // priv <-> hub exchange; both become RVPs
 	r.sched.Run()
 	if hub.RVPCount() == 0 {
 		t.Fatal("hub has no RVP after direct exchange")
@@ -118,7 +135,7 @@ func TestHolePunchThroughOneHop(t *testing.T) {
 	d.ViaEndpoint = hub.ep
 	requester.view.Add(d)
 
-	requester.round()
+	requester.runRound()
 	r.sched.Run()
 
 	if !priv.view.Contains(3) {
@@ -141,8 +158,8 @@ func TestPrivateToPrivateHolePunch(t *testing.T) {
 	a := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
 	b := r.priNode(t, 3, []view.Descriptor{descOf(hub)})
 
-	a.round() // a <-> hub
-	b.round() // b <-> hub
+	a.runRound() // a <-> hub
+	b.runRound() // b <-> hub
 	r.sched.Run()
 
 	// Give b view content to hand back in its response.
@@ -161,7 +178,7 @@ func TestPrivateToPrivateHolePunch(t *testing.T) {
 		}
 	}
 
-	a.round()
+	a.runRound()
 	r.sched.Run()
 
 	if !b.view.Contains(2) {
@@ -181,7 +198,7 @@ func TestShuffleFailsWithoutRoute(t *testing.T) {
 	r := newRig(t)
 	orphan := view.Descriptor{ID: 99, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
 	n := r.pubNode(t, 1, []view.Descriptor{orphan})
-	n.round()
+	n.runRound()
 	r.sched.Run()
 	if n.FailedShuffles() != 1 {
 		t.Fatalf("failed shuffles = %d, want 1", n.FailedShuffles())
@@ -192,7 +209,7 @@ func TestPunchTimesOutThroughBrokenChain(t *testing.T) {
 	r := newRig(t)
 	hub := r.pubNode(t, 1, nil)
 	priv := r.priNode(t, 2, []view.Descriptor{descOf(hub)})
-	priv.round()
+	priv.runRound()
 	r.sched.Run()
 
 	requester := r.pubNode(t, 3, nil)
@@ -202,11 +219,11 @@ func TestPunchTimesOutThroughBrokenChain(t *testing.T) {
 	requester.view.Add(d)
 
 	r.net.Remove(1) // the chain hop dies
-	requester.round()
+	requester.runRound()
 	r.sched.Run()
 	// Run enough rounds for the pending punch to expire.
 	for i := 0; i <= requester.cfg.PendingTTL+1; i++ {
-		requester.round()
+		requester.runRound()
 		r.sched.Run()
 	}
 	if requester.FailedShuffles() == 0 {
@@ -223,7 +240,7 @@ func TestHopLimitStopsRoutingLoops(t *testing.T) {
 	a.routes[99] = &route{nextHop: 2, nextHopEP: b.ep, updated: 0}
 	b.routes[99] = &route{nextHop: 1, nextHopEP: a.ep, updated: 0}
 
-	a.handleHolePunchReq(b.ep, HolePunchReq{Origin: 5, OriginEP: addr.Endpoint{IP: 9, Port: 9}, Target: 99, Hops: 0})
+	a.handleHolePunchReq(b.ep, &HolePunchReq{Origin: 5, OriginEP: addr.Endpoint{IP: 9, Port: 9}, Target: 99, Hops: 0})
 	r.sched.Run()
 	total := a.RelayedMessages() + b.RelayedMessages()
 	if total > uint64(a.cfg.MaxHops)+1 {
@@ -236,20 +253,14 @@ func TestKeepAliveRefreshesRVP(t *testing.T) {
 	a := r.pubNode(t, 1, nil)
 	b := r.pubNode(t, 2, nil)
 	a.view.Add(descOf(b))
-	a.round()
+	a.runRound()
 	r.sched.Run()
 
 	// Idle past the TTL but with keep-alives flowing: RVPs survive.
 	for i := 0; i < a.cfg.RVPTTL*2; i++ {
-		a.rounds++
-		b.rounds++
-		if a.rounds%a.cfg.KeepAliveEvery == 0 {
-			a.sendKeepAlives()
-			b.sendKeepAlives()
-			r.sched.Run()
-		}
-		a.expireState()
-		b.expireState()
+		idleRound(a)
+		idleRound(b)
+		r.sched.Run()
 	}
 	if a.RVPCount() != 1 || b.RVPCount() != 1 {
 		t.Fatalf("RVPs lost despite keep-alives: a=%d b=%d", a.RVPCount(), b.RVPCount())
@@ -261,14 +272,15 @@ func TestRVPExpiresWithoutKeepAlive(t *testing.T) {
 	a := r.pubNode(t, 1, nil)
 	b := r.pubNode(t, 2, nil)
 	a.view.Add(descOf(b))
-	a.round()
+	a.runRound()
 	r.sched.Run()
 	if a.RVPCount() != 1 {
 		t.Fatalf("RVP count = %d, want 1", a.RVPCount())
 	}
+	// Idle without ever delivering the keep-alives (the scheduler is
+	// not run), so no ack can refresh the relationship.
 	for i := 0; i <= a.cfg.RVPTTL+1; i++ {
-		a.rounds++
-		a.expireState()
+		idleRound(a)
 	}
 	if a.RVPCount() != 0 {
 		t.Fatal("RVP survived past TTL without refresh")

@@ -66,18 +66,24 @@ type Protocol interface {
 // Ticker drives periodic protocol rounds on the simulation scheduler.
 // The first tick fires after a phase offset (nodes are not synchronised
 // in real deployments), then every period.
+//
+// Ticks ride the scheduler's pooled fire-and-forget path with a tick
+// closure built once at construction, so a running ticker allocates
+// nothing per round. Stopping does not cancel the queued tick — it
+// fires once more as a no-op and is recycled.
 type Ticker struct {
 	sched   *sim.Scheduler
 	period  time.Duration
 	fn      func()
-	next    *sim.Event
+	tickFn  func() // cached method value, scheduled every period
 	stopped bool
 }
 
 // StartTicker schedules fn every period, first firing after phase.
 func StartTicker(sched *sim.Scheduler, period, phase time.Duration, fn func()) *Ticker {
 	t := &Ticker{sched: sched, period: period, fn: fn}
-	t.next = sched.After(phase, t.tick)
+	t.tickFn = t.tick
+	sched.Schedule(phase, t.tickFn)
 	return t
 }
 
@@ -85,16 +91,13 @@ func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
-	t.next = t.sched.After(t.period, t.tick)
+	t.sched.Schedule(t.period, t.tickFn)
 	t.fn()
 }
 
-// Stop cancels future ticks.
+// Stop suppresses future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
 }
 
 // RandomPhase draws a uniform phase offset in [0, period) from the

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/croupier"
 	"repro/internal/world"
 )
 
@@ -454,5 +455,50 @@ func TestUPnPFractionTakesEffect(t *testing.T) {
 	// 5 seed publics + 40 UPnP-promoted joiners out of 65 total.
 	if last.Publics != 45 {
 		t.Fatalf("publics = %d after an all-UPnP flash crowd, want 45", last.Publics)
+	}
+}
+
+// TestCroupierRebootstrapHealsStaticPartition is the regression test
+// for croupier.Config.RebootstrapEvery (the periodic anti-entropy
+// re-bootstrap knob). In a static deployment — no churn, so no
+// bootstrap-seeded joiners bridge the halves — a partition that
+// outlives the view purge horizon permanently segregates the public
+// views: after the heal the two shuffle universes never re-mix. (The
+// full overlay stays weakly connected through stale private-view
+// entries, so the public-layer cluster fraction — the shuffle
+// substrate — is the metric that exposes the segregation.) The knob
+// must fix exactly that, and stay off by default.
+func TestCroupierRebootstrapHealsStaticPartition(t *testing.T) {
+	sc := Scenario{
+		Name:        "partition-static",
+		Description: "35-round partition with zero churn: no joiner bridge",
+		Publics:     30,
+		Privates:    30,
+		Rounds:      130,
+		ProbeEvery:  5,
+		Events: []Event{
+			{At: 20, Type: EvPartition, Fraction: 0.4},
+			{At: 55, Type: EvHeal},
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(rebootstrapEvery int) float64 {
+		cfg := croupier.DefaultConfig()
+		cfg.RebootstrapEvery = rebootstrapEvery
+		res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 3, Croupier: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Samples[len(res.Samples)-1].PubClusterFrac)
+	}
+	segregated := run(0)
+	healed := run(10)
+	if segregated > 0.95 {
+		t.Fatalf("static partition healed with the knob off (final public cluster %.3f) — the premise this knob exists for no longer holds", segregated)
+	}
+	if healed < 0.99 {
+		t.Fatalf("RebootstrapEvery=10 left the public views segregated after the heal: final public cluster %.3f, want ≥0.99", healed)
 	}
 }

@@ -38,6 +38,23 @@ type Packet struct {
 // Handler consumes packets delivered to a bound socket.
 type Handler func(pkt Packet)
 
+// Releasable is implemented by pooled messages (internal/exchange).
+// Send transfers ownership of the message to the network, which calls
+// Release exactly once: after the receive handler returns, or when the
+// packet is dropped. Handlers must copy anything they keep and must not
+// re-send a received pooled message — to forward a nested payload, nil
+// the wrapper's field so the wrapper's Release leaves it alone.
+type Releasable interface {
+	Release()
+}
+
+// release recycles a pooled message at the end of its flight.
+func release(msg Message) {
+	if r, ok := msg.(Releasable); ok {
+		r.Release()
+	}
+}
+
 // Config parameterises the network.
 type Config struct {
 	// Latency supplies one-way delays between hosts. Required.
@@ -455,6 +472,7 @@ func (s *Socket) Send(to addr.Endpoint, msg Message) {
 
 func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	if !h.up {
+		release(msg)
 		return
 	}
 	src := from
@@ -470,11 +488,13 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	dst, ok := n.resolveHost(to)
 	if !ok {
 		n.dropped++
+		release(msg)
 		return
 	}
 	loss, extra := n.linkConditions(h.id, dst.id)
 	if loss > 0 && n.sched.Rand().Float64() < loss {
 		n.dropped++
+		release(msg)
 		return
 	}
 	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
@@ -498,6 +518,9 @@ func (n *Network) resolveHost(to addr.Endpoint) (*Host, bool) {
 }
 
 func (n *Network) deliver(srcID, dstID addr.NodeID, src, to addr.Endpoint, msg Message, size uint64) {
+	// Pooled messages go back to their free list however the flight
+	// ends: dropped here, or once the receive handler has returned.
+	defer release(msg)
 	h, ok := n.hostsByID[dstID]
 	if !ok || !h.up {
 		n.dropped++

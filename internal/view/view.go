@@ -195,30 +195,47 @@ func (v *View) RandomSubset(rng *rand.Rand, n int) []Descriptor {
 	return v.RandomSubsetInto(rng, n, make([]Descriptor, 0, n))
 }
 
-// RandomSubsetInto is RandomSubset appending into dst (reset to length
-// zero first): with a caller-reused dst of sufficient capacity the
-// selection is allocation-free. Selection runs a partial Fisher–Yates
-// over an internal index scratch buffer instead of materialising a full
-// permutation per call.
-func (v *View) RandomSubsetInto(rng *rand.Rand, n int, dst []Descriptor) []Descriptor {
-	dst = dst[:0]
-	if n <= 0 || len(v.items) == 0 {
-		return dst
+// SampleIndices partially Fisher–Yates-shuffles scratch so that its
+// first min(k, n) entries are distinct indices drawn uniformly at
+// random from [0, n), and returns the (possibly grown) scratch together
+// with the number of drawn indices. With a reused scratch buffer the
+// draw is allocation-free — it never materialises a full permutation.
+// It is the one sampling routine behind both view subsets and the
+// estimate piggyback draws, so uniformity fixes land in one place.
+func SampleIndices(rng *rand.Rand, k, n int, scratch []int) ([]int, int) {
+	if k > n {
+		k = n
 	}
-	if n > len(v.items) {
-		n = len(v.items)
+	if k <= 0 {
+		return scratch, 0
 	}
-	if cap(v.permBuf) < len(v.items) {
-		v.permBuf = make([]int, len(v.items))
+	if cap(scratch) < n {
+		scratch = make([]int, n)
 	}
-	idx := v.permBuf[:len(v.items)]
+	scratch = scratch[:cap(scratch)]
+	idx := scratch[:n]
 	for i := range idx {
 		idx[i] = i
 	}
-	for i := 0; i < n; i++ {
-		j := i + rng.Intn(len(idx)-i)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
 		idx[i], idx[j] = idx[j], idx[i]
-		dst = append(dst, v.items[idx[i]])
+	}
+	return scratch, k
+}
+
+// RandomSubsetInto is RandomSubset appending into dst (reset to length
+// zero first): with a caller-reused dst of sufficient capacity the
+// selection is allocation-free.
+func (v *View) RandomSubsetInto(rng *rand.Rand, n int, dst []Descriptor) []Descriptor {
+	dst = dst[:0]
+	if len(v.items) == 0 {
+		return dst
+	}
+	var k int
+	v.permBuf, k = SampleIndices(rng, n, len(v.items), v.permBuf)
+	for _, i := range v.permBuf[:k] {
+		dst = append(dst, v.items[i])
 	}
 	return dst
 }
