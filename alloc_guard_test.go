@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/nylon"
 	"repro/internal/world"
 )
 
@@ -64,3 +65,35 @@ func TestGozarRoundAllocs(t *testing.T)    { guardRoundAllocs(t, world.KindGozar
 // measurement at round ~90 is ≈ 400 allocs and falls as the mesh
 // saturates; the pre-pooling cost was ≈ 3000.
 func TestNylonRoundAllocs(t *testing.T) { guardRoundAllocs(t, world.KindNylon, 1000) }
+
+// TestNylonBoundedRVPRoundAllocs pins the config-gated MaxRVPs mode:
+// with the rendezvous set LRU-bounded, the mesh stops growing, every
+// node's RVP count respects the bound, and a warm round stays within
+// the same allocation budget (the bound removes the growth, not the
+// pooling).
+func TestNylonBoundedRVPRoundAllocs(t *testing.T) {
+	cfg := nylon.DefaultConfig()
+	cfg.MaxRVPs = 20
+	w, err := world.New(world.Config{Kind: world.KindNylon, Seed: 1, SkipNatID: true, Nylon: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MixedPoissonJoins(0, 40, 160, 5*time.Millisecond)
+	w.RunUntil(90 * time.Second)
+	got := testing.AllocsPerRun(10, func() {
+		w.RunUntil(w.Sched.Now() + time.Second)
+	})
+	t.Logf("nylon (MaxRVPs=20): %.1f allocs per 200-node round", got)
+	if got > 1000 {
+		t.Errorf("bounded-RVP nylon round allocates %.1f objects, budget is 1000", got)
+	}
+	for _, n := range w.AliveNodes() {
+		ny, ok := n.Proto.(*nylon.Node)
+		if !ok {
+			continue
+		}
+		if c := ny.RVPCount(); c > 20 {
+			t.Fatalf("node %v holds %d RVPs, bound is 20", n.ID, c)
+		}
+	}
+}

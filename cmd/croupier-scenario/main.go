@@ -117,12 +117,21 @@ func run(args []string) error {
 	var progress func(done, total int)
 	if *verbose {
 		// One line per finished run, so long multi-scenario sweeps show
-		// liveness and remaining work. Progress order is completion
-		// order; the written results stay in deterministic job order.
+		// liveness and remaining work, with an ETA extrapolated from
+		// completed-job durations. Progress order is completion order;
+		// the written results stay in deterministic job order.
 		sweepStart := time.Now()
+		var eta *runner.ETA
 		progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "# job %d/%d done (%v elapsed)\n",
+			if eta == nil {
+				eta = runner.NewETASince(total, sweepStart)
+			}
+			line := fmt.Sprintf("# job %d/%d done (%v elapsed",
 				done, total, time.Since(sweepStart).Round(time.Second))
+			if rem, ok := eta.Estimate(done); ok && done < total {
+				line += fmt.Sprintf(", ~%v left", rem.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line+")")
 		}
 	}
 	outcomes, err := runner.Map(runner.Options{Workers: workers, Progress: progress}, jobs, func(j job) (outcome, error) {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -81,11 +82,20 @@ func run(args []string) error {
 		start := time.Now()
 		if *verbose {
 			// One line per finished simulation job, so multi-hour
-			// paper-scale sweeps show liveness and remaining work.
+			// paper-scale sweeps show liveness and remaining work, with
+			// an ETA extrapolated from completed-job durations.
 			name, start := name, time.Now()
+			var eta *runner.ETA
 			scale.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "# %s: job %d/%d done (%v elapsed)\n",
+				if eta == nil {
+					eta = runner.NewETASince(total, start)
+				}
+				line := fmt.Sprintf("# %s: job %d/%d done (%v elapsed",
 					name, done, total, time.Since(start).Round(time.Second))
+				if rem, ok := eta.Estimate(done); ok && done < total {
+					line += fmt.Sprintf(", ~%v left", rem.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line+")")
 			}
 		}
 		res, err := runOne(name, scale)

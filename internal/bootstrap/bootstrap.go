@@ -22,6 +22,8 @@ type Server struct {
 	ids     []addr.NodeID
 	byID    map[addr.NodeID]view.Descriptor
 	indexOf map[addr.NodeID]int
+	// picks is scratch for Publics draws.
+	picks []int
 }
 
 // NewServer returns an empty directory.
@@ -66,22 +68,55 @@ func (s *Server) Count() int { return len(s.ids) }
 // Publics returns up to n distinct public-node descriptors drawn
 // uniformly at random, never including exclude. The age of returned
 // descriptors is reset to zero — the directory vouches they are alive.
+//
+// The draw rejection-samples n distinct eligible entries — a handful
+// of rng draws against the directory instead of a full O(|directory|)
+// permutation — because at large scale this is a hot path: every join
+// seeds through it, and NAT-oblivious baselines whose views drain
+// (cyclon under the paper's 80% private population) re-bootstrap
+// through it continuously.
 func (s *Server) Publics(rng *rand.Rand, n int, exclude addr.NodeID) []view.Descriptor {
 	if n <= 0 || len(s.ids) == 0 {
 		return nil
 	}
-	out := make([]view.Descriptor, 0, n)
-	for _, i := range rng.Perm(len(s.ids)) {
-		id := s.ids[i]
-		if id == exclude {
+	avail := len(s.ids)
+	if _, ok := s.indexOf[exclude]; ok {
+		avail--
+	}
+	if avail <= n {
+		// The caller wants everything eligible; hand it over in
+		// directory order.
+		out := make([]view.Descriptor, 0, avail)
+		for _, id := range s.ids {
+			if id == exclude {
+				continue
+			}
+			d := s.byID[id]
+			d.Age = 0
+			out = append(out, d)
+		}
+		return out
+	}
+	picks := s.picks[:0]
+draw:
+	for len(picks) < n {
+		j := rng.Intn(len(s.ids))
+		if s.ids[j] == exclude {
 			continue
 		}
-		d := s.byID[id]
+		for _, p := range picks {
+			if p == j {
+				continue draw
+			}
+		}
+		picks = append(picks, j)
+	}
+	s.picks = picks
+	out := make([]view.Descriptor, 0, n)
+	for _, i := range picks {
+		d := s.byID[s.ids[i]]
 		d.Age = 0
 		out = append(out, d)
-		if len(out) == n {
-			break
-		}
 	}
 	return out
 }

@@ -139,76 +139,263 @@ type ShuffleReq = exchange.Req
 // ShuffleRes answers a ShuffleReq (Algorithm 2 line 37).
 type ShuffleRes = exchange.Res
 
-// estimateStore holds M_p in deterministic insertion order, so sums and
-// random subsets never depend on map iteration order.
+// storedEstimate is one M_p entry. The age is kept implicitly as the
+// round at which the estimate was fresh (birth = rounds − Age at
+// receive time), so entries never need a per-round aging sweep: an
+// entry's age at round r is simply r − birth, arithmetic identical to
+// incrementing an explicit counter once per round.
+type storedEstimate struct {
+	node  addr.NodeID
+	value float64
+	birth int32
+}
+
+// estHash spreads an origin ID over the slot table (splitmix64
+// finaliser).
+func estHash(id addr.NodeID) uint64 {
+	x := uint64(id) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// estimateStore holds M_p as a single open-addressed slot table with
+// the entries stored inline: the merge path's probe — the hottest
+// lookup in a large deployment, where each node's store is hundreds of
+// cold entries — lands directly on the entry it needs, one memory
+// touch instead of an index hop plus a slab hop. node 0 marks an empty
+// slot (origins are never node 0).
+//
+// Ages are implicit (birth rounds) and expiry is cohort-counted: the
+// store keeps one live-entry counter per birth round in a small ring,
+// so a round boundary retires the cohort falling out of the history
+// window in O(1) with no sweep. Entries that age out stay in place as
+// dead slots — every read path treats them as absent, and probe chains
+// still pass through them — until dead slots outnumber live ones, when
+// a rebuild reclaims them.
 type estimateStore struct {
-	order []addr.NodeID
-	byID  map[addr.NodeID]Estimate
-	// permBuf is scratch for drawing random piggyback subsets without
-	// materialising a permutation per message.
-	permBuf []int
+	maxAge int
+	slots  []storedEstimate // power-of-two open-addressed table
+	used   int              // occupied slots, live and dead
+	live   int
+	// cohorts[b mod len] counts live entries with birth round b; the
+	// ring is maxAge+2 long so active birth rounds never collide.
+	cohorts []int32
+	round   int // the last round boundary processed by expire
+	// picks is scratch for the piggyback subset draw; spare is the
+	// rebuild scratch, swapped with slots so rebuilds stop allocating
+	// once the table reaches steady size.
+	picks []int32
+	spare []storedEstimate
 }
 
-func newEstimateStore() *estimateStore {
-	return &estimateStore{byID: make(map[addr.NodeID]Estimate)}
+func newEstimateStore(maxAge int) *estimateStore {
+	return &estimateStore{maxAge: maxAge, cohorts: make([]int32, maxAge+2)}
 }
 
-func (s *estimateStore) len() int { return len(s.order) }
-
-func (s *estimateStore) get(id addr.NodeID) (Estimate, bool) {
-	e, ok := s.byID[id]
-	return e, ok
-}
-
-// put inserts or replaces an estimate, preserving insertion order for
-// existing origins.
-func (s *estimateStore) put(e Estimate) {
-	if _, ok := s.byID[e.Node]; !ok {
-		s.order = append(s.order, e.Node)
+// cohortPtr returns the ring counter for birth round b, which may be
+// negative (an estimate received with age a at round r has birth r−a).
+func (s *estimateStore) cohortPtr(b int) *int32 {
+	i := b % len(s.cohorts)
+	if i < 0 {
+		i += len(s.cohorts)
 	}
-	s.byID[e.Node] = e
+	return &s.cohorts[i]
 }
 
-// ageAndExpire advances every entry's age and drops entries older than
-// maxAge, compacting in place.
-func (s *estimateStore) ageAndExpire(maxAge int) {
-	kept := s.order[:0]
-	for _, id := range s.order {
-		e := s.byID[id]
-		e.Age++
-		if e.Age > maxAge {
-			delete(s.byID, id)
+// liveAt reports whether the entry is inside the history window.
+func (s *estimateStore) liveAt(e storedEstimate) bool {
+	return s.round-int(e.birth) <= s.maxAge
+}
+
+// len returns the number of live entries.
+func (s *estimateStore) len() int { return s.live }
+
+// probe returns the slot holding id, or the empty slot where id would
+// be inserted. found distinguishes the two.
+func (s *estimateStore) probe(id addr.NodeID) (pos int, found bool) {
+	mask := uint64(len(s.slots) - 1)
+	for h := estHash(id); ; h++ {
+		i := int(h & mask)
+		switch s.slots[i].node {
+		case id:
+			return i, true
+		case 0:
+			return i, false
+		}
+	}
+}
+
+// materialise converts a stored entry to its wire form at round rounds.
+func (e storedEstimate) materialise(rounds int) Estimate {
+	return Estimate{Node: e.node, Value: e.value, Age: rounds - int(e.birth)}
+}
+
+// ensureSpace rebuilds the table when an insert would push occupancy
+// past 3/4, growing as the live population demands and dropping dead
+// slots (whose cohorts were already retired) along the way.
+func (s *estimateStore) ensureSpace() {
+	if (s.used+1)*4 <= len(s.slots)*3 {
+		return
+	}
+	n := 16
+	for (s.live+1)*4 > n*3 {
+		n *= 2
+	}
+	old := s.slots
+	if cap(s.spare) >= n {
+		s.slots = s.spare[:n]
+		clear(s.slots)
+	} else {
+		s.slots = make([]storedEstimate, n)
+	}
+	s.spare = old[:0]
+	mask := uint64(n - 1)
+	s.used = 0
+	for i := range old {
+		e := old[i]
+		if e.node == 0 || !s.liveAt(e) {
 			continue
 		}
-		s.byID[id] = e
-		kept = append(kept, id)
+		h := estHash(e.node)
+		for s.slots[h&mask].node != 0 {
+			h++
+		}
+		s.slots[h&mask] = e
+		s.used++
 	}
-	s.order = kept
 }
 
-// sum returns the total of all estimate values in insertion order.
+// replace overwrites the live-or-dead entry at slot i with e, keeping
+// the cohort counters and live count correct.
+func (s *estimateStore) replace(i int, e Estimate, rounds int) {
+	old := s.slots[i]
+	if s.liveAt(old) {
+		*s.cohortPtr(int(old.birth))--
+	} else {
+		// Reviving a dead slot: the origin re-enters the window.
+		s.live++
+	}
+	birth := int32(rounds - e.Age)
+	s.slots[i] = storedEstimate{node: e.Node, value: e.Value, birth: birth}
+	*s.cohortPtr(int(birth))++
+}
+
+// insert claims an empty slot for e. The caller has run ensureSpace.
+func (s *estimateStore) insert(e Estimate, rounds int) {
+	i, found := s.probe(e.Node)
+	if found {
+		s.replace(i, e, rounds)
+		return
+	}
+	birth := int32(rounds - e.Age)
+	s.slots[i] = storedEstimate{node: e.Node, value: e.Value, birth: birth}
+	s.used++
+	s.live++
+	*s.cohortPtr(int(birth))++
+}
+
+// mergeFresher inserts e, or replaces the held estimate from the same
+// origin when e is fresher — the merge rule of paper equation 9 — with
+// a single table probe. A dead slot for the origin counts as absent.
+func (s *estimateStore) mergeFresher(e Estimate, rounds int) {
+	if e.Node == 0 {
+		return
+	}
+	if len(s.slots) != 0 {
+		if i, ok := s.probe(e.Node); ok {
+			if old := s.slots[i]; !s.liveAt(old) || int32(rounds-e.Age) > old.birth {
+				s.replace(i, e, rounds)
+			}
+			return
+		}
+	}
+	s.ensureSpace()
+	s.insert(e, rounds)
+}
+
+// expire advances the store to the given round boundary, retiring the
+// cohorts that fall out of the history window in O(1) per round, and
+// rebuilds the table once dead slots outnumber live entries (so the
+// rejection-sampled draws keep a high live density).
+func (s *estimateStore) expire(rounds int) {
+	for s.round < rounds {
+		s.round++
+		c := s.cohortPtr(s.round - s.maxAge - 1)
+		s.live -= int(*c)
+		*c = 0
+	}
+	if s.used >= 32 && s.used > 2*s.live {
+		s.used = len(s.slots) // force the rebuild path
+		s.ensureSpace()
+	}
+}
+
+// sum returns the total of all live estimate values in slot order.
 func (s *estimateStore) sum() float64 {
 	total := 0.0
-	for _, id := range s.order {
-		total += s.byID[id].Value
+	for i := range s.slots {
+		if s.slots[i].node != 0 && s.liveAt(s.slots[i]) {
+			total += s.slots[i].value
+		}
 	}
 	return total
 }
 
-// appendRandomSubset appends up to k entries drawn uniformly at random
-// (all of them when k covers the store) to dst, allocation-free once
-// the scratch buffer is warm.
-func (s *estimateStore) appendRandomSubset(rng *rand.Rand, k int, dst []Estimate) []Estimate {
-	if s.len() <= k {
-		for _, id := range s.order {
-			dst = append(dst, s.byID[id])
+// appendRandomSubset appends up to k live entries drawn uniformly at
+// random (all of them when k covers the store) to dst. The draw is
+// rejection sampling over the slot table — empty and dead slots and
+// repeats redraw — which is uniform over the live entries and touches
+// only the slots it inspects. Live density stays above roughly a third
+// (ensureSpace packs to ≤ 3/4, expire rebuilds past 50% dead), so the
+// expected redraws per pick are a small constant; the deterministic
+// fallback scan exists only to bound the pathological case.
+func (s *estimateStore) appendRandomSubset(rng *rand.Rand, k int, dst []Estimate, rounds int) []Estimate {
+	if s.live <= k {
+		for i := range s.slots {
+			if s.slots[i].node != 0 && s.liveAt(s.slots[i]) {
+				dst = append(dst, s.slots[i].materialise(rounds))
+			}
 		}
 		return dst
 	}
-	var drawn int
-	s.permBuf, drawn = view.SampleIndices(rng, k, s.len(), s.permBuf)
-	for _, i := range s.permBuf[:drawn] {
-		dst = append(dst, s.byID[s.order[i]])
+	picks := s.picks[:0]
+	attempts := 0
+draw:
+	for len(picks) < k && attempts < 32*k {
+		attempts++
+		j := int32(rng.Intn(len(s.slots)))
+		if s.slots[j].node == 0 || !s.liveAt(s.slots[j]) {
+			continue
+		}
+		for _, p := range picks {
+			if p == j {
+				continue draw
+			}
+		}
+		picks = append(picks, j)
+	}
+	// Pathological rejection streak: fill deterministically from the
+	// front of the table.
+	for j := int32(0); len(picks) < k && int(j) < len(s.slots); j++ {
+		if s.slots[j].node == 0 || !s.liveAt(s.slots[j]) {
+			continue
+		}
+		dup := false
+		for _, p := range picks {
+			if p == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			picks = append(picks, j)
+		}
+	}
+	s.picks = picks
+	for _, i := range picks {
+		dst = append(dst, s.slots[i].materialise(rounds))
 	}
 	return dst
 }
@@ -228,19 +415,26 @@ type Node struct {
 	cfg   Config
 	sched *sim.Scheduler // nil when externally driven
 	sock  Transport
-	rng   *rand.Rand
-	eng   *exchange.Engine
 
 	self addr.NodeID
 	ep   addr.Endpoint
 	nat  addr.NatType
 
-	pub *view.View
-	pri *view.View
+	// The per-round working state — rand wrapper, exchange engine,
+	// both views and the estimate store — is embedded by value, so a
+	// node's round starts from one contiguous struct instead of
+	// chasing separately allocated headers; this matters when tens of
+	// thousands of cold node states are touched per simulated second.
+	// (The rand.Rand embed saves only the wrapper hop: the xoshiro
+	// source itself still sits behind the Source interface.)
+	rng rand.Rand
+	eng exchange.Engine
+	pub view.View
+	pri view.View
 
 	// Ratio-estimation state (Algorithm 3).
-	estimates *estimateStore // M_p, keyed by origin
-	localEst  float64        // E_p (croupiers only)
+	estimates estimateStore // M_p, keyed by origin
+	localEst  float64       // E_p (croupiers only)
 	hasLocal  bool
 	cu, cv    int   // current-round hit counters
 	histU     []int // per-round public hits, ≤ α entries (ring once full)
@@ -264,7 +458,7 @@ type Node struct {
 func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.NatType,
 	selfEP addr.Endpoint, seeds []view.Descriptor) (*Node, error) {
 	n, err := NewWithTransport(cfg, sock.Host().ID(),
-		rand.New(rand.NewSource(sched.Rand().Int63())), sock, natType, selfEP, seeds)
+		sim.NewRand(sched.Rand().Int63()), sock, natType, selfEP, seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -290,19 +484,19 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 		return nil, err
 	}
 	n := &Node{
-		cfg:       cfg,
-		sock:      tr,
-		rng:       rng,
-		eng:       eng,
-		self:      id,
-		ep:        selfEP,
-		nat:       natType,
-		estimates: newEstimateStore(),
-		histU:     make([]int, 0, cfg.LocalHistory),
-		histV:     make([]int, 0, cfg.LocalHistory),
+		cfg:   cfg,
+		sock:  tr,
+		rng:   *rng,
+		eng:   *eng,
+		self:  id,
+		ep:    selfEP,
+		nat:   natType,
+		histU: make([]int, 0, cfg.LocalHistory),
+		histV: make([]int, 0, cfg.LocalHistory),
 	}
-	n.pub = view.New(cfg.Params.ViewSize, n.self)
-	n.pri = view.New(cfg.Params.ViewSize, n.self)
+	n.estimates = *newEstimateStore(cfg.NeighbourHistory)
+	n.pub = *view.New(cfg.Params.ViewSize, n.self)
+	n.pri = *view.New(cfg.Params.ViewSize, n.self)
 	for _, d := range seeds {
 		if d.Nat == addr.Public {
 			n.pub.Add(d)
@@ -389,7 +583,7 @@ func (p *policy) PrepareRound(int) {
 	// Lines 3-5: age views and estimations, expire old estimations.
 	n.pub.IncrementAges()
 	n.pri.IncrementAges()
-	n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
+	n.estimates.expire(n.eng.Rounds())
 	// Lines 6-8: croupiers recompute their local estimate from the
 	// current hit history.
 	if n.nat == addr.Public {
@@ -430,7 +624,7 @@ func (p *policy) PrepareRound(int) {
 func (p *policy) SelectPeer() (view.Descriptor, bool) {
 	n := (*Node)(p)
 	if n.cfg.Selection == SelectRandom {
-		q, ok := n.pub.Random(n.rng)
+		q, ok := n.pub.Random(&n.rng)
 		if ok {
 			n.pub.Remove(q.ID)
 		}
@@ -447,11 +641,11 @@ func (p *policy) FillRequest(q view.Descriptor, req *ShuffleReq) {
 	req.From = n.selfDescriptor()
 	k := n.cfg.Params.ShuffleSize
 	if n.nat == addr.Public {
-		req.Pub = append(n.pub.RandomSubsetInto(n.rng, k-1, req.Pub), n.selfDescriptor())
-		req.Pri = n.pri.RandomSubsetInto(n.rng, k, req.Pri)
+		req.Pub = append(n.pub.RandomSubsetInto(&n.rng, k-1, req.Pub), n.selfDescriptor())
+		req.Pri = n.pri.RandomSubsetInto(&n.rng, k, req.Pri)
 	} else {
-		req.Pub = n.pub.RandomSubsetInto(n.rng, k, req.Pub)
-		req.Pri = append(n.pri.RandomSubsetInto(n.rng, k-1, req.Pri), n.selfDescriptor())
+		req.Pub = n.pub.RandomSubsetInto(&n.rng, k, req.Pub)
+		req.Pri = append(n.pri.RandomSubsetInto(&n.rng, k-1, req.Pri), n.selfDescriptor())
 	}
 	// Never advertise the peer back to itself.
 	req.Pub = exchange.DropNode(req.Pub, q.ID)
@@ -475,8 +669,8 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 func (p *policy) MergeResponse(res *ShuffleRes, sentPub, sentPri []view.Descriptor) {
 	n := (*Node)(p)
 	n.recvRess++
-	n.mergeView(n.pub, sentPub, res.Pub)
-	n.mergeView(n.pri, sentPri, res.Pri)
+	n.mergeView(&n.pub, sentPub, res.Pub)
+	n.mergeView(&n.pri, sentPri, res.Pri)
 	n.mergeEstimates(res.Estimates)
 }
 
@@ -512,12 +706,12 @@ func (n *Node) handleShuffleReq(from addr.Endpoint, req *ShuffleReq) {
 	k := n.cfg.Params.ShuffleSize
 	res := n.eng.NewRes()
 	res.From = n.selfDescriptor()
-	res.Pub = exchange.DropNode(n.pub.RandomSubsetInto(n.rng, k, res.Pub), req.From.ID)
-	res.Pri = exchange.DropNode(n.pri.RandomSubsetInto(n.rng, k, res.Pri), req.From.ID)
+	res.Pub = exchange.DropNode(n.pub.RandomSubsetInto(&n.rng, k, res.Pub), req.From.ID)
+	res.Pri = exchange.DropNode(n.pri.RandomSubsetInto(&n.rng, k, res.Pri), req.From.ID)
 	res.Estimates = n.appendEstimateSubset(res.Estimates[:0])
 	// Lines 34-36: merge sender state with swapper semantics.
-	n.mergeView(n.pub, res.Pub, req.Pub)
-	n.mergeView(n.pri, res.Pri, req.Pri)
+	n.mergeView(&n.pub, res.Pub, req.Pub)
+	n.mergeView(&n.pri, res.Pri, req.Pri)
 	n.mergeEstimates(req.Estimates)
 	// Line 37: respond to the observed source endpoint so the reply
 	// traverses the sender's NAT on the existing mapping.
@@ -569,7 +763,7 @@ func (n *Node) calcHitsRatio() (float64, bool) {
 // estimates to piggyback, plus this croupier's own fresh local
 // estimate. dst is a pooled message slice reset by the caller.
 func (n *Node) appendEstimateSubset(dst []Estimate) []Estimate {
-	dst = n.estimates.appendRandomSubset(n.rng, n.cfg.EstimateSubset, dst)
+	dst = n.estimates.appendRandomSubset(&n.rng, n.cfg.EstimateSubset, dst, n.eng.Rounds())
 	if n.nat == addr.Public && n.hasLocal {
 		dst = append(dst, Estimate{Node: n.self, Value: n.localEst})
 	}
@@ -586,10 +780,7 @@ func (n *Node) mergeEstimates(es []Estimate) {
 		if e.Age > n.cfg.NeighbourHistory {
 			continue
 		}
-		cur, ok := n.estimates.get(e.Node)
-		if !ok || e.Age < cur.Age {
-			n.estimates.put(e)
-		}
+		n.estimates.mergeFresher(e, n.eng.Rounds())
 	}
 }
 
@@ -622,22 +813,24 @@ func (n *Node) Sample() (view.Descriptor, bool) {
 	if !ok {
 		est = 0.5 // no information yet: treat views as equally likely
 	}
-	first, second := n.pri, n.pub
+	first, second := &n.pri, &n.pub
 	if n.rng.Float64() < est {
-		first, second = n.pub, n.pri
+		first, second = &n.pub, &n.pri
 	}
-	if d, ok := first.Random(n.rng); ok {
+	if d, ok := first.Random(&n.rng); ok {
 		return d, true
 	}
-	return second.Random(n.rng)
+	return second.Random(&n.rng)
 }
 
 // CachedEstimates returns a copy of M_p for tests and diagnostics,
 // sorted by origin.
 func (n *Node) CachedEstimates() []Estimate {
 	out := make([]Estimate, 0, n.estimates.len())
-	for _, id := range n.estimates.order {
-		out = append(out, n.estimates.byID[id])
+	for i := range n.estimates.slots {
+		if e := n.estimates.slots[i]; e.node != 0 && n.estimates.liveAt(e) {
+			out = append(out, e.materialise(n.eng.Rounds()))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out

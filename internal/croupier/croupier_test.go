@@ -234,8 +234,8 @@ func TestEstimateExpiryAfterGamma(t *testing.T) {
 	r := newRig(t)
 	n := r.node(t, 1, addr.Private, nil)
 	n.mergeEstimates([]Estimate{{Node: 5, Value: 0.3, Age: 0}})
-	for i := 0; i <= n.cfg.NeighbourHistory; i++ {
-		n.estimates.ageAndExpire(n.cfg.NeighbourHistory)
+	for i := 1; i <= n.cfg.NeighbourHistory+1; i++ {
+		n.estimates.expire(i)
 	}
 	if _, ok := n.Estimate(); ok {
 		t.Fatal("estimate survived past gamma rounds")
@@ -408,27 +408,43 @@ func TestShuffleMessageSizesMatchPaperAccounting(t *testing.T) {
 // origins inserted, and ages monotonically.
 func TestEstimateStoreInvariants(t *testing.T) {
 	f := func(ops []uint8) bool {
-		s := newEstimateStore()
+		s := newEstimateStore(20)
+		rounds := 0
 		for _, op := range ops {
 			id := addr.NodeID(op % 16)
 			switch {
 			case op%3 == 0:
-				s.ageAndExpire(20)
+				// A round boundary: ages advance implicitly, old
+				// entries expire.
+				rounds++
+				s.expire(rounds)
 			default:
-				s.put(Estimate{Node: id, Value: float64(op) / 255, Age: int(op % 8)})
+				s.mergeFresher(Estimate{Node: id, Value: float64(op) / 255, Age: int(op % 8)}, rounds)
 			}
-			if len(s.order) != len(s.byID) {
-				return false
-			}
+			used, live := 0, 0
 			seen := make(map[addr.NodeID]bool)
-			for _, id := range s.order {
-				if seen[id] {
+			for i, e := range s.slots {
+				if e.node == 0 {
+					continue
+				}
+				used++
+				if seen[e.node] {
 					return false
 				}
-				seen[id] = true
-				if _, ok := s.byID[id]; !ok {
+				seen[e.node] = true
+				if at, ok := s.probe(e.node); !ok || at != i {
 					return false
 				}
+				if !s.liveAt(e) {
+					continue // dead slot awaiting rebuild: unobservable
+				}
+				live++
+				if age := e.materialise(rounds).Age; age > 20 {
+					return false // expired entry observable
+				}
+			}
+			if used != s.used || live != s.len() {
+				return false // counters drifted from the table
 			}
 		}
 		return true
@@ -566,7 +582,7 @@ func TestMergeHealerPolicyReplacesOldest(t *testing.T) {
 	n.pub.Add(pubDesc(3))
 	// A fresh descriptor for an unknown node must displace the stale
 	// entry even though nothing was "sent" (healer ignores sent state).
-	n.mergeView(n.pub, nil, []view.Descriptor{pubDesc(4)})
+	n.mergeView(&n.pub, nil, []view.Descriptor{pubDesc(4)})
 	if n.pub.Contains(2) {
 		t.Fatal("healer kept the stale descriptor")
 	}

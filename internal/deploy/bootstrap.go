@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -192,5 +193,15 @@ func udpFromEndpoint(e addr.Endpoint) *net.UDPAddr {
 	return &net.UDPAddr{
 		IP:   net.IPv4(byte(e.IP>>24), byte(e.IP>>16), byte(e.IP>>8), byte(e.IP)),
 		Port: int(e.Port),
+	}
+}
+
+// endpointFromAddrPort converts a netip address (the allocation-free
+// form ReadFromUDPAddrPort returns) to a simulated-address endpoint.
+func endpointFromAddrPort(a netip.AddrPort) addr.Endpoint {
+	v4 := a.Addr().As4()
+	return addr.Endpoint{
+		IP:   addr.MakeIP(v4[0], v4[1], v4[2], v4[3]),
+		Port: a.Port(),
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/croupier"
+	"repro/internal/exchange"
 	"repro/internal/view"
 	"repro/internal/wire"
 )
@@ -104,10 +105,100 @@ func EncodeBootListRes(m BootListRes) []byte {
 	return w.Bytes()
 }
 
+// Decoder decodes deployment datagrams with pooled shuffle messages:
+// decoded requests and responses (and their payload slices) come from
+// an exchange pool and return to it on Release, so a node's receive
+// path allocates nothing once warm — the mirror image of the
+// simulator's zero-alloc exchange path. A Decoder is single-goroutine,
+// like the pool it wraps: decode and release must happen on the same
+// goroutine (the deployment runtime's driver loop).
+type Decoder struct {
+	pool exchange.Pool
+}
+
+// Decode parses a datagram like the package-level Decode, but draws
+// shuffle messages from the decoder's pool. Callers must Release them
+// (or hand them to a transport that does) to keep the path
+// allocation-free; the other message kinds are small control traffic
+// and are decoded normally.
+func (d *Decoder) Decode(b []byte) (any, error) {
+	r := wire.NewReader(b)
+	kind := r.U8()
+	var out any
+	switch kind {
+	case kindShuffleReq:
+		m := d.pool.NewReq()
+		decodeShuffleInto(r, &m.From, &m.Pub, &m.Pri, &m.Estimates)
+		if err := r.Err(); err != nil {
+			m.Release()
+			return nil, fmt.Errorf("deploy: decode kind %d: %w", kind, err)
+		}
+		return m, nil
+	case kindShuffleRes:
+		m := d.pool.NewRes()
+		decodeShuffleInto(r, &m.From, &m.Pub, &m.Pri, &m.Estimates)
+		if err := r.Err(); err != nil {
+			m.Release()
+			return nil, fmt.Errorf("deploy: decode kind %d: %w", kind, err)
+		}
+		return m, nil
+	case kindBootRegister:
+		out = BootRegister{Desc: getDescriptor(r)}
+	case kindBootList:
+		out = BootList{Max: r.U8()}
+	case kindBootListRes:
+		out = BootListRes{Descs: getDescriptors(r)}
+	default:
+		return nil, fmt.Errorf("deploy: unknown message kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("deploy: decode kind %d: %w", kind, err)
+	}
+	return out, nil
+}
+
+// decodeShuffleInto parses a shuffle body appending into the (pooled,
+// length-reset) destination slices, so their backing arrays are reused
+// across datagrams.
+func decodeShuffleInto(r *wire.Reader, from *view.Descriptor, pub, pri *[]view.Descriptor, ests *[]exchange.Estimate) {
+	flags := r.U8()
+	*from = getDescriptor(r)
+	*pub = appendDescriptors(r, *pub)
+	if flags&flagHasPri != 0 {
+		*pri = appendDescriptors(r, *pri)
+	}
+	if flags&flagHasEstimates != 0 {
+		*ests = appendEstimates(r, *ests)
+	}
+}
+
+// appendDescriptors decodes a descriptor list into dst.
+func appendDescriptors(r *wire.Reader, dst []view.Descriptor) []view.Descriptor {
+	n := int(r.U8())
+	for i := 0; i < n; i++ {
+		dst = append(dst, getDescriptor(r))
+	}
+	return dst
+}
+
+// appendEstimates decodes an estimate list into dst.
+func appendEstimates(r *wire.Reader, dst []exchange.Estimate) []exchange.Estimate {
+	n := int(r.U8())
+	for i := 0; i < n; i++ {
+		dst = append(dst, croupier.Estimate{
+			Node:  addr.NodeID(r.U64()),
+			Value: float64(math.Float32frombits(r.U32())),
+			Age:   int(r.U16()),
+		})
+	}
+	return dst
+}
+
 // Decode parses any deployment datagram into one of the message types
 // (*croupier.ShuffleReq, *croupier.ShuffleRes, BootRegister, BootList,
 // BootListRes). Decoded shuffle messages are freshly allocated and
-// unpooled, so their Release is a no-op.
+// unpooled, so their Release is a no-op; the deployment runtime's
+// receive path uses a Decoder instead, whose messages are pooled.
 func Decode(b []byte) (any, error) {
 	r := wire.NewReader(b)
 	kind := r.U8()

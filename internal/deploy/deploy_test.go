@@ -272,3 +272,73 @@ func TestStartNodeValidation(t *testing.T) {
 		t.Fatal("StartNode succeeded for a private node without a directory")
 	}
 }
+
+// TestDecoderMatchesDecode pins the pooled decoder to the package-level
+// decoder on shuffle messages: same fields, full sections.
+func TestDecoderMatchesDecode(t *testing.T) {
+	m := &croupier.ShuffleReq{
+		From: sampleDesc(1),
+		Pub:  []view.Descriptor{sampleDesc(2), sampleDesc(3)},
+		Pri:  []view.Descriptor{sampleDesc(4)},
+		Estimates: []croupier.Estimate{
+			{Node: 7, Value: 0.25, Age: 3},
+			{Node: 9, Value: 0.5, Age: 0},
+		},
+	}
+	var dec Decoder
+	got, err := dec.Decode(EncodeShuffleReq(m))
+	if err != nil {
+		t.Fatalf("Decoder.Decode: %v", err)
+	}
+	req, ok := got.(*croupier.ShuffleReq)
+	if !ok {
+		t.Fatalf("decoded %T, want *croupier.ShuffleReq", got)
+	}
+	if !descEq(req.From, m.From) || len(req.Pub) != 2 || len(req.Pri) != 1 || len(req.Estimates) != 2 {
+		t.Fatalf("pooled decode mismatch: %+v", req)
+	}
+	if req.Estimates[0] != m.Estimates[0] || req.Estimates[1] != m.Estimates[1] {
+		t.Fatalf("estimates mismatch: %+v", req.Estimates)
+	}
+	req.Release()
+
+	// Truncated datagrams must fail and not leak the pooled message.
+	b := EncodeShuffleReq(m)
+	if _, err := dec.Decode(b[:len(b)-3]); err == nil {
+		t.Fatal("Decoder accepted truncated shuffle")
+	}
+}
+
+// TestDecoderPooledDecodeAllocs is the deployment-path mirror of the
+// simulator's exchange-pool guards: once warm, decoding a shuffle
+// datagram into pooled messages and releasing them must not allocate.
+func TestDecoderPooledDecodeAllocs(t *testing.T) {
+	m := &croupier.ShuffleRes{
+		From: sampleDesc(1),
+		Pub:  []view.Descriptor{sampleDesc(2), sampleDesc(3), sampleDesc(4)},
+		Pri:  []view.Descriptor{sampleDesc(5)},
+		Estimates: []croupier.Estimate{
+			{Node: 7, Value: 0.25, Age: 3},
+			{Node: 9, Value: 0.5, Age: 0},
+		},
+	}
+	b := EncodeShuffleRes(m)
+	var dec Decoder
+	for i := 0; i < 8; i++ { // warm the pool and payload capacities
+		msg, err := dec.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.(*croupier.ShuffleRes).Release()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		msg, err := dec.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.(*croupier.ShuffleRes).Release()
+	})
+	if avg != 0 {
+		t.Fatalf("pooled decode allocates %.2f objects per datagram, want 0", avg)
+	}
+}

@@ -37,17 +37,40 @@ type NodeConfig struct {
 // Node is a Croupier instance gossiping over real UDP. All protocol
 // state is confined to one driver goroutine; public methods communicate
 // with it through channels, so Node is safe for concurrent use.
+//
+// The receive path is allocation-free once warm: the read loop hands
+// raw datagrams to the driver in buffers drawn from a free list, and
+// the driver decodes them through a pooled Decoder whose messages are
+// released after handling — mirroring the simulator's zero-alloc
+// exchange path.
 type Node struct {
 	cfg  NodeConfig
 	conn *net.UDPConn
 	core *croupier.Node
+	dec  Decoder
 
-	inbox chan simnet.Packet
+	inbox chan datagram
 	query chan func(*croupier.Node)
+	// bufs recycles datagram buffers between the read loop and the
+	// driver loop. It holds *recvBuf, not []byte, so Put/Get move a
+	// pointer instead of boxing a slice header per packet.
+	bufs sync.Pool
 
 	closeOnce sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
+}
+
+// recvBuf is one pooled receive buffer.
+type recvBuf struct {
+	b []byte
+}
+
+// datagram is one received UDP payload on its way to the driver loop.
+type datagram struct {
+	buf  *recvBuf
+	n    int
+	from addr.Endpoint
 }
 
 // udpTransport implements croupier.Transport over the node's socket.
@@ -127,10 +150,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cfg:   cfg,
 		conn:  conn,
 		core:  core,
-		inbox: make(chan simnet.Packet, 256),
+		inbox: make(chan datagram, 256),
 		query: make(chan func(*croupier.Node)),
 		done:  make(chan struct{}),
 	}
+	n.bufs.New = func() any { return &recvBuf{b: make([]byte, 64*1024)} }
 	n.wg.Add(2)
 	go n.readLoop()
 	go n.driverLoop()
@@ -198,12 +222,17 @@ func (n *Node) do(fn func(*croupier.Node)) {
 	}
 }
 
+// readLoop moves raw datagrams off the socket into the driver's inbox.
+// Decoding happens on the driver goroutine, where the pooled decoder's
+// single-goroutine contract holds; buffers travel through a free list
+// so the loop allocates nothing once warm.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 64*1024)
 	for {
-		size, from, err := n.conn.ReadFromUDP(buf)
+		buf, _ := n.bufs.Get().(*recvBuf)
+		size, from, err := n.conn.ReadFromUDPAddrPort(buf.b)
 		if err != nil {
+			n.bufs.Put(buf)
 			select {
 			case <-n.done:
 				return
@@ -211,27 +240,40 @@ func (n *Node) readLoop() {
 				continue
 			}
 		}
-		msg, err := Decode(buf[:size])
-		if err != nil {
-			continue
-		}
-		var payload simnet.Message
-		switch m := msg.(type) {
-		case *croupier.ShuffleReq:
-			payload = m
-		case *croupier.ShuffleRes:
-			payload = m
-		default:
-			continue
-		}
-		pkt := simnet.Packet{From: endpointFromUDP(from), Msg: payload}
+		d := datagram{buf: buf, n: size, from: endpointFromAddrPort(from)}
 		select {
-		case n.inbox <- pkt:
+		case n.inbox <- d:
 		case <-n.done:
+			n.bufs.Put(buf)
 			return
 		default:
 			// Inbox full: drop, as a kernel socket buffer would.
+			n.bufs.Put(buf)
 		}
+	}
+}
+
+// handleDatagram decodes and dispatches one datagram on the driver
+// goroutine, returning the buffer to the pool and releasing the pooled
+// message once the protocol handler is done with it.
+func (n *Node) handleDatagram(d datagram) {
+	msg, err := n.dec.Decode(d.buf.b[:d.n])
+	n.bufs.Put(d.buf)
+	if err != nil {
+		return
+	}
+	var payload simnet.Message
+	switch m := msg.(type) {
+	case *croupier.ShuffleReq:
+		payload = m
+	case *croupier.ShuffleRes:
+		payload = m
+	default:
+		return
+	}
+	n.core.HandlePacket(simnet.Packet{From: d.from, Msg: payload})
+	if r, ok := payload.(simnet.Releasable); ok {
+		r.Release()
 	}
 }
 
@@ -248,8 +290,8 @@ func (n *Node) driverLoop() {
 	n.maybeRegister()
 	for {
 		select {
-		case pkt := <-n.inbox:
-			n.core.HandlePacket(pkt)
+		case d := <-n.inbox:
+			n.handleDatagram(d)
 		case <-ticker.C:
 			n.core.RunRound()
 			rounds++

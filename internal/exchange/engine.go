@@ -51,6 +51,7 @@ type Protocol interface {
 // record remembers what a requester sent, so the response merge can
 // apply swapper semantics. Records are pooled alongside the messages.
 type record struct {
+	peer     addr.NodeID
 	pub, pri []view.Descriptor
 	round    int
 }
@@ -59,9 +60,15 @@ type record struct {
 // message pool and the table of sent-but-unanswered exchanges with
 // their per-request TTL. All methods must be called from the node's
 // single driving goroutine.
+//
+// The pending table is a small slice, not a map: a node opens at most
+// one exchange per round and entries expire after a few rounds, so the
+// table holds a handful of records and a linear scan beats hashing —
+// the per-round expiry walk in particular costs nothing when the table
+// is empty, where even iterating an empty map does not.
 type Engine struct {
 	pool    Pool
-	pending map[addr.NodeID]*record
+	pending []*record
 	recPool FreeList[record]
 	ttl     int
 	rounds  int
@@ -73,10 +80,7 @@ func NewEngine(pendingTTL int) (*Engine, error) {
 	if pendingTTL <= 0 {
 		return nil, fmt.Errorf("exchange: pending TTL must be positive, got %d", pendingTTL)
 	}
-	return &Engine{
-		pending: make(map[addr.NodeID]*record),
-		ttl:     pendingTTL,
-	}, nil
+	return &Engine{ttl: pendingTTL}, nil
 }
 
 // Rounds returns the number of rounds driven so far.
@@ -86,10 +90,27 @@ func (e *Engine) Rounds() int { return e.rounds }
 // diagnostics.
 func (e *Engine) PendingLen() int { return len(e.pending) }
 
+// findPending returns the position of peer's open exchange, or -1.
+func (e *Engine) findPending(peer addr.NodeID) int {
+	for i, r := range e.pending {
+		if r.peer == peer {
+			return i
+		}
+	}
+	return -1
+}
+
+// removePending deletes the record at position i, preserving order so
+// expiry scans stay deterministic.
+func (e *Engine) removePending(i int) {
+	copy(e.pending[i:], e.pending[i+1:])
+	e.pending[len(e.pending)-1] = nil
+	e.pending = e.pending[:len(e.pending)-1]
+}
+
 // Pending reports whether an exchange with peer is awaiting a response.
 func (e *Engine) Pending(peer addr.NodeID) bool {
-	_, ok := e.pending[peer]
-	return ok
+	return e.findPending(peer) >= 0
 }
 
 // NewReq hands out a pooled request.
@@ -106,12 +127,14 @@ func (e *Engine) NewRes() *Res { return e.pool.NewRes() }
 func (e *Engine) RunRound(p Protocol) {
 	e.rounds++
 	expired := 0
-	for id, r := range e.pending {
-		if e.rounds-r.round > e.ttl {
-			delete(e.pending, id)
+	for i := 0; i < len(e.pending); {
+		if r := e.pending[i]; e.rounds-r.round > e.ttl {
+			e.removePending(i)
 			e.putRecord(r)
 			expired++
+			continue
 		}
+		i++
 	}
 	p.PrepareRound(expired)
 	target, ok := p.SelectPeer()
@@ -127,15 +150,17 @@ func (e *Engine) RunRound(p Protocol) {
 	// must leave any still-open exchange with the same peer from an
 	// earlier round intact, so its in-flight response can still merge.
 	r := e.getRecord()
+	r.peer = target.ID
 	r.pub = append(r.pub[:0], req.Pub...)
 	r.pri = append(r.pri[:0], req.Pri...)
 	r.round = e.rounds
 	switch p.Deliver(target, req) {
 	case Sent:
-		if old, ok := e.pending[target.ID]; ok {
-			e.putRecord(old)
+		if i := e.findPending(target.ID); i >= 0 {
+			e.putRecord(e.pending[i])
+			e.removePending(i)
 		}
-		e.pending[target.ID] = r
+		e.pending = append(e.pending, r)
 	case Deferred:
 		// The protocol stashed the request and opens the exchange
 		// itself once the path is punched.
@@ -151,10 +176,13 @@ func (e *Engine) RunRound(p Protocol) {
 // packet and cannot be retained), replacing any earlier record for the
 // same peer.
 func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
-	r, ok := e.pending[peer]
-	if !ok {
+	var r *record
+	if i := e.findPending(peer); i >= 0 {
+		r = e.pending[i]
+	} else {
 		r = e.getRecord()
-		e.pending[peer] = r
+		r.peer = peer
+		e.pending = append(e.pending, r)
 	}
 	r.pub = append(r.pub[:0], sentPub...)
 	r.pri = append(r.pri[:0], sentPri...)
@@ -166,11 +194,12 @@ func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
 // recorded sent subsets and the record is recycled; late or duplicate
 // responses report false and are ignored.
 func (e *Engine) HandleResponse(p Protocol, res *Res) bool {
-	r, ok := e.pending[res.From.ID]
-	if !ok {
+	i := e.findPending(res.From.ID)
+	if i < 0 {
 		return false
 	}
-	delete(e.pending, res.From.ID)
+	r := e.pending[i]
+	e.removePending(i)
 	p.MergeResponse(res, r.pub, r.pri)
 	e.putRecord(r)
 	return true

@@ -68,7 +68,10 @@ func RunFig7b(cfg Fig7bConfig) (Fig7bResult, error) {
 			survivors := len(w.AliveNodes())
 			pct := 0.0
 			if survivors > 0 {
-				snap := graph.Build(w.Overlay())
+				var o graph.Overlay
+				var b graph.Builder
+				w.SnapshotOverlay(&o, false)
+				snap := b.Build(&o)
 				pct = 100 * float64(snap.BiggestCluster()) / float64(survivors)
 			}
 			run.Append(100*frac, pct)

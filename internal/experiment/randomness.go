@@ -100,7 +100,10 @@ func RunFig6a(cfg Fig6aConfig) (Fig6aResult, error) {
 			return nil, err
 		}
 		w.RunUntil(time.Duration(rounds) * round)
-		return graph.Build(w.Overlay()).InDegreeHistogram(), nil
+		var o graph.Overlay
+		var b graph.Builder
+		w.SnapshotOverlay(&o, false)
+		return b.Build(&o).InDegreeHistogram(), nil
 	})
 	if err != nil {
 		return Fig6aResult{}, err
@@ -226,9 +229,15 @@ func runOverlayMetric(cfg Fig6bcConfig, title string, seedBase int64,
 			return stats.Series{}, err
 		}
 		run := stats.Series{Name: j.kind.String()}
+		// The overlay snapshot and graph builder are reused across the
+		// run's sample points; the builder's snapshot aliases its
+		// scratch, so each sample re-builds in place.
+		var o graph.Overlay
+		var b graph.Builder
 		for r := cfg.SampleEvery; r <= rounds; r += cfg.SampleEvery {
 			w.RunUntil(time.Duration(r) * round)
-			snap := graph.Build(w.Overlay())
+			w.SnapshotOverlay(&o, false)
+			snap := b.Build(&o)
 			run.Append(float64(r), metric(snap, w))
 		}
 		return run, nil

@@ -244,7 +244,7 @@ func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.Nat
 		cfg:     cfg,
 		sched:   sched,
 		sock:    sock,
-		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		rng:     sim.NewRand(sched.Rand().Int63()),
 		eng:     eng,
 		self:    sock.Host().ID(),
 		ep:      selfEP,

@@ -2,6 +2,11 @@
 // clustering coefficients, average path lengths and connected
 // components — the randomness and robustness metrics of the paper's
 // evaluation (§VII-C).
+//
+// Snapshots are stored CSR-style (flat adjacency arrays with offsets)
+// and built on reusable scratch with stamp-array deduplication, so
+// probing a 10k-node overlay mid-scenario costs no per-vertex maps and
+// — through a Builder — no per-probe allocations once warm.
 package graph
 
 import (
@@ -11,54 +16,244 @@ import (
 	"repro/internal/addr"
 )
 
+// Overlay is a dense adjacency snapshot: Adj[i] lists the neighbor IDs
+// of IDs[i]. It is the zero-copy input form Builder consumes; worlds
+// fill one in place so a periodic probe reuses its backing storage.
+// Neighbor lists may contain duplicates, unknown nodes and self-loops;
+// Build cleans all three up.
+type Overlay struct {
+	IDs []addr.NodeID
+	Adj [][]addr.NodeID
+}
+
+// Reset empties the overlay, keeping row capacity for reuse.
+func (o *Overlay) Reset() {
+	o.IDs = o.IDs[:0]
+	o.Adj = o.Adj[:0]
+}
+
+// Row appends a vertex and returns the slice to append its neighbors
+// to; the caller assigns the returned slice's final value back via
+// SetRow. Typical use:
+//
+//	row := o.Row(id)
+//	row = append(row, neighbors...)
+//	o.SetRow(row)
+func (o *Overlay) Row(id addr.NodeID) []addr.NodeID {
+	o.IDs = append(o.IDs, id)
+	if len(o.Adj) < cap(o.Adj) {
+		o.Adj = o.Adj[:len(o.Adj)+1]
+	} else {
+		o.Adj = append(o.Adj, nil)
+	}
+	return o.Adj[len(o.Adj)-1][:0]
+}
+
+// SetRow stores the finished neighbor slice of the most recent Row.
+func (o *Overlay) SetRow(row []addr.NodeID) {
+	o.Adj[len(o.Adj)-1] = row
+}
+
 // Snapshot is an immutable directed graph over the overlay at one
 // instant. Vertices are the live nodes; edges point from a node to the
 // entries of its partial view(s). Edges to vertices outside the snapshot
 // (stale descriptors of dead nodes) are dropped at construction.
+//
+// Snapshots produced by a Builder alias the Builder's storage: they are
+// valid until that Builder's next Build. The package-level Build
+// constructs an independent snapshot.
 type Snapshot struct {
-	ids   []addr.NodeID
-	index map[addr.NodeID]int
-	out   [][]int32
-	in    [][]int32
-	edges int
+	ids    []addr.NodeID
+	outOff []int32
+	outAdj []int32
+	inOff  []int32
+	inAdj  []int32
+	edges  int
+
+	// Traversal scratch, reused across metric calls on this snapshot.
+	dist  []int32
+	queue []int32
+
+	// Undirected union adjacency (built lazily for clustering).
+	undOff   []int32
+	undAdj   []int32
+	undBuilt bool
 }
 
-// Build constructs a snapshot from an adjacency map. Neighbor lists may
-// contain duplicates or unknown nodes; both are cleaned up.
+// Builder constructs snapshots on reusable scratch. The zero value is
+// ready to use; a Builder is not safe for concurrent use and its
+// snapshots alias its storage (one live snapshot per Builder).
+type Builder struct {
+	snap Snapshot
+	// index resolves neighbor IDs to vertex positions. When IDs are
+	// dense small integers — every simulated world issues 1..n — a
+	// direct-indexed table replaces the map entirely.
+	idPos   []int32
+	idPosOK bool
+	index   map[addr.NodeID]int32
+	// mark stamps per-source dedup of neighbor entries.
+	mark []int32
+	// edges is the deduped edge list scratch (pairs flattened).
+	edges []int32
+	// fill is the per-vertex CSR fill cursor scratch.
+	fill []int32
+}
+
+// maxDenseID bounds the direct-indexed ID table; worlds issue dense
+// IDs counting from 1, so the table stays proportional to the overlay.
+const maxDenseID = 1 << 21
+
+// Build constructs an independent snapshot from an adjacency map.
+// Neighbor lists may contain duplicates or unknown nodes; both are
+// cleaned up.
 func Build(adj map[addr.NodeID][]addr.NodeID) *Snapshot {
-	ids := make([]addr.NodeID, 0, len(adj))
+	var o Overlay
+	o.IDs = make([]addr.NodeID, 0, len(adj))
 	for id := range adj {
-		ids = append(ids, id)
+		o.IDs = append(o.IDs, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	index := make(map[addr.NodeID]int, len(ids))
-	for i, id := range ids {
-		index[id] = i
+	sort.Slice(o.IDs, func(i, j int) bool { return o.IDs[i] < o.IDs[j] })
+	o.Adj = make([][]addr.NodeID, len(o.IDs))
+	for i, id := range o.IDs {
+		o.Adj[i] = adj[id]
 	}
-	s := &Snapshot{
-		ids:   ids,
-		index: index,
-		out:   make([][]int32, len(ids)),
-		in:    make([][]int32, len(ids)),
-	}
-	for i, id := range ids {
-		seen := make(map[int32]bool)
-		for _, nb := range adj[id] {
-			j, ok := index[nb]
-			if !ok || j == i {
-				continue
-			}
-			if seen[int32(j)] {
-				continue
-			}
-			seen[int32(j)] = true
-			s.out[i] = append(s.out[i], int32(j))
-			s.in[j] = append(s.in[j], int32(i))
-			s.edges++
+	var b Builder
+	return b.Build(&o)
+}
+
+// Build constructs a snapshot from the overlay, reusing the Builder's
+// scratch. The returned snapshot is valid until the next Build on the
+// same Builder.
+func (b *Builder) Build(o *Overlay) *Snapshot {
+	n := len(o.IDs)
+	s := &b.snap
+	s.ids = append(s.ids[:0], o.IDs...)
+	s.edges = 0
+	s.undBuilt = false
+
+	// Resolve IDs to positions: dense table when IDs allow, map
+	// fallback otherwise.
+	var maxID addr.NodeID
+	for _, id := range o.IDs {
+		if id > maxID {
+			maxID = id
 		}
+	}
+	b.idPosOK = maxID < maxDenseID
+	if b.idPosOK {
+		need := int(maxID) + 1
+		if cap(b.idPos) < need {
+			b.idPos = make([]int32, need)
+		}
+		b.idPos = b.idPos[:need]
+		for i := range b.idPos {
+			b.idPos[i] = -1
+		}
+		for i, id := range o.IDs {
+			b.idPos[id] = int32(i)
+		}
+	} else {
+		if b.index == nil {
+			b.index = make(map[addr.NodeID]int32, n)
+		} else {
+			clear(b.index)
+		}
+		for i, id := range o.IDs {
+			b.index[id] = int32(i)
+		}
+	}
+	pos := func(id addr.NodeID) int32 {
+		if b.idPosOK {
+			if id < addr.NodeID(len(b.idPos)) {
+				return b.idPos[id]
+			}
+			return -1
+		}
+		if p, ok := b.index[id]; ok {
+			return p
+		}
+		return -1
+	}
+
+	// Pass 1: dedup edges per source with the stamp array, counting
+	// degrees and collecting the surviving edge list.
+	if cap(b.mark) < n {
+		b.mark = make([]int32, n)
+	}
+	b.mark = b.mark[:n]
+	for i := range b.mark {
+		b.mark[i] = -1
+	}
+	s.outOff = growOff(s.outOff, n)
+	s.inOff = growOff(s.inOff, n)
+	b.edges = b.edges[:0]
+	for i := 0; i < n; i++ {
+		for _, nb := range o.Adj[i] {
+			j := pos(nb)
+			if j < 0 || j == int32(i) || b.mark[j] == int32(i) {
+				continue
+			}
+			b.mark[j] = int32(i)
+			b.edges = append(b.edges, int32(i), j)
+			s.outOff[i+1]++
+			s.inOff[j+1]++
+		}
+	}
+	s.edges = len(b.edges) / 2
+
+	// Prefix sums, then fill both CSR halves in edge order — the same
+	// first-occurrence order the per-vertex lists always had.
+	for i := 0; i < n; i++ {
+		s.outOff[i+1] += s.outOff[i]
+		s.inOff[i+1] += s.inOff[i]
+	}
+	s.outAdj = growAdj(s.outAdj, s.edges)
+	s.inAdj = growAdj(s.inAdj, s.edges)
+	if cap(b.fill) < 2*n {
+		b.fill = make([]int32, 2*n)
+	}
+	b.fill = b.fill[:2*n]
+	outFill, inFill := b.fill[:n], b.fill[n:]
+	for i := 0; i < n; i++ {
+		outFill[i] = s.outOff[i]
+		inFill[i] = s.inOff[i]
+	}
+	for k := 0; k < len(b.edges); k += 2 {
+		u, v := b.edges[k], b.edges[k+1]
+		s.outAdj[outFill[u]] = v
+		outFill[u]++
+		s.inAdj[inFill[v]] = u
+		inFill[v]++
 	}
 	return s
 }
+
+// growOff returns off resized to n+1 zeroed entries.
+func growOff(off []int32, n int) []int32 {
+	if cap(off) < n+1 {
+		off = make([]int32, n+1)
+	}
+	off = off[:n+1]
+	for i := range off {
+		off[i] = 0
+	}
+	return off
+}
+
+// growAdj returns adj resized to n entries (contents overwritten by the
+// caller).
+func growAdj(adj []int32, n int) []int32 {
+	if cap(adj) < n {
+		return make([]int32, n)
+	}
+	return adj[:n]
+}
+
+// out returns vertex v's out-neighbors.
+func (s *Snapshot) out(v int32) []int32 { return s.outAdj[s.outOff[v]:s.outOff[v+1]] }
+
+// in returns vertex v's in-neighbors.
+func (s *Snapshot) in(v int32) []int32 { return s.inAdj[s.inOff[v]:s.inOff[v+1]] }
 
 // Order returns the number of vertices.
 func (s *Snapshot) Order() int { return len(s.ids) }
@@ -66,7 +261,7 @@ func (s *Snapshot) Order() int { return len(s.ids) }
 // Edges returns the number of directed edges.
 func (s *Snapshot) Edges() int { return s.edges }
 
-// IDs returns the vertex identifiers in ascending order.
+// IDs returns the vertex identifiers in snapshot order.
 func (s *Snapshot) IDs() []addr.NodeID {
 	out := make([]addr.NodeID, len(s.ids))
 	copy(out, s.ids)
@@ -76,8 +271,8 @@ func (s *Snapshot) IDs() []addr.NodeID {
 // InDegrees returns each vertex's in-degree, indexed like IDs.
 func (s *Snapshot) InDegrees() []int {
 	out := make([]int, len(s.ids))
-	for i := range s.in {
-		out[i] = len(s.in[i])
+	for i := range out {
+		out[i] = int(s.inOff[i+1] - s.inOff[i])
 	}
 	return out
 }
@@ -114,18 +309,23 @@ func (s *Snapshot) AvgPathLength(maxSources int, rng *rand.Rand) (avg float64, r
 		}
 	}
 	var sum, pairs, possible uint64
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+	}
+	dist := s.dist[:n]
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
 	for _, src := range sources {
 		for i := range dist {
 			dist[i] = -1
 		}
 		dist[src] = 0
-		queue = append(queue[:0], int32(src))
+		queue := append(s.queue[:0], int32(src))
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range s.out[v] {
+			for _, w := range s.out(v) {
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)
@@ -149,6 +349,92 @@ func (s *Snapshot) AvgPathLength(maxSources int, rng *rand.Rand) (avg float64, r
 	return float64(sum) / float64(pairs), float64(pairs) / float64(possible)
 }
 
+// buildUndirected materialises the undirected union adjacency (u,v
+// adjacent when either holds the other) with per-vertex sorted neighbor
+// lists, reusing the snapshot's storage.
+func (s *Snapshot) buildUndirected() {
+	if s.undBuilt {
+		return
+	}
+	n := len(s.ids)
+	s.undOff = growOff(s.undOff, n)
+	// Dedup the union per vertex with a stamp array over the dist
+	// scratch (repurposed: it is free between metric calls).
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+	}
+	mark := s.dist[:n]
+	for i := range mark {
+		mark[i] = -1
+	}
+	// Count pass.
+	for v := int32(0); int(v) < n; v++ {
+		for _, w := range s.out(v) {
+			if mark[w] != v {
+				mark[w] = v
+				s.undOff[v+1]++
+			}
+		}
+		for _, w := range s.in(v) {
+			if mark[w] != v {
+				mark[w] = v
+				s.undOff[v+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.undOff[i+1] += s.undOff[i]
+	}
+	total := int(s.undOff[n])
+	s.undAdj = growAdj(s.undAdj, total)
+	for i := range mark {
+		mark[i] = -1
+	}
+	// Fill pass.
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
+	fill := append(s.queue[:0], s.undOff[:n]...)
+	for v := int32(0); int(v) < n; v++ {
+		for _, w := range s.out(v) {
+			if mark[w] != v {
+				mark[w] = v
+				s.undAdj[fill[v]] = w
+				fill[v]++
+			}
+		}
+		for _, w := range s.in(v) {
+			if mark[w] != v {
+				mark[w] = v
+				s.undAdj[fill[v]] = w
+				fill[v]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		seg := s.undAdj[s.undOff[v]:s.undOff[v+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	}
+	s.undBuilt = true
+}
+
+// und returns vertex v's undirected neighbors, sorted ascending.
+func (s *Snapshot) und(v int32) []int32 { return s.undAdj[s.undOff[v]:s.undOff[v+1]] }
+
+// contains reports membership in a sorted adjacency segment.
+func contains(seg []int32, w int32) bool {
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seg[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(seg) && seg[lo] == w
+}
+
 // ClusteringCoefficient returns the average local clustering coefficient
 // over all vertices (Fig 6(c)), computed on the undirected union graph:
 // vertices u,v are adjacent when either holds the other in its view.
@@ -159,31 +445,19 @@ func (s *Snapshot) ClusteringCoefficient() float64 {
 	if n == 0 {
 		return 0
 	}
-	und := make([]map[int32]bool, n)
-	for i := range und {
-		und[i] = make(map[int32]bool, len(s.out[i])+len(s.in[i]))
-	}
-	for i := range s.out {
-		for _, j := range s.out[i] {
-			und[i][j] = true
-			und[j][int32(i)] = true
-		}
-	}
+	s.buildUndirected()
 	total := 0.0
-	for i := range und {
-		k := len(und[i])
+	for v := int32(0); int(v) < n; v++ {
+		neigh := s.und(v)
+		k := len(neigh)
 		if k < 2 {
 			continue
 		}
-		neigh := make([]int32, 0, k)
-		for j := range und[i] {
-			neigh = append(neigh, j)
-		}
-		sort.Slice(neigh, func(a, b int) bool { return neigh[a] < neigh[b] })
 		links := 0
-		for a := 0; a < len(neigh); a++ {
-			for b := a + 1; b < len(neigh); b++ {
-				if und[neigh[a]][neigh[b]] {
+		for a := 0; a < k; a++ {
+			na := s.und(neigh[a])
+			for b := a + 1; b < k; b++ {
+				if contains(na, neigh[b]) {
 					links++
 				}
 			}
@@ -201,12 +475,17 @@ func (s *Snapshot) BiggestCluster() int {
 	if n == 0 {
 		return 0
 	}
-	comp := make([]int32, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+	}
+	comp := s.dist[:n]
 	for i := range comp {
 		comp[i] = -1
 	}
 	best := 0
-	queue := make([]int32, 0, n)
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
 	var label int32
 	for i := 0; i < n; i++ {
 		if comp[i] >= 0 {
@@ -214,18 +493,18 @@ func (s *Snapshot) BiggestCluster() int {
 		}
 		size := 0
 		comp[i] = label
-		queue = append(queue[:0], int32(i))
+		queue := append(s.queue[:0], int32(i))
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
 			size++
-			for _, w := range s.out[v] {
+			for _, w := range s.out(v) {
 				if comp[w] < 0 {
 					comp[w] = label
 					queue = append(queue, w)
 				}
 			}
-			for _, w := range s.in[v] {
+			for _, w := range s.in(v) {
 				if comp[w] < 0 {
 					comp[w] = label
 					queue = append(queue, w)
@@ -246,28 +525,36 @@ func (s *Snapshot) ComponentCount() int {
 	if n == 0 {
 		return 0
 	}
-	seen := make([]bool, n)
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+	}
+	seen := s.dist[:n]
+	for i := range seen {
+		seen[i] = 0
+	}
 	count := 0
-	queue := make([]int32, 0, n)
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
 	for i := 0; i < n; i++ {
-		if seen[i] {
+		if seen[i] != 0 {
 			continue
 		}
 		count++
-		seen[i] = true
-		queue = append(queue[:0], int32(i))
+		seen[i] = 1
+		queue := append(s.queue[:0], int32(i))
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range s.out[v] {
-				if !seen[w] {
-					seen[w] = true
+			for _, w := range s.out(v) {
+				if seen[w] == 0 {
+					seen[w] = 1
 					queue = append(queue, w)
 				}
 			}
-			for _, w := range s.in[v] {
-				if !seen[w] {
-					seen[w] = true
+			for _, w := range s.in(v) {
+				if seen[w] == 0 {
+					seen[w] = 1
 					queue = append(queue, w)
 				}
 			}

@@ -61,7 +61,11 @@ func (u Uniform) Delay(a, b addr.NodeID) time.Duration {
 // which also keeps parallel multi-seed runs independent.
 type KingLike struct {
 	seed int64
-	// coord memoises each node's spherical coordinates {lat, lon}.
+	// dense memoises spherical coordinates {lat, lon} for the dense
+	// node IDs every simulated world issues, indexed directly by ID so
+	// the per-packet path performs no map lookups. coord is the
+	// fallback memo for IDs too large to index densely.
+	dense      []coordEntry
 	coord      map[addr.NodeID][2]float64
 	base       time.Duration
 	propFactor float64
@@ -69,7 +73,34 @@ type KingLike struct {
 	mu         float64
 	minDelay   time.Duration
 	maxDelay   time.Duration
+	// pairCache is a direct-mapped memo of per-pair delays, keyed by
+	// the full pair hash. Gossip traffic concentrates on each node's
+	// current view peers, so the hit rate is high, and a hit skips the
+	// haversine + Box–Muller transcendentals that otherwise run per
+	// packet. Allocated on first use (≈1 MB per model).
+	pairCache []pairDelay
 }
+
+// pairDelay is one memoised (pair hash, delay) entry.
+type pairDelay struct {
+	key uint64
+	d   time.Duration
+}
+
+// pairCacheBits sizes the direct-mapped delay cache (2^16 entries).
+const pairCacheBits = 16
+
+// coordEntry is one memoised coordinate pair; ok distinguishes a
+// computed entry from a zero slot.
+type coordEntry struct {
+	lat, lon float64
+	ok       bool
+}
+
+// maxDenseCoord bounds the dense memo: IDs at or above it (never issued
+// by the simulated worlds, whose IDs count up from 1) fall back to the
+// map so a pathological ID cannot balloon the table.
+const maxDenseCoord = 1 << 20
 
 // NewKingLike builds a King-like model. The defaults are calibrated so
 // the resulting one-way delays have a median near 40 ms (80 ms RTT) and
@@ -94,6 +125,16 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 	if a == b {
 		return k.minDelay
 	}
+	h := uint64(pairSeed(k.seed, a, b))
+	if k.pairCache == nil {
+		k.pairCache = make([]pairDelay, 1<<pairCacheBits)
+	}
+	slot := &k.pairCache[h&(1<<pairCacheBits-1)]
+	if slot.key == h && slot.d != 0 {
+		// d != 0 guards the zero-value slot against a pair hashing to
+		// exactly zero; real delays are always ≥ minDelay.
+		return slot.d
+	}
 	la1, lo1 := k.coords(a)
 	la2, lo2 := k.coords(b)
 	// Normalised great-circle distance in [0, 1].
@@ -102,7 +143,6 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 	// Standard normal via Box–Muller on two hash-derived uniforms: the
 	// same lognormal shape a seeded rand.Rand produced, without the
 	// per-call source allocation and 607-word reseed.
-	h := uint64(pairSeed(k.seed, a, b))
 	u1 := unit(mix(h, 1))
 	if u1 < 1e-300 {
 		u1 = 1e-300 // keep Log finite
@@ -119,6 +159,7 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 	if d > k.maxDelay {
 		d = k.maxDelay
 	}
+	*slot = pairDelay{key: h, d: d}
 	return d
 }
 
@@ -126,13 +167,33 @@ func (k *KingLike) Delay(a, b addr.NodeID) time.Duration {
 // [-pi, pi), derived deterministically from the node ID and memoised.
 // Latitude uses an arcsine transform so hosts are uniform on the sphere.
 func (k *KingLike) coords(n addr.NodeID) (lat, lon float64) {
+	if n < maxDenseCoord {
+		i := int(n)
+		if i < len(k.dense) {
+			if c := k.dense[i]; c.ok {
+				return c.lat, c.lon
+			}
+		}
+		lat, lon = k.compute(n)
+		for len(k.dense) <= i {
+			k.dense = append(k.dense, coordEntry{})
+		}
+		k.dense[i] = coordEntry{lat: lat, lon: lon, ok: true}
+		return lat, lon
+	}
 	if c, ok := k.coord[n]; ok {
 		return c[0], c[1]
 	}
+	lat, lon = k.compute(n)
+	k.coord[n] = [2]float64{lat, lon}
+	return lat, lon
+}
+
+// compute derives a node's coordinates from its ID.
+func (k *KingLike) compute(n addr.NodeID) (lat, lon float64) {
 	h := uint64(pairSeed(k.seed, n, n))
 	lat = math.Asin(2*unit(mix(h, 1)) - 1)
 	lon = 2*math.Pi*unit(mix(h, 2)) - math.Pi
-	k.coord[n] = [2]float64{lat, lon}
 	return lat, lon
 }
 

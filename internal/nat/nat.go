@@ -136,25 +136,37 @@ type mapKey struct {
 }
 
 type mapping struct {
+	key        mapKey
 	internal   addr.Endpoint
 	public     addr.Endpoint
 	lastActive time.Duration
 	permanent  bool // UPnP mappings never expire
 	// contacted records the remote endpoints this mapping has sent to
-	// and when, for filtering decisions.
-	contacted map[addr.Endpoint]time.Duration
+	// and when, for filtering decisions. Entries older than the mapping
+	// timeout can never admit a packet again, so they are swept out
+	// whenever the table doubles past sweepLimit — a real gateway's
+	// filter table is bounded the same way, and without the sweep a
+	// long-lived mapping accumulates one entry per endpoint it ever
+	// contacted.
+	contacted  map[addr.Endpoint]time.Duration
+	sweepLimit int
 }
 
 // Gateway is a single emulated NAT box. A gateway fronts one or more
 // internal hosts (the experiments place one host behind each gateway, as
 // the paper does). Gateways are not safe for concurrent use; all access
 // happens inside the simulation event loop.
+//
+// The mapping tables are slices, not maps: a gateway fronting one host
+// holds one or two mappings (endpoint-independent mapping collapses all
+// destinations of a socket onto one), and on the per-packet translation
+// path a linear scan of a tiny slice costs a fraction of a hashed map
+// probe into per-gateway cold memory.
 type Gateway struct {
 	cfg      Config
 	now      func() time.Duration
 	rng      *rand.Rand
-	byKey    map[mapKey]*mapping
-	byPublic map[uint16]*mapping
+	mappings []*mapping
 	nextPort uint16
 }
 
@@ -178,10 +190,30 @@ func NewGateway(cfg Config, now func() time.Duration, rng *rand.Rand) (*Gateway,
 		cfg:      cfg,
 		now:      now,
 		rng:      rng,
-		byKey:    make(map[mapKey]*mapping),
-		byPublic: make(map[uint16]*mapping),
 		nextPort: 50000,
 	}, nil
+}
+
+// findByKey returns the position of the mapping with the given key, or
+// -1.
+func (g *Gateway) findByKey(k mapKey) int {
+	for i, m := range g.mappings {
+		if m.key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// findByPublic returns the position of the mapping owning the public
+// port, or -1.
+func (g *Gateway) findByPublic(port uint16) int {
+	for i, m := range g.mappings {
+		if m.public.Port == port {
+			return i
+		}
+	}
+	return -1
 }
 
 // PublicIP returns the gateway's public address.
@@ -204,10 +236,12 @@ func (g *Gateway) SetMappingTimeout(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("nat: mapping timeout must be positive, got %v", d)
 	}
-	for k, m := range g.byKey {
-		if g.expired(m) {
-			g.drop(k, m)
+	for i := 0; i < len(g.mappings); {
+		if g.expired(g.mappings[i]) {
+			g.drop(i)
+			continue
 		}
+		i++
 	}
 	g.cfg.MappingTimeout = d
 	return nil
@@ -229,9 +263,11 @@ func (g *Gateway) expired(m *mapping) bool {
 	return !m.permanent && g.now()-m.lastActive > g.cfg.MappingTimeout
 }
 
-func (g *Gateway) drop(k mapKey, m *mapping) {
-	delete(g.byKey, k)
-	delete(g.byPublic, m.public.Port)
+// drop removes the mapping at position i, preserving order.
+func (g *Gateway) drop(i int) {
+	copy(g.mappings[i:], g.mappings[i+1:])
+	g.mappings[len(g.mappings)-1] = nil
+	g.mappings = g.mappings[:len(g.mappings)-1]
 }
 
 // Outbound translates an outbound packet from internal source src to
@@ -239,22 +275,36 @@ func (g *Gateway) drop(k mapKey, m *mapping) {
 // public source endpoint the packet appears to come from.
 func (g *Gateway) Outbound(src, dst addr.Endpoint) addr.Endpoint {
 	k := g.key(src, dst)
-	m, ok := g.byKey[k]
-	if ok && g.expired(m) {
-		g.drop(k, m)
-		ok = false
+	var m *mapping
+	if i := g.findByKey(k); i >= 0 {
+		if g.expired(g.mappings[i]) {
+			g.drop(i)
+		} else {
+			m = g.mappings[i]
+		}
 	}
-	if !ok {
+	if m == nil {
 		m = &mapping{
+			key:       k,
 			internal:  src,
 			public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: g.allocPort(src.Port)},
 			contacted: make(map[addr.Endpoint]time.Duration),
 		}
-		g.byKey[k] = m
-		g.byPublic[m.public.Port] = m
+		g.mappings = append(g.mappings, m)
 	}
 	m.lastActive = g.now()
 	m.contacted[dst] = g.now()
+	if len(m.contacted) >= m.sweepLimit {
+		// Swept entries are gone for good: like an expired mapping
+		// (see SetMappingTimeout), filter state a real gateway has
+		// discarded is not resurrected by a later timeout raise.
+		for ep, at := range m.contacted {
+			if g.now()-at > g.cfg.MappingTimeout {
+				delete(m.contacted, ep)
+			}
+		}
+		m.sweepLimit = 2*len(m.contacted) + 16
+	}
 	return m.public
 }
 
@@ -267,12 +317,13 @@ func (g *Gateway) Inbound(remote, pub addr.Endpoint) (addr.Endpoint, bool) {
 	if pub.IP != g.cfg.PublicIP {
 		return addr.Endpoint{}, false
 	}
-	m, ok := g.byPublic[pub.Port]
-	if !ok {
+	i := g.findByPublic(pub.Port)
+	if i < 0 {
 		return addr.Endpoint{}, false
 	}
+	m := g.mappings[i]
 	if g.expired(m) {
-		g.drop(g.keyFor(m), m)
+		g.drop(i)
 		return addr.Endpoint{}, false
 	}
 	if m.permanent {
@@ -295,25 +346,6 @@ func (g *Gateway) Inbound(remote, pub addr.Endpoint) (addr.Endpoint, bool) {
 	return addr.Endpoint{}, false
 }
 
-// keyFor reconstructs the map key of an existing mapping so it can be
-// dropped. For address/port-dependent mapping the remote half of the key
-// is recovered from the contacted set (each such mapping has exactly one
-// destination).
-func (g *Gateway) keyFor(m *mapping) mapKey {
-	k := mapKey{internal: m.internal}
-	if g.cfg.Mapping == MappingEndpointIndependent {
-		return k
-	}
-	for ep := range m.contacted {
-		k.remoteIP = ep.IP
-		if g.cfg.Mapping == MappingAddressPortDependent {
-			k.remotePt = ep.Port
-		}
-		break
-	}
-	return k
-}
-
 // MapPort installs a permanent UPnP IGD port mapping from the gateway's
 // publicPort to the internal endpoint. It fails if the gateway does not
 // support UPnP or the port is taken.
@@ -321,17 +353,23 @@ func (g *Gateway) MapPort(internal addr.Endpoint, publicPort uint16) (addr.Endpo
 	if !g.cfg.UPnP {
 		return addr.Endpoint{}, fmt.Errorf("nat: gateway %v does not support UPnP", g.cfg.PublicIP)
 	}
-	if old, ok := g.byPublic[publicPort]; ok && !g.expired(old) {
-		return addr.Endpoint{}, fmt.Errorf("nat: public port %d already mapped", publicPort)
+	if i := g.findByPublic(publicPort); i >= 0 {
+		if !g.expired(g.mappings[i]) {
+			return addr.Endpoint{}, fmt.Errorf("nat: public port %d already mapped", publicPort)
+		}
+		g.drop(i)
 	}
 	m := &mapping{
+		key:       mapKey{internal: internal},
 		internal:  internal,
 		public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: publicPort},
 		permanent: true,
 		contacted: make(map[addr.Endpoint]time.Duration),
 	}
-	g.byKey[mapKey{internal: internal}] = m
-	g.byPublic[publicPort] = m
+	if i := g.findByKey(m.key); i >= 0 {
+		g.drop(i)
+	}
+	g.mappings = append(g.mappings, m)
 	return m.public, nil
 }
 
@@ -339,7 +377,7 @@ func (g *Gateway) MapPort(internal addr.Endpoint, publicPort uint16) (addr.Endpo
 // diagnostics).
 func (g *Gateway) ActiveMappings() int {
 	n := 0
-	for _, m := range g.byKey {
+	for _, m := range g.mappings {
 		if !g.expired(m) {
 			n++
 		}
@@ -350,16 +388,14 @@ func (g *Gateway) ActiveMappings() int {
 func (g *Gateway) allocPort(want uint16) uint16 {
 	switch g.cfg.Allocation {
 	case AllocPortPreservation:
-		if want != 0 {
-			if _, taken := g.byPublic[want]; !taken {
-				return want
-			}
+		if want != 0 && g.findByPublic(want) < 0 {
+			return want
 		}
 		return g.contiguousPort()
 	case AllocRandom:
 		for i := 0; i < 1024; i++ {
 			p := uint16(49152 + g.rng.Intn(16384))
-			if _, taken := g.byPublic[p]; !taken {
+			if g.findByPublic(p) < 0 {
 				return p
 			}
 		}
@@ -379,7 +415,7 @@ func (g *Gateway) contiguousPort() uint16 {
 		if p == 0 {
 			continue
 		}
-		if _, taken := g.byPublic[p]; !taken {
+		if g.findByPublic(p) < 0 {
 			return p
 		}
 	}

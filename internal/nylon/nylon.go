@@ -51,6 +51,15 @@ type Config struct {
 	MaxHops int
 	// PendingTTL bounds how many rounds punch/shuffle state is kept.
 	PendingTTL int
+	// MaxRVPs, when positive, bounds the rendezvous set: past the
+	// bound, the relationship with the oldest lastRefresh (ties to the
+	// smaller node ID) is evicted, the way a real NAT device bounds its
+	// session table. Zero — the default — keeps the paper-faithful
+	// unbounded behaviour, under which every pair that ever exchanged
+	// keep-alive-refreshes each other forever and the mesh grows toward
+	// a full mesh; large-scale runs set a bound to keep nylon's state
+	// and keep-alive traffic from growing with deployment size.
+	MaxRVPs int
 }
 
 // DefaultConfig returns the setup used in the comparison experiments.
@@ -75,6 +84,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxHops <= 0 {
 		return fmt.Errorf("nylon: max hops must be positive, got %d", c.MaxHops)
+	}
+	if c.MaxRVPs < 0 {
+		return fmt.Errorf("nylon: max RVPs must be non-negative, got %d", c.MaxRVPs)
 	}
 	return nil
 }
@@ -246,7 +258,7 @@ func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.Nat
 		cfg:     cfg,
 		sched:   sched,
 		sock:    sock,
-		rng:     rand.New(rand.NewSource(sched.Rand().Int63())),
+		rng:     sim.NewRand(sched.Rand().Int63()),
 		eng:     eng,
 		self:    sock.Host().ID(),
 		ep:      selfEP,
@@ -454,6 +466,36 @@ func (n *Node) becomeRVPs(id addr.NodeID, ep addr.Endpoint) {
 	r.lastRefresh = n.eng.Rounds()
 	// A direct relationship is also the best route.
 	n.setRoute(id, id, ep)
+	if n.cfg.MaxRVPs > 0 && len(n.rvps) > n.cfg.MaxRVPs {
+		n.evictOldestRVP(id)
+	}
+}
+
+// evictOldestRVP drops the rendezvous relationship with the stalest
+// lastRefresh — never `keep`, the peer just refreshed — breaking ties
+// towards the smaller node ID so eviction is deterministic regardless
+// of map iteration order. The route entry, if any, is left to its own
+// TTL, matching how RVPTTL expiry treats routes.
+func (n *Node) evictOldestRVP(keep addr.NodeID) {
+	var victim addr.NodeID
+	found := false
+	for id, r := range n.rvps {
+		if id == keep {
+			continue
+		}
+		if !found {
+			victim, found = id, true
+			continue
+		}
+		v := n.rvps[victim]
+		if r.lastRefresh < v.lastRefresh || (r.lastRefresh == v.lastRefresh && id < victim) {
+			victim = id
+		}
+	}
+	if found {
+		n.rvpPool.Put(n.rvps[victim])
+		delete(n.rvps, victim)
+	}
 }
 
 // setRoute installs or refreshes a routing-table entry in place,

@@ -314,3 +314,67 @@ func TestDirectRoutePreferredOverChain(t *testing.T) {
 		t.Fatal("direct route displaced by chain hop")
 	}
 }
+
+// TestMaxRVPsEvictsLeastRecentlyRefreshed pins the config-gated RVP
+// bound: past MaxRVPs relationships, the one with the stalest
+// lastRefresh is evicted (ties to the smaller ID), and the peer that
+// just refreshed is never the victim.
+func TestMaxRVPsEvictsLeastRecentlyRefreshed(t *testing.T) {
+	r := newRig(t)
+	h, err := r.net.AddPublicHost(1)
+	if err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	var n *Node
+	sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxRVPs = 3
+	n, err = New(cfg, r.sched, sock, addr.Public, addr.Endpoint{IP: h.IP(), Port: 100}, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ep := func(i int) addr.Endpoint {
+		return addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(i)), Port: 100}
+	}
+	for i := 2; i <= 5; i++ {
+		n.becomeRVPs(addr.NodeID(i), ep(i))
+	}
+	// All four inserted at the same round: ties break towards the
+	// smallest ID, so 2 was evicted when 5 arrived.
+	if n.RVPCount() != 3 {
+		t.Fatalf("RVPCount = %d, want 3", n.RVPCount())
+	}
+	if _, ok := n.rvps[2]; ok {
+		t.Fatal("RVP 2 should have been evicted (LRU, smallest-ID tie-break)")
+	}
+	// Refresh 3, then add another: 4 is now the stalest of the
+	// evictable set... all have equal lastRefresh, so the smallest
+	// non-refreshed ID (4) goes.
+	n.rvps[3].lastRefresh = 7
+	n.becomeRVPs(6, ep(6))
+	if _, ok := n.rvps[4]; ok {
+		t.Fatal("RVP 4 should have been evicted")
+	}
+	if _, ok := n.rvps[3]; !ok {
+		t.Fatal("recently refreshed RVP 3 must survive")
+	}
+	if _, ok := n.rvps[6]; !ok {
+		t.Fatal("the just-established RVP 6 must survive")
+	}
+}
+
+// TestUnboundedRVPsIsDefault pins the paper-faithful default: with
+// MaxRVPs zero, the mesh grows without bound.
+func TestUnboundedRVPsIsDefault(t *testing.T) {
+	r := newRig(t)
+	n := r.pubNode(t, 1, nil)
+	for i := 2; i < 60; i++ {
+		n.becomeRVPs(addr.NodeID(i), addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(i)), Port: 100})
+	}
+	if n.RVPCount() != 58 {
+		t.Fatalf("RVPCount = %d, want 58 (unbounded by default)", n.RVPCount())
+	}
+}

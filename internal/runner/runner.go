@@ -17,6 +17,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Options parameterises one fan-out.
@@ -180,4 +181,45 @@ func Seeds(base, step int64, n int) []int64 {
 		out[i] = base + int64(i)*step
 	}
 	return out
+}
+
+// ETA estimates the remaining wall time of a fan-out from the
+// durations of the jobs completed so far — the liveness signal the
+// CLIs' -v progress lines print during paper-scale sweeps. The
+// estimator extrapolates linearly (elapsed / done × remaining), which
+// is exact for homogeneous jobs on a saturated pool and a usable
+// upper-ish bound when the last worker batch drains. It is safe for
+// concurrent use from Progress callbacks, which the runner serialises.
+type ETA struct {
+	total int
+	start time.Time
+	now   func() time.Time
+}
+
+// NewETAWithClock starts an estimator on an injected clock, for tests
+// and callers that already track time.
+func NewETAWithClock(total int, now func() time.Time) *ETA {
+	return &ETA{total: total, start: now(), now: now}
+}
+
+// NewETASince starts an estimator whose elapsed time is measured from
+// an earlier instant — the CLIs learn the job total only when the
+// first progress callback fires, but the sweep started before that.
+func NewETASince(total int, start time.Time) *ETA {
+	return &ETA{total: total, start: start, now: time.Now}
+}
+
+// Estimate returns the projected remaining wall time after done of the
+// total jobs have finished. It reports false until the first job
+// completes (no data) and zero remaining once everything is done.
+func (e *ETA) Estimate(done int) (time.Duration, bool) {
+	if done <= 0 {
+		return 0, false
+	}
+	if done >= e.total {
+		return 0, true
+	}
+	elapsed := e.now().Sub(e.start)
+	per := float64(elapsed) / float64(done)
+	return time.Duration(per * float64(e.total-done)), true
 }

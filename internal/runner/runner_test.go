@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -185,5 +186,38 @@ func TestWorkersResolution(t *testing.T) {
 		if got > c.wantMax || got < 1 {
 			t.Fatalf("workers(%d jobs, %d requested) = %d, want in [1, %d]", c.jobs, c.workers, got, c.wantMax)
 		}
+	}
+}
+
+// TestETAEstimatesFromCompletedDurations drives the estimator with a
+// fake clock: after 3 of 8 jobs in 30 seconds, 50 seconds remain.
+func TestETAEstimatesFromCompletedDurations(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	eta := NewETAWithClock(8, now)
+
+	if _, ok := eta.Estimate(0); ok {
+		t.Fatal("estimate available before any job finished")
+	}
+
+	clock = clock.Add(30 * time.Second)
+	rem, ok := eta.Estimate(3)
+	if !ok {
+		t.Fatal("no estimate after 3 completed jobs")
+	}
+	if rem != 50*time.Second {
+		t.Fatalf("remaining = %v, want 50s (10s/job × 5 jobs)", rem)
+	}
+
+	// Slower progress stretches the estimate.
+	clock = clock.Add(50 * time.Second)
+	rem, ok = eta.Estimate(4)
+	if !ok || rem != 80*time.Second {
+		t.Fatalf("remaining = %v ok=%v, want 80s (20s/job × 4 jobs)", rem, ok)
+	}
+
+	// Completion pins the estimate to zero.
+	if rem, ok := eta.Estimate(8); !ok || rem != 0 {
+		t.Fatalf("remaining after completion = %v ok=%v, want 0 true", rem, ok)
 	}
 }

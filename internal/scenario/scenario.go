@@ -390,6 +390,18 @@ type runState struct {
 	lastDropped, lastPartDrp uint64
 	lastRound                float64
 	lastAlive                int
+
+	// Reusable probe scratch: the effective overlay and its
+	// public-restricted projection, each with a dedicated graph builder
+	// (a builder's snapshot aliases its scratch, and the probe needs
+	// both snapshots at once). At 10k nodes a probe on these reusable
+	// structures costs no per-node map construction at all.
+	overlay    graph.Overlay
+	pubOverlay graph.Overlay
+	builder    graph.Builder
+	pubBuilder graph.Builder
+	degs       []float64
+	pubMark    []bool // indexed by dense node ID
 }
 
 type mark struct {
@@ -629,14 +641,16 @@ func probe(w *world.World, st *runState, roundNo float64) Sample {
 	errAvg, errMax, _ := w.MeasureEstimationError()
 	s.EstErrAvg, s.EstErrMax = F(errAvg), F(errMax)
 
-	// Overlay structure on the effective (routable) graph.
-	adj := w.EffectiveOverlay()
-	snap := graph.Build(adj)
+	// Overlay structure on the effective (routable) graph, snapshotted
+	// into the run's reusable scratch.
+	w.SnapshotOverlay(&st.overlay, true)
+	snap := st.builder.Build(&st.overlay)
 	if n := snap.Order(); n > 0 {
-		degs := make([]float64, 0, n)
+		degs := st.degs[:0]
 		for _, d := range snap.InDegrees() {
 			degs = append(degs, float64(d))
 		}
+		st.degs = degs
 		s.InDegMean = F(stats.Mean(degs))
 		s.InDegStd = F(stats.StdDev(degs))
 		s.InDegMax = F(stats.Max(degs))
@@ -645,28 +659,43 @@ func probe(w *world.World, st *runState, roundNo float64) Sample {
 	}
 
 	// Public-layer connectivity: the shuffle substrate. Built from the
-	// effective overlay restricted to public nodes.
-	pubSet := make(map[addr.NodeID]bool, s.Publics)
+	// effective overlay restricted to public nodes, marked in a dense
+	// ID-indexed table (world IDs count up from 1).
+	maxID := addr.NodeID(0)
 	for _, n := range alive {
-		if n.Nat == addr.Public && n.Started() {
-			pubSet[n.ID] = true
+		if n.ID > maxID {
+			maxID = n.ID
 		}
 	}
-	if len(pubSet) > 0 {
-		pubAdj := make(map[addr.NodeID][]addr.NodeID, len(pubSet))
-		for _, n := range alive {
-			if !pubSet[n.ID] {
+	if cap(st.pubMark) < int(maxID)+1 {
+		st.pubMark = make([]bool, int(maxID)+1)
+	}
+	pubMark := st.pubMark[:int(maxID)+1]
+	for i := range pubMark {
+		pubMark[i] = false
+	}
+	anyPub := false
+	for _, n := range alive {
+		if n.Nat == addr.Public && n.Started() {
+			pubMark[n.ID] = true
+			anyPub = true
+		}
+	}
+	if anyPub {
+		st.pubOverlay.Reset()
+		for i, id := range st.overlay.IDs {
+			if !pubMark[id] {
 				continue
 			}
-			var kept []addr.NodeID
-			for _, nb := range adj[n.ID] {
-				if pubSet[nb] {
-					kept = append(kept, nb)
+			row := st.pubOverlay.Row(id)
+			for _, nb := range st.overlay.Adj[i] {
+				if int(nb) < len(pubMark) && pubMark[nb] {
+					row = append(row, nb)
 				}
 			}
-			pubAdj[n.ID] = kept
+			st.pubOverlay.SetRow(row)
 		}
-		pubSnap := graph.Build(pubAdj)
+		pubSnap := st.pubBuilder.Build(&st.pubOverlay)
 		if pubSnap.Order() > 0 {
 			s.PubClusterFrac = F(float64(pubSnap.BiggestCluster()) / float64(pubSnap.Order()))
 		}

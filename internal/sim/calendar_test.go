@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The calendar queue must be observationally identical to a plain
+// ordered event queue: same fire order, same fire times, under any
+// interleaving of At/Schedule/Cancel/RunUntil, including events that
+// schedule further events from inside their callbacks (the path that
+// folds late arrivals into the bucket being drained) and far-future
+// events that cross the overflow heap and window rotations.
+
+// refSched is the straightforward reference: a flat slice scanned for
+// the (time, seq) minimum on every step. Semantics mirror Scheduler's
+// documented behaviour exactly.
+type refSched struct {
+	now time.Duration
+	seq uint64
+	evs []*refEvent
+}
+
+type refEvent struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled *bool
+}
+
+func (r *refSched) Now() time.Duration { return r.now }
+
+func (r *refSched) At(t time.Duration, fn func()) func() {
+	if t < r.now {
+		t = r.now
+	}
+	c := new(bool)
+	r.evs = append(r.evs, &refEvent{at: t, seq: r.seq, fn: fn, cancelled: c})
+	r.seq++
+	return func() { *c = true }
+}
+
+func (r *refSched) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	r.At(r.now+d, fn)
+}
+
+// minIdx returns the position of the earliest queued event, cancelled
+// ones included (they are discarded at pop, like the real kernel).
+func (r *refSched) minIdx() int {
+	best := -1
+	for i, e := range r.evs {
+		if best < 0 || e.at < r.evs[best].at || (e.at == r.evs[best].at && e.seq < r.evs[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (r *refSched) pop(i int) *refEvent {
+	e := r.evs[i]
+	r.evs = append(r.evs[:i], r.evs[i+1:]...)
+	return e
+}
+
+func (r *refSched) Step() bool {
+	for {
+		i := r.minIdx()
+		if i < 0 {
+			return false
+		}
+		e := r.pop(i)
+		if *e.cancelled {
+			continue
+		}
+		r.now = e.at
+		e.fn()
+		return true
+	}
+}
+
+func (r *refSched) Run() {
+	for r.Step() {
+	}
+}
+
+func (r *refSched) RunUntil(t time.Duration) {
+	for {
+		i := r.minIdx()
+		if i < 0 {
+			break
+		}
+		if *r.evs[i].cancelled {
+			r.pop(i)
+			continue
+		}
+		if r.evs[i].at > t {
+			break
+		}
+		r.Step()
+	}
+	if r.now < t {
+		r.now = t
+	}
+}
+
+// queue abstracts the two implementations for the shared driver.
+type queue interface {
+	Now() time.Duration
+	At(time.Duration, func()) func()
+	Schedule(time.Duration, func())
+	RunUntil(time.Duration)
+	Run()
+}
+
+// realQueue adapts *Scheduler to the driver interface.
+type realQueue struct{ s *Scheduler }
+
+func (q realQueue) Now() time.Duration { return q.s.Now() }
+func (q realQueue) At(t time.Duration, fn func()) func() {
+	ev := q.s.At(t, fn)
+	return ev.Cancel
+}
+func (q realQueue) Schedule(d time.Duration, fn func()) { q.s.Schedule(d, fn) }
+func (q realQueue) RunUntil(t time.Duration)            { q.s.RunUntil(t) }
+func (q realQueue) Run()                                { q.s.Run() }
+
+// op is one scripted action, interpreted identically on both queues.
+type op struct {
+	kind   int // 0 At, 1 Schedule, 2 Cancel, 3 RunUntil
+	delay  time.Duration
+	target int // Cancel: index into the handles issued so far
+	// child, when non-negative, is the delay of a nested Schedule the
+	// event performs from inside its callback.
+	child time.Duration
+	id    int
+}
+
+// fire is one observed callback execution.
+type fire struct {
+	id int
+	at time.Duration
+}
+
+// randDelay mixes the horizons that exercise every queue path: the
+// current bucket, nearby buckets, the whole wheel window, and the
+// overflow heap far beyond it.
+func randDelay(rng *rand.Rand) time.Duration {
+	switch rng.Intn(6) {
+	case 0:
+		return time.Duration(rng.Intn(3)) * time.Millisecond // current/adjacent bucket
+	case 1:
+		return time.Duration(rng.Intn(100)) * 100 * time.Microsecond
+	case 2:
+		return time.Duration(rng.Intn(1000)) * time.Millisecond // mid-wheel
+	case 3:
+		return time.Duration(rng.Intn(10000)) * time.Millisecond // beyond span → overflow
+	case 4:
+		return time.Duration(rng.Intn(60)) * time.Second // deep overflow
+	default:
+		return -time.Duration(rng.Intn(5)) * time.Millisecond // clamped to now
+	}
+}
+
+// script builds a deterministic op sequence from a seed.
+func script(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]op, 0, n)
+	issued := 0
+	id := 0
+	for i := 0; i < n; i++ {
+		o := op{kind: rng.Intn(4), delay: randDelay(rng), child: -1, id: id}
+		switch o.kind {
+		case 0:
+			issued++
+			id++
+		case 1:
+			if rng.Intn(3) == 0 {
+				o.child = randDelay(rng)
+			}
+			id++
+		case 2:
+			if issued == 0 {
+				o.kind = 1
+				id++
+				break
+			}
+			o.target = rng.Intn(issued)
+		case 3:
+			// RunUntil jumps: sometimes short, sometimes past the whole
+			// wheel window.
+			if rng.Intn(4) == 0 {
+				o.delay = time.Duration(rng.Intn(20)) * time.Second
+			}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// play interprets the script on a queue and returns the fire log.
+func play(q queue, ops []op) []fire {
+	var log []fire
+	var cancels []func()
+	record := func(id int) func() {
+		return func() { log = append(log, fire{id: id, at: q.Now()}) }
+	}
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			cancels = append(cancels, q.At(q.Now()+o.delay, record(o.id)))
+		case 1:
+			if o.child >= 0 {
+				id, child := o.id, o.child
+				q.Schedule(o.delay, func() {
+					log = append(log, fire{id: id, at: q.Now()})
+					q.Schedule(child, record(-id-1))
+				})
+			} else {
+				q.Schedule(o.delay, record(o.id))
+			}
+		case 2:
+			cancels[o.target]()
+		case 3:
+			q.RunUntil(q.Now() + o.delay)
+		}
+	}
+	q.Run()
+	return log
+}
+
+// TestCalendarQueueMatchesReference drives random schedule / cancel /
+// RunUntil interleavings through the calendar queue and the reference
+// queue and requires identical fire sequences — the property that
+// guarantees the determinism golden test can never be broken by the
+// bucketed kernel.
+func TestCalendarQueueMatchesReference(t *testing.T) {
+	n := 600
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		ops := script(seed, n)
+		got := play(realQueue{s: New(seed)}, ops)
+		want := play(&refSched{}, ops)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: calendar fired %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: fire %d = %+v, reference %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "math/rand"
+
+// xoshiro256++ is the per-node random source of the simulation. The
+// standard library's default source carries 5 KB of lagged-Fibonacci
+// state per instance — at tens of thousands of protocol nodes that is
+// hundreds of megabytes of cache-cold state touched every round — while
+// xoshiro256++ holds 32 bytes, draws faster, and passes the usual
+// statistical test batteries. Seeding goes through splitmix64, as the
+// xoshiro authors prescribe, so any seed (including zero) yields a
+// well-mixed non-degenerate state.
+type xoshiro struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next output of the splitmix64
+// sequence.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newXoshiro(seed int64) *xoshiro {
+	x := uint64(seed)
+	var s xoshiro
+	s.s[0] = splitmix64(&x)
+	s.s[1] = splitmix64(&x)
+	s.s[2] = splitmix64(&x)
+	s.s[3] = splitmix64(&x)
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 implements rand.Source64.
+func (x *xoshiro) Uint64() uint64 {
+	s := &x.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 implements rand.Source.
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (x *xoshiro) Seed(seed int64) { *x = *newXoshiro(seed) }
+
+// NewRand returns a deterministic *rand.Rand on a compact xoshiro256++
+// source. Every protocol node derives its private random stream through
+// it; the draws differ from the default source's, so traces shift when
+// a call site migrates, but runs remain a pure function of the seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(newXoshiro(seed))
+}

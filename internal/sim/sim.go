@@ -6,11 +6,21 @@
 // protocol logic executes single-threaded inside the event loop, so a
 // simulation run is a pure function of its scenario and seed — two runs
 // with the same seed produce byte-identical traces.
+//
+// The event queue is a calendar queue: a timing wheel of fixed-width
+// buckets over the near horizon, with a binary-heap overflow for far
+// events. The dominant traffic — packet deliveries tens of milliseconds
+// out and gossip ticks one period out — lands in a wheel bucket in O(1);
+// only the rare far-horizon event (scenario timeline entries, long
+// timeouts) pays the heap's O(log n). Buckets are sorted lazily when the
+// clock reaches them, so the queue pops in exactly the (time, sequence)
+// total order a single global heap would produce, which is what keeps
+// runs byte-identical to the previous heap kernel's contract.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -21,7 +31,6 @@ type Event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
-	index     int // heap index, -1 once popped
 	cancelled bool
 	// pooled events come from the scheduler's free list and return to
 	// it after firing. They are only created by Schedule, which never
@@ -39,60 +48,71 @@ func (e *Event) Cancel() { e.cancelled = true }
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the queue's total order: (time, sequence). Sequence numbers
+// are unique, so no two queued events ever compare equal.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
+// compare adapts before for slices.SortFunc.
+func compare(a, b *Event) int {
+	if a.before(b) {
+		return -1
 	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
+	return 1
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Calendar geometry. The wheel covers [winStart, winStart+span) with
+// numBuckets buckets of bucketWidth each. The span is sized to cover the
+// short-horizon traffic that dominates a simulation — packet deliveries
+// (≤ 400 ms under the King-like model) and gossip ticks (1 s period) —
+// so those schedule in O(1); anything beyond the window goes to the
+// overflow heap and migrates in when the wheel rotates.
+const (
+	bucketWidth = 4 * time.Millisecond
+	numBuckets  = 1024
+	span        = bucketWidth * numBuckets // ≈ 4.1 s
+)
 
 // Scheduler is the discrete-event simulation kernel. The zero value is
 // not usable; construct one with New.
 type Scheduler struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	fired  uint64
+	now   time.Duration
+	seq   uint64
+	rng   *rand.Rand
+	fired uint64
 	// free holds fired pooled events for reuse, so the append-heavy,
 	// short-lived event traffic of packet delivery and gossip ticks
 	// stops allocating once the pool is warm.
 	free []*Event
+
+	// The calendar queue. buckets is the wheel; curBucket/curIdx is the
+	// drain cursor (events before it in the current bucket already
+	// fired); curSorted records whether the current bucket has been
+	// sorted, which happens lazily when the cursor first reads it.
+	// Buckets the cursor has passed are empty; late arrivals that would
+	// land behind the cursor are clamped into the current bucket, where
+	// the (time, seq) sort still places them correctly relative to
+	// everything not yet fired.
+	buckets   [numBuckets][]*Event
+	winStart  time.Duration
+	curBucket int
+	curIdx    int
+	curSorted bool
+	// overflow is a binary min-heap by (time, seq) holding events at or
+	// beyond the wheel's current window.
+	overflow []*Event
+	// count is the number of queued events, cancelled ones included.
+	count int
 }
 
 // New returns a scheduler whose clock starts at zero and whose random
 // source is seeded with seed.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{rng: NewRand(seed)}
 }
 
 // Now returns the current virtual time.
@@ -108,7 +128,138 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued, including cancelled
 // events that have not yet been discarded.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return s.count }
+
+// push enqueues an event whose at and seq are already set.
+func (s *Scheduler) push(ev *Event) {
+	s.count++
+	// A fully drained wheel leaves the cursor past the last bucket with
+	// winStart stale; everything goes to overflow and the next rotation
+	// re-centres the window on the earliest event.
+	if s.curBucket >= numBuckets || ev.at >= s.winStart+span {
+		s.overflowPush(ev)
+		return
+	}
+	b := int((ev.at - s.winStart) / bucketWidth)
+	if b < s.curBucket {
+		// The cursor already passed this bucket (the event fires "now"):
+		// fold it into the current bucket, where the sort keeps it ahead
+		// of later events.
+		b = s.curBucket
+	}
+	if b == s.curBucket && s.curSorted {
+		// The current bucket is being drained in sorted order; splice
+		// the newcomer into the undrained tail at its sorted position.
+		bkt := s.buckets[b]
+		lo, hi := s.curIdx, len(bkt)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if bkt[mid].before(ev) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bkt = append(bkt, nil)
+		copy(bkt[lo+1:], bkt[lo:])
+		bkt[lo] = ev
+		s.buckets[b] = bkt
+		return
+	}
+	s.buckets[b] = append(s.buckets[b], ev)
+}
+
+// peek positions the cursor on the next queued event and returns it
+// without removing it, sorting the bucket it lands in and rotating the
+// window as needed. It returns nil when the queue is empty.
+func (s *Scheduler) peek() *Event {
+	for {
+		for s.curBucket < numBuckets {
+			bkt := s.buckets[s.curBucket]
+			if s.curIdx < len(bkt) {
+				if !s.curSorted {
+					slices.SortFunc(bkt, compare)
+					s.curSorted = true
+				}
+				return bkt[s.curIdx]
+			}
+			// Bucket drained: reset it (keeping its backing array warm)
+			// and advance.
+			s.buckets[s.curBucket] = bkt[:0]
+			s.curBucket++
+			s.curIdx = 0
+			s.curSorted = false
+		}
+		if len(s.overflow) == 0 {
+			return nil
+		}
+		s.rotate()
+	}
+}
+
+// rotate starts a new wheel window at the earliest overflow event and
+// migrates every overflow event inside the new window into its bucket.
+func (s *Scheduler) rotate() {
+	s.winStart = s.overflow[0].at
+	s.curBucket, s.curIdx, s.curSorted = 0, 0, false
+	winEnd := s.winStart + span
+	for len(s.overflow) > 0 && s.overflow[0].at < winEnd {
+		ev := s.overflowPop()
+		b := int((ev.at - s.winStart) / bucketWidth)
+		s.buckets[b] = append(s.buckets[b], ev)
+	}
+}
+
+// dropHead removes the event the cursor points at. Only call after peek
+// returned non-nil.
+func (s *Scheduler) dropHead() {
+	s.buckets[s.curBucket][s.curIdx] = nil
+	s.curIdx++
+	s.count--
+}
+
+// overflowPush adds an event to the far-horizon min-heap.
+func (s *Scheduler) overflowPush(ev *Event) {
+	h := append(s.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.overflow = h
+}
+
+// overflowPop removes and returns the earliest far-horizon event.
+func (s *Scheduler) overflowPop() *Event {
+	h := s.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].before(h[min]) {
+			min = l
+		}
+		if r < len(h) && h[r].before(h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	s.overflow = h
+	return top
+}
 
 // At schedules fn to run at virtual time t. Times in the past are clamped
 // to the present. The returned event may be cancelled.
@@ -118,7 +269,7 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.push(ev)
 	return ev
 }
 
@@ -151,17 +302,18 @@ func (s *Scheduler) Schedule(d time.Duration, fn func()) {
 	}
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.push(ev)
 }
 
 // Step executes the single next event. It reports false when the queue is
 // empty.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev, ok := heap.Pop(&s.events).(*Event)
-		if !ok {
-			continue
+	for {
+		ev := s.peek()
+		if ev == nil {
+			return false
 		}
+		s.dropHead()
 		if ev.cancelled {
 			continue
 		}
@@ -177,7 +329,6 @@ func (s *Scheduler) Step() bool {
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains.
@@ -190,10 +341,13 @@ func (s *Scheduler) Run() {
 // advances the clock to exactly t. Events scheduled after t remain
 // queued.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for len(s.events) > 0 {
-		next := s.events[0]
+	for {
+		next := s.peek()
+		if next == nil {
+			break
+		}
 		if next.cancelled {
-			heap.Pop(&s.events)
+			s.dropHead()
 			continue
 		}
 		if next.at > t {

@@ -7,6 +7,12 @@
 // host is checked against that host's NAT gateway *at delivery time*, so
 // hole-punching and mapping expiry behave exactly as they would on a
 // real gateway.
+//
+// Hosts are issued dense indexes at registration, and all per-packet
+// state (host table, partition sides, IP resolution) lives in slices
+// indexed by them; the remaining ID-keyed map is consulted only on
+// registration-time and measurement paths, so packet delivery performs
+// no map lookups and the network scales to tens of thousands of nodes.
 package simnet
 
 import (
@@ -98,26 +104,42 @@ func makeLinkKey(a, b addr.NodeID) linkKey {
 	return linkKey{a, b}
 }
 
+// noSide marks a dense index not assigned to any partition group.
+const noSide = int32(-1)
+
 // Network is the simulated internet. It is not safe for concurrent use;
 // all calls must happen on the simulation event loop.
 type Network struct {
 	sched *sim.Scheduler
 	cfg   Config
 
-	hostsByID map[addr.NodeID]*Host
-	hostsByIP map[addr.IP]*Host
-	// gatewayHosts maps a gateway's public IP to the private host
-	// behind it (one host per gateway, as in the paper's model).
-	gatewayHosts map[addr.IP]*Host
-	traffic      map[addr.NodeID]*Traffic
+	// hosts is the dense host table: hosts[i] is the host issued index
+	// i at registration. Slots survive removal (the host is marked
+	// down), so in-flight packets and post-mortem traffic accounting
+	// resolve without map lookups.
+	hosts []*Host
+	// idToIdx maps a node to its dense index. Registration, removal and
+	// measurement go through it; the packet path never does. Entries
+	// survive removal so traffic counters stay reachable; re-attaching
+	// a node ID repoints the entry at the new host.
+	idToIdx map[addr.NodeID]int32
+	// ipToIdx resolves an allocated public IP (a public host's own
+	// address or a gateway's) to its host index, as an offset table
+	// from ipBase: public IPs are handed out sequentially, so the table
+	// is dense. -1 marks unallocated or released addresses.
+	ipToIdx []int32
+	ipBase  uint32
 
 	// Runtime condition state, mutable mid-run by scenarios.
 	loss        float64
 	extraDelay  time.Duration
 	links       map[linkKey]LinkOverride
 	partitioned bool
-	partSide    map[addr.NodeID]int
-	partDefault int
+	// partSide holds each dense index's partition group, noSide for
+	// hosts in no declared group (they fall into partDefault, as do
+	// hosts joining after the partition struck).
+	partSide    []int32
+	partDefault int32
 
 	nextPublicIP uint32
 	dropped      uint64
@@ -132,14 +154,17 @@ type Network struct {
 
 // delivery is one packet in flight between send and deliver. The run
 // closure is built once per pooled record — it captures only the record
-// pointer — so scheduling a delivery costs no allocation.
+// pointer — so scheduling a delivery costs no allocation. Source and
+// destination travel as host pointers: slots are never reused, so a
+// host removed mid-flight is observed down at delivery time.
 type delivery struct {
-	net          *Network
-	srcID, dstID addr.NodeID
-	src, to      addr.Endpoint
-	msg          Message
-	size         uint64
-	run          func()
+	net     *Network
+	srcHost *Host
+	dstHost *Host
+	src, to addr.Endpoint
+	msg     Message
+	size    uint64
+	run     func()
 }
 
 // newDelivery takes a pooled record or builds one with its reusable run
@@ -154,8 +179,9 @@ func (n *Network) newDelivery() *delivery {
 	d := &delivery{net: n}
 	d.run = func() {
 		nn := d.net
-		nn.deliver(d.srcID, d.dstID, d.src, d.to, d.msg, d.size)
+		nn.deliver(d)
 		d.msg = nil // do not retain the payload while pooled
+		d.srcHost, d.dstHost = nil, nil
 		nn.freeDeliveries = append(nn.freeDeliveries, d)
 	}
 	return d
@@ -172,16 +198,15 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 	if cfg.HeaderBytes == 0 {
 		cfg.HeaderBytes = 28
 	}
+	base := uint32(addr.MakeIP(2, 0, 0, 1))
 	return &Network{
 		sched:        sched,
 		cfg:          cfg,
-		hostsByID:    make(map[addr.NodeID]*Host),
-		hostsByIP:    make(map[addr.IP]*Host),
-		gatewayHosts: make(map[addr.IP]*Host),
-		traffic:      make(map[addr.NodeID]*Traffic),
+		idToIdx:      make(map[addr.NodeID]int32),
+		ipBase:       base,
 		loss:         cfg.Loss,
 		links:        make(map[linkKey]LinkOverride),
-		nextPublicIP: uint32(addr.MakeIP(2, 0, 0, 1)),
+		nextPublicIP: base,
 	}, nil
 }
 
@@ -244,11 +269,19 @@ func (n *Network) Partition(groups [][]addr.NodeID, defaultGroup int) error {
 		return fmt.Errorf("simnet: default group %d outside the %d declared groups", defaultGroup, len(groups))
 	}
 	n.partitioned = true
-	n.partDefault = defaultGroup
-	n.partSide = make(map[addr.NodeID]int)
+	n.partDefault = int32(defaultGroup)
+	if cap(n.partSide) < len(n.hosts) {
+		n.partSide = make([]int32, len(n.hosts))
+	}
+	n.partSide = n.partSide[:len(n.hosts)]
+	for i := range n.partSide {
+		n.partSide[i] = noSide
+	}
 	for side, ids := range groups {
 		for _, id := range ids {
-			n.partSide[id] = side
+			if i, ok := n.idToIdx[id]; ok {
+				n.partSide[i] = int32(side)
+			}
 		}
 	}
 	return nil
@@ -257,23 +290,53 @@ func (n *Network) Partition(groups [][]addr.NodeID, defaultGroup int) error {
 // Heal removes the active partition.
 func (n *Network) Heal() {
 	n.partitioned = false
-	n.partSide = nil
+	n.partSide = n.partSide[:0]
 }
 
 // Partitioned reports whether a partition is active.
 func (n *Network) Partitioned() bool { return n.partitioned }
 
-func (n *Network) side(id addr.NodeID) int {
-	if s, ok := n.partSide[id]; ok {
-		return s
+// sideOf returns the partition group of a dense host index. Hosts that
+// joined after the partition struck sit past the end of partSide.
+func (n *Network) sideOf(idx int32) int32 {
+	if int(idx) < len(n.partSide) {
+		if s := n.partSide[idx]; s != noSide {
+			return s
+		}
 	}
 	return n.partDefault
 }
 
+// reachableIdx is the partition check on dense indexes — the form the
+// packet path and the overlay snapshots use.
+func (n *Network) reachableIdx(src, dst int32) bool {
+	return !n.partitioned || n.sideOf(src) == n.sideOf(dst)
+}
+
 // Reachable reports whether the active partition (if any) lets a packet
 // travel from src to dst. Without a partition every pair is reachable.
+// Unknown nodes fall into the default group.
 func (n *Network) Reachable(src, dst addr.NodeID) bool {
-	return !n.partitioned || n.side(src) == n.side(dst)
+	if !n.partitioned {
+		return true
+	}
+	si, sok := n.idToIdx[src]
+	di, dok := n.idToIdx[dst]
+	var ss, ds int32
+	ss, ds = n.partDefault, n.partDefault
+	if sok {
+		ss = n.sideOf(si)
+	}
+	if dok {
+		ds = n.sideOf(di)
+	}
+	return ss == ds
+}
+
+// ReachableHosts is Reachable on two attached hosts, skipping the ID
+// lookups — the form overlay snapshots use per edge.
+func (n *Network) ReachableHosts(src, dst *Host) bool {
+	return n.reachableIdx(src.idx, dst.idx)
 }
 
 // linkConditions resolves the effective loss probability and extra delay
@@ -297,17 +360,26 @@ func (n *Network) linkConditions(a, b addr.NodeID) (loss float64, extra time.Dur
 // Scheduler returns the simulation scheduler the network runs on.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
+// portBinding is one bound socket on a host. Hosts bind at most a
+// handful of well-known ports, so a linear slice beats a map on the
+// per-packet dispatch path.
+type portBinding struct {
+	port uint16
+	fn   Handler
+}
+
 // Host is a machine attached to the network. Public hosts own a global
 // IP; private hosts sit behind a dedicated NAT gateway.
 type Host struct {
 	net   *Network
 	id    addr.NodeID
+	idx   int32
 	ip    addr.IP
 	gw    *nat.Gateway
-	ports map[uint16]Handler
+	ports []portBinding
 	up    bool
-	// traffic points at the node's counters in Network.traffic, saving
-	// a map lookup on every send and delivery.
+	// traffic points at the node's counters, saving any lookup on
+	// every send and delivery. Counters outlive removal.
 	traffic *Traffic
 }
 
@@ -320,32 +392,74 @@ func (n *Network) allocPublicIP() addr.IP {
 		if ip.Private() || ip.IsZero() {
 			continue
 		}
-		if _, taken := n.hostsByIP[ip]; taken {
-			continue
-		}
-		if _, taken := n.gatewayHosts[ip]; taken {
+		if idx, ok := n.lookupIP(ip); ok && idx >= 0 {
 			continue
 		}
 		return ip
 	}
 }
 
+// lookupIP resolves an allocated public IP to its host index.
+func (n *Network) lookupIP(ip addr.IP) (int32, bool) {
+	off := uint32(ip) - n.ipBase
+	if off >= uint32(len(n.ipToIdx)) {
+		return -1, false
+	}
+	idx := n.ipToIdx[off]
+	return idx, idx >= 0
+}
+
+// claimIP points an allocated public IP at a host index.
+func (n *Network) claimIP(ip addr.IP, idx int32) {
+	off := uint32(ip) - n.ipBase
+	for uint32(len(n.ipToIdx)) <= off {
+		n.ipToIdx = append(n.ipToIdx, -1)
+	}
+	n.ipToIdx[off] = idx
+}
+
+// releaseIP detaches an allocated public IP.
+func (n *Network) releaseIP(ip addr.IP) {
+	off := uint32(ip) - n.ipBase
+	if off < uint32(len(n.ipToIdx)) {
+		n.ipToIdx[off] = -1
+	}
+}
+
+// attach registers a host, issuing its dense index.
+func (n *Network) attach(h *Host) {
+	h.idx = int32(len(n.hosts))
+	n.hosts = append(n.hosts, h)
+	n.idToIdx[h.id] = h.idx
+}
+
+// liveHost returns the attached, running host for id.
+func (n *Network) liveHost(id addr.NodeID) (*Host, bool) {
+	i, ok := n.idToIdx[id]
+	if !ok {
+		return nil, false
+	}
+	h := n.hosts[i]
+	if !h.up {
+		return nil, false
+	}
+	return h, true
+}
+
 // AddPublicHost attaches a host with a fresh global IP.
 func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
-	if _, dup := n.hostsByID[id]; dup {
+	if _, dup := n.liveHost(id); dup {
 		return nil, fmt.Errorf("simnet: node %v already attached", id)
 	}
 	h := &Host{
 		net:     n,
 		id:      id,
 		ip:      n.allocPublicIP(),
-		ports:   make(map[uint16]Handler),
 		up:      true,
 		traffic: &Traffic{},
 	}
-	n.hostsByID[id] = h
-	n.hostsByIP[h.ip] = h
-	n.traffic[id] = h.traffic
+	n.attach(h)
+	n.claimIP(h.ip, h.idx)
 	return h, nil
 }
 
@@ -353,7 +467,7 @@ func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
 // PublicIP field is ignored and replaced with a newly allocated global
 // address for the gateway.
 func (n *Network) AddPrivateHost(id addr.NodeID, natCfg nat.Config) (*Host, error) {
-	if _, dup := n.hostsByID[id]; dup {
+	if _, dup := n.liveHost(id); dup {
 		return nil, fmt.Errorf("simnet: node %v already attached", id)
 	}
 	natCfg.PublicIP = n.allocPublicIP()
@@ -366,43 +480,40 @@ func (n *Network) AddPrivateHost(id addr.NodeID, natCfg nat.Config) (*Host, erro
 		id:      id,
 		ip:      addr.MakeIP(10, 0, 0, 2),
 		gw:      gw,
-		ports:   make(map[uint16]Handler),
 		up:      true,
 		traffic: &Traffic{},
 	}
-	n.hostsByID[id] = h
-	n.gatewayHosts[gw.PublicIP()] = h
-	n.traffic[id] = h.traffic
+	n.attach(h)
+	n.claimIP(gw.PublicIP(), h.idx)
 	return h, nil
 }
 
 // Remove detaches a host, simulating a crash: queued packets to it are
-// dropped at delivery time and its gateway disappears with it.
+// dropped at delivery time and its gateway disappears with it. Its
+// traffic counters survive for post-mortem accounting.
 func (n *Network) Remove(id addr.NodeID) {
-	h, ok := n.hostsByID[id]
+	h, ok := n.liveHost(id)
 	if !ok {
 		return
 	}
 	h.up = false
-	delete(n.hostsByID, id)
 	if h.gw != nil {
-		delete(n.gatewayHosts, h.gw.PublicIP())
+		n.releaseIP(h.gw.PublicIP())
 	} else {
-		delete(n.hostsByIP, h.ip)
+		n.releaseIP(h.ip)
 	}
 }
 
 // Host returns the attached host for a node, if it exists and is up.
 func (n *Network) Host(id addr.NodeID) (*Host, bool) {
-	h, ok := n.hostsByID[id]
-	return h, ok
+	return n.liveHost(id)
 }
 
 // TrafficFor returns a copy of the node's accumulated counters. Counters
 // survive host removal so post-mortem accounting works.
 func (n *Network) TrafficFor(id addr.NodeID) Traffic {
-	if t, ok := n.traffic[id]; ok {
-		return *t
+	if i, ok := n.idToIdx[id]; ok {
+		return *n.hosts[i].traffic
 	}
 	return Traffic{}
 }
@@ -410,8 +521,8 @@ func (n *Network) TrafficFor(id addr.NodeID) Traffic {
 // ResetTraffic zeroes every node's counters, marking the start of a
 // measurement window.
 func (n *Network) ResetTraffic() {
-	for _, t := range n.traffic {
-		*t = Traffic{}
+	for _, h := range n.hosts {
+		*h.traffic = Traffic{}
 	}
 }
 
@@ -428,6 +539,11 @@ func (n *Network) PartitionDropped() uint64 { return n.partDropped }
 // ID returns the node this host belongs to.
 func (h *Host) ID() addr.NodeID { return h.id }
 
+// Index returns the host's dense network index, issued at registration.
+// Indexes are never reused; overlay snapshots key per-node scratch by
+// them.
+func (h *Host) Index() int32 { return h.idx }
+
 // IP returns the host's own interface address (private for NATed hosts).
 func (h *Host) IP() addr.IP { return h.ip }
 
@@ -437,16 +553,26 @@ func (h *Host) Gateway() *nat.Gateway { return h.gw }
 // Up reports whether the host is attached and running.
 func (h *Host) Up() bool { return h.up }
 
+// handlerFor returns the handler bound to a local port.
+func (h *Host) handlerFor(port uint16) (Handler, bool) {
+	for i := range h.ports {
+		if h.ports[i].port == port {
+			return h.ports[i].fn, true
+		}
+	}
+	return nil, false
+}
+
 // Bind attaches a handler to a local UDP-style port and returns the
 // bound socket.
 func (h *Host) Bind(port uint16, fn Handler) (*Socket, error) {
 	if port == 0 {
 		return nil, fmt.Errorf("simnet: cannot bind port 0")
 	}
-	if _, taken := h.ports[port]; taken {
+	if _, taken := h.handlerFor(port); taken {
 		return nil, fmt.Errorf("simnet: %v port %d already bound", h.id, port)
 	}
-	h.ports[port] = fn
+	h.ports = append(h.ports, portBinding{port: port, fn: fn})
 	return &Socket{host: h, port: port}, nil
 }
 
@@ -485,12 +611,13 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 
 	// Resolve the physical destination host for latency lookup. The NAT
 	// admission decision is postponed to delivery time.
-	dst, ok := n.resolveHost(to)
+	dstIdx, ok := n.lookupIP(to.IP)
 	if !ok {
 		n.dropped++
 		release(msg)
 		return
 	}
+	dst := n.hosts[dstIdx]
 	loss, extra := n.linkConditions(h.id, dst.id)
 	if loss > 0 && n.sched.Rand().Float64() < loss {
 		n.dropped++
@@ -499,41 +626,31 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	}
 	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
 	d := n.newDelivery()
-	d.srcID, d.dstID = h.id, dst.id
+	d.srcHost, d.dstHost = h, dst
 	d.src, d.to = src, to
 	d.msg, d.size = msg, size
 	n.sched.Schedule(delay, d.run)
 }
 
-// resolveHost finds the machine that owns the destination IP, either a
-// public host or the private host behind the gateway with that IP.
-func (n *Network) resolveHost(to addr.Endpoint) (*Host, bool) {
-	if h, ok := n.hostsByIP[to.IP]; ok {
-		return h, true
-	}
-	if h, ok := n.gatewayHosts[to.IP]; ok {
-		return h, true
-	}
-	return nil, false
-}
-
-func (n *Network) deliver(srcID, dstID addr.NodeID, src, to addr.Endpoint, msg Message, size uint64) {
+func (n *Network) deliver(d *delivery) {
+	msg := d.msg
 	// Pooled messages go back to their free list however the flight
 	// ends: dropped here, or once the receive handler has returned.
 	defer release(msg)
-	h, ok := n.hostsByID[dstID]
-	if !ok || !h.up {
+	h := d.dstHost
+	if !h.up {
 		n.dropped++
 		return
 	}
 	// The partition check happens at delivery time against the current
 	// partition state: a partition struck mid-flight kills the packet, a
 	// heal lets queued traffic through.
-	if !n.Reachable(srcID, dstID) {
+	if !n.reachableIdx(d.srcHost.idx, h.idx) {
 		n.dropped++
 		n.partDropped++
 		return
 	}
+	src, to := d.src, d.to
 	local := to
 	if h.gw != nil {
 		translated, admitted := h.gw.Inbound(src, to)
@@ -547,12 +664,12 @@ func (n *Network) deliver(srcID, dstID addr.NodeID, src, to addr.Endpoint, msg M
 		n.dropped++
 		return
 	}
-	fn, bound := h.ports[local.Port]
+	fn, bound := h.handlerFor(local.Port)
 	if !bound {
 		n.dropped++
 		return
 	}
-	h.traffic.BytesRecv += size
+	h.traffic.BytesRecv += d.size
 	h.traffic.MsgsRecv++
 	n.delivered++
 	fn(Packet{From: src, To: to, Msg: msg})

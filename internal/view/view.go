@@ -298,11 +298,16 @@ func (v *View) Merge(sent, received []Descriptor) {
 		if d.ID == v.self {
 			continue
 		}
-		if v.Contains(d.ID) {
-			v.UpdateIfNewer(d)
+		if i := v.find(d.ID); i >= 0 {
+			// Known node: refresh if the received descriptor is fresher
+			// (UpdateIfNewer, with the lookup already done).
+			if d.Age < v.items[i].Age {
+				v.items[i] = d
+			}
 			continue
 		}
-		if v.Add(d) {
+		if !v.Full() {
+			v.items = append(v.items, d)
 			continue
 		}
 		// View full: evict a sent descriptor to make room.

@@ -10,7 +10,6 @@ package world
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/croupier"
 	"repro/internal/cyclon"
 	"repro/internal/gozar"
+	"repro/internal/graph"
 	"repro/internal/latency"
 	"repro/internal/nat"
 	"repro/internal/natid"
@@ -130,8 +130,12 @@ type World struct {
 	Net   *simnet.Network
 	Boot  *bootstrap.Server
 
-	nodes  map[addr.NodeID]*Node
-	order  []addr.NodeID // join order, for deterministic iteration
+	// nodes is the dense node table: IDs are issued sequentially from
+	// 1, so nodes[id-1] is the node with that ID and slice order is
+	// join order. Slots survive failure (the node is marked dead), so
+	// every sweep and snapshot below runs over a flat slice with no map
+	// hops.
+	nodes  []*Node
 	nextID uint64
 }
 
@@ -163,7 +167,6 @@ func New(cfg Config) (*World, error) {
 		Sched: sched,
 		Net:   net,
 		Boot:  bootstrap.NewServer(),
-		nodes: make(map[addr.NodeID]*Node),
 	}, nil
 }
 
@@ -179,8 +182,10 @@ func (w *World) JoinPrivate() (*Node, error) { return w.join(addr.Private, false
 func (w *World) JoinPrivateUPnP() (*Node, error) { return w.join(addr.Private, true) }
 
 func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
-	w.nextID++
-	id := addr.NodeID(w.nextID)
+	// The ID is only consumed once the host attaches: a failed join must
+	// not leave a gap, because the dense node table equates slot i with
+	// ID i+1.
+	id := addr.NodeID(w.nextID + 1)
 
 	var host *simnet.Host
 	var err error
@@ -194,10 +199,10 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("world: join: %w", err)
 	}
+	w.nextID++
 
 	n := &Node{ID: id, Host: host, Nat: declared, JoinedAt: w.Sched.Now(), alive: true}
-	w.nodes[id] = n
-	w.order = append(w.order, id)
+	w.nodes = append(w.nodes, n)
 
 	// Bind the protocol port now; the protocol instance arrives after
 	// identification and is reached through the dispatch indirection.
@@ -398,7 +403,7 @@ func (w *World) pickForwarder(self addr.NodeID) natid.ForwarderPicker {
 // Fail crashes a node: it vanishes from the network and the bootstrap
 // directory without any goodbye traffic.
 func (w *World) Fail(id addr.NodeID) {
-	n, ok := w.nodes[id]
+	n, ok := w.Node(id)
 	if !ok || !n.alive {
 		return
 	}
@@ -412,39 +417,39 @@ func (w *World) Fail(id addr.NodeID) {
 
 // Node returns a node by ID.
 func (w *World) Node(id addr.NodeID) (*Node, bool) {
-	n, ok := w.nodes[id]
-	return n, ok
+	if id < 1 || uint64(id) > uint64(len(w.nodes)) {
+		return nil, false
+	}
+	return w.nodes[id-1], true
 }
 
 // Nodes returns all nodes in join order, dead ones included.
 func (w *World) Nodes() []*Node {
-	out := make([]*Node, 0, len(w.order))
-	for _, id := range w.order {
-		out = append(out, w.nodes[id])
-	}
+	out := make([]*Node, 0, len(w.nodes))
+	out = append(out, w.nodes...)
 	return out
 }
 
 // AliveNodes returns running nodes in join order.
 func (w *World) AliveNodes() []*Node {
-	out := make([]*Node, 0, len(w.order))
-	for _, id := range w.order {
-		if n := w.nodes[id]; n.alive {
+	out := make([]*Node, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		if n.alive {
 			out = append(out, n)
 		}
 	}
 	return out
 }
 
-// AliveIDs returns the sorted identifiers of running nodes.
+// AliveIDs returns the sorted identifiers of running nodes. Join order
+// is ID order, so the flat sweep is already sorted.
 func (w *World) AliveIDs() []addr.NodeID {
 	out := make([]addr.NodeID, 0, len(w.nodes))
-	for id, n := range w.nodes {
+	for _, n := range w.nodes {
 		if n.alive {
-			out = append(out, id)
+			out = append(out, n.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -505,8 +510,7 @@ func (w *World) MeasureEstimationError() (avg, max, ratio float64) {
 // from every started, live protocol instance.
 func (w *World) Overlay() map[addr.NodeID][]addr.NodeID {
 	adj := make(map[addr.NodeID][]addr.NodeID, len(w.nodes))
-	for _, id := range w.order {
-		n := w.nodes[id]
+	for _, n := range w.nodes {
 		if !n.alive || n.Proto == nil {
 			continue
 		}
@@ -515,9 +519,34 @@ func (w *World) Overlay() map[addr.NodeID][]addr.NodeID {
 		for _, d := range neigh {
 			ids = append(ids, d.ID)
 		}
-		adj[id] = ids
+		adj[n.ID] = ids
 	}
 	return adj
+}
+
+// SnapshotOverlay fills o with the current overlay adjacency, reusing
+// o's backing storage — the allocation-light path scenario probes take
+// at scale, where rebuilding per-node maps per probe dominates probe
+// cost. With effective set, edges the network cannot currently carry
+// (cross-partition links) are dropped, mirroring EffectiveOverlay.
+func (w *World) SnapshotOverlay(o *graph.Overlay, effective bool) {
+	o.Reset()
+	checkPart := effective && w.Net.Partitioned()
+	for _, n := range w.nodes {
+		if !n.alive || n.Proto == nil {
+			continue
+		}
+		row := o.Row(n.ID)
+		for _, d := range n.Proto.Neighbors() {
+			if checkPart {
+				if peer, ok := w.Node(d.ID); !ok || !w.Net.ReachableHosts(n.Host, peer.Host) {
+					continue
+				}
+			}
+			row = append(row, d.ID)
+		}
+		o.SetRow(row)
+	}
 }
 
 // RunUntil advances the simulation to virtual time t.
@@ -706,8 +735,7 @@ func (w *World) SetMappingTimeout(d time.Duration) error {
 	natCfg := *w.Cfg.NAT
 	natCfg.MappingTimeout = d
 	w.Cfg.NAT = &natCfg
-	for _, id := range w.order {
-		n := w.nodes[id]
+	for _, n := range w.nodes {
 		if !n.alive || n.Host.Gateway() == nil {
 			continue
 		}

@@ -1,0 +1,55 @@
+// Scale benchmarks: the cost of one gossip round at deployment sizes
+// far beyond the paper's few-hundred-node evaluation (1k / 5k / 20k
+// nodes, all four protocols). These are the perf-trajectory numbers
+// recorded in BENCH_4.json by scripts/bench.sh; the kernel work they
+// measure is the calendar-queue event scheduler and the dense
+// node-indexed network tables.
+//
+// The suite is expensive to set up (a 20k-node world joins 20k hosts
+// and warms up ten rounds), so it is benchmark-only: nothing here runs
+// under plain `go test`. The short-mode scale smoke test lives in
+// scale_smoke_test.go instead.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/world"
+)
+
+// scaleWorld builds an n-node deployment (20% public, the paper's
+// ratio) and warms it up for sixty rounds past the end of the join
+// wave, so views, NAT tables, pools and the estimate stores (whose
+// history window is fifty rounds) are in steady state before
+// measurement begins.
+func scaleWorld(tb testing.TB, kind world.Kind, n int) *world.World {
+	tb.Helper()
+	w, err := world.New(world.Config{Kind: kind, Seed: 1, SkipNatID: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pub := n / 5
+	joinGap := time.Millisecond
+	w.MixedPoissonJoins(0, pub, n-pub, joinGap)
+	warmUntil := time.Duration(n)*joinGap + 60*time.Second
+	w.RunUntil(warmUntil)
+	return w
+}
+
+func BenchmarkScaleRound(b *testing.B) {
+	kinds := []world.Kind{world.KindCroupier, world.KindCyclon, world.KindGozar, world.KindNylon}
+	for _, kind := range kinds {
+		for _, n := range []int{1000, 5000, 20000} {
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				w := scaleWorld(b, kind, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunUntil(w.Sched.Now() + time.Second)
+				}
+			})
+		}
+	}
+}
