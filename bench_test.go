@@ -370,7 +370,7 @@ func BenchmarkViewMerge(b *testing.B) {
 	v := view.New(10, 0)
 	var pool []view.Descriptor
 	for i := 1; i <= 64; i++ {
-		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: i % 7})
+		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: int32(i % 7)})
 	}
 	for _, d := range pool[:10] {
 		v.Add(d)
@@ -392,7 +392,7 @@ func BenchmarkViewShuffleBuffers(b *testing.B) {
 	v := view.New(10, 0)
 	var pool []view.Descriptor
 	for i := 1; i <= 64; i++ {
-		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: i % 7})
+		pool = append(pool, view.Descriptor{ID: addr.NodeID(i), Age: int32(i % 7)})
 	}
 	for _, d := range pool[:10] {
 		v.Add(d)

@@ -68,16 +68,29 @@ func (s *Server) Count() int { return len(s.ids) }
 // Publics returns up to n distinct public-node descriptors drawn
 // uniformly at random, never including exclude. The age of returned
 // descriptors is reset to zero — the directory vouches they are alive.
-//
-// The draw rejection-samples n distinct eligible entries — a handful
-// of rng draws against the directory instead of a full O(|directory|)
-// permutation — because at large scale this is a hot path: every join
-// seeds through it, and NAT-oblivious baselines whose views drain
-// (cyclon under the paper's 80% private population) re-bootstrap
-// through it continuously.
+// The returned slice is freshly allocated and owned by the caller;
+// hot paths use PublicsInto with reusable scratch instead.
 func (s *Server) Publics(rng *rand.Rand, n int, exclude addr.NodeID) []view.Descriptor {
 	if n <= 0 || len(s.ids) == 0 {
 		return nil
+	}
+	return s.PublicsInto(rng, n, exclude, make([]view.Descriptor, 0, n))
+}
+
+// PublicsInto is Publics appending into dst (reset to length zero
+// first): with a caller-reused dst of sufficient capacity a draw
+// allocates nothing. This is a large-scale hot path twice over — every
+// join of a 50k-node wave seeds through it, and NAT-oblivious
+// baselines whose views drain (cyclon under the paper's 80% private
+// population) re-bootstrap through it continuously.
+//
+// The draw rejection-samples n distinct eligible entries — a handful
+// of rng draws against the directory instead of a full O(|directory|)
+// permutation.
+func (s *Server) PublicsInto(rng *rand.Rand, n int, exclude addr.NodeID, dst []view.Descriptor) []view.Descriptor {
+	dst = dst[:0]
+	if n <= 0 || len(s.ids) == 0 {
+		return dst
 	}
 	avail := len(s.ids)
 	if _, ok := s.indexOf[exclude]; ok {
@@ -86,16 +99,15 @@ func (s *Server) Publics(rng *rand.Rand, n int, exclude addr.NodeID) []view.Desc
 	if avail <= n {
 		// The caller wants everything eligible; hand it over in
 		// directory order.
-		out := make([]view.Descriptor, 0, avail)
 		for _, id := range s.ids {
 			if id == exclude {
 				continue
 			}
 			d := s.byID[id]
 			d.Age = 0
-			out = append(out, d)
+			dst = append(dst, d)
 		}
-		return out
+		return dst
 	}
 	picks := s.picks[:0]
 draw:
@@ -112,11 +124,10 @@ draw:
 		picks = append(picks, j)
 	}
 	s.picks = picks
-	out := make([]view.Descriptor, 0, n)
 	for _, i := range picks {
 		d := s.byID[s.ids[i]]
 		d.Age = 0
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/exchange"
+	"repro/internal/intern"
 	"repro/internal/pss"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -88,6 +89,24 @@ type Config struct {
 	// policies; the alternatives exist for ablation studies.
 	Selection SelectionPolicy
 	Merge     MergePolicy
+	// Origins is the interner the node's estimate store resolves
+	// estimate-origin identities through. A simulated world passes one
+	// shared interner to every node it builds, so 10k+ stores do not
+	// each duplicate the same origin identities; nil (the default)
+	// gives the node a private interner, which standalone deployments
+	// use. Interners are single-goroutine and must only be shared
+	// between nodes driven by the same loop. They are also append-only:
+	// the table grows with every distinct origin ever seen (unlike the
+	// store's own entries, which expire), a deliberate trade-off that
+	// is bounded by population in simulations but worth watching on
+	// months-long deployments under churn (see package intern).
+	Origins *intern.Origins
+	// CheckExchangeInvariants arms the exchange engine's PeerSwap-style
+	// debug assertions (no self-swap, merge-from-recorded-exchange
+	// atomicity; see exchange.Engine.EnableChecks). A violation panics.
+	// Off by default: the checks ride the per-round hot path and exist
+	// for tests and debug runs.
+	CheckExchangeInvariants bool
 }
 
 // DefaultConfig returns the paper's experimental setup with the medium
@@ -139,21 +158,26 @@ type ShuffleReq = exchange.Req
 // ShuffleRes answers a ShuffleReq (Algorithm 2 line 37).
 type ShuffleRes = exchange.Res
 
-// storedEstimate is one M_p entry. The age is kept implicitly as the
-// round at which the estimate was fresh (birth = rounds − Age at
-// receive time), so entries never need a per-round aging sweep: an
-// entry's age at round r is simply r − birth, arithmetic identical to
-// incrementing an explicit counter once per round.
+// storedEstimate is one M_p entry, 16 bytes packed. The origin
+// identity is a world-shared interned reference (intern.Origins), not
+// a 64-bit NodeID: ten thousand stores no longer each duplicate the
+// same few thousand origin identities, and the slot table the merge
+// probe walks packs four entries per cache line instead of two. The
+// age is kept implicitly as the round at which the estimate was fresh
+// (birth = rounds − Age at receive time), so entries never need a
+// per-round aging sweep: an entry's age at round r is simply
+// r − birth, arithmetic identical to incrementing an explicit counter
+// once per round.
 type storedEstimate struct {
-	node  addr.NodeID
-	value float64
-	birth int32
+	value  float64
+	origin int32 // interned origin reference; 0 marks an empty slot
+	birth  int32
 }
 
-// estHash spreads an origin ID over the slot table (splitmix64
-// finaliser).
-func estHash(id addr.NodeID) uint64 {
-	x := uint64(id) * 0x9e3779b97f4a7c15
+// estHash spreads an interned origin reference over the slot table
+// (splitmix64 finaliser).
+func estHash(ref int32) uint64 {
+	x := uint64(uint32(ref)) * 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -164,8 +188,8 @@ func estHash(id addr.NodeID) uint64 {
 // the entries stored inline: the merge path's probe — the hottest
 // lookup in a large deployment, where each node's store is hundreds of
 // cold entries — lands directly on the entry it needs, one memory
-// touch instead of an index hop plus a slab hop. node 0 marks an empty
-// slot (origins are never node 0).
+// touch instead of an index hop plus a slab hop. Reference 0 marks an
+// empty slot (the interner never issues it).
 //
 // Ages are implicit (birth rounds) and expiry is cohort-counted: the
 // store keeps one live-entry counter per birth round in a small ring,
@@ -176,9 +200,12 @@ func estHash(id addr.NodeID) uint64 {
 // a rebuild reclaims them.
 type estimateStore struct {
 	maxAge int
-	slots  []storedEstimate // power-of-two open-addressed table
-	used   int              // occupied slots, live and dead
-	live   int
+	// origins is the world-shared interner resolving slot references
+	// back to node identities (and interning fresh origins on merge).
+	origins *intern.Origins
+	slots   []storedEstimate // power-of-two open-addressed table
+	used    int              // occupied slots, live and dead
+	live    int
 	// cohorts[b mod len] counts live entries with birth round b; the
 	// ring is maxAge+2 long so active birth rounds never collide.
 	cohorts []int32
@@ -190,8 +217,8 @@ type estimateStore struct {
 	spare []storedEstimate
 }
 
-func newEstimateStore(maxAge int) *estimateStore {
-	return &estimateStore{maxAge: maxAge, cohorts: make([]int32, maxAge+2)}
+func newEstimateStore(maxAge int, origins *intern.Origins) *estimateStore {
+	return &estimateStore{maxAge: maxAge, origins: origins, cohorts: make([]int32, maxAge+2)}
 }
 
 // cohortPtr returns the ring counter for birth round b, which may be
@@ -212,14 +239,14 @@ func (s *estimateStore) liveAt(e storedEstimate) bool {
 // len returns the number of live entries.
 func (s *estimateStore) len() int { return s.live }
 
-// probe returns the slot holding id, or the empty slot where id would
-// be inserted. found distinguishes the two.
-func (s *estimateStore) probe(id addr.NodeID) (pos int, found bool) {
+// probe returns the slot holding ref, or the empty slot where ref
+// would be inserted. found distinguishes the two.
+func (s *estimateStore) probe(ref int32) (pos int, found bool) {
 	mask := uint64(len(s.slots) - 1)
-	for h := estHash(id); ; h++ {
+	for h := estHash(ref); ; h++ {
 		i := int(h & mask)
-		switch s.slots[i].node {
-		case id:
+		switch s.slots[i].origin {
+		case ref:
 			return i, true
 		case 0:
 			return i, false
@@ -227,9 +254,10 @@ func (s *estimateStore) probe(id addr.NodeID) (pos int, found bool) {
 	}
 }
 
-// materialise converts a stored entry to its wire form at round rounds.
-func (e storedEstimate) materialise(rounds int) Estimate {
-	return Estimate{Node: e.node, Value: e.value, Age: rounds - int(e.birth)}
+// materialise converts a stored entry to its wire form at round
+// rounds, resolving the interned origin back to its identity.
+func (s *estimateStore) materialise(e storedEstimate, rounds int) Estimate {
+	return Estimate{Node: s.origins.Lookup(e.origin), Value: e.value, Age: rounds - int(e.birth)}
 }
 
 // ensureSpace rebuilds the table when an insert would push occupancy
@@ -255,11 +283,11 @@ func (s *estimateStore) ensureSpace() {
 	s.used = 0
 	for i := range old {
 		e := old[i]
-		if e.node == 0 || !s.liveAt(e) {
+		if e.origin == 0 || !s.liveAt(e) {
 			continue
 		}
-		h := estHash(e.node)
-		for s.slots[h&mask].node != 0 {
+		h := estHash(e.origin)
+		for s.slots[h&mask].origin != 0 {
 			h++
 		}
 		s.slots[h&mask] = e
@@ -269,7 +297,7 @@ func (s *estimateStore) ensureSpace() {
 
 // replace overwrites the live-or-dead entry at slot i with e, keeping
 // the cohort counters and live count correct.
-func (s *estimateStore) replace(i int, e Estimate, rounds int) {
+func (s *estimateStore) replace(i int, ref int32, e Estimate, rounds int) {
 	old := s.slots[i]
 	if s.liveAt(old) {
 		*s.cohortPtr(int(old.birth))--
@@ -278,19 +306,19 @@ func (s *estimateStore) replace(i int, e Estimate, rounds int) {
 		s.live++
 	}
 	birth := int32(rounds - e.Age)
-	s.slots[i] = storedEstimate{node: e.Node, value: e.Value, birth: birth}
+	s.slots[i] = storedEstimate{origin: ref, value: e.Value, birth: birth}
 	*s.cohortPtr(int(birth))++
 }
 
 // insert claims an empty slot for e. The caller has run ensureSpace.
-func (s *estimateStore) insert(e Estimate, rounds int) {
-	i, found := s.probe(e.Node)
+func (s *estimateStore) insert(ref int32, e Estimate, rounds int) {
+	i, found := s.probe(ref)
 	if found {
-		s.replace(i, e, rounds)
+		s.replace(i, ref, e, rounds)
 		return
 	}
 	birth := int32(rounds - e.Age)
-	s.slots[i] = storedEstimate{node: e.Node, value: e.Value, birth: birth}
+	s.slots[i] = storedEstimate{origin: ref, value: e.Value, birth: birth}
 	s.used++
 	s.live++
 	*s.cohortPtr(int(birth))++
@@ -303,16 +331,17 @@ func (s *estimateStore) mergeFresher(e Estimate, rounds int) {
 	if e.Node == 0 {
 		return
 	}
+	ref := s.origins.Ref(e.Node)
 	if len(s.slots) != 0 {
-		if i, ok := s.probe(e.Node); ok {
+		if i, ok := s.probe(ref); ok {
 			if old := s.slots[i]; !s.liveAt(old) || int32(rounds-e.Age) > old.birth {
-				s.replace(i, e, rounds)
+				s.replace(i, ref, e, rounds)
 			}
 			return
 		}
 	}
 	s.ensureSpace()
-	s.insert(e, rounds)
+	s.insert(ref, e, rounds)
 }
 
 // expire advances the store to the given round boundary, retiring the
@@ -336,7 +365,7 @@ func (s *estimateStore) expire(rounds int) {
 func (s *estimateStore) sum() float64 {
 	total := 0.0
 	for i := range s.slots {
-		if s.slots[i].node != 0 && s.liveAt(s.slots[i]) {
+		if s.slots[i].origin != 0 && s.liveAt(s.slots[i]) {
 			total += s.slots[i].value
 		}
 	}
@@ -354,8 +383,8 @@ func (s *estimateStore) sum() float64 {
 func (s *estimateStore) appendRandomSubset(rng *rand.Rand, k int, dst []Estimate, rounds int) []Estimate {
 	if s.live <= k {
 		for i := range s.slots {
-			if s.slots[i].node != 0 && s.liveAt(s.slots[i]) {
-				dst = append(dst, s.slots[i].materialise(rounds))
+			if s.slots[i].origin != 0 && s.liveAt(s.slots[i]) {
+				dst = append(dst, s.materialise(s.slots[i], rounds))
 			}
 		}
 		return dst
@@ -366,7 +395,7 @@ draw:
 	for len(picks) < k && attempts < 32*k {
 		attempts++
 		j := int32(rng.Intn(len(s.slots)))
-		if s.slots[j].node == 0 || !s.liveAt(s.slots[j]) {
+		if s.slots[j].origin == 0 || !s.liveAt(s.slots[j]) {
 			continue
 		}
 		for _, p := range picks {
@@ -379,7 +408,7 @@ draw:
 	// Pathological rejection streak: fill deterministically from the
 	// front of the table.
 	for j := int32(0); len(picks) < k && int(j) < len(s.slots); j++ {
-		if s.slots[j].node == 0 || !s.liveAt(s.slots[j]) {
+		if s.slots[j].origin == 0 || !s.liveAt(s.slots[j]) {
 			continue
 		}
 		dup := false
@@ -395,7 +424,7 @@ draw:
 	}
 	s.picks = picks
 	for _, i := range picks {
-		dst = append(dst, s.slots[i].materialise(rounds))
+		dst = append(dst, s.materialise(s.slots[i], rounds))
 	}
 	return dst
 }
@@ -432,14 +461,17 @@ type Node struct {
 	pub view.View
 	pri view.View
 
-	// Ratio-estimation state (Algorithm 3).
-	estimates estimateStore // M_p, keyed by origin
+	// Ratio-estimation state (Algorithm 3). The two hit histories share
+	// one backing array (allocated once at construction) and count in
+	// int32 — per-round hit counts at realistic fan-ins are tiny, and a
+	// 50k-node world carries one pair of histories per node.
+	estimates estimateStore // M_p, keyed by interned origin
 	localEst  float64       // E_p (croupiers only)
 	hasLocal  bool
-	cu, cv    int   // current-round hit counters
-	histU     []int // per-round public hits, ≤ α entries (ring once full)
-	histV     []int // per-round private hits
-	histPos   int   // ring write position once the history is full
+	cu, cv    int32   // current-round hit counters
+	histU     []int32 // per-round public hits, ≤ α entries (ring once full)
+	histV     []int32 // per-round private hits
+	histPos   int     // ring write position once the history is full
 
 	ticker      *pss.Ticker
 	running     bool
@@ -483,6 +515,10 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CheckExchangeInvariants {
+		eng.EnableChecks(id)
+	}
+	hist := make([]int32, 2*cfg.LocalHistory)
 	n := &Node{
 		cfg:   cfg,
 		sock:  tr,
@@ -491,10 +527,14 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 		self:  id,
 		ep:    selfEP,
 		nat:   natType,
-		histU: make([]int, 0, cfg.LocalHistory),
-		histV: make([]int, 0, cfg.LocalHistory),
+		histU: hist[:0:cfg.LocalHistory],
+		histV: hist[cfg.LocalHistory : cfg.LocalHistory : 2*cfg.LocalHistory],
 	}
-	n.estimates = *newEstimateStore(cfg.NeighbourHistory)
+	origins := cfg.Origins
+	if origins == nil {
+		origins = intern.NewOrigins()
+	}
+	n.estimates = *newEstimateStore(cfg.NeighbourHistory, origins)
 	n.pub = *view.New(cfg.Params.ViewSize, n.self)
 	n.pri = *view.New(cfg.Params.ViewSize, n.self)
 	for _, d := range seeds {
@@ -748,10 +788,10 @@ func (n *Node) pushHits() {
 func (n *Node) calcHitsRatio() (float64, bool) {
 	pubCnt, priCnt := 0, 0
 	for _, u := range n.histU {
-		pubCnt += u
+		pubCnt += int(u)
 	}
 	for _, v := range n.histV {
-		priCnt += v
+		priCnt += int(v)
 	}
 	if pubCnt+priCnt == 0 {
 		return 0, false
@@ -828,8 +868,8 @@ func (n *Node) Sample() (view.Descriptor, bool) {
 func (n *Node) CachedEstimates() []Estimate {
 	out := make([]Estimate, 0, n.estimates.len())
 	for i := range n.estimates.slots {
-		if e := n.estimates.slots[i]; e.node != 0 && n.estimates.liveAt(e) {
-			out = append(out, e.materialise(n.eng.Rounds()))
+		if e := n.estimates.slots[i]; e.origin != 0 && n.estimates.liveAt(e) {
+			out = append(out, n.estimates.materialise(e, n.eng.Rounds()))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/exchange"
+	"repro/internal/intern"
 	"repro/internal/latency"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -141,8 +142,8 @@ func TestCalcHitsRatio(t *testing.T) {
 	if _, ok := n.calcHitsRatio(); ok {
 		t.Fatal("ratio computed with no hits")
 	}
-	n.histU = []int{2, 1, 1} // 4 public hits
-	n.histV = []int{5, 6, 5} // 16 private hits
+	n.histU = []int32{2, 1, 1} // 4 public hits
+	n.histV = []int32{5, 6, 5} // 16 private hits
 	got, ok := n.calcHitsRatio()
 	if !ok {
 		t.Fatal("ratio not computed")
@@ -408,7 +409,7 @@ func TestShuffleMessageSizesMatchPaperAccounting(t *testing.T) {
 // origins inserted, and ages monotonically.
 func TestEstimateStoreInvariants(t *testing.T) {
 	f := func(ops []uint8) bool {
-		s := newEstimateStore(20)
+		s := newEstimateStore(20, intern.NewOrigins())
 		rounds := 0
 		for _, op := range ops {
 			id := addr.NodeID(op % 16)
@@ -422,24 +423,24 @@ func TestEstimateStoreInvariants(t *testing.T) {
 				s.mergeFresher(Estimate{Node: id, Value: float64(op) / 255, Age: int(op % 8)}, rounds)
 			}
 			used, live := 0, 0
-			seen := make(map[addr.NodeID]bool)
+			seen := make(map[int32]bool)
 			for i, e := range s.slots {
-				if e.node == 0 {
+				if e.origin == 0 {
 					continue
 				}
 				used++
-				if seen[e.node] {
+				if seen[e.origin] {
 					return false
 				}
-				seen[e.node] = true
-				if at, ok := s.probe(e.node); !ok || at != i {
+				seen[e.origin] = true
+				if at, ok := s.probe(e.origin); !ok || at != i {
 					return false
 				}
 				if !s.liveAt(e) {
 					continue // dead slot awaiting rebuild: unobservable
 				}
 				live++
-				if age := e.materialise(rounds).Age; age > 20 {
+				if age := s.materialise(e, rounds).Age; age > 20 {
 					return false // expired entry observable
 				}
 			}
@@ -462,10 +463,10 @@ func TestCalcHitsRatioBounds(t *testing.T) {
 		n.histU = n.histU[:0]
 		n.histV = n.histV[:0]
 		for _, u := range us {
-			n.histU = append(n.histU, int(u))
+			n.histU = append(n.histU, int32(u))
 		}
 		for _, v := range vs {
-			n.histV = append(n.histV, int(v))
+			n.histV = append(n.histV, int32(v))
 		}
 		got, ok := n.calcHitsRatio()
 		if !ok {
@@ -588,5 +589,55 @@ func TestMergeHealerPolicyReplacesOldest(t *testing.T) {
 	}
 	if !n.pub.Contains(4) {
 		t.Fatal("healer dropped the fresh descriptor")
+	}
+}
+
+// TestExchangeInvariantsHoldOverSimulatedRounds arms the exchange
+// engine's PeerSwap-style debug checks (no self-swap, atomic
+// merge-from-recorded-exchange) on a whole simulated deployment and
+// runs many full gossip rounds: any violation panics the single
+// simulation goroutine and fails the test. This is the round-level
+// exercise of croupier.Config.CheckExchangeInvariants.
+func TestExchangeInvariantsHoldOverSimulatedRounds(t *testing.T) {
+	r := newRig(t)
+	cfg := DefaultConfig()
+	cfg.CheckExchangeInvariants = true
+	nodes := make([]*Node, 0, 8)
+	seeds := []view.Descriptor{}
+	for id := 1; id <= 8; id++ {
+		natType := addr.Public
+		if id > 4 {
+			natType = addr.Private
+		}
+		h, err := r.net.AddPublicHost(addr.NodeID(id))
+		if err != nil {
+			t.Fatalf("AddPublicHost: %v", err)
+		}
+		var n *Node
+		sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		n, err = New(cfg, r.sched, sock, natType, addr.Endpoint{IP: h.IP(), Port: 100}, seeds)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		seeds = append(seeds, view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: natType})
+		nodes = append(nodes, n)
+	}
+	for round := 0; round < 50; round++ {
+		for _, n := range nodes {
+			n.RunRound()
+		}
+		r.sched.Run()
+	}
+	merged := false
+	for _, n := range nodes {
+		if _, _, res := n.Stats(); res > 0 {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Fatal("no exchange completed; the invariant checks were never exercised on a merge")
 	}
 }

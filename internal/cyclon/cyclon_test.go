@@ -49,7 +49,7 @@ func desc(id int, age int) view.Descriptor {
 		ID:       addr.NodeID(id),
 		Endpoint: addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(id)), Port: 100},
 		Nat:      addr.Public,
-		Age:      age,
+		Age:      int32(age),
 	}
 }
 

@@ -259,7 +259,7 @@ func getDescriptor(r *wire.Reader) view.Descriptor {
 		ID:       addr.NodeID(r.U64()),
 		Endpoint: r.Endpoint(),
 		Nat:      addr.NatType(r.U8()),
-		Age:      int(r.U16()),
+		Age:      int32(r.U16()),
 	}
 }
 

@@ -17,7 +17,7 @@ func sampleDesc(id int) view.Descriptor {
 		ID:       addr.NodeID(id),
 		Endpoint: addr.Endpoint{IP: addr.MakeIP(127, 0, 0, 1), Port: uint16(40000 + id)},
 		Nat:      addr.Public,
-		Age:      id % 20,
+		Age:      int32(id % 20),
 	}
 }
 
@@ -119,7 +119,7 @@ func TestDescriptorCodecProperty(t *testing.T) {
 			ID:       addr.NodeID(id),
 			Endpoint: addr.Endpoint{IP: addr.IP(ip), Port: port},
 			Nat:      addr.NatType(natRaw%2 + 1),
-			Age:      int(age),
+			Age:      int32(age),
 		}
 		got, err := Decode(EncodeBootRegister(BootRegister{Desc: d}))
 		if err != nil {

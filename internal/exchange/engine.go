@@ -72,6 +72,58 @@ type Engine struct {
 	recPool FreeList[record]
 	ttl     int
 	rounds  int
+
+	// checks arms the PeerSwap-style exchange invariants (see
+	// EnableChecks); checkSelf is the owning node's identity, which the
+	// engine otherwise never needs to know.
+	checks    bool
+	checkSelf addr.NodeID
+}
+
+// EnableChecks arms debug assertions over the exchange machinery,
+// inspired by the randomness/soundness invariants PeerSwap
+// (arXiv:2408.03829) states for atomic view exchanges:
+//
+//   - no self-swap: a node never opens a shuffle exchange with itself
+//     (a self-exchange would double-count state and bias sampling);
+//   - exchange atomicity: a response only ever merges against the
+//     pending record of its own exchange — same peer (structurally
+//     guaranteed by the peer-keyed lookup today, asserted so a future
+//     refactor of the pending table cannot silently break it) and
+//     opened within the TTL window — so merged state came from the
+//     recorded pending exchange and not from a stale or foreign one.
+//
+// A violation panics with a diagnostic: these are programming-error
+// assertions for tests and debug runs (they sit on the per-round hot
+// path, so production configurations leave them off; the croupier
+// round test exercises a full deployment with them armed).
+func (e *Engine) EnableChecks(self addr.NodeID) {
+	e.checks = true
+	e.checkSelf = self
+}
+
+// verifyOpen asserts the no-self-swap invariant at exchange-open time.
+func (e *Engine) verifyOpen(peer addr.NodeID) {
+	if peer == e.checkSelf {
+		panic(fmt.Sprintf("exchange: invariant violation: node %v opened a shuffle exchange with itself", peer))
+	}
+}
+
+// verifyMerge asserts exchange atomicity just before a response merge.
+// The peer-identity check cannot fire while HandleResponse looks the
+// record up by res.From.ID — it pins that contract against refactors;
+// the TTL-age and not-self checks are the assertions with teeth today.
+func (e *Engine) verifyMerge(r *record, res *Res) {
+	if r.peer != res.From.ID {
+		panic(fmt.Sprintf("exchange: invariant violation: merging response from %v against exchange recorded for %v",
+			res.From.ID, r.peer))
+	}
+	if res.From.ID == e.checkSelf {
+		panic(fmt.Sprintf("exchange: invariant violation: node %v merging a response from itself", e.checkSelf))
+	}
+	if age := e.rounds - r.round; age < 0 || age > e.ttl {
+		panic(fmt.Sprintf("exchange: invariant violation: merging against a record aged %d rounds (TTL %d)", age, e.ttl))
+	}
 }
 
 // NewEngine builds an engine whose pending exchanges expire after
@@ -156,6 +208,9 @@ func (e *Engine) RunRound(p Protocol) {
 	r.round = e.rounds
 	switch p.Deliver(target, req) {
 	case Sent:
+		if e.checks {
+			e.verifyOpen(target.ID)
+		}
 		if i := e.findPending(target.ID); i >= 0 {
 			e.putRecord(e.pending[i])
 			e.removePending(i)
@@ -176,6 +231,9 @@ func (e *Engine) RunRound(p Protocol) {
 // packet and cannot be retained), replacing any earlier record for the
 // same peer.
 func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
+	if e.checks {
+		e.verifyOpen(peer)
+	}
 	var r *record
 	if i := e.findPending(peer); i >= 0 {
 		r = e.pending[i]
@@ -200,6 +258,9 @@ func (e *Engine) HandleResponse(p Protocol, res *Res) bool {
 	}
 	r := e.pending[i]
 	e.removePending(i)
+	if e.checks {
+		e.verifyMerge(r, res)
+	}
 	p.MergeResponse(res, r.pub, r.pri)
 	e.putRecord(r)
 	return true

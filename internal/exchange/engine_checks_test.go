@@ -1,0 +1,69 @@
+package exchange
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/view"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing
+// the test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+		t.Fatal("expected an invariant panic, got none")
+	}()
+	return msg
+}
+
+// TestChecksRejectSelfSwap pins the no-self-swap invariant: with the
+// debug checks armed, opening an exchange with the node's own identity
+// panics instead of silently biasing the shuffle.
+func TestChecksRejectSelfSwap(t *testing.T) {
+	e, err := NewEngine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChecks(7)
+	msg := mustPanic(t, func() { e.Open(7, nil, nil) })
+	if !strings.Contains(msg, "itself") {
+		t.Fatalf("panic message %q does not name the self-swap", msg)
+	}
+}
+
+// TestChecksRejectStaleRecordMerge pins the atomicity window: a
+// response resolving against a record older than the pending TTL (a
+// state the round driver's expiry normally makes unreachable) is a
+// violation, not a merge.
+func TestChecksRejectStaleRecordMerge(t *testing.T) {
+	e, err := NewEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChecks(7)
+	e.Open(3, []view.Descriptor{{ID: 9}}, nil)
+	// Simulate a driver bug: rounds advance without the expiry sweep.
+	e.rounds += e.ttl + 1
+	res := &Res{From: view.Descriptor{ID: 3}}
+	msg := mustPanic(t, func() { e.HandleResponse(nopProtocol{}, res) })
+	if !strings.Contains(msg, "aged") {
+		t.Fatalf("panic message %q does not name the stale record", msg)
+	}
+}
+
+// nopProtocol satisfies Protocol for white-box engine tests.
+type nopProtocol struct{}
+
+func (nopProtocol) PrepareRound(int)                                         {}
+func (nopProtocol) SelectPeer() (view.Descriptor, bool)                      { return view.Descriptor{}, false }
+func (nopProtocol) FillRequest(view.Descriptor, *Req)                        {}
+func (nopProtocol) Deliver(view.Descriptor, *Req) Delivery                   { return Failed }
+func (nopProtocol) MergeResponse(*Res, []view.Descriptor, []view.Descriptor) {}

@@ -12,7 +12,7 @@ func desc(id int, age int) view.Descriptor {
 		ID:       addr.NodeID(id),
 		Endpoint: addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(id)), Port: 100},
 		Nat:      addr.Public,
-		Age:      age,
+		Age:      int32(age),
 	}
 }
 
@@ -79,7 +79,7 @@ func TestLiveMessagesNeverShareBuffers(t *testing.T) {
 		}
 		// Contents must match what each message wrote — no cross-talk.
 		for i, m := range live {
-			if m.Pub[0].Age != i || m.Pri[0].Age != i+2 {
+			if m.Pub[0].Age != int32(i) || m.Pri[0].Age != int32(i+2) {
 				t.Fatalf("round %d: message %d payload overwritten by a sibling", r, i)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/nylon"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -27,6 +28,9 @@ type Fig7bConfig struct {
 	// windows (~30 rounds) the relay-based baselines re-register and
 	// heal, flattening the comparison (see EXPERIMENTS.md).
 	RecoveryRounds int
+	// Nylon, when non-nil, overrides Nylon's configuration (e.g. a
+	// bounded RVP mesh); nil keeps the paper-faithful defaults.
+	Nylon *nylon.Config
 }
 
 // NewFig7bConfig returns the paper's parameters.
@@ -56,7 +60,7 @@ func RunFig7b(cfg Fig7bConfig) (Fig7bResult, error) {
 	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
 		run := stats.Series{Name: j.kind.String()}
 		for _, frac := range cfg.FailureFractions {
-			w, err := buildComparisonWorld(j.kind, total, j.seed)
+			w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
 			if err != nil {
 				return stats.Series{}, err
 			}

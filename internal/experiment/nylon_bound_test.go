@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nylon"
+)
+
+// TestNylonBoundedRVPFigureComparison re-runs the Fig 6/7 nylon
+// comparison with the RVP mesh bounded (nylon.Config.MaxRVPs) against
+// the paper-faithful unbounded default, at a short-mode scale. It pins
+// the cost/fidelity trade-off documented in docs/ARCHITECTURE.md:
+//
+//   - cost: bounding the mesh must cut nylon's steady-state overhead
+//     (the keep-alive burst sweeps the whole rendezvous set every
+//     KeepAliveEvery rounds, so a bounded set strictly caps it);
+//   - fidelity: the overlay nylon builds must stay intact — the
+//     clustering-coefficient figure still produces a finite, non-zero
+//     series, i.e. the bound thins rendezvous state, not the view
+//     exchange itself.
+//
+// Runs are deterministic (fixed seeds), so the inequality is a stable
+// regression check, not a flaky statistical one.
+func TestNylonBoundedRVPFigureComparison(t *testing.T) {
+	scale := Scale{Factor: 0.06, Seeds: 1} // 60 nodes
+
+	overhead := func(ny *nylon.Config) OverheadRow {
+		t.Helper()
+		cfg := NewFig7aConfig()
+		cfg.Scale = scale
+		cfg.WarmupRounds = 40
+		cfg.MeasureRounds = 20
+		cfg.Nylon = ny
+		res, err := RunFig7a(cfg)
+		if err != nil {
+			t.Fatalf("RunFig7a: %v", err)
+		}
+		for _, row := range res.Rows {
+			if row.System == "nylon" {
+				return row
+			}
+		}
+		t.Fatal("no nylon row in Fig 7(a) result")
+		return OverheadRow{}
+	}
+
+	bound := nylon.DefaultConfig()
+	bound.MaxRVPs = 5
+	unbounded := overhead(nil)
+	bounded := overhead(&bound)
+	t.Logf("fig7a nylon B/s public: unbounded=%.1f bounded=%.1f", unbounded.PublicBps, bounded.PublicBps)
+	t.Logf("fig7a nylon B/s private: unbounded=%.1f bounded=%.1f", unbounded.PrivateBps, bounded.PrivateBps)
+	if bounded.PublicBps >= unbounded.PublicBps || bounded.PrivateBps >= unbounded.PrivateBps {
+		t.Errorf("bounding the RVP mesh did not cut nylon overhead: unbounded=%+v bounded=%+v", unbounded, bounded)
+	}
+
+	clustering := func(ny *nylon.Config) float64 {
+		t.Helper()
+		cfg := NewFig6bcConfig()
+		cfg.Scale = scale
+		cfg.Rounds = 40
+		cfg.SampleEvery = 10
+		cfg.PathSources = 8
+		cfg.Nylon = ny
+		res, err := RunFig6c(cfg)
+		if err != nil {
+			t.Fatalf("RunFig6c: %v", err)
+		}
+		for _, s := range res.Series {
+			if s.Name == "nylon" && len(s.Y) > 0 {
+				return s.Y[len(s.Y)-1]
+			}
+		}
+		t.Fatal("no nylon series in Fig 6(c) result")
+		return 0
+	}
+	cUnbounded := clustering(nil)
+	cBounded := clustering(&bound)
+	t.Logf("fig6c nylon clustering coefficient: unbounded=%.4f bounded=%.4f", cUnbounded, cBounded)
+	for name, c := range map[string]float64{"unbounded": cUnbounded, "bounded": cBounded} {
+		if math.IsNaN(c) || c <= 0 || c >= 1 {
+			t.Errorf("%s nylon clustering coefficient %.4f outside (0, 1): overlay degraded", name, c)
+		}
+	}
+}

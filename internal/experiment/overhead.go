@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/croupier"
+	"repro/internal/nylon"
 	"repro/internal/runner"
 	"repro/internal/world"
 )
@@ -20,6 +21,9 @@ type Fig7aConfig struct {
 	WarmupRounds int
 	// MeasureRounds is the measurement window length.
 	MeasureRounds int
+	// Nylon, when non-nil, overrides Nylon's configuration (e.g. a
+	// bounded RVP mesh); nil keeps the paper-faithful defaults.
+	Nylon *nylon.Config
 }
 
 // NewFig7aConfig returns the paper's parameters.
@@ -53,12 +57,16 @@ func RunFig7a(cfg Fig7aConfig) (Fig7aResult, error) {
 	systems := []world.Kind{world.KindCroupier, world.KindGozar, world.KindNylon}
 	jobs := comparisonJobs(systems, seeds)
 	rows, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (OverheadRow, error) {
-		w, err := world.New(world.Config{
+		wcfg := world.Config{
 			Kind:      j.kind,
 			Seed:      j.seed,
 			SkipNatID: true,
 			Croupier:  fig7aCroupierConfig(),
-		})
+		}
+		if cfg.Nylon != nil {
+			wcfg.Nylon = *cfg.Nylon
+		}
+		w, err := world.New(wcfg)
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("fig7a %v: %w", j.kind, err)
 		}

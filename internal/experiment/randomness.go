@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/croupier"
 	"repro/internal/graph"
+	"repro/internal/nylon"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,15 +45,22 @@ var Systems = []world.Kind{
 // buildComparisonWorld assembles the standard 1000-node comparison
 // deployment: 20% public / 80% private for the NAT-aware systems, all
 // public for Cyclon (which the paper evaluates with public nodes only),
-// joining in a mixed Poisson stream with 10 ms mean gaps.
+// joining in a mixed Poisson stream with 10 ms mean gaps. nylonCfg,
+// when non-nil, overrides Nylon's configuration — the knob the
+// bounded-vs-unbounded RVP comparison turns (nylon.Config.MaxRVPs);
+// the other systems ignore it.
 //
 // Croupier keeps the paper's per-view size of 10 ("the size of a node's
 // partial view is 10 entries" applies to each view): private nodes then
 // sit at in-degree ≈ 10·N/(0.8N) = 12.5, right next to Cyclon's 10 in
 // Fig 6(a), while croupiers absorb the remaining references — see
 // EXPERIMENTS.md for the interpretation notes.
-func buildComparisonWorld(kind world.Kind, total int, seed int64) (*world.World, error) {
-	w, err := world.New(world.Config{Kind: kind, Seed: seed, SkipNatID: true, Croupier: croupier.DefaultConfig()})
+func buildComparisonWorld(kind world.Kind, total int, seed int64, nylonCfg *nylon.Config) (*world.World, error) {
+	cfg := world.Config{Kind: kind, Seed: seed, SkipNatID: true, Croupier: croupier.DefaultConfig()}
+	if nylonCfg != nil {
+		cfg.Nylon = *nylonCfg
+	}
+	w, err := world.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("comparison world %v: %w", kind, err)
 	}
@@ -73,6 +81,9 @@ type Fig6aConfig struct {
 	Scale Scale
 	// Rounds before the snapshot (250 in the paper).
 	Rounds int
+	// Nylon, when non-nil, overrides Nylon's configuration (e.g. a
+	// bounded RVP mesh); nil keeps the paper-faithful defaults.
+	Nylon *nylon.Config
 }
 
 // NewFig6aConfig returns the paper's parameters.
@@ -95,7 +106,7 @@ func RunFig6a(cfg Fig6aConfig) (Fig6aResult, error) {
 	seeds := seedList(6100, s.seeds())
 	jobs := comparisonJobs(Systems, seeds)
 	hists, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (map[int]int, error) {
-		w, err := buildComparisonWorld(j.kind, total, j.seed)
+		w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +191,9 @@ type Fig6bcConfig struct {
 	// metric; 0 means exact all-pairs (used up to 1000 nodes, per
 	// DESIGN.md).
 	PathSources int
+	// Nylon, when non-nil, overrides Nylon's configuration (e.g. a
+	// bounded RVP mesh); nil keeps the paper-faithful defaults.
+	Nylon *nylon.Config
 }
 
 // NewFig6bcConfig returns the paper's parameters.
@@ -224,7 +238,7 @@ func runOverlayMetric(cfg Fig6bcConfig, title string, seedBase int64,
 	seeds := seedList(seedBase, s.seeds())
 	jobs := comparisonJobs(Systems, seeds)
 	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
-		w, err := buildComparisonWorld(j.kind, total, j.seed)
+		w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
 		if err != nil {
 			return stats.Series{}, err
 		}

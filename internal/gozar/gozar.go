@@ -203,12 +203,14 @@ type Node struct {
 
 	view *view.View
 
-	// Private-side relay management. advRelays is the relay list
-	// embedded in this node's own descriptor; it is rebuilt (freshly
-	// allocated) whenever the relay set changes, because descriptor
-	// copies in views and in-flight messages share its backing array.
-	relays    []relayState
-	advRelays []view.Relay
+	// Private-side relay management. advExt is the descriptor extension
+	// embedded in this node's own descriptor, carrying the advertised
+	// relay list; it is rebuilt (freshly allocated) whenever the relay
+	// set changes, because descriptor copies in views and in-flight
+	// messages share the extension pointer (view.Ext is immutable once
+	// attached).
+	relays []relayState
+	advExt *view.Ext
 
 	// Public-side relay service.
 	clients map[addr.NodeID]*registration
@@ -321,7 +323,7 @@ func (n *Node) Stop() {
 func (n *Node) selfDescriptor() view.Descriptor {
 	d := view.Descriptor{ID: n.self, Endpoint: n.ep, Nat: n.nat}
 	if n.nat == addr.Private {
-		d.Relays = n.advRelays
+		d.Ext = n.advExt
 	}
 	return d
 }
@@ -371,11 +373,12 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 		n.sock.Send(q.Endpoint, req)
 		return exchange.Sent
 	}
-	if len(q.Relays) == 0 {
+	relays := q.Relays()
+	if len(relays) == 0 {
 		n.failedShuffles++
 		return exchange.Failed
 	}
-	relay := q.Relays[n.rng.Intn(len(q.Relays))]
+	relay := relays[n.rng.Intn(len(relays))]
 	fwd := n.fwdPool.Get()
 	fwd.Target, fwd.Inner, fwd.fl = q.ID, req, &n.fwdPool
 	n.sock.Send(relay.Endpoint, fwd)
@@ -411,11 +414,12 @@ func (n *Node) maintainRelays() {
 	}
 	if changed {
 		// Fresh allocation on purpose: descriptor copies already out in
-		// views and messages keep the old array.
-		n.advRelays = make([]view.Relay, len(n.relays))
+		// views and messages keep the old extension.
+		ext := &view.Ext{Relays: make([]view.Relay, len(n.relays))}
 		for i, r := range n.relays {
-			n.advRelays[i] = r.relay
+			ext.Relays[i] = r.relay
 		}
+		n.advExt = ext
 	}
 	for _, r := range n.relays {
 		reg := n.regPool.Get()

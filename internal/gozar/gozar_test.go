@@ -120,8 +120,8 @@ func TestSelfDescriptorCarriesRelays(t *testing.T) {
 	priv.runRound()
 	r.sched.Run()
 	d := priv.selfDescriptor()
-	if len(d.Relays) != 1 || d.Relays[0].ID != 1 {
-		t.Fatalf("self descriptor relays = %v, want [n1]", d.Relays)
+	if rs := d.Relays(); len(rs) != 1 || rs[0].ID != 1 {
+		t.Fatalf("self descriptor relays = %v, want [n1]", rs)
 	}
 }
 

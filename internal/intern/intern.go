@@ -1,0 +1,96 @@
+// Package intern provides identity interning shared across a simulated
+// world.
+//
+// At 10k+ nodes, every croupier node's estimate store holds hundreds of
+// entries keyed by the 64-bit identity of the estimate's origin — the
+// same few thousand public-node identities duplicated into every
+// store's slot table. Interning replaces the identity with a dense
+// 32-bit reference issued by a single world-shared table: stored
+// entries shrink (and pack tighter into cache lines), identity
+// comparison and hashing act on one machine word, and the world holds
+// each origin's full identity exactly once.
+//
+// An interner is single-goroutine, like the simulation world that owns
+// it: worlds never share interners (the parallel runner gives every
+// world its own), and deployment nodes construct a private one.
+//
+// Interners are append-only by design: references are never revoked,
+// so holders never coordinate eviction and a reference resolves for
+// the interner's whole lifetime. The cost is that the table grows with
+// the number of *distinct* identities ever interned (~12 bytes each
+// for dense IDs) — bounded by total population over a simulated
+// world's life, but unbounded over a months-long deployment in a
+// churning network. Deployment-grade eviction (epoch or refcount
+// based) is an open item tracked in ROADMAP.md.
+package intern
+
+import "repro/internal/addr"
+
+// noRef marks an identity with no reference issued yet.
+const noRef = int32(0)
+
+// maxDenseID bounds the dense id→ref table. Simulated worlds issue
+// node IDs counting up from 1, so the table stays exactly
+// population-sized; pathological IDs (deployment nodes with hashed
+// identities) fall back to the sparse map instead of ballooning it.
+const maxDenseID = 1 << 20
+
+// Origins interns node identities into dense references. References
+// are issued sequentially from 1 in first-intern order — 0 never names
+// an origin, so callers can use it as an empty-slot marker. The zero
+// value is not usable; construct with NewOrigins.
+type Origins struct {
+	ids    []addr.NodeID // ref-1 → identity
+	dense  []int32       // identity → ref for dense IDs; noRef = unissued
+	sparse map[addr.NodeID]int32
+}
+
+// NewOrigins returns an empty interner.
+func NewOrigins() *Origins {
+	return &Origins{sparse: make(map[addr.NodeID]int32)}
+}
+
+// Len returns the number of identities interned.
+func (o *Origins) Len() int { return len(o.ids) }
+
+// Ref returns the reference for id, issuing a fresh one on first
+// sight. id 0 is reserved and maps to reference 0.
+func (o *Origins) Ref(id addr.NodeID) int32 {
+	if id == 0 {
+		return noRef
+	}
+	if id < maxDenseID {
+		i := int(id)
+		if i < len(o.dense) {
+			if r := o.dense[i]; r != noRef {
+				return r
+			}
+		}
+		r := o.issue(id)
+		for len(o.dense) <= i {
+			o.dense = append(o.dense, noRef)
+		}
+		o.dense[i] = r
+		return r
+	}
+	if r, ok := o.sparse[id]; ok {
+		return r
+	}
+	r := o.issue(id)
+	o.sparse[id] = r
+	return r
+}
+
+func (o *Origins) issue(id addr.NodeID) int32 {
+	o.ids = append(o.ids, id)
+	return int32(len(o.ids))
+}
+
+// Lookup resolves a reference back to its identity. Reference 0 and
+// never-issued references resolve to identity 0.
+func (o *Origins) Lookup(ref int32) addr.NodeID {
+	if ref <= 0 || int(ref) > len(o.ids) {
+		return 0
+	}
+	return o.ids[ref-1]
+}

@@ -1,0 +1,49 @@
+package intern
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestRefsAreDenseAndStable(t *testing.T) {
+	o := NewOrigins()
+	ids := []addr.NodeID{42, 7, 42, 9000, 7}
+	want := []int32{1, 2, 1, 3, 2}
+	for i, id := range ids {
+		if r := o.Ref(id); r != want[i] {
+			t.Fatalf("Ref(%v) = %d, want %d", id, r, want[i])
+		}
+	}
+	if o.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", o.Len())
+	}
+}
+
+func TestLookupRoundTrips(t *testing.T) {
+	o := NewOrigins()
+	// One dense identity, one past the dense bound (sparse fallback).
+	ids := []addr.NodeID{5, maxDenseID + 17}
+	for _, id := range ids {
+		if got := o.Lookup(o.Ref(id)); got != id {
+			t.Fatalf("Lookup(Ref(%v)) = %v", id, got)
+		}
+	}
+	// The sparse identity must not have grown the dense table.
+	if len(o.dense) > 6 {
+		t.Fatalf("dense table grew to %d entries for a sparse identity", len(o.dense))
+	}
+}
+
+func TestZeroAndInvalidRefs(t *testing.T) {
+	o := NewOrigins()
+	if r := o.Ref(0); r != 0 {
+		t.Fatalf("Ref(0) = %d, want reserved 0", r)
+	}
+	if id := o.Lookup(0); id != 0 {
+		t.Fatalf("Lookup(0) = %v, want 0", id)
+	}
+	if id := o.Lookup(99); id != 0 {
+		t.Fatalf("Lookup(unissued) = %v, want 0", id)
+	}
+}

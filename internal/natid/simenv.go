@@ -21,7 +21,19 @@ type SimEnv struct {
 // NewSimEnv wraps a socket. Attach a client and/or server afterwards via
 // SetClient / SetServer.
 func NewSimEnv(sched *sim.Scheduler, sock *simnet.Socket) *SimEnv {
-	return &SimEnv{sched: sched, sock: sock}
+	e := &SimEnv{}
+	e.Init(sched, sock)
+	return e
+}
+
+// Init initialises a caller-allocated environment in place — for owners
+// that must hand out the environment's Dispatch before the socket
+// exists (the world binds the natid port with env.Dispatch as handler,
+// then completes the env with the returned socket) and would otherwise
+// allocate a second SimEnv per join just to copy it over.
+func (e *SimEnv) Init(sched *sim.Scheduler, sock *simnet.Socket) {
+	e.sched = sched
+	e.sock = sock
 }
 
 // SetClient routes ForwardResp messages to c.

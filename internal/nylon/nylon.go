@@ -409,8 +409,8 @@ func (n *Node) nextHopFor(q view.Descriptor) (addr.Endpoint, bool) {
 	if r, ok := n.routes[q.ID]; ok && n.eng.Rounds()-r.updated <= n.cfg.RouteTTL {
 		return r.nextHopEP, true
 	}
-	if q.Via != 0 && q.Via != n.self && !q.ViaEndpoint.IsZero() {
-		return q.ViaEndpoint, true
+	if via := q.Via(); via != 0 && via != n.self && !q.ViaEndpoint().IsZero() {
+		return q.ViaEndpoint(), true
 	}
 	return addr.Endpoint{}, false
 }
@@ -513,13 +513,20 @@ func (n *Node) setRoute(id, nextHop addr.NodeID, ep addr.Endpoint) {
 // private descriptors in place: the exchange partner is the next hop
 // towards every private node it advertised (Nylon's routing-table
 // maintenance). descs is a pooled message payload about to be recycled,
-// so mutating it is safe; the view merge copies what it keeps.
+// so rewriting its entries is safe; the view merge copies what it
+// keeps. Every stamped descriptor points at the same partner, so one
+// shared extension serves the whole batch — attached by replacing the
+// Ext pointer, never by writing through a received one, which copies in
+// other views may share (view.Ext is immutable once attached).
 func (n *Node) learnRoutes(descs []view.Descriptor, partner addr.NodeID, partnerEP addr.Endpoint) []view.Descriptor {
+	var ext *view.Ext
 	for i := range descs {
 		d := &descs[i]
 		if d.Nat == addr.Private && d.ID != n.self {
-			d.Via = partner
-			d.ViaEndpoint = partnerEP
+			if ext == nil {
+				ext = &view.Ext{Via: partner, ViaEndpoint: partnerEP}
+			}
+			d.Ext = ext
 			if cur, ok := n.routes[d.ID]; !ok || cur.nextHop != d.ID {
 				n.setRoute(d.ID, partner, partnerEP)
 			}

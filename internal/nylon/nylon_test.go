@@ -131,8 +131,7 @@ func TestHolePunchThroughOneHop(t *testing.T) {
 	requester := r.pubNode(t, 3, nil)
 	// Learn priv's descriptor "from hub": via = hub.
 	d := descOf(priv)
-	d.Via = hub.self
-	d.ViaEndpoint = hub.ep
+	d.Ext = &view.Ext{Via: hub.self, ViaEndpoint: hub.ep}
 	requester.view.Add(d)
 
 	requester.runRound()
@@ -168,8 +167,7 @@ func TestPrivateToPrivateHolePunch(t *testing.T) {
 
 	// a learns b via hub.
 	d := descOf(b)
-	d.Via = hub.self
-	d.ViaEndpoint = hub.ep
+	d.Ext = &view.Ext{Via: hub.self, ViaEndpoint: hub.ep}
 	a.view.Add(d)
 	// Ensure b's descriptor is the oldest so it gets selected.
 	for _, x := range a.view.Descriptors() {
@@ -214,8 +212,7 @@ func TestPunchTimesOutThroughBrokenChain(t *testing.T) {
 
 	requester := r.pubNode(t, 3, nil)
 	d := descOf(priv)
-	d.Via = hub.self
-	d.ViaEndpoint = hub.ep
+	d.Ext = &view.Ext{Via: hub.self, ViaEndpoint: hub.ep}
 	requester.view.Add(d)
 
 	r.net.Remove(1) // the chain hop dies
@@ -293,8 +290,8 @@ func TestLearnRoutesStampsVia(t *testing.T) {
 	privDesc := view.Descriptor{ID: 7, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private}
 	partnerEP := addr.Endpoint{IP: 8, Port: 8}
 	out := n.learnRoutes([]view.Descriptor{privDesc}, 5, partnerEP)
-	if out[0].Via != 5 || out[0].ViaEndpoint != partnerEP {
-		t.Fatalf("descriptor via = %v/%v, want partner 5", out[0].Via, out[0].ViaEndpoint)
+	if out[0].Via() != 5 || out[0].ViaEndpoint() != partnerEP {
+		t.Fatalf("descriptor via = %v/%v, want partner 5", out[0].Via(), out[0].ViaEndpoint())
 	}
 	rt, ok := n.routes[7]
 	if !ok || rt.nextHop != 5 {
@@ -376,5 +373,70 @@ func TestUnboundedRVPsIsDefault(t *testing.T) {
 	}
 	if n.RVPCount() != 58 {
 		t.Fatalf("RVPCount = %d, want 58 (unbounded by default)", n.RVPCount())
+	}
+}
+
+// TestViaSemanticsSurviveDescriptorSplit is the equivalence test for
+// the compact-descriptor refactor: via state now lives in a shared
+// view.Ext instead of inline fields, and the RVP-chain mechanics must
+// be unchanged. One learnRoutes call stamps every private descriptor
+// of the batch with one shared extension, the stamped via survives the
+// swapper merge into the view, and nextHopFor can still follow it once
+// the routing-table entry has expired — the fallback that keeps long
+// chains followable.
+func TestViaSemanticsSurviveDescriptorSplit(t *testing.T) {
+	r := newRig(t)
+	n := r.pubNode(t, 1, nil)
+	partnerEP := addr.Endpoint{IP: 8, Port: 8}
+	batch := []view.Descriptor{
+		{ID: 7, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private},
+		{ID: 11, Endpoint: addr.Endpoint{IP: 9, Port: 10}, Nat: addr.Private},
+		{ID: 12, Endpoint: addr.Endpoint{IP: 9, Port: 11}, Nat: addr.Public},
+	}
+	out := n.learnRoutes(batch, 5, partnerEP)
+	if out[0].Ext == nil || out[0].Ext != out[1].Ext {
+		t.Fatal("private descriptors of one exchange must share one stamped extension")
+	}
+	if out[2].Ext != nil {
+		t.Fatal("public descriptor was stamped with a via extension")
+	}
+	n.view.Merge(nil, out)
+
+	// Expire the routing-table entries so only the merged descriptor's
+	// via is left to route by.
+	for i := 0; i < n.cfg.RouteTTL+1; i++ {
+		idleRound(n)
+	}
+	if _, ok := n.routes[7]; ok {
+		t.Fatal("route survived past TTL; fallback not exercised")
+	}
+	d, ok := n.view.Get(7)
+	if !ok {
+		t.Fatal("merged private descriptor aged out unexpectedly")
+	}
+	hop, ok := n.nextHopFor(d)
+	if !ok || hop != partnerEP {
+		t.Fatalf("nextHopFor via fallback = %v,%v, want %v", hop, ok, partnerEP)
+	}
+}
+
+// TestRestampReplacesSharedExt pins the aliasing contract of the
+// split: re-learning a descriptor from a new partner must attach a
+// fresh extension rather than writing through the received one, which
+// copies in other views and in-flight payloads may share.
+func TestRestampReplacesSharedExt(t *testing.T) {
+	r := newRig(t)
+	n := r.pubNode(t, 1, nil)
+	orig := &view.Ext{Via: 5, ViaEndpoint: addr.Endpoint{IP: 8, Port: 8}}
+	batch := []view.Descriptor{{ID: 7, Endpoint: addr.Endpoint{IP: 9, Port: 9}, Nat: addr.Private, Ext: orig}}
+	out := n.learnRoutes(batch, 6, addr.Endpoint{IP: 10, Port: 10})
+	if out[0].Ext == orig {
+		t.Fatal("learnRoutes mutated the received shared extension in place")
+	}
+	if orig.Via != 5 {
+		t.Fatalf("shared extension corrupted: via = %v, want 5", orig.Via)
+	}
+	if out[0].Via() != 6 {
+		t.Fatalf("restamped via = %v, want new partner 6", out[0].Via())
 	}
 }

@@ -1,0 +1,83 @@
+package view
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/addr"
+)
+
+// TestDescriptorStaysCompact pins the size of the descriptor core.
+// Descriptors are the unit of state every shuffle copies — view items,
+// exchange payloads, pending-exchange records — so the core must stay
+// at the compact 32 bytes (ID + endpoint + NAT type + age + extension
+// pointer) it was reduced to from the pre-split 72 bytes, when the
+// Gozar/Nylon relay/via extension rode inline in every copy of every
+// protocol. Growing it again is a memory-plane regression at 50k
+// nodes; new baseline-specific state belongs in Ext.
+func TestDescriptorStaysCompact(t *testing.T) {
+	const maxCore = 32
+	if got := unsafe.Sizeof(Descriptor{}); got > maxCore {
+		t.Fatalf("view.Descriptor is %d bytes, compact-core budget is %d — move optional state into view.Ext", got, maxCore)
+	}
+}
+
+// TestExtIsSharedNotCopied pins the extension sharing contract:
+// descriptor copies share one Ext pointer (copying a descriptor must
+// not duplicate relay sets), and detaching or replacing the extension
+// on one copy leaves the others untouched. Writers must replace the
+// pointer, never mutate through it — the invariant that makes sharing
+// safe across views and in-flight messages.
+func TestExtIsSharedNotCopied(t *testing.T) {
+	ext := &Ext{Relays: []Relay{{ID: 9, Endpoint: addr.Endpoint{IP: 1, Port: 2}}}, Via: 7}
+	d := Descriptor{ID: 1, Nat: addr.Private, Ext: ext}
+	cp := d
+	if cp.Ext != d.Ext {
+		t.Fatal("descriptor copy does not share the extension pointer")
+	}
+	cp.Ext = &Ext{Via: 8}
+	if d.Via() != 7 || len(d.Relays()) != 1 {
+		t.Fatalf("replacing the copy's extension mutated the original: via=%v relays=%v", d.Via(), d.Relays())
+	}
+}
+
+// TestExtAccessorsNilSafe pins the nil-extension behaviour the
+// croupier/cyclon planes rely on: a core-only descriptor answers the
+// extension accessors with zero values instead of panicking.
+func TestExtAccessorsNilSafe(t *testing.T) {
+	d := Descriptor{ID: 1, Nat: addr.Public}
+	if d.Relays() != nil {
+		t.Fatalf("nil-ext Relays() = %v, want nil", d.Relays())
+	}
+	if d.Via() != 0 {
+		t.Fatalf("nil-ext Via() = %v, want 0", d.Via())
+	}
+	if !d.ViaEndpoint().IsZero() {
+		t.Fatalf("nil-ext ViaEndpoint() = %v, want zero", d.ViaEndpoint())
+	}
+}
+
+// TestExtSurvivesViewMerge pins that the extension travels with the
+// descriptor through the swapper merge — the property Gozar's relay
+// caching and Nylon's via fallback depend on after the core/extension
+// split: state merged into a view keeps pointing at the same relay set
+// and next hop the received copy carried.
+func TestExtSurvivesViewMerge(t *testing.T) {
+	v := New(4, 99)
+	recv := []Descriptor{
+		{ID: 1, Nat: addr.Private, Ext: &Ext{Relays: []Relay{{ID: 5}}}},
+		{ID: 2, Nat: addr.Private, Ext: &Ext{Via: 6, ViaEndpoint: addr.Endpoint{IP: 8, Port: 9}}},
+	}
+	v.Merge(nil, recv)
+	d1, ok := v.Get(1)
+	if !ok || len(d1.Relays()) != 1 || d1.Relays()[0].ID != 5 {
+		t.Fatalf("relay extension lost in merge: %v", d1)
+	}
+	d2, ok := v.Get(2)
+	if !ok || d2.Via() != 6 || d2.ViaEndpoint() != (addr.Endpoint{IP: 8, Port: 9}) {
+		t.Fatalf("via extension lost in merge: %v", d2)
+	}
+	if d1.Ext != recv[0].Ext {
+		t.Fatal("merge copied the extension instead of sharing the pointer")
+	}
+}

@@ -24,15 +24,20 @@ type Relay struct {
 	Endpoint addr.Endpoint
 }
 
-// Descriptor advertises a node in partial views. It carries the node's
-// address, NAT type and an age counted in gossip rounds since creation
-// (paper §VI). The Relays and Via fields are used only by the Gozar and
-// Nylon baselines respectively; Croupier descriptors leave them empty.
-type Descriptor struct {
-	ID       addr.NodeID
-	Endpoint addr.Endpoint
-	Nat      addr.NatType
-	Age      int
+// Ext is the optional baseline-specific descriptor extension: the relay
+// set Gozar caches inside private descriptors and the RVP next hop
+// Nylon stamps on them. Croupier and Cyclon descriptors never carry
+// one, so the extension lives behind a pointer instead of widening
+// every copy of every descriptor in every view, payload and pending
+// record (it used to ride inline and tripled the descriptor).
+//
+// An Ext is immutable once attached: descriptor copies in views and
+// in-flight messages share the pointer, so writers that need different
+// extension state attach a fresh Ext (or drop to nil) rather than
+// mutating through the pointer. Gozar already rebuilds its advertised
+// relay set this way; Nylon stamps one shared Ext per exchange over
+// every private descriptor it learned from that partner.
+type Ext struct {
 	// Relays caches the private node's relay set (Gozar).
 	Relays []Relay
 	// Via records the neighbour this descriptor was received from, the
@@ -42,15 +47,55 @@ type Descriptor struct {
 	ViaEndpoint addr.Endpoint
 }
 
+// Descriptor advertises a node in partial views. The compact core — the
+// node's address, NAT type and an age counted in gossip rounds since
+// creation (paper §VI) — is all the croupier and cyclon planes ever
+// copy; the Gozar/Nylon extension sits behind Ext and is nil for them.
+// The core's size is pinned by TestDescriptorStaysCompact: descriptors
+// are the unit of state every shuffle copies, so regrowth here is a
+// memory-plane regression at 50k nodes.
+type Descriptor struct {
+	ID       addr.NodeID
+	Endpoint addr.Endpoint
+	Nat      addr.NatType
+	Age      int32
+	// Ext is the optional Gozar/Nylon extension; nil means none.
+	Ext *Ext
+}
+
+// Relays returns the cached relay set (Gozar), nil without extension.
+func (d Descriptor) Relays() []Relay {
+	if d.Ext == nil {
+		return nil
+	}
+	return d.Ext.Relays
+}
+
+// Via returns the RVP next hop (Nylon), zero without extension.
+func (d Descriptor) Via() addr.NodeID {
+	if d.Ext == nil {
+		return 0
+	}
+	return d.Ext.Via
+}
+
+// ViaEndpoint returns the next hop's address, zero without extension.
+func (d Descriptor) ViaEndpoint() addr.Endpoint {
+	if d.Ext == nil {
+		return addr.Endpoint{}
+	}
+	return d.Ext.ViaEndpoint
+}
+
 // String renders a compact human-readable descriptor.
 func (d Descriptor) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v(%v,%v,age=%d", d.ID, d.Endpoint, d.Nat, d.Age)
-	if len(d.Relays) > 0 {
-		fmt.Fprintf(&b, ",relays=%d", len(d.Relays))
+	if rs := d.Relays(); len(rs) > 0 {
+		fmt.Fprintf(&b, ",relays=%d", len(rs))
 	}
-	if d.Via != 0 {
-		fmt.Fprintf(&b, ",via=%v", d.Via)
+	if via := d.Via(); via != 0 {
+		fmt.Fprintf(&b, ",via=%v", via)
 	}
 	b.WriteString(")")
 	return b.String()

@@ -13,7 +13,7 @@ func desc(id int, age int) Descriptor {
 		ID:       addr.NodeID(id),
 		Endpoint: addr.Endpoint{IP: addr.MakeIP(2, 0, 0, byte(id)), Port: 100},
 		Nat:      addr.Public,
-		Age:      age,
+		Age:      int32(age),
 	}
 }
 
@@ -333,7 +333,7 @@ func TestTakeOldestIsMaximal(t *testing.T) {
 			v.Add(desc(i, age))
 		}
 		d, ok := v.TakeOldest()
-		return ok && d.Age == maxAge
+		return ok && d.Age == int32(maxAge)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)

@@ -40,13 +40,19 @@ const (
 )
 
 // DescriptorSize returns the encoded size of one descriptor, including
-// baseline-specific extensions.
+// baseline-specific extensions. Descriptors without an extension — all
+// of Croupier's and Cyclon's — are charged the base size alone, so the
+// compact in-memory core and the wire accounting agree on what a
+// descriptor carries.
 func DescriptorSize(d view.Descriptor) int {
-	n := DescriptorBaseSize + len(d.Relays)*RelaySize
-	if len(d.Relays) > 0 {
-		n += CountSize
+	n := DescriptorBaseSize
+	if d.Ext == nil {
+		return n
 	}
-	if d.Via != 0 {
+	if len(d.Ext.Relays) > 0 {
+		n += CountSize + len(d.Ext.Relays)*RelaySize
+	}
+	if d.Ext.Via != 0 {
 		n += EndpointSize
 	}
 	return n

@@ -75,10 +75,10 @@ func TestDescriptorSizeWithRelays(t *testing.T) {
 	d := view.Descriptor{
 		ID:  1,
 		Nat: addr.Private,
-		Relays: []view.Relay{
+		Ext: &view.Ext{Relays: []view.Relay{
 			{ID: 2, Endpoint: addr.Endpoint{IP: 9, Port: 1}},
 			{ID: 3, Endpoint: addr.Endpoint{IP: 9, Port: 2}},
-		},
+		}},
 	}
 	want := DescriptorBaseSize + CountSize + 2*RelaySize
 	if got := DescriptorSize(d); got != want {
@@ -87,7 +87,7 @@ func TestDescriptorSizeWithRelays(t *testing.T) {
 }
 
 func TestDescriptorSizeWithVia(t *testing.T) {
-	d := view.Descriptor{ID: 1, Nat: addr.Private, Via: 7, ViaEndpoint: addr.Endpoint{IP: 9, Port: 3}}
+	d := view.Descriptor{ID: 1, Nat: addr.Private, Ext: &view.Ext{Via: 7, ViaEndpoint: addr.Endpoint{IP: 9, Port: 3}}}
 	want := DescriptorBaseSize + EndpointSize
 	if got := DescriptorSize(d); got != want {
 		t.Fatalf("via descriptor = %d bytes, want %d", got, want)
@@ -105,7 +105,7 @@ func TestEstimatesSizeMatchesPaper(t *testing.T) {
 func TestDescriptorsSize(t *testing.T) {
 	ds := []view.Descriptor{
 		{ID: 1, Nat: addr.Public},
-		{ID: 2, Nat: addr.Private, Relays: []view.Relay{{ID: 3}}},
+		{ID: 2, Nat: addr.Private, Ext: &view.Ext{Relays: []view.Relay{{ID: 3}}}},
 	}
 	want := CountSize + 8 + (DescriptorBaseSize + CountSize + RelaySize)
 	if got := DescriptorsSize(ds); got != want {

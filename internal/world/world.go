@@ -18,6 +18,7 @@ import (
 	"repro/internal/cyclon"
 	"repro/internal/gozar"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/latency"
 	"repro/internal/nat"
 	"repro/internal/natid"
@@ -137,6 +138,18 @@ type World struct {
 	// hops.
 	nodes  []*Node
 	nextID uint64
+
+	// origins is the world-shared identity interner every croupier
+	// node's estimate store resolves origins through (the world runs on
+	// one goroutine, so sharing is safe).
+	origins *intern.Origins
+
+	// seedBuf is reusable scratch for bootstrap directory draws — join
+	// seeding, probe-helper picks, re-bootstrap and forwarder picks all
+	// borrow it in turn. Draws into it are consumed (copied by the
+	// protocol or filtered into caller-owned storage) before the next
+	// draw; nothing retains it. Single-goroutine, like the world.
+	seedBuf []view.Descriptor
 }
 
 // New builds an empty world.
@@ -163,10 +176,11 @@ func New(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("world: %w", err)
 	}
 	return &World{
-		Cfg:   cfg,
-		Sched: sched,
-		Net:   net,
-		Boot:  bootstrap.NewServer(),
+		Cfg:     cfg,
+		Sched:   sched,
+		Net:     net,
+		Boot:    bootstrap.NewServer(),
+		origins: intern.NewOrigins(),
 	}, nil
 }
 
@@ -215,14 +229,20 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 		return nil, fmt.Errorf("world: bind proto: %w", err)
 	}
 	// Bind the NAT-type identification port. Public nodes serve it for
-	// future joiners; the joiner's own client also answers here.
-	env := &natid.SimEnv{}
-	natSock, err := host.Bind(NatIDPort, env.Dispatch)
-	if err != nil {
-		return nil, fmt.Errorf("world: bind natid: %w", err)
+	// future joiners; the joiner's own client also answers here. With
+	// identification disabled world-wide, no node ever sends natid
+	// traffic, so the port bind and its environment are skipped
+	// entirely — at 50k nodes the join wave is a hot path, and these
+	// were a pure per-join construction tax.
+	if !w.Cfg.SkipNatID {
+		env := &natid.SimEnv{}
+		natSock, err := host.Bind(NatIDPort, env.Dispatch)
+		if err != nil {
+			return nil, fmt.Errorf("world: bind natid: %w", err)
+		}
+		env.Init(w.Sched, natSock)
+		n.natidEnv = env
 	}
-	*env = *natid.NewSimEnv(w.Sched, natSock)
-	n.natidEnv = env
 
 	// Probe at most two publics, but always leave at least one public
 	// unprobed: the ForwardTest forwarder must come from outside the
@@ -247,7 +267,8 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 		w.startProtocol(n, protoSock, typ, viaUPnP)
 		return n, nil
 	}
-	helpers := w.Boot.Publics(w.Sched.Rand(), probeN, id)
+	helpers := w.Boot.PublicsInto(w.Sched.Rand(), probeN, id, w.seedBuf)
+	w.seedBuf = helpers
 
 	probes := make([]addr.Endpoint, 0, len(helpers))
 	for _, h := range helpers {
@@ -261,13 +282,13 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 			return mapServicePorts(gw, ip)
 		}
 	}
-	client := natid.NewClient(env, w.Cfg.NatIDTimeout, func(res natid.Result) {
+	client := natid.NewClient(n.natidEnv, w.Cfg.NatIDTimeout, func(res natid.Result) {
 		if !n.alive {
 			return
 		}
 		w.startProtocol(n, protoSock, res.Type, res.ViaUPnP)
 	})
-	env.SetClient(client)
+	n.natidEnv.SetClient(client)
 	client.Start(probes, mapper)
 	return n, nil
 }
@@ -278,7 +299,10 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 	n.Nat = natType
 	n.Endpoint = w.advertisedEndpoint(n, viaUPnP)
 
-	seeds := w.Boot.Publics(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID)
+	// Seeds are drawn into the world's reusable scratch; every protocol
+	// constructor copies them into its views before returning.
+	seeds := w.Boot.PublicsInto(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID, w.seedBuf)
+	w.seedBuf = seeds
 	var (
 		proto    pss.Protocol
 		dispatch func(simnet.Packet)
@@ -289,6 +313,9 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 		cfg := w.Cfg.Croupier
 		if cfg.Params.ViewSize == 0 {
 			cfg = croupier.DefaultConfig()
+		}
+		if cfg.Origins == nil {
+			cfg.Origins = w.origins
 		}
 		var node *croupier.Node
 		node, err = croupier.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
@@ -330,9 +357,13 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 
 	// Nodes that drain their view (joined before any public existed, or
 	// lost every known croupier) re-query the bootstrap directory, as
-	// any real client would.
+	// any real client would. The callback hands out the world's shared
+	// draw scratch: every protocol's re-bootstrap path copies the
+	// descriptors it keeps before the next directory draw can happen.
 	reseed := func() []view.Descriptor {
-		return w.Boot.Publics(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID)
+		out := w.Boot.PublicsInto(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID, w.seedBuf)
+		w.seedBuf = out
+		return out
 	}
 	switch p := proto.(type) {
 	case *croupier.Node:
@@ -348,8 +379,11 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 	if natType == addr.Public {
 		w.Boot.Register(view.Descriptor{ID: n.ID, Endpoint: n.Endpoint, Nat: addr.Public})
 		// Serve NAT-type identification for future joiners, picking
-		// forwarders from the bootstrap directory.
-		n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n.ID)))
+		// forwarders from the bootstrap directory. (No environment was
+		// set up when identification is disabled world-wide.)
+		if n.natidEnv != nil {
+			n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n.ID)))
+		}
 	}
 	proto.Start()
 }
@@ -383,18 +417,22 @@ func (w *World) advertisedEndpoint(n *Node, viaUPnP bool) addr.Endpoint {
 }
 
 // pickForwarder builds a natid forwarder picker backed by the bootstrap
-// directory.
+// directory. The exclude list is a client's probe set — one or two
+// endpoints — so a linear scan replaces the per-call set that used to
+// be built here.
 func (w *World) pickForwarder(self addr.NodeID) natid.ForwarderPicker {
 	return func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
-		banned := make(map[addr.Endpoint]bool, len(exclude))
-		for _, e := range exclude {
-			banned[e] = true
-		}
-		for _, d := range w.Boot.Publics(w.Sched.Rand(), 8, self) {
+		cands := w.Boot.PublicsInto(w.Sched.Rand(), 8, self, w.seedBuf)
+		w.seedBuf = cands
+	candidates:
+		for _, d := range cands {
 			ep := addr.Endpoint{IP: d.Endpoint.IP, Port: NatIDPort}
-			if !banned[ep] {
-				return ep, true
+			for _, banned := range exclude {
+				if ep == banned {
+					continue candidates
+				}
 			}
+			return ep, true
 		}
 		return addr.Endpoint{}, false
 	}

@@ -53,3 +53,35 @@ func BenchmarkScaleRound(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorldConstruction measures the join wave itself: building a
+// croupier world and running the simulation until every node of an
+// n-node mixed Poisson join stream (1 ms mean gap, 20% public) has
+// joined. This is the cost a 50k-node experiment pays before its first
+// warm round — host attachment, gateway construction, service port
+// binds, bootstrap directory draws, protocol construction, and the
+// partial gossip rounds nodes run while the wave is still arriving.
+// The stream's last arrival lands near — but randomly past or short
+// of — the n·gap horizon, so after running to the horizon the tail is
+// drained until the population is complete.
+func BenchmarkWorldConstruction(b *testing.B) {
+	for _, n := range []int{5000, 20000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := world.New(world.Config{Kind: world.KindCroupier, Seed: 1, SkipNatID: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pub := n / 5
+				w.MixedPoissonJoins(0, pub, n-pub, time.Millisecond)
+				t := time.Duration(n) * time.Millisecond
+				w.RunUntil(t)
+				for len(w.Nodes()) < n {
+					t += 50 * time.Millisecond
+					w.RunUntil(t)
+				}
+			}
+		})
+	}
+}

@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_4.json, the perf-trajectory record of the simulation
-# kernel: round latency and allocations for a 200-node croupier round
-# and for 1k/5k-node rounds of all four protocols, plus the 20k-node
-# croupier round. The pre-PR baseline (binary-heap event queue, map-keyed
-# network tables) is embedded below, measured on the same machine with
-# the same benchmark code, so the JSON always carries the before/after
-# pair.
+# Regenerates BENCH_5.json, the perf-trajectory record of the memory
+# plane: round latency and allocations for a 200-node croupier round,
+# 1k/5k-node rounds of all four protocols, the 20k-node croupier round,
+# and — new in this record — world construction (the join wave) at
+# 5k/20k/50k nodes. The pre-PR baseline embedded below is commit
+# 09fc598 (PR 4's kernel: inline 72-byte descriptors, NodeID-keyed
+# estimate stores, natid binds on every join), measured on the same
+# machine with the same benchmark code, so the JSON always carries the
+# before/after pair.
 #
 # Usage: scripts/bench.sh [output.json]
 #   REPRO_BENCH_TIME=30x   benchtime per benchmark (default 20x)
-#   REPRO_BENCH_20K=0      skip the slow 20k-node croupier benchmark
+#   REPRO_BENCH_20K=0      skip the slow 20k-node croupier round benchmark
+#   REPRO_BENCH_50K=0      skip the slow 50k-node construction benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
+OUT=${1:-BENCH_5.json}
 BENCHTIME=${REPRO_BENCH_TIME:-20x}
 RUN20K=${REPRO_BENCH_20K:-1}
+RUN50K=${REPRO_BENCH_50K:-1}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -25,9 +29,15 @@ go test -run xxx -bench \
   -benchtime "$BENCHTIME" -count=1 -timeout 0 . | tee "$TMP" >&2
 go test -run xxx -bench 'ScaleRound/nylon/n=5000$' \
   -benchtime 5x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+go test -run xxx -bench 'WorldConstruction/n=(5000|20000)$' \
+  -benchtime 3x -count=1 -timeout 0 . | tee -a "$TMP" >&2
 if [ "$RUN20K" = "1" ]; then
   go test -run xxx -bench 'ScaleRound/croupier/n=20000$' \
     -benchtime 5x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+fi
+if [ "$RUN50K" = "1" ]; then
+  go test -run xxx -bench 'WorldConstruction/n=50000$' \
+    -benchtime 2x -count=1 -timeout 0 . | tee -a "$TMP" >&2
 fi
 
 python3 - "$TMP" "$OUT" <<'PY'
@@ -35,62 +45,80 @@ import json, re, subprocess, sys
 
 bench_out, out_path = sys.argv[1], sys.argv[2]
 
-# Pre-PR baseline: commit 76a31d6 (heap event queue, map-keyed simnet /
-# world tables, per-round estimate-store sweeps), measured with this
-# same benchmark suite (steady-state warm-up, benchtime 20x; nylon 5k
-# at 5x) on the machine that produced the "current" numbers first
-# committed alongside it. Regenerate by checking out the baseline
-# commit with this benchmark file and re-running.
+# Pre-PR baseline: commit 09fc598 (PR 4's calendar-queue kernel with
+# inline 72-byte descriptors, NodeID-keyed estimate stores and
+# unconditional natid setup per join), measured with this same
+# benchmark suite on the machine that produced the "current" numbers
+# first committed alongside it. The ScaleRound/CroupierSimulatedRound
+# entries are BENCH_4's "current" values; the WorldConstruction
+# entries were measured at the same commit when the benchmark was
+# introduced. Regenerate by checking out the baseline commit with this
+# benchmark file and re-running.
 BASELINE = {
     "CroupierSimulatedRound": {
-        "allocs_per_op": 17,
-        "bytes_per_op": 4761,
-        "ns_per_op": 1327765
+        "allocs_per_op": 29,
+        "bytes_per_op": 4632,
+        "ns_per_op": 1051194
     },
     "ScaleRound/croupier/n=1000": {
-        "allocs_per_op": 95,
-        "bytes_per_op": 97939,
-        "ns_per_op": 13418454
+        "allocs_per_op": 49,
+        "bytes_per_op": 167995,
+        "ns_per_op": 7686747
     },
     "ScaleRound/croupier/n=20000": {
-        "allocs_per_op": 666,
-        "bytes_per_op": 3351666,
-        "ns_per_op": 888987715
+        "allocs_per_op": 1920,
+        "bytes_per_op": 4877404,
+        "ns_per_op": 477411104
     },
     "ScaleRound/croupier/n=5000": {
-        "allocs_per_op": 93,
-        "bytes_per_op": 164553,
-        "ns_per_op": 161241023
+        "allocs_per_op": 448,
+        "bytes_per_op": 464804,
+        "ns_per_op": 70362539
     },
     "ScaleRound/cyclon/n=1000": {
-        "allocs_per_op": 70,
-        "bytes_per_op": 30063,
-        "ns_per_op": 4192028
+        "allocs_per_op": 119,
+        "bytes_per_op": 83753,
+        "ns_per_op": 1942876
     },
     "ScaleRound/cyclon/n=5000": {
-        "allocs_per_op": 252,
-        "bytes_per_op": 240177,
-        "ns_per_op": 32765889
+        "allocs_per_op": 623,
+        "bytes_per_op": 506551,
+        "ns_per_op": 15231462
     },
     "ScaleRound/gozar/n=1000": {
-        "allocs_per_op": 70,
-        "bytes_per_op": 50602,
-        "ns_per_op": 9091454
+        "allocs_per_op": 83,
+        "bytes_per_op": 67286,
+        "ns_per_op": 5185596
     },
     "ScaleRound/gozar/n=5000": {
-        "allocs_per_op": 153,
-        "bytes_per_op": 22295,
-        "ns_per_op": 81500877
+        "allocs_per_op": 254,
+        "bytes_per_op": 142687,
+        "ns_per_op": 39032602
     },
     "ScaleRound/nylon/n=1000": {
-        "allocs_per_op": 4525,
-        "bytes_per_op": 608088,
-        "ns_per_op": 101885311
+        "allocs_per_op": 4567,
+        "bytes_per_op": 925285,
+        "ns_per_op": 57705425
     },
     "ScaleRound/nylon/n=5000": {
-        "allocs_per_op": 24116,
-        "bytes_per_op": 4054750,
-        "ns_per_op": 734660465
+        "allocs_per_op": 24173,
+        "bytes_per_op": 4301788,
+        "ns_per_op": 531724157
+    },
+    "WorldConstruction/n=5000": {
+        "allocs_per_op": 320832,
+        "bytes_per_op": 59195648,
+        "ns_per_op": 191473075
+    },
+    "WorldConstruction/n=20000": {
+        "allocs_per_op": 1515932,
+        "bytes_per_op": 456266672,
+        "ns_per_op": 3429055726
+    },
+    "WorldConstruction/n=50000": {
+        "allocs_per_op": 4090585,
+        "bytes_per_op": 2165695290,
+        "ns_per_op": 27821725493
     }
 }
 
@@ -116,11 +144,13 @@ for name, base in BASELINE.items():
 go_version = subprocess.run(["go", "version"], capture_output=True,
                             text=True).stdout.strip()
 doc = {
-    "record": "BENCH_4",
-    "description": ("Simulation-kernel scale benchmarks: one gossip round, "
-                    "steady-state warm deployments. Names are "
-                    "go test -bench identifiers; CroupierSimulatedRound is "
-                    "the 200-node round."),
+    "record": "BENCH_5",
+    "description": ("Memory-plane scale benchmarks: one gossip round on "
+                    "steady-state warm deployments (ScaleRound, "
+                    "CroupierSimulatedRound = the 200-node round) and the "
+                    "join wave building an n-node world "
+                    "(WorldConstruction). Names are go test -bench "
+                    "identifiers; baseline_pre_pr is commit 09fc598."),
     "go": go_version,
     "baseline_pre_pr": BASELINE,
     "current": current,
