@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/nylon"
 	"repro/internal/world"
 )
@@ -55,6 +56,30 @@ func guardRoundAllocs(t *testing.T, kind world.Kind, budget float64) {
 func TestCroupierRoundAllocs(t *testing.T) { guardRoundAllocs(t, world.KindCroupier, 200) }
 func TestCyclonRoundAllocs(t *testing.T)   { guardRoundAllocs(t, world.KindCyclon, 200) }
 func TestGozarRoundAllocs(t *testing.T)    { guardRoundAllocs(t, world.KindGozar, 200) }
+
+// TestCroupierMetricsRoundAllocs pins the observability plane's core
+// promise: a fully instrumented world (network, exchange engine and
+// protocol counters all live) fits in the same per-round allocation
+// budget as an uninstrumented one, because every hot-path instrument is
+// a nil check plus an atomic add.
+func TestCroupierMetricsRoundAllocs(t *testing.T) {
+	w, err := world.New(world.Config{
+		Kind: world.KindCroupier, Seed: 1, SkipNatID: true,
+		Registry: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MixedPoissonJoins(0, 40, 160, 5*time.Millisecond)
+	w.RunUntil(90 * time.Second)
+	got := testing.AllocsPerRun(10, func() {
+		w.RunUntil(w.Sched.Now() + time.Second)
+	})
+	t.Logf("croupier+metrics: %.1f allocs per 200-node round (budget 200)", got)
+	if got > 200 {
+		t.Errorf("instrumented croupier round allocates %.1f objects, budget is 200 — metrics on the hot path?", got)
+	}
+}
 
 // Nylon's budget is higher because the protocol's state genuinely keeps
 // growing: every pair that ever completed an exchange stays in each

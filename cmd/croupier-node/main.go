@@ -10,6 +10,8 @@
 //	croupier-node run -listen <ip:port> -directory <ip:port> -nat public|private [-id N]
 //	    Run one node. Determine -nat out-of-band or with `natprobe`.
 //	    Prints the ratio estimate and a peer sample once per second.
+//	    With -metrics-addr, serves Prometheus metrics on /metrics and
+//	    the standard net/http/pprof profiling endpoints.
 //
 //	croupier-node demo
 //	    Self-contained loopback swarm: a directory plus 5 public and
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/croupier"
 	"repro/internal/deploy"
+	"repro/internal/metrics"
 	"repro/internal/pss"
 )
 
@@ -91,6 +96,7 @@ func runNode(args []string) error {
 	natStr := fs.String("nat", "", "NAT type: public or private")
 	id := fs.Uint64("id", 0, "node id (0 = random)")
 	period := fs.Duration("period", time.Second, "gossip round period")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,18 +123,42 @@ func runNode(args []string) error {
 	cfg := croupier.DefaultConfig()
 	cfg.Params.Period = *period
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+	}
 	node, err := deploy.StartNode(deploy.NodeConfig{
 		Listen:    *listen,
 		ID:        nodeID,
 		Nat:       natType,
 		Directory: dir,
 		Croupier:  cfg,
+		Registry:  reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 	fmt.Printf("node %v (%v) gossiping on %v\n", nodeID, natType, node.Endpoint())
+
+	if reg != nil {
+		// The pprof import registered its handlers on the default mux;
+		// add the Prometheus scrape next to them.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics and pprof on http://%v/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "croupier-node: metrics server:", err)
+			}
+		}()
+	}
 
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()

@@ -1,0 +1,227 @@
+package main
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// dashboard.html is the single-file live view: it connects back to
+// /events and renders the streamed samples and metric snapshots.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// frame is one server-sent event, retained for replay so a client
+// connecting mid-run still receives the full series.
+type frame struct {
+	event string
+	data  []byte
+}
+
+// dashServer streams scenario progress to browsers over SSE and serves
+// the current job's registry as a Prometheus scrape. Runs execute
+// sequentially while the server is active, so at any instant there is
+// at most one live registry.
+type dashServer struct {
+	mu      sync.Mutex
+	reg     *metrics.Registry // current job's registry; nil between jobs
+	history []frame
+	clients map[chan frame]struct{}
+	done    bool
+}
+
+func newDashServer() *dashServer {
+	return &dashServer{clients: make(map[chan frame]struct{})}
+}
+
+// broadcast appends one event to the replay history and fans it out to
+// connected clients. Slow clients are skipped, not waited for: SSE is
+// lossy-live on top of a lossless replay baseline.
+func (s *dashServer) broadcast(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	f := frame{event: event, data: data}
+	s.mu.Lock()
+	s.history = append(s.history, f)
+	if event == "done" {
+		s.done = true
+	}
+	for ch := range s.clients {
+		select {
+		case ch <- f:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// setRegistry installs the active job's registry (nil detaches it).
+func (s *dashServer) setRegistry(reg *metrics.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// registry returns the active registry, or nil between jobs.
+func (s *dashServer) registry() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}
+
+// serve binds addr and serves the dashboard until the process exits.
+func (s *dashServer) serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(dashboardHTML)
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}
+
+// handleMetrics serves the current registry in Prometheus text format.
+// Between jobs (or before the first) the scrape is valid and empty.
+func (s *dashServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if reg := s.registry(); reg != nil {
+		_ = reg.WritePrometheus(w)
+	}
+}
+
+// handleEvents is the SSE endpoint: full history replay, then live
+// frames until the client goes away.
+func (s *dashServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	// Register first, then snapshot the history: a frame broadcast
+	// between the two shows up in both, and the client-side renderer is
+	// idempotent on replayed sample rows, so a rare duplicate is
+	// harmless — a gap would not be.
+	ch := make(chan frame, 256)
+	s.mu.Lock()
+	s.clients[ch] = struct{}{}
+	replay := make([]frame, len(s.history))
+	copy(replay, s.history)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.clients, ch)
+		s.mu.Unlock()
+	}()
+
+	write := func(f frame) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, f := range replay {
+		if !write(f) {
+			return
+		}
+	}
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case f := <-ch:
+			if !write(f) {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// jobStart is the "job" event payload announcing one (scenario, kind)
+// run; samples that follow belong to it until the next job event.
+type jobStart struct {
+	Scenario string `json:"scenario"`
+	Kind     string `json:"kind"`
+	Publics  int    `json:"publics"`
+	Privates int    `json:"privates"`
+	Rounds   int    `json:"rounds"`
+}
+
+// sampleEvent is the "sample" event payload: one probe, tagged with its
+// job identity so interleaved renders stay unambiguous.
+type sampleEvent struct {
+	Scenario string          `json:"scenario"`
+	Kind     string          `json:"kind"`
+	Sample   scenario.Sample `json:"sample"`
+}
+
+// metricsEvent is the "metrics" event payload: a full registry snapshot
+// at a wall-clock instant, from which the client derives rates.
+type metricsEvent struct {
+	Scenario string           `json:"scenario"`
+	Kind     string           `json:"kind"`
+	UnixMS   int64            `json:"unix_ms"`
+	Snap     metrics.Snapshot `json:"snap"`
+}
+
+// startMetricsPump broadcasts registry snapshots at the given period
+// until stop is closed, then emits one final snapshot so the stream
+// always ends on the job's complete totals.
+func (s *dashServer) startMetricsPump(scName, kind string, period time.Duration, stop <-chan struct{}, stopped chan<- struct{}) {
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		emit := func() {
+			reg := s.registry()
+			if reg == nil {
+				return
+			}
+			s.broadcast("metrics", metricsEvent{
+				Scenario: scName, Kind: kind,
+				UnixMS: time.Now().UnixMilli(),
+				Snap:   reg.Snapshot(),
+			})
+		}
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-stop:
+				emit()
+				return
+			}
+		}
+	}()
+}

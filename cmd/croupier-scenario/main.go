@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/world"
@@ -55,6 +58,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "worker goroutines for the (scenario, kind) fan-out; 0 = all cores, 1 = sequential (outputs are identical either way)")
 		outDir   = fs.String("out", "results/scenarios", "directory for TSV/JSON output")
 		verbose  = fs.Bool("v", false, "print one progress line per finished (scenario, kind) job to stderr")
+		httpAddr = fs.String("http", "", "serve a live dashboard, SSE stream and Prometheus scrape on this address; forces sequential runs and keeps serving after the sweep finishes")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: croupier-scenario -list\n")
@@ -110,6 +114,18 @@ func run(args []string) error {
 			jobs = append(jobs, job{sc: sc, kind: kind})
 		}
 	}
+	// The dashboard streams one job at a time into a single registry, so
+	// -http forces the fan-out sequential (outputs are identical anyway).
+	var dash *dashServer
+	if *httpAddr != "" {
+		dash = newDashServer()
+		ln, err := dash.serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# dashboard on http://%v/ (SSE /events, Prometheus /metrics)\n", ln.Addr())
+		*parallel = 1
+	}
 	workers := *parallel
 	if workers == 0 {
 		workers = -1 // runner: ≤0 (other than the flag's 1) = GOMAXPROCS
@@ -136,13 +152,39 @@ func run(args []string) error {
 	}
 	outcomes, err := runner.Map(runner.Options{Workers: workers, Progress: progress}, jobs, func(j job) (outcome, error) {
 		start := time.Now()
-		res, err := scenario.Run(j.sc, scenario.RunConfig{
+		rc := scenario.RunConfig{
 			Kind:     j.kind,
 			Seed:     *seed,
 			Scale:    *scale,
 			BaseLoss: *loss,
 			RunNatID: *natid,
-		})
+		}
+		var stopPump chan struct{}
+		var pumpDone chan struct{}
+		if dash != nil {
+			// Fresh registry per job: the scrape and the stream both
+			// describe exactly one run at a time.
+			reg := metrics.NewRegistry()
+			rc.Registry = reg
+			rc.Observer = func(s scenario.Sample) {
+				dash.broadcast("sample", sampleEvent{Scenario: j.sc.Name, Kind: j.kind.String(), Sample: s})
+			}
+			dash.broadcast("job", jobStart{
+				Scenario: j.sc.Name, Kind: j.kind.String(),
+				Publics: j.sc.Publics, Privates: j.sc.Privates, Rounds: j.sc.Rounds,
+			})
+			dash.setRegistry(reg)
+			stopPump = make(chan struct{})
+			pumpDone = make(chan struct{})
+			dash.startMetricsPump(j.sc.Name, j.kind.String(), time.Second, stopPump, pumpDone)
+		}
+		res, err := scenario.Run(j.sc, rc)
+		if dash != nil {
+			// The registry stays attached after the run so late scrapes
+			// still see the final totals; the next job replaces it.
+			close(stopPump)
+			<-pumpDone
+		}
 		if err != nil {
 			return outcome{}, err
 		}
@@ -157,6 +199,13 @@ func run(args []string) error {
 			return err
 		}
 		printSummary(oc.res, base, oc.elapsed)
+	}
+	if dash != nil {
+		dash.broadcast("done", struct{}{})
+		fmt.Println("# all runs complete; dashboard still serving (interrupt to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

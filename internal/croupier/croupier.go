@@ -480,6 +480,22 @@ type Node struct {
 
 	// Diagnostics.
 	sentReqs, recvReqs, recvRess uint64
+
+	// m is the (typically world-shared) instrument set; nil when
+	// uninstrumented. lastEstLen is the occupancy this node last
+	// reported into the shared estimate-entries gauge, so round
+	// boundaries and Stop can publish deltas instead of sweeping.
+	m          *pss.Metrics
+	lastEstLen int
+}
+
+// SetMetrics installs shared instruments on the node and its exchange
+// engine. Call before the node starts gossiping.
+func (n *Node) SetMetrics(m *pss.Metrics) {
+	n.m = m
+	if m != nil {
+		n.eng.SetMetrics(m.Exchange)
+	}
 }
 
 // New constructs a Croupier node bound to the given simulated socket.
@@ -573,6 +589,10 @@ func (n *Node) Endpoint() addr.Endpoint { return n.ep }
 // evaluation to apply the paper's two-round grace period to joiners.
 func (n *Node) Rounds() int { return n.eng.Rounds() }
 
+// PendingExchanges returns the number of shuffle requests awaiting a
+// response or TTL expiry — the exchange engine's pending-table depth.
+func (n *Node) PendingExchanges() int { return n.eng.PendingLen() }
+
 // PublicView returns a snapshot of the public view.
 func (n *Node) PublicView() []view.Descriptor { return n.pub.Descriptors() }
 
@@ -604,6 +624,11 @@ func (n *Node) Stop() {
 	}
 	n.running = false
 	n.ticker.Stop()
+	// Retire this node's residue from the shared occupancy gauge.
+	if m := n.m; m != nil && n.lastEstLen != 0 {
+		m.EstimateEntries.Add(int64(-n.lastEstLen))
+		n.lastEstLen = 0
+	}
 }
 
 // selfDescriptor builds a fresh (age 0) descriptor for this node.
@@ -624,6 +649,13 @@ func (p *policy) PrepareRound(int) {
 	n.pub.IncrementAges()
 	n.pri.IncrementAges()
 	n.estimates.expire(n.eng.Rounds())
+	if m := n.m; m != nil {
+		m.Rounds.Inc()
+		if cur := n.estimates.len(); cur != n.lastEstLen {
+			m.EstimateEntries.Add(int64(cur - n.lastEstLen))
+			n.lastEstLen = cur
+		}
+	}
 	// Lines 6-8: croupiers recompute their local estimate from the
 	// current hit history.
 	if n.nat == addr.Public {
@@ -709,6 +741,9 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 func (p *policy) MergeResponse(res *ShuffleRes, sentPub, sentPri []view.Descriptor) {
 	n := (*Node)(p)
 	n.recvRess++
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.mergeView(&n.pub, sentPub, res.Pub)
 	n.mergeView(&n.pri, sentPri, res.Pri)
 	n.mergeEstimates(res.Estimates)
@@ -750,6 +785,9 @@ func (n *Node) handleShuffleReq(from addr.Endpoint, req *ShuffleReq) {
 	res.Pri = exchange.DropNode(n.pri.RandomSubsetInto(&n.rng, k, res.Pri), req.From.ID)
 	res.Estimates = n.appendEstimateSubset(res.Estimates[:0])
 	// Lines 34-36: merge sender state with swapper semantics.
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.mergeView(&n.pub, res.Pub, req.Pub)
 	n.mergeView(&n.pri, res.Pri, req.Pri)
 	n.mergeEstimates(req.Estimates)

@@ -69,6 +69,19 @@ type Node struct {
 	ticker      *pss.Ticker
 	running     bool
 	rebootstrap func() []view.Descriptor
+
+	// m is the (typically world-shared) instrument set; nil when
+	// uninstrumented.
+	m *pss.Metrics
+}
+
+// SetMetrics installs shared instruments on the node and its exchange
+// engine. Call before the node starts gossiping.
+func (n *Node) SetMetrics(m *pss.Metrics) {
+	n.m = m
+	if m != nil {
+		n.eng.SetMetrics(m.Exchange)
+	}
 }
 
 // New constructs a Cyclon node seeded with the given descriptors.
@@ -149,6 +162,9 @@ type policy Node
 // PrepareRound implements exchange.Protocol.
 func (p *policy) PrepareRound(int) {
 	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Rounds.Inc()
+	}
 	n.view.IncrementAges()
 	if n.view.Len() == 0 && n.rebootstrap != nil {
 		for _, d := range n.rebootstrap() {
@@ -180,7 +196,11 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 
 // MergeResponse implements exchange.Protocol with the swapper merge.
 func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
-	(*Node)(p).view.Merge(sentPub, res.Pub)
+	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
+	n.view.Merge(sentPub, res.Pub)
 }
 
 // HandlePacket is the socket handler. Payload slices are pooled and
@@ -199,6 +219,9 @@ func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq) {
 	res := n.eng.NewRes()
 	res.From = n.selfDescriptor()
 	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.view.Merge(res.Pub, req.Pub)
 	n.sock.Send(from, res)
 }

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/croupier"
+	"repro/internal/metrics"
+	"repro/internal/pss"
 	"repro/internal/simnet"
 	"repro/internal/view"
 )
@@ -32,6 +34,34 @@ type NodeConfig struct {
 	Croupier croupier.Config
 	// Seed drives protocol randomness; 0 derives one from the ID.
 	Seed int64
+	// Registry, when non-nil, instruments the node: UDP traffic, decode
+	// errors, pending-exchange depth and the full protocol counter set
+	// accumulate into it for scraping (cmd/croupier-node -metrics-addr).
+	Registry *metrics.Registry
+}
+
+// nodeMetrics is the deploy-layer instrument set; nil on uninstrumented
+// nodes.
+type nodeMetrics struct {
+	udpRx      *metrics.Counter
+	udpRxBytes *metrics.Counter
+	udpTx      *metrics.Counter
+	udpTxBytes *metrics.Counter
+	decodeErrs *metrics.Counter
+	inboxDrops *metrics.Counter
+	pending    *metrics.Gauge
+}
+
+func newNodeMetrics(r *metrics.Registry) *nodeMetrics {
+	return &nodeMetrics{
+		udpRx:      r.Counter("deploy_udp_rx_total", "UDP datagrams received."),
+		udpRxBytes: r.Counter("deploy_udp_rx_bytes_total", "UDP payload bytes received."),
+		udpTx:      r.Counter("deploy_udp_tx_total", "UDP datagrams sent."),
+		udpTxBytes: r.Counter("deploy_udp_tx_bytes_total", "UDP payload bytes sent."),
+		decodeErrs: r.Counter("deploy_decode_errors_total", "Datagrams dropped as undecodable."),
+		inboxDrops: r.Counter("deploy_inbox_drops_total", "Datagrams dropped because the driver inbox was full."),
+		pending:    r.Gauge("deploy_pending_exchanges", "Shuffle requests awaiting a response or TTL expiry."),
+	}
 }
 
 // Node is a Croupier instance gossiping over real UDP. All protocol
@@ -48,6 +78,7 @@ type Node struct {
 	conn *net.UDPConn
 	core *croupier.Node
 	dec  Decoder
+	m    *nodeMetrics
 
 	inbox chan datagram
 	query chan func(*croupier.Node)
@@ -76,6 +107,7 @@ type datagram struct {
 // udpTransport implements croupier.Transport over the node's socket.
 type udpTransport struct {
 	conn *net.UDPConn
+	m    *nodeMetrics
 }
 
 // Send implements croupier.Transport. Encoding errors cannot happen
@@ -94,6 +126,10 @@ func (t udpTransport) Send(to addr.Endpoint, msg simnet.Message) {
 		return
 	}
 	_, _ = t.conn.WriteToUDP(b, udpFromEndpoint(to))
+	if m := t.m; m != nil {
+		m.udpTx.Inc()
+		m.udpTxBytes.Add(uint64(len(b)))
+	}
 	if r, ok := msg.(simnet.Releasable); ok {
 		r.Release()
 	}
@@ -139,17 +175,25 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 
+	var nm *nodeMetrics
+	if cfg.Registry != nil {
+		nm = newNodeMetrics(cfg.Registry)
+	}
 	core, err := croupier.NewWithTransport(cfg.Croupier, cfg.ID,
-		rand.New(rand.NewSource(cfg.Seed)), udpTransport{conn: conn},
+		rand.New(rand.NewSource(cfg.Seed)), udpTransport{conn: conn, m: nm},
 		cfg.Nat, cfg.Advertise, seeds)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	if cfg.Registry != nil {
+		core.SetMetrics(pss.NewMetrics(cfg.Registry, "croupier"))
+	}
 	n := &Node{
 		cfg:   cfg,
 		conn:  conn,
 		core:  core,
+		m:     nm,
 		inbox: make(chan datagram, 256),
 		query: make(chan func(*croupier.Node)),
 		done:  make(chan struct{}),
@@ -240,6 +284,10 @@ func (n *Node) readLoop() {
 				continue
 			}
 		}
+		if m := n.m; m != nil {
+			m.udpRx.Inc()
+			m.udpRxBytes.Add(uint64(size))
+		}
 		d := datagram{buf: buf, n: size, from: endpointFromAddrPort(from)}
 		select {
 		case n.inbox <- d:
@@ -249,6 +297,9 @@ func (n *Node) readLoop() {
 		default:
 			// Inbox full: drop, as a kernel socket buffer would.
 			n.bufs.Put(buf)
+			if m := n.m; m != nil {
+				m.inboxDrops.Inc()
+			}
 		}
 	}
 }
@@ -260,6 +311,9 @@ func (n *Node) handleDatagram(d datagram) {
 	msg, err := n.dec.Decode(d.buf.b[:d.n])
 	n.bufs.Put(d.buf)
 	if err != nil {
+		if m := n.m; m != nil {
+			m.decodeErrs.Inc()
+		}
 		return
 	}
 	var payload simnet.Message
@@ -295,6 +349,9 @@ func (n *Node) driverLoop() {
 		case <-ticker.C:
 			n.core.RunRound()
 			rounds++
+			if m := n.m; m != nil {
+				m.pending.Set(int64(n.core.PendingExchanges()))
+			}
 			if rounds%registerEvery == 0 {
 				n.maybeRegister()
 			}
@@ -312,5 +369,10 @@ func (n *Node) maybeRegister() {
 		return
 	}
 	d := view.Descriptor{ID: n.cfg.ID, Endpoint: n.cfg.Advertise, Nat: addr.Public}
-	_, _ = n.conn.WriteToUDP(EncodeBootRegister(BootRegister{Desc: d}), udpFromEndpoint(n.cfg.Directory))
+	b := EncodeBootRegister(BootRegister{Desc: d})
+	_, _ = n.conn.WriteToUDP(b, udpFromEndpoint(n.cfg.Directory))
+	if m := n.m; m != nil {
+		m.udpTx.Inc()
+		m.udpTxBytes.Add(uint64(len(b)))
+	}
 }

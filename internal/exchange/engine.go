@@ -78,6 +78,17 @@ type Engine struct {
 	// engine otherwise never needs to know.
 	checks    bool
 	checkSelf addr.NodeID
+
+	// m holds the engine instruments, usually shared across a whole
+	// world's engines; nil when uninstrumented.
+	m *Metrics
+}
+
+// SetMetrics installs (typically shared) instruments on the engine and
+// its message pool. Call before the node starts exchanging.
+func (e *Engine) SetMetrics(m *Metrics) {
+	e.m = m
+	e.pool.m = m
 }
 
 // EnableChecks arms debug assertions over the exchange machinery,
@@ -188,6 +199,9 @@ func (e *Engine) RunRound(p Protocol) {
 		}
 		i++
 	}
+	if expired > 0 && e.m != nil {
+		e.m.Expired.Add(uint64(expired))
+	}
 	p.PrepareRound(expired)
 	target, ok := p.SelectPeer()
 	if !ok {
@@ -210,6 +224,9 @@ func (e *Engine) RunRound(p Protocol) {
 	case Sent:
 		if e.checks {
 			e.verifyOpen(target.ID)
+		}
+		if e.m != nil {
+			e.m.Requests.Inc()
 		}
 		if i := e.findPending(target.ID); i >= 0 {
 			e.putRecord(e.pending[i])
@@ -234,6 +251,9 @@ func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
 	if e.checks {
 		e.verifyOpen(peer)
 	}
+	if e.m != nil {
+		e.m.Requests.Inc()
+	}
 	var r *record
 	if i := e.findPending(peer); i >= 0 {
 		r = e.pending[i]
@@ -254,12 +274,18 @@ func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
 func (e *Engine) HandleResponse(p Protocol, res *Res) bool {
 	i := e.findPending(res.From.ID)
 	if i < 0 {
+		if e.m != nil {
+			e.m.Late.Inc()
+		}
 		return false
 	}
 	r := e.pending[i]
 	e.removePending(i)
 	if e.checks {
 		e.verifyMerge(r, res)
+	}
+	if e.m != nil {
+		e.m.Responses.Inc()
 	}
 	p.MergeResponse(res, r.pub, r.pri)
 	e.putRecord(r)

@@ -84,6 +84,9 @@ func (m *Req) Release() {
 	}
 	m.free = true
 	m.pool.freeReqs = append(m.pool.freeReqs, m)
+	if mm := m.pool.m; mm != nil {
+		mm.Recycled.Inc()
+	}
 }
 
 // Res answers a Req, mirroring its layout.
@@ -109,6 +112,9 @@ func (m *Res) Release() {
 	}
 	m.free = true
 	m.pool.freeRess = append(m.pool.freeRess, m)
+	if mm := m.pool.m; mm != nil {
+		mm.Recycled.Inc()
+	}
 }
 
 // Pool recycles request and response messages. Each protocol node owns
@@ -118,6 +124,10 @@ func (m *Res) Release() {
 type Pool struct {
 	freeReqs []*Req
 	freeRess []*Res
+
+	// m counts recycles when the owning engine is instrumented; see
+	// Engine.SetMetrics.
+	m *Metrics
 }
 
 // NewReq returns a cleared request whose payload slices retain their

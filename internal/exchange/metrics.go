@@ -1,0 +1,34 @@
+package exchange
+
+import "repro/internal/metrics"
+
+// Metrics instruments the shared shuffle machinery. One instance is
+// typically shared by every node in a world — the counters are
+// concurrency-safe and the per-event cost is one atomic add — so a
+// 50k-node simulation carries one set of instruments, not 50k.
+type Metrics struct {
+	// Requests counts shuffle exchanges opened (requests that actually
+	// left, directly or after a hole punch).
+	Requests *metrics.Counter
+	// Responses counts responses merged against a pending exchange.
+	Responses *metrics.Counter
+	// Late counts responses that found no pending record (expired,
+	// duplicate, or foreign) and were ignored.
+	Late *metrics.Counter
+	// Expired counts pending exchanges dropped at TTL without a
+	// response.
+	Expired *metrics.Counter
+	// Recycled counts pooled messages returned to their free lists.
+	Recycled *metrics.Counter
+}
+
+// NewMetrics registers the engine instruments in r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Requests:  r.Counter("exchange_requests_total", "Shuffle exchanges opened."),
+		Responses: r.Counter("exchange_responses_total", "Responses merged against a pending exchange."),
+		Late:      r.Counter("exchange_late_responses_total", "Responses ignored for lack of a pending record."),
+		Expired:   r.Counter("exchange_expired_total", "Pending exchanges dropped at TTL."),
+		Recycled:  r.Counter("exchange_recycled_total", "Pooled messages returned to free lists."),
+	}
+}

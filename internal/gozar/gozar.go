@@ -226,6 +226,19 @@ type Node struct {
 	rebootstrap func() []view.Descriptor
 
 	failedShuffles uint64
+
+	// m is the (typically world-shared) instrument set; nil when
+	// uninstrumented.
+	m *pss.Metrics
+}
+
+// SetMetrics installs shared instruments on the node and its exchange
+// engine. Call before the node starts gossiping.
+func (n *Node) SetMetrics(m *pss.Metrics) {
+	n.m = m
+	if m != nil {
+		n.eng.SetMetrics(m.Exchange)
+	}
 }
 
 // New constructs a Gozar node. seeds initialise the view; private nodes
@@ -338,6 +351,9 @@ type policy Node
 // and re-bootstrap.
 func (p *policy) PrepareRound(int) {
 	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Rounds.Inc()
+	}
 	n.view.IncrementAges()
 	if n.nat == addr.Private {
 		n.maintainRelays()
@@ -376,6 +392,9 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 	relays := q.Relays()
 	if len(relays) == 0 {
 		n.failedShuffles++
+		if m := n.m; m != nil {
+			m.FailedShuffles.Inc()
+		}
 		return exchange.Failed
 	}
 	relay := relays[n.rng.Intn(len(relays))]
@@ -387,7 +406,11 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 
 // MergeResponse implements exchange.Protocol with the swapper merge.
 func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
-	(*Node)(p).view.Merge(sentPub, res.Pub)
+	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
+	n.view.Merge(sentPub, res.Pub)
 }
 
 // maintainRelays runs once per round on private nodes: drop relays whose
@@ -474,6 +497,9 @@ func (n *Node) HandlePacket(pkt simnet.Packet) {
 	case *RelayedReq:
 		n.handleReq(pkt.From, m.Inner, m.Origin)
 	case *RelayResForward:
+		if mm := n.m; mm != nil {
+			mm.Relayed.Inc()
+		}
 		inner := m.Inner
 		m.Inner = nil // ownership moves to the final leg
 		n.sock.Send(m.Target, inner)
@@ -487,6 +513,9 @@ func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq, relayOrigin addr.E
 	res := n.eng.NewRes()
 	res.From = n.selfDescriptor()
 	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.view.Merge(res.Pub, req.Pub)
 
 	switch {
@@ -537,6 +566,9 @@ func (n *Node) handleRelayForward(from addr.Endpoint, fwd *RelayForward) {
 	reg, ok := n.clients[fwd.Target]
 	if !ok {
 		return // fwd's release recycles the undeliverable inner request
+	}
+	if m := n.m; m != nil {
+		m.Relayed.Inc()
 	}
 	inner := fwd.Inner
 	fwd.Inner = nil // ownership moves to the client leg

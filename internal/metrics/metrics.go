@@ -1,0 +1,437 @@
+// Package metrics is the shared, zero-allocation observability core
+// used by the simulator and the real-UDP deployment alike.
+//
+// The design constraint comes from the packet path: the simulator moves
+// millions of packets per wall-second through allocation-free code
+// guarded by AllocsPerRun tests, so instrumentation may cost one atomic
+// add and nothing else. Counters are therefore sharded across
+// cache-line-padded cells (concurrent writers — a deploy node's read
+// loop and driver loop, or a scrape racing the simulation — do not
+// bounce one hot line), histograms use fixed log2 buckets indexed with
+// a single bits.Len64, and gauges are plain atomics. Instruments are
+// registered once, at construction time, into a Registry; the hot path
+// holds direct pointers and never touches the registry again.
+//
+// Reads are wait-free and safe from any goroutine: a Registry
+// aggregates its instruments into an immutable Snapshot on demand, and
+// WritePrometheus renders the Prometheus text exposition format. A
+// snapshot is a momentary sum of independently updated atomics — each
+// value is internally torn-read-free, counters are monotone between
+// snapshots, and a histogram's count is derived from its buckets so
+// the two can never disagree.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the number of padded cells per counter. Writers land on
+// a shard derived from their stack address, so goroutines that write
+// concurrently (driver loop vs read loop, simulation vs scrape) spread
+// over different cache lines; a single-goroutine simulation always
+// hits the same shard and pays exactly one uncontended atomic add.
+const numShards = 8
+
+// cell is one cache-line-padded counter shard. The padding keeps
+// neighbouring shards (and neighbouring counters) off each other's
+// cache lines under concurrent writers.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardIndex derives a stable per-goroutine shard hint from the address
+// of a stack variable. Distinct goroutines run on distinct stacks, so
+// concurrent writers usually map to distinct shards; collisions only
+// cost contention, never correctness. The pointer is consumed
+// immediately, so the variable never escapes and the call is
+// allocation-free.
+func shardIndex() int {
+	var b byte
+	return int((uintptr(unsafe.Pointer(&b)) >> 12) % numShards)
+}
+
+// Counter is a monotonically increasing sharded counter. The zero
+// value is ready to use; instruments are normally obtained from a
+// Registry so they appear in snapshots and scrapes.
+type Counter struct {
+	shards [numShards]cell
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.shards[shardIndex()].v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.shards[shardIndex()].v.Add(n) }
+
+// Value sums the shards. Concurrent adds may or may not be visible;
+// successive reads never decrease.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous signed value (table depths, occupancy,
+// live-node counts). Aggregated gauges are maintained as deltas: each
+// owner Adds the change it observes, so one gauge can sum state across
+// thousands of protocol instances without a sweep.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// counts observations whose value has i significant bits, so bucket 0
+// holds zeros and bucket i (i ≥ 1) holds values in [2^(i-1), 2^i).
+// 40 buckets cover values up to ~5.5e11 — microsecond delays beyond
+// six days and sizes beyond half a terabyte clamp into the last one.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket log2 histogram. Observe costs one
+// bits.Len64 and two atomic adds; the count is derived from the
+// buckets at read time so a snapshot can never show count ≠ Σ buckets.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is an immutable read of a histogram.
+type HistogramSnapshot struct {
+	// Buckets holds the per-bucket observation counts; bucket i's upper
+	// value bound is 2^i − 1 (bucket 0 holds exact zeros).
+	Buckets [histBuckets]uint64 `json:"buckets"`
+	// Count is the total number of observations (Σ Buckets).
+	Count uint64 `json:"count"`
+	// Sum is the total of all observed values.
+	Sum uint64 `json:"sum"`
+}
+
+// snapshot reads the histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns bucket i's inclusive upper value bound.
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// metricKind tags a registry entry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered instrument.
+type entry struct {
+	name string // full series name, optional {labels} included
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds a set of named instruments and aggregates them into
+// snapshots. Registration happens at construction time (world or node
+// setup) under a mutex; the instruments themselves are lock-free, so
+// readers never block writers and vice versa.
+//
+// Names follow Prometheus conventions and may carry a baked-in label
+// set: "pss_rounds_total{proto=\"croupier\"}". Registering a name
+// twice returns the existing instrument, so layers that are
+// constructed repeatedly against one registry (e.g. per-run worlds
+// scraped by one server) share series instead of colliding.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	index   map[string]int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// lookup returns the existing entry for name, if any.
+func (r *Registry) lookup(name string, kind metricKind) (entry, bool) {
+	if i, ok := r.index[name]; ok {
+		e := r.entries[i]
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
+		}
+		return e, true
+	}
+	return entry{}, false
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. help is used on first registration only.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindCounter); ok {
+		return e.c
+	}
+	c := &Counter{}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindGauge); ok {
+		return e.g
+	}
+	g := &Gauge{}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindHistogram); ok {
+		return e.h
+	}
+	h := &Histogram{}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// Snapshot is an immutable aggregate of a registry at one instant.
+// Counters read before gauges and histograms, all in registration
+// order; each value is a consistent atomic read.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot aggregates every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := r.entries // append-only; the slice header is stable once read
+	r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.c.Value()
+		case kindGauge:
+			s.Gauges[e.name] = e.g.Value()
+		case kindHistogram:
+			s.Histograms[e.name] = e.h.snapshot()
+		}
+	}
+	return s
+}
+
+// CounterDeltas returns the counters that grew since prev, keyed by
+// name — the increment stream a dashboard tails. Counters absent from
+// prev report their full value.
+func (s Snapshot) CounterDeltas(prev Snapshot) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range s.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// splitName separates a full series name into its base metric name and
+// the baked-in label body (without braces), empty when unlabelled.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// seriesName renders a base name with merged label bodies.
+func seriesName(base, labels, extra string) string {
+	body := labels
+	if extra != "" {
+		if body != "" {
+			body += ","
+		}
+		body += extra
+	}
+	if body == "" {
+		return base
+	}
+	return base + "{" + body + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format: series grouped by base metric name, one
+// HELP/TYPE block per group, histograms as cumulative _bucket series
+// with le bounds at 2^i − 1.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := r.entries
+	r.mu.Unlock()
+
+	// Group series by base name, preserving first-seen order so output
+	// is deterministic for a fixed registration order.
+	type group struct {
+		base string
+		idxs []int
+	}
+	var groups []group
+	byBase := make(map[string]int)
+	for i, e := range entries {
+		base, _ := splitName(e.name)
+		gi, ok := byBase[base]
+		if !ok {
+			gi = len(groups)
+			byBase[base] = gi
+			groups = append(groups, group{base: base})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+
+	for _, g := range groups {
+		first := entries[g.idxs[0]]
+		typ := "counter"
+		switch first.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if first.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.base, first.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", g.base, typ); err != nil {
+			return err
+		}
+		for _, i := range g.idxs {
+			e := entries[i]
+			base, labels := splitName(e.name)
+			switch e.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				hs := e.h.snapshot()
+				var cum uint64
+				for b := 0; b < histBuckets-1; b++ {
+					cum += hs.Buckets[b]
+					// Skip empty bounds above 2^20 to keep scrapes
+					// compact; cumulative counts stay correct because
+					// only zero-increment series are elided.
+					if hs.Buckets[b] == 0 && b > 20 {
+						continue
+					}
+					le := fmt.Sprintf(`le="%d"`, BucketBound(b))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, braced(labels, le), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, braced(labels, `le="+Inf"`), hs.Count); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, braced(labels, ""), hs.Sum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels, ""), hs.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// braced renders a label body (plus an optional extra pair) with
+// braces, or nothing when both are empty.
+func braced(labels, extra string) string {
+	body := labels
+	if extra != "" {
+		if body != "" {
+			body += ","
+		}
+		body += extra
+	}
+	if body == "" {
+		return ""
+	}
+	return "{" + body + "}"
+}
+
+// Names returns the registered series names in sorted order, for tests
+// and diagnostics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if got := c.Value(); got != 0 {
+		t.Fatalf("zero counter = %d", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Value → bucket: 0→0, 1→1, 2..3→2, 4..7→3, ...
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.snapshot()
+	want := map[int]uint64{}
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", s.Count, len(cases))
+	}
+	var sum uint64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if s.Sum != sum {
+		t.Errorf("sum = %d, want %d", s.Sum, sum)
+	}
+}
+
+func TestHistogramCountIsBucketSum(t *testing.T) {
+	var h Histogram
+	for i := uint64(0); i < 1000; i++ {
+		h.Observe(i * i)
+	}
+	s := h.snapshot()
+	var total uint64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if s.Count != total {
+		t.Fatalf("count %d != bucket sum %d", s.Count, total)
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 || BucketBound(1) != 1 || BucketBound(3) != 7 || BucketBound(11) != 2047 {
+		t.Fatalf("unexpected bucket bounds: %d %d %d %d",
+			BucketBound(0), BucketBound(1), BucketBound(3), BucketBound(11))
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	if g1, g2 := r.Gauge("g", ""), r.Gauge("g", ""); g1 != g2 {
+		t.Fatal("re-registering a gauge must return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestSnapshotAndDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(`rounds_total{proto="croupier"}`, "rounds")
+	g := r.Gauge("depth", "pending depth")
+	h := r.Histogram("delay_us", "delay")
+	c.Add(5)
+	g.Set(3)
+	h.Observe(100)
+
+	s1 := r.Snapshot()
+	if s1.Counters[`rounds_total{proto="croupier"}`] != 5 {
+		t.Fatalf("snapshot counter = %v", s1.Counters)
+	}
+	if s1.Gauges["depth"] != 3 {
+		t.Fatalf("snapshot gauge = %v", s1.Gauges)
+	}
+	if hs := s1.Histograms["delay_us"]; hs.Count != 1 || hs.Sum != 100 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+
+	c.Add(2)
+	s2 := r.Snapshot()
+	d := s2.CounterDeltas(s1)
+	if d[`rounds_total{proto="croupier"}`] != 2 || len(d) != 1 {
+		t.Fatalf("deltas = %v", d)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`pss_rounds_total{proto="croupier"}`, "Protocol rounds driven.").Add(7)
+	r.Counter(`pss_rounds_total{proto="cyclon"}`, "Protocol rounds driven.").Add(3)
+	r.Gauge("pending_depth", "Open exchanges.").Set(4)
+	h := r.Histogram(`delay_us{net="sim"}`, "Delivery delay.")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pss_rounds_total Protocol rounds driven.",
+		"# TYPE pss_rounds_total counter",
+		`pss_rounds_total{proto="croupier"} 7`,
+		`pss_rounds_total{proto="cyclon"} 3`,
+		"# TYPE pending_depth gauge",
+		"pending_depth 4",
+		"# TYPE delay_us histogram",
+		`delay_us_bucket{net="sim",le="0"} 1`,
+		`delay_us_bucket{net="sim",le="3"} 2`,
+		`delay_us_bucket{net="sim",le="4095"} 3`,
+		`delay_us_bucket{net="sim",le="+Inf"} 3`,
+		`delay_us_sum{net="sim"} 3003`,
+		`delay_us_count{net="sim"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per base name even with multiple label sets.
+	if n := strings.Count(out, "# TYPE pss_rounds_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(12345)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v per op, want 0", n)
+	}
+}

@@ -135,6 +135,12 @@ type mapKey struct {
 	remotePt uint16  // set for APD mapping
 }
 
+// contact is one remote endpoint a mapping has sent to, and when.
+type contact struct {
+	ep addr.Endpoint
+	at time.Duration
+}
+
 type mapping struct {
 	key        mapKey
 	internal   addr.Endpoint
@@ -142,14 +148,30 @@ type mapping struct {
 	lastActive time.Duration
 	permanent  bool // UPnP mappings never expire
 	// contacted records the remote endpoints this mapping has sent to
-	// and when, for filtering decisions. Entries older than the mapping
-	// timeout can never admit a packet again, so they are swept out
-	// whenever the table doubles past sweepLimit — a real gateway's
-	// filter table is bounded the same way, and without the sweep a
-	// long-lived mapping accumulates one entry per endpoint it ever
-	// contacted.
-	contacted  map[addr.Endpoint]time.Duration
+	// and when, for filtering decisions. It is a slice-backed set, not a
+	// map: within one mapping-timeout window a mapping talks to a few
+	// dozen endpoints at most, so the linear find-or-append beats
+	// hashing into per-gateway cold memory and — the reason it matters
+	// at scale — costs no allocation per fresh mapping, where the map
+	// header alone was the top remaining construction allocator in
+	// large worlds. Entries older than the mapping timeout can never
+	// admit a packet again, so they are swept out whenever the set
+	// doubles past sweepLimit — a real gateway's filter table is
+	// bounded the same way, and without the sweep a long-lived mapping
+	// accumulates one entry per endpoint it ever contacted.
+	contacted  []contact
 	sweepLimit int
+}
+
+// touchContact records (or refreshes) dst in the contacted set.
+func (m *mapping) touchContact(dst addr.Endpoint, now time.Duration) {
+	for i := range m.contacted {
+		if m.contacted[i].ep == dst {
+			m.contacted[i].at = now
+			return
+		}
+	}
+	m.contacted = append(m.contacted, contact{ep: dst, at: now})
 }
 
 // Gateway is a single emulated NAT box. A gateway fronts one or more
@@ -285,24 +307,25 @@ func (g *Gateway) Outbound(src, dst addr.Endpoint) addr.Endpoint {
 	}
 	if m == nil {
 		m = &mapping{
-			key:       k,
-			internal:  src,
-			public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: g.allocPort(src.Port)},
-			contacted: make(map[addr.Endpoint]time.Duration),
+			key:      k,
+			internal: src,
+			public:   addr.Endpoint{IP: g.cfg.PublicIP, Port: g.allocPort(src.Port)},
 		}
 		g.mappings = append(g.mappings, m)
 	}
 	m.lastActive = g.now()
-	m.contacted[dst] = g.now()
+	m.touchContact(dst, g.now())
 	if len(m.contacted) >= m.sweepLimit {
 		// Swept entries are gone for good: like an expired mapping
 		// (see SetMappingTimeout), filter state a real gateway has
 		// discarded is not resurrected by a later timeout raise.
-		for ep, at := range m.contacted {
-			if g.now()-at > g.cfg.MappingTimeout {
-				delete(m.contacted, ep)
+		live := m.contacted[:0]
+		for _, c := range m.contacted {
+			if g.now()-c.at <= g.cfg.MappingTimeout {
+				live = append(live, c)
 			}
 		}
+		m.contacted = live
 		m.sweepLimit = 2*len(m.contacted) + 16
 	}
 	return m.public
@@ -333,14 +356,16 @@ func (g *Gateway) Inbound(remote, pub addr.Endpoint) (addr.Endpoint, bool) {
 	case FilteringEndpointIndependent:
 		return m.internal, true
 	case FilteringAddressDependent:
-		for ep, at := range m.contacted {
-			if ep.IP == remote.IP && g.now()-at <= g.cfg.MappingTimeout {
+		for _, c := range m.contacted {
+			if c.ep.IP == remote.IP && g.now()-c.at <= g.cfg.MappingTimeout {
 				return m.internal, true
 			}
 		}
 	case FilteringAddressPortDependent:
-		if at, ok := m.contacted[remote]; ok && g.now()-at <= g.cfg.MappingTimeout {
-			return m.internal, true
+		for _, c := range m.contacted {
+			if c.ep == remote && g.now()-c.at <= g.cfg.MappingTimeout {
+				return m.internal, true
+			}
 		}
 	}
 	return addr.Endpoint{}, false
@@ -364,7 +389,6 @@ func (g *Gateway) MapPort(internal addr.Endpoint, publicPort uint16) (addr.Endpo
 		internal:  internal,
 		public:    addr.Endpoint{IP: g.cfg.PublicIP, Port: publicPort},
 		permanent: true,
-		contacted: make(map[addr.Endpoint]time.Duration),
 	}
 	if i := g.findByKey(m.key); i >= 0 {
 		g.drop(i)

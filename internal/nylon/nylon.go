@@ -180,9 +180,18 @@ func (m *KeepAliveAck) Release() {
 }
 
 // rvp records a rendezvous relationship with a direct, punched peer.
+// ext caches the shared routing extension stamped on private
+// descriptors learned from this peer at its current endpoint:
+// steady-state exchanges with an established RVP reuse one immutable
+// Ext instead of allocating one per exchange. The cache is dropped
+// whenever the peer's observed endpoint changes (the extension's
+// ViaEndpoint would be stale) and cleared before the record returns to
+// the pool; descriptors already holding the old extension keep it —
+// view.Ext is immutable once attached.
 type rvp struct {
 	endpoint    addr.Endpoint
 	lastRefresh int
+	ext         *view.Ext
 }
 
 // route is a routing-table entry: the next hop towards a (private) node.
@@ -239,6 +248,22 @@ type Node struct {
 
 	failedShuffles uint64
 	relayedMsgs    uint64
+
+	// m is the (typically world-shared) instrument set; nil when
+	// uninstrumented. lastRVPCount is the rendezvous count this node
+	// last published into the shared RVP gauge, so round boundaries and
+	// Stop publish deltas instead of sweeping.
+	m            *pss.Metrics
+	lastRVPCount int
+}
+
+// SetMetrics installs shared instruments on the node and its exchange
+// engine. Call before the node starts gossiping.
+func (n *Node) SetMetrics(m *pss.Metrics) {
+	n.m = m
+	if m != nil {
+		n.eng.SetMetrics(m.Exchange)
+	}
 }
 
 // New constructs a Nylon node seeded with the given descriptors.
@@ -320,6 +345,11 @@ func (n *Node) Stop() {
 	}
 	n.running = false
 	n.ticker.Stop()
+	// Retire this node's residue from the shared RVP gauge.
+	if m := n.m; m != nil && n.lastRVPCount != 0 {
+		m.RVPs.Add(int64(-n.lastRVPCount))
+		n.lastRVPCount = 0
+	}
 }
 
 func (n *Node) selfDescriptor() view.Descriptor {
@@ -336,6 +366,13 @@ type policy Node
 // expiry, keep-alives, and re-bootstrap.
 func (p *policy) PrepareRound(int) {
 	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Rounds.Inc()
+		if cur := len(n.rvps); cur != n.lastRVPCount {
+			m.RVPs.Add(int64(cur - n.lastRVPCount))
+			n.lastRVPCount = cur
+		}
+	}
 	n.view.IncrementAges()
 	n.expireState()
 	if n.eng.Rounds()%n.cfg.KeepAliveEvery == 0 {
@@ -380,10 +417,16 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 	hop, ok := n.nextHopFor(q)
 	if !ok {
 		n.failedShuffles++
+		if m := n.m; m != nil {
+			m.FailedShuffles.Inc()
+		}
 		return exchange.Failed
 	}
 	if old, stale := n.punches[q.ID]; stale {
 		old.req.Release() // an unanswered punch to the same target is superseded
+	}
+	if m := n.m; m != nil {
+		m.PunchAttempts.Inc()
 	}
 	n.punches[q.ID] = pendingPunch{req: req, round: n.eng.Rounds()}
 	n.sock.Send(q.Endpoint, Punch{}) // opens our NAT toward the target
@@ -399,6 +442,9 @@ func (p *policy) Deliver(q view.Descriptor, req *ShuffleReq) exchange.Delivery {
 // safe, because the pooled slice is recycled right after the handler.
 func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
 	n := (*Node)(p)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.view.Merge(sentPub, n.learnRoutes(res.Pub, res.From.ID, n.resFrom))
 	n.becomeRVPs(res.From.ID, n.resFrom)
 }
@@ -421,6 +467,7 @@ func (n *Node) expireState() {
 	for id, r := range n.rvps {
 		if n.eng.Rounds()-r.lastRefresh > n.cfg.RVPTTL {
 			delete(n.rvps, id)
+			r.ext = nil // drop the cached extension with the relationship
 			n.rvpPool.Put(r)
 		}
 	}
@@ -435,6 +482,9 @@ func (n *Node) expireState() {
 			delete(n.punches, id)
 			p.req.Release() // never sent; recycle it here
 			n.failedShuffles++
+			if m := n.m; m != nil {
+				m.FailedShuffles.Inc()
+			}
 		}
 	}
 }
@@ -460,7 +510,10 @@ func (n *Node) becomeRVPs(id addr.NodeID, ep addr.Endpoint) {
 	r, ok := n.rvps[id]
 	if !ok {
 		r = n.rvpPool.Get()
+		r.ext = nil // recycled records may carry a stale cache
 		n.rvps[id] = r
+	} else if r.endpoint != ep {
+		r.ext = nil // cached ViaEndpoint no longer matches
 	}
 	r.endpoint = ep
 	r.lastRefresh = n.eng.Rounds()
@@ -493,7 +546,9 @@ func (n *Node) evictOldestRVP(keep addr.NodeID) {
 		}
 	}
 	if found {
-		n.rvpPool.Put(n.rvps[victim])
+		v := n.rvps[victim]
+		v.ext = nil
+		n.rvpPool.Put(v)
 		delete(n.rvps, victim)
 	}
 }
@@ -517,14 +572,17 @@ func (n *Node) setRoute(id, nextHop addr.NodeID, ep addr.Endpoint) {
 // keeps. Every stamped descriptor points at the same partner, so one
 // shared extension serves the whole batch — attached by replacing the
 // Ext pointer, never by writing through a received one, which copies in
-// other views may share (view.Ext is immutable once attached).
+// other views may share (view.Ext is immutable once attached). With an
+// established RVP at the same endpoint the extension is cached on the
+// rendezvous record, so steady-state exchanges reuse one Ext across
+// rounds instead of allocating one per exchange.
 func (n *Node) learnRoutes(descs []view.Descriptor, partner addr.NodeID, partnerEP addr.Endpoint) []view.Descriptor {
 	var ext *view.Ext
 	for i := range descs {
 		d := &descs[i]
 		if d.Nat == addr.Private && d.ID != n.self {
 			if ext == nil {
-				ext = &view.Ext{Via: partner, ViaEndpoint: partnerEP}
+				ext = n.partnerExt(partner, partnerEP)
 			}
 			d.Ext = ext
 			if cur, ok := n.routes[d.ID]; !ok || cur.nextHop != d.ID {
@@ -533,6 +591,21 @@ func (n *Node) learnRoutes(descs []view.Descriptor, partner addr.NodeID, partner
 		}
 	}
 	return descs
+}
+
+// partnerExt returns the shared routing extension for descriptors
+// learned from partner at partnerEP, served from the RVP record's
+// cache when the relationship is established at that same endpoint and
+// allocated fresh otherwise (first contact, or an endpoint move whose
+// becomeRVPs invalidation hasn't run yet).
+func (n *Node) partnerExt(partner addr.NodeID, partnerEP addr.Endpoint) *view.Ext {
+	if r, ok := n.rvps[partner]; ok && r.endpoint == partnerEP {
+		if r.ext == nil {
+			r.ext = &view.Ext{Via: partner, ViaEndpoint: partnerEP}
+		}
+		return r.ext
+	}
+	return &view.Ext{Via: partner, ViaEndpoint: partnerEP}
 }
 
 // HandlePacket is the socket handler. Payloads are pooled and recycled
@@ -561,6 +634,9 @@ func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq) {
 	res := n.eng.NewRes()
 	res.From = n.selfDescriptor()
 	res.Pub = exchange.DropNode(n.view.RandomSubsetInto(n.rng, n.cfg.Params.ShuffleSize, res.Pub), req.From.ID)
+	if m := n.m; m != nil {
+		m.Merges.Inc()
+	}
 	n.view.Merge(res.Pub, n.learnRoutes(req.Pub, req.From.ID, from))
 	n.becomeRVPs(req.From.ID, from)
 	n.sock.Send(from, res)
@@ -594,6 +670,9 @@ func (n *Node) handleHolePunchReq(from addr.Endpoint, m *HolePunchReq) {
 		return
 	}
 	n.relayedMsgs++
+	if mm := n.m; mm != nil {
+		mm.Relayed.Inc()
+	}
 	// The received message belongs to the network (it is recycled after
 	// this handler), so the next leg travels in a copy drawn from this
 	// node's own free list.
@@ -618,6 +697,9 @@ func (n *Node) handlePunchOK(from addr.Endpoint, m *PunchOK) {
 	if !ok {
 		return
 	}
+	if mm := n.m; mm != nil {
+		mm.PunchSuccesses.Inc()
+	}
 	delete(n.punches, m.From.ID)
 	n.eng.Open(m.From.ID, p.req.Pub, nil)
 	n.sock.Send(from, p.req)
@@ -626,7 +708,10 @@ func (n *Node) handlePunchOK(from addr.Endpoint, m *PunchOK) {
 func (n *Node) handleKeepAlive(from addr.Endpoint, m *KeepAlive) {
 	if r, ok := n.rvps[m.From]; ok {
 		r.lastRefresh = n.eng.Rounds()
-		r.endpoint = from
+		if r.endpoint != from {
+			r.ext = nil // cached ViaEndpoint no longer matches
+			r.endpoint = from
+		}
 	}
 	ack := n.kaAckPool.Get()
 	ack.From, ack.fl = n.self, &n.kaAckPool

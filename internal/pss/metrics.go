@@ -1,0 +1,60 @@
+package pss
+
+import (
+	"repro/internal/exchange"
+	"repro/internal/metrics"
+)
+
+// Metrics is the shared instrument set of one protocol family in one
+// world or node. All four protocols report through the same field set —
+// a protocol simply never touches the fields that don't apply to it
+// (cyclon has no hole punches, croupier alone has an estimate store).
+// Instruments are safe for concurrent use and cost one atomic add, so
+// one Metrics instance serves every node in a 50k-node world.
+//
+// Gauges that aggregate state across many nodes (EstimateEntries,
+// RVPs) are maintained as deltas: each node adds the change it
+// observes at its own round boundary and subtracts its residue when it
+// stops, so the gauge tracks the world total without any sweep.
+type Metrics struct {
+	// Rounds counts protocol rounds driven (ticks that ran the round
+	// body, whether or not a shuffle left).
+	Rounds *metrics.Counter
+	// Merges counts view merges applied from requests and responses.
+	Merges *metrics.Counter
+	// FailedShuffles counts rounds where a selected exchange could not
+	// be dispatched (no relay, no RVP, no punched path).
+	FailedShuffles *metrics.Counter
+	// PunchAttempts counts hole punches initiated towards private
+	// peers; PunchSuccesses counts confirmations that opened the path.
+	PunchAttempts  *metrics.Counter
+	PunchSuccesses *metrics.Counter
+	// Relayed counts messages this protocol forwarded on behalf of
+	// other nodes (gozar relay legs, nylon RVP forwards).
+	Relayed *metrics.Counter
+	// EstimateEntries is the live entry total across all croupier
+	// estimate stores.
+	EstimateEntries *metrics.Gauge
+	// RVPs is the registered rendezvous-point relationship total across
+	// all nylon nodes.
+	RVPs *metrics.Gauge
+	// Exchange instruments the shared shuffle machinery.
+	Exchange *exchange.Metrics
+}
+
+// NewMetrics registers one protocol family's instruments in r, with the
+// protocol name baked into each series' label set.
+func NewMetrics(r *metrics.Registry, proto string) *Metrics {
+	lbl := `{proto="` + proto + `"}`
+	return &Metrics{
+		Rounds:          r.Counter("pss_rounds_total"+lbl, "Protocol rounds driven."),
+		Merges:          r.Counter("pss_merges_total"+lbl, "View merges applied."),
+		FailedShuffles:  r.Counter("pss_failed_shuffles_total"+lbl, "Shuffles that could not be dispatched."),
+		PunchAttempts:   r.Counter("pss_punch_attempts_total"+lbl, "Hole punches initiated."),
+		PunchSuccesses:  r.Counter("pss_punch_successes_total"+lbl, "Hole punches confirmed open."),
+		Relayed:         r.Counter("pss_relayed_total"+lbl, "Messages forwarded for other nodes."),
+		EstimateEntries: r.Gauge("pss_estimate_entries"+lbl, "Live estimate-store entries across nodes."),
+		RVPs:            r.Gauge("pss_rvps"+lbl, "Registered rendezvous relationships across nodes."),
+		Exchange:        exchange.NewMetrics(r),
+	}
+}

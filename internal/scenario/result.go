@@ -56,6 +56,10 @@ type Sample struct {
 	InDegMean F `json:"indeg_mean"`
 	InDegStd  F `json:"indeg_std"`
 	InDegMax  F `json:"indeg_max"`
+	// InDegDeciles are the 0th..100th percentiles of the in-degree
+	// distribution in steps of ten (11 values), enough to draw a CDF.
+	// JSON-only: the TSV table keeps its original columns.
+	InDegDeciles []F `json:"indeg_deciles,omitempty"`
 	// ClusterFrac is the biggest weakly-connected cluster of the
 	// effective overlay (edges the network can currently carry) as a
 	// fraction of started nodes; Components counts its components.

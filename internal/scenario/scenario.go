@@ -26,6 +26,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/croupier"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
@@ -360,6 +361,14 @@ type RunConfig struct {
 	RunNatID bool
 	// Croupier overrides the Croupier configuration (zero = defaults).
 	Croupier croupier.Config
+	// Registry, when non-nil, instruments the run's world: network,
+	// exchange-engine and protocol counters accumulate into it and can
+	// be scraped concurrently while the run executes.
+	Registry *metrics.Registry
+	// Observer, when non-nil, is invoked synchronously after every
+	// probe with the freshly sampled values — the hook live dashboards
+	// stream from. It runs on the scenario goroutine; keep it fast.
+	Observer func(Sample)
 }
 
 // round is the gossip period used to convert rounds to virtual time.
@@ -468,6 +477,7 @@ func Run(sc Scenario, rc RunConfig) (*Result, error) {
 		Loss:      rc.BaseLoss,
 		SkipNatID: !rc.RunNatID,
 		Croupier:  rc.Croupier,
+		Registry:  rc.Registry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", run.Name, err)
@@ -492,16 +502,22 @@ func Run(sc Scenario, rc RunConfig) (*Result, error) {
 		Publics:     run.Publics,
 		Privates:    run.Privates,
 	}
+	record := func(s Sample) {
+		res.Samples = append(res.Samples, s)
+		if rc.Observer != nil {
+			rc.Observer(s)
+		}
+	}
 	for r := probeEvery; ; r += probeEvery {
 		if r > run.Rounds {
 			break
 		}
 		w.RunUntil(toTime(float64(r)))
-		res.Samples = append(res.Samples, probe(w, st, float64(r)))
+		record(probe(w, st, float64(r)))
 	}
 	if n := len(res.Samples); n == 0 || res.Samples[n-1].Round < float64(run.Rounds) {
 		w.RunUntil(toTime(float64(run.Rounds)))
-		res.Samples = append(res.Samples, probe(w, st, float64(run.Rounds)))
+		record(probe(w, st, float64(run.Rounds)))
 	}
 
 	res.Recoveries = computeRecoveries(st.marks, res.Samples)
@@ -654,6 +670,14 @@ func probe(w *world.World, st *runState, roundNo float64) Sample {
 		s.InDegMean = F(stats.Mean(degs))
 		s.InDegStd = F(stats.StdDev(degs))
 		s.InDegMax = F(stats.Max(degs))
+		// Deciles for the CDF view; sorting the scratch is fine, the
+		// summary stats above are order-independent.
+		sort.Float64s(degs)
+		s.InDegDeciles = make([]F, 11)
+		for i := 0; i <= 10; i++ {
+			idx := i * (len(degs) - 1) / 10
+			s.InDegDeciles[i] = F(degs[idx])
+		}
 		s.ClusterFrac = F(float64(snap.BiggestCluster()) / float64(n))
 		s.Components = snap.ComponentCount()
 	}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/latency"
+	"repro/internal/metrics"
 	"repro/internal/nat"
 	"repro/internal/sim"
 )
@@ -70,6 +71,52 @@ type Config struct {
 	// HeaderBytes is the per-packet framing overhead added to every
 	// message for traffic accounting. Defaults to 28 (IPv4 + UDP).
 	HeaderBytes int
+	// Registry, when non-nil, receives the network's packet-path
+	// instruments (sends, deliveries, drops by cause, delay and size
+	// histograms). The instrumented path costs one atomic add per
+	// event and allocates nothing.
+	Registry *metrics.Registry
+}
+
+// netMetrics holds the network's instruments, resolved once at
+// construction so the packet path never consults the registry.
+type netMetrics struct {
+	sends     *metrics.Counter
+	delivered *metrics.Counter
+
+	dropLoss      *metrics.Counter
+	dropNoRoute   *metrics.Counter
+	dropDeadHost  *metrics.Counter
+	dropPartition *metrics.Counter
+	dropNAT       *metrics.Counter
+	dropStaleIP   *metrics.Counter
+	dropUnbound   *metrics.Counter
+
+	delayUS     *metrics.Histogram
+	packetBytes *metrics.Histogram
+}
+
+// newNetMetrics registers the simnet instruments. Deliveries register
+// before sends so an ordered snapshot read can never observe more
+// deliveries than sends.
+func newNetMetrics(r *metrics.Registry) *netMetrics {
+	drop := func(cause string) *metrics.Counter {
+		return r.Counter(`simnet_dropped_total{cause="`+cause+`"}`,
+			"Packets dropped, by cause.")
+	}
+	return &netMetrics{
+		delivered:     r.Counter("simnet_delivered_total", "Packets handed to socket handlers."),
+		dropLoss:      drop("loss"),
+		dropNoRoute:   drop("no_route"),
+		dropDeadHost:  drop("dead_host"),
+		dropPartition: drop("partition"),
+		dropNAT:       drop("nat"),
+		dropStaleIP:   drop("stale_ip"),
+		dropUnbound:   drop("unbound_port"),
+		delayUS:       r.Histogram("simnet_delay_us", "One-way packet delay in microseconds."),
+		packetBytes:   r.Histogram("simnet_packet_bytes", "On-wire packet size including framing."),
+		sends:         r.Counter("simnet_sends_total", "Packets accepted from live sockets."),
+	}
 }
 
 // Traffic accumulates a node's network usage. Relayed traffic counts on
@@ -146,6 +193,11 @@ type Network struct {
 	partDropped  uint64
 	delivered    uint64
 
+	// m holds the registered instruments, nil when no Registry was
+	// configured; every use is nil-guarded so the uninstrumented path
+	// pays one predictable branch.
+	m *netMetrics
+
 	// freeDeliveries pools in-flight packet records (and their
 	// pre-built run closures) so unicast delivery allocates nothing
 	// once warm; see newDelivery.
@@ -199,7 +251,7 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		cfg.HeaderBytes = 28
 	}
 	base := uint32(addr.MakeIP(2, 0, 0, 1))
-	return &Network{
+	n := &Network{
 		sched:        sched,
 		cfg:          cfg,
 		idToIdx:      make(map[addr.NodeID]int32),
@@ -207,7 +259,11 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		loss:         cfg.Loss,
 		links:        make(map[linkKey]LinkOverride),
 		nextPublicIP: base,
-	}, nil
+	}
+	if cfg.Registry != nil {
+		n.m = newNetMetrics(cfg.Registry)
+	}
+	return n, nil
 }
 
 // Loss returns the current default per-packet drop probability.
@@ -608,12 +664,19 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	size := uint64(msg.Size() + n.cfg.HeaderBytes)
 	h.traffic.BytesSent += size
 	h.traffic.MsgsSent++
+	if m := n.m; m != nil {
+		m.sends.Inc()
+		m.packetBytes.Observe(size)
+	}
 
 	// Resolve the physical destination host for latency lookup. The NAT
 	// admission decision is postponed to delivery time.
 	dstIdx, ok := n.lookupIP(to.IP)
 	if !ok {
 		n.dropped++
+		if m := n.m; m != nil {
+			m.dropNoRoute.Inc()
+		}
 		release(msg)
 		return
 	}
@@ -621,10 +684,16 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	loss, extra := n.linkConditions(h.id, dst.id)
 	if loss > 0 && n.sched.Rand().Float64() < loss {
 		n.dropped++
+		if m := n.m; m != nil {
+			m.dropLoss.Inc()
+		}
 		release(msg)
 		return
 	}
 	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
+	if m := n.m; m != nil {
+		m.delayUS.Observe(uint64(delay / time.Microsecond))
+	}
 	d := n.newDelivery()
 	d.srcHost, d.dstHost = h, dst
 	d.src, d.to = src, to
@@ -640,6 +709,9 @@ func (n *Network) deliver(d *delivery) {
 	h := d.dstHost
 	if !h.up {
 		n.dropped++
+		if m := n.m; m != nil {
+			m.dropDeadHost.Inc()
+		}
 		return
 	}
 	// The partition check happens at delivery time against the current
@@ -648,6 +720,9 @@ func (n *Network) deliver(d *delivery) {
 	if !n.reachableIdx(d.srcHost.idx, h.idx) {
 		n.dropped++
 		n.partDropped++
+		if m := n.m; m != nil {
+			m.dropPartition.Inc()
+		}
 		return
 	}
 	src, to := d.src, d.to
@@ -656,21 +731,33 @@ func (n *Network) deliver(d *delivery) {
 		translated, admitted := h.gw.Inbound(src, to)
 		if !admitted {
 			n.dropped++
+			if m := n.m; m != nil {
+				m.dropNAT.Inc()
+			}
 			return
 		}
 		local = translated
 	} else if h.ip != to.IP {
 		// Host changed identity between send and delivery.
 		n.dropped++
+		if m := n.m; m != nil {
+			m.dropStaleIP.Inc()
+		}
 		return
 	}
 	fn, bound := h.handlerFor(local.Port)
 	if !bound {
 		n.dropped++
+		if m := n.m; m != nil {
+			m.dropUnbound.Inc()
+		}
 		return
 	}
 	h.traffic.BytesRecv += d.size
 	h.traffic.MsgsRecv++
 	n.delivered++
+	if m := n.m; m != nil {
+		m.delivered.Inc()
+	}
 	fn(Packet{From: src, To: to, Msg: msg})
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/intern"
 	"repro/internal/latency"
+	"repro/internal/metrics"
 	"repro/internal/nat"
 	"repro/internal/natid"
 	"repro/internal/nylon"
@@ -89,6 +90,10 @@ type Config struct {
 	SkipNatID bool
 	// NatIDTimeout bounds the identification wait (default 1.5 s).
 	NatIDTimeout time.Duration
+	// Registry, when non-nil, instruments the network and every node
+	// with world-shared counters (one instrument set for all nodes, so
+	// instrumentation cost is a nil check plus an atomic add per event).
+	Registry *metrics.Registry
 
 	// Exactly one of the following is consulted, per Kind. Zero values
 	// select each protocol's defaults.
@@ -150,6 +155,10 @@ type World struct {
 	// protocol or filtered into caller-owned storage) before the next
 	// draw; nothing retains it. Single-goroutine, like the world.
 	seedBuf []view.Descriptor
+
+	// protoMetrics is the world-shared instrument set handed to every
+	// node; nil when the world is uninstrumented.
+	protoMetrics *pss.Metrics
 }
 
 // New builds an empty world.
@@ -171,17 +180,21 @@ func New(cfg Config) (*World, error) {
 		cfg.NAT = &c
 	}
 	sched := sim.New(cfg.Seed)
-	net, err := simnet.New(sched, simnet.Config{Latency: cfg.Latency, Loss: cfg.Loss})
+	net, err := simnet.New(sched, simnet.Config{Latency: cfg.Latency, Loss: cfg.Loss, Registry: cfg.Registry})
 	if err != nil {
 		return nil, fmt.Errorf("world: %w", err)
 	}
-	return &World{
+	w := &World{
 		Cfg:     cfg,
 		Sched:   sched,
 		Net:     net,
 		Boot:    bootstrap.NewServer(),
 		origins: intern.NewOrigins(),
-	}, nil
+	}
+	if cfg.Registry != nil {
+		w.protoMetrics = pss.NewMetrics(cfg.Registry, cfg.Kind.String())
+	}
+	return w, nil
 }
 
 // JoinPublic attaches a node with an open global IP.
@@ -368,12 +381,16 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 	switch p := proto.(type) {
 	case *croupier.Node:
 		p.SetRebootstrap(reseed)
+		p.SetMetrics(w.protoMetrics)
 	case *cyclon.Node:
 		p.SetRebootstrap(reseed)
+		p.SetMetrics(w.protoMetrics)
 	case *gozar.Node:
 		p.SetRebootstrap(reseed)
+		p.SetMetrics(w.protoMetrics)
 	case *nylon.Node:
 		p.SetRebootstrap(reseed)
+		p.SetMetrics(w.protoMetrics)
 	}
 
 	if natType == addr.Public {
