@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/exchange"
 	"repro/internal/metrics"
 	"repro/internal/nylon"
 	"repro/internal/world"
@@ -78,6 +79,43 @@ func TestCroupierMetricsRoundAllocs(t *testing.T) {
 	t.Logf("croupier+metrics: %.1f allocs per 200-node round (budget 200)", got)
 	if got > 200 {
 		t.Errorf("instrumented croupier round allocates %.1f objects, budget is 200 — metrics on the hot path?", got)
+	}
+}
+
+// TestCroupierTraceRoundAllocs pins the selection-trace hook's cost
+// contract from both sides. The plain protocol guards above already
+// prove the disabled side — a world built without a SelectionTrace
+// leaves every engine's trace pointer nil, so those budgets measure the
+// hook's default state. This test proves the enabled side: a world with
+// a live, recording trace of sufficient capacity fits the *same*
+// per-round budget, because recording a selection is one append into
+// pre-sized backing storage. The randcheck harness leans on this — a
+// measured world behaves (and allocates) like an unmeasured one.
+func TestCroupierTraceRoundAllocs(t *testing.T) {
+	trace := exchange.NewTrace(4096) // 11 measured rounds × 200 selections fit
+	trace.Disable()
+	w, err := world.New(world.Config{
+		Kind: world.KindCroupier, Seed: 1, SkipNatID: true,
+		SelectionTrace: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MixedPoissonJoins(0, 40, 160, 5*time.Millisecond)
+	w.RunUntil(90 * time.Second)
+	trace.Enable()
+	got := testing.AllocsPerRun(10, func() {
+		w.RunUntil(w.Sched.Now() + time.Second)
+	})
+	t.Logf("croupier+trace: %.1f allocs per 200-node round (budget 200), %d selections recorded", got, trace.Len())
+	if got > 200 {
+		t.Errorf("traced croupier round allocates %.1f objects, budget is 200 — recording is no longer a plain append?", got)
+	}
+	if trace.Len() == 0 {
+		t.Error("trace recorded nothing — the hook is not wired")
+	}
+	if trace.Len() > 4096 {
+		t.Errorf("trace grew past its capacity hint (%d events): the measurement itself reallocated", trace.Len())
 	}
 }
 

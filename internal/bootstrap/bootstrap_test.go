@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/stats"
 	"repro/internal/view"
 )
 
@@ -138,5 +139,55 @@ func TestRegisterRefreshesDescriptor(t *testing.T) {
 	got := s.Publics(rng, 1, 0)
 	if got[0].Endpoint.IP != 99 {
 		t.Fatalf("endpoint = %v, want refreshed 99", got[0].Endpoint)
+	}
+}
+
+// TestPublicsIntoUniform is the chi-squared regression test for the
+// rejection-sampling draw: over many draws every eligible directory
+// entry must be returned equally often, and the excluded ID never. A
+// modulo-bias or index-skew bug in the sampler would push the pinned
+// seed's p-value through the floor (an off-by-one over 50 entries sits
+// orders of magnitude below it); a sound draw keeps it comfortably
+// above. The seed is pinned, so the verdict is deterministic.
+func TestPublicsIntoUniform(t *testing.T) {
+	const (
+		directory = 50
+		viewSize  = 5
+		draws     = 20000
+		exclude   = addr.NodeID(7)
+	)
+	s := NewServer()
+	for id := 1; id <= directory; id++ {
+		s.Register(pub(id))
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int64, directory+1)
+	var dst []view.Descriptor
+	for i := 0; i < draws; i++ {
+		dst = s.PublicsInto(rng, viewSize, exclude, dst)
+		if len(dst) != viewSize {
+			t.Fatalf("draw %d returned %d descriptors, want %d", i, len(dst), viewSize)
+		}
+		seen := make(map[addr.NodeID]bool, viewSize)
+		for _, d := range dst {
+			if d.ID == exclude {
+				t.Fatalf("draw %d returned the excluded ID %d", i, exclude)
+			}
+			if seen[d.ID] {
+				t.Fatalf("draw %d returned duplicate ID %d", i, d.ID)
+			}
+			seen[d.ID] = true
+			counts[d.ID]++
+		}
+	}
+	eligible := make([]int64, 0, directory-1)
+	for id := addr.NodeID(1); id <= directory; id++ {
+		if id != exclude {
+			eligible = append(eligible, counts[id])
+		}
+	}
+	chi2, p := stats.ChiSquaredUniform(eligible)
+	if p < 0.01 {
+		t.Fatalf("directory draw not uniform: chi2=%.1f p=%g over %d cells", chi2, p, len(eligible))
 	}
 }

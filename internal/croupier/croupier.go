@@ -44,6 +44,14 @@ const (
 	// SelectRandom picks uniformly at random — an ablation alternative
 	// exercised by BenchmarkAblationSelectionPolicy.
 	SelectRandom
+	// SelectBiasedByID picks from the public view with probability
+	// proportional to the candidate's numeric node ID — a deliberately
+	// broken selector whose partner frequencies skew toward high IDs.
+	// It exists so internal/randcheck can prove its test battery has
+	// statistical power: a suite that fails to reject this canary at
+	// its configured significance level is not testing anything. Never
+	// use it outside randomness verification.
+	SelectBiasedByID
 )
 
 // MergePolicy chooses how received descriptors enter a full view.
@@ -498,6 +506,11 @@ func (n *Node) SetMetrics(m *pss.Metrics) {
 	}
 }
 
+// SetSelectionTrace implements pss.SelectionTraced, recording this
+// node's partner selections into the shared trace. Call before the node
+// starts gossiping.
+func (n *Node) SetSelectionTrace(t *exchange.Trace) { n.eng.SetTrace(n.self, t) }
+
 // New constructs a Croupier node bound to the given simulated socket.
 // selfEP is the node's advertised endpoint (its own address for public
 // nodes, the NAT-mapped endpoint discovered during NAT-type
@@ -695,14 +708,47 @@ func (p *policy) PrepareRound(int) {
 // (SelectRandom is the ablation variant.)
 func (p *policy) SelectPeer() (view.Descriptor, bool) {
 	n := (*Node)(p)
-	if n.cfg.Selection == SelectRandom {
+	switch n.cfg.Selection {
+	case SelectRandom:
 		q, ok := n.pub.Random(&n.rng)
+		if ok {
+			n.pub.Remove(q.ID)
+		}
+		return q, ok
+	case SelectBiasedByID:
+		q, ok := n.selectBiasedByID()
 		if ok {
 			n.pub.Remove(q.ID)
 		}
 		return q, ok
 	}
 	return n.pub.TakeOldest()
+}
+
+// selectBiasedByID draws a view entry with probability proportional to
+// its node ID — the randcheck canary. Allocation discipline does not
+// matter here: the policy only ever runs inside the verification
+// harness.
+func (n *Node) selectBiasedByID() (view.Descriptor, bool) {
+	cands := n.pub.Descriptors()
+	if len(cands) == 0 {
+		return view.Descriptor{}, false
+	}
+	var total uint64
+	for _, d := range cands {
+		total += uint64(d.ID)
+	}
+	if total == 0 {
+		return cands[0], true
+	}
+	pick := uint64(n.rng.Int63n(int64(total)))
+	for _, d := range cands {
+		if pick < uint64(d.ID) {
+			return d, true
+		}
+		pick -= uint64(d.ID)
+	}
+	return cands[len(cands)-1], true
 }
 
 // FillRequest implements exchange.Protocol: Algorithm 2 lines 14-21,
@@ -923,6 +969,7 @@ func (n *Node) Stats() (sentReqs, recvReqs, recvRess uint64) {
 }
 
 var (
-	_ pss.Protocol      = (*Node)(nil)
-	_ exchange.Protocol = (*policy)(nil)
+	_ pss.Protocol        = (*Node)(nil)
+	_ pss.SelectionTraced = (*Node)(nil)
+	_ exchange.Protocol   = (*policy)(nil)
 )

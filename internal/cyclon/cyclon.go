@@ -84,6 +84,11 @@ func (n *Node) SetMetrics(m *pss.Metrics) {
 	}
 }
 
+// SetSelectionTrace implements pss.SelectionTraced, recording this
+// node's partner selections into the shared trace. Call before the node
+// starts gossiping.
+func (n *Node) SetSelectionTrace(t *exchange.Trace) { n.eng.SetTrace(n.self, t) }
+
 // New constructs a Cyclon node seeded with the given descriptors.
 func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, selfEP addr.Endpoint,
 	seeds []view.Descriptor) (*Node, error) {
@@ -227,6 +232,7 @@ func (n *Node) handleReq(from addr.Endpoint, req *ShuffleReq) {
 }
 
 var (
-	_ pss.Protocol      = (*Node)(nil)
-	_ exchange.Protocol = (*policy)(nil)
+	_ pss.Protocol        = (*Node)(nil)
+	_ pss.SelectionTraced = (*Node)(nil)
+	_ exchange.Protocol   = (*policy)(nil)
 )

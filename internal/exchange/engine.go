@@ -82,6 +82,13 @@ type Engine struct {
 	// m holds the engine instruments, usually shared across a whole
 	// world's engines; nil when uninstrumented.
 	m *Metrics
+
+	// trace, when non-nil, records every partner selection under
+	// traceSelf's identity — the randomness-verification hook
+	// (internal/randcheck). Same cost contract as m: one nil check per
+	// round when absent.
+	trace     *Trace
+	traceSelf addr.NodeID
 }
 
 // SetMetrics installs (typically shared) instruments on the engine and
@@ -89,6 +96,14 @@ type Engine struct {
 func (e *Engine) SetMetrics(m *Metrics) {
 	e.m = m
 	e.pool.m = m
+}
+
+// SetTrace installs a (typically world-shared) selection trace on the
+// engine, recording self as the selector of every subsequent pick. Call
+// before the node starts exchanging; a nil trace detaches the hook.
+func (e *Engine) SetTrace(self addr.NodeID, t *Trace) {
+	e.trace = t
+	e.traceSelf = self
 }
 
 // EnableChecks arms debug assertions over the exchange machinery,
@@ -206,6 +221,9 @@ func (e *Engine) RunRound(p Protocol) {
 	target, ok := p.SelectPeer()
 	if !ok {
 		return // nobody to shuffle with this round
+	}
+	if e.trace != nil {
+		e.trace.Record(e.traceSelf, target.ID)
 	}
 	req := e.NewReq()
 	p.FillRequest(target, req)

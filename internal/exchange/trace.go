@@ -1,0 +1,71 @@
+package exchange
+
+import "repro/internal/addr"
+
+// SelectionEvent is one recorded partner selection: at shuffle-initiate
+// time, Selector chose Selected as this round's exchange target. The
+// event is recorded when SelectPeer returns, before delivery — partner
+// *selection* is the property under test (PeerSwap-style sampling
+// randomness), independent of whether the request then survives NAT
+// traversal, so failed and deferred deliveries are traced too.
+type SelectionEvent struct {
+	Selector addr.NodeID
+	Selected addr.NodeID
+}
+
+// Trace is an append-only log of partner selections, shared by every
+// engine in one world the way a pss.Metrics instance is. It follows the
+// observability plane's nil-pointer contract: an engine with no trace
+// installed pays exactly one nil check per round, and a world built
+// without a trace is byte-identical to one before this hook existed.
+//
+// A Trace is single-goroutine, like the world that feeds it: the
+// simulation kernel drives every node from one loop, so appends need no
+// lock and arrive in deterministic event order — the property the
+// randcheck determinism golden test pins.
+//
+// Recording can be gated with Enable/Disable so a harness can install
+// the trace at world construction (the only moment protocol wiring
+// happens) but skip the warmup phase; a disabled trace costs one extra
+// branch per round on top of the nil check.
+type Trace struct {
+	events   []SelectionEvent
+	disabled bool
+}
+
+// NewTrace returns an enabled trace with capacity for sizeHint events
+// pre-reserved, so a measurement phase of known length appends without
+// growing the log.
+func NewTrace(sizeHint int) *Trace {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Trace{events: make([]SelectionEvent, 0, sizeHint)}
+}
+
+// Record appends one selection. Engines call it through their installed
+// trace pointer; harnesses may also feed synthetic selections (the
+// biased canary path) through the same entry point.
+func (t *Trace) Record(selector, selected addr.NodeID) {
+	if t.disabled {
+		return
+	}
+	t.events = append(t.events, SelectionEvent{Selector: selector, Selected: selected})
+}
+
+// Enable resumes recording.
+func (t *Trace) Enable() { t.disabled = false }
+
+// Disable pauses recording without detaching the trace from engines.
+func (t *Trace) Disable() { t.disabled = true }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Events returns the recorded log. The slice is the trace's own backing
+// store: callers must not modify it and must not retain it across
+// further recording.
+func (t *Trace) Events() []SelectionEvent { return t.events }
+
+// Reset discards all recorded events, keeping capacity.
+func (t *Trace) Reset() { t.events = t.events[:0] }

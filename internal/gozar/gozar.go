@@ -241,6 +241,11 @@ func (n *Node) SetMetrics(m *pss.Metrics) {
 	}
 }
 
+// SetSelectionTrace implements pss.SelectionTraced, recording this
+// node's partner selections into the shared trace. Call before the node
+// starts gossiping.
+func (n *Node) SetSelectionTrace(t *exchange.Trace) { n.eng.SetTrace(n.self, t) }
+
 // New constructs a Gozar node. seeds initialise the view; private nodes
 // acquire their first relays from the public seeds.
 func New(cfg Config, sched *sim.Scheduler, sock *simnet.Socket, natType addr.NatType,
@@ -578,6 +583,7 @@ func (n *Node) handleRelayForward(from addr.Endpoint, fwd *RelayForward) {
 }
 
 var (
-	_ pss.Protocol      = (*Node)(nil)
-	_ exchange.Protocol = (*policy)(nil)
+	_ pss.Protocol        = (*Node)(nil)
+	_ pss.SelectionTraced = (*Node)(nil)
+	_ exchange.Protocol   = (*policy)(nil)
 )

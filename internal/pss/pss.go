@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/exchange"
 	"repro/internal/sim"
 	"repro/internal/view"
 )
@@ -61,6 +62,18 @@ type Protocol interface {
 	Start()
 	// Stop halts gossiping. A stopped protocol stays queryable.
 	Stop()
+}
+
+// SelectionTraced is implemented by protocol nodes whose partner
+// selections can be recorded into a shared exchange.Trace — all four
+// systems in this repository. The world wires a configured trace
+// through this interface at protocol start, the same way it wires the
+// shared Metrics; internal/randcheck turns the recorded log into
+// statistical uniformity verdicts.
+type SelectionTraced interface {
+	// SetSelectionTrace installs the (typically world-shared) trace;
+	// nil detaches it. Call before the node starts gossiping.
+	SetSelectionTrace(t *exchange.Trace)
 }
 
 // Ticker drives periodic protocol rounds on the simulation scheduler.

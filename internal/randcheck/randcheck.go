@@ -1,0 +1,488 @@
+// Package randcheck is the statistical randomness-verification harness:
+// it records long partner-selection traces from any of the four
+// peer-sampling systems through the zero-overhead selection-trace hook
+// (exchange.Trace), drives application-level Sample() draws alongside,
+// and runs a PeerSwap-style uniformity battery over both — chi-squared
+// goodness of fit against the uniform expectation, total-variation
+// distance over sliding windows, convergence-time estimation, and
+// per-NAT-class sampling bias (are private nodes sampled proportionally
+// to their population share?).
+//
+// The suite is self-validating: croupier's SelectBiasedByID canary
+// selector (weight-by-ID, deliberately broken) must be rejected at the
+// configured significance level, which proves the battery has
+// statistical power at the configured trace length. A battery that
+// passes everything — including a known-biased selector — verifies
+// nothing.
+//
+// Two surfaces are tested, because they make different uniformity
+// claims:
+//
+//   - Partner selection (the exchange trace): who a node shuffles with.
+//     Croupier only ever selects public nodes by design, so its partner
+//     uniformity is tested over the public population; the other three
+//     select from mixed views and are tested over everyone.
+//   - Sample() draws: the application-facing peer sample, the paper's
+//     headline claim. Uniformity is tested over the whole live
+//     population, and per-NAT-class shares are compared against
+//     population shares — whether croupier's NAT-aware steering skews
+//     the sample is reported either way.
+//
+// Runs are deterministic: a (config, seed) pair replays the same world,
+// the same trace and the same verdict bytes, so the battery fans out
+// across internal/runner workers without changing any output.
+package randcheck
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/croupier"
+	"repro/internal/exchange"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// Config parameterises one verification run.
+type Config struct {
+	// Kind selects the protocol under test. Required.
+	Kind world.Kind
+	// Publics and Privates size the population. At least one public is
+	// required (the bootstrap directory must be non-empty).
+	Publics, Privates int
+	// WarmupRounds runs the world before tracing starts, covering the
+	// join wave and initial view mixing. Minimum 5 (the join wave must
+	// complete inside it); default 10.
+	WarmupRounds int
+	// TraceRounds is the measurement length in gossip rounds; default
+	// 200. Power grows with the trace: the canary-rejection guarantee
+	// holds at the defaults.
+	TraceRounds int
+	// Window is the sliding-window width in rounds for the windowed
+	// total-variation series and convergence estimation; default
+	// TraceRounds/4 (min 10).
+	Window int
+	// SampleEvery spaces the application-level Sample() draws: one draw
+	// per node every that many rounds; default 5. Successive draws from
+	// the same node are correlated through view persistence (a view
+	// entry survives ~2 rounds), which over-disperses per-node counts
+	// and makes the iid chi-squared reject sound samplers; spacing the
+	// draws past the view turnover time restores the test's validity.
+	SampleEvery int
+	// PartnerEvery thins the partner trace the same way for the
+	// whole-trace uniformity verdict: only selections from every that
+	// many-th round enter the chi-squared table; default 5. Croupier's
+	// per-croupier selection load is correlated across adjacent rounds
+	// (a node's in-view representation persists), which over-disperses
+	// the full trace without any mean bias — p-values skew low at every
+	// warmup length while the TV distance sits at the uniform-sampler
+	// floor. Thinning past the view turnover removes the correlation;
+	// a genuinely biased selector (the canary) stays rejected because
+	// its deviation is in the mean, not the variance. The windowed TV /
+	// convergence series always uses the full trace.
+	PartnerEvery int
+	// Alpha is the significance level verdicts are made at; default
+	// 0.01. A test passes when its p-value is at least Alpha.
+	Alpha float64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Loss is the network-wide packet-loss probability.
+	Loss float64
+	// Canary replaces croupier's selection policy with the deliberately
+	// biased SelectBiasedByID selector. The run's partner-uniformity
+	// verdict must then come out rejected — the battery's power check.
+	// Only valid with KindCroupier.
+	Canary bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarmupRounds == 0 {
+		c.WarmupRounds = 10
+	}
+	if c.TraceRounds == 0 {
+		c.TraceRounds = 200
+	}
+	if c.Window == 0 {
+		c.Window = c.TraceRounds / 4
+		if c.Window < 10 {
+			c.Window = 10
+		}
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 5
+	}
+	if c.PartnerEvery == 0 {
+		c.PartnerEvery = 5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Kind == 0 {
+		return fmt.Errorf("randcheck: protocol kind is required")
+	}
+	if c.Publics < 1 {
+		return fmt.Errorf("randcheck: at least one public node required, got %d", c.Publics)
+	}
+	if c.Privates < 0 {
+		return fmt.Errorf("randcheck: negative private population %d", c.Privates)
+	}
+	if c.Publics+c.Privates < 2 {
+		return fmt.Errorf("randcheck: population %d too small to sample", c.Publics+c.Privates)
+	}
+	if c.WarmupRounds < 5 {
+		return fmt.Errorf("randcheck: warmup %d rounds too short for the join wave (min 5)", c.WarmupRounds)
+	}
+	if c.TraceRounds < 1 {
+		return fmt.Errorf("randcheck: trace length must be positive, got %d", c.TraceRounds)
+	}
+	if c.Window < 1 || c.Window > c.TraceRounds {
+		return fmt.Errorf("randcheck: window %d outside [1, %d]", c.Window, c.TraceRounds)
+	}
+	if c.SampleEvery < 1 {
+		return fmt.Errorf("randcheck: sample spacing must be positive, got %d", c.SampleEvery)
+	}
+	if c.PartnerEvery < 1 {
+		return fmt.Errorf("randcheck: partner thinning must be positive, got %d", c.PartnerEvery)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("randcheck: significance level %g outside (0, 1)", c.Alpha)
+	}
+	if c.Canary && c.Kind != world.KindCroupier {
+		return fmt.Errorf("randcheck: the biased canary selector exists only for croupier")
+	}
+	return nil
+}
+
+// Check is one statistical test outcome.
+type Check struct {
+	// Stat is the chi-squared statistic, PValue its survival-function
+	// p-value, DF the degrees of freedom.
+	Stat   float64 `json:"stat"`
+	PValue float64 `json:"p"`
+	DF     int     `json:"df"`
+	// Pass reports PValue ≥ the run's significance level: the observed
+	// frequencies are statistically compatible with uniformity.
+	Pass bool `json:"pass"`
+}
+
+// ClassBias is the sampling share of one NAT class against its
+// population share.
+type ClassBias struct {
+	Class      string `json:"class"`
+	Population int    `json:"population"`
+	Samples    int64  `json:"samples"`
+	// Share is the fraction of all Sample() draws landing in the class;
+	// PopShare the class's share of the live population; Bias their
+	// ratio (1 = perfectly proportional, <1 under-sampled).
+	Share    float64 `json:"share"`
+	PopShare float64 `json:"pop_share"`
+	Bias     float64 `json:"bias"`
+	// PValue is the two-cell chi-squared p-value of the class split;
+	// Pass reports it at least the run's significance level.
+	PValue float64 `json:"p"`
+	Pass   bool    `json:"pass"`
+}
+
+// Report is one run's verdict set.
+type Report struct {
+	Protocol string  `json:"protocol"`
+	Canary   bool    `json:"canary,omitempty"`
+	Publics  int     `json:"publics"`
+	Privates int     `json:"privates"`
+	Ratio    float64 `json:"ratio"`
+	Seed     int64   `json:"seed"`
+	Alpha    float64 `json:"alpha"`
+	Window   int     `json:"window"`
+
+	// Partner-selection uniformity over the eligible target population
+	// (publics for croupier, everyone otherwise).
+	Selections int   `json:"selections"`
+	Eligible   int   `json:"eligible"`
+	Partner    Check `json:"partner"`
+	// PartnerTV is the total-variation distance of the whole trace's
+	// partner frequencies from uniform; PartnerTVExpected is the
+	// finite-sample expectation of that distance under true uniformity
+	// (≈ √(2B/πS)/2), the baseline to read it against.
+	PartnerTV         float64 `json:"partner_tv"`
+	PartnerTVExpected float64 `json:"partner_tv_expected"`
+	// Convergence is the first measurement round whose sliding window
+	// is statistically compatible with uniform (p ≥ alpha), in rounds
+	// after warmup; -1 means no window ever was.
+	Convergence int `json:"convergence"`
+	// WindowTV is the sliding-window total-variation series, one entry
+	// per window start round.
+	WindowTV []float64 `json:"window_tv,omitempty"`
+
+	// Sample() uniformity over the whole live population, plus the
+	// per-NAT-class proportionality breakdown.
+	Samples int         `json:"samples"`
+	Sample  Check       `json:"sample"`
+	Classes []ClassBias `json:"classes"`
+
+	// Pass aggregates every verdict: partner and sample uniformity and
+	// all class proportionality checks.
+	Pass bool `json:"pass"`
+}
+
+// Run builds a world of the configured protocol and population, warms
+// it up, records TraceRounds of partner selections and Sample() draws,
+// and returns the statistical verdicts.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Publics + cfg.Privates
+	trace := exchange.NewTrace(n * cfg.TraceRounds)
+	trace.Disable() // warmup selections are not part of the measurement
+	wcfg := world.Config{
+		Kind:           cfg.Kind,
+		Seed:           cfg.Seed,
+		Loss:           cfg.Loss,
+		SkipNatID:      true,
+		SelectionTrace: trace,
+	}
+	if cfg.Canary {
+		ccfg := croupier.DefaultConfig()
+		ccfg.Selection = croupier.SelectBiasedByID
+		wcfg.Croupier = ccfg
+	}
+	w, err := world.New(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("randcheck: %w", err)
+	}
+	// A fast join wave (2 ms mean gap), so even 1000-node populations
+	// are fully joined well inside the 5-round warmup floor.
+	w.MixedPoissonJoins(0, cfg.Publics, cfg.Privates, 2*time.Millisecond)
+
+	period := time.Second
+	base := time.Duration(cfg.WarmupRounds) * period
+	w.RunUntil(base)
+	started := 0
+	for _, node := range w.AliveNodes() {
+		if node.Started() {
+			started++
+		}
+	}
+	if started != n {
+		return nil, fmt.Errorf("randcheck: only %d/%d nodes started after %d warmup rounds — raise WarmupRounds",
+			started, n, cfg.WarmupRounds)
+	}
+
+	// Measurement: advance one round at a time, remembering where each
+	// round's selections start in the trace (the window boundaries),
+	// and drawing one application-level sample per node per round.
+	trace.Enable()
+	roundStart := make([]int, cfg.TraceRounds+1)
+	sampleIDs := make([]addr.NodeID, 0, n*cfg.TraceRounds)
+	for r := 0; r < cfg.TraceRounds; r++ {
+		roundStart[r] = trace.Len()
+		w.RunUntil(base + time.Duration(r+1)*period)
+		if r%cfg.SampleEvery != 0 {
+			continue
+		}
+		for _, node := range w.AliveNodes() {
+			if !node.Started() {
+				continue
+			}
+			if d, ok := node.Proto.Sample(); ok {
+				sampleIDs = append(sampleIDs, d.ID)
+			}
+		}
+	}
+	roundStart[cfg.TraceRounds] = trace.Len()
+	trace.Disable()
+
+	return analyze(cfg, w, trace, roundStart, sampleIDs), nil
+}
+
+// analyze turns the recorded traces into a Report.
+func analyze(cfg Config, w *world.World, trace *exchange.Trace, roundStart []int, sampleIDs []addr.NodeID) *Report {
+	alive := w.AliveNodes()
+	rep := &Report{
+		Protocol: cfg.Kind.String(),
+		Canary:   cfg.Canary,
+		Publics:  cfg.Publics,
+		Privates: cfg.Privates,
+		Ratio:    float64(cfg.Publics) / float64(cfg.Publics+cfg.Privates),
+		Seed:     cfg.Seed,
+		Alpha:    cfg.Alpha,
+		Window:   cfg.Window,
+	}
+
+	// Dense NodeID → bucket index tables. IDs are issued sequentially
+	// from 1 and the population is static during measurement, so a flat
+	// slice replaces a map and keeps iteration order deterministic.
+	maxID := addr.NodeID(0)
+	for _, node := range alive {
+		if node.ID > maxID {
+			maxID = node.ID
+		}
+	}
+	// Partner-eligible targets: croupier shuffles exclusively with
+	// public nodes (that is its design, not a bias), everyone else
+	// selects from mixed views.
+	publicOnly := cfg.Kind == world.KindCroupier
+	partnerIdx := make([]int32, maxID+1)
+	allIdx := make([]int32, maxID+1)
+	for i := range partnerIdx {
+		partnerIdx[i] = -1
+		allIdx[i] = -1
+	}
+	var partnerNodes, allNodes int
+	isPublic := make([]bool, 0, len(alive))
+	for _, node := range alive {
+		allIdx[node.ID] = int32(allNodes)
+		allNodes++
+		isPublic = append(isPublic, node.Nat == addr.Public)
+		if !publicOnly || node.Nat == addr.Public {
+			partnerIdx[node.ID] = int32(partnerNodes)
+			partnerNodes++
+		}
+	}
+	rep.Eligible = partnerNodes
+
+	// Partner frequency and its uniformity verdict, over the thinned
+	// trace (every PartnerEvery-th round) so counts are effectively
+	// independent draws.
+	events := trace.Events()
+	partnerCounts := make([]int64, partnerNodes)
+	for r := 0; r < cfg.TraceRounds; r += cfg.PartnerEvery {
+		for _, ev := range events[roundStart[r]:roundStart[r+1]] {
+			if int(ev.Selected) < len(partnerIdx) {
+				if i := partnerIdx[ev.Selected]; i >= 0 {
+					partnerCounts[i]++
+					rep.Selections++
+				}
+			}
+		}
+	}
+	rep.Partner = check(cfg.Alpha, partnerCounts)
+	rep.PartnerTV = stats.TotalVariationFromUniform(partnerCounts)
+	rep.PartnerTVExpected = expectedUniformTV(partnerNodes, rep.Selections)
+
+	// Sliding-window total variation and convergence: the counts roll
+	// forward one round at a time (add the entering round, retire the
+	// leaving one), so the series costs O(rounds × population), not
+	// O(rounds × window × population).
+	rep.Convergence = -1
+	if cfg.Window <= cfg.TraceRounds {
+		winCounts := make([]int64, partnerNodes)
+		add := func(from, to int, sign int64) {
+			for _, ev := range events[from:to] {
+				if int(ev.Selected) < len(partnerIdx) {
+					if i := partnerIdx[ev.Selected]; i >= 0 {
+						winCounts[i] += sign
+					}
+				}
+			}
+		}
+		add(roundStart[0], roundStart[cfg.Window], 1)
+		positions := cfg.TraceRounds - cfg.Window + 1
+		rep.WindowTV = make([]float64, 0, positions)
+		for r := 0; ; r++ {
+			rep.WindowTV = append(rep.WindowTV, stats.TotalVariationFromUniform(winCounts))
+			if rep.Convergence < 0 {
+				if _, p := stats.ChiSquaredUniform(winCounts); p >= cfg.Alpha {
+					rep.Convergence = r
+				}
+			}
+			if r+1 >= positions {
+				break
+			}
+			add(roundStart[r], roundStart[r+1], -1)
+			add(roundStart[r+cfg.Window], roundStart[r+cfg.Window+1], 1)
+		}
+	}
+
+	// Sample() uniformity over everyone, then the per-class split.
+	sampleCounts := make([]int64, allNodes)
+	for _, id := range sampleIDs {
+		if int(id) < len(allIdx) {
+			if i := allIdx[id]; i >= 0 {
+				sampleCounts[i]++
+				rep.Samples++
+			}
+		}
+	}
+	rep.Sample = check(cfg.Alpha, sampleCounts)
+
+	var pubPop, priPop int
+	var pubSamples, priSamples int64
+	for i, c := range sampleCounts {
+		if isPublic[i] {
+			pubPop++
+			pubSamples += c
+		} else {
+			priPop++
+			priSamples += c
+		}
+	}
+	rep.Classes = append(rep.Classes, classBias("public", pubPop, allNodes, pubSamples, int64(rep.Samples), cfg.Alpha))
+	if priPop > 0 {
+		rep.Classes = append(rep.Classes, classBias("private", priPop, allNodes, priSamples, int64(rep.Samples), cfg.Alpha))
+	}
+
+	rep.Pass = rep.Partner.Pass && rep.Sample.Pass
+	for _, cb := range rep.Classes {
+		rep.Pass = rep.Pass && cb.Pass
+	}
+	return rep
+}
+
+// check runs the uniformity chi-squared over one frequency table.
+func check(alpha float64, counts []int64) Check {
+	stat, p := stats.ChiSquaredUniform(counts)
+	return Check{Stat: stat, PValue: p, DF: len(counts) - 1, Pass: p >= alpha}
+}
+
+// classBias compares one NAT class's sample share against its
+// population share with a two-cell chi-squared test. The expected share
+// is exactly the population share: every sampler draws from the other
+// N-1 nodes, so each node — of either class — is expected to absorb
+// total/N draws (self-exclusion cancels across the population).
+func classBias(name string, pop, totalPop int, got, total int64, alpha float64) ClassBias {
+	cb := ClassBias{Class: name, Population: pop, Samples: got}
+	cb.PopShare = float64(pop) / float64(totalPop)
+	if total > 0 {
+		cb.Share = float64(got) / float64(total)
+	}
+	if cb.PopShare > 0 {
+		cb.Bias = cb.Share / cb.PopShare
+	} else {
+		cb.Bias = math.NaN()
+	}
+	if pop == totalPop {
+		// Single-class population: proportionality is vacuous.
+		cb.PValue, cb.Pass = 1, true
+		return cb
+	}
+	exp := float64(total) * cb.PopShare
+	rest := float64(total) - exp
+	_, p := stats.ChiSquared(
+		[]float64{float64(got), float64(total - got)},
+		[]float64{exp, rest},
+	)
+	cb.PValue = p
+	cb.Pass = p >= alpha
+	return cb
+}
+
+// expectedUniformTV approximates E[TV(empirical, uniform)] for S draws
+// over B equiprobable cells: each cell's |p̂−p| is ≈ the half-normal
+// mean √(2p(1−p)/πS), summing to ≈ √(2B/πS)/2 for large B — the
+// finite-sample floor a perfectly uniform sampler still shows.
+func expectedUniformTV(buckets int, samples int) float64 {
+	if buckets <= 0 || samples <= 0 {
+		return math.NaN()
+	}
+	b, s := float64(buckets), float64(samples)
+	return math.Sqrt(2*b/(math.Pi*s)) / 2
+}

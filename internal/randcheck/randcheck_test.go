@@ -1,0 +1,197 @@
+package randcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// The population under test everywhere: the paper's 20% public ratio at
+// a size where one run takes well under a second.
+func mixedConfig(kind world.Kind, seed int64) Config {
+	return Config{Kind: kind, Publics: 40, Privates: 160, Seed: seed}
+}
+
+// TestCanaryRejected is the suite's power check: the deliberately
+// biased SelectBiasedByID selector must be rejected overwhelmingly —
+// not just below the 0.01 significance level but with a p-value many
+// orders of magnitude under it, so no plausible tightening of the
+// battery ever lets a selector this broken through. A battery that
+// cannot reject a known-biased selector verifies nothing.
+func TestCanaryRejected(t *testing.T) {
+	cfg := mixedConfig(world.KindCroupier, 1)
+	cfg.Canary = true
+	if testing.Short() {
+		cfg.TraceRounds = 60
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partner.Pass {
+		t.Fatalf("biased canary passed partner uniformity (p=%g) — the battery has no power", rep.Partner.PValue)
+	}
+	if rep.Partner.PValue > 1e-20 {
+		t.Errorf("canary rejection too weak: p=%g, want far below the 0.01 level", rep.Partner.PValue)
+	}
+	if rep.Pass {
+		t.Error("biased canary passed the overall verdict")
+	}
+	if rep.Convergence != -1 {
+		t.Errorf("biased canary reported convergence to uniform at round %d", rep.Convergence)
+	}
+	// The bias is visible descriptively too: the trace's TV distance
+	// from uniform must sit well above the uniform-sampler expectation
+	// (measured ≈ 2.8× on the short trace, ≈ 4.5× on the full one).
+	if rep.PartnerTV < 2*rep.PartnerTVExpected {
+		t.Errorf("canary TV %g not clearly above the uniform floor %g", rep.PartnerTV, rep.PartnerTVExpected)
+	}
+}
+
+// TestDefaultProtocolsPass pins one fully passing seed per protocol:
+// every default-config system must clear the whole battery — partner
+// uniformity over its eligible targets, Sample() uniformity over the
+// population, and per-NAT-class proportionality. The runs are
+// deterministic, so these are golden verdicts, not flaky statistics;
+// the seed is pinned because under a true null roughly one seed in a
+// hundred legitimately lands below the 0.01 level.
+func TestDefaultProtocolsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length traces; covered by the canary test in short mode")
+	}
+	cases := []Config{
+		mixedConfig(world.KindCroupier, 2),
+		{Kind: world.KindCyclon, Publics: 200, Seed: 2}, // cyclon is NAT-oblivious: uniform only all-public
+		mixedConfig(world.KindGozar, 2),
+		mixedConfig(world.KindNylon, 2),
+	}
+	for _, cfg := range cases {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Partner.Pass {
+			t.Errorf("%s: partner uniformity rejected (p=%g)", rep.Protocol, rep.Partner.PValue)
+		}
+		if !rep.Sample.Pass {
+			t.Errorf("%s: sample uniformity rejected (p=%g)", rep.Protocol, rep.Sample.PValue)
+		}
+		if !rep.Pass {
+			t.Errorf("%s: overall verdict failed", rep.Protocol)
+		}
+		// A sound sampler's TV distance sits at the finite-sample floor.
+		if rep.PartnerTV > 2*rep.PartnerTVExpected {
+			t.Errorf("%s: partner TV %g far above uniform floor %g", rep.Protocol, rep.PartnerTV, rep.PartnerTVExpected)
+		}
+		if rep.Convergence < 0 {
+			t.Errorf("%s: windowed trace never reached uniformity", rep.Protocol)
+		}
+	}
+}
+
+// TestCyclonNATBiasDetected pins the suite's headline negative finding:
+// NAT-oblivious cyclon in a 20%-public world over-selects public nodes
+// (they answer shuffles; private nodes are unreachable), and the
+// battery must detect it — that asymmetry is the paper's motivation.
+func TestCyclonNATBiasDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length trace")
+	}
+	rep, err := Run(mixedConfig(world.KindCyclon, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partner.Pass {
+		t.Errorf("cyclon partner selection passed uniformity in a 20%%-public world (p=%g)", rep.Partner.PValue)
+	}
+	var pub *ClassBias
+	for i := range rep.Classes {
+		if rep.Classes[i].Class == "public" {
+			pub = &rep.Classes[i]
+		}
+	}
+	if pub == nil {
+		t.Fatal("no public class in report")
+	}
+	if pub.Bias < 1.05 || pub.Pass {
+		t.Errorf("public over-sampling not detected: bias=%g pass=%t", pub.Bias, pub.Pass)
+	}
+}
+
+// TestCroupierClassProportionality: the paper's headline claim — the
+// NAT-aware sampler draws private nodes proportionally to their
+// population share.
+func TestCroupierClassProportionality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length trace")
+	}
+	rep, err := Run(mixedConfig(world.KindCroupier, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("want public+private classes, got %v", rep.Classes)
+	}
+	for _, cb := range rep.Classes {
+		if !cb.Pass {
+			t.Errorf("class %s disproportionate: share=%g pop=%g (p=%g)", cb.Class, cb.Share, cb.PopShare, cb.PValue)
+		}
+		if math.Abs(cb.Bias-1) > 0.05 {
+			t.Errorf("class %s bias %g outside ±5%%", cb.Class, cb.Bias)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                     // no kind
+		{Kind: world.KindCroupier},             // no publics
+		{Kind: world.KindCroupier, Publics: 1}, // population of one
+		{Kind: world.KindCyclon, Publics: 40, Privates: 160, Canary: true}, // canary is croupier-only
+		{Kind: world.KindCroupier, Publics: 40, Privates: 160, WarmupRounds: 2},
+		{Kind: world.KindCroupier, Publics: 40, Privates: 160, Alpha: 1.5},
+		{Kind: world.KindCroupier, Publics: 40, Privates: 160, TraceRounds: 10, Window: 20},
+		{Kind: world.KindCroupier, Publics: 40, Privates: 160, SampleEvery: -1},
+		{Kind: world.KindCroupier, Publics: 40, Privates: 160, PartnerEvery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestReportSerialization smoke-tests the TSV/aggregate writers on a
+// short run: header plus one row each, protocol name present.
+func TestReportSerialization(t *testing.T) {
+	cfg := mixedConfig(world.KindCroupier, 1)
+	cfg.TraceRounds = 40
+	cfg.Window = 20
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsv, agg, js strings.Builder
+	if err := WriteTSV(&tsv, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAggregateTSV(&agg, Aggregates([]*Report{rep})); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&js, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{"tsv": tsv.String(), "aggregate": agg.String(), "json": js.String()} {
+		if lines := strings.Count(out, "\n"); name != "json" && lines != 2 {
+			t.Errorf("%s: %d lines, want header+row", name, lines)
+		}
+		if !strings.Contains(out, "croupier") {
+			t.Errorf("%s output missing protocol name:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(js.String(), "\"window_tv\"") {
+		t.Error("JSON output missing the window TV series")
+	}
+}

@@ -1,0 +1,241 @@
+package randcheck
+
+// Report serialization and the multi-seed sweep driver. Output is
+// byte-deterministic: reports are emitted in input order, floats are
+// formatted with a fixed verb, and the sweep fans out over
+// internal/runner whose Map keeps result order independent of worker
+// scheduling — the property the determinism golden test pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/runner"
+	"repro/internal/world"
+)
+
+// Sweep runs the full verification grid: every protocol kind × every
+// public ratio × every seed, fanned out over workers. Reports come back
+// in grid order (kind-major, then ratio, then seed) regardless of the
+// worker count.
+type Sweep struct {
+	Kinds  []world.Kind
+	Ratios []float64
+	Seeds  []int64
+	// Nodes is the total population per run; publics = round(ratio·N),
+	// floored at 1 so the bootstrap directory is never empty.
+	Nodes int
+	// Base is the per-run configuration template; Kind, Publics,
+	// Privates and Seed are overwritten per grid point.
+	Base Config
+	// Workers bounds the fan-out (1 = sequential reference mode, ≤ 0 =
+	// GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives (done, total) after each run.
+	Progress func(done, total int)
+}
+
+// Run executes the sweep and returns one report per grid point.
+func (s Sweep) Run() ([]*Report, error) {
+	if s.Nodes < 2 {
+		return nil, fmt.Errorf("randcheck: sweep population %d too small", s.Nodes)
+	}
+	var cfgs []Config
+	for _, kind := range s.Kinds {
+		for _, ratio := range s.Ratios {
+			if ratio < 0 || ratio > 1 {
+				return nil, fmt.Errorf("randcheck: ratio %g outside [0,1]", ratio)
+			}
+			pub := int(math.Round(ratio * float64(s.Nodes)))
+			if pub < 1 {
+				pub = 1
+			}
+			for _, seed := range s.Seeds {
+				cfg := s.Base
+				cfg.Kind = kind
+				cfg.Publics = pub
+				cfg.Privates = s.Nodes - pub
+				cfg.Seed = seed
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return runner.Map(runner.Options{Workers: s.Workers, Progress: s.Progress}, cfgs, Run)
+}
+
+// tsvHeader lists the flattened per-run columns. Class columns carry
+// the public/private split; pri_* are NaN for all-public populations.
+const tsvHeader = "protocol\tcanary\tpublics\tprivates\tratio\tseed\t" +
+	"selections\teligible\tpartner_chi2\tpartner_p\tpartner_pass\t" +
+	"partner_tv\tpartner_tv_exp\tconvergence\t" +
+	"samples\tsample_chi2\tsample_p\tsample_pass\t" +
+	"pub_share\tpub_bias\tpri_share\tpri_bias\tclass_p\tclass_pass\tpass"
+
+// WriteTSV emits one row per report under a header line.
+func WriteTSV(w io.Writer, reports []*Report) error {
+	if _, err := fmt.Fprintln(w, tsvHeader); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		pubShare, pubBias := math.NaN(), math.NaN()
+		priShare, priBias := math.NaN(), math.NaN()
+		classP, classPass := math.NaN(), true
+		for _, cb := range r.Classes {
+			switch cb.Class {
+			case "public":
+				pubShare, pubBias = cb.Share, cb.Bias
+			case "private":
+				priShare, priBias = cb.Share, cb.Bias
+			}
+			if math.IsNaN(classP) || cb.PValue < classP {
+				classP = cb.PValue
+			}
+			classPass = classPass && cb.Pass
+		}
+		_, err := fmt.Fprintf(w, "%s\t%t\t%d\t%d\t%.4f\t%d\t%d\t%d\t%.4f\t%.6g\t%t\t%.6g\t%.6g\t%d\t%d\t%.4f\t%.6g\t%t\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%t\t%t\n",
+			r.Protocol, r.Canary, r.Publics, r.Privates, r.Ratio, r.Seed,
+			r.Selections, r.Eligible, r.Partner.Stat, r.Partner.PValue, r.Partner.Pass,
+			r.PartnerTV, r.PartnerTVExpected, r.Convergence,
+			r.Samples, r.Sample.Stat, r.Sample.PValue, r.Sample.Pass,
+			pubShare, pubBias, priShare, priBias, classP, classPass, r.Pass)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the full report set (including the window TV series)
+// as indented JSON.
+func WriteJSON(w io.Writer, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// Aggregate condenses multi-seed repetitions of the same grid point
+// into one row: pass fractions, worst-case p-values and the largest
+// class-bias deviation across seeds.
+type Aggregate struct {
+	Protocol string  `json:"protocol"`
+	Canary   bool    `json:"canary,omitempty"`
+	Ratio    float64 `json:"ratio"`
+	Seeds    int     `json:"seeds"`
+	// PartnerMinP is the smallest partner-uniformity p-value across
+	// seeds, PartnerPassFrac the fraction of seeds passing it.
+	PartnerMinP     float64 `json:"partner_min_p"`
+	PartnerPassFrac float64 `json:"partner_pass_frac"`
+	SampleMinP      float64 `json:"sample_min_p"`
+	SamplePassFrac  float64 `json:"sample_pass_frac"`
+	// MeanTV averages the whole-trace partner TV distance; MeanTVExp
+	// its uniform-sampler expectation (matched when unbiased).
+	MeanTV    float64 `json:"mean_tv"`
+	MeanTVExp float64 `json:"mean_tv_exp"`
+	// WorstClassBias is the class-bias ratio farthest from 1 across
+	// seeds and classes (1 = perfectly proportional sampling).
+	WorstClassBias float64 `json:"worst_class_bias"`
+	// ConvergedFrac is the fraction of seeds whose windowed trace
+	// reached uniformity; MeanConvergence averages the convergence
+	// round over those (NaN when none converged).
+	ConvergedFrac   float64 `json:"converged_frac"`
+	MeanConvergence float64 `json:"mean_convergence"`
+	PassFrac        float64 `json:"pass_frac"`
+}
+
+// Aggregates groups reports by (protocol, canary, ratio) and condenses
+// each group, ordered by first appearance — grid order in a sweep.
+func Aggregates(reports []*Report) []Aggregate {
+	type key struct {
+		proto  string
+		canary bool
+		ratio  float64
+	}
+	order := make(map[key]int)
+	groups := make(map[key][]*Report)
+	var keys []key
+	for _, r := range reports {
+		k := key{r.Protocol, r.Canary, r.Ratio}
+		if _, seen := order[k]; !seen {
+			order[k] = len(keys)
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.SliceStable(keys, func(i, j int) bool { return order[keys[i]] < order[keys[j]] })
+
+	out := make([]Aggregate, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		a := Aggregate{
+			Protocol:       k.proto,
+			Canary:         k.canary,
+			Ratio:          k.ratio,
+			Seeds:          len(g),
+			PartnerMinP:    math.Inf(1),
+			SampleMinP:     math.Inf(1),
+			WorstClassBias: 1,
+		}
+		var converged, passes, partnerPasses, samplePasses int
+		var convSum float64
+		for _, r := range g {
+			a.PartnerMinP = math.Min(a.PartnerMinP, r.Partner.PValue)
+			a.SampleMinP = math.Min(a.SampleMinP, r.Sample.PValue)
+			a.MeanTV += r.PartnerTV
+			a.MeanTVExp += r.PartnerTVExpected
+			for _, cb := range r.Classes {
+				if math.Abs(cb.Bias-1) > math.Abs(a.WorstClassBias-1) {
+					a.WorstClassBias = cb.Bias
+				}
+			}
+			if r.Convergence >= 0 {
+				converged++
+				convSum += float64(r.Convergence)
+			}
+			if r.Partner.Pass {
+				partnerPasses++
+			}
+			if r.Sample.Pass {
+				samplePasses++
+			}
+			if r.Pass {
+				passes++
+			}
+		}
+		n := float64(len(g))
+		a.PartnerPassFrac = float64(partnerPasses) / n
+		a.SamplePassFrac = float64(samplePasses) / n
+		a.MeanTV /= n
+		a.MeanTVExp /= n
+		a.ConvergedFrac = float64(converged) / n
+		if converged > 0 {
+			a.MeanConvergence = convSum / float64(converged)
+		} else {
+			a.MeanConvergence = math.NaN()
+		}
+		a.PassFrac = float64(passes) / n
+		out = append(out, a)
+	}
+	return out
+}
+
+// WriteAggregateTSV emits one row per aggregate under a header line.
+func WriteAggregateTSV(w io.Writer, aggs []Aggregate) error {
+	if _, err := fmt.Fprintln(w, "protocol\tcanary\tratio\tseeds\t"+
+		"partner_min_p\tpartner_pass_frac\tsample_min_p\tsample_pass_frac\t"+
+		"mean_tv\tmean_tv_exp\tworst_class_bias\tconverged_frac\tmean_convergence\tpass_frac"); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		_, err := fmt.Fprintf(w, "%s\t%t\t%.4f\t%d\t%.6g\t%.3f\t%.6g\t%.3f\t%.6g\t%.6g\t%.4f\t%.3f\t%.4g\t%.3f\n",
+			a.Protocol, a.Canary, a.Ratio, a.Seeds,
+			a.PartnerMinP, a.PartnerPassFrac, a.SampleMinP, a.SamplePassFrac,
+			a.MeanTV, a.MeanTVExp, a.WorstClassBias, a.ConvergedFrac, a.MeanConvergence, a.PassFrac)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package stats
+
+// Randomness-verification primitives: the chi-squared goodness-of-fit
+// test (with its p-value computed through the regularized incomplete
+// gamma function), total-variation distance, and deterministic
+// frequency tables. internal/randcheck builds its PeerSwap-style
+// uniformity battery on these; they carry no dependency on the
+// simulation layers so they stay reusable for any trace analysis.
+
+import (
+	"math"
+	"sort"
+)
+
+// ChiSquared returns the chi-squared goodness-of-fit statistic of the
+// observed counts against the expected counts, together with the
+// p-value at len(observed)-1 degrees of freedom (the survival function
+// of the chi-squared distribution at the statistic). Both results are
+// NaN for empty input, mismatched lengths, or a non-positive expected
+// cell — degenerate inputs have no sound verdict, and NaN fails any
+// pass threshold, which is the safe direction for a verification suite.
+func ChiSquared(observed, expected []float64) (stat, p float64) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return math.NaN(), math.NaN()
+	}
+	for i := range observed {
+		if expected[i] <= 0 {
+			return math.NaN(), math.NaN()
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat, ChiSquaredSurvival(stat, len(observed)-1)
+}
+
+// ChiSquaredUniform tests observed counts against the uniform
+// expectation (total/len per cell). It is the common case of ChiSquared
+// for partner-frequency tables.
+func ChiSquaredUniform(counts []int64) (stat, p float64) {
+	if len(counts) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	exp := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - exp
+		stat += d * d / exp
+	}
+	return stat, ChiSquaredSurvival(stat, len(counts)-1)
+}
+
+// ChiSquaredSurvival returns P(X ≥ x) for a chi-squared variable with
+// df degrees of freedom: Q(df/2, x/2), the regularized upper incomplete
+// gamma function. It is NaN for df < 1 or x < 0 and 1 for x == 0.
+func ChiSquaredSurvival(x float64, df int) float64 {
+	if df < 1 || x < 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	return regIncGammaQ(float64(df)/2, x/2)
+}
+
+// regIncGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) for a > 0, x ≥ 0, with the standard split:
+// the series expansion of P(a, x) converges fast for x < a+1, the
+// continued fraction of Q(a, x) for x ≥ a+1 (Numerical Recipes §6.2).
+func regIncGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinuedFraction(a, x)
+	}
+}
+
+// gammaPSeries evaluates P(a, x) by its power series
+// P(a,x) = x^a e^-x / Γ(a+1) · Σ x^n Γ(a+1)/Γ(a+1+n).
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by the Lentz-modified
+// continued fraction.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// TotalVariation returns the total-variation distance between two
+// discrete distributions given as non-negative weight vectors over the
+// same support: half the L1 distance of their normalized forms. Inputs
+// need not be normalized — counts work directly. The result is in
+// [0, 1]; it is NaN for empty input, mismatched lengths, or a vector
+// whose weights do not sum to a positive total.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) == 0 || len(p) != len(q) {
+		return math.NaN()
+	}
+	var sp, sq float64
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return math.NaN()
+		}
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp <= 0 || sq <= 0 {
+		return math.NaN()
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i]/sp - q[i]/sq)
+	}
+	return d / 2
+}
+
+// TotalVariationFromUniform returns the total-variation distance of the
+// counts' empirical distribution from the uniform distribution over the
+// same cells. NaN for empty or all-zero counts.
+func TotalVariationFromUniform(counts []int64) float64 {
+	if len(counts) == 0 {
+		return math.NaN()
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return math.NaN()
+		}
+		total += c
+	}
+	if total <= 0 {
+		return math.NaN()
+	}
+	u := 1 / float64(len(counts))
+	var d float64
+	for _, c := range counts {
+		d += math.Abs(float64(c)/float64(total) - u)
+	}
+	return d / 2
+}
+
+// Bucket is one row of a frequency table.
+type Bucket struct {
+	Key   uint64
+	Count int64
+}
+
+// Frequencies counts occurrences of each key and returns the table
+// sorted by key — a deterministic layout regardless of input order, so
+// frequency tables serialise byte-identically across runs (the contract
+// the randcheck determinism golden test relies on).
+func Frequencies(keys []uint64) []Bucket {
+	if len(keys) == 0 {
+		return nil
+	}
+	counts := make(map[uint64]int64, len(keys))
+	for _, k := range keys {
+		counts[k]++
+	}
+	out := make([]Bucket, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, Bucket{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChiSquaredSurvivalKnownCriticalValues pins the p-value
+// implementation against the textbook chi-squared critical-value table:
+// the survival function evaluated at the α-critical value must return α.
+func TestChiSquaredSurvivalKnownCriticalValues(t *testing.T) {
+	cases := []struct {
+		df   int
+		x    float64
+		want float64
+	}{
+		// 5% critical values.
+		{1, 3.841, 0.05},
+		{2, 5.991, 0.05},
+		{5, 11.070, 0.05},
+		{10, 18.307, 0.05},
+		{100, 124.342, 0.05},
+		// 1% critical values.
+		{1, 6.635, 0.01},
+		{5, 15.086, 0.01},
+		{10, 23.209, 0.01},
+		// Median and total mass.
+		{2, 1.386, 0.50},
+		{1, 0, 1.0},
+	}
+	for _, c := range cases {
+		got := ChiSquaredSurvival(c.x, c.df)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("ChiSquaredSurvival(%g, df=%d) = %.6f, want ≈ %.2f", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+// TestChiSquaredSurvivalMonotone: at fixed df the p-value must strictly
+// decrease in the statistic — larger deviations are always less likely
+// under the null. A non-monotone implementation (e.g. a bad series/
+// continued-fraction split) would make verdicts depend on which side of
+// the split a statistic lands.
+func TestChiSquaredSurvivalMonotone(t *testing.T) {
+	for _, df := range []int{1, 4, 30, 199} {
+		prev := math.Inf(1)
+		// Step across the series/continued-fraction boundary at x = a+1.
+		for x := 0.1; x < 4*float64(df); x *= 1.3 {
+			p := ChiSquaredSurvival(x, df)
+			// Deep in the lower tail the survival function saturates to
+			// exactly 1 in double precision; equality is acceptable
+			// there, strict decrease is required everywhere else.
+			if p > prev || (p == prev && p < 1-1e-9) {
+				t.Fatalf("df=%d: p-value not decreasing at x=%g (p=%g, prev=%g)", df, x, p, prev)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("df=%d: p-value %g outside [0,1] at x=%g", df, p, x)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestChiSquaredStatistic(t *testing.T) {
+	// Hand-computed: observed (10, 20, 30), expected (20, 20, 20)
+	// → (100 + 0 + 100)/20 = 10.
+	stat, p := ChiSquared([]float64{10, 20, 30}, []float64{20, 20, 20})
+	if math.Abs(stat-10) > 1e-12 {
+		t.Errorf("stat = %g, want 10", stat)
+	}
+	// df=2, x=10 → p ≈ 0.00674.
+	if math.Abs(p-0.00674) > 1e-4 {
+		t.Errorf("p = %g, want ≈ 0.00674", p)
+	}
+
+	// Uniform counts give statistic 0, p = 1.
+	stat, p = ChiSquaredUniform([]int64{7, 7, 7, 7})
+	if stat != 0 || p != 1 {
+		t.Errorf("uniform counts: stat=%g p=%g, want 0 and 1", stat, p)
+	}
+}
+
+func TestChiSquaredDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		obs, exp []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []float64{1, 2}, []float64{1}},
+		{"zero expected cell", []float64{1, 2}, []float64{1, 0}},
+		{"negative expected cell", []float64{1, 2}, []float64{1, -3}},
+	}
+	for _, c := range cases {
+		stat, p := ChiSquared(c.obs, c.exp)
+		if !math.IsNaN(stat) || !math.IsNaN(p) {
+			t.Errorf("%s: got (%g, %g), want (NaN, NaN)", c.name, stat, p)
+		}
+	}
+	if stat, p := ChiSquaredUniform(nil); !math.IsNaN(stat) || !math.IsNaN(p) {
+		t.Errorf("ChiSquaredUniform(nil) = (%g, %g), want NaN", stat, p)
+	}
+	if stat, p := ChiSquaredUniform([]int64{0, 0}); !math.IsNaN(stat) || !math.IsNaN(p) {
+		t.Errorf("ChiSquaredUniform(zeros) = (%g, %g), want NaN", stat, p)
+	}
+	if p := ChiSquaredSurvival(1, 0); !math.IsNaN(p) {
+		t.Errorf("df=0: p = %g, want NaN", p)
+	}
+	if p := ChiSquaredSurvival(-1, 3); !math.IsNaN(p) {
+		t.Errorf("negative statistic: p = %g, want NaN", p)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	u := []float64{1, 1, 1, 1}
+	if d := TotalVariation(u, u); d != 0 {
+		t.Errorf("TV(u,u) = %g, want 0", d)
+	}
+	// Disjoint point masses are at distance 1 (the TV maximum).
+	if d := TotalVariation([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-15 {
+		t.Errorf("TV(disjoint) = %g, want 1", d)
+	}
+	// Hand-computed: (0.5,0.5) vs (0.75,0.25) → ½(0.25+0.25) = 0.25,
+	// fed as unnormalized counts to cover the normalization path.
+	if d := TotalVariation([]float64{2, 2}, []float64{3, 1}); math.Abs(d-0.25) > 1e-15 {
+		t.Errorf("TV = %g, want 0.25", d)
+	}
+	// Symmetry.
+	p, q := []float64{5, 1, 4}, []float64{2, 7, 1}
+	if d1, d2 := TotalVariation(p, q), TotalVariation(q, p); d1 != d2 {
+		t.Errorf("TV not symmetric: %g vs %g", d1, d2)
+	}
+	// Bounds on an arbitrary pair.
+	if d := TotalVariation(p, q); d < 0 || d > 1 {
+		t.Errorf("TV %g outside [0,1]", d)
+	}
+	// Degenerate inputs.
+	for _, c := range [][2][]float64{
+		{nil, nil},
+		{{1}, {1, 2}},
+		{{-1, 2}, {1, 1}},
+		{{0, 0}, {1, 1}},
+	} {
+		if d := TotalVariation(c[0], c[1]); !math.IsNaN(d) {
+			t.Errorf("TV(%v, %v) = %g, want NaN", c[0], c[1], d)
+		}
+	}
+
+	if d := TotalVariationFromUniform([]int64{5, 5, 5}); d != 0 {
+		t.Errorf("TV-from-uniform of uniform counts = %g, want 0", d)
+	}
+	// (1,0,0,0) vs uniform(4): ½(¾ + 3·¼) = 0.75.
+	if d := TotalVariationFromUniform([]int64{9, 0, 0, 0}); math.Abs(d-0.75) > 1e-15 {
+		t.Errorf("TV-from-uniform = %g, want 0.75", d)
+	}
+	if d := TotalVariationFromUniform(nil); !math.IsNaN(d) {
+		t.Errorf("TV-from-uniform(nil) = %g, want NaN", d)
+	}
+	if d := TotalVariationFromUniform([]int64{0, 0}); !math.IsNaN(d) {
+		t.Errorf("TV-from-uniform(zeros) = %g, want NaN", d)
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	if got := Frequencies(nil); got != nil {
+		t.Errorf("Frequencies(nil) = %v, want nil", got)
+	}
+	// Same multiset in two input orders must produce the identical
+	// sorted table.
+	a := Frequencies([]uint64{3, 1, 3, 2, 3, 1})
+	b := Frequencies([]uint64{1, 1, 2, 3, 3, 3})
+	want := []Bucket{{1, 2}, {2, 1}, {3, 3}}
+	for name, got := range map[string][]Bucket{"a": a, "b": b} {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: %v, want %v", name, got, want)
+			}
+		}
+	}
+}

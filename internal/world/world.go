@@ -16,6 +16,7 @@ import (
 	"repro/internal/bootstrap"
 	"repro/internal/croupier"
 	"repro/internal/cyclon"
+	"repro/internal/exchange"
 	"repro/internal/gozar"
 	"repro/internal/graph"
 	"repro/internal/intern"
@@ -94,6 +95,13 @@ type Config struct {
 	// with world-shared counters (one instrument set for all nodes, so
 	// instrumentation cost is a nil check plus an atomic add per event).
 	Registry *metrics.Registry
+	// SelectionTrace, when non-nil, records every node's partner
+	// selections into one world-shared log — the randomness-
+	// verification hook internal/randcheck analyses. Same cost contract
+	// as Registry: a world built without it pays one nil check per
+	// round and is event-for-event identical to one before the hook
+	// existed.
+	SelectionTrace *exchange.Trace
 
 	// Exactly one of the following is consulted, per Kind. Zero values
 	// select each protocol's defaults.
@@ -391,6 +399,11 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 	case *nylon.Node:
 		p.SetRebootstrap(reseed)
 		p.SetMetrics(w.protoMetrics)
+	}
+	if w.Cfg.SelectionTrace != nil {
+		if tp, ok := proto.(pss.SelectionTraced); ok {
+			tp.SetSelectionTrace(w.Cfg.SelectionTrace)
+		}
 	}
 
 	if natType == addr.Public {
