@@ -62,6 +62,7 @@ func run(args []string) error {
 		loss     = fs.Float64("loss", 0, "packet-loss probability")
 		canary   = fs.Bool("canary", false, "run croupier's biased canary selector; exit non-zero unless every run is rejected")
 		parallel = fs.Int("parallel", 0, "worker goroutines; 0 = all cores, 1 = sequential (outputs are identical either way)")
+		shards   = fs.Int("shards", 1, "kernel shards per simulated world; 0 or 1 = sequential (verdicts are identical at any count)")
 		outDir   = fs.String("out", "results/randcheck", "directory for TSV/JSON output")
 		verbose  = fs.Bool("v", false, "print one progress line per finished run to stderr")
 	)
@@ -100,6 +101,7 @@ func run(args []string) error {
 			Alpha:        *alpha,
 			Loss:         *loss,
 			Canary:       *canary,
+			Shards:       *shards,
 		},
 		Workers: *parallel,
 	}

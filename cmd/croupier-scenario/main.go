@@ -56,6 +56,7 @@ func run(args []string) error {
 		natid    = fs.Bool("natid", false, "run NAT-type identification at every join (slower)")
 		probe    = fs.Int("probe", 0, "override the probe period in rounds (0 = scenario default)")
 		parallel = fs.Int("parallel", 1, "worker goroutines for the (scenario, kind) fan-out; 0 = all cores, 1 = sequential (outputs are identical either way)")
+		shards   = fs.Int("shards", 1, "kernel shards per simulated world; 0 or 1 = sequential (outputs are identical at any count)")
 		outDir   = fs.String("out", "results/scenarios", "directory for TSV/JSON output")
 		verbose  = fs.Bool("v", false, "print one progress line per finished (scenario, kind) job to stderr")
 		httpAddr = fs.String("http", "", "serve a live dashboard, SSE stream and Prometheus scrape on this address; forces sequential runs and keeps serving after the sweep finishes")
@@ -158,6 +159,7 @@ func run(args []string) error {
 			Scale:    *scale,
 			BaseLoss: *loss,
 			RunNatID: *natid,
+			Shards:   *shards,
 		}
 		var stopPump chan struct{}
 		var pumpDone chan struct{}

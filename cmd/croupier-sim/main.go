@@ -49,6 +49,7 @@ func run(args []string) error {
 		seeds    = fs.Int("seeds", 5, "number of runs to average (paper: 5)")
 		rounds   = fs.Int("rounds", 0, "override measured rounds (0 = paper value)")
 		parallel = fs.Int("parallel", 1, "worker goroutines for the (variant, seed) fan-out; 0 = all cores, 1 = sequential (results are identical either way)")
+		shards   = fs.Int("shards", 1, "kernel shards per simulated world; 0 or 1 = sequential (figures are identical at any count)")
 		outDir   = fs.String("out", "results", "directory for TSV output")
 		noPlot   = fs.Bool("no-plot", false, "suppress terminal plots")
 		verbose  = fs.Bool("v", false, "print one progress line per finished (variant, seed) job to stderr")
@@ -69,7 +70,7 @@ func run(args []string) error {
 	if workers == 0 {
 		workers = -1 // experiment.Scale: negative = GOMAXPROCS
 	}
-	scale := experiment.Scale{Factor: *scaleF, Seeds: *seeds, Rounds: *rounds, Workers: workers}
+	scale := experiment.Scale{Factor: *scaleF, Seeds: *seeds, Rounds: *rounds, Workers: workers, Shards: *shards}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
 	}

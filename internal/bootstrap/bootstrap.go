@@ -88,9 +88,22 @@ func (s *Server) Publics(rng *rand.Rand, n int, exclude addr.NodeID) []view.Desc
 // of rng draws against the directory instead of a full O(|directory|)
 // permutation.
 func (s *Server) PublicsInto(rng *rand.Rand, n int, exclude addr.NodeID, dst []view.Descriptor) []view.Descriptor {
+	dst, s.picks = s.PublicsScratch(rng, n, exclude, dst, s.picks)
+	return dst
+}
+
+// PublicsScratch is PublicsInto with caller-owned pick scratch: the
+// rejection-sampling indexes go through picks instead of the server's
+// internal buffer, and the (possibly grown) scratch is returned for
+// reuse. Shard-resident callers — the re-bootstrap and forwarder-pick
+// paths, which run concurrently on different shards between barriers —
+// must use this form with per-shard scratch; the directory itself is
+// only read. PublicsInto (which shares one internal buffer) stays the
+// convenient form for world-lane callers.
+func (s *Server) PublicsScratch(rng *rand.Rand, n int, exclude addr.NodeID, dst []view.Descriptor, picks []int) ([]view.Descriptor, []int) {
 	dst = dst[:0]
 	if n <= 0 || len(s.ids) == 0 {
-		return dst
+		return dst, picks
 	}
 	avail := len(s.ids)
 	if _, ok := s.indexOf[exclude]; ok {
@@ -107,9 +120,9 @@ func (s *Server) PublicsInto(rng *rand.Rand, n int, exclude addr.NodeID, dst []v
 			d.Age = 0
 			dst = append(dst, d)
 		}
-		return dst
+		return dst, picks
 	}
-	picks := s.picks[:0]
+	picks = picks[:0]
 draw:
 	for len(picks) < n {
 		j := rng.Intn(len(s.ids))
@@ -123,11 +136,10 @@ draw:
 		}
 		picks = append(picks, j)
 	}
-	s.picks = picks
 	for _, i := range picks {
 		d := s.byID[s.ids[i]]
 		d.Age = 0
 		dst = append(dst, d)
 	}
-	return dst
+	return dst, picks
 }

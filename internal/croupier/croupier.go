@@ -540,24 +540,24 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 	if natType == addr.NatUnknown {
 		return nil, fmt.Errorf("croupier: node %v has unknown NAT type; run natid first", id)
 	}
-	eng, err := exchange.NewEngine(cfg.PendingTTL)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.CheckExchangeInvariants {
-		eng.EnableChecks(id)
-	}
 	hist := make([]int32, 2*cfg.LocalHistory)
 	n := &Node{
 		cfg:   cfg,
 		sock:  tr,
 		rng:   *rng,
-		eng:   *eng,
 		self:  id,
 		ep:    selfEP,
 		nat:   natType,
 		histU: hist[:0:cfg.LocalHistory],
 		histV: hist[cfg.LocalHistory : cfg.LocalHistory : 2*cfg.LocalHistory],
+	}
+	// The engine embeds mutex-guarded pools, so it is initialised in
+	// its final home rather than copied into it.
+	if err := exchange.InitEngine(&n.eng, cfg.PendingTTL); err != nil {
+		return nil, err
+	}
+	if cfg.CheckExchangeInvariants {
+		n.eng.EnableChecks(id)
 	}
 	origins := cfg.Origins
 	if origins == nil {

@@ -161,6 +161,18 @@ func NewEngine(pendingTTL int) (*Engine, error) {
 	return &Engine{ttl: pendingTTL}, nil
 }
 
+// InitEngine initialises a zero engine in place, for owners that embed
+// the engine by value. The engine contains mutex-guarded pools, so a
+// constructed engine cannot be copied into its final home; in-place
+// initialisation keeps the value embed legal.
+func InitEngine(e *Engine, pendingTTL int) error {
+	if pendingTTL <= 0 {
+		return fmt.Errorf("exchange: pending TTL must be positive, got %d", pendingTTL)
+	}
+	e.ttl = pendingTTL
+	return nil
+}
+
 // Rounds returns the number of rounds driven so far.
 func (e *Engine) Rounds() int { return e.rounds }
 

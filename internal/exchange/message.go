@@ -16,6 +16,8 @@
 package exchange
 
 import (
+	"sync"
+
 	"repro/internal/addr"
 	"repro/internal/view"
 	"repro/internal/wire"
@@ -83,7 +85,9 @@ func (m *Req) Release() {
 		return
 	}
 	m.free = true
+	m.pool.mu.Lock()
 	m.pool.freeReqs = append(m.pool.freeReqs, m)
+	m.pool.mu.Unlock()
 	if mm := m.pool.m; mm != nil {
 		mm.Recycled.Inc()
 	}
@@ -111,17 +115,24 @@ func (m *Res) Release() {
 		return
 	}
 	m.free = true
+	m.pool.mu.Lock()
 	m.pool.freeRess = append(m.pool.freeRess, m)
+	m.pool.mu.Unlock()
 	if mm := m.pool.m; mm != nil {
 		mm.Recycled.Inc()
 	}
 }
 
 // Pool recycles request and response messages. Each protocol node owns
-// one; because a whole simulated world runs on a single goroutine, a
-// message released by the receiving node's handler returns safely to
-// the sending node's pool. The zero value is ready to use.
+// one, but a message released by the receiving node's handler returns
+// to the *sending* node's pool — under the sharded kernel sender and
+// receiver can execute on different shards, so the free lists are
+// guarded by a mutex. The lock is uncontended in sequential worlds and
+// held for a single append or pop, and it allocates nothing, so the
+// pooled paths keep their allocation guards. The zero value is ready
+// to use.
 type Pool struct {
+	mu       sync.Mutex
 	freeReqs []*Req
 	freeRess []*Res
 
@@ -133,10 +144,12 @@ type Pool struct {
 // NewReq returns a cleared request whose payload slices retain their
 // capacity from earlier exchanges.
 func (p *Pool) NewReq() *Req {
+	p.mu.Lock()
 	if n := len(p.freeReqs); n > 0 {
 		m := p.freeReqs[n-1]
 		p.freeReqs[n-1] = nil
 		p.freeReqs = p.freeReqs[:n-1]
+		p.mu.Unlock()
 		m.From = view.Descriptor{}
 		m.Pub = m.Pub[:0]
 		m.Pri = m.Pri[:0]
@@ -144,15 +157,18 @@ func (p *Pool) NewReq() *Req {
 		m.free = false
 		return m
 	}
+	p.mu.Unlock()
 	return &Req{pool: p}
 }
 
 // NewRes returns a cleared response; see NewReq.
 func (p *Pool) NewRes() *Res {
+	p.mu.Lock()
 	if n := len(p.freeRess); n > 0 {
 		m := p.freeRess[n-1]
 		p.freeRess[n-1] = nil
 		p.freeRess = p.freeRess[:n-1]
+		p.mu.Unlock()
 		m.From = view.Descriptor{}
 		m.Pub = m.Pub[:0]
 		m.Pri = m.Pri[:0]
@@ -160,31 +176,41 @@ func (p *Pool) NewRes() *Res {
 		m.free = false
 		return m
 	}
+	p.mu.Unlock()
 	return &Res{pool: p}
 }
 
 // FreeList recycles protocol-specific auxiliary messages (relay
 // wrappers, keep-alives, punch confirmations) the same way Pool
-// recycles requests and responses. The zero value is ready to use; the
-// owning protocol resets recycled values itself.
+// recycles requests and responses. Like Pool it is mutex-guarded:
+// auxiliary messages released by the network after a relay handled
+// them return to their origin's list, which may live on another shard.
+// The zero value is ready to use; the owning protocol resets recycled
+// values itself.
 type FreeList[T any] struct {
+	mu   sync.Mutex
 	free []*T
 }
 
 // Get returns a recycled value or a fresh zero one.
 func (f *FreeList[T]) Get() *T {
+	f.mu.Lock()
 	if n := len(f.free); n > 0 {
 		x := f.free[n-1]
 		f.free[n-1] = nil
 		f.free = f.free[:n-1]
+		f.mu.Unlock()
 		return x
 	}
+	f.mu.Unlock()
 	return new(T)
 }
 
 // Put returns a value to the list. Callers must not use x afterwards.
 func (f *FreeList[T]) Put(x *T) {
+	f.mu.Lock()
 	f.free = append(f.free, x)
+	f.mu.Unlock()
 }
 
 // DropNode filters descriptors for id out of ds in place — the "never

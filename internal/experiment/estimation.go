@@ -44,6 +44,9 @@ type EstimationScenario struct {
 	ChurnStart    time.Duration
 	// Seed drives the run.
 	Seed int64
+	// Shards runs the world on that many kernel shards (0 or 1 =
+	// sequential); results are byte-identical at every count.
+	Shards int
 }
 
 // EstimationResult is one run's error time series plus the true-ratio
@@ -64,6 +67,7 @@ func RunEstimation(sc EstimationScenario) (EstimationResult, error) {
 	w, err := world.New(world.Config{
 		Kind:      world.KindCroupier,
 		Seed:      sc.Seed,
+		Shards:    sc.Shards,
 		SkipNatID: true,
 		Croupier:  cfg,
 	})
@@ -124,6 +128,7 @@ func runEstimationFigure(title string, variants []EstimationScenario, seeds []in
 	for _, v := range variants {
 		for _, seed := range seeds {
 			v.Seed = seed
+			v.Shards = s.Shards
 			jobs = append(jobs, v)
 		}
 	}

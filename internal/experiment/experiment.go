@@ -42,6 +42,11 @@ type Scale struct {
 	// aggregated in deterministic job order, so any worker count
 	// produces byte-identical figures.
 	Workers int
+	// Shards runs every simulated world on that many kernel shards
+	// (0 or 1 = sequential). Orthogonal to Workers: Workers spreads
+	// independent runs across cores, Shards spreads one big world.
+	// Figures are byte-identical at every shard count.
+	Shards int
 	// Progress, when non-nil, is forwarded to the runner and called
 	// after every finished (variant, seed) job with (done, total).
 	// Purely observational: it cannot change any result byte. The CLIs

@@ -60,7 +60,7 @@ func RunFig7b(cfg Fig7bConfig) (Fig7bResult, error) {
 	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
 		run := stats.Series{Name: j.kind.String()}
 		for _, frac := range cfg.FailureFractions {
-			w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
+			w, err := buildComparisonWorld(j.kind, total, j.seed, s.Shards, cfg.Nylon)
 			if err != nil {
 				return stats.Series{}, err
 			}

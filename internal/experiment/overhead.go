@@ -60,6 +60,7 @@ func RunFig7a(cfg Fig7aConfig) (Fig7aResult, error) {
 		wcfg := world.Config{
 			Kind:      j.kind,
 			Seed:      j.seed,
+			Shards:    s.Shards,
 			SkipNatID: true,
 			Croupier:  fig7aCroupierConfig(),
 		}

@@ -55,8 +55,8 @@ var Systems = []world.Kind{
 // sit at in-degree ≈ 10·N/(0.8N) = 12.5, right next to Cyclon's 10 in
 // Fig 6(a), while croupiers absorb the remaining references — see
 // EXPERIMENTS.md for the interpretation notes.
-func buildComparisonWorld(kind world.Kind, total int, seed int64, nylonCfg *nylon.Config) (*world.World, error) {
-	cfg := world.Config{Kind: kind, Seed: seed, SkipNatID: true, Croupier: croupier.DefaultConfig()}
+func buildComparisonWorld(kind world.Kind, total int, seed int64, shards int, nylonCfg *nylon.Config) (*world.World, error) {
+	cfg := world.Config{Kind: kind, Seed: seed, Shards: shards, SkipNatID: true, Croupier: croupier.DefaultConfig()}
 	if nylonCfg != nil {
 		cfg.Nylon = *nylonCfg
 	}
@@ -106,7 +106,7 @@ func RunFig6a(cfg Fig6aConfig) (Fig6aResult, error) {
 	seeds := seedList(6100, s.seeds())
 	jobs := comparisonJobs(Systems, seeds)
 	hists, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (map[int]int, error) {
-		w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
+		w, err := buildComparisonWorld(j.kind, total, j.seed, s.Shards, cfg.Nylon)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +238,7 @@ func runOverlayMetric(cfg Fig6bcConfig, title string, seedBase int64,
 	seeds := seedList(seedBase, s.seeds())
 	jobs := comparisonJobs(Systems, seeds)
 	runs, err := runner.Map(s.runnerOpts(), jobs, func(j comparisonJob) (stats.Series, error) {
-		w, err := buildComparisonWorld(j.kind, total, j.seed, cfg.Nylon)
+		w, err := buildComparisonWorld(j.kind, total, j.seed, s.Shards, cfg.Nylon)
 		if err != nil {
 			return stats.Series{}, err
 		}

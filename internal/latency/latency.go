@@ -27,11 +27,35 @@ type Model interface {
 	Delay(a, b addr.NodeID) time.Duration
 }
 
+// Bounded is a Model that can prove a floor on every delay it will ever
+// return. The sharded kernel uses the floor as its conservative
+// lookahead: shards may run ahead of each other by up to MinDelay
+// because no packet can arrive sooner than that. Sharded worlds require
+// a Bounded model.
+type Bounded interface {
+	Model
+	// MinDelay returns a positive lower bound on Delay for every pair.
+	MinDelay() time.Duration
+}
+
+// Cloner is a Model whose memoisation makes an instance single-threaded
+// but whose outputs are a pure function of its construction parameters.
+// Clone returns an independent instance with identical outputs; the
+// sharded network gives each shard its own clone so concurrent Delay
+// lookups never share a memo.
+type Cloner interface {
+	Model
+	Clone() Model
+}
+
 // Constant is a Model with the same one-way delay between every pair.
 type Constant time.Duration
 
 // Delay implements Model.
 func (c Constant) Delay(_, _ addr.NodeID) time.Duration { return time.Duration(c) }
+
+// MinDelay implements Bounded: every pair pays exactly the constant.
+func (c Constant) MinDelay() time.Duration { return time.Duration(c) }
 
 // Uniform draws each pair's delay uniformly from [Min, Max], keyed by the
 // pair, so repeated lookups agree.
@@ -48,6 +72,9 @@ func (u Uniform) Delay(a, b addr.NodeID) time.Duration {
 	r := rand.New(rand.NewSource(pairSeed(u.Seed, a, b)))
 	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)))
 }
+
+// MinDelay implements Bounded.
+func (u Uniform) MinDelay() time.Duration { return u.Min }
 
 // KingLike approximates the King data-set's RTT distribution. The zero
 // value is not usable; construct with NewKingLike.
@@ -117,6 +144,21 @@ func NewKingLike(seed int64) *KingLike {
 		minDelay:   time.Millisecond,
 		maxDelay:   400 * time.Millisecond,
 	}
+}
+
+// MinDelay implements Bounded: delays are clamped to at least minDelay
+// (1 ms by default) — the latency floor the sharded kernel exploits as
+// lookahead.
+func (k *KingLike) MinDelay() time.Duration { return k.minDelay }
+
+// Clone implements Cloner: a fresh instance with the same seed and
+// calibration rebuilds identical coordinates and delays with its own
+// private memos.
+func (k *KingLike) Clone() Model {
+	c := NewKingLike(k.seed)
+	c.base, c.propFactor, c.mu, c.sigma = k.base, k.propFactor, k.mu, k.sigma
+	c.minDelay, c.maxDelay = k.minDelay, k.maxDelay
+	return c
 }
 
 // Delay implements Model. The delay is base + propagation(great-circle

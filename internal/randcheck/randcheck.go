@@ -88,6 +88,10 @@ type Config struct {
 	Alpha float64
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Shards selects how many kernel shards execute the traced world (0
+	// or 1 = sequential). The selection trace — and with it every
+	// verdict — is byte-identical at any shard count.
+	Shards int
 	// Loss is the network-wide packet-loss probability.
 	Loss float64
 	// Canary replaces croupier's selection policy with the deliberately
@@ -245,6 +249,7 @@ func Run(cfg Config) (*Report, error) {
 	wcfg := world.Config{
 		Kind:           cfg.Kind,
 		Seed:           cfg.Seed,
+		Shards:         cfg.Shards,
 		Loss:           cfg.Loss,
 		SkipNatID:      true,
 		SelectionTrace: trace,

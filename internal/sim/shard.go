@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group is a conservative parallel discrete-event kernel: one root
+// scheduler (the world lane: joins, churn, probes — everything the
+// harness schedules) plus K shard schedulers that partition the
+// simulation's actors. Shards execute independently inside half-open
+// time windows no wider than the lookahead — the network's minimum
+// link delay, so nothing a shard does inside a window can affect
+// another shard within that same window — then synchronise at a
+// barrier where cross-shard work is exchanged in deterministically
+// keyed batches and root-lane events run single-threaded.
+//
+// Determinism does not come from the barrier schedule; it comes from
+// the (time, actor, seq) event key. Each actor issues its own sequence
+// numbers in its own execution order, which sharding never changes, so
+// the set of fired events and their total order are identical for any
+// shard count — a Group with one shard is the sequential reference a
+// Group with eight shards must reproduce byte for byte.
+//
+// A Group is driven from one goroutine. Between windows (during
+// RunUntil's barriers, and whenever RunUntil is not executing) every
+// scheduler in the group is quiescent and may be touched freely; shard
+// schedulers must never be touched while a window is running.
+type Group struct {
+	global    *Scheduler
+	shards    []*Scheduler
+	lookahead time.Duration
+	// align, when set, forces barriers onto a fixed time grid so code
+	// that defers work to "the next barrier" (NAT-identification join
+	// completion) sees the same barrier times at every shard count.
+	align time.Duration
+	// hooks run at every barrier, after all shards paused and advanced
+	// to the barrier time and before root-lane events fire there. The
+	// argument is the barrier time.
+	hooks []func(end time.Duration)
+
+	// Per-RunUntil worker plumbing (multi-shard groups only).
+	reqs []chan windowReq
+	wg   sync.WaitGroup
+}
+
+// windowReq asks a worker to run one window ending at end; incl marks
+// the final inclusive pass that also fires events at exactly end.
+type windowReq struct {
+	end  time.Duration
+	incl bool
+}
+
+// NewGroup builds a kernel with the given shard count. The lookahead
+// must be a lower bound on the delay of any cross-shard interaction;
+// with a single shard it only paces barriers and may be zero (windows
+// then stretch to the next root-lane event).
+func NewGroup(seed int64, shards int, lookahead time.Duration) (*Group, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: shard count %d < 1", shards)
+	}
+	if shards > 1 && lookahead <= 0 {
+		return nil, fmt.Errorf("sim: %d shards need a positive lookahead", shards)
+	}
+	g := &Group{global: New(seed), lookahead: lookahead}
+	g.shards = make([]*Scheduler, shards)
+	for i := range g.shards {
+		g.shards[i] = newShard(g.global.rng)
+	}
+	return g, nil
+}
+
+// Global returns the root-lane scheduler. Its clock is the group's
+// clock, and its random source is the world-seeding stream every shard
+// scheduler's Rand also resolves to.
+func (g *Group) Global() *Scheduler { return g.global }
+
+// Shard returns the i-th shard scheduler.
+func (g *Group) Shard(i int) *Scheduler { return g.shards[i] }
+
+// NumShards returns the shard count.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Lookahead returns the conservative window bound.
+func (g *Group) Lookahead() time.Duration { return g.lookahead }
+
+// Now returns the group's virtual time.
+func (g *Group) Now() time.Duration { return g.global.Now() }
+
+// SetAlign forces barriers onto multiples of d (0 disables). Worlds
+// that defer join completion to barriers set it so barrier times are a
+// pure function of the timeline, not of the shard count.
+func (g *Group) SetAlign(d time.Duration) { g.align = d }
+
+// OnBarrier registers fn to run at every barrier, with all shards
+// quiescent, in registration order. Barrier hooks are where cross-shard
+// batches flush and deferred root-lane work drains.
+func (g *Group) OnBarrier(fn func(end time.Duration)) {
+	g.hooks = append(g.hooks, fn)
+}
+
+// Fired returns the number of events executed across the whole group.
+// Like everything on a Group, it must be read between windows.
+func (g *Group) Fired() uint64 {
+	n := g.global.Fired()
+	for _, sh := range g.shards {
+		n += sh.Fired()
+	}
+	return n
+}
+
+// Pending returns the number of queued events across the whole group,
+// cancelled ones included.
+func (g *Group) Pending() int {
+	n := g.global.Pending()
+	for _, sh := range g.shards {
+		n += sh.Pending()
+	}
+	return n
+}
+
+// RunUntil executes every event in the group scheduled at or before t —
+// root lane and all shards, in (time, actor, seq) order — and advances
+// every clock to exactly t.
+func (g *Group) RunUntil(t time.Duration) {
+	if t < g.global.Now() {
+		return
+	}
+	if len(g.shards) > 1 {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	for {
+		now := g.global.Now()
+		// Root-lane events due at the current instant run first: at
+		// equal times the root actor (-1) precedes every node actor.
+		g.global.RunUntil(now)
+		if now >= t {
+			break
+		}
+		// Dead air: nothing queued anywhere before `earliest` means no
+		// window can do work or produce cross-shard traffic, so jump.
+		earliest := t
+		if nt, ok := g.global.NextEventTime(); ok && nt < earliest {
+			earliest = nt
+		}
+		for _, sh := range g.shards {
+			if st, ok := sh.NextEventTime(); ok && st < earliest {
+				earliest = st
+			}
+		}
+		if earliest > now {
+			g.advanceAll(earliest)
+			continue
+		}
+		end := t
+		if len(g.shards) > 1 {
+			if e := now + g.lookahead; e < end {
+				end = e
+			}
+		}
+		if g.align > 0 {
+			if e := now - now%g.align + g.align; e < end {
+				end = e
+			}
+		}
+		if nt, ok := g.global.NextEventTime(); ok && nt < end {
+			end = nt
+		}
+		g.window(end, false)
+	}
+	g.finish(t)
+}
+
+// finish completes the instant t: root-lane events at t, then an
+// inclusive zero-width window for shard events at t, looping until the
+// instant produces nothing new at or before t (an event at t may defer
+// a start that schedules another event at t).
+func (g *Group) finish(t time.Duration) {
+	for {
+		g.global.RunUntil(t)
+		g.window(t, true)
+		if nt, ok := g.global.NextEventTime(); ok && nt <= t {
+			continue
+		}
+		more := false
+		for _, sh := range g.shards {
+			if st, ok := sh.NextEventTime(); ok && st <= t {
+				more = true
+				break
+			}
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// window runs one conservative window ending at end on every shard,
+// advances all clocks to end, and fires the barrier hooks.
+func (g *Group) window(end time.Duration, incl bool) {
+	if len(g.shards) == 1 {
+		sh := g.shards[0]
+		if incl {
+			sh.RunUntil(end)
+		} else {
+			sh.RunUntilBefore(end)
+		}
+	} else {
+		g.wg.Add(len(g.shards))
+		for _, ch := range g.reqs {
+			ch <- windowReq{end: end, incl: incl}
+		}
+		g.wg.Wait()
+	}
+	g.advanceAll(end)
+	for _, fn := range g.hooks {
+		fn(end)
+	}
+}
+
+// advanceAll moves every clock in the group forward to t.
+func (g *Group) advanceAll(t time.Duration) {
+	g.global.AdvanceTo(t)
+	for _, sh := range g.shards {
+		sh.AdvanceTo(t)
+	}
+}
+
+// startWorkers spawns one worker per shard for the duration of a
+// RunUntil call. The WaitGroup barrier between windows establishes the
+// happens-before edges that make barrier-time mutation of shared state
+// (host tables, directory, partition sides) visible to the next window.
+func (g *Group) startWorkers() {
+	g.reqs = make([]chan windowReq, len(g.shards))
+	for i := range g.shards {
+		ch := make(chan windowReq, 1)
+		g.reqs[i] = ch
+		go func(sh *Scheduler, ch chan windowReq) {
+			for r := range ch {
+				if r.incl {
+					sh.RunUntil(r.end)
+				} else {
+					sh.RunUntilBefore(r.end)
+				}
+				g.wg.Done()
+			}
+		}(g.shards[i], ch)
+	}
+}
+
+// stopWorkers shuts the per-call workers down.
+func (g *Group) stopWorkers() {
+	for _, ch := range g.reqs {
+		close(ch)
+	}
+	g.reqs = nil
+}

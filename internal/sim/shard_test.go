@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardHarness runs a randomized actor workload on a Group with the
+// given shard count and returns each actor's private execution log.
+// Every actor fires a chain of events: at each firing it logs its
+// clock and a payload, then (driven by its own deterministic stream)
+// either schedules a local follow-up or sends a message to another
+// actor with a delay of at least the lookahead — parked in a test
+// outbox and flushed at barriers via PushForeign, exactly the simnet
+// discipline. An actor's stream is consumed only while that actor
+// executes, so the logs must be identical at every shard count.
+func shardHarness(t *testing.T, shards, actors, hops int, seed int64) [][]string {
+	t.Helper()
+	const lookahead = time.Millisecond
+	g, err := NewGroup(seed, shards, lookahead)
+	if err != nil {
+		t.Fatalf("NewGroup(%d): %v", shards, err)
+	}
+
+	type parked struct {
+		at        time.Duration
+		actor     int32
+		seq       uint64
+		dst, hops int
+		payload   string
+	}
+	logs := make([][]string, actors)
+	rngs := make([]*rand.Rand, actors)
+	scheds := make([]*Scheduler, actors)
+	for i := range rngs {
+		rngs[i] = NewRand(seed ^ int64(1000+i))
+		scheds[i] = g.Shard(i % shards)
+	}
+	// outbox[src shard][dst shard], flushed at barriers.
+	outbox := make([][][]parked, shards)
+	for i := range outbox {
+		outbox[i] = make([][]parked, shards)
+	}
+
+	var fire func(a int, hopsLeft int, payload string)
+	fire = func(a int, hopsLeft int, payload string) {
+		sch := scheds[a]
+		logs[a] = append(logs[a], fmt.Sprintf("%d %s", sch.Now(), payload))
+		if hopsLeft <= 0 {
+			return
+		}
+		r := rngs[a]
+		if r.Intn(3) > 0 {
+			// Local follow-up inside the shard's own window.
+			d := time.Duration(r.Intn(3000)) * time.Microsecond
+			sch.Schedule(d, func() { fire(a, hopsLeft-1, payload+".l") })
+			return
+		}
+		// Cross-actor message: the delay respects the lookahead, the
+		// ordering key is claimed from the sender's stream.
+		dst := r.Intn(len(logs))
+		d := lookahead + time.Duration(r.Intn(5000))*time.Microsecond
+		at := sch.Now() + d
+		if scheds[dst] == sch {
+			sch.Schedule(d, func() {
+				sch.SetActor(int32(dst))
+				fire(dst, hopsLeft-1, fmt.Sprintf("%s>%d", payload, a))
+			})
+			return
+		}
+		actor, seq := sch.ClaimKey()
+		outbox[a%shards][dst%shards] = append(outbox[a%shards][dst%shards], parked{
+			at: at, actor: actor, seq: seq, dst: dst, hops: hopsLeft - 1,
+			payload: fmt.Sprintf("%s>%d", payload, a),
+		})
+	}
+	g.OnBarrier(func(end time.Duration) {
+		for si := range outbox {
+			for di := range outbox[si] {
+				for _, p := range outbox[si][di] {
+					p := p
+					if p.at < end {
+						t.Fatalf("cross-shard message at %v violates barrier %v", p.at, end)
+					}
+					dsch := g.Shard(di)
+					dsch.PushForeign(p.at, p.actor, p.seq, func() {
+						dsch.SetActor(int32(p.dst))
+						fire(p.dst, p.hops, p.payload)
+					})
+				}
+				outbox[si][di] = outbox[si][di][:0]
+			}
+		}
+	})
+
+	// Seed every actor's chain from the world lane, under its identity.
+	for i := 0; i < actors; i++ {
+		i := i
+		sch := scheds[i]
+		prev := sch.SetActor(int32(i))
+		sch.At(time.Duration(rngs[i].Intn(2000))*time.Microsecond, func() {
+			fire(i, hops, fmt.Sprintf("a%d", i))
+		})
+		sch.SetActor(prev)
+	}
+	g.RunUntil(400 * time.Millisecond)
+	return logs
+}
+
+// TestGroupShardCountInvariance is the kernel-level golden property on
+// random workloads: the same seeded actor chains produce identical
+// per-actor execution logs — same payloads, same virtual times, same
+// order — whether the group runs one shard or several. The (time,
+// actor, seq) total order is what makes this hold.
+func TestGroupShardCountInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		ref := shardHarness(t, 1, 24, 12, seed)
+		total := 0
+		for _, l := range ref {
+			total += len(l)
+		}
+		if total < 24 {
+			t.Fatalf("seed %d: reference workload fired only %d events", seed, total)
+		}
+		for _, shards := range []int{2, 3, 4} {
+			got := shardHarness(t, shards, 24, 12, seed)
+			for a := range ref {
+				if len(got[a]) != len(ref[a]) {
+					t.Fatalf("seed %d shards %d: actor %d fired %d events, want %d",
+						seed, shards, a, len(got[a]), len(ref[a]))
+				}
+				for i := range ref[a] {
+					if got[a][i] != ref[a][i] {
+						t.Fatalf("seed %d shards %d: actor %d event %d = %q, want %q",
+							seed, shards, a, i, got[a][i], ref[a][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupValidation pins the construction contract: shard counts
+// below one are rejected, and a multi-shard group demands a positive
+// lookahead while a single shard runs without one.
+func TestGroupValidation(t *testing.T) {
+	if _, err := NewGroup(1, 0, time.Millisecond); err == nil {
+		t.Fatal("NewGroup accepted zero shards")
+	}
+	if _, err := NewGroup(1, 4, 0); err == nil {
+		t.Fatal("NewGroup accepted 4 shards with zero lookahead")
+	}
+	if _, err := NewGroup(1, 1, 0); err != nil {
+		t.Fatalf("NewGroup(1 shard, no lookahead) must work: %v", err)
+	}
+}
+
+// TestGroupRootLaneOrdering pins the world-lane contract: a root event
+// and a node event at the same instant fire root-first, at any shard
+// count, because RootActor sorts before every node actor.
+func TestGroupRootLaneOrdering(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		g, err := NewGroup(9, shards, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []string
+		sh := g.Shard(shards - 1)
+		prev := sh.SetActor(5)
+		sh.At(10*time.Millisecond, func() { order = append(order, "node") })
+		sh.SetActor(prev)
+		g.Global().At(10*time.Millisecond, func() { order = append(order, "root") })
+		g.RunUntil(20 * time.Millisecond)
+		if len(order) != 2 || order[0] != "root" || order[1] != "node" {
+			t.Fatalf("shards=%d: fire order %v, want [root node]", shards, order)
+		}
+	}
+}

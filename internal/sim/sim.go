@@ -24,19 +24,36 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback. Events are ordered by (time, sequence
-// number) so simultaneous events fire in scheduling order, which keeps
-// runs deterministic.
+// Event is a scheduled callback. Events are ordered by (time, actor,
+// sequence number) so simultaneous events fire in a deterministic total
+// order that does not depend on how the world is sharded: the actor is
+// the logical entity (node) whose execution scheduled the event, and the
+// sequence number counts that actor's own scheduling acts. A sequential
+// run and a sharded run interleave actors differently in real time, but
+// each actor performs the same acts in the same order either way, so the
+// key — and therefore the pop order — is identical.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
+	at time.Duration
+	// actor attributes the event to the entity that scheduled it.
+	// RootActor (-1) is the world/root lane: scheduler users that never
+	// set an actor get a plain (time, seq) order, exactly the
+	// pre-sharding contract.
+	actor int32
+	seq   uint64
+	fn    func()
+	// cancelled and pooled are not part of the key.
 	cancelled bool
 	// pooled events come from the scheduler's free list and return to
 	// it after firing. They are only created by Schedule, which never
 	// hands out the *Event, so no caller can Cancel a recycled one.
 	pooled bool
 }
+
+// RootActor is the actor id of the world/root lane: harness code that
+// schedules outside any node's execution. It sorts before every node
+// actor at equal times, so world-level events (joins, churn, probes)
+// precede same-instant node events in the total order.
+const RootActor = int32(-1)
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() time.Duration { return e.at }
@@ -48,11 +65,15 @@ func (e *Event) Cancel() { e.cancelled = true }
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-// before is the queue's total order: (time, sequence). Sequence numbers
-// are unique, so no two queued events ever compare equal.
+// before is the queue's total order: (time, actor, sequence). Sequence
+// numbers are unique per actor, so no two queued events ever compare
+// equal.
 func (e *Event) before(o *Event) bool {
 	if e.at != o.at {
 		return e.at < o.at
+	}
+	if e.actor != o.actor {
+		return e.actor < o.actor
 	}
 	return e.seq < o.seq
 }
@@ -80,8 +101,15 @@ const (
 // Scheduler is the discrete-event simulation kernel. The zero value is
 // not usable; construct one with New.
 type Scheduler struct {
-	now   time.Duration
-	seq   uint64
+	now time.Duration
+	// curActor is the actor whose execution is in progress: events fire
+	// with curActor set to their own actor, so everything an event's
+	// callback schedules inherits its attribution. Outside any event it
+	// is whatever SetActor installed, RootActor by default.
+	curActor int32
+	// seqs holds the per-actor sequence counters, indexed by actor+1
+	// (slot 0 is the root lane). Grown on demand.
+	seqs  []uint64
 	rng   *rand.Rand
 	fired uint64
 	// free holds fired pooled events for reuse, so the append-heavy,
@@ -112,7 +140,75 @@ type Scheduler struct {
 // New returns a scheduler whose clock starts at zero and whose random
 // source is seeded with seed.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: NewRand(seed)}
+	return &Scheduler{rng: NewRand(seed), curActor: RootActor}
+}
+
+// newShard returns a scheduler sharing an existing random source — the
+// form Group uses so shard members draw from the one world-seeding
+// stream at barriers without changing any constructor signature. Shard
+// schedulers must never call Rand concurrently; in a Group, draws only
+// happen at barriers (joins, protocol starts), where exactly one
+// goroutine runs.
+func newShard(rng *rand.Rand) *Scheduler {
+	return &Scheduler{rng: rng, curActor: RootActor}
+}
+
+// claim returns the next sequence number for an actor, growing the
+// counter table on demand.
+func (s *Scheduler) claim(actor int32) uint64 {
+	i := int(actor) + 1
+	for len(s.seqs) <= i {
+		s.seqs = append(s.seqs, 0)
+	}
+	v := s.seqs[i]
+	s.seqs[i] = v + 1
+	return v
+}
+
+// SetActor installs the actor attribution for events scheduled outside
+// any event callback (join-time construction at a barrier, harness
+// setup). It returns the previous actor so callers can restore it.
+// During event execution the firing event's own actor is in effect.
+func (s *Scheduler) SetActor(a int32) int32 {
+	prev := s.curActor
+	s.curActor = a
+	return prev
+}
+
+// ClaimKey issues the next (actor, seq) ordering key for the actor in
+// effect, without enqueuing anything locally. Cross-shard senders use
+// it to stamp an event they will hand to another shard's scheduler via
+// PushForeign: the key comes from the sender's own counter stream, so
+// it is identical however the world is sharded.
+func (s *Scheduler) ClaimKey() (actor int32, seq uint64) {
+	actor = s.curActor
+	return actor, s.claim(actor)
+}
+
+// PushForeign enqueues a fire-and-forget event carrying a key claimed
+// on another scheduler (see ClaimKey). The event is pooled like
+// Schedule's. Only barrier code may call it: the receiving scheduler
+// must be quiescent.
+func (s *Scheduler) PushForeign(at time.Duration, actor int32, seq uint64, fn func()) {
+	if at < s.now {
+		panic("sim: foreign event scheduled in the past")
+	}
+	ev := s.takePooled(at, fn)
+	ev.actor, ev.seq = actor, seq
+	s.push(ev)
+}
+
+// takePooled returns a recycled or fresh pooled event with at and fn
+// set; the caller fills the ordering key.
+func (s *Scheduler) takePooled(at time.Duration, fn func()) *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.fn, ev.cancelled = at, fn, false
+		return ev
+	}
+	return &Event{at: at, fn: fn, pooled: true}
 }
 
 // Now returns the current virtual time.
@@ -267,8 +363,8 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
+	ev := &Event{at: t, actor: s.curActor, fn: fn}
+	ev.seq = s.claim(ev.actor)
 	s.push(ev)
 	return ev
 }
@@ -291,17 +387,9 @@ func (s *Scheduler) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		ev.at, ev.fn, ev.cancelled = s.now+d, fn, false
-	} else {
-		ev = &Event{at: s.now + d, fn: fn, pooled: true}
-	}
-	ev.seq = s.seq
-	s.seq++
+	ev := s.takePooled(s.now+d, fn)
+	ev.actor = s.curActor
+	ev.seq = s.claim(ev.actor)
 	s.push(ev)
 }
 
@@ -318,6 +406,7 @@ func (s *Scheduler) Step() bool {
 			continue
 		}
 		s.now = ev.at
+		s.curActor = ev.actor
 		s.fired++
 		fn := ev.fn
 		if ev.pooled {
@@ -357,5 +446,53 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	}
 	if s.now < t {
 		s.now = t
+	}
+}
+
+// RunUntilBefore executes every event scheduled strictly before t and
+// leaves later events queued. Unlike RunUntil it does not advance the
+// clock to t; Group windows advance it explicitly at the barrier. This
+// is the shard half of a conservative time window [now, t).
+func (s *Scheduler) RunUntilBefore(t time.Duration) {
+	for {
+		next := s.peek()
+		if next == nil {
+			return
+		}
+		if next.cancelled {
+			s.dropHead()
+			continue
+		}
+		if next.at >= t {
+			return
+		}
+		s.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// Moving backward is a no-op. Barrier code uses it so relative
+// scheduling (Schedule, After) performed between windows is based on
+// the barrier time, not on whenever the scheduler last fired.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// NextEventTime returns the time of the earliest queued live event,
+// discarding cancelled heads along the way. ok is false when the queue
+// is empty.
+func (s *Scheduler) NextEventTime() (t time.Duration, ok bool) {
+	for {
+		next := s.peek()
+		if next == nil {
+			return 0, false
+		}
+		if next.cancelled {
+			s.dropHead()
+			continue
+		}
+		return next.at, true
 	}
 }

@@ -17,6 +17,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/addr"
@@ -68,6 +69,11 @@ type Config struct {
 	Latency latency.Model
 	// Loss is the independent per-packet drop probability in [0, 1).
 	Loss float64
+	// Seed salts the stateless per-packet loss draws. Loss decisions
+	// are a hash of (Seed, sender, per-sender send count) rather than a
+	// draw from the scheduler stream, so they are identical at every
+	// shard count.
+	Seed int64
 	// HeaderBytes is the per-packet framing overhead added to every
 	// message for traffic accounting. Defaults to 28 (IPv4 + UDP).
 	HeaderBytes int
@@ -154,11 +160,62 @@ func makeLinkKey(a, b addr.NodeID) linkKey {
 // noSide marks a dense index not assigned to any partition group.
 const noSide = int32(-1)
 
-// Network is the simulated internet. It is not safe for concurrent use;
-// all calls must happen on the simulation event loop.
+// shardCtx is the per-shard half of the network: the shard's scheduler,
+// its private latency-model clone (the King-like model memoises, so
+// concurrent Delay lookups must not share an instance), its delivery
+// pool, its outboxes toward every other shard, and its slice of the
+// packet counters. Hosts point at the ctx of the shard they execute
+// on; everything a host's events touch here is single-writer.
+type shardCtx struct {
+	idx   int
+	sched *sim.Scheduler
+	lat   latency.Model
+	// free pools in-flight packet records (and their pre-built run
+	// closures) so unicast delivery allocates nothing once warm.
+	free []*delivery
+	// outbox[d] accumulates packets sent from this shard to shard d
+	// during a window; the barrier flush converts them into pooled
+	// deliveries on the destination shard. Entries carry the ordering
+	// key claimed from the sender's scheduler, so the flush order is
+	// irrelevant to the destination's pop order.
+	outbox [][]xfer
+	// Packet accounting cells, summed by the Network-level accessors.
+	sends       uint64
+	delivered   uint64
+	dropped     uint64
+	partDropped uint64
+}
+
+// xfer is one cross-shard packet parked in an outbox between send and
+// barrier flush.
+type xfer struct {
+	at      time.Duration
+	actor   int32
+	seq     uint64
+	srcHost *Host
+	dstHost *Host
+	src, to addr.Endpoint
+	msg     Message
+	size    uint64
+}
+
+// Network is the simulated internet. Mutating calls (joins, removal,
+// partitions, condition changes) must happen on the world lane —
+// between windows under the sharded kernel; the packet path runs on
+// the per-shard contexts.
 type Network struct {
 	sched *sim.Scheduler
 	cfg   Config
+
+	// ctxs holds one shard context per kernel shard (exactly one for a
+	// sequential network).
+	ctxs []*shardCtx
+	// seedSrc is the world-seeding random stream used for join-time
+	// derivations (per-gateway RNG seeds). It is only drawn from on
+	// the world lane.
+	seedSrc *rand.Rand
+	// lossSeed salts the stateless per-packet loss hash.
+	lossSeed uint64
 
 	// hosts is the dense host table: hosts[i] is the host issued index
 	// i at registration. Slots survive removal (the host is marked
@@ -189,28 +246,23 @@ type Network struct {
 	partDefault int32
 
 	nextPublicIP uint32
-	dropped      uint64
-	partDropped  uint64
-	delivered    uint64
 
 	// m holds the registered instruments, nil when no Registry was
 	// configured; every use is nil-guarded so the uninstrumented path
 	// pays one predictable branch.
 	m *netMetrics
-
-	// freeDeliveries pools in-flight packet records (and their
-	// pre-built run closures) so unicast delivery allocates nothing
-	// once warm; see newDelivery.
-	freeDeliveries []*delivery
 }
 
 // delivery is one packet in flight between send and deliver. The run
 // closure is built once per pooled record — it captures only the record
 // pointer — so scheduling a delivery costs no allocation. Source and
 // destination travel as host pointers: slots are never reused, so a
-// host removed mid-flight is observed down at delivery time.
+// host removed mid-flight is observed down at delivery time. A record
+// belongs to the destination shard's pool: it is created, fired and
+// recycled there.
 type delivery struct {
 	net     *Network
+	ctx     *shardCtx
 	srcHost *Host
 	dstHost *Host
 	src, to addr.Endpoint
@@ -221,26 +273,25 @@ type delivery struct {
 
 // newDelivery takes a pooled record or builds one with its reusable run
 // closure.
-func (n *Network) newDelivery() *delivery {
-	if k := len(n.freeDeliveries); k > 0 {
-		d := n.freeDeliveries[k-1]
-		n.freeDeliveries[k-1] = nil
-		n.freeDeliveries = n.freeDeliveries[:k-1]
+func (c *shardCtx) newDelivery(n *Network) *delivery {
+	if k := len(c.free); k > 0 {
+		d := c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
 		return d
 	}
-	d := &delivery{net: n}
+	d := &delivery{net: n, ctx: c}
 	d.run = func() {
-		nn := d.net
-		nn.deliver(d)
+		d.net.deliver(d)
 		d.msg = nil // do not retain the payload while pooled
 		d.srcHost, d.dstHost = nil, nil
-		nn.freeDeliveries = append(nn.freeDeliveries, d)
+		d.ctx.free = append(d.ctx.free, d)
 	}
 	return d
 }
 
-// New builds a network on the given scheduler.
-func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
+// newNetwork is the shared construction core.
+func newNetwork(sched *sim.Scheduler, cfg Config) (*Network, error) {
 	if cfg.Latency == nil {
 		return nil, fmt.Errorf("simnet: latency model is required")
 	}
@@ -254,6 +305,8 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 	n := &Network{
 		sched:        sched,
 		cfg:          cfg,
+		seedSrc:      sched.Rand(),
+		lossSeed:     splitmix(uint64(cfg.Seed) ^ 0x6c737364726177), // "lossdraw" salt
 		idToIdx:      make(map[addr.NodeID]int32),
 		ipBase:       base,
 		loss:         cfg.Loss,
@@ -264,6 +317,104 @@ func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
 		n.m = newNetMetrics(cfg.Registry)
 	}
 	return n, nil
+}
+
+// New builds a sequential network on the given scheduler: one shard
+// context, no barriers needed.
+func New(sched *sim.Scheduler, cfg Config) (*Network, error) {
+	n, err := newNetwork(sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.ctxs = []*shardCtx{{idx: 0, sched: sched, lat: cfg.Latency}}
+	return n, nil
+}
+
+// NewSharded builds a network over a sharded kernel: one shard context
+// per kernel shard, each with a private latency-model clone when the
+// model supports cloning, and a barrier hook that flushes cross-shard
+// outboxes. cfg.Latency must be Bounded by at least the group's
+// lookahead, or cross-shard packets could violate causality.
+func NewSharded(g *sim.Group, cfg Config) (*Network, error) {
+	n, err := newNetwork(g.Global(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumShards() > 1 {
+		b, ok := cfg.Latency.(latency.Bounded)
+		if !ok {
+			return nil, fmt.Errorf("simnet: sharded network needs a latency.Bounded model")
+		}
+		if b.MinDelay() < g.Lookahead() {
+			return nil, fmt.Errorf("simnet: latency floor %v below kernel lookahead %v", b.MinDelay(), g.Lookahead())
+		}
+	}
+	n.ctxs = make([]*shardCtx, g.NumShards())
+	for i := range n.ctxs {
+		lat := cfg.Latency
+		if cl, ok := lat.(latency.Cloner); ok && g.NumShards() > 1 {
+			lat = cl.Clone()
+		}
+		n.ctxs[i] = &shardCtx{
+			idx:    i,
+			sched:  g.Shard(i),
+			lat:    lat,
+			outbox: make([][]xfer, g.NumShards()),
+		}
+	}
+	g.OnBarrier(n.flush)
+	return n, nil
+}
+
+// splitmix is the splitmix64 finaliser, the hash behind the stateless
+// loss draws.
+func splitmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// lossDraw decides a packet drop from a hash of (network seed, sender,
+// per-sender draw count) — no scheduler stream involved, so the
+// decision sequence is a pure function of each sender's own send
+// history and identical at every shard count.
+func (n *Network) lossDraw(h *Host, loss float64) bool {
+	h.lossSeq++
+	x := splitmix(n.lossSeed + uint64(h.id)*0x9e3779b97f4a7c15 + h.lossSeq*0xc2b2ae3d27d4eb4f)
+	return float64(x>>11)/(1<<53) < loss
+}
+
+// flush is the barrier hook: it converts every outboxed cross-shard
+// packet into a pooled delivery on its destination shard. Arrival
+// times are asserted against the barrier — the latency floor
+// guarantees a packet sent inside a window lands at or after the
+// window's end.
+func (n *Network) flush(end time.Duration) {
+	for _, src := range n.ctxs {
+		for di := range src.outbox {
+			box := src.outbox[di]
+			if len(box) == 0 {
+				continue
+			}
+			dst := n.ctxs[di]
+			for i := range box {
+				x := &box[i]
+				if x.at < end {
+					panic("simnet: cross-shard packet violates lookahead")
+				}
+				d := dst.newDelivery(n)
+				d.srcHost, d.dstHost = x.srcHost, x.dstHost
+				d.src, d.to = x.src, x.to
+				d.msg, d.size = x.msg, x.size
+				dst.sched.PushForeign(x.at, x.actor, x.seq, d.run)
+				box[i] = xfer{} // drop the payload reference
+			}
+			src.outbox[di] = box[:0]
+		}
+	}
 }
 
 // Loss returns the current default per-packet drop probability.
@@ -427,15 +578,24 @@ type portBinding struct {
 // Host is a machine attached to the network. Public hosts own a global
 // IP; private hosts sit behind a dedicated NAT gateway.
 type Host struct {
-	net   *Network
+	net *Network
+	// ctx is the shard context the host executes on: its events fire
+	// on ctx.sched, its sends draw from ctx's pools and outboxes.
+	ctx   *shardCtx
 	id    addr.NodeID
 	idx   int32
 	ip    addr.IP
 	gw    *nat.Gateway
 	ports []portBinding
 	up    bool
+	// lossSeq counts this host's loss draws, the per-sender input to
+	// the stateless loss hash.
+	lossSeq uint64
 	// traffic points at the node's counters, saving any lookup on
-	// every send and delivery. Counters outlive removal.
+	// every send and delivery. Counters outlive removal. Sent fields
+	// are written by the owner shard, received fields by the
+	// deliverer's shard — disjoint words, so no write is concurrent
+	// with another to the same location.
 	traffic *Traffic
 }
 
@@ -502,13 +662,20 @@ func (n *Network) liveHost(id addr.NodeID) (*Host, bool) {
 	return h, true
 }
 
-// AddPublicHost attaches a host with a fresh global IP.
+// AddPublicHost attaches a host with a fresh global IP on shard 0.
 func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
+	return n.AddPublicHostOn(id, 0)
+}
+
+// AddPublicHostOn attaches a public host whose events run on the given
+// kernel shard.
+func (n *Network) AddPublicHostOn(id addr.NodeID, shard int) (*Host, error) {
 	if _, dup := n.liveHost(id); dup {
 		return nil, fmt.Errorf("simnet: node %v already attached", id)
 	}
 	h := &Host{
 		net:     n,
+		ctx:     n.ctxs[shard],
 		id:      id,
 		ip:      n.allocPublicIP(),
 		up:      true,
@@ -519,20 +686,31 @@ func (n *Network) AddPublicHost(id addr.NodeID) (*Host, error) {
 	return h, nil
 }
 
-// AddPrivateHost attaches a host behind a fresh NAT gateway. natCfg's
-// PublicIP field is ignored and replaced with a newly allocated global
-// address for the gateway.
+// AddPrivateHost attaches a host behind a fresh NAT gateway on shard 0.
+// natCfg's PublicIP field is ignored and replaced with a newly
+// allocated global address for the gateway.
 func (n *Network) AddPrivateHost(id addr.NodeID, natCfg nat.Config) (*Host, error) {
+	return n.AddPrivateHostOn(id, natCfg, 0)
+}
+
+// AddPrivateHostOn attaches a NATed host whose events run on the given
+// kernel shard. The gateway gets a private random stream seeded from
+// the world stream at join time and reads the owning shard's clock, so
+// its port allocations and mapping expiries are local to the shard
+// that drives the host.
+func (n *Network) AddPrivateHostOn(id addr.NodeID, natCfg nat.Config, shard int) (*Host, error) {
 	if _, dup := n.liveHost(id); dup {
 		return nil, fmt.Errorf("simnet: node %v already attached", id)
 	}
+	ctx := n.ctxs[shard]
 	natCfg.PublicIP = n.allocPublicIP()
-	gw, err := nat.NewGateway(natCfg, n.sched.Now, n.sched.Rand())
+	gw, err := nat.NewGateway(natCfg, ctx.sched.Now, sim.NewRand(n.seedSrc.Int63()))
 	if err != nil {
 		return nil, fmt.Errorf("simnet: add private host: %w", err)
 	}
 	h := &Host{
 		net:     n,
+		ctx:     ctx,
 		id:      id,
 		ip:      addr.MakeIP(10, 0, 0, 2),
 		gw:      gw,
@@ -582,15 +760,48 @@ func (n *Network) ResetTraffic() {
 	}
 }
 
-// Delivered returns the number of packets handed to socket handlers.
-func (n *Network) Delivered() uint64 { return n.delivered }
+// Sends returns the number of packets accepted from live sockets,
+// summed over shard contexts. Every accepted packet is eventually
+// delivered, dropped, or still in flight, so between windows
+// Delivered()+Dropped() never exceeds Sends().
+func (n *Network) Sends() uint64 {
+	var t uint64
+	for _, c := range n.ctxs {
+		t += c.sends
+	}
+	return t
+}
+
+// Delivered returns the number of packets handed to socket handlers,
+// summed over shard contexts. Like every measurement call it must run
+// between windows.
+func (n *Network) Delivered() uint64 {
+	var t uint64
+	for _, c := range n.ctxs {
+		t += c.delivered
+	}
+	return t
+}
 
 // Dropped returns the number of packets lost to random loss, NAT
-// filtering, partitions, or dead hosts.
-func (n *Network) Dropped() uint64 { return n.dropped }
+// filtering, partitions, or dead hosts, summed over shard contexts.
+func (n *Network) Dropped() uint64 {
+	var t uint64
+	for _, c := range n.ctxs {
+		t += c.dropped
+	}
+	return t
+}
 
-// PartitionDropped returns the number of packets killed by partitions.
-func (n *Network) PartitionDropped() uint64 { return n.partDropped }
+// PartitionDropped returns the number of packets killed by partitions,
+// summed over shard contexts.
+func (n *Network) PartitionDropped() uint64 {
+	var t uint64
+	for _, c := range n.ctxs {
+		t += c.partDropped
+	}
+	return t
+}
 
 // ID returns the node this host belongs to.
 func (h *Host) ID() addr.NodeID { return h.id }
@@ -657,6 +868,7 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 		release(msg)
 		return
 	}
+	ctx := h.ctx
 	src := from
 	if h.gw != nil {
 		src = h.gw.Outbound(from, to)
@@ -664,6 +876,7 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	size := uint64(msg.Size() + n.cfg.HeaderBytes)
 	h.traffic.BytesSent += size
 	h.traffic.MsgsSent++
+	ctx.sends++
 	if m := n.m; m != nil {
 		m.sends.Inc()
 		m.packetBytes.Observe(size)
@@ -673,7 +886,7 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	// admission decision is postponed to delivery time.
 	dstIdx, ok := n.lookupIP(to.IP)
 	if !ok {
-		n.dropped++
+		ctx.dropped++
 		if m := n.m; m != nil {
 			m.dropNoRoute.Inc()
 		}
@@ -682,23 +895,42 @@ func (n *Network) send(h *Host, from, to addr.Endpoint, msg Message) {
 	}
 	dst := n.hosts[dstIdx]
 	loss, extra := n.linkConditions(h.id, dst.id)
-	if loss > 0 && n.sched.Rand().Float64() < loss {
-		n.dropped++
+	if loss > 0 && n.lossDraw(h, loss) {
+		ctx.dropped++
 		if m := n.m; m != nil {
 			m.dropLoss.Inc()
 		}
 		release(msg)
 		return
 	}
-	delay := n.cfg.Latency.Delay(h.id, dst.id) + extra
+	delay := ctx.lat.Delay(h.id, dst.id) + extra
 	if m := n.m; m != nil {
 		m.delayUS.Observe(uint64(delay / time.Microsecond))
 	}
-	d := n.newDelivery()
-	d.srcHost, d.dstHost = h, dst
-	d.src, d.to = src, to
-	d.msg, d.size = msg, size
-	n.sched.Schedule(delay, d.run)
+	if dst.ctx == ctx {
+		d := ctx.newDelivery(n)
+		d.srcHost, d.dstHost = h, dst
+		d.src, d.to = src, to
+		d.msg, d.size = msg, size
+		ctx.sched.Schedule(delay, d.run)
+		return
+	}
+	// Cross-shard: park the packet in the outbox with an ordering key
+	// claimed from the sender's own counter stream. The barrier flush
+	// hands it to the destination shard; the key — not the flush order
+	// — decides where it pops.
+	actor, seq := ctx.sched.ClaimKey()
+	ctx.outbox[dst.ctx.idx] = append(ctx.outbox[dst.ctx.idx], xfer{
+		at:      ctx.sched.Now() + delay,
+		actor:   actor,
+		seq:     seq,
+		srcHost: h,
+		dstHost: dst,
+		src:     src,
+		to:      to,
+		msg:     msg,
+		size:    size,
+	})
 }
 
 func (n *Network) deliver(d *delivery) {
@@ -707,8 +939,9 @@ func (n *Network) deliver(d *delivery) {
 	// ends: dropped here, or once the receive handler has returned.
 	defer release(msg)
 	h := d.dstHost
+	ctx := d.ctx
 	if !h.up {
-		n.dropped++
+		ctx.dropped++
 		if m := n.m; m != nil {
 			m.dropDeadHost.Inc()
 		}
@@ -718,8 +951,8 @@ func (n *Network) deliver(d *delivery) {
 	// partition state: a partition struck mid-flight kills the packet, a
 	// heal lets queued traffic through.
 	if !n.reachableIdx(d.srcHost.idx, h.idx) {
-		n.dropped++
-		n.partDropped++
+		ctx.dropped++
+		ctx.partDropped++
 		if m := n.m; m != nil {
 			m.dropPartition.Inc()
 		}
@@ -730,7 +963,7 @@ func (n *Network) deliver(d *delivery) {
 	if h.gw != nil {
 		translated, admitted := h.gw.Inbound(src, to)
 		if !admitted {
-			n.dropped++
+			ctx.dropped++
 			if m := n.m; m != nil {
 				m.dropNAT.Inc()
 			}
@@ -739,7 +972,7 @@ func (n *Network) deliver(d *delivery) {
 		local = translated
 	} else if h.ip != to.IP {
 		// Host changed identity between send and delivery.
-		n.dropped++
+		ctx.dropped++
 		if m := n.m; m != nil {
 			m.dropStaleIP.Inc()
 		}
@@ -747,7 +980,7 @@ func (n *Network) deliver(d *delivery) {
 	}
 	fn, bound := h.handlerFor(local.Port)
 	if !bound {
-		n.dropped++
+		ctx.dropped++
 		if m := n.m; m != nil {
 			m.dropUnbound.Inc()
 		}
@@ -755,9 +988,16 @@ func (n *Network) deliver(d *delivery) {
 	}
 	h.traffic.BytesRecv += d.size
 	h.traffic.MsgsRecv++
-	n.delivered++
+	ctx.delivered++
 	if m := n.m; m != nil {
 		m.delivered.Inc()
 	}
+	// The handler executes as the receiving node: every scheduling act
+	// it performs (response sends, timers) must claim from the
+	// receiver's own counter stream. The delivery event itself carries
+	// the sender's key, so without this switch the handler would claim
+	// under the sender's actor on the receiver's shard — and per-actor
+	// sequence numbers would depend on the shard layout.
+	ctx.sched.SetActor(int32(h.id - 1))
 	fn(Packet{From: src, To: to, Msg: msg})
 }

@@ -8,8 +8,11 @@
 package world
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -72,6 +75,14 @@ type Config struct {
 	Kind Kind
 	// Seed drives all randomness in the run.
 	Seed int64
+	// Shards selects how many kernel shards execute node events (0 and
+	// 1 both mean one). The world lane — joins, churn, probes — always
+	// runs on the group's global scheduler; nodes are dealt round-robin
+	// onto shard schedulers by ID. For a fixed seed the run is
+	// byte-identical at every shard count: sharding changes wall-clock
+	// time only. More than one shard requires a latency.Bounded model
+	// with a positive MinDelay (the kernel's conservative lookahead).
+	Shards int
 	// Latency is the delay model; defaults to the King-like model
 	// seeded with Seed.
 	Latency latency.Model
@@ -129,7 +140,17 @@ type Node struct {
 	alive    bool
 	dispatch func(simnet.Packet)
 	natidEnv *natid.SimEnv
+	// shard is the kernel shard the node executes on; rng is the node's
+	// private stream for event-time world draws (re-bootstrap, natid
+	// forwarder picks), seeded from the world stream at join so draws
+	// made mid-window never touch a shared source.
+	shard int
+	rng   *rand.Rand
 }
+
+// actor returns the node's kernel actor id: IDs are dense from 1, so the
+// actor is the zero-based slot.
+func (n *Node) actor() int32 { return int32(n.ID - 1) }
 
 // Alive reports whether the node is attached and running.
 func (n *Node) Alive() bool { return n.alive }
@@ -137,12 +158,49 @@ func (n *Node) Alive() bool { return n.alive }
 // Started reports whether the protocol instance is gossiping.
 func (n *Node) Started() bool { return n.Proto != nil }
 
+// worldShard is the world's per-shard state: the shard scheduler, the
+// shard's view of the selection trace, private bootstrap-draw scratch
+// for event-time callbacks, and the deferred protocol starts collected
+// between barriers. Node n lives on shard (n.ID-1) mod shard count.
+type worldShard struct {
+	sched *sim.Scheduler
+	// trace is the shard's recording view of Cfg.SelectionTrace — the
+	// master itself when the world runs a single shard.
+	trace *exchange.Trace
+	// seedBuf and picks are this shard's scratch for bootstrap
+	// directory draws made at event time (re-bootstrap, forwarder
+	// picks), which run concurrently across shards between barriers.
+	seedBuf []view.Descriptor
+	picks   []int
+	// pendingStarts are natid completions recorded mid-window, started
+	// at the next barrier in ID order.
+	pendingStarts []deferredStart
+}
+
+// deferredStart is one node whose NAT-type identification finished and
+// whose protocol instance starts at the next barrier.
+type deferredStart struct {
+	n    *Node
+	sock *simnet.Socket
+	res  natid.Result
+}
+
 // World is a complete simulated deployment.
 type World struct {
-	Cfg   Config
+	Cfg Config
+	// Sched is the world lane: the group's global scheduler, where
+	// joins, churn, probes and every other harness action run. Node
+	// events run on the shard schedulers.
 	Sched *sim.Scheduler
 	Net   *simnet.Network
 	Boot  *bootstrap.Server
+
+	// group is the sharded kernel driving the run; shards is the
+	// world's per-shard state, parallel to group's shard schedulers.
+	group  *sim.Group
+	shards []*worldShard
+	// startScratch is reusable collection space for drainStarts.
+	startScratch []deferredStart
 
 	// nodes is the dense node table: IDs are issued sequentially from
 	// 1, so nodes[id-1] is the node with that ID and slice order is
@@ -187,22 +245,102 @@ func New(cfg Config) (*World, error) {
 		c := nat.DefaultConfig(0)
 		cfg.NAT = &c
 	}
-	sched := sim.New(cfg.Seed)
-	net, err := simnet.New(sched, simnet.Config{Latency: cfg.Latency, Loss: cfg.Loss, Registry: cfg.Registry})
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	// The window width (and the barrier alignment grid natid worlds
+	// need) comes from the latency floor. A single-shard world with an
+	// unbounded model falls back to a 1 ms grid: with one shard the
+	// grid only paces deferred starts, and any fixed value is
+	// self-consistent.
+	grid := time.Millisecond
+	if b, ok := cfg.Latency.(latency.Bounded); ok && b.MinDelay() > 0 {
+		grid = b.MinDelay()
+	} else if cfg.Shards > 1 {
+		return nil, fmt.Errorf("world: %d shards require a latency.Bounded model with a positive MinDelay", cfg.Shards)
+	}
+	group, err := sim.NewGroup(cfg.Seed, cfg.Shards, grid)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	net, err := simnet.NewSharded(group, simnet.Config{Latency: cfg.Latency, Loss: cfg.Loss, Seed: cfg.Seed, Registry: cfg.Registry})
 	if err != nil {
 		return nil, fmt.Errorf("world: %w", err)
 	}
 	w := &World{
 		Cfg:     cfg,
-		Sched:   sched,
+		Sched:   group.Global(),
 		Net:     net,
 		Boot:    bootstrap.NewServer(),
+		group:   group,
 		origins: intern.NewOrigins(),
+	}
+	w.shards = make([]*worldShard, cfg.Shards)
+	for i := range w.shards {
+		ws := &worldShard{sched: group.Shard(i)}
+		if cfg.SelectionTrace != nil {
+			if cfg.Shards == 1 {
+				// One shard records straight into the master: the
+				// merged order equals execution order (selectors fire
+				// in ascending-actor order at equal times), so the two
+				// paths produce identical logs.
+				ws.trace = cfg.SelectionTrace
+			} else {
+				ws.trace = cfg.SelectionTrace.Shard(ws.sched)
+			}
+		}
+		w.shards[i] = ws
+	}
+	if cfg.Shards > 1 && cfg.SelectionTrace != nil {
+		tr := cfg.SelectionTrace
+		group.OnBarrier(func(time.Duration) { tr.MergeShards() })
+	}
+	if !cfg.SkipNatID {
+		// Deferred protocol starts drain at barriers; aligning barriers
+		// to the grid makes the drain schedule — and with it the world
+		// RNG draws protocol construction performs — independent of the
+		// shard count.
+		group.SetAlign(grid)
+		group.OnBarrier(w.drainStarts)
 	}
 	if cfg.Registry != nil {
 		w.protoMetrics = pss.NewMetrics(cfg.Registry, cfg.Kind.String())
 	}
 	return w, nil
+}
+
+// Kernel returns the sharded kernel group driving the world, for
+// harnesses that report aggregate event counts or pace work by barrier.
+func (w *World) Kernel() *sim.Group { return w.group }
+
+// drainStarts runs at every window barrier: natid completions recorded
+// mid-window start their protocols now, in ascending ID order. Both the
+// barrier schedule (aligned to the lookahead grid) and the ID order are
+// shard-count-independent, so the directory registrations and world RNG
+// draws below replay identically at any shard count.
+func (w *World) drainStarts(time.Duration) {
+	pending := 0
+	for _, ws := range w.shards {
+		pending += len(ws.pendingStarts)
+	}
+	if pending == 0 {
+		return
+	}
+	all := w.startScratch[:0]
+	for _, ws := range w.shards {
+		all = append(all, ws.pendingStarts...)
+		ws.pendingStarts = ws.pendingStarts[:0]
+	}
+	slices.SortFunc(all, func(a, b deferredStart) int {
+		return cmp.Compare(a.n.ID, b.n.ID)
+	})
+	for i := range all {
+		if n := all[i].n; n.alive {
+			w.startProtocol(n, all[i].sock, all[i].res.Type, all[i].res.ViaUPnP)
+		}
+		all[i] = deferredStart{}
+	}
+	w.startScratch = all[:0]
 }
 
 // JoinPublic attaches a node with an open global IP.
@@ -221,23 +359,31 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 	// not leave a gap, because the dense node table equates slot i with
 	// ID i+1.
 	id := addr.NodeID(w.nextID + 1)
+	sh := int((uint64(id) - 1) % uint64(len(w.shards)))
 
 	var host *simnet.Host
 	var err error
 	if declared == addr.Public {
-		host, err = w.Net.AddPublicHost(id)
+		host, err = w.Net.AddPublicHostOn(id, sh)
 	} else {
 		natCfg := *w.Cfg.NAT
 		natCfg.UPnP = upnp
-		host, err = w.Net.AddPrivateHost(id, natCfg)
+		host, err = w.Net.AddPrivateHostOn(id, natCfg, sh)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("world: join: %w", err)
 	}
 	w.nextID++
 
-	n := &Node{ID: id, Host: host, Nat: declared, JoinedAt: w.Sched.Now(), alive: true}
+	n := &Node{ID: id, Host: host, Nat: declared, JoinedAt: w.Sched.Now(), alive: true,
+		shard: sh, rng: sim.NewRand(w.Sched.Rand().Int63())}
 	w.nodes = append(w.nodes, n)
+	if w.Cfg.Kind == KindCroupier {
+		// Intern the identity now, at the barrier: event-time origin
+		// lookups by croupier estimate stores then only ever read the
+		// world-shared interner, which keeps it safe across shards.
+		w.origins.Ref(id)
+	}
 
 	// Bind the protocol port now; the protocol instance arrives after
 	// identification and is reached through the dispatch indirection.
@@ -261,7 +407,7 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 		if err != nil {
 			return nil, fmt.Errorf("world: bind natid: %w", err)
 		}
-		env.Init(w.Sched, natSock)
+		env.Init(w.shards[sh].sched, natSock)
 		n.natidEnv = env
 	}
 
@@ -303,20 +449,36 @@ func (w *World) join(declared addr.NatType, upnp bool) (*Node, error) {
 			return mapServicePorts(gw, ip)
 		}
 	}
+	ws := w.shards[sh]
 	client := natid.NewClient(n.natidEnv, w.Cfg.NatIDTimeout, func(res natid.Result) {
 		if !n.alive {
 			return
 		}
-		w.startProtocol(n, protoSock, res.Type, res.ViaUPnP)
+		// Identification completes mid-window on the node's shard.
+		// Protocol construction draws from the world RNG and registers
+		// with the bootstrap directory, so it is deferred to the next
+		// barrier, where starts drain in ID order.
+		ws.pendingStarts = append(ws.pendingStarts, deferredStart{n: n, sock: protoSock, res: res})
 	})
 	n.natidEnv.SetClient(client)
+	// The probes and the identification timeout are the node's own
+	// scheduling acts on its shard.
+	prev := ws.sched.SetActor(n.actor())
 	client.Start(probes, mapper)
+	ws.sched.SetActor(prev)
 	return n, nil
 }
 
 // startProtocol constructs and starts the protocol instance once the
 // node's NAT type is known.
 func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType, viaUPnP bool) {
+	// Construction runs at a barrier (a join or a drained natid
+	// completion) but schedules the node's gossip ticker: those acts
+	// belong to the node's counter stream on its shard.
+	ws := w.shards[n.shard]
+	prevActor := ws.sched.SetActor(n.actor())
+	defer ws.sched.SetActor(prevActor)
+
 	n.Nat = natType
 	n.Endpoint = w.advertisedEndpoint(n, viaUPnP)
 
@@ -339,7 +501,7 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 			cfg.Origins = w.origins
 		}
 		var node *croupier.Node
-		node, err = croupier.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		node, err = croupier.New(cfg, ws.sched, sock, natType, n.Endpoint, seeds)
 		proto, dispatch = node, node.HandlePacket
 	case KindCyclon:
 		cfg := w.Cfg.Cyclon
@@ -347,7 +509,7 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 			cfg = cyclon.DefaultConfig()
 		}
 		var node *cyclon.Node
-		node, err = cyclon.New(cfg, w.Sched, sock, n.Endpoint, seeds)
+		node, err = cyclon.New(cfg, ws.sched, sock, n.Endpoint, seeds)
 		proto, dispatch = node, node.HandlePacket
 	case KindGozar:
 		cfg := w.Cfg.Gozar
@@ -355,7 +517,7 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 			cfg = gozar.DefaultConfig()
 		}
 		var node *gozar.Node
-		node, err = gozar.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		node, err = gozar.New(cfg, ws.sched, sock, natType, n.Endpoint, seeds)
 		proto, dispatch = node, node.HandlePacket
 	case KindNylon:
 		cfg := w.Cfg.Nylon
@@ -363,7 +525,7 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 			cfg = nylon.DefaultConfig()
 		}
 		var node *nylon.Node
-		node, err = nylon.New(cfg, w.Sched, sock, natType, n.Endpoint, seeds)
+		node, err = nylon.New(cfg, ws.sched, sock, natType, n.Endpoint, seeds)
 		proto, dispatch = node, node.HandlePacket
 	default:
 		err = fmt.Errorf("world: unknown kind %d", w.Cfg.Kind)
@@ -378,12 +540,14 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 
 	// Nodes that drain their view (joined before any public existed, or
 	// lost every known croupier) re-query the bootstrap directory, as
-	// any real client would. The callback hands out the world's shared
-	// draw scratch: every protocol's re-bootstrap path copies the
-	// descriptors it keeps before the next directory draw can happen.
+	// any real client would. The callback runs at event time on the
+	// node's shard: it draws from the node's private stream into the
+	// shard's scratch (the directory itself is only read). Every
+	// protocol's re-bootstrap path copies the descriptors it keeps
+	// before the shard's next draw can happen.
 	reseed := func() []view.Descriptor {
-		out := w.Boot.PublicsInto(w.Sched.Rand(), w.Cfg.BootstrapPublics, n.ID, w.seedBuf)
-		w.seedBuf = out
+		out, picks := w.Boot.PublicsScratch(n.rng, w.Cfg.BootstrapPublics, n.ID, ws.seedBuf, ws.picks)
+		ws.seedBuf, ws.picks = out, picks
 		return out
 	}
 	switch p := proto.(type) {
@@ -400,9 +564,9 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 		p.SetRebootstrap(reseed)
 		p.SetMetrics(w.protoMetrics)
 	}
-	if w.Cfg.SelectionTrace != nil {
+	if ws.trace != nil {
 		if tp, ok := proto.(pss.SelectionTraced); ok {
-			tp.SetSelectionTrace(w.Cfg.SelectionTrace)
+			tp.SetSelectionTrace(ws.trace)
 		}
 	}
 
@@ -412,7 +576,7 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 		// forwarders from the bootstrap directory. (No environment was
 		// set up when identification is disabled world-wide.)
 		if n.natidEnv != nil {
-			n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n.ID)))
+			n.natidEnv.SetServer(natid.NewServer(n.natidEnv, w.pickForwarder(n)))
 		}
 	}
 	proto.Start()
@@ -449,11 +613,13 @@ func (w *World) advertisedEndpoint(n *Node, viaUPnP bool) addr.Endpoint {
 // pickForwarder builds a natid forwarder picker backed by the bootstrap
 // directory. The exclude list is a client's probe set — one or two
 // endpoints — so a linear scan replaces the per-call set that used to
-// be built here.
-func (w *World) pickForwarder(self addr.NodeID) natid.ForwarderPicker {
+// be built here. Picks run at event time on the serving node's shard,
+// so they draw from the node's private stream into the shard's scratch.
+func (w *World) pickForwarder(n *Node) natid.ForwarderPicker {
+	ws := w.shards[n.shard]
 	return func(exclude []addr.Endpoint) (addr.Endpoint, bool) {
-		cands := w.Boot.PublicsInto(w.Sched.Rand(), 8, self, w.seedBuf)
-		w.seedBuf = cands
+		cands, picks := w.Boot.PublicsScratch(n.rng, 8, n.ID, ws.seedBuf, ws.picks)
+		ws.seedBuf, ws.picks = cands, picks
 	candidates:
 		for _, d := range cands {
 			ep := addr.Endpoint{IP: d.Endpoint.IP, Port: NatIDPort}
@@ -617,8 +783,12 @@ func (w *World) SnapshotOverlay(o *graph.Overlay, effective bool) {
 	}
 }
 
-// RunUntil advances the simulation to virtual time t.
-func (w *World) RunUntil(t time.Duration) { w.Sched.RunUntil(t) }
+// RunUntil advances the simulation to virtual time t: the world lane
+// and every shard reach t with all events at or before t fired. On
+// return the shards are quiescent, so snapshots (Overlay,
+// MeasureEstimationError, probe sweeps) read protocol state without any
+// synchronisation.
+func (w *World) RunUntil(t time.Duration) { w.group.RunUntil(t) }
 
 // joinAs attaches one fresh node of the given declared type. Scheduled
 // joins are programmatic, so a failure here is a configuration bug

@@ -1,29 +1,120 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_5.json, the perf-trajectory record of the memory
-# plane: round latency and allocations for a 200-node croupier round,
-# 1k/5k-node rounds of all four protocols, the 20k-node croupier round,
-# and — new in this record — world construction (the join wave) at
+# Regenerates the perf-trajectory records.
+#
+# Default mode emits BENCH_8.json, the parallel-kernel record: the
+# 20k/50k-node croupier round and the 50k-node join wave on 1, 2 and 4
+# kernel shards (shards=1 is the sequential reference, measured in the
+# same run and embedded as the baseline), plus the env-gated 250k-node
+# world build. The figures these runs produce are byte-identical at
+# every shard count — the record measures wall time only.
+#
+# REPRO_BENCH_LEGACY=1 additionally regenerates BENCH_5.json, the
+# memory-plane record: round latency and allocations for a 200-node
+# croupier round, 1k/5k-node rounds of all four protocols, the
+# 20k-node croupier round, and world construction (the join wave) at
 # 5k/20k/50k nodes. The pre-PR baseline embedded below is commit
 # 09fc598 (PR 4's kernel: inline 72-byte descriptors, NodeID-keyed
 # estimate stores, natid binds on every join), measured on the same
 # machine with the same benchmark code, so the JSON always carries the
 # before/after pair.
 #
-# Usage: scripts/bench.sh [output.json]
-#   REPRO_BENCH_TIME=30x   benchtime per benchmark (default 20x)
-#   REPRO_BENCH_20K=0      skip the slow 20k-node croupier round benchmark
-#   REPRO_BENCH_50K=0      skip the slow 50k-node construction benchmark
+# Usage: scripts/bench.sh [bench8-output.json]
+#   REPRO_BENCH_TIME=30x   benchtime for the legacy record (default 20x)
+#   REPRO_BENCH_20K=0      skip the slow 20k-node benchmarks
+#   REPRO_BENCH_50K=0      skip the slow 50k-node benchmarks
+#   REPRO_BENCH_250K=1     include the 250k-node sharded world build
+#   REPRO_BENCH_LEGACY=1   also regenerate BENCH_5.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_8.json}
 BENCHTIME=${REPRO_BENCH_TIME:-20x}
 RUN20K=${REPRO_BENCH_20K:-1}
 RUN50K=${REPRO_BENCH_50K:-1}
+RUN250K=${REPRO_BENCH_250K:-0}
+LEGACY=${REPRO_BENCH_LEGACY:-0}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "# benching (benchtime=$BENCHTIME)..." >&2
+# ---------------------------------------------------------------- BENCH_8
+echo "# benching sharded kernel (BENCH_8)..." >&2
+: > "$TMP"
+if [ "$RUN20K" = "1" ]; then
+  go test -run xxx -bench 'ScaleRoundSharded/croupier/n=20000/shards=(1|2|4)$' \
+    -benchtime 3x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+fi
+if [ "$RUN50K" = "1" ]; then
+  go test -run xxx -bench 'ScaleRoundSharded/croupier/n=50000/shards=(1|2|4)$' \
+    -benchtime 2x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+  go test -run xxx -bench 'WorldConstructionSharded/n=50000/shards=(1|4)$' \
+    -benchtime 2x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+fi
+if [ "$RUN250K" = "1" ]; then
+  REPRO_BENCH_250K=1 go test -run xxx -bench 'WorldConstructionSharded/n=250000/shards=4$' \
+    -benchtime 1x -count=1 -timeout 0 . | tee -a "$TMP" >&2
+fi
+
+python3 - "$TMP" "$OUT" <<'PY'
+import json, os, re, subprocess, sys
+
+bench_out, out_path = sys.argv[1], sys.argv[2]
+
+current = {}
+pat = re.compile(
+    r"^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(\d+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op")
+for line in open(bench_out):
+    m = pat.match(line.strip())
+    if not m:
+        continue
+    current[m.group(1)] = {
+        "ns_per_op": int(m.group(2)),
+        "bytes_per_op": int(m.group(3)),
+        "allocs_per_op": int(m.group(4)),
+    }
+
+sequential = {k: v for k, v in current.items() if k.endswith("/shards=1")}
+sharded = {k: v for k, v in current.items() if not k.endswith("/shards=1")}
+speedup = {}
+for name, cur in sharded.items():
+    base = sequential.get(re.sub(r"/shards=\d+$", "/shards=1", name))
+    if base and cur["ns_per_op"]:
+        speedup[name] = round(base["ns_per_op"] / cur["ns_per_op"], 2)
+
+go_version = subprocess.run(["go", "version"], capture_output=True,
+                            text=True).stdout.strip()
+doc = {
+    "record": "BENCH_8",
+    "description": ("Parallel-kernel scale benchmarks: one croupier gossip "
+                    "round on a warm n-node deployment (ScaleRound) and the "
+                    "join wave building an n-node world "
+                    "(WorldConstruction), each at 1/2/4 kernel shards. "
+                    "shards=1 is the sequential reference, measured in the "
+                    "same run; the figures are byte-identical at every "
+                    "shard count, so only wall time varies."),
+    "go": go_version,
+    "host_cores": os.cpu_count(),
+    "note": ("Shard workers are OS threads; wall-clock speedup requires "
+             "free cores. On a single-core host the shards>1 rows price "
+             "the window-barrier coordination instead of showing speedup "
+             "— re-run on a multi-core host for scaling numbers."),
+    "sequential_baseline": sequential,
+    "sharded": sharded,
+    "speedup_vs_sequential": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY
+
+if [ "$LEGACY" != "1" ]; then
+  exit 0
+fi
+
+# ---------------------------------------------------------------- BENCH_5
+OUT=BENCH_5.json
+: > "$TMP"
+echo "# benching memory plane (BENCH_5, benchtime=$BENCHTIME)..." >&2
 go test -run xxx -bench \
   'ScaleRound/(croupier|cyclon|gozar)/n=1000$|ScaleRound/(croupier|cyclon|gozar)/n=5000$|ScaleRound/nylon/n=1000$|CroupierSimulatedRound' \
   -benchtime "$BENCHTIME" -count=1 -timeout 0 . | tee "$TMP" >&2
@@ -32,11 +123,11 @@ go test -run xxx -bench 'ScaleRound/nylon/n=5000$' \
 go test -run xxx -bench 'WorldConstruction/n=(5000|20000)$' \
   -benchtime 3x -count=1 -timeout 0 . | tee -a "$TMP" >&2
 if [ "$RUN20K" = "1" ]; then
-  go test -run xxx -bench 'ScaleRound/croupier/n=20000$' \
+  go test -run xxx -bench 'ScaleRound$/croupier/n=20000$' \
     -benchtime 5x -count=1 -timeout 0 . | tee -a "$TMP" >&2
 fi
 if [ "$RUN50K" = "1" ]; then
-  go test -run xxx -bench 'WorldConstruction/n=50000$' \
+  go test -run xxx -bench 'WorldConstruction$/n=50000$' \
     -benchtime 2x -count=1 -timeout 0 . | tee -a "$TMP" >&2
 fi
 
