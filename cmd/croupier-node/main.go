@@ -11,11 +11,18 @@
 //	    Run one node. Determine -nat out-of-band or with `natprobe`.
 //	    Prints the ratio estimate and a peer sample once per second.
 //	    With -metrics-addr, serves Prometheus metrics on /metrics and
-//	    the standard net/http/pprof profiling endpoints.
+//	    the standard net/http/pprof profiling endpoints. Hardening
+//	    knobs: -peer-rate/-global-rate (inbound rate limits),
+//	    -max-datagram, -max-pending, -inbox-depth (bounded tables),
+//	    -keepalive-every (NAT mapping refresh), -compact-origins-every
+//	    (origin-interner eviction). On SIGINT/SIGTERM the node drains
+//	    gracefully for up to -drain before the socket is released.
 //
-//	croupier-node demo
+//	croupier-node demo [-duration D] [-metrics-addr <ip:port>] [-flood]
 //	    Self-contained loopback swarm: a directory plus 5 public and
-//	    10 private nodes in one process, reporting convergence.
+//	    10 private nodes in one process, reporting convergence. With
+//	    -flood, a junk UDP blaster attacks one node so the rate-limit
+//	    and oversize counters can be observed on -metrics-addr.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/metrics"
 	"repro/internal/pss"
+	"repro/internal/ratelimit"
 )
 
 func main() {
@@ -54,7 +62,7 @@ func run(args []string) error {
 	case "run":
 		return runNode(args[1:])
 	case "demo":
-		return demo()
+		return demo(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -97,6 +105,14 @@ func runNode(args []string) error {
 	id := fs.Uint64("id", 0, "node id (0 = random)")
 	period := fs.Duration("period", time.Second, "gossip round period")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and pprof (empty = disabled)")
+	peerRate := fs.Float64("peer-rate", 0, "per-peer inbound datagrams/s (0 = default 64, burst 2x)")
+	globalRate := fs.Float64("global-rate", 0, "aggregate inbound datagrams/s (0 = default 4096, burst 2x)")
+	maxDatagram := fs.Int("max-datagram", 0, "reject inbound datagrams larger than this many bytes (0 = default 2048)")
+	maxPending := fs.Int("max-pending", 0, "cap on concurrent pending exchanges (0 = default 64, negative = TTL-only)")
+	inboxDepth := fs.Int("inbox-depth", 0, "receive queue depth, oldest dropped when full (0 = default 256)")
+	keepaliveEvery := fs.Int("keepalive-every", 10, "NATed nodes ping public peers every N rounds to hold port mappings (0 = off)")
+	compactEvery := fs.Int("compact-origins-every", 512, "compact the estimate-origin interner every N rounds (0 = off)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown window on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +138,7 @@ func runNode(args []string) error {
 	}
 	cfg := croupier.DefaultConfig()
 	cfg.Params.Period = *period
+	cfg.CompactOriginsEvery = *compactEvery
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
@@ -133,7 +150,15 @@ func runNode(args []string) error {
 		Nat:       natType,
 		Directory: dir,
 		Croupier:  cfg,
-		Registry:  reg,
+		RateLimit: ratelimit.Config{
+			PeerRate: *peerRate, PeerBurst: 2 * *peerRate,
+			GlobalRate: *globalRate, GlobalBurst: 2 * *globalRate,
+		},
+		MaxDatagram:    *maxDatagram,
+		MaxPending:     *maxPending,
+		InboxDepth:     *inboxDepth,
+		KeepaliveEvery: *keepaliveEvery,
+		Registry:       reg,
 	})
 	if err != nil {
 		return err
@@ -178,13 +203,29 @@ func runNode(args []string) error {
 				line += fmt.Sprintf(" sample=%v", sample.ID)
 			}
 			fmt.Println(line)
-		case <-sig:
+		case s := <-sig:
+			// Graceful lifecycle: stop initiating gossip, keep
+			// answering in-flight exchanges until the pending table
+			// drains (or the window runs out), then free the socket.
+			fmt.Printf("%v: draining for up to %v...\n", s, *drain)
+			if err := node.Shutdown(*drain); err != nil {
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			fmt.Println("drained; bye")
 			return nil
 		}
 	}
 }
 
-func demo() error {
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	duration := fs.Duration("duration", 10*time.Second, "how long to run the swarm")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and pprof (empty = disabled)")
+	flood := fs.Bool("flood", false, "blast junk and oversize datagrams at one node to exercise the hardening path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
 	srv, err := deploy.ListenBootstrap("127.0.0.1:0", 10*time.Second, 1)
 	if err != nil {
 		return err
@@ -194,6 +235,24 @@ func demo() error {
 
 	cfg := croupier.DefaultConfig()
 	cfg.Params = pss.Params{ViewSize: 10, ShuffleSize: 5, Period: 100 * time.Millisecond}
+
+	reg := metrics.NewRegistry()
+	if *metricsAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics and pprof on http://%v/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "croupier-node: metrics server:", err)
+			}
+		}()
+	}
 
 	var nodes []*deploy.Node
 	defer func() {
@@ -207,11 +266,13 @@ func demo() error {
 			natType = addr.Public
 		}
 		n, err := deploy.StartNode(deploy.NodeConfig{
-			Listen:    "127.0.0.1:0",
-			ID:        addr.NodeID(i),
-			Nat:       natType,
-			Directory: srv.Endpoint(),
-			Croupier:  cfg,
+			Listen:         "127.0.0.1:0",
+			ID:             addr.NodeID(i),
+			Nat:            natType,
+			Directory:      srv.Endpoint(),
+			Croupier:       cfg,
+			KeepaliveEvery: 10,
+			Registry:       reg,
 		})
 		if err != nil {
 			return err
@@ -223,8 +284,41 @@ func demo() error {
 		}
 	}
 
+	stopFlood := make(chan struct{})
+	if *flood {
+		// A junk blaster far beyond the per-peer budget: the victim must
+		// shed the excess at the rate limiter before any decode work, and
+		// reject the oversize frames at the size check.
+		attacker, err := net.Dial("udp", nodes[0].Endpoint().String())
+		if err != nil {
+			return fmt.Errorf("flood socket: %w", err)
+		}
+		fmt.Printf("flooding node %v with junk datagrams...\n", nodes[0].Endpoint())
+		go func() {
+			defer attacker.Close()
+			junk := []byte("croupier-node demo: junk flood datagram")
+			oversized := make([]byte, 4096)
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				for i := 0; i < 100; i++ {
+					attacker.Write(junk)
+				}
+				attacker.Write(oversized)
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+
 	fmt.Println("\ngossiping with 100 ms rounds (true ratio 5/15 = 0.333)...")
-	for i := 0; i < 10; i++ {
+	seconds := int(*duration / time.Second)
+	if seconds < 1 {
+		seconds = 1
+	}
+	for i := 0; i < seconds; i++ {
 		time.Sleep(time.Second)
 		sum, cnt := 0.0, 0
 		for _, n := range nodes {
@@ -239,6 +333,13 @@ func demo() error {
 		}
 		fmt.Printf("t=%2ds: %d/%d nodes estimating, mean ratio %.3f\n",
 			i+1, cnt, len(nodes), sum/float64(cnt))
+	}
+	close(stopFlood)
+	if *flood {
+		fmt.Printf("hardening: ratelimit_dropped=%d oversize=%d decode_errors=%d\n",
+			reg.Counter("deploy_ratelimit_dropped_total", "").Value(),
+			reg.Counter("deploy_oversize_total", "").Value(),
+			reg.Counter("deploy_decode_errors_total", "").Value())
 	}
 	return nil
 }

@@ -103,12 +103,25 @@ type Config struct {
 	// each duplicate the same origin identities; nil (the default)
 	// gives the node a private interner, which standalone deployments
 	// use. Interners are single-goroutine and must only be shared
-	// between nodes driven by the same loop. They are also append-only:
-	// the table grows with every distinct origin ever seen (unlike the
-	// store's own entries, which expire), a deliberate trade-off that
-	// is bounded by population in simulations but worth watching on
-	// months-long deployments under churn (see package intern).
+	// between nodes driven by the same loop. They are also append-only
+	// between epochs: the table grows with every distinct origin ever
+	// seen (unlike the store's own entries, which expire), a deliberate
+	// trade-off that is bounded by population in simulations but
+	// unbounded over a months-long deployment under churn — which is
+	// what CompactOriginsEvery exists for.
 	Origins *intern.Origins
+	// CompactOriginsEvery, when positive, periodically compacts the
+	// node's private origin interner: every that many rounds the
+	// estimate store marks the references it still holds, dead
+	// identities are dropped, and the survivors are remapped (see
+	// intern.Origins.Compact). The epoch only actually runs when the
+	// interner has grown to more than twice the live estimate count, so
+	// a stable network never pays for rebuilds. Zero (the default)
+	// keeps the append-only behaviour simulations rely on. Requires a
+	// private interner: compaction invalidates references held by every
+	// other store sharing the table, so setting this together with
+	// Origins is a configuration error.
+	CompactOriginsEvery int
 	// CheckExchangeInvariants arms the exchange engine's PeerSwap-style
 	// debug assertions (no self-swap, merge-from-recorded-exchange
 	// atomicity; see exchange.Engine.EnableChecks). A violation panics.
@@ -148,6 +161,12 @@ func (c Config) Validate() error {
 	}
 	if c.RebootstrapEvery < 0 {
 		return fmt.Errorf("croupier: rebootstrap period must be non-negative, got %d", c.RebootstrapEvery)
+	}
+	if c.CompactOriginsEvery < 0 {
+		return fmt.Errorf("croupier: origin compaction period must be non-negative, got %d", c.CompactOriginsEvery)
+	}
+	if c.CompactOriginsEvery > 0 && c.Origins != nil {
+		return fmt.Errorf("croupier: origin compaction requires a private interner (Origins must be nil)")
 	}
 	return nil
 }
@@ -220,9 +239,11 @@ type estimateStore struct {
 	round   int // the last round boundary processed by expire
 	// picks is scratch for the piggyback subset draw; spare is the
 	// rebuild scratch, swapped with slots so rebuilds stop allocating
-	// once the table reaches steady size.
+	// once the table reaches steady size; remap is the compaction
+	// scratch (old ref → mark, then old ref → new ref).
 	picks []int32
 	spare []storedEstimate
+	remap []int32
 }
 
 func newEstimateStore(maxAge int, origins *intern.Origins) *estimateStore {
@@ -369,6 +390,43 @@ func (s *estimateStore) expire(rounds int) {
 	}
 }
 
+// compactOrigins runs an interner epoch for a store that privately
+// owns its interner: references still held by live entries survive,
+// every other identity ever interned is dropped, and the slot table is
+// rebuilt under the remapped references (the slot hash is a function of
+// the reference value, so positions change wholesale). Dead slots do
+// not pin their identities — they fall out with the rebuild.
+func (s *estimateStore) compactOrigins() {
+	n := s.origins.Len()
+	if cap(s.remap) <= n {
+		s.remap = make([]int32, n+1)
+	} else {
+		s.remap = s.remap[:n+1]
+		clear(s.remap)
+	}
+	for i := range s.slots {
+		if e := s.slots[i]; e.origin != 0 && s.liveAt(e) {
+			s.remap[e.origin] = 1
+		}
+	}
+	s.origins.Compact(
+		func(ref int32) bool { return s.remap[ref] != 0 },
+		func(old, new int32) { s.remap[old] = new },
+	)
+	if len(s.slots) == 0 {
+		return
+	}
+	// Rewrite the surviving slots in place (dead slots map to 0 and
+	// read as empty), then force a rebuild to restore probe invariants.
+	for i := range s.slots {
+		if r := s.slots[i].origin; r != 0 {
+			s.slots[i].origin = s.remap[r]
+		}
+	}
+	s.used = len(s.slots)
+	s.ensureSpace()
+}
+
 // sum returns the total of all live estimate values in slot order.
 func (s *estimateStore) sum() float64 {
 	total := 0.0
@@ -483,18 +541,21 @@ type Node struct {
 
 	ticker      *pss.Ticker
 	running     bool
+	draining    bool // graceful shutdown: expire, don't initiate
 	rebootstrap func() []view.Descriptor
 	reseedBuf   []view.Descriptor // scratch for filtering rebootstrap seeds
+	ownsOrigins bool              // private interner: compaction epochs allowed
 
 	// Diagnostics.
 	sentReqs, recvReqs, recvRess uint64
 
 	// m is the (typically world-shared) instrument set; nil when
-	// uninstrumented. lastEstLen is the occupancy this node last
-	// reported into the shared estimate-entries gauge, so round
+	// uninstrumented. lastEstLen and lastOriginsLen are the occupancies
+	// this node last reported into the shared gauges, so round
 	// boundaries and Stop can publish deltas instead of sweeping.
-	m          *pss.Metrics
-	lastEstLen int
+	m              *pss.Metrics
+	lastEstLen     int
+	lastOriginsLen int
 }
 
 // SetMetrics installs shared instruments on the node and its exchange
@@ -562,6 +623,7 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 	origins := cfg.Origins
 	if origins == nil {
 		origins = intern.NewOrigins()
+		n.ownsOrigins = true
 	}
 	n.estimates = *newEstimateStore(cfg.NeighbourHistory, origins)
 	n.pub = *view.New(cfg.Params.ViewSize, n.self)
@@ -580,6 +642,20 @@ func NewWithTransport(cfg Config, id addr.NodeID, rng *rand.Rand, tr Transport,
 // Externally driven deployments call this once per period; simulated
 // nodes tick it from Start.
 func (n *Node) RunRound() { n.eng.RunRound((*policy)(n)) }
+
+// SetMaxPending caps the exchange engine's pending table: once the cap
+// is reached, opening a new exchange evicts the oldest pending record
+// (counted as exchange_pending_evicted_total). Zero, the default,
+// leaves the table bounded only by TTL — fine for simulations, where
+// one exchange leaves per round; deployments under hostile traffic set
+// a hard cap instead.
+func (n *Node) SetMaxPending(k int) { n.eng.SetMaxPending(k) }
+
+// SetDraining switches graceful-shutdown mode: a draining node stops
+// initiating shuffles and re-bootstrapping but keeps answering
+// requests, merging responses, and expiring pending exchanges on its
+// round clock, so in-flight state winds down instead of being cut off.
+func (n *Node) SetDraining(d bool) { n.draining = d }
 
 // SetRebootstrap installs a callback queried for fresh public-node
 // descriptors whenever the public view runs empty — the standard client
@@ -605,6 +681,14 @@ func (n *Node) Rounds() int { return n.eng.Rounds() }
 // PendingExchanges returns the number of shuffle requests awaiting a
 // response or TTL expiry — the exchange engine's pending-table depth.
 func (n *Node) PendingExchanges() int { return n.eng.PendingLen() }
+
+// OriginsLen returns the number of identities held by the node's
+// origin interner — the quantity Config.CompactOriginsEvery bounds.
+func (n *Node) OriginsLen() int { return n.estimates.origins.Len() }
+
+// OriginEpochs returns the number of interner compaction epochs the
+// node has run (always 0 with a shared or uncompacted interner).
+func (n *Node) OriginEpochs() int { return n.estimates.origins.Epochs() }
 
 // PublicView returns a snapshot of the public view.
 func (n *Node) PublicView() []view.Descriptor { return n.pub.Descriptors() }
@@ -637,10 +721,16 @@ func (n *Node) Stop() {
 	}
 	n.running = false
 	n.ticker.Stop()
-	// Retire this node's residue from the shared occupancy gauge.
-	if m := n.m; m != nil && n.lastEstLen != 0 {
-		m.EstimateEntries.Add(int64(-n.lastEstLen))
-		n.lastEstLen = 0
+	// Retire this node's residue from the shared occupancy gauges.
+	if m := n.m; m != nil {
+		if n.lastEstLen != 0 {
+			m.EstimateEntries.Add(int64(-n.lastEstLen))
+			n.lastEstLen = 0
+		}
+		if n.lastOriginsLen != 0 {
+			m.OriginEntries.Add(int64(-n.lastOriginsLen))
+			n.lastOriginsLen = 0
+		}
 	}
 }
 
@@ -662,11 +752,31 @@ func (p *policy) PrepareRound(int) {
 	n.pub.IncrementAges()
 	n.pri.IncrementAges()
 	n.estimates.expire(n.eng.Rounds())
+	// Deployment-grade eviction for the otherwise append-only interner:
+	// on the configured schedule, and only once the table has outgrown
+	// the live estimate set enough to be worth a rebuild (hysteresis —
+	// a stable population never compacts), run an epoch. Guarded to
+	// privately owned interners by Config.Validate.
+	if n.ownsOrigins && n.cfg.CompactOriginsEvery > 0 &&
+		n.eng.Rounds()%n.cfg.CompactOriginsEvery == 0 {
+		if ol := n.estimates.origins.Len(); ol >= 32 && ol > 2*n.estimates.len() {
+			n.estimates.compactOrigins()
+			if n.m != nil {
+				n.m.OriginCompactions.Inc()
+			}
+		}
+	}
 	if m := n.m; m != nil {
 		m.Rounds.Inc()
 		if cur := n.estimates.len(); cur != n.lastEstLen {
 			m.EstimateEntries.Add(int64(cur - n.lastEstLen))
 			n.lastEstLen = cur
+		}
+		if n.ownsOrigins {
+			if cur := n.estimates.origins.Len(); cur != n.lastOriginsLen {
+				m.OriginEntries.Add(int64(cur - n.lastOriginsLen))
+				n.lastOriginsLen = cur
+			}
 		}
 	}
 	// Lines 6-8: croupiers recompute their local estimate from the
@@ -686,7 +796,7 @@ func (p *policy) PrepareRound(int) {
 	// partition can re-mix after the heal.
 	empty := n.pub.Len() == 0
 	periodic := n.cfg.RebootstrapEvery > 0 && n.eng.Rounds()%n.cfg.RebootstrapEvery == 0
-	if (empty || periodic) && n.rebootstrap != nil {
+	if (empty || periodic) && n.rebootstrap != nil && !n.draining {
 		// Filter the returned seeds to publics in node-owned scratch
 		// (the callback may return a cached slice) and healer-merge:
 		// free slots fill, and on a full view the fresh age-0 croupiers
@@ -708,6 +818,9 @@ func (p *policy) PrepareRound(int) {
 // (SelectRandom is the ablation variant.)
 func (p *policy) SelectPeer() (view.Descriptor, bool) {
 	n := (*Node)(p)
+	if n.draining {
+		return view.Descriptor{}, false
+	}
 	switch n.cfg.Selection {
 	case SelectRandom:
 		q, ok := n.pub.Random(&n.rng)

@@ -86,6 +86,11 @@ func TestConfigValidation(t *testing.T) {
 		{"negative estimate subset", func(c *Config) { c.EstimateSubset = -1 }},
 		{"zero pending ttl", func(c *Config) { c.PendingTTL = 0 }},
 		{"negative rebootstrap period", func(c *Config) { c.RebootstrapEvery = -1 }},
+		{"negative compaction period", func(c *Config) { c.CompactOriginsEvery = -1 }},
+		{"compaction of a shared interner", func(c *Config) {
+			c.CompactOriginsEvery = 10
+			c.Origins = intern.NewOrigins()
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -639,5 +644,84 @@ func TestExchangeInvariantsHoldOverSimulatedRounds(t *testing.T) {
 	}
 	if !merged {
 		t.Fatal("no exchange completed; the invariant checks were never exercised on a merge")
+	}
+}
+
+// sinkTransport discards sends; rounds driven against it exercise the
+// full round body without a network.
+type sinkTransport struct{}
+
+func (sinkTransport) Send(addr.Endpoint, simnet.Message) {}
+
+// TestCompactOriginsBoundsInterner drives a deployment-configured node
+// through a churning origin population: five never-before-seen origins
+// merge per round, so an append-only interner would grow with every
+// identity ever gossiped. With the compaction knob on, epochs must run,
+// the interner must stay near the live estimate set, and — the part
+// that breaks if remapping is wrong — every cached estimate must still
+// resolve to its own origin identity afterwards.
+func TestCompactOriginsBoundsInterner(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CompactOriginsEvery = 8
+	n, err := NewWithTransport(cfg, 1, sim.NewRand(1), sinkTransport{}, addr.Private, addr.Endpoint{}, nil)
+	if err != nil {
+		t.Fatalf("NewWithTransport: %v", err)
+	}
+	valueFor := func(id addr.NodeID) float64 { return float64(id%97) / 97 }
+	next := addr.NodeID(100)
+	distinct := 0
+	for round := 0; round < 1000; round++ {
+		n.RunRound()
+		for j := 0; j < 5; j++ {
+			n.mergeEstimates([]Estimate{{Node: next, Value: valueFor(next), Age: 0}})
+			next++
+			distinct++
+		}
+	}
+	if n.OriginEpochs() == 0 {
+		t.Fatal("no compaction epoch ran under churn")
+	}
+	// Live estimates are bounded by γ×5; the interner may run ahead of
+	// that between epochs (hysteresis allows 2× live plus one period's
+	// growth) but must stay far below the distinct-origin total.
+	bound := 3*cfg.NeighbourHistory*5 + 8*5
+	if got := n.OriginsLen(); got > bound {
+		t.Fatalf("interner holds %d identities after %d distinct origins, want ≤ %d", got, distinct, bound)
+	}
+	es := n.CachedEstimates()
+	if len(es) == 0 {
+		t.Fatal("no live estimates survived")
+	}
+	for _, e := range es {
+		if e.Node < 100 || e.Node >= next {
+			t.Fatalf("estimate origin %v outside the merged identity range", e.Node)
+		}
+		if e.Value != valueFor(e.Node) {
+			t.Fatalf("origin %v carries value %v, want %v: compaction remapped references incorrectly", e.Node, e.Value, valueFor(e.Node))
+		}
+	}
+}
+
+// TestCompactOriginsOffGrowsUnbounded pins the contrast: without the
+// knob the interner is append-only, which is exactly what simulations
+// (shared interner, bounded population) rely on.
+func TestCompactOriginsOffGrowsUnbounded(t *testing.T) {
+	n, err := NewWithTransport(DefaultConfig(), 1, sim.NewRand(1), sinkTransport{}, addr.Private, addr.Endpoint{}, nil)
+	if err != nil {
+		t.Fatalf("NewWithTransport: %v", err)
+	}
+	next := addr.NodeID(100)
+	for round := 0; round < 200; round++ {
+		n.RunRound()
+		for j := 0; j < 5; j++ {
+			n.mergeEstimates([]Estimate{{Node: next, Value: 0.5, Age: 0}})
+			next++
+		}
+	}
+	if got := n.OriginsLen(); got != 1000 {
+		t.Fatalf("append-only interner holds %d identities, want all 1000", got)
+	}
+	if n.OriginEpochs() != 0 {
+		t.Fatal("compaction ran with the knob off")
 	}
 }

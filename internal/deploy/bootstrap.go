@@ -205,3 +205,11 @@ func endpointFromAddrPort(a netip.AddrPort) addr.Endpoint {
 		Port: a.Port(),
 	}
 }
+
+// addrPortFromEndpoint is the inverse conversion, used on the send
+// path (WriteToUDPAddrPort allocates nothing, unlike *net.UDPAddr).
+func addrPortFromEndpoint(e addr.Endpoint) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{
+		byte(e.IP >> 24), byte(e.IP >> 16), byte(e.IP >> 8), byte(e.IP),
+	}), e.Port)
+}

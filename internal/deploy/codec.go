@@ -23,6 +23,16 @@ const (
 	kindBootRegister
 	kindBootList
 	kindBootListRes
+	kindKeepalive
+)
+
+// Encoded element sizes on the deployment wire (richer than the
+// paper-accounting sizes in package wire: full 64-bit identities).
+const (
+	// wireDescSize is id(8) + endpoint(6) + nat(1) + age(2).
+	wireDescSize = 17
+	// wireEstSize is node(8) + value(4, float32 bits) + age(2).
+	wireEstSize = 14
 )
 
 // BootRegister announces a public node to the bootstrap directory; also
@@ -39,6 +49,14 @@ type BootList struct {
 // BootListRes answers a BootList.
 type BootListRes struct {
 	Descs []view.Descriptor
+}
+
+// Keepalive is a tiny no-op datagram a NATed node sends towards its
+// known peers between gossip rounds, refreshing the NAT's port mapping
+// so inbound shuffle requests keep landing. Receivers count and drop
+// it.
+type Keepalive struct {
+	From addr.NodeID
 }
 
 // Shuffle-section presence flags: empty optional sections are elided
@@ -105,6 +123,14 @@ func EncodeBootListRes(m BootListRes) []byte {
 	return w.Bytes()
 }
 
+// EncodeKeepalive serialises a NAT-mapping keepalive.
+func EncodeKeepalive(m Keepalive) []byte {
+	var w wire.Writer
+	w.PutU8(kindKeepalive)
+	w.PutU64(uint64(m.From))
+	return w.Bytes()
+}
+
 // Decoder decodes deployment datagrams with pooled shuffle messages:
 // decoded requests and responses (and their payload slices) come from
 // an exchange pool and return to it on Release, so a node's receive
@@ -148,6 +174,8 @@ func (d *Decoder) Decode(b []byte) (any, error) {
 		out = BootList{Max: r.U8()}
 	case kindBootListRes:
 		out = BootListRes{Descs: getDescriptors(r)}
+	case kindKeepalive:
+		out = Keepalive{From: addr.NodeID(r.U64())}
 	default:
 		return nil, fmt.Errorf("deploy: unknown message kind %d", kind)
 	}
@@ -172,18 +200,28 @@ func decodeShuffleInto(r *wire.Reader, from *view.Descriptor, pub, pri *[]view.D
 	}
 }
 
-// appendDescriptors decodes a descriptor list into dst.
+// appendDescriptors decodes a descriptor list into dst. The claimed
+// element count is validated against the actual payload before the
+// loop: a truncated or hostile datagram fails the reader up front
+// instead of appending partial garbage into the pooled slices.
 func appendDescriptors(r *wire.Reader, dst []view.Descriptor) []view.Descriptor {
 	n := int(r.U8())
+	if !r.Need(n * wireDescSize) {
+		return dst
+	}
 	for i := 0; i < n; i++ {
 		dst = append(dst, getDescriptor(r))
 	}
 	return dst
 }
 
-// appendEstimates decodes an estimate list into dst.
+// appendEstimates decodes an estimate list into dst, validating the
+// count like appendDescriptors.
 func appendEstimates(r *wire.Reader, dst []exchange.Estimate) []exchange.Estimate {
 	n := int(r.U8())
+	if !r.Need(n * wireEstSize) {
+		return dst
+	}
 	for i := 0; i < n; i++ {
 		dst = append(dst, croupier.Estimate{
 			Node:  addr.NodeID(r.U64()),
@@ -218,6 +256,8 @@ func Decode(b []byte) (any, error) {
 		out = BootList{Max: r.U8()}
 	case kindBootListRes:
 		out = BootListRes{Descs: getDescriptors(r)}
+	case kindKeepalive:
+		out = Keepalive{From: addr.NodeID(r.U64())}
 	default:
 		return nil, fmt.Errorf("deploy: unknown message kind %d", kind)
 	}
@@ -275,7 +315,7 @@ func putDescriptors(w *wire.Writer, ds []view.Descriptor) {
 
 func getDescriptors(r *wire.Reader) []view.Descriptor {
 	n := int(r.U8())
-	if n == 0 {
+	if n == 0 || !r.Need(n*wireDescSize) {
 		return nil
 	}
 	out := make([]view.Descriptor, 0, n)
@@ -310,7 +350,7 @@ func putEstimates(w *wire.Writer, es []croupier.Estimate) {
 
 func getEstimates(r *wire.Reader) []croupier.Estimate {
 	n := int(r.U8())
-	if n == 0 {
+	if n == 0 || !r.Need(n*wireEstSize) {
 		return nil
 	}
 	out := make([]croupier.Estimate, 0, n)

@@ -1,0 +1,366 @@
+package deploy
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+	"repro/internal/view"
+)
+
+// dropAll blackholes every datagram on the fabric.
+func dropAll(netip.AddrPort, netip.AddrPort, []byte) bool { return true }
+
+// memNode starts a node on the fabric with the given knobs applied.
+func memNode(t *testing.T, fab *fabric, clock *fakeClock, reg *metrics.Registry,
+	i int, nat addr.NatType, ticks <-chan time.Time, mutate func(*NodeConfig)) *Node {
+	t.Helper()
+	cfg := NodeConfig{
+		Conn:     fab.bind(memAddr(i)),
+		ID:       addr.NodeID(i),
+		Nat:      nat,
+		Ticks:    ticks,
+		Now:      clock.now,
+		Registry: reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := StartNode(cfg)
+	if err != nil {
+		t.Fatalf("StartNode(%d): %v", i, err)
+	}
+	return n
+}
+
+// tick drives one gossip round, advancing the simulated second first so
+// rate-limit budgets refill in step with the round clock.
+func tick(clock *fakeClock, ch chan time.Time) {
+	clock.advance(int64(time.Second))
+	ch <- time.Time{}
+}
+
+func TestCloseIsIdempotentAndRaceSafe(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	ticks := make(chan time.Time, 1)
+	n := memNode(t, fab, &clock, metrics.NewRegistry(), 1, addr.Public, ticks, nil)
+
+	// Some live traffic while the races run.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			select {
+			case ticks <- time.Time{}:
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				n.Close()
+			} else {
+				n.Shutdown(10 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	if err := n.Close(); err != nil {
+		t.Fatalf("repeated Close: %v", err)
+	}
+	// Queries against a closed node must return, not hang.
+	if _, ok := n.Estimate(); ok {
+		t.Fatal("closed node returned an estimate")
+	}
+}
+
+// TestLossExpiryAndRecovery pins the retry/TTL path: under total
+// datagram loss with the directory down, the outstanding request
+// expires at TTL (counted — re-requests to the same peer would reset
+// the record, so the directory must stay dead), the table stays
+// bounded, and the node keeps gossiping. When the loss clears and the
+// directory revives, exchanges complete again.
+func TestLossExpiryAndRecovery(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	dir := &testDirectory{}
+	ticksA := make(chan time.Time)
+
+	b := memNode(t, fab, &clock, reg, 2, addr.Public, make(chan time.Time), nil)
+	defer b.Close()
+	dir.add(view.Descriptor{ID: b.ID(), Endpoint: b.Endpoint(), Nat: addr.Public})
+	a := memNode(t, fab, &clock, reg, 1, addr.Public, ticksA,
+		func(c *NodeConfig) { c.FetchSeeds = dir.fetch })
+	defer a.Close()
+
+	fab.setDrop(dropAll)
+	t.Cleanup(func() { fab.setDrop(nil) })
+	dir.setDead(true)
+	expired := reg.Counter("exchange_expired_total", "")
+	responses := reg.Counter("exchange_responses_total", "")
+
+	ttl := a.cfg.Croupier.PendingTTL
+	for i := 0; i < 4*ttl; i++ {
+		tick(&clock, ticksA)
+	}
+	if got := expired.Value(); got == 0 {
+		t.Fatal("no pending exchange expired under total loss")
+	}
+	if got := a.PendingExchanges(); got > ttl+1 {
+		t.Fatalf("pending table holds %d records under loss, want ≤ TTL+1 = %d", got, ttl+1)
+	}
+	if got := a.Rounds(); got != 4*ttl {
+		t.Fatalf("node ran %d rounds under loss, want %d: loss must not stall gossip", got, 4*ttl)
+	}
+
+	// Heal: responses flow again and the pending table drains.
+	fab.setDrop(nil)
+	dir.setDead(false)
+	before := responses.Value()
+	deadline := time.Now().Add(5 * time.Second)
+	for responses.Value() == before {
+		if !time.Now().Before(deadline) {
+			t.Fatal("no exchange completed after the loss cleared")
+		}
+		tick(&clock, ticksA)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFloodIsRateLimitedBeforeDecode pins the admission order: a junk
+// flood from one source is dropped at the rate limiter (attributed,
+// counted) before the decoder sees it, and the victim keeps gossiping.
+func TestFloodIsRateLimitedBeforeDecode(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	ticks := make(chan time.Time)
+	victim := memNode(t, fab, &clock, reg, 1, addr.Public, ticks, nil)
+	defer victim.Close()
+
+	attacker := fab.bind(memAddr(66))
+	defer attacker.Close()
+	junk := []byte("definitely not a croupier datagram")
+	const flood = 2000
+	for i := 0; i < flood; i++ {
+		if _, err := attacker.WriteToUDPAddrPort(junk, memAddr(1)); err != nil {
+			t.Fatalf("attacker write: %v", err)
+		}
+		if i%200 == 199 {
+			time.Sleep(time.Millisecond) // don't outrun the receive queue
+		}
+	}
+	// Wait for the receive count to stabilise, then judge what got
+	// through: the simulated clock is frozen, so at most one per-peer
+	// burst can ever reach the decoder.
+	received := reg.Counter("deploy_udp_rx_total", "")
+	last := uint64(0)
+	for {
+		time.Sleep(20 * time.Millisecond)
+		cur := received.Value()
+		if cur == last {
+			break
+		}
+		last = cur
+	}
+	dropped := reg.Counter("deploy_ratelimit_dropped_total", "")
+	decodeErrs := reg.Counter("deploy_decode_errors_total", "")
+	burst := uint64(victim.cfg.RateLimit.PeerBurst)
+	if burst == 0 {
+		burst = 128 // package default
+	}
+	if last <= burst {
+		t.Fatalf("only %d datagrams arrived; flood too small to exercise the limiter", last)
+	}
+	if got := decodeErrs.Value(); got == 0 || got > burst {
+		t.Fatalf("decoder saw %d junk datagrams, want 1..%d (rest rate-limited)", got, burst)
+	}
+	if got := dropped.Value(); got < last-burst {
+		t.Fatalf("rate limiter dropped %d of %d received, want ≥ %d", got, last, last-burst)
+	}
+	tick(&clock, ticks)
+	if got := victim.Rounds(); got != 1 {
+		t.Fatalf("victim ran %d rounds after the flood, want 1", got)
+	}
+}
+
+// TestOversizeRejectedBeforeDecode pins the size ceiling: a datagram
+// over MaxDatagram is counted and dropped without touching the decoder.
+func TestOversizeRejectedBeforeDecode(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	victim := memNode(t, fab, &clock, reg, 1, addr.Public, make(chan time.Time), nil)
+	defer victim.Close()
+
+	attacker := fab.bind(memAddr(66))
+	defer attacker.Close()
+	attacker.WriteToUDPAddrPort(make([]byte, 4096), memAddr(1))
+
+	oversize := reg.Counter("deploy_oversize_total", "")
+	deadline := time.Now().Add(5 * time.Second)
+	for oversize.Value() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("oversize datagram not counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Counter("deploy_decode_errors_total", "").Value(); got != 0 {
+		t.Fatalf("oversize datagram reached the decoder (%d decode errors)", got)
+	}
+}
+
+// TestKeepalivesReachPublicPeers pins the NAT-mapping refresh: a
+// private node with KeepaliveEvery set sends keepalives to its
+// public-view peers, which count and drop them.
+func TestKeepalivesReachPublicPeers(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	dir := &testDirectory{}
+
+	// Several publics: the round's own selection removes one from the
+	// view, keepalives go to whoever remains — as in a real deployment.
+	for i := 1; i <= 3; i++ {
+		pub := memNode(t, fab, &clock, reg, i, addr.Public, make(chan time.Time), nil)
+		defer pub.Close()
+		dir.add(view.Descriptor{ID: pub.ID(), Endpoint: pub.Endpoint(), Nat: addr.Public})
+	}
+	ticks := make(chan time.Time)
+	pri := memNode(t, fab, &clock, reg, 5, addr.Private, ticks, func(c *NodeConfig) {
+		c.FetchSeeds = dir.fetch
+		c.KeepaliveEvery = 2
+	})
+	defer pri.Close()
+
+	for i := 0; i < 6; i++ {
+		tick(&clock, ticks)
+		time.Sleep(time.Millisecond) // let responses refill the view
+	}
+	if got := reg.Counter("deploy_keepalives_sent_total", "").Value(); got == 0 {
+		t.Fatal("private node sent no keepalives")
+	}
+	rx := reg.Counter("deploy_keepalives_recv_total", "")
+	deadline := time.Now().Add(5 * time.Second)
+	for rx.Value() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("public peer received no keepalive")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRebootstrapBackoffAndRecovery pins dead-seed recovery: a node
+// that starts against a dead directory keeps gossiping, retries seed
+// fetches with exponential backoff (far fewer attempts than rounds),
+// and re-joins as soon as the directory comes back.
+func TestRebootstrapBackoffAndRecovery(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	dir := &testDirectory{dead: true}
+
+	for i := 2; i <= 3; i++ {
+		pub := memNode(t, fab, &clock, reg, i, addr.Public, make(chan time.Time), nil)
+		defer pub.Close()
+		dir.add(view.Descriptor{ID: pub.ID(), Endpoint: pub.Endpoint(), Nat: addr.Public})
+	}
+
+	ticks := make(chan time.Time)
+	// Public nodes may start before the directory is reachable.
+	a := memNode(t, fab, &clock, reg, 1, addr.Public, ticks,
+		func(c *NodeConfig) { c.FetchSeeds = dir.fetch })
+	defer a.Close()
+
+	const deadRounds = 40
+	for i := 0; i < deadRounds; i++ {
+		tick(&clock, ticks)
+		time.Sleep(time.Millisecond) // let failed fetches land
+	}
+	attempts := reg.Counter("deploy_rebootstrap_total", "")
+	failures := reg.Counter("deploy_rebootstrap_failures_total", "")
+	if got := attempts.Value(); got == 0 || got > deadRounds/2 {
+		t.Fatalf("%d fetch attempts over %d dead rounds, want backoff in 1..%d", got, deadRounds, deadRounds/2)
+	}
+	if failures.Value() == 0 {
+		t.Fatal("dead directory produced no counted failures")
+	}
+	if got := a.Rounds(); got != deadRounds {
+		t.Fatalf("node ran %d rounds against a dead directory, want %d", got, deadRounds)
+	}
+
+	dir.setDead(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.Neighbors()) == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("view still empty after the directory recovered")
+		}
+		tick(&clock, ticks)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShutdownDrainsPending pins the graceful lifecycle: Shutdown
+// stops initiation immediately and returns once pending exchanges have
+// drained on the round clock, well before the grace deadline.
+func TestShutdownDrainsPending(t *testing.T) {
+	fab := newFabric()
+	var clock fakeClock
+	reg := metrics.NewRegistry()
+	dir := &testDirectory{}
+	b := memNode(t, fab, &clock, reg, 2, addr.Public, make(chan time.Time), nil)
+	defer b.Close()
+	dir.add(view.Descriptor{ID: b.ID(), Endpoint: b.Endpoint(), Nat: addr.Public})
+	ticks := make(chan time.Time)
+	a := memNode(t, fab, &clock, reg, 1, addr.Public, ticks,
+		func(c *NodeConfig) { c.FetchSeeds = dir.fetch })
+
+	// Blackhole the fabric so a pending record exists, then shut down
+	// while rounds keep ticking: TTL expiry must drain it.
+	fab.setDrop(dropAll)
+	t.Cleanup(func() { fab.setDrop(nil) })
+	tick(&clock, ticks)
+	if got := a.PendingExchanges(); got == 0 {
+		t.Fatal("no pending exchange to drain")
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.advance(int64(time.Second))
+				select {
+				case ticks <- time.Time{}:
+				default:
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	start := time.Now()
+	if err := a.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("Shutdown took %v, want prompt drain via TTL expiry", took)
+	}
+}

@@ -1,0 +1,156 @@
+package deploy
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/view"
+)
+
+// fabric is an in-memory datagram network for deployment tests: conns
+// bound to fake addresses exchange copied payloads through buffered
+// queues, and a pluggable drop hook injects loss, partitions and
+// blackholes without touching a real socket.
+type fabric struct {
+	mu    sync.Mutex
+	conns map[netip.AddrPort]*memConn
+	// drop, when non-nil, is consulted per datagram; returning true
+	// discards it in flight. Called without the fabric lock and from
+	// many goroutines — implementations must be concurrency-safe.
+	drop atomic.Pointer[func(from, to netip.AddrPort, b []byte) bool]
+}
+
+func newFabric() *fabric {
+	return &fabric{conns: make(map[netip.AddrPort]*memConn)}
+}
+
+// setDrop installs (or, with nil, removes) the loss hook.
+func (f *fabric) setDrop(fn func(from, to netip.AddrPort, b []byte) bool) {
+	if fn == nil {
+		f.drop.Store(nil)
+		return
+	}
+	f.drop.Store(&fn)
+}
+
+// bind attaches a new conn at the given address.
+func (f *fabric) bind(ap netip.AddrPort) *memConn {
+	c := &memConn{
+		f:      f,
+		local:  ap,
+		rx:     make(chan memPacket, 1024),
+		closed: make(chan struct{}),
+	}
+	f.mu.Lock()
+	f.conns[ap] = c
+	f.mu.Unlock()
+	return c
+}
+
+type memPacket struct {
+	from netip.AddrPort
+	b    []byte
+}
+
+// memConn implements PacketConn over a fabric.
+type memConn struct {
+	f      *fabric
+	local  netip.AddrPort
+	rx     chan memPacket
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *memConn) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	select {
+	case p := <-c.rx:
+		return copy(b, p.b), p.from, nil
+	case <-c.closed:
+		return 0, netip.AddrPort{}, net.ErrClosed
+	}
+}
+
+func (c *memConn) WriteToUDPAddrPort(b []byte, to netip.AddrPort) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	if fn := c.f.drop.Load(); fn != nil && (*fn)(c.local, to, b) {
+		return len(b), nil // lost in flight, like UDP
+	}
+	c.f.mu.Lock()
+	dst := c.f.conns[to]
+	c.f.mu.Unlock()
+	if dst == nil {
+		return len(b), nil // unreachable host, like UDP
+	}
+	p := memPacket{from: c.local, b: append([]byte(nil), b...)}
+	select {
+	case dst.rx <- p:
+	default: // receiver's queue full: dropped, like a kernel buffer
+	}
+	return len(b), nil
+}
+
+func (c *memConn) LocalAddrPort() netip.AddrPort { return c.local }
+
+func (c *memConn) Close() error {
+	c.once.Do(func() {
+		close(c.closed)
+		c.f.mu.Lock()
+		delete(c.f.conns, c.local)
+		c.f.mu.Unlock()
+	})
+	return nil
+}
+
+// memAddr fabricates the i-th test address.
+func memAddr(i int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), 9000)
+}
+
+// fakeClock is the nanosecond clock compressed deployments share: the
+// test advances it one simulated second per driven round so rate-limit
+// budgets track the round clock instead of wall time.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64       { return c.ns.Load() }
+func (c *fakeClock) advance(ns int64) { c.ns.Add(ns) }
+
+// testDirectory is an in-memory stand-in for the bootstrap service,
+// injected through NodeConfig.FetchSeeds. Marking it dead makes every
+// fetch fail until revived — the dead-seed fault.
+type testDirectory struct {
+	mu    sync.Mutex
+	descs []view.Descriptor
+	dead  bool
+}
+
+var errDirectoryDown = errors.New("memnet: directory down")
+
+func (d *testDirectory) add(desc view.Descriptor) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.descs = append(d.descs, desc)
+}
+
+func (d *testDirectory) setDead(dead bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead = dead
+}
+
+func (d *testDirectory) fetch() ([]view.Descriptor, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return nil, errDirectoryDown
+	}
+	out := make([]view.Descriptor, len(d.descs))
+	copy(out, d.descs)
+	return out, nil
+}

@@ -72,6 +72,12 @@ type Engine struct {
 	recPool FreeList[record]
 	ttl     int
 	rounds  int
+	// maxPending, when positive, hard-caps the pending table: opening
+	// an exchange past it evicts the oldest record first. The table is
+	// naturally bounded at ttl+1 records when the engine's own RunRound
+	// is the only opener, but deployment nodes pin the invariant so no
+	// future opener (or bug) can grow it under hostile traffic.
+	maxPending int
 
 	// checks arms the PeerSwap-style exchange invariants (see
 	// EnableChecks); checkSelf is the owning node's identity, which the
@@ -173,6 +179,28 @@ func InitEngine(e *Engine, pendingTTL int) error {
 	return nil
 }
 
+// SetMaxPending hard-caps the pending table at n records (0 restores
+// the default: bounded only by the per-record TTL). When an open would
+// exceed the cap, the oldest record is evicted and counted as expired
+// plus evicted in the engine metrics.
+func (e *Engine) SetMaxPending(n int) { e.maxPending = n }
+
+// enforcePendingCap evicts oldest records until an append stays within
+// the cap.
+func (e *Engine) enforcePendingCap() {
+	if e.maxPending <= 0 {
+		return
+	}
+	for len(e.pending) >= e.maxPending {
+		r := e.pending[0]
+		e.removePending(0)
+		e.putRecord(r)
+		if e.m != nil {
+			e.m.Evicted.Inc()
+		}
+	}
+}
+
 // Rounds returns the number of rounds driven so far.
 func (e *Engine) Rounds() int { return e.rounds }
 
@@ -262,6 +290,7 @@ func (e *Engine) RunRound(p Protocol) {
 			e.putRecord(e.pending[i])
 			e.removePending(i)
 		}
+		e.enforcePendingCap()
 		e.pending = append(e.pending, r)
 	case Deferred:
 		// The protocol stashed the request and opens the exchange
@@ -288,6 +317,7 @@ func (e *Engine) Open(peer addr.NodeID, sentPub, sentPri []view.Descriptor) {
 	if i := e.findPending(peer); i >= 0 {
 		r = e.pending[i]
 	} else {
+		e.enforcePendingCap()
 		r = e.getRecord()
 		r.peer = peer
 		e.pending = append(e.pending, r)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 	"repro/internal/view"
 )
 
@@ -299,5 +300,54 @@ func TestDeferredDispatchKeepsEarlierExchangeOpen(t *testing.T) {
 		if len(f.merged) != 1 || len(f.merged[0]) != 2 || f.merged[0][0].ID != 2 {
 			t.Fatalf("merge saw %v, want the round-1 sent subset", f.merged)
 		}
+	}
+}
+
+// TestMaxPendingEvictsOldest pins the deployment hard cap: opening
+// exchanges past SetMaxPending drops the oldest records (counted as
+// evictions), so hostile traffic patterns can never grow the table.
+func TestMaxPendingEvictsOldest(t *testing.T) {
+	e := newTestEngine(t, 50) // TTL far beyond the cap, so only the cap bounds
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	e.SetMetrics(m)
+	e.SetMaxPending(3)
+
+	f := &fakeProto{haveTgt: true, delivery: Sent}
+	for id := 1; id <= 5; id++ {
+		f.target = desc(id, 0)
+		e.RunRound(f)
+	}
+	if got := e.PendingLen(); got != 3 {
+		t.Fatalf("pending = %d, want cap 3", got)
+	}
+	for _, id := range []addr.NodeID{1, 2} {
+		if e.Pending(id) {
+			t.Fatalf("oldest exchange %d survived the cap", id)
+		}
+	}
+	for _, id := range []addr.NodeID{3, 4, 5} {
+		if !e.Pending(id) {
+			t.Fatalf("recent exchange %d missing", id)
+		}
+	}
+	if got := m.Evicted.Value(); got != 2 {
+		t.Fatalf("evicted counter = %d, want 2", got)
+	}
+
+	// Open (the deferred-dispatch opener) honours the same cap.
+	e.Open(9, nil, nil)
+	if got := e.PendingLen(); got != 3 {
+		t.Fatalf("pending after Open = %d, want cap 3", got)
+	}
+	if e.Pending(3) || !e.Pending(9) {
+		t.Fatal("Open did not evict the oldest record")
+	}
+
+	// A response for an evicted exchange is late, not merged.
+	res := e.NewRes()
+	res.From = desc(1, 0)
+	if e.HandleResponse(f, res) {
+		t.Fatal("response for an evicted exchange accepted")
 	}
 }

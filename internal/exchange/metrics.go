@@ -18,6 +18,9 @@ type Metrics struct {
 	// Expired counts pending exchanges dropped at TTL without a
 	// response.
 	Expired *metrics.Counter
+	// Evicted counts pending exchanges dropped early because the table
+	// hit its hard cap (Engine.SetMaxPending).
+	Evicted *metrics.Counter
 	// Recycled counts pooled messages returned to their free lists.
 	Recycled *metrics.Counter
 }
@@ -29,6 +32,7 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		Responses: r.Counter("exchange_responses_total", "Responses merged against a pending exchange."),
 		Late:      r.Counter("exchange_late_responses_total", "Responses ignored for lack of a pending record."),
 		Expired:   r.Counter("exchange_expired_total", "Pending exchanges dropped at TTL."),
+		Evicted:   r.Counter("exchange_pending_evicted_total", "Pending exchanges dropped at the table's hard cap."),
 		Recycled:  r.Counter("exchange_recycled_total", "Pooled messages returned to free lists."),
 	}
 }

@@ -225,6 +225,12 @@ type Node struct {
 	running     bool
 	rebootstrap func() []view.Descriptor
 
+	// relayEvents, when set, observes relay failover; the scratch
+	// slices back the callback's arguments and are reused each round.
+	relayEvents func(lost, gained []view.Relay)
+	lostScratch []view.Relay
+	gainScratch []view.Relay
+
 	failedShuffles uint64
 
 	// m is the (typically world-shared) instrument set; nil when
@@ -316,6 +322,15 @@ func (n *Node) FailedShuffles() uint64 { return n.failedShuffles }
 // descriptors whenever the view runs empty, mirroring a real client
 // re-contacting the bootstrap service instead of staying isolated.
 func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// SetRelayEvents installs a relay-failover listener, called on the
+// protocol goroutine at the end of any round in which a private node's
+// relay set changed: lost holds relays dropped for missed acks, gained
+// the replacements recruited from the public view. The slices are
+// reused across rounds — copy them to retain. Deployment runtimes use
+// this to re-advertise descriptors or alert on relay starvation; nil
+// removes the listener. Call before the node starts gossiping.
+func (n *Node) SetRelayEvents(fn func(lost, gained []view.Relay)) { n.relayEvents = fn }
 
 // Start implements pss.Protocol.
 func (n *Node) Start() {
@@ -423,12 +438,14 @@ func (p *policy) MergeResponse(res *ShuffleRes, sentPub, _ []view.Descriptor) {
 // keep-alive registrations.
 func (n *Node) maintainRelays() {
 	changed := false
+	n.lostScratch, n.gainScratch = n.lostScratch[:0], n.gainScratch[:0]
 	live := n.relays[:0]
 	for _, r := range n.relays {
 		if n.eng.Rounds()-r.lastAck <= n.cfg.RelayAckTimeout {
 			live = append(live, r)
 		} else {
 			changed = true
+			n.lostScratch = append(n.lostScratch, r.relay)
 		}
 	}
 	n.relays = live
@@ -439,6 +456,10 @@ func (n *Node) maintainRelays() {
 		}
 		n.relays = append(n.relays, relayState{relay: cand, lastAck: n.eng.Rounds()})
 		changed = true
+		n.gainScratch = append(n.gainScratch, cand)
+	}
+	if changed && n.relayEvents != nil {
+		n.relayEvents(n.lostScratch, n.gainScratch)
 	}
 	if changed {
 		// Fresh allocation on purpose: descriptor copies already out in

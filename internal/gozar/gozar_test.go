@@ -276,3 +276,77 @@ func TestRelayForwardUnknownClientDropped(t *testing.T) {
 		t.Fatal("relay forwarded to an unknown client")
 	}
 }
+
+// TestRelayEventsOnFailover pins the failover hook: acquiring relays
+// fires gained, a dead relay fires lost with its replacement gained in
+// the same sweep, and refresh-only rounds stay silent.
+func TestRelayEventsOnFailover(t *testing.T) {
+	r := newRig(t)
+	// Enough publics that the view always holds an unused one even after
+	// the round's shuffle target is taken out of it, and publics that
+	// know each other so shuffle responses replenish the private's view
+	// instead of only re-adding the responder.
+	pubs := make([]*Node, 0, 5)
+	for id := 1; id <= 5; id++ {
+		pubs = append(pubs, r.pubNode(t, addr.NodeID(id), nil))
+	}
+	seeds := make([]view.Descriptor, 0, len(pubs))
+	for _, p := range pubs {
+		seeds = append(seeds, pubDesc(p))
+	}
+	for _, p := range pubs {
+		p.view.Merge(nil, seeds)
+	}
+	priv := r.priNode(t, 6, seeds)
+	priv.cfg.NumRelays = 2 // leave publics in reserve for the failover
+
+	var lostAll, gainedAll []view.Relay
+	events := 0
+	priv.SetRelayEvents(func(l, g []view.Relay) {
+		events++
+		lostAll = append(lostAll, l...) // reused scratch: copy to retain
+		gainedAll = append(gainedAll, g...)
+	})
+
+	priv.runRound()
+	r.sched.Run()
+	if events != 1 || len(lostAll) != 0 || len(gainedAll) != priv.cfg.NumRelays {
+		t.Fatalf("acquisition: events=%d lost=%v gained=%v, want one all-gained event of %d",
+			events, lostAll, gainedAll, priv.cfg.NumRelays)
+	}
+
+	// Steady state: acks flow, the set is stable, no events fire.
+	priv.runRound()
+	r.sched.Run()
+	if events != 1 {
+		t.Fatalf("steady state fired %d extra events", events-1)
+	}
+
+	// Kill one relay: once its acks stop, the timeout sweep must fire a
+	// lost event naming it, and topping the set back up must fire gained
+	// events. (Which public gets recruited depends on what the shuffled
+	// view offers at that moment — the dead node's descriptor may still
+	// circulate and be re-picked, exactly as in production — so the hook
+	// contract, not the final membership, is what this test pins.)
+	victim := priv.Relays()[0].ID
+	r.net.Remove(victim)
+	sawLoss := func() bool {
+		for _, rl := range lostAll {
+			if rl.ID == victim {
+				return true
+			}
+		}
+		return false
+	}
+	sawRecruit := func() bool { return len(gainedAll) > priv.cfg.NumRelays }
+	for i := 0; i < (priv.cfg.RelayAckTimeout+2)*8 && !(sawLoss() && sawRecruit()); i++ {
+		priv.runRound()
+		r.sched.Run()
+	}
+	if !sawLoss() {
+		t.Fatalf("no lost event named the dead relay %d: lost=%v", victim, lostAll)
+	}
+	if !sawRecruit() {
+		t.Fatalf("no gained event beyond acquisition: %v", gainedAll)
+	}
+}

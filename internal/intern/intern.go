@@ -14,14 +14,18 @@
 // it: worlds never share interners (the parallel runner gives every
 // world its own), and deployment nodes construct a private one.
 //
-// Interners are append-only by design: references are never revoked,
-// so holders never coordinate eviction and a reference resolves for
-// the interner's whole lifetime. The cost is that the table grows with
-// the number of *distinct* identities ever interned (~12 bytes each
-// for dense IDs) — bounded by total population over a simulated
-// world's life, but unbounded over a months-long deployment in a
-// churning network. Deployment-grade eviction (epoch or refcount
-// based) is an open item tracked in ROADMAP.md.
+// Interners are append-only between epochs: references are never
+// revoked mid-epoch, so holders never coordinate eviction and a
+// reference resolves until its holder participates in a compaction.
+// The cost is that the table grows with the number of *distinct*
+// identities ever interned (~12 bytes each for dense IDs) — bounded by
+// total population over a simulated world's life, but unbounded over a
+// months-long deployment in a churning network. Deployments therefore
+// periodically run Compact: the (single) holder reports which
+// references are still live, dead identities are dropped, and the
+// survivors are re-issued dense references the holder rewrites in
+// place — epoch-based eviction with the epoch boundary owned by the
+// holder's own round loop.
 package intern
 
 import "repro/internal/addr"
@@ -43,6 +47,7 @@ type Origins struct {
 	ids    []addr.NodeID // ref-1 → identity
 	dense  []int32       // identity → ref for dense IDs; noRef = unissued
 	sparse map[addr.NodeID]int32
+	epochs int // completed compactions
 }
 
 // NewOrigins returns an empty interner.
@@ -93,4 +98,67 @@ func (o *Origins) Lookup(ref int32) addr.NodeID {
 		return 0
 	}
 	return o.ids[ref-1]
+}
+
+// Epochs returns the number of compactions performed.
+func (o *Origins) Epochs() int { return o.epochs }
+
+// Compact starts a new epoch: every reference for which keep reports
+// false is evicted with its identity, and the survivors are re-issued
+// fresh dense references (preserving first-intern order), each reported
+// through moved(old, new) so the holder can rewrite its stored
+// references in place. After Compact returns, pre-epoch references are
+// invalid — the holder must only use the remapped values. moved may be
+// nil when the holder rebuilds from identities instead.
+//
+// Compact is the deployment-grade eviction for the otherwise
+// append-only table: the holder (a croupier estimate store, whose
+// entries expire on their own) marks its live references, and the
+// interner's memory shrinks back to the live set instead of growing
+// with every origin identity ever gossiped.
+func (o *Origins) Compact(keep func(ref int32) bool, moved func(old, new int32)) {
+	kept := o.ids[:0]
+	for old := int32(1); int(old) <= len(o.ids); old++ {
+		if !keep(old) {
+			continue
+		}
+		kept = append(kept, o.ids[old-1])
+		if moved != nil {
+			moved(old, int32(len(kept)))
+		}
+	}
+	// Drop the evicted tail so identities don't linger past the epoch.
+	tail := o.ids[len(kept):]
+	for i := range tail {
+		tail[i] = 0
+	}
+	o.ids = kept
+	// Rebuild the reverse indexes from the surviving identities.
+	for i := range o.dense {
+		o.dense[i] = noRef
+	}
+	if len(o.sparse) != 0 {
+		o.sparse = make(map[addr.NodeID]int32)
+	}
+	maxDense := 0
+	for i, id := range o.ids {
+		ref := int32(i + 1)
+		if id < maxDenseID {
+			j := int(id)
+			for len(o.dense) <= j {
+				o.dense = append(o.dense, noRef)
+			}
+			o.dense[j] = ref
+			if j > maxDense {
+				maxDense = j
+			}
+		} else {
+			o.sparse[id] = ref
+		}
+	}
+	// Shrink the dense index when eviction dropped its upper range.
+	if maxDense+1 < len(o.dense) {
+		o.dense = o.dense[: maxDense+1 : cap(o.dense)]
+	}
+	o.epochs++
 }

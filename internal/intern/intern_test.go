@@ -47,3 +47,97 @@ func TestZeroAndInvalidRefs(t *testing.T) {
 		t.Fatalf("Lookup(unissued) = %v, want 0", id)
 	}
 }
+
+func TestCompactRemapsSurvivors(t *testing.T) {
+	o := NewOrigins()
+	// Mix dense and sparse identities so both reverse indexes compact.
+	ids := []addr.NodeID{10, maxDenseID + 1, 20, 30, maxDenseID + 2}
+	for _, id := range ids {
+		o.Ref(id)
+	}
+
+	// Keep refs 2, 4, 5 (maxDenseID+1, 30, maxDenseID+2).
+	live := map[int32]bool{2: true, 4: true, 5: true}
+	remap := map[int32]int32{}
+	o.Compact(func(ref int32) bool { return live[ref] },
+		func(old, new int32) { remap[old] = new })
+
+	if o.Epochs() != 1 {
+		t.Fatalf("Epochs = %d, want 1", o.Epochs())
+	}
+	if o.Len() != 3 {
+		t.Fatalf("Len after compaction = %d, want 3", o.Len())
+	}
+	// Survivors keep first-intern order under their new refs.
+	want := map[int32]int32{2: 1, 4: 2, 5: 3}
+	if len(remap) != len(want) {
+		t.Fatalf("moved reported %d pairs, want %d", len(remap), len(want))
+	}
+	for old, new := range want {
+		if remap[old] != new {
+			t.Fatalf("ref %d remapped to %d, want %d", old, remap[old], new)
+		}
+	}
+	// New refs resolve to the surviving identities; evicted ones are gone.
+	for old, id := range map[int32]addr.NodeID{2: maxDenseID + 1, 4: 30, 5: maxDenseID + 2} {
+		if got := o.Lookup(remap[old]); got != id {
+			t.Fatalf("Lookup(%d) = %v, want %v", remap[old], got, id)
+		}
+		if got := o.Ref(id); got != remap[old] {
+			t.Fatalf("Ref(%v) = %d after compaction, want %d", id, got, remap[old])
+		}
+	}
+	if got := o.Ref(10); got != 4 {
+		t.Fatalf("evicted identity re-interned as %d, want fresh ref 4", got)
+	}
+}
+
+func TestCompactDropAll(t *testing.T) {
+	o := NewOrigins()
+	for id := addr.NodeID(1); id <= 100; id++ {
+		o.Ref(id)
+	}
+	o.Compact(func(int32) bool { return false }, nil)
+	if o.Len() != 0 {
+		t.Fatalf("Len after drop-all = %d, want 0", o.Len())
+	}
+	if id := o.Lookup(1); id != 0 {
+		t.Fatalf("Lookup(1) after drop-all = %v, want 0", id)
+	}
+	// The interner is reusable: fresh refs start from 1 again.
+	if r := o.Ref(7); r != 1 {
+		t.Fatalf("first ref of new epoch = %d, want 1", r)
+	}
+}
+
+func TestCompactKeepAllIsIdentity(t *testing.T) {
+	o := NewOrigins()
+	ids := []addr.NodeID{3, 1, 4, maxDenseID + 9}
+	for _, id := range ids {
+		o.Ref(id)
+	}
+	o.Compact(func(int32) bool { return true },
+		func(old, new int32) {
+			if old != new {
+				t.Fatalf("keep-all moved ref %d to %d", old, new)
+			}
+		})
+	for i, id := range ids {
+		if got := o.Ref(id); got != int32(i+1) {
+			t.Fatalf("Ref(%v) = %d after keep-all, want %d", id, got, i+1)
+		}
+	}
+}
+
+// TestCompactShrinksDenseIndex pins the point of compaction: the
+// reverse index does not stay sized for the largest identity ever seen.
+func TestCompactShrinksDenseIndex(t *testing.T) {
+	o := NewOrigins()
+	o.Ref(5)
+	o.Ref(100_000)
+	keepOnly := int32(1) // keep identity 5, drop 100000
+	o.Compact(func(ref int32) bool { return ref == keepOnly }, nil)
+	if len(o.dense) > 6 {
+		t.Fatalf("dense index holds %d entries after eviction, want ≤ 6", len(o.dense))
+	}
+}

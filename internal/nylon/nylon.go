@@ -242,6 +242,13 @@ type Node struct {
 	running     bool
 	rebootstrap func() []view.Descriptor
 
+	// rvpEvents, when set, observes rendezvous-point lifecycle:
+	// established on a completed direct exchange, torn down on TTL
+	// expiry or capacity eviction. evIDs is the deterministic-order
+	// scratch for expiry sweeps.
+	rvpEvents func(peer addr.NodeID, established bool)
+	evIDs     []addr.NodeID
+
 	// resFrom is the observed source endpoint of the response currently
 	// being handled; see handleRes.
 	resFrom addr.Endpoint
@@ -332,6 +339,15 @@ func (n *Node) RVPCount() int { return len(n.rvps) }
 // descriptors whenever the view runs empty, mirroring a real client
 // re-contacting the bootstrap service instead of staying isolated.
 func (n *Node) SetRebootstrap(fn func() []view.Descriptor) { n.rebootstrap = fn }
+
+// SetRVPEvents installs a rendezvous-point lifecycle listener, called
+// on the protocol goroutine with established=true when a completed
+// direct exchange makes the peer an RVP, and established=false when
+// the relationship is torn down — by TTL expiry or by capacity
+// eviction. Refreshes of an existing relationship do not re-fire.
+// Deployment runtimes use this to maintain NAT keepalive target sets;
+// nil removes the listener. Call before the node starts gossiping.
+func (n *Node) SetRVPEvents(fn func(peer addr.NodeID, established bool)) { n.rvpEvents = fn }
 
 // Start implements pss.Protocol.
 func (n *Node) Start() {
@@ -469,11 +485,22 @@ func (n *Node) nextHopFor(q view.Descriptor) (addr.Endpoint, bool) {
 // expireState ages out dead RVPs, stale routes, and abandoned punch
 // attempts (the engine expires pending shuffles itself).
 func (n *Node) expireState() {
+	// Sweep in sorted order so teardown events fire deterministically
+	// regardless of map iteration order.
+	n.evIDs = n.evIDs[:0]
 	for id, r := range n.rvps {
 		if n.eng.Rounds()-r.lastRefresh > n.cfg.RVPTTL {
-			delete(n.rvps, id)
-			r.ext = nil // drop the cached extension with the relationship
-			n.rvpPool.Put(r)
+			n.evIDs = append(n.evIDs, id)
+		}
+	}
+	slices.Sort(n.evIDs)
+	for _, id := range n.evIDs {
+		r := n.rvps[id]
+		delete(n.rvps, id)
+		r.ext = nil // drop the cached extension with the relationship
+		n.rvpPool.Put(r)
+		if n.rvpEvents != nil {
+			n.rvpEvents(id, false)
 		}
 	}
 	for id, r := range n.routes {
@@ -517,6 +544,9 @@ func (n *Node) becomeRVPs(id addr.NodeID, ep addr.Endpoint) {
 		r = n.rvpPool.Get()
 		r.ext = nil // recycled records may carry a stale cache
 		n.rvps[id] = r
+		if n.rvpEvents != nil {
+			n.rvpEvents(id, true)
+		}
 	} else if r.endpoint != ep {
 		r.ext = nil // cached ViaEndpoint no longer matches
 	}
@@ -555,6 +585,9 @@ func (n *Node) evictOldestRVP(keep addr.NodeID) {
 		v.ext = nil
 		n.rvpPool.Put(v)
 		delete(n.rvps, victim)
+		if n.rvpEvents != nil {
+			n.rvpEvents(victim, false)
+		}
 	}
 }
 

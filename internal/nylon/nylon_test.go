@@ -440,3 +440,104 @@ func TestRestampReplacesSharedExt(t *testing.T) {
 		t.Fatalf("restamped via = %v, want new partner 6", out[0].Via())
 	}
 }
+
+// TestRVPEvents pins the rendezvous lifecycle hook: a completed direct
+// exchange fires (peer, established=true) on both ends, keep-alive
+// refreshes stay silent, and TTL expiry fires (peer, false).
+func TestRVPEvents(t *testing.T) {
+	r := newRig(t)
+	a := r.pubNode(t, 1, nil)
+	b := r.pubNode(t, 2, nil)
+	a.view.Add(descOf(b))
+
+	type ev struct {
+		peer        addr.NodeID
+		established bool
+	}
+	var aEvents, bEvents []ev
+	a.SetRVPEvents(func(peer addr.NodeID, established bool) {
+		aEvents = append(aEvents, ev{peer, established})
+	})
+	b.SetRVPEvents(func(peer addr.NodeID, established bool) {
+		bEvents = append(bEvents, ev{peer, established})
+	})
+
+	a.runRound()
+	r.sched.Run()
+	if len(aEvents) != 1 || aEvents[0] != (ev{2, true}) {
+		t.Fatalf("requester events = %v, want [(2,true)]", aEvents)
+	}
+	if len(bEvents) != 1 || bEvents[0] != (ev{1, true}) {
+		t.Fatalf("responder events = %v, want [(1,true)]", bEvents)
+	}
+
+	// Keep-alive refreshes keep the RVP alive without re-firing.
+	for i := 0; i < a.cfg.RVPTTL*2; i++ {
+		idleRound(a)
+		idleRound(b)
+		r.sched.Run()
+	}
+	if len(aEvents) != 1 || len(bEvents) != 1 {
+		t.Fatalf("refresh rounds fired events: a=%v b=%v", aEvents, bEvents)
+	}
+
+	// Idle without delivering keep-alives (scheduler never runs): the
+	// TTL sweep tears the relationship down with a (peer, false) event.
+	for i := 0; i <= a.cfg.RVPTTL+1; i++ {
+		idleRound(a)
+	}
+	if len(aEvents) != 2 || aEvents[1] != (ev{2, false}) {
+		t.Fatalf("expiry events = %v, want [(2,true) (2,false)]", aEvents)
+	}
+}
+
+// TestRVPEventsOnCapacityEviction pins the hook on the MaxRVPs bound:
+// the evicted victim fires (victim, false) and the newcomer that pushed
+// it out fires (newcomer, true).
+func TestRVPEventsOnCapacityEviction(t *testing.T) {
+	r := newRig(t)
+	h, err := r.net.AddPublicHost(1)
+	if err != nil {
+		t.Fatalf("AddPublicHost: %v", err)
+	}
+	var n *Node
+	sock, err := h.Bind(100, func(p simnet.Packet) { n.HandlePacket(p) })
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxRVPs = 2
+	n, err = New(cfg, r.sched, sock, addr.Public, addr.Endpoint{IP: h.IP(), Port: 100}, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	type ev struct {
+		peer        addr.NodeID
+		established bool
+	}
+	var events []ev
+	n.SetRVPEvents(func(peer addr.NodeID, established bool) {
+		events = append(events, ev{peer, established})
+	})
+	ep := func(i int) addr.Endpoint {
+		return addr.Endpoint{IP: addr.MakeIP(9, 0, 0, byte(i)), Port: 100}
+	}
+	n.becomeRVPs(2, ep(2))
+	n.becomeRVPs(3, ep(3))
+	if len(events) != 2 || events[0] != (ev{2, true}) || events[1] != (ev{3, true}) {
+		t.Fatalf("fill events = %v, want [(2,true) (3,true)]", events)
+	}
+	// 4 arrives at capacity: 2 (stalest, smallest-ID tie-break) goes.
+	n.becomeRVPs(4, ep(4))
+	if len(events) != 4 {
+		t.Fatalf("eviction events = %v, want two more", events)
+	}
+	saw := map[ev]bool{events[2]: true, events[3]: true}
+	if !saw[ev{2, false}] || !saw[ev{4, true}] {
+		t.Fatalf("eviction events = %v, want (2,false) and (4,true)", events[2:])
+	}
+	if _, ok := n.rvps[2]; ok {
+		t.Fatal("victim 2 still present after eviction")
+	}
+}

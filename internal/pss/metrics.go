@@ -35,6 +35,13 @@ type Metrics struct {
 	// EstimateEntries is the live entry total across all croupier
 	// estimate stores.
 	EstimateEntries *metrics.Gauge
+	// OriginEntries is the interned origin-identity total across nodes
+	// owning a private interner (deployments; worlds share one interner
+	// and would double-count it).
+	OriginEntries *metrics.Gauge
+	// OriginCompactions counts interner compaction epochs run
+	// (croupier.Config.CompactOriginsEvery).
+	OriginCompactions *metrics.Counter
 	// RVPs is the registered rendezvous-point relationship total across
 	// all nylon nodes.
 	RVPs *metrics.Gauge
@@ -47,14 +54,16 @@ type Metrics struct {
 func NewMetrics(r *metrics.Registry, proto string) *Metrics {
 	lbl := `{proto="` + proto + `"}`
 	return &Metrics{
-		Rounds:          r.Counter("pss_rounds_total"+lbl, "Protocol rounds driven."),
-		Merges:          r.Counter("pss_merges_total"+lbl, "View merges applied."),
-		FailedShuffles:  r.Counter("pss_failed_shuffles_total"+lbl, "Shuffles that could not be dispatched."),
-		PunchAttempts:   r.Counter("pss_punch_attempts_total"+lbl, "Hole punches initiated."),
-		PunchSuccesses:  r.Counter("pss_punch_successes_total"+lbl, "Hole punches confirmed open."),
-		Relayed:         r.Counter("pss_relayed_total"+lbl, "Messages forwarded for other nodes."),
-		EstimateEntries: r.Gauge("pss_estimate_entries"+lbl, "Live estimate-store entries across nodes."),
-		RVPs:            r.Gauge("pss_rvps"+lbl, "Registered rendezvous relationships across nodes."),
-		Exchange:        exchange.NewMetrics(r),
+		Rounds:            r.Counter("pss_rounds_total"+lbl, "Protocol rounds driven."),
+		Merges:            r.Counter("pss_merges_total"+lbl, "View merges applied."),
+		FailedShuffles:    r.Counter("pss_failed_shuffles_total"+lbl, "Shuffles that could not be dispatched."),
+		PunchAttempts:     r.Counter("pss_punch_attempts_total"+lbl, "Hole punches initiated."),
+		PunchSuccesses:    r.Counter("pss_punch_successes_total"+lbl, "Hole punches confirmed open."),
+		Relayed:           r.Counter("pss_relayed_total"+lbl, "Messages forwarded for other nodes."),
+		EstimateEntries:   r.Gauge("pss_estimate_entries"+lbl, "Live estimate-store entries across nodes."),
+		OriginEntries:     r.Gauge("pss_origin_entries"+lbl, "Interned origin identities across privately owned interners."),
+		OriginCompactions: r.Counter("pss_origin_compactions_total"+lbl, "Interner compaction epochs run."),
+		RVPs:              r.Gauge("pss_rvps"+lbl, "Registered rendezvous relationships across nodes."),
+		Exchange:          exchange.NewMetrics(r),
 	}
 }

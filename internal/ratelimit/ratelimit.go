@@ -1,0 +1,266 @@
+// Package ratelimit provides the token-bucket admission control of the
+// real-UDP deployment path: a per-peer bucket table bounded by an LRU,
+// backed by one global bucket, so a long-lived public node survives
+// both a single hostile sender and a distributed junk flood without
+// growing memory or starving its driver loop.
+//
+// The design constraints mirror the rest of the repository's hot-path
+// code. Time is a caller-supplied nanosecond instant, never read from
+// the wall clock inside the package, so tests (and the compressed soak
+// deployment) drive limiters deterministically. The steady-state path —
+// a known peer inside its budget — is one map probe, two integer
+// refills and a list splice, and allocates nothing: peer states are
+// recycled through the LRU in place, so a blast of never-seen sources
+// churns the table without churning the heap.
+package ratelimit
+
+import "fmt"
+
+// Bucket is a token bucket with nanosecond-granularity refill. The zero
+// value is unusable; initialise with Init. Tokens are stored scaled by
+// tokenScale so refill stays in integer math (no float drift across the
+// billions of refills of a soak run).
+type Bucket struct {
+	tokens int64 // scaled by tokenScale
+	burst  int64 // scaled capacity
+	rate   int64 // scaled tokens per second
+	last   int64 // nanos of the last refill
+}
+
+// tokenScale is the fixed-point scale of bucket arithmetic: 1 token =
+// tokenScale units. 2^20 keeps per-nanosecond refill increments exact
+// for rates up to ~8.8e12 tokens/s.
+const tokenScale = 1 << 20
+
+// Init resets the bucket to a full burst at time now, refilling at rate
+// tokens per second and holding at most burst tokens.
+func (b *Bucket) Init(rate, burst float64, now int64) {
+	b.rate = int64(rate * tokenScale)
+	b.burst = int64(burst * tokenScale)
+	b.tokens = b.burst
+	b.last = now
+}
+
+// Allow consumes one token if available, refilling for the time elapsed
+// since the last call. now values that run backwards are treated as no
+// elapsed time.
+func (b *Bucket) Allow(now int64) bool {
+	if dt := now - b.last; dt > 0 {
+		b.last = now
+		// refill = rate * dt / 1e9, split into whole seconds plus the
+		// sub-second remainder so the product never overflows for any
+		// dt a running process can observe.
+		sec, rem := dt/1e9, dt%1e9
+		if b.rate > 0 && sec > b.burst/b.rate {
+			b.tokens = b.burst // longer idle than a full refill takes
+		} else {
+			b.tokens += b.rate*sec + b.rate*rem/1e9
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	} else if dt < 0 {
+		b.last = now
+	}
+	if b.tokens < tokenScale {
+		return false
+	}
+	b.tokens -= tokenScale
+	return true
+}
+
+// Config parameterises a Limiter. The zero value of any field selects
+// its default, so deployments only name what they tune.
+type Config struct {
+	// PeerRate and PeerBurst budget each remote source endpoint:
+	// datagrams per second of sustained rate and the burst above it.
+	// Defaults: 64/s, burst 128 — an order of magnitude above the one
+	// request + one response + keepalive a correct peer sends per
+	// gossip round at sub-second periods.
+	PeerRate  float64
+	PeerBurst float64
+	// GlobalRate and GlobalBurst cap the node's total admitted inbound
+	// datagram rate, bounding decode work under a distributed flood.
+	// Defaults: 4096/s, burst 8192.
+	GlobalRate  float64
+	GlobalBurst float64
+	// MaxPeers bounds the per-peer state table; the least-recently-seen
+	// peer is evicted past it. Default 4096 (~64 B each).
+	MaxPeers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.PeerRate <= 0 {
+		c.PeerRate = 64
+	}
+	if c.PeerBurst <= 0 {
+		c.PeerBurst = 128
+	}
+	if c.GlobalRate <= 0 {
+		c.GlobalRate = 4096
+	}
+	if c.GlobalBurst <= 0 {
+		c.GlobalBurst = 8192
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 4096
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.PeerRate < 0 || c.PeerBurst < 0 || c.GlobalRate < 0 || c.GlobalBurst < 0 {
+		return fmt.Errorf("ratelimit: rates and bursts must be non-negative: %+v", c)
+	}
+	if c.MaxPeers < 0 {
+		return fmt.Errorf("ratelimit: max peers must be non-negative, got %d", c.MaxPeers)
+	}
+	return nil
+}
+
+// Verdict is a Limiter's admission decision.
+type Verdict uint8
+
+const (
+	// Admit lets the datagram through.
+	Admit Verdict = iota
+	// DropPeer rejects it against the sender's own budget.
+	DropPeer
+	// DropGlobal rejects it against the node-wide budget. The sender's
+	// token is not refunded: under node-wide overload every sender
+	// slows, which is the point.
+	DropGlobal
+)
+
+// String names the verdict for metrics labels and logs.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case DropPeer:
+		return "peer"
+	case DropGlobal:
+		return "global"
+	}
+	return "unknown"
+}
+
+// peerState is one tracked source: a bucket plus its LRU links. States
+// live in a flat slice and link by index, so eviction and revival move
+// integers, never heap nodes.
+type peerState struct {
+	key        uint64
+	bucket     Bucket
+	prev, next int32 // LRU list links; -1 terminates
+}
+
+// Limiter is the two-level admission control: per-peer buckets in a
+// bounded LRU table in front of one global bucket. A Limiter is
+// single-goroutine, like the receive loop that owns it.
+type Limiter struct {
+	cfg    Config
+	global Bucket
+	peers  map[uint64]int32
+	states []peerState
+	head   int32 // most recently seen
+	tail   int32 // least recently seen; eviction victim
+	free   []int32
+}
+
+// New builds a limiter whose buckets start full at time now.
+func New(cfg Config, now int64) *Limiter {
+	cfg = cfg.withDefaults()
+	l := &Limiter{
+		cfg:   cfg,
+		peers: make(map[uint64]int32, cfg.MaxPeers),
+		head:  -1,
+		tail:  -1,
+	}
+	l.global.Init(cfg.GlobalRate, cfg.GlobalBurst, now)
+	return l
+}
+
+// Peers returns the number of tracked source endpoints.
+func (l *Limiter) Peers() int { return len(l.peers) }
+
+// Allow admits or rejects one datagram from peer at time now (nanos).
+// The peer budget is charged first so a flood attributes to its source;
+// only datagrams inside their peer budget draw on the global bucket.
+func (l *Limiter) Allow(now int64, peer uint64) Verdict {
+	s := l.touch(peer, now)
+	if !s.bucket.Allow(now) {
+		return DropPeer
+	}
+	if !l.global.Allow(now) {
+		return DropGlobal
+	}
+	return Admit
+}
+
+// touch returns peer's state, creating (and possibly evicting the LRU
+// victim) on first sight, and moves it to the front of the LRU list.
+func (l *Limiter) touch(peer uint64, now int64) *peerState {
+	if i, ok := l.peers[peer]; ok {
+		l.moveToFront(i)
+		return &l.states[i]
+	}
+	var i int32
+	switch {
+	case len(l.free) > 0:
+		i = l.free[len(l.free)-1]
+		l.free = l.free[:len(l.free)-1]
+	case len(l.peers) >= l.cfg.MaxPeers && l.tail >= 0:
+		// Table full: recycle the least-recently-seen peer's slot.
+		i = l.tail
+		l.unlink(i)
+		delete(l.peers, l.states[i].key)
+	default:
+		i = int32(len(l.states))
+		l.states = append(l.states, peerState{})
+	}
+	s := &l.states[i]
+	s.key = peer
+	s.bucket.Init(l.cfg.PeerRate, l.cfg.PeerBurst, now)
+	l.peers[peer] = i
+	l.pushFront(i)
+	return s
+}
+
+// unlink removes state i from the LRU list.
+func (l *Limiter) unlink(i int32) {
+	s := &l.states[i]
+	if s.prev >= 0 {
+		l.states[s.prev].next = s.next
+	} else {
+		l.head = s.next
+	}
+	if s.next >= 0 {
+		l.states[s.next].prev = s.prev
+	} else {
+		l.tail = s.prev
+	}
+}
+
+// pushFront makes state i the most recently seen.
+func (l *Limiter) pushFront(i int32) {
+	s := &l.states[i]
+	s.prev, s.next = -1, l.head
+	if l.head >= 0 {
+		l.states[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// moveToFront refreshes recency for state i.
+func (l *Limiter) moveToFront(i int32) {
+	if l.head == i {
+		return
+	}
+	l.unlink(i)
+	l.pushFront(i)
+}

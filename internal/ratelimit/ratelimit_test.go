@@ -1,0 +1,181 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+const ns = int64(time.Second)
+
+func TestBucketBurstThenRate(t *testing.T) {
+	var b Bucket
+	b.Init(10, 5, 0) // 10/s, burst 5
+
+	for i := 0; i < 5; i++ {
+		if !b.Allow(0) {
+			t.Fatalf("burst datagram %d rejected", i)
+		}
+	}
+	if b.Allow(0) {
+		t.Fatal("6th datagram admitted past the burst")
+	}
+	// 100 ms refills exactly one token at 10/s.
+	if !b.Allow(ns / 10) {
+		t.Fatal("token not refilled after 1/rate elapsed")
+	}
+	if b.Allow(ns / 10) {
+		t.Fatal("second token granted from a single refill")
+	}
+}
+
+func TestBucketLongIdleClampsToBurst(t *testing.T) {
+	var b Bucket
+	b.Init(100, 4, 0)
+	for i := 0; i < 4; i++ {
+		b.Allow(0)
+	}
+	// A year of idle time must neither overflow nor exceed the burst.
+	now := 365 * 24 * int64(time.Hour)
+	for i := 0; i < 4; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("datagram %d rejected after long idle", i)
+		}
+	}
+	if b.Allow(now) {
+		t.Fatal("long idle granted more than the burst")
+	}
+}
+
+func TestBucketBackwardsTime(t *testing.T) {
+	var b Bucket
+	b.Init(10, 1, ns)
+	if !b.Allow(ns) {
+		t.Fatal("initial token rejected")
+	}
+	// Clock steps backwards: no refill, no panic, and refills resume
+	// from the new instant.
+	if b.Allow(0) {
+		t.Fatal("backwards time granted a token")
+	}
+	if !b.Allow(ns / 10) {
+		t.Fatal("refill did not resume after the backwards step")
+	}
+}
+
+func TestLimiterPeerThenGlobalAttribution(t *testing.T) {
+	l := New(Config{PeerRate: 1, PeerBurst: 2, GlobalRate: 1, GlobalBurst: 3, MaxPeers: 8}, 0)
+
+	// Peer 1 exhausts its own burst first: drops attribute to the peer.
+	if v := l.Allow(0, 1); v != Admit {
+		t.Fatalf("first datagram: %v, want admit", v)
+	}
+	if v := l.Allow(0, 1); v != Admit {
+		t.Fatalf("second datagram: %v, want admit", v)
+	}
+	if v := l.Allow(0, 1); v != DropPeer {
+		t.Fatalf("peer-budget overflow: %v, want peer drop", v)
+	}
+	// A different peer has its own budget but hits the shared global
+	// bucket (2 of 3 global tokens already spent).
+	if v := l.Allow(0, 2); v != Admit {
+		t.Fatalf("peer 2 first datagram: %v, want admit", v)
+	}
+	if v := l.Allow(0, 2); v != DropGlobal {
+		t.Fatalf("global overflow: %v, want global drop", v)
+	}
+}
+
+func TestLimiterLRUEviction(t *testing.T) {
+	l := New(Config{PeerRate: 1, PeerBurst: 1, MaxPeers: 3}, 0)
+	l.Allow(0, 1)
+	l.Allow(0, 2)
+	l.Allow(0, 3)
+	if got := l.Peers(); got != 3 {
+		t.Fatalf("peers = %d, want 3", got)
+	}
+	// Refresh peer 1, then add peer 4: peer 2 is now the LRU victim.
+	l.Allow(1, 1)
+	l.Allow(2, 4)
+	if got := l.Peers(); got != 3 {
+		t.Fatalf("peers after eviction = %d, want 3", got)
+	}
+	if _, tracked := l.peers[2]; tracked {
+		t.Fatal("LRU victim was not the least-recently-seen peer")
+	}
+	for _, want := range []uint64{1, 3, 4} {
+		if _, tracked := l.peers[want]; !tracked {
+			t.Fatalf("peer %d missing after eviction", want)
+		}
+	}
+	// The evicted peer returns with a fresh burst: its slot was
+	// recycled, not leaked.
+	if v := l.Allow(3, 2); v != Admit {
+		t.Fatalf("revived peer: %v, want admit", v)
+	}
+}
+
+// TestLimiterEvictionRecyclesState pins that a churning flood of
+// never-seen sources keeps the state slice at MaxPeers instead of
+// growing with every new key.
+func TestLimiterEvictionRecyclesState(t *testing.T) {
+	l := New(Config{MaxPeers: 16}, 0)
+	for i := uint64(0); i < 10_000; i++ {
+		l.Allow(int64(i), i)
+	}
+	if got := l.Peers(); got != 16 {
+		t.Fatalf("peers = %d, want 16", got)
+	}
+	if got := len(l.states); got > 16 {
+		t.Fatalf("state slots = %d, want ≤ 16", got)
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.PeerRate <= 0 || cfg.GlobalRate <= 0 || cfg.MaxPeers <= 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if err := (Config{MaxPeers: -1}).Validate(); err == nil {
+		t.Fatal("Validate accepted negative max peers")
+	}
+	if err := (Config{PeerRate: -1}).Validate(); err == nil {
+		t.Fatal("Validate accepted negative rate")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Admit.String() != "admit" || DropPeer.String() != "peer" || DropGlobal.String() != "global" {
+		t.Fatal("verdict names changed; metrics labels depend on them")
+	}
+	if Verdict(99).String() != "unknown" {
+		t.Fatal("out-of-range verdict must stringify as unknown")
+	}
+}
+
+// TestAllowSteadyStateAllocs pins the receive-path contract: admitting
+// datagrams from warm peers — and evict-reviving cold ones — allocates
+// nothing.
+func TestAllowSteadyStateAllocs(t *testing.T) {
+	l := New(Config{MaxPeers: 32}, 0)
+	now := int64(0)
+	for i := uint64(0); i < 64; i++ { // warm past the LRU capacity
+		l.Allow(now, i)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		now += int64(time.Millisecond)
+		l.Allow(now, uint64(now)%48)
+	})
+	if avg != 0 {
+		t.Fatalf("Allow allocates %.2f objects per datagram, want 0", avg)
+	}
+}
+
+func BenchmarkAllowWarmPeer(b *testing.B) {
+	l := New(Config{}, 0)
+	for i := 0; i < b.N; i++ {
+		l.Allow(int64(i)*1000, uint64(i)&1023)
+	}
+}

@@ -117,6 +117,22 @@ func (r *Reader) Err() error { return r.err }
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 
+// Need reports whether at least n more bytes remain, failing the
+// reader (ErrShortBuffer) when they don't. Decoders use it to validate
+// a length prefix against the actual payload before looping over the
+// claimed elements — a truncated or hostile datagram is rejected up
+// front instead of yielding a partial list.
+func (r *Reader) Need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrShortBuffer
+		return false
+	}
+	return true
+}
+
 func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil

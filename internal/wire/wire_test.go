@@ -140,3 +140,36 @@ func TestEndpointRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Need validates a claimed byte count against the remaining buffer
+// without consuming anything, fails the reader permanently when the
+// claim exceeds what is there, and reports false (without clobbering
+// the error) once the reader has already failed.
+func TestReaderNeed(t *testing.T) {
+	var w Writer
+	w.PutU32(7)
+	r := NewReader(w.Bytes())
+	if !r.Need(4) {
+		t.Fatal("Need(4) = false with 4 bytes remaining")
+	}
+	if got := r.U32(); got != 7 || r.Err() != nil {
+		t.Fatalf("Need consumed input: U32 = %d, err %v", got, r.Err())
+	}
+
+	r = NewReader(w.Bytes())
+	if r.Need(5) {
+		t.Fatal("Need(5) = true with 4 bytes remaining")
+	}
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("overclaim error = %v, want ErrShortBuffer", r.Err())
+	}
+	if r.Need(0) {
+		t.Fatal("Need succeeded on an already-failed reader")
+	}
+
+	r = NewReader(w.Bytes())
+	_ = r.U16()
+	if r.Need(3) {
+		t.Fatal("Need(3) = true with 2 bytes remaining")
+	}
+}

@@ -10,7 +10,9 @@ cd "$(dirname "$0")/.."
 ADDR="127.0.0.1:${OBS_SMOKE_PORT:-8713}"
 OUT="$(mktemp -d)"
 BIN="$OUT/croupier-scenario"
-trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+trap 'kill "$SRV_PID" "$DEMO_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+SRV_PID=""
+DEMO_PID=""
 
 go build -o "$BIN" ./cmd/croupier-scenario
 
@@ -61,4 +63,32 @@ grep -q '<title>croupier-scenario' "$OUT/page.html" \
 test -s "$OUT/results/partition-croupier.tsv" || fail "TSV output missing"
 test -s "$OUT/results/partition-croupier.json" || fail "JSON output missing"
 
-echo "observability smoke OK ($(grep -c '^event: sample$' "$OUT/events.txt") samples streamed)"
+# 5. Deployment hardening: a flooded loopback swarm must shed the junk
+# at the receive-path rate limiter, visible on its own scrape as a
+# non-zero deploy_ratelimit_dropped_total (and reject oversize frames).
+DEMO_ADDR="127.0.0.1:${OBS_SMOKE_DEMO_PORT:-8714}"
+go build -o "$OUT/croupier-node" ./cmd/croupier-node
+"$OUT/croupier-node" demo -duration 6s -flood -metrics-addr "$DEMO_ADDR" \
+  >"$OUT/demo.log" 2>&1 &
+DEMO_PID=$!
+DROPPED=0
+for i in $(seq 1 50); do
+  if curl -sf "http://$DEMO_ADDR/metrics" >"$OUT/demo-metrics.txt" 2>/dev/null \
+     && grep -Eq '^deploy_ratelimit_dropped_total [1-9][0-9]*$' "$OUT/demo-metrics.txt" \
+     && grep -Eq '^deploy_oversize_total [1-9][0-9]*$' "$OUT/demo-metrics.txt"; then
+    DROPPED=1
+    break
+  fi
+  if ! kill -0 "$DEMO_PID" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if ! wait "$DEMO_PID"; then
+  cat "$OUT/demo.log" >&2
+  fail "croupier-node demo exited with an error"
+fi
+DEMO_PID=""
+[ "$DROPPED" = 1 ] || fail "flooded demo never scraped a non-zero deploy_ratelimit_dropped_total"
+grep -q '^hardening: ratelimit_dropped=' "$OUT/demo.log" \
+  || fail "demo did not print its hardening summary"
+
+echo "observability smoke OK ($(grep -c '^event: sample$' "$OUT/events.txt") samples streamed; flood shed $(grep -Eo '^deploy_ratelimit_dropped_total [0-9]+' "$OUT/demo-metrics.txt" | cut -d' ' -f2) datagrams)"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Deployment soak: drive the compressed 20-node UDP deployment through
+# the fault gauntlet — a 60% loss burst, a dead-directory window, a junk
+# flood with oversize datagrams, and steady node churn — under the race
+# detector, then assert recovery, the hard memory ceiling and zero
+# leaked goroutines.
+#
+#   scripts/soak.sh          full soak (10k simulated rounds)
+#   scripts/soak.sh -short   CI smoke (2.5k rounds, ~1 min with -race)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SHORT=""
+if [[ "${1:-}" == "-short" ]]; then
+  SHORT="-short"
+fi
+
+exec go test ./internal/deploy/ -run 'TestSoakDeployment' -count=1 -race -v $SHORT
