@@ -7,11 +7,15 @@
 //	croupier-node bootstrap -listen <ip:port>
 //	    Run the bootstrap directory.
 //
-//	croupier-node run -listen <ip:port> -directory <ip:port> -nat public|private [-id N]
-//	    Run one node. Determine -nat out-of-band or with `natprobe`.
+//	croupier-node run -listen <ip:port> -directory <ip:port> -nat public|private [-id N] [-advertise <ip:port>]
+//	    Run one node. Determine -nat out-of-band or with `natprobe`;
+//	    -advertise overrides the endpoint placed in the node's own
+//	    descriptor (e.g. the NAT's public mapping reported by natprobe).
 //	    Prints the ratio estimate and a peer sample once per second.
-//	    With -metrics-addr, serves Prometheus metrics on /metrics and
-//	    the standard net/http/pprof profiling endpoints. Hardening
+//	    With -metrics-addr, serves Prometheus metrics on /metrics, a
+//	    JSON protocol-state snapshot on /state (the real-kernel testlab
+//	    scrapes it to rebuild the overlay graph), and the standard
+//	    net/http/pprof profiling endpoints. Hardening
 //	    knobs: -peer-rate/-global-rate (inbound rate limits),
 //	    -max-datagram, -max-pending, -inbox-depth (bounded tables),
 //	    -keepalive-every (NAT mapping refresh), -compact-origins-every
@@ -26,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -102,6 +107,7 @@ func runNode(args []string) error {
 	listen := fs.String("listen", "0.0.0.0:0", "UDP address to bind")
 	directory := fs.String("directory", "", "bootstrap directory endpoint")
 	natStr := fs.String("nat", "", "NAT type: public or private")
+	advertise := fs.String("advertise", "", "endpoint to advertise in the node's descriptor (empty = bound address; set to the NAT's public mapping)")
 	id := fs.Uint64("id", 0, "node id (0 = random)")
 	period := fs.Duration("period", time.Second, "gossip round period")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and pprof (empty = disabled)")
@@ -132,6 +138,13 @@ func runNode(args []string) error {
 	default:
 		return fmt.Errorf("-nat must be public or private (use natprobe to find out)")
 	}
+	var adv addr.Endpoint
+	if *advertise != "" {
+		adv, err = parseEndpoint(*advertise)
+		if err != nil {
+			return err
+		}
+	}
 	nodeID := addr.NodeID(*id)
 	if nodeID == 0 {
 		nodeID = addr.NodeID(rand.New(rand.NewSource(time.Now().UnixNano())).Uint64())
@@ -148,6 +161,7 @@ func runNode(args []string) error {
 		Listen:    *listen,
 		ID:        nodeID,
 		Nat:       natType,
+		Advertise: adv,
 		Directory: dir,
 		Croupier:  cfg,
 		RateLimit: ratelimit.Config{
@@ -168,10 +182,14 @@ func runNode(args []string) error {
 
 	if reg != nil {
 		// The pprof import registered its handlers on the default mux;
-		// add the Prometheus scrape next to them.
+		// add the Prometheus scrape and the state snapshot next to them.
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			reg.WritePrometheus(w)
+		})
+		http.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(node.State())
 		})
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

@@ -1,0 +1,117 @@
+// Command croupier-testlab drives the real-kernel NAT laboratory: it
+// builds network namespaces behind genuine Linux netfilter NATs (cone
+// via SNAT, symmetric via SNAT --random-fully), runs real croupier-node
+// processes inside them through a churn/expiry/drift timeline, checks
+// that every node's NAT self-classification matches its iptables rules,
+// and compares the scraped overlay against the same scenario on the
+// in-memory simulator.
+//
+// Usage:
+//
+//	croupier-testlab check
+//	    Print the host capability report (root, ip, iptables, netns,
+//	    forwarding sysctl) and exit 0 if the lab can run, 1 otherwise.
+//
+//	croupier-testlab run [-publics N] [-cone N] [-symmetric N]
+//	                     [-rounds N] [-period D] [-seed N]
+//	                     [-workdir DIR] [-keep] [-smoke] [-v]
+//	    Build the lab and run the comparison. Needs root; exits with
+//	    the capability report when prerequisites are missing. -smoke
+//	    adds the standard timeline (kill/restart churn, conntrack
+//	    mapping expiry, cone→symmetric drift). -keep preserves the
+//	    work dir with every process log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/testlab"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "croupier-testlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: croupier-testlab check|run [flags]")
+	}
+	switch args[0] {
+	case "check":
+		caps := testlab.Probe()
+		fmt.Print(caps.Report())
+		if len(caps.Missing()) > 0 {
+			os.Exit(1)
+		}
+		return nil
+	case "run":
+		return runLab(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want check or run)", args[0])
+	}
+}
+
+func runLab(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	publics := fs.Int("publics", 2, "open-internet nodes (min 2: they host the natprobe helpers)")
+	cone := fs.Int("cone", 2, "nodes behind cone NAT (SNAT, port-preserving)")
+	symmetric := fs.Int("symmetric", 2, "nodes behind symmetric NAT (SNAT --random-fully)")
+	rounds := fs.Int("rounds", 40, "gossip rounds to run")
+	period := fs.Duration("period", 300*time.Millisecond, "gossip round period")
+	seed := fs.Int64("seed", 1, "simulator twin seed")
+	workdir := fs.String("workdir", "", "work directory for logs and binaries (empty = temp)")
+	keep := fs.Bool("keep", false, "keep the work directory after the run")
+	smoke := fs.Bool("smoke", false, "replay the standard churn/expiry/drift timeline")
+	verbose := fs.Bool("v", false, "trace every privileged command")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace io.Writer
+	if *verbose {
+		trace = os.Stderr
+	}
+	cfg := testlab.Config{
+		Publics:   *publics,
+		Cone:      *cone,
+		Symmetric: *symmetric,
+		Rounds:    *rounds,
+		Period:    *period,
+		Seed:      *seed,
+		WorkDir:   *workdir,
+		KeepLogs:  *keep,
+		Trace:     trace,
+	}
+	if *smoke {
+		if *cone < 2 {
+			return fmt.Errorf("-smoke needs -cone >= 2 (one churns, one drifts)")
+		}
+		first := *publics + 1 // cone nodes follow the publics
+		cfg.Events = []testlab.Event{
+			{AtRound: *rounds * 3 / 8, Type: testlab.EvKill, Node: first},
+			{AtRound: *rounds * 9 / 16, Type: testlab.EvRestart, Node: first},
+			{AtRound: *rounds / 2, Type: testlab.EvExpireMappings, TimeoutSec: 5},
+			{AtRound: *rounds * 7 / 10, Type: testlab.EvDrift, Node: first + 1},
+		}
+	}
+
+	rep, err := testlab.Run(cfg)
+	if skip, ok := err.(*testlab.SkipError); ok {
+		fmt.Println(testlab.Probe().Report())
+		return skip
+	}
+	if rep != nil {
+		fmt.Print(rep.Format())
+		if rep.WorkDir != "" {
+			fmt.Printf("logs: %s\n", rep.WorkDir)
+		}
+	}
+	return err
+}

@@ -7,9 +7,16 @@
 //	    Run the public-node side. When a MatchingIpTest arrives, the
 //	    ForwardTest is relayed to -forwarder (another natprobe server).
 //
-//	natprobe probe -helpers <ip:port>[,<ip:port>...] [-timeout 2s]
+//	natprobe probe -helpers <ip:port>[,<ip:port>...] [-timeout 2s] [-probe N] [-json]
 //	    Run the node-under-test side against the given helper servers
-//	    and print the verdict.
+//	    and print the verdict. With at least two helpers the mapping-
+//	    behaviour comparison also runs, separating cone NATs (one
+//	    mapped endpoint for every destination) from symmetric ones (a
+//	    fresh mapping per destination). -probe limits the reachability
+//	    test to the first N helpers — keep at least one helper out of
+//	    the probe set so it remains eligible as the forwarder. -json
+//	    prints the combined verdict as one machine-readable object
+//	    (the real-kernel testlab parses it).
 //
 //	natprobe demo
 //	    Self-contained loopback demonstration: starts two helper
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -105,19 +113,25 @@ func probe(args []string) error {
 	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
 	helpers := fs.String("helpers", "", "comma-separated helper endpoints")
 	timeout := fs.Duration("timeout", 2*time.Second, "ForwardResp wait")
+	probeN := fs.Int("probe", 0, "probe only the first N helpers for reachability (0 = all)")
+	asJSON := fs.Bool("json", false, "print the combined verdict as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *helpers == "" {
 		return fmt.Errorf("-helpers is required")
 	}
-	var probes []addr.Endpoint
+	var all []addr.Endpoint
 	for _, h := range strings.Split(*helpers, ",") {
 		ep, err := parseEndpoint(strings.TrimSpace(h))
 		if err != nil {
 			return err
 		}
-		probes = append(probes, ep)
+		all = append(all, ep)
+	}
+	probes := all
+	if *probeN > 0 && *probeN < len(all) {
+		probes = all[:*probeN]
 	}
 
 	node, err := natid.ListenUDP("0.0.0.0:0")
@@ -126,13 +140,35 @@ func probe(args []string) error {
 	}
 	defer node.Close()
 
-	results := make(chan natid.Result, 1)
-	client := natid.NewClient(node, *timeout, func(r natid.Result) { results <- r })
-	node.StartClient(client, probes, nil)
-
-	r := <-results
-	printResult(r)
+	cls := node.Classify(probes, all, *timeout, nil)
+	if *asJSON {
+		return printJSON(cls)
+	}
+	printResult(cls.Result)
+	printMapping(cls.Mapping, len(all))
 	return nil
+}
+
+// printJSON emits the combined verdict as one machine-readable object.
+func printJSON(cls natid.Classification) error {
+	out := struct {
+		Type     string   `json:"type"`
+		Observed string   `json:"observed,omitempty"`
+		ViaUPnP  bool     `json:"via_upnp,omitempty"`
+		Mapping  string   `json:"mapping"`
+		Mapped   []string `json:"mapped,omitempty"`
+	}{
+		Type:    cls.Result.Type.String(),
+		ViaUPnP: cls.Result.ViaUPnP,
+		Mapping: cls.Mapping.Behavior.String(),
+	}
+	if !cls.Result.Observed.IsZero() {
+		out.Observed = cls.Result.Observed.String()
+	}
+	for _, ep := range cls.Mapping.Observed {
+		out.Mapped = append(out.Mapped, ep.String())
+	}
+	return json.NewEncoder(os.Stdout).Encode(out)
 }
 
 func demo() error {
@@ -190,5 +226,29 @@ func printResult(r natid.Result) {
 	}
 	if r.Type == addr.Private && r.Observed.IsZero() {
 		fmt.Println("(no ForwardResp received before the timeout — filtering NAT or firewall)")
+	}
+}
+
+func printMapping(m natid.MappingResult, helpers int) {
+	if helpers < 2 {
+		fmt.Println("mapping behaviour: skipped (need at least two helpers to compare)")
+		return
+	}
+	fmt.Printf("mapping behaviour: %v", m.Behavior)
+	if len(m.Observed) > 0 {
+		fmt.Printf(" (observed %v", m.Observed[0])
+		for _, ep := range m.Observed[1:] {
+			fmt.Printf(", %v", ep)
+		}
+		fmt.Print(")")
+	}
+	fmt.Println()
+	switch m.Behavior {
+	case natid.BehaviorCone:
+		fmt.Println("(endpoint-independent mapping: one stable public endpoint for every destination)")
+	case natid.BehaviorSymmetric:
+		fmt.Println("(per-destination mappings: the public endpoint changes with the destination)")
+	case natid.BehaviorUnknown:
+		fmt.Println("(fewer than two helpers answered — cannot compare mappings)")
 	}
 }

@@ -134,13 +134,13 @@ func TestDescriptorCodecProperty(t *testing.T) {
 }
 
 // TestLoopbackDeployment runs a real-UDP Croupier deployment on
-// loopback: a bootstrap directory, 5 public and 10 private nodes with
-// 50 ms rounds. After a few seconds of wall-clock gossip the estimates
-// must be near the true ratio 1/3 and views populated.
+// loopback: a bootstrap directory, 5 public and 10 private nodes.
+// Rounds are driven through manual tick channels with a matching fake
+// clock, so convergence depends on the number of rounds gossiped — not
+// on wall-clock scheduling under host load, which used to make this
+// test flaky. After enough rounds the estimates must be near the true
+// ratio 1/3 and views populated.
 func TestLoopbackDeployment(t *testing.T) {
-	if testing.Short() {
-		t.Skip("wall-clock deployment test")
-	}
 	boot, err := ListenBootstrap("127.0.0.1:0", 10*time.Second, 1)
 	if err != nil {
 		t.Fatalf("ListenBootstrap: %v", err)
@@ -150,24 +150,32 @@ func TestLoopbackDeployment(t *testing.T) {
 	cfg := croupier.DefaultConfig()
 	cfg.Params = pss.Params{ViewSize: 10, ShuffleSize: 5, Period: 50 * time.Millisecond}
 
+	var clock fakeClock
 	var nodes []*Node
+	var ticks []chan time.Time
 	start := func(id int, nat addr.NatType) {
 		t.Helper()
+		ch := make(chan time.Time)
 		n, err := StartNode(NodeConfig{
 			Listen:    "127.0.0.1:0",
 			ID:        addr.NodeID(id),
 			Nat:       nat,
 			Directory: boot.Endpoint(),
 			Croupier:  cfg,
+			Ticks:     ch,
+			Now:       clock.now,
 		})
 		if err != nil {
 			t.Fatalf("StartNode(%d): %v", id, err)
 		}
 		nodes = append(nodes, n)
+		ticks = append(ticks, ch)
 	}
 	for i := 1; i <= 5; i++ {
 		start(i, addr.Public)
-		time.Sleep(60 * time.Millisecond) // let it register before the next joiner queries
+		// The registration datagram is sent at startup; give loopback a
+		// moment to land it before the next joiner queries the directory.
+		time.Sleep(20 * time.Millisecond)
 	}
 	for i := 6; i <= 15; i++ {
 		start(i, addr.Private)
@@ -178,10 +186,25 @@ func TestLoopbackDeployment(t *testing.T) {
 		}
 	}()
 
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		time.Sleep(500 * time.Millisecond)
-		good := 0
+	// Drive rounds until every node holds a close estimate and a
+	// populated view. The bound is in rounds, not seconds: the sim
+	// converges this population in well under a hundred rounds, so
+	// 4000 only fails on a real regression, however loaded the host.
+	tickAll := func() {
+		clock.advance(int64(time.Second))
+		for _, ch := range ticks {
+			ch <- time.Time{}
+		}
+	}
+	const maxRounds = 4000
+	good := 0
+	for r := 1; r <= maxRounds; r++ {
+		tickAll()
+		time.Sleep(time.Millisecond) // let loopback datagrams land between rounds
+		if r%25 != 0 {
+			continue
+		}
+		good = 0
 		for _, n := range nodes {
 			est, ok := n.Estimate()
 			if ok && math.Abs(est-1.0/3) < 0.12 && len(n.Neighbors()) >= 5 {
@@ -191,14 +214,14 @@ func TestLoopbackDeployment(t *testing.T) {
 		if good == len(nodes) {
 			break
 		}
-		if time.Now().After(deadline) {
-			for _, n := range nodes {
-				est, ok := n.Estimate()
-				t.Logf("node %v: est=%.3f ok=%v neighbors=%d rounds=%d",
-					n.ID(), est, ok, len(n.Neighbors()), n.Rounds())
-			}
-			t.Fatalf("only %d/%d nodes converged on loopback", good, len(nodes))
+	}
+	if good != len(nodes) {
+		for _, n := range nodes {
+			est, ok := n.Estimate()
+			t.Logf("node %v: est=%.3f ok=%v neighbors=%d rounds=%d",
+				n.ID(), est, ok, len(n.Neighbors()), n.Rounds())
 		}
+		t.Fatalf("only %d/%d nodes converged after %d loopback rounds", good, len(nodes), maxRounds)
 	}
 
 	// Samples must cover both NAT classes.

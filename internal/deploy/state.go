@@ -1,0 +1,47 @@
+package deploy
+
+import (
+	"repro/internal/addr"
+)
+
+// NodeState is a point-in-time snapshot of one deployed node, shaped
+// for JSON: cmd/croupier-node serves it on /state and the real-kernel
+// testlab decodes it to rebuild the overlay graph (in-degrees, ω̂
+// estimates, view composition) from outside the processes.
+type NodeState struct {
+	ID        addr.NodeID         `json:"id"`
+	Nat       string              `json:"nat"`
+	Endpoint  string              `json:"endpoint"`
+	Rounds    int                 `json:"rounds"`
+	Estimate  float64             `json:"estimate"`
+	HasEst    bool                `json:"has_estimate"`
+	Neighbors []NodeStateNeighbor `json:"neighbors"`
+}
+
+// NodeStateNeighbor is one view entry in a NodeState.
+type NodeStateNeighbor struct {
+	ID       addr.NodeID `json:"id"`
+	Nat      string      `json:"nat"`
+	Endpoint string      `json:"endpoint"`
+}
+
+// State snapshots the node's observable protocol state in one driver
+// round-trip per accessor; safe for concurrent use like the accessors
+// it is built from.
+func (n *Node) State() NodeState {
+	s := NodeState{
+		ID:       n.ID(),
+		Nat:      n.cfg.Nat.String(),
+		Endpoint: n.Endpoint().String(),
+		Rounds:   n.Rounds(),
+	}
+	s.Estimate, s.HasEst = n.Estimate()
+	for _, d := range n.Neighbors() {
+		s.Neighbors = append(s.Neighbors, NodeStateNeighbor{
+			ID:       d.ID,
+			Nat:      d.Nat.String(),
+			Endpoint: d.Endpoint.String(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+package natid
+
+import (
+	"time"
+
+	"repro/internal/addr"
+)
+
+// Behavior classifies a NAT's mapping policy as observed from outside,
+// the way the real-kernel testlab and cmd/natprobe tell a cone NAT
+// (iptables SNAT / MASQUERADE: endpoint-independent mapping) from a
+// symmetric one (SNAT --random-fully: a fresh public port per remote
+// endpoint). It refines the paper's public/private verdict: two private
+// nodes behave very differently depending on whether their mapped
+// endpoint is stable across destinations.
+type Behavior uint8
+
+const (
+	// BehaviorUnknown means fewer than two helpers reported an observed
+	// endpoint, so mapping behaviour cannot be compared.
+	BehaviorUnknown Behavior = iota
+	// BehaviorNoNAT means the observed address equals the local one:
+	// no translation happens on the path.
+	BehaviorNoNAT
+	// BehaviorCone means every helper observed the same mapped
+	// endpoint: endpoint-independent mapping (RFC 4787 EIM), the
+	// classic cone NAT.
+	BehaviorCone
+	// BehaviorSymmetric means helpers observed different mapped
+	// endpoints: the NAT allocates per-destination mappings (RFC 4787
+	// ADM/APDM), the classic symmetric NAT.
+	BehaviorSymmetric
+)
+
+// String returns a short human-readable name, matching the vocabulary
+// the testlab's iptables rules use.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorNoNAT:
+		return "none"
+	case BehaviorCone:
+		return "cone"
+	case BehaviorSymmetric:
+		return "symmetric"
+	default:
+		return "unknown"
+	}
+}
+
+// MappingResult is the outcome of a mapping-behaviour probe run.
+type MappingResult struct {
+	// Behavior is the inferred mapping policy.
+	Behavior Behavior
+	// Observed lists the mapped endpoints reported by distinct helpers,
+	// in arrival order. For BehaviorCone and BehaviorNoNAT all entries
+	// are equal; for BehaviorSymmetric at least two differ.
+	Observed []addr.Endpoint
+}
+
+// mapReportFrom pairs a report with the helper that sent it, so
+// duplicate reports from one helper never count twice.
+type mapReportFrom struct {
+	helper   addr.Endpoint
+	observed addr.Endpoint
+}
+
+// MappingClient runs the mapping-behaviour probe: it sends a MapProbe
+// to every helper from one socket; each helper echoes the source
+// endpoint it observed in a MapReport. Because the echo goes straight
+// back to the endpoint that contacted the helper, it traverses every
+// filtering policy — unlike the reachability test's third-party
+// ForwardResp — so the comparison works behind arbitrarily strict NATs.
+// Comparing the observations across helpers separates cone from
+// symmetric mapping; an observation matching the local address means no
+// NAT at all.
+//
+// Like Client, a MappingClient is single-use and relies on the Env for
+// serialisation; the done callback fires exactly once.
+type MappingClient struct {
+	env         Env
+	timeout     time.Duration
+	token       uint32
+	done        func(MappingResult)
+	finished    bool
+	cancelTimer func()
+	want        int
+	reports     []mapReportFrom
+}
+
+// NewMappingClient builds a mapping client. token tags this run's
+// probes so stale reports from an earlier run are ignored; done
+// receives the result exactly once.
+func NewMappingClient(env Env, timeout time.Duration, token uint32, done func(MappingResult)) *MappingClient {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &MappingClient{env: env, timeout: timeout, token: token, done: done}
+}
+
+// Start probes the given helpers. Mapping comparison needs at least two
+// distinct observation points; with fewer the run resolves to
+// BehaviorUnknown immediately.
+func (c *MappingClient) Start(helpers []addr.Endpoint) {
+	if c.finished {
+		return
+	}
+	distinct := dedupEndpoints(helpers)
+	if len(distinct) < 2 {
+		c.finish()
+		return
+	}
+	c.want = len(distinct)
+	probe := MapProbe{Token: c.token}
+	for _, ep := range distinct {
+		c.env.Send(ep, probe)
+	}
+	c.cancelTimer = c.env.After(c.timeout, c.finish)
+}
+
+// HandleMapReport processes one helper's echo. The first report from
+// each distinct helper counts; once every probed helper has answered
+// the verdict is issued without waiting for the timeout.
+func (c *MappingClient) HandleMapReport(from addr.Endpoint, m MapReport) {
+	if c.finished || m.Token != c.token {
+		return
+	}
+	for _, r := range c.reports {
+		if r.helper == from {
+			return
+		}
+	}
+	c.reports = append(c.reports, mapReportFrom{helper: from, observed: m.Observed})
+	if len(c.reports) >= c.want {
+		c.finish()
+	}
+}
+
+// Finished reports whether the run has concluded.
+func (c *MappingClient) Finished() bool { return c.finished }
+
+func (c *MappingClient) finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+	res := MappingResult{Behavior: c.verdict()}
+	for _, r := range c.reports {
+		res.Observed = append(res.Observed, r.observed)
+	}
+	if c.done != nil {
+		c.done(res)
+	}
+}
+
+// verdict compares the collected observations.
+func (c *MappingClient) verdict() Behavior {
+	if len(c.reports) < 2 {
+		return BehaviorUnknown
+	}
+	first := c.reports[0].observed
+	for _, r := range c.reports[1:] {
+		if r.observed != first {
+			return BehaviorSymmetric
+		}
+	}
+	if first.IP == c.env.LocalIP() {
+		return BehaviorNoNAT
+	}
+	return BehaviorCone
+}
+
+// dedupEndpoints returns the distinct endpoints in order of first
+// appearance (the probe set may repeat helpers).
+func dedupEndpoints(eps []addr.Endpoint) []addr.Endpoint {
+	out := eps[:0:0]
+	for _, ep := range eps {
+		dup := false
+		for _, seen := range out {
+			if seen == ep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ep)
+		}
+	}
+	return out
+}

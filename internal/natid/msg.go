@@ -25,11 +25,15 @@ import (
 // Kind discriminates protocol messages.
 type Kind uint8
 
-// Message kinds, one per event in Algorithm 1.
+// Message kinds: one per event in Algorithm 1, plus the mapping-
+// behaviour probe pair (MappingClient) that tells cone from symmetric
+// NATs by comparing observations across helpers.
 const (
 	KindMatchingIPTest Kind = iota + 1
 	KindForwardTest
 	KindForwardResp
+	KindMapProbe
+	KindMapReport
 )
 
 // Msg is implemented by all three protocol messages. Size doubles as the
@@ -80,6 +84,32 @@ func (ForwardResp) Kind() Kind { return KindForwardResp }
 // Size implements Msg.
 func (ForwardResp) Size() int { return 1 + wire.EndpointSize }
 
+// MapProbe asks a public helper to echo the source endpoint it observes
+// — one half of the mapping-behaviour comparison. Token tags the run so
+// stale echoes from an earlier probe are discarded.
+type MapProbe struct {
+	Token uint32
+}
+
+// Kind implements Msg.
+func (MapProbe) Kind() Kind { return KindMapProbe }
+
+// Size implements Msg.
+func (MapProbe) Size() int { return 1 + 4 }
+
+// MapReport is the helper's echo: the probe's token plus the client
+// endpoint the helper observed (after any NAT on the path).
+type MapReport struct {
+	Token    uint32
+	Observed addr.Endpoint
+}
+
+// Kind implements Msg.
+func (MapReport) Kind() Kind { return KindMapReport }
+
+// Size implements Msg.
+func (MapReport) Size() int { return 1 + 4 + wire.EndpointSize }
+
 // Encode serialises a message for the real-UDP transport.
 func Encode(m Msg) []byte {
 	var w wire.Writer
@@ -93,6 +123,11 @@ func Encode(m Msg) []byte {
 	case ForwardTest:
 		w.PutEndpoint(t.Client)
 	case ForwardResp:
+		w.PutEndpoint(t.Observed)
+	case MapProbe:
+		w.PutU32(t.Token)
+	case MapReport:
+		w.PutU32(t.Token)
 		w.PutEndpoint(t.Observed)
 	}
 	return w.Bytes()
@@ -115,6 +150,10 @@ func Decode(b []byte) (Msg, error) {
 		m = ForwardTest{Client: r.Endpoint()}
 	case KindForwardResp:
 		m = ForwardResp{Observed: r.Endpoint()}
+	case KindMapProbe:
+		m = MapProbe{Token: r.U32()}
+	case KindMapReport:
+		m = MapReport{Token: r.U32(), Observed: r.Endpoint()}
 	default:
 		return nil, fmt.Errorf("natid: unknown message kind %d", kind)
 	}

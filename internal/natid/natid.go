@@ -154,3 +154,11 @@ func (s *Server) HandleMatchingIPTest(from addr.Endpoint, m MatchingIPTest) {
 func (s *Server) HandleForwardTest(m ForwardTest) {
 	s.env.Send(m.Client, ForwardResp{Observed: m.Client})
 }
+
+// HandleMapProbe echoes the observed source endpoint back to it — the
+// helper side of the mapping-behaviour probe. Stateless: the reply
+// carries the probe's token and goes to the exact endpoint that sent
+// the probe, so it passes even address-port-dependent filtering.
+func (s *Server) HandleMapProbe(from addr.Endpoint, m MapProbe) {
+	s.env.Send(from, MapReport{Token: m.Token, Observed: from})
+}

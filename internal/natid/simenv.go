@@ -12,10 +12,11 @@ import (
 // protocol's Env interface. Incoming packets must be routed to Dispatch
 // by the owner of the socket.
 type SimEnv struct {
-	sched  *sim.Scheduler
-	sock   *simnet.Socket
-	client *Client
-	server *Server
+	sched     *sim.Scheduler
+	sock      *simnet.Socket
+	client    *Client
+	mapClient *MappingClient
+	server    *Server
 }
 
 // NewSimEnv wraps a socket. Attach a client and/or server afterwards via
@@ -38,6 +39,9 @@ func (e *SimEnv) Init(sched *sim.Scheduler, sock *simnet.Socket) {
 
 // SetClient routes ForwardResp messages to c.
 func (e *SimEnv) SetClient(c *Client) { e.client = c }
+
+// SetMappingClient routes MapReport messages to c.
+func (e *SimEnv) SetMappingClient(c *MappingClient) { e.mapClient = c }
 
 // SetServer routes test messages to s.
 func (e *SimEnv) SetServer(s *Server) { e.server = s }
@@ -72,6 +76,14 @@ func (e *SimEnv) Dispatch(pkt simnet.Packet) {
 	case ForwardResp:
 		if e.client != nil {
 			e.client.HandleForwardResp(m)
+		}
+	case MapProbe:
+		if e.server != nil {
+			e.server.HandleMapProbe(pkt.From, m)
+		}
+	case MapReport:
+		if e.mapClient != nil {
+			e.mapClient.HandleMapReport(pkt.From, m)
 		}
 	}
 }

@@ -19,9 +19,10 @@ import (
 type UDPNode struct {
 	conn *net.UDPConn
 
-	mu     sync.Mutex
-	client *Client
-	server *Server
+	mu        sync.Mutex
+	client    *Client
+	mapClient *MappingClient
+	server    *Server
 
 	// localIP is read by protocol handlers that already run under mu
 	// (LocalIP must therefore not take mu itself), so it is atomic.
@@ -84,6 +85,15 @@ func (n *UDPNode) StartClient(c *Client, publics []addr.Endpoint, upnp UPnPMappe
 	defer n.mu.Unlock()
 	n.client = c
 	c.Start(publics, upnp)
+}
+
+// StartMappingClient attaches the mapping client and starts its run
+// under the node's handler lock, mirroring StartClient.
+func (n *UDPNode) StartMappingClient(c *MappingClient, helpers []addr.Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mapClient = c
+	c.Start(helpers)
 }
 
 // SetServer attaches a server to receive test messages.
@@ -179,7 +189,45 @@ func (n *UDPNode) dispatch(from addr.Endpoint, msg Msg) {
 		if n.client != nil {
 			n.client.HandleForwardResp(m)
 		}
+	case MapProbe:
+		if n.server != nil {
+			n.server.HandleMapProbe(from, m)
+		}
+	case MapReport:
+		if n.mapClient != nil {
+			n.mapClient.HandleMapReport(from, m)
+		}
 	}
+}
+
+// Classification bundles the two probe outcomes a deployment wants
+// before it starts gossiping: the paper's reachability verdict plus the
+// mapping behaviour separating cone from symmetric NATs.
+type Classification struct {
+	Result  Result
+	Mapping MappingResult
+}
+
+// Classify runs both probes over the node's socket and blocks until
+// each concludes or times out: first the reachability test (Algorithm
+// 1) against probes — keep at least one helper out of this set, because
+// the forwarder must not be probed — then the mapping comparison
+// against every helper. The probes may be nil to skip the reachability
+// test (Result.Type stays NatUnknown).
+func (n *UDPNode) Classify(probes, helpers []addr.Endpoint, timeout time.Duration, upnp UPnPMapper) Classification {
+	var cls Classification
+	if probes != nil {
+		resCh := make(chan Result, 1)
+		c := NewClient(n, timeout, func(r Result) { resCh <- r })
+		n.StartClient(c, probes, upnp)
+		cls.Result = <-resCh
+	}
+	mapCh := make(chan MappingResult, 1)
+	token := uint32(time.Now().UnixNano())
+	mc := NewMappingClient(n, timeout, token, func(r MappingResult) { mapCh <- r })
+	n.StartMappingClient(mc, helpers)
+	cls.Mapping = <-mapCh
+	return cls
 }
 
 func ipToNet(ip addr.IP) net.IP {

@@ -1,0 +1,116 @@
+// Package testlab builds a real-kernel NAT laboratory: network
+// namespaces wired to the host through veth pairs, with Linux netfilter
+// (iptables SNAT) providing genuine cone and symmetric NAT in front of
+// the private ones. Real croupier-node processes run inside the
+// namespaces, a scenario timeline (churn, mapping expiry, NAT-type
+// drift) is replayed against them, and the observed overlay is compared
+// — under documented tolerances — against the same scenario executed on
+// the in-memory simulator. It is the end-to-end check that the
+// simulator's NAT model and the deployment stack agree with the
+// behaviour of an actual Linux router.
+//
+// Everything privileged is capability-gated: Probe reports exactly
+// which prerequisites (root, ip, iptables, writable forwarding sysctl)
+// are missing, and the suite skips with that list instead of failing.
+package testlab
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Caps describes the host facilities the kernel lab needs. The zero
+// value means "nothing probed"; use Probe.
+type Caps struct {
+	// EUID is the effective UID; the lab needs 0 (or CAP_NET_ADMIN +
+	// CAP_NET_RAW, which Probe approximates by attempting real work).
+	EUID int
+	// HaveIP and HaveIPTables report the userspace binaries.
+	HaveIP       bool
+	HaveIPTables bool
+	// NetAdmin is true when a scratch network namespace could actually
+	// be created and deleted — the definitive privilege check.
+	NetAdmin bool
+	// ForwardSysctl is true when /proc/sys/net/ipv4/ip_forward is
+	// writable, needed to let the host route between namespaces.
+	ForwardSysctl bool
+}
+
+const probeNS = "croupierlab-probe"
+
+// Probe inspects the host. It is cheap and leaves no state behind: the
+// only side effect is a scratch namespace that is deleted immediately.
+func Probe() Caps {
+	c := Caps{EUID: os.Geteuid()}
+	if _, err := exec.LookPath("ip"); err == nil {
+		c.HaveIP = true
+	}
+	if _, err := exec.LookPath("iptables"); err == nil {
+		c.HaveIPTables = true
+	}
+	if c.HaveIP {
+		if err := exec.Command("ip", "netns", "add", probeNS).Run(); err == nil {
+			c.NetAdmin = true
+			_ = exec.Command("ip", "netns", "delete", probeNS).Run()
+		}
+	}
+	if f, err := os.OpenFile("/proc/sys/net/ipv4/ip_forward", os.O_WRONLY, 0); err == nil {
+		c.ForwardSysctl = true
+		f.Close()
+	}
+	return c
+}
+
+// Missing lists the prerequisites that are absent, in the order a user
+// would fix them. An empty list means the lab can run.
+func (c Caps) Missing() []string {
+	var m []string
+	if c.EUID != 0 {
+		m = append(m, "root (euid 0)")
+	}
+	if !c.HaveIP {
+		m = append(m, "the ip(8) binary (iproute2)")
+	}
+	if !c.HaveIPTables {
+		m = append(m, "the iptables(8) binary")
+	}
+	if c.HaveIP && !c.NetAdmin {
+		m = append(m, "CAP_NET_ADMIN (cannot create network namespaces)")
+	}
+	if !c.ForwardSysctl {
+		m = append(m, "writable net.ipv4.ip_forward sysctl")
+	}
+	return m
+}
+
+// SkipError is returned by Run when the host cannot support the lab;
+// tests convert it into t.Skip, the CLI into a clear exit message.
+type SkipError struct{ MissingCaps []string }
+
+func (e *SkipError) Error() string {
+	return fmt.Sprintf("testlab requires: %s", strings.Join(e.MissingCaps, ", "))
+}
+
+// Report renders a human-readable capability report.
+func (c Caps) Report() string {
+	var b strings.Builder
+	tick := func(ok bool) string {
+		if ok {
+			return "ok     "
+		}
+		return "MISSING"
+	}
+	fmt.Fprintf(&b, "%s  root privileges (euid=%d)\n", tick(c.EUID == 0), c.EUID)
+	fmt.Fprintf(&b, "%s  ip(8) binary\n", tick(c.HaveIP))
+	fmt.Fprintf(&b, "%s  iptables(8) binary\n", tick(c.HaveIPTables))
+	fmt.Fprintf(&b, "%s  network namespace creation\n", tick(c.NetAdmin))
+	fmt.Fprintf(&b, "%s  net.ipv4.ip_forward writable\n", tick(c.ForwardSysctl))
+	if m := c.Missing(); len(m) > 0 {
+		fmt.Fprintf(&b, "cannot run: missing %s\n", strings.Join(m, ", "))
+	} else {
+		b.WriteString("all capabilities present\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package testlab
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+)
+
+// RealSample aggregates the scraped cluster into the same shape the
+// simulator's scenario probe produces, so the two can be compared
+// metric by metric.
+type RealSample struct {
+	// Alive counts nodes that answered the scrape; Publics those that
+	// declared public. Ratio is their quotient — the true ω.
+	Alive   int
+	Publics int
+	Ratio   float64
+	// EstErrAvg is the mean |ω − ω̂| over nodes holding an estimate
+	// (the paper's ω̂ estimation-error metric); EstimatingFrac the
+	// fraction of nodes that hold one at all.
+	EstErrAvg      float64
+	EstimatingFrac float64
+	// InDegMean and InDegStd describe the in-degree distribution of
+	// the scraped overlay (edges = view entries naming lab nodes).
+	InDegMean float64
+	InDegStd  float64
+	// ShuffleFailRate is failed shuffles per driven round, summed over
+	// the cluster's pss counters. Croupier has no hole punching — its
+	// NAT traversal is the shuffle itself, so this rate is also the
+	// lab's traversal-success measure.
+	ShuffleFailRate float64
+	// Rounds is the mean protocol round count, for sanity reporting.
+	Rounds float64
+}
+
+// SampleFromStates computes the cluster sample from every live node's
+// /state snapshot and the merged /metrics scrapes.
+func SampleFromStates(states []deploy.NodeState, prom []map[string]float64) RealSample {
+	var s RealSample
+	s.Alive = len(states)
+	if s.Alive == 0 {
+		return s
+	}
+	known := map[string]bool{}
+	for _, st := range states {
+		known[st.ID.String()] = true
+		if st.Nat == "public" {
+			s.Publics++
+		}
+	}
+	s.Ratio = float64(s.Publics) / float64(s.Alive)
+
+	estErr, estN, rounds := 0.0, 0, 0
+	indeg := map[string]int{}
+	for _, st := range states {
+		rounds += st.Rounds
+		if st.HasEst {
+			estErr += math.Abs(st.Estimate - s.Ratio)
+			estN++
+		}
+		for _, nb := range st.Neighbors {
+			if known[nb.ID.String()] {
+				indeg[nb.ID.String()]++
+			}
+		}
+	}
+	if estN > 0 {
+		s.EstErrAvg = estErr / float64(estN)
+	} else {
+		s.EstErrAvg = math.NaN()
+	}
+	s.EstimatingFrac = float64(estN) / float64(s.Alive)
+	s.Rounds = float64(rounds) / float64(s.Alive)
+
+	// Every scraped node is a vertex; nodes nobody names have degree 0.
+	sum := 0.0
+	for _, st := range states {
+		sum += float64(indeg[st.ID.String()])
+	}
+	s.InDegMean = sum / float64(s.Alive)
+	varsum := 0.0
+	for _, st := range states {
+		d := float64(indeg[st.ID.String()]) - s.InDegMean
+		varsum += d * d
+	}
+	s.InDegStd = math.Sqrt(varsum / float64(s.Alive))
+
+	fails, roundsTotal := 0.0, 0.0
+	for _, m := range prom {
+		fails += SumSeries(m, "pss_failed_shuffles_total")
+		roundsTotal += SumSeries(m, "pss_rounds_total")
+	}
+	if roundsTotal > 0 {
+		s.ShuffleFailRate = fails / roundsTotal
+	}
+	return s
+}
+
+// Tolerances bound how far the kernel lab may sit from the simulator
+// before the comparison fails. The defaults are deliberately loose —
+// and documented — because the two runs differ in ways that are not
+// bugs: the lab population is tiny (a handful of nodes, so every
+// distribution statistic is noisy), rounds are wall-clock (scrape
+// timing lands mid-round), and packet fates differ (real UDP on one
+// host virtually never drops, while the sim models latency jitter).
+// What the comparison is for is catching structural divergence: views
+// that never fill, estimates off by multiples, privates starved of
+// in-degree, shuffles failing en masse.
+type Tolerances struct {
+	// InDegMeanRel is the allowed relative gap in mean in-degree.
+	InDegMeanRel float64
+	// InDegStdRel is the allowed relative gap in in-degree stddev,
+	// measured against the sim mean (std itself can be near zero).
+	InDegStdRel float64
+	// EstErrAbs is the allowed absolute gap between the two runs' ω̂
+	// estimation errors.
+	EstErrAbs float64
+	// ShuffleFailAbs is the allowed absolute gap in failed-shuffle
+	// rate per round.
+	ShuffleFailAbs float64
+	// MinEstimatingFrac is the floor on the fraction of real nodes
+	// that hold an ω̂ estimate at all.
+	MinEstimatingFrac float64
+}
+
+// DefaultTolerances returns the documented defaults: 35% on mean
+// in-degree, 75% of the sim mean on its spread, 0.15 absolute on ω̂
+// error, 0.25 absolute on shuffle failure rate, and at least half the
+// cluster estimating.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		InDegMeanRel:      0.35,
+		InDegStdRel:       0.75,
+		EstErrAbs:         0.15,
+		ShuffleFailAbs:    0.25,
+		MinEstimatingFrac: 0.5,
+	}
+}
+
+// Compare checks the real cluster against the simulator's final probe
+// of the same scenario. It returns one message per violated bound;
+// empty means the kernel run is within tolerance of the model.
+func Compare(real RealSample, sim scenario.Sample, tol Tolerances) []string {
+	var bad []string
+	simInDegMean := float64(sim.InDegMean)
+	if simInDegMean > 0 {
+		rel := math.Abs(real.InDegMean-simInDegMean) / simInDegMean
+		if rel > tol.InDegMeanRel {
+			bad = append(bad, fmt.Sprintf(
+				"in-degree mean: real %.2f vs sim %.2f (gap %.0f%% > %.0f%%)",
+				real.InDegMean, simInDegMean, rel*100, tol.InDegMeanRel*100))
+		}
+		if gap := math.Abs(real.InDegStd - float64(sim.InDegStd)); gap > tol.InDegStdRel*simInDegMean {
+			bad = append(bad, fmt.Sprintf(
+				"in-degree std: real %.2f vs sim %.2f (gap %.2f > %.2f)",
+				real.InDegStd, float64(sim.InDegStd), gap, tol.InDegStdRel*simInDegMean))
+		}
+	}
+	if real.EstimatingFrac < tol.MinEstimatingFrac {
+		bad = append(bad, fmt.Sprintf(
+			"only %.0f%% of real nodes hold an ω̂ estimate (floor %.0f%%)",
+			real.EstimatingFrac*100, tol.MinEstimatingFrac*100))
+	}
+	simErr := float64(sim.EstErrAvg)
+	if !math.IsNaN(real.EstErrAvg) && !math.IsNaN(simErr) {
+		if gap := math.Abs(real.EstErrAvg - simErr); gap > tol.EstErrAbs {
+			bad = append(bad, fmt.Sprintf(
+				"ω̂ estimation error: real %.3f vs sim %.3f (gap %.3f > %.3f)",
+				real.EstErrAvg, simErr, gap, tol.EstErrAbs))
+		}
+	}
+	if real.ShuffleFailRate > tol.ShuffleFailAbs {
+		bad = append(bad, fmt.Sprintf(
+			"shuffle failure rate %.3f per round exceeds %.3f",
+			real.ShuffleFailRate, tol.ShuffleFailAbs))
+	}
+	return bad
+}

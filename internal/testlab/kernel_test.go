@@ -1,0 +1,51 @@
+//go:build testlab
+
+package testlab
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestTestlab is the real-kernel suite: namespaces, netfilter NATs,
+// live croupier-node processes, a churn/expiry/drift timeline, and the
+// simulator comparison. It needs root, ip(8) and iptables(8); without
+// them it skips with the exact missing list. Run via scripts/testlab.sh
+// or `go test -tags testlab -run TestTestlab ./internal/testlab/`.
+func TestTestlab(t *testing.T) {
+	cfg := Config{
+		Publics:   2,
+		Cone:      2,
+		Symmetric: 2,
+		Rounds:    40,
+		Period:    300 * time.Millisecond,
+		Seed:      1,
+		KeepLogs:  true,
+		Trace:     os.Stderr,
+		Events: []Event{
+			// Churn: one cone private dies and is replaced.
+			{AtRound: 15, Type: EvKill, Node: 3},
+			{AtRound: 22, Type: EvRestart, Node: 3},
+			// Mapping expiry: conntrack squeezed to 5 s mid-run; the
+			// keepalive path must hold mappings open regardless.
+			{AtRound: 20, Type: EvExpireMappings, TimeoutSec: 5},
+			// NAT-type drift: the other cone node turns symmetric and
+			// must re-classify as such at the end of the run.
+			{AtRound: 28, Type: EvDrift, Node: 4},
+		},
+	}
+	rep, err := Run(cfg)
+	if skip, ok := err.(*SkipError); ok {
+		t.Skip(skip.Error())
+	}
+	if rep != nil {
+		t.Logf("\n%s", rep.Format())
+		if rep.WorkDir != "" {
+			t.Logf("logs kept in %s", rep.WorkDir)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package testlab
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ProbeVerdict mirrors natprobe's -json output: the paper's
+// reachability verdict plus the mapping-behaviour comparison.
+type ProbeVerdict struct {
+	Type     string   `json:"type"`
+	Observed string   `json:"observed"`
+	ViaUPnP  bool     `json:"via_upnp"`
+	Mapping  string   `json:"mapping"`
+	Mapped   []string `json:"mapped"`
+}
+
+// ParseProbeVerdict decodes natprobe -json output. Any log noise before
+// the JSON object is skipped (the verdict is the last line).
+func ParseProbeVerdict(out []byte) (ProbeVerdict, error) {
+	var v ProbeVerdict
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	last := strings.TrimSpace(lines[len(lines)-1])
+	if err := json.Unmarshal([]byte(last), &v); err != nil {
+		return v, fmt.Errorf("testlab: natprobe output %q: %w", last, err)
+	}
+	return v, nil
+}
+
+// CheckVerdict compares what natprobe measured from inside a namespace
+// against what the namespace's iptables rules implement. This is the
+// lab's NAT-identification correctness check: the node must classify
+// itself to the NAT type it actually sits behind.
+//
+// Reachability: open nodes must verdict public; NATed ones private (the
+// lab's netfilter NATs filter per-flow, so the unsolicited ForwardResp
+// is dropped — exactly the paper's private verdict). Mapping: open →
+// none, SNAT → cone, SNAT --random-fully → symmetric. For NATed nodes
+// every mapped endpoint must carry the gateway's external address.
+func CheckVerdict(s NodeSpec, v ProbeVerdict) error {
+	wantType := "private"
+	if s.Nat == Open {
+		wantType = "public"
+	}
+	if v.Type != wantType {
+		return fmt.Errorf("node %d (%v): reachability verdict %q, want %q",
+			s.Index, s.Nat, v.Type, wantType)
+	}
+	if want := s.Nat.ExpectedMapping(); v.Mapping != want {
+		return fmt.Errorf("node %d (%v): mapping verdict %q, want %q (mapped %v)",
+			s.Index, s.Nat, v.Mapping, want, v.Mapped)
+	}
+	if s.Nat != Open {
+		for _, ep := range v.Mapped {
+			if !strings.HasPrefix(ep, s.HostIP()+":") {
+				return fmt.Errorf("node %d (%v): mapped endpoint %s not behind gateway %s",
+					s.Index, s.Nat, ep, s.HostIP())
+			}
+		}
+	}
+	return nil
+}

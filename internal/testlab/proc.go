@@ -1,0 +1,75 @@
+package testlab
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// Proc is one lab process (directory, helper, or croupier-node) running
+// inside a network namespace, with stdout+stderr teed to a log file so
+// post-mortems survive the process.
+type Proc struct {
+	Name string
+	Log  string
+
+	cmd  *exec.Cmd
+	file *os.File
+	done chan error
+}
+
+// StartInNS launches bin inside the namespace via `ip netns exec`. The
+// log file lands in logDir under the process name.
+func StartInNS(ns, logDir, name, bin string, args ...string) (*Proc, error) {
+	logPath := filepath.Join(logDir, name+".log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("testlab: log for %s: %w", name, err)
+	}
+	full := append([]string{"netns", "exec", ns, bin}, args...)
+	cmd := exec.Command("ip", full...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("testlab: start %s: %w", name, err)
+	}
+	p := &Proc{Name: name, Log: logPath, cmd: cmd, file: f, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	return p, nil
+}
+
+// Running reports whether the process has not yet exited.
+func (p *Proc) Running() bool {
+	select {
+	case err := <-p.done:
+		p.done <- err // keep Stop able to read it
+		return false
+	default:
+		return true
+	}
+}
+
+// Stop terminates the process: SIGTERM (croupier-node drains
+// gracefully), escalating to SIGKILL after grace. Always closes the
+// log file; returns the wait error only for abnormal endings other
+// than the signals we sent.
+func (p *Proc) Stop(grace time.Duration) error {
+	defer p.file.Close()
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	select {
+	case <-p.done:
+		return nil
+	case <-time.After(grace):
+	}
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+	<-p.done
+	return nil
+}

@@ -1,0 +1,101 @@
+package testlab
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// ParseProm reads Prometheus text exposition into a flat map keyed by
+// the full series identity (name plus label block, exactly as printed).
+// Histogram buckets and comments are skipped; the lab only compares
+// counters and gauges.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if strings.Contains(series, "_bucket{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue // +Inf timestamps etc.; the lab's series all parse
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchMetrics scrapes one node's /metrics endpoint.
+func FetchMetrics(url string, timeout time.Duration) (map[string]float64, error) {
+	body, err := fetch(url, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return ParseProm(body)
+}
+
+// FetchState fetches one node's /state snapshot.
+func FetchState(url string, timeout time.Duration) (deploy.NodeState, error) {
+	var st deploy.NodeState
+	body, err := fetch(url, timeout)
+	if err != nil {
+		return st, err
+	}
+	defer body.Close()
+	if err := json.NewDecoder(body).Decode(&st); err != nil {
+		return st, fmt.Errorf("testlab: decode %s: %w", url, err)
+	}
+	return st, nil
+}
+
+func fetch(url string, timeout time.Duration) (io.ReadCloser, error) {
+	client := http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("testlab: fetch %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("testlab: fetch %s: HTTP %d", url, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// SumSeries adds every series whose bare name (ignoring labels) equals
+// name — the per-node scrape has one instance of each, but summing
+// keeps the call correct for registries shared across protocols.
+func SumSeries(m map[string]float64, name string) float64 {
+	total := 0.0
+	for series, v := range m {
+		bare := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			bare = series[:i]
+		}
+		if bare == name {
+			total += v
+		}
+	}
+	return total
+}

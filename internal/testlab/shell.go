@@ -1,0 +1,71 @@
+package testlab
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+)
+
+// Runner executes one host command. The lab's topology code is written
+// against this interface so unit tests can verify the exact command
+// plan (and its teardown ordering) without touching the kernel.
+type Runner interface {
+	Run(name string, args ...string) (output string, err error)
+}
+
+// ExecRunner runs commands for real, capturing combined output. With
+// Trace set, every command line is echoed before it runs.
+type ExecRunner struct {
+	Trace io.Writer
+}
+
+func (r ExecRunner) Run(name string, args ...string) (string, error) {
+	if r.Trace != nil {
+		fmt.Fprintf(r.Trace, "+ %s %s\n", name, strings.Join(args, " "))
+	}
+	out, err := exec.Command(name, args...).CombinedOutput()
+	if err != nil {
+		return string(out), fmt.Errorf("%s %s: %w (%s)",
+			name, strings.Join(args, " "), err, strings.TrimSpace(string(out)))
+	}
+	return string(out), nil
+}
+
+// Cleanup is a LIFO stack of undo commands: topology construction
+// pushes the inverse of each mutating step, and Close unwinds the stack
+// even when construction failed halfway. Undo errors are collected, not
+// fatal — later steps must still run (a vanished namespace already
+// deleted its veth, for example).
+type Cleanup struct {
+	runner Runner
+	steps  [][]string
+	closed bool
+}
+
+func NewCleanup(r Runner) *Cleanup { return &Cleanup{runner: r} }
+
+// Push registers one undo command.
+func (c *Cleanup) Push(name string, args ...string) {
+	c.steps = append(c.steps, append([]string{name}, args...))
+}
+
+// Close unwinds the stack newest-first. It is idempotent.
+func (c *Cleanup) Close() []error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var errs []error
+	for i := len(c.steps) - 1; i >= 0; i-- {
+		s := c.steps[i]
+		if _, err := c.runner.Run(s[0], s[1:]...); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	c.steps = nil
+	return errs
+}
+
+// Len reports the number of registered undo steps (for tests).
+func (c *Cleanup) Len() int { return len(c.steps) }

@@ -1,0 +1,561 @@
+package testlab
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+	"repro/internal/world"
+)
+
+// The lab's fixed port plan: every namespace has its own address, so
+// all nodes share the same ports.
+const (
+	dirPort    = 7000 // bootstrap directory (namespace 0)
+	gossipPort = 7100 // croupier-node UDP
+	httpPort   = 7200 // croupier-node /metrics + /state
+	helperPort = 3478 // natprobe helpers (namespaces 1 and 2)
+)
+
+// EventType names a timeline event in the real lab.
+type EventType string
+
+const (
+	// EvKill SIGTERMs one node's process (churn: departure).
+	EvKill EventType = "kill"
+	// EvRestart starts a killed node again (churn: replacement).
+	EvRestart EventType = "restart"
+	// EvDrift swaps one cone node's SNAT rule for the symmetric
+	// variant; the closing NAT re-classification must then see it as
+	// symmetric. The sim twin has no per-node equivalent, so drift is
+	// validated by that re-classification, not by the comparison.
+	EvDrift EventType = "drift"
+	// EvExpireMappings squeezes the kernel's UDP conntrack timeouts to
+	// TimeoutSec — idle NAT mappings now expire like a flushing home
+	// router. Mirrored to the sim as a mapexpiry event.
+	EvExpireMappings EventType = "expire-mappings"
+)
+
+// Event is one real-lab timeline entry; Node is a NodeSpec index.
+type Event struct {
+	AtRound    int
+	Type       EventType
+	Node       int
+	TimeoutSec int
+}
+
+// Config sizes and paces the lab.
+type Config struct {
+	// Publics ≥ 2 (the natprobe helpers ride in the first two public
+	// namespaces), Cone and Symmetric count the NATed nodes.
+	Publics, Cone, Symmetric int
+	// Rounds and Period pace the run: Rounds wall-clock gossip rounds
+	// of Period each (default 30 × 300 ms).
+	Rounds int
+	Period time.Duration
+	// Seed drives the simulator twin.
+	Seed int64
+	// BinDir holds prebuilt croupier-node and natprobe binaries; empty
+	// builds them with `go build` (requires running inside the module).
+	BinDir string
+	// WorkDir receives logs and built binaries; empty uses a temp dir,
+	// removed unless KeepLogs.
+	WorkDir  string
+	KeepLogs bool
+	// Prefix names namespaces and devices (default "clab").
+	Prefix string
+	// Events is the timeline replayed against the cluster.
+	Events []Event
+	// Tol bounds the sim/real comparison; zero value = defaults.
+	Tol Tolerances
+	// Trace, when set, logs every privileged command and lab step.
+	Trace io.Writer
+}
+
+// Report is what a lab run measured.
+type Report struct {
+	Caps      Caps
+	NatChecks []string
+	Real      RealSample
+	Sim       scenario.Sample
+	// Violations holds tolerance breaches and NAT-check failures; the
+	// run errors when non-empty.
+	Violations []string
+	WorkDir    string
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	var b strings.Builder
+	b.WriteString("NAT classification:\n")
+	for _, c := range r.NatChecks {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	fmt.Fprintf(&b, "real cluster: alive=%d ratio=%.3f estErr=%.3f estimating=%.0f%% indeg=%.2f±%.2f shuffleFail=%.3f rounds≈%.0f\n",
+		r.Real.Alive, r.Real.Ratio, r.Real.EstErrAvg, r.Real.EstimatingFrac*100,
+		r.Real.InDegMean, r.Real.InDegStd, r.Real.ShuffleFailRate, r.Real.Rounds)
+	fmt.Fprintf(&b, "sim twin:     alive=%d ratio=%.3f estErr=%.3f indeg=%.2f±%.2f\n",
+		r.Sim.Alive, float64(r.Sim.Ratio), float64(r.Sim.EstErrAvg),
+		float64(r.Sim.InDegMean), float64(r.Sim.InDegStd))
+	if len(r.Violations) == 0 {
+		b.WriteString("within tolerance of the simulator\n")
+	} else {
+		b.WriteString("VIOLATIONS:\n")
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func (c *Config) fillDefaults() {
+	if c.Publics < 2 {
+		c.Publics = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.Period <= 0 {
+		c.Period = 300 * time.Millisecond
+	}
+	if c.Prefix == "" {
+		c.Prefix = "clab"
+	}
+	if c.Tol == (Tolerances{}) {
+		c.Tol = DefaultTolerances()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// specs lays the lab out: namespace 0 is the directory, then publics,
+// then cone privates, then symmetric privates.
+func (c *Config) specs() (dir NodeSpec, gossip []NodeSpec) {
+	dir = NodeSpec{Index: 0, Nat: Open}
+	idx := 1
+	for i := 0; i < c.Publics; i++ {
+		gossip = append(gossip, NodeSpec{Index: idx, Nat: Open})
+		idx++
+	}
+	for i := 0; i < c.Cone; i++ {
+		gossip = append(gossip, NodeSpec{Index: idx, Nat: Cone})
+		idx++
+	}
+	for i := 0; i < c.Symmetric; i++ {
+		gossip = append(gossip, NodeSpec{Index: idx, Nat: Symmetric})
+		idx++
+	}
+	return dir, gossip
+}
+
+// Run executes the full lab: capability check, topology, processes,
+// timeline, scrape, sim twin, comparison. A host that cannot run it
+// gets a *SkipError. A completed run with violations returns the
+// report AND an error.
+func Run(cfg Config) (*Report, error) {
+	caps := Probe()
+	if missing := caps.Missing(); len(missing) > 0 {
+		return nil, &SkipError{MissingCaps: missing}
+	}
+	cfg.fillDefaults()
+	rep := &Report{Caps: caps}
+
+	lab := &labRun{cfg: &cfg, rep: rep}
+	if err := lab.setup(); err != nil {
+		lab.close()
+		return rep, err
+	}
+	err := lab.execute()
+	lab.close()
+	if err != nil {
+		return rep, err
+	}
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("testlab: %d violation(s); first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	return rep, nil
+}
+
+// labRun carries the mutable state of one Run.
+type labRun struct {
+	cfg  *Config
+	rep  *Report
+	topo *Topology
+	dir  NodeSpec
+	// gossip holds every croupier node's spec; procs the live process
+	// per index (nil after a kill).
+	gossip  []NodeSpec
+	procs   map[int]*Proc
+	dirProc *Proc
+	helpers []*Proc
+	// drifted tracks cone nodes converted by EvDrift, for the closing
+	// re-classification.
+	drifted map[int]bool
+	binDir  string
+	tmpOwn  bool
+}
+
+func (l *labRun) tracef(format string, args ...any) {
+	if l.cfg.Trace != nil {
+		fmt.Fprintf(l.cfg.Trace, "testlab: "+format+"\n", args...)
+	}
+}
+
+func (l *labRun) setup() error {
+	cfg := l.cfg
+	if cfg.WorkDir == "" {
+		d, err := os.MkdirTemp("", "croupier-testlab-")
+		if err != nil {
+			return err
+		}
+		cfg.WorkDir = d
+		l.tmpOwn = true
+	}
+	l.rep.WorkDir = cfg.WorkDir
+	l.binDir = cfg.BinDir
+	if l.binDir == "" {
+		l.binDir = filepath.Join(cfg.WorkDir, "bin")
+		l.tracef("building binaries into %s", l.binDir)
+		cmd := exec.Command("go", "build", "-o", l.binDir+string(os.PathSeparator),
+			"repro/cmd/croupier-node", "repro/cmd/natprobe")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("testlab: go build: %w (%s)", err, strings.TrimSpace(string(out)))
+		}
+	}
+
+	l.dir, l.gossip = cfg.specs()
+	l.procs = map[int]*Proc{}
+	l.drifted = map[int]bool{}
+	l.topo = NewTopology(ExecRunner{Trace: cfg.Trace}, cfg.Prefix)
+	l.tracef("building topology: 1 directory + %d publics + %d cone + %d symmetric",
+		cfg.Publics, cfg.Cone, cfg.Symmetric)
+	return l.topo.Build(append([]NodeSpec{l.dir}, l.gossip...))
+}
+
+func (l *labRun) close() {
+	for _, p := range l.procs {
+		if p != nil {
+			p.Stop(2 * time.Second)
+		}
+	}
+	for _, p := range l.helpers {
+		p.Stop(time.Second)
+	}
+	if l.dirProc != nil {
+		l.dirProc.Stop(time.Second)
+	}
+	if l.topo != nil {
+		for _, err := range l.topo.Close() {
+			l.tracef("teardown: %v", err)
+		}
+	}
+	if l.tmpOwn && !l.cfg.KeepLogs {
+		os.RemoveAll(l.cfg.WorkDir)
+		l.rep.WorkDir = ""
+	}
+}
+
+func (l *labRun) execute() error {
+	if err := l.startDirectoryAndHelpers(); err != nil {
+		return err
+	}
+	if err := l.classifyAll(false); err != nil {
+		return err
+	}
+	if err := l.startNodes(); err != nil {
+		return err
+	}
+	l.runTimeline()
+	if err := l.classifyDrifted(); err != nil {
+		return err
+	}
+	states, proms := l.scrape()
+	l.rep.Real = SampleFromStates(states, proms)
+	sim, err := l.runSimTwin()
+	if err != nil {
+		return err
+	}
+	l.rep.Sim = sim
+	l.rep.Violations = append(l.rep.Violations, Compare(l.rep.Real, sim, l.cfg.Tol)...)
+	return nil
+}
+
+func (l *labRun) dirEndpoint() string { return l.dir.NodeIP() + ":" + itoa(dirPort) }
+
+func (l *labRun) helperEndpoints() (string, string) {
+	return l.gossip[0].NodeIP() + ":" + itoa(helperPort),
+		l.gossip[1].NodeIP() + ":" + itoa(helperPort)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func (l *labRun) startDirectoryAndHelpers() error {
+	node := filepath.Join(l.binDir, "croupier-node")
+	probe := filepath.Join(l.binDir, "natprobe")
+	p, err := StartInNS(l.topo.NSName(l.dir), l.cfg.WorkDir, "directory", node,
+		"bootstrap", "-listen", l.dirEndpoint(), "-ttl", "10s")
+	if err != nil {
+		return err
+	}
+	l.dirProc = p
+
+	h1, h2 := l.helperEndpoints()
+	for i, pair := range [][2]string{{h1, h2}, {h2, h1}} {
+		spec := l.gossip[i]
+		hp, err := StartInNS(l.topo.NSName(spec), l.cfg.WorkDir,
+			fmt.Sprintf("helper%d", i+1), probe,
+			"serve", "-listen", pair[0], "-forwarder", pair[1])
+		if err != nil {
+			return err
+		}
+		l.helpers = append(l.helpers, hp)
+	}
+	time.Sleep(300 * time.Millisecond) // sockets up before probing
+	return nil
+}
+
+// classifyAll runs natprobe inside every gossip namespace and checks
+// the verdict against the NAT its iptables rules implement.
+func (l *labRun) classifyAll(driftedOnly bool) error {
+	probe := filepath.Join(l.binDir, "natprobe")
+	h1, h2 := l.helperEndpoints()
+	for _, s := range l.gossip {
+		if driftedOnly && !l.drifted[s.Index] {
+			continue
+		}
+		spec := s
+		if l.drifted[s.Index] {
+			spec.Nat = Symmetric
+		}
+		out, err := l.topo.Exec(spec, probe, "probe", "-json",
+			"-helpers", h1+","+h2, "-probe", "1", "-timeout", "2s")
+		if err != nil {
+			return fmt.Errorf("testlab: natprobe in ns %d: %w", s.Index, err)
+		}
+		v, err := ParseProbeVerdict([]byte(out))
+		if err != nil {
+			return err
+		}
+		label := ""
+		if l.drifted[s.Index] {
+			label = " after drift"
+		}
+		if err := CheckVerdict(spec, v); err != nil {
+			l.rep.Violations = append(l.rep.Violations, "natcheck"+label+": "+err.Error())
+			l.rep.NatChecks = append(l.rep.NatChecks,
+				fmt.Sprintf("node %d (%v)%s: FAIL (%v/%v)", s.Index, spec.Nat, label, v.Type, v.Mapping))
+		} else {
+			l.rep.NatChecks = append(l.rep.NatChecks,
+				fmt.Sprintf("node %d (%v)%s: ok (%v/%v)", s.Index, spec.Nat, label, v.Type, v.Mapping))
+		}
+	}
+	return nil
+}
+
+func (l *labRun) classifyDrifted() error {
+	if len(l.drifted) == 0 {
+		return nil
+	}
+	return l.classifyAll(true)
+}
+
+func (l *labRun) startNodes() error {
+	for _, s := range l.gossip {
+		if err := l.startNode(s); err != nil {
+			return err
+		}
+		if s.Nat == Open {
+			time.Sleep(150 * time.Millisecond) // publics register first
+		}
+	}
+	return nil
+}
+
+func (l *labRun) startNode(s NodeSpec) error {
+	node := filepath.Join(l.binDir, "croupier-node")
+	natFlag := "private"
+	args := []string{
+		"run",
+		"-listen", s.NodeIP() + ":" + itoa(gossipPort),
+		"-directory", l.dirEndpoint(),
+		"-id", itoa(s.Index),
+		"-period", l.cfg.Period.String(),
+		"-metrics-addr", s.NodeIP() + ":" + itoa(httpPort),
+		"-keepalive-every", "5",
+	}
+	if s.Nat == Open {
+		natFlag = "public"
+		args = append(args, "-advertise", s.NodeIP()+":"+itoa(gossipPort))
+	}
+	args = append(args, "-nat", natFlag)
+	p, err := StartInNS(l.topo.NSName(s), l.cfg.WorkDir, fmt.Sprintf("node%d", s.Index), node, args...)
+	if err != nil {
+		return err
+	}
+	l.procs[s.Index] = p
+	return nil
+}
+
+// runTimeline paces the run round by round, firing events at their
+// marks. Event errors are recorded as violations, not aborts — a
+// partially applied timeline still yields a comparable cluster.
+func (l *labRun) runTimeline() {
+	byRound := map[int][]Event{}
+	for _, ev := range l.cfg.Events {
+		byRound[ev.AtRound] = append(byRound[ev.AtRound], ev)
+	}
+	for r := 1; r <= l.cfg.Rounds; r++ {
+		time.Sleep(l.cfg.Period)
+		for _, ev := range byRound[r] {
+			if err := l.fire(ev); err != nil {
+				l.rep.Violations = append(l.rep.Violations,
+					fmt.Sprintf("event %s@%d: %v", ev.Type, ev.AtRound, err))
+			}
+		}
+	}
+	// One settling round so restarted nodes have scraped state.
+	time.Sleep(l.cfg.Period)
+}
+
+func (l *labRun) spec(index int) (NodeSpec, bool) {
+	for _, s := range l.gossip {
+		if s.Index == index {
+			return s, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+func (l *labRun) fire(ev Event) error {
+	l.tracef("event %s node=%d", ev.Type, ev.Node)
+	switch ev.Type {
+	case EvKill:
+		p := l.procs[ev.Node]
+		if p == nil {
+			return fmt.Errorf("node %d not running", ev.Node)
+		}
+		l.procs[ev.Node] = nil
+		return p.Stop(2 * time.Second)
+	case EvRestart:
+		s, ok := l.spec(ev.Node)
+		if !ok {
+			return fmt.Errorf("unknown node %d", ev.Node)
+		}
+		if l.procs[ev.Node] != nil {
+			return fmt.Errorf("node %d already running", ev.Node)
+		}
+		return l.startNode(s)
+	case EvDrift:
+		s, ok := l.spec(ev.Node)
+		if !ok {
+			return fmt.Errorf("unknown node %d", ev.Node)
+		}
+		if err := l.topo.DriftToSymmetric(s); err != nil {
+			return err
+		}
+		l.drifted[s.Index] = true
+		// Squeeze conntrack so the pre-drift mapping dies quickly and
+		// new flows show the symmetric behaviour.
+		return l.topo.SetUDPMappingTimeout(2)
+	case EvExpireMappings:
+		sec := ev.TimeoutSec
+		if sec <= 0 {
+			sec = 2
+		}
+		return l.topo.SetUDPMappingTimeout(sec)
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+}
+
+// scrape collects /state and /metrics from every live node.
+func (l *labRun) scrape() ([]deploy.NodeState, []map[string]float64) {
+	var states []deploy.NodeState
+	var proms []map[string]float64
+	for _, s := range l.gossip {
+		if l.procs[s.Index] == nil || !l.procs[s.Index].Running() {
+			continue
+		}
+		base := "http://" + s.NodeIP() + ":" + itoa(httpPort)
+		st, err := FetchState(base+"/state", 3*time.Second)
+		if err != nil {
+			l.rep.Violations = append(l.rep.Violations, fmt.Sprintf("scrape node %d: %v", s.Index, err))
+			continue
+		}
+		m, err := FetchMetrics(base+"/metrics", 3*time.Second)
+		if err != nil {
+			l.rep.Violations = append(l.rep.Violations, fmt.Sprintf("scrape node %d: %v", s.Index, err))
+			continue
+		}
+		states = append(states, st)
+		proms = append(proms, m)
+	}
+	return states, proms
+}
+
+// runSimTwin executes the same population and timeline on the
+// simulator and returns its final probe.
+func (l *labRun) runSimTwin() (scenario.Sample, error) {
+	sc := scenario.Scenario{
+		Name:       "testlab-twin",
+		Publics:    l.cfg.Publics,
+		Privates:   l.cfg.Cone + l.cfg.Symmetric,
+		JoinGapMS:  5,
+		Rounds:     l.cfg.Rounds,
+		ProbeEvery: l.cfg.Rounds,
+		Events:     l.simEvents(),
+	}
+	res, err := scenario.Run(sc, scenario.RunConfig{
+		Kind: world.KindCroupier,
+		Seed: l.cfg.Seed,
+	})
+	if err != nil {
+		return scenario.Sample{}, fmt.Errorf("testlab: sim twin: %w", err)
+	}
+	return res.Samples[len(res.Samples)-1], nil
+}
+
+// simEvents translates the real timeline into the scenario vocabulary.
+// Kills become single-node mass failures, restarts single-node join
+// waves of the matching NAT type, mapping expiry carries over directly.
+// Drift has no sim equivalent (the sim's NAT model is per-gateway
+// static within a run) and is validated by re-classification instead.
+func (l *labRun) simEvents() []scenario.Event {
+	n := float64(len(l.gossip))
+	var evs []scenario.Event
+	for _, ev := range l.cfg.Events {
+		at := float64(ev.AtRound)
+		switch ev.Type {
+		case EvKill:
+			evs = append(evs, scenario.Event{
+				At: at, Type: scenario.EvMassFail, Fraction: 1 / n,
+			})
+		case EvRestart:
+			pubFrac := 0.0
+			if s, ok := l.spec(ev.Node); ok && s.Nat == Open {
+				pubFrac = 1.0
+			}
+			gap := 0.0
+			evs = append(evs, scenario.Event{
+				At: at, Type: scenario.EvJoinWave, Count: 1,
+				PubFrac: &pubFrac, MeanGapMS: &gap,
+			})
+		case EvExpireMappings:
+			sec := ev.TimeoutSec
+			if sec <= 0 {
+				sec = 2
+			}
+			evs = append(evs, scenario.Event{
+				At: at, Type: scenario.EvMapExpiry, TimeoutMS: float64(sec) * 1000,
+			})
+		}
+	}
+	return evs
+}

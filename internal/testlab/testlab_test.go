@@ -1,0 +1,422 @@
+package testlab
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/deploy"
+	"repro/internal/scenario"
+)
+
+// fakeRunner records every command instead of executing it, and serves
+// canned file contents for `cat` reads.
+type fakeRunner struct {
+	cmds  []string
+	files map[string]string
+	fail  map[string]bool
+}
+
+func (f *fakeRunner) Run(name string, args ...string) (string, error) {
+	line := name + " " + strings.Join(args, " ")
+	f.cmds = append(f.cmds, line)
+	if f.fail[line] {
+		return "", fmt.Errorf("forced failure: %s", line)
+	}
+	if name == "cat" && len(args) == 1 {
+		if v, ok := f.files[args[0]]; ok {
+			return v, nil
+		}
+		return "0\n", nil
+	}
+	return "", nil
+}
+
+func (f *fakeRunner) has(sub string) bool {
+	for _, c := range f.cmds {
+		if strings.Contains(c, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTopologyPlan(t *testing.T) {
+	r := &fakeRunner{files: map[string]string{"/proc/sys/net/ipv4/ip_forward": "0\n"}}
+	topo := NewTopology(r, "clab")
+	specs := []NodeSpec{
+		{Index: 0, Nat: Open},
+		{Index: 1, Nat: Cone},
+		{Index: 2, Nat: Symmetric},
+	}
+	if err := topo.Build(specs); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	wantCmds := []string{
+		"sh -c echo 1 > /proc/sys/net/ipv4/ip_forward",
+		"iptables -t nat -N CROUPIERLAB",
+		"iptables -t nat -A POSTROUTING -j CROUPIERLAB",
+		"ip netns add clab0",
+		"ip link add clab0h type veth peer name clab0n",
+		"ip netns exec clab0 ip route add default via 10.200.0.1",
+		// Cone: plain SNAT to the fixed host-side address.
+		"iptables -t nat -A CROUPIERLAB -s 10.99.1.2 -j SNAT --to-source 10.99.1.1",
+		// Symmetric: the same plus per-flow random ports.
+		"iptables -t nat -A CROUPIERLAB -s 10.99.2.2 -j SNAT --to-source 10.99.2.1 --random-fully",
+	}
+	for _, w := range wantCmds {
+		if !r.has(w) {
+			t.Errorf("plan missing %q", w)
+		}
+	}
+	// The cone rule must NOT be the random one.
+	for _, c := range r.cmds {
+		if strings.Contains(c, "10.99.1.2") && strings.Contains(c, "--random-fully") {
+			t.Errorf("cone node got a symmetric rule: %s", c)
+		}
+	}
+
+	built := len(r.cmds)
+	if errs := topo.Close(); len(errs) != 0 {
+		t.Fatalf("Close errors: %v", errs)
+	}
+	undo := r.cmds[built:]
+	if len(undo) == 0 {
+		t.Fatal("Close ran no teardown commands")
+	}
+	// LIFO: the last construction (node namespaces) unwinds before the
+	// chains, and the forwarding sysctl is restored last.
+	if !strings.Contains(undo[0], "clab2") {
+		t.Errorf("first undo %q should tear down the last node", undo[0])
+	}
+	last := undo[len(undo)-1]
+	if last != "sh -c echo 0 > /proc/sys/net/ipv4/ip_forward" {
+		t.Errorf("last undo %q should restore ip_forward", last)
+	}
+	// Chain removal must unhook before flushing, flush before delete.
+	var hook, flush, del = -1, -1, -1
+	for i, c := range undo {
+		switch c {
+		case "iptables -t nat -D POSTROUTING -j CROUPIERLAB":
+			hook = i
+		case "iptables -t nat -F CROUPIERLAB":
+			flush = i
+		case "iptables -t nat -X CROUPIERLAB":
+			del = i
+		}
+	}
+	if hook == -1 || flush == -1 || del == -1 || !(hook < flush && flush < del) {
+		t.Errorf("nat chain teardown order hook=%d flush=%d delete=%d, want hook<flush<delete", hook, flush, del)
+	}
+	// Idempotent.
+	if errs := topo.Close(); errs != nil {
+		t.Fatalf("second Close not a no-op: %v", errs)
+	}
+}
+
+func TestTopologyDriftAndTimeouts(t *testing.T) {
+	r := &fakeRunner{files: map[string]string{
+		"/proc/sys/net/netfilter/nf_conntrack_udp_timeout":        "30\n",
+		"/proc/sys/net/netfilter/nf_conntrack_udp_timeout_stream": "120\n",
+	}}
+	topo := NewTopology(r, "clab")
+	cone := NodeSpec{Index: 3, Nat: Cone}
+	if err := topo.Build([]NodeSpec{cone}); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := topo.DriftToSymmetric(cone); err != nil {
+		t.Fatalf("Drift: %v", err)
+	}
+	if !r.has("iptables -t nat -D CROUPIERLAB -s 10.99.3.2 -j SNAT --to-source 10.99.3.1") {
+		t.Error("drift did not delete the cone rule")
+	}
+	if !r.has("iptables -t nat -A CROUPIERLAB -s 10.99.3.2 -j SNAT --to-source 10.99.3.1 --random-fully") {
+		t.Error("drift did not add the symmetric rule")
+	}
+	if err := topo.DriftToSymmetric(NodeSpec{Index: 9, Nat: Symmetric}); err == nil {
+		t.Error("drifting a non-cone node must error")
+	}
+
+	if err := topo.SetUDPMappingTimeout(2); err != nil {
+		t.Fatalf("SetUDPMappingTimeout: %v", err)
+	}
+	if err := topo.SetUDPMappingTimeout(5); err != nil {
+		t.Fatalf("SetUDPMappingTimeout: %v", err)
+	}
+	if !r.has("echo 2 > /proc/sys/net/netfilter/nf_conntrack_udp_timeout") {
+		t.Error("timeout squeeze missing")
+	}
+	built := len(r.cmds)
+	topo.Close()
+	restores := 0
+	for _, c := range r.cmds[built:] {
+		if strings.Contains(c, "echo 30 > /proc/sys/net/netfilter/nf_conntrack_udp_timeout") ||
+			strings.Contains(c, "echo 120 > /proc/sys/net/netfilter/nf_conntrack_udp_timeout_stream") {
+			restores++
+		}
+	}
+	if restores != 2 {
+		t.Errorf("teardown restored %d conntrack sysctls, want 2 (originals, deduped)", restores)
+	}
+}
+
+func TestBuildRejectsBadIndexes(t *testing.T) {
+	r := &fakeRunner{}
+	if err := NewTopology(r, "clab").Build([]NodeSpec{{Index: 300}}); err == nil {
+		t.Error("index 300 accepted")
+	}
+	if err := NewTopology(r, "clab").Build([]NodeSpec{{Index: 1}, {Index: 1}}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestCleanupRunsAllStepsDespiteFailures(t *testing.T) {
+	r := &fakeRunner{fail: map[string]bool{"ip netns delete gone": true}}
+	c := NewCleanup(r)
+	c.Push("sh", "-c", "echo restore")
+	c.Push("ip", "netns", "delete", "gone")
+	errs := c.Close()
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v, want the one forced failure", errs)
+	}
+	if !r.has("echo restore") {
+		t.Error("later cleanup steps skipped after a failure")
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP pss_rounds_total Protocol rounds driven.
+# TYPE pss_rounds_total counter
+pss_rounds_total{proto="croupier"} 120
+pss_failed_shuffles_total{proto="croupier"} 3
+deploy_udp_rx_total 456
+lat_bucket{le="0.1"} 9
+`
+	m, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if m[`pss_rounds_total{proto="croupier"}`] != 120 {
+		t.Errorf("rounds = %v", m)
+	}
+	if m["deploy_udp_rx_total"] != 456 {
+		t.Errorf("bare series lost: %v", m)
+	}
+	if _, ok := m[`lat_bucket{le="0.1"}`]; ok {
+		t.Error("histogram bucket not skipped")
+	}
+	if got := SumSeries(m, "pss_failed_shuffles_total"); got != 3 {
+		t.Errorf("SumSeries = %v", got)
+	}
+	if got := SumSeries(m, "pss_rounds"); got != 0 {
+		t.Errorf("SumSeries prefix-matched: %v", got)
+	}
+}
+
+func TestParseProbeVerdictSkipsNoise(t *testing.T) {
+	out := []byte("some log line\n{\"type\":\"private\",\"mapping\":\"cone\",\"mapped\":[\"10.99.3.1:7100\"]}\n")
+	v, err := ParseProbeVerdict(out)
+	if err != nil {
+		t.Fatalf("ParseProbeVerdict: %v", err)
+	}
+	if v.Type != "private" || v.Mapping != "cone" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if _, err := ParseProbeVerdict([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckVerdict(t *testing.T) {
+	cone := NodeSpec{Index: 3, Nat: Cone}
+	open := NodeSpec{Index: 1, Nat: Open}
+	sym := NodeSpec{Index: 4, Nat: Symmetric}
+	cases := []struct {
+		name string
+		spec NodeSpec
+		v    ProbeVerdict
+		ok   bool
+	}{
+		{"open public/none", open, ProbeVerdict{Type: "public", Mapping: "none"}, true},
+		{"open misclassified private", open, ProbeVerdict{Type: "private", Mapping: "none"}, false},
+		{"cone correct", cone, ProbeVerdict{Type: "private", Mapping: "cone",
+			Mapped: []string{"10.99.3.1:7100", "10.99.3.1:7100"}}, true},
+		{"cone seen as symmetric", cone, ProbeVerdict{Type: "private", Mapping: "symmetric"}, false},
+		{"cone mapped via wrong gateway", cone, ProbeVerdict{Type: "private", Mapping: "cone",
+			Mapped: []string{"10.99.9.1:7100"}}, false},
+		{"symmetric correct", sym, ProbeVerdict{Type: "private", Mapping: "symmetric",
+			Mapped: []string{"10.99.4.1:1024", "10.99.4.1:61203"}}, true},
+		{"symmetric seen as cone", sym, ProbeVerdict{Type: "private", Mapping: "cone"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckVerdict(tc.spec, tc.v)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckVerdict = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// state builds a synthetic /state snapshot.
+func state(id int, nat string, est float64, hasEst bool, neighbors ...int) deploy.NodeState {
+	st := deploy.NodeState{ID: addr.NodeID(id), Nat: nat, Rounds: 30, Estimate: est, HasEst: hasEst}
+	for _, n := range neighbors {
+		st.Neighbors = append(st.Neighbors, deploy.NodeStateNeighbor{ID: addr.NodeID(n), Nat: "public"})
+	}
+	return st
+}
+
+func TestSampleFromStates(t *testing.T) {
+	// 2 publics + 2 privates; everyone's view names both publics, so
+	// in-degrees are {1:4, 2:4, 3:0, 4:0} → mean 2, std 2.
+	states := []deploy.NodeState{
+		state(1, "public", 0.5, true, 1, 2),
+		state(2, "public", 0.5, true, 1, 2),
+		state(3, "private", 0.4, true, 1, 2),
+		state(4, "private", 0, false, 1, 2),
+	}
+	prom := []map[string]float64{
+		{`pss_rounds_total{proto="croupier"}`: 100, `pss_failed_shuffles_total{proto="croupier"}`: 10},
+		{`pss_rounds_total{proto="croupier"}`: 100},
+	}
+	s := SampleFromStates(states, prom)
+	if s.Alive != 4 || s.Publics != 2 || s.Ratio != 0.5 {
+		t.Fatalf("population: %+v", s)
+	}
+	if s.InDegMean != 2 || s.InDegStd != 2 {
+		t.Fatalf("indeg = %v ± %v, want 2 ± 2", s.InDegMean, s.InDegStd)
+	}
+	// est errors: |0.5-0.5|, |0.5-0.5|, |0.4-0.5| over 3 estimators.
+	if math.Abs(s.EstErrAvg-0.1/3) > 1e-12 {
+		t.Fatalf("EstErrAvg = %v", s.EstErrAvg)
+	}
+	if s.EstimatingFrac != 0.75 {
+		t.Fatalf("EstimatingFrac = %v", s.EstimatingFrac)
+	}
+	if s.ShuffleFailRate != 10.0/200 {
+		t.Fatalf("ShuffleFailRate = %v", s.ShuffleFailRate)
+	}
+	// A neighbor outside the scraped set must not create a vertex.
+	states[0].Neighbors = append(states[0].Neighbors, deploy.NodeStateNeighbor{ID: addr.NodeID(99)})
+	s = SampleFromStates(states, nil)
+	if s.InDegMean != 2 {
+		t.Fatalf("foreign neighbor changed InDegMean: %v", s.InDegMean)
+	}
+}
+
+func TestCompareTolerances(t *testing.T) {
+	sim := scenario.Sample{
+		Alive: 6, InDegMean: 5, InDegStd: 1.5, EstErrAvg: 0.05,
+	}
+	tol := DefaultTolerances()
+	good := RealSample{
+		Alive: 6, InDegMean: 4.5, InDegStd: 1.2, EstErrAvg: 0.1,
+		EstimatingFrac: 1, ShuffleFailRate: 0.05,
+	}
+	if v := Compare(good, sim, tol); len(v) != 0 {
+		t.Fatalf("good sample flagged: %v", v)
+	}
+	bad := RealSample{
+		Alive: 6, InDegMean: 1, InDegStd: 6, EstErrAvg: 0.5,
+		EstimatingFrac: 0.2, ShuffleFailRate: 0.9,
+	}
+	v := Compare(bad, sim, tol)
+	if len(v) != 5 {
+		t.Fatalf("violations = %v, want all five bounds breached", v)
+	}
+	// NaN estimation error (nobody estimating) must not fabricate an
+	// ω̂-gap violation on top of the estimating-floor one.
+	nan := good
+	nan.EstErrAvg = math.NaN()
+	nan.EstimatingFrac = 0
+	v = Compare(nan, sim, tol)
+	for _, msg := range v {
+		if strings.Contains(msg, "estimation error") {
+			t.Fatalf("NaN est error compared: %v", v)
+		}
+	}
+}
+
+func TestCapsMissingAndSkip(t *testing.T) {
+	full := Caps{EUID: 0, HaveIP: true, HaveIPTables: true, NetAdmin: true, ForwardSysctl: true}
+	if m := full.Missing(); len(m) != 0 {
+		t.Fatalf("full caps missing %v", m)
+	}
+	none := Caps{EUID: 1000}
+	m := none.Missing()
+	if len(m) == 0 {
+		t.Fatal("empty caps report nothing missing")
+	}
+	err := &SkipError{MissingCaps: m}
+	for _, want := range []string{"root", "ip(8)", "iptables(8)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("skip message %q lacks %q", err.Error(), want)
+		}
+	}
+	if rep := none.Report(); !strings.Contains(rep, "cannot run") {
+		t.Errorf("Report() = %q", rep)
+	}
+	if rep := full.Report(); !strings.Contains(rep, "all capabilities present") {
+		t.Errorf("Report() = %q", rep)
+	}
+}
+
+// TestSimTwinSmoke runs the lab's simulator twin standalone (no kernel
+// state): the translated scenario must validate and produce a sane
+// final sample, so the tagged kernel test cannot be the first place the
+// translation is ever executed.
+func TestSimTwinSmoke(t *testing.T) {
+	cfg := &Config{Publics: 2, Cone: 2, Symmetric: 2, Rounds: 20, Seed: 3}
+	cfg.fillDefaults()
+	_, gossip := cfg.specs()
+	l := &labRun{cfg: cfg, rep: &Report{}, gossip: gossip}
+	cfg.Events = []Event{
+		{AtRound: 8, Type: EvKill, Node: gossip[3].Index},
+		{AtRound: 12, Type: EvRestart, Node: gossip[3].Index},
+		{AtRound: 10, Type: EvExpireMappings, TimeoutSec: 3},
+		{AtRound: 14, Type: EvDrift, Node: gossip[2].Index}, // no sim equivalent
+	}
+	sample, err := l.runSimTwin()
+	if err != nil {
+		t.Fatalf("runSimTwin: %v", err)
+	}
+	if sample.Alive < 5 || sample.Alive > 6 {
+		t.Fatalf("sim twin alive = %d, want ~6", sample.Alive)
+	}
+	if sample.Round != 20 {
+		t.Fatalf("final sample at round %v, want 20", sample.Round)
+	}
+	if evs := l.simEvents(); len(evs) != 3 {
+		t.Fatalf("simEvents = %d, want 3 (drift untranslated)", len(evs))
+	}
+}
+
+func TestSpecLayoutAndReport(t *testing.T) {
+	cfg := &Config{Publics: 2, Cone: 1, Symmetric: 1}
+	cfg.fillDefaults()
+	dir, gossip := cfg.specs()
+	if dir.Index != 0 || dir.Nat != Open {
+		t.Fatalf("directory spec = %+v", dir)
+	}
+	if len(gossip) != 4 {
+		t.Fatalf("gossip nodes = %d", len(gossip))
+	}
+	kinds := []NatKind{Open, Open, Cone, Symmetric}
+	for i, s := range gossip {
+		if s.Nat != kinds[i] || s.Index != i+1 {
+			t.Fatalf("spec %d = %+v", i, s)
+		}
+	}
+	rep := &Report{
+		NatChecks:  []string{"node 1 (open): ok (public/none)"},
+		Violations: []string{"in-degree mean: off"},
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "VIOLATIONS") || !strings.Contains(out, "node 1 (open)") {
+		t.Fatalf("Format() = %q", out)
+	}
+}

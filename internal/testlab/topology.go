@@ -1,0 +1,304 @@
+package testlab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NatKind is the gateway placed in front of a lab node.
+type NatKind uint8
+
+const (
+	// Open nodes sit behind plain routing: their namespace address is
+	// what peers see (the lab's "public internet" hosts).
+	Open NatKind = iota
+	// Cone is endpoint-independent mapping: netfilter SNAT to a fixed
+	// host address with source-port preservation, so every destination
+	// observes the same mapped endpoint.
+	Cone
+	// Symmetric adds --random-fully: a fresh random source port per
+	// connection, so each destination observes a different mapping.
+	Symmetric
+)
+
+func (k NatKind) String() string {
+	switch k {
+	case Open:
+		return "open"
+	case Cone:
+		return "cone"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return "invalid"
+	}
+}
+
+// ExpectedMapping is the natprobe mapping-behaviour verdict the
+// namespace's iptables rules must produce.
+func (k NatKind) ExpectedMapping() string {
+	switch k {
+	case Open:
+		return "none"
+	case Cone:
+		return "cone"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return "invalid"
+	}
+}
+
+// NodeSpec places one namespace in the lab. Index must be unique and in
+// 1..254 (0 is reserved for the bootstrap directory's namespace).
+type NodeSpec struct {
+	Index int
+	Nat   NatKind
+}
+
+// subnetOctet separates the open prefix (10.200.0.0/16) from the NATed
+// one (10.99.0.0/16) so the SNAT rules can match whole private subnets.
+func (s NodeSpec) subnetOctet() int {
+	if s.Nat == Open {
+		return 200
+	}
+	return 99
+}
+
+// HostIP is the host-side veth address — the namespace's default
+// gateway, and for NATed nodes also the SNAT source (the gateway's
+// "public" address): replies to it reach the host, where conntrack
+// reverses the translation back into the namespace.
+func (s NodeSpec) HostIP() string { return fmt.Sprintf("10.%d.%d.1", s.subnetOctet(), s.Index) }
+
+// NodeIP is the address bound inside the namespace.
+func (s NodeSpec) NodeIP() string { return fmt.Sprintf("10.%d.%d.2", s.subnetOctet(), s.Index) }
+
+// The iptables chains the lab owns. Keeping every rule in dedicated
+// chains makes teardown exact: unhook the jump, flush, delete.
+const (
+	natChain = "CROUPIERLAB"
+	fwdChain = "CROUPIERLAB-FWD"
+)
+
+// Topology builds and tears down the lab's kernel state. All mutations
+// go through the Runner so tests can audit the exact command plan.
+type Topology struct {
+	// Prefix names the namespaces and veth devices (e.g. "clab" →
+	// namespace clab3, devices clab3h/clab3n). Keep it ≤11 characters
+	// so device names stay under the kernel's 15-character limit.
+	Prefix  string
+	runner  Runner
+	cleanup *Cleanup
+	nodes   []NodeSpec
+	// restorePushed dedups sysctl-restore registrations so repeated
+	// timeout squeezes restore the pre-lab value, not an squeezed one.
+	restorePushed map[string]bool
+}
+
+// NewTopology prepares an empty lab. Nothing touches the kernel until
+// Build.
+func NewTopology(r Runner, prefix string) *Topology {
+	if prefix == "" {
+		prefix = "clab"
+	}
+	return &Topology{Prefix: prefix, runner: r, cleanup: NewCleanup(r), restorePushed: map[string]bool{}}
+}
+
+// NSName is the namespace hosting the node.
+func (t *Topology) NSName(s NodeSpec) string { return fmt.Sprintf("%s%d", t.Prefix, s.Index) }
+
+func (t *Topology) hostDev(s NodeSpec) string { return fmt.Sprintf("%s%dh", t.Prefix, s.Index) }
+func (t *Topology) nsDev(s NodeSpec) string   { return fmt.Sprintf("%s%dn", t.Prefix, s.Index) }
+
+// Nodes returns the specs built so far.
+func (t *Topology) Nodes() []NodeSpec { return t.nodes }
+
+// run executes one construction step, failing the build on error.
+func (t *Topology) run(name string, args ...string) error {
+	_, err := t.runner.Run(name, args...)
+	return err
+}
+
+// Build wires the whole lab: IP forwarding, the iptables chains, and
+// one namespace per spec. On error the partially built state has
+// already been registered for Close — callers must still Close.
+func (t *Topology) Build(nodes []NodeSpec) error {
+	seen := map[int]bool{}
+	for _, s := range nodes {
+		if s.Index < 0 || s.Index > 254 {
+			return fmt.Errorf("testlab: node index %d out of range 0..254", s.Index)
+		}
+		if seen[s.Index] {
+			return fmt.Errorf("testlab: duplicate node index %d", s.Index)
+		}
+		seen[s.Index] = true
+	}
+	if err := t.enableForwarding(); err != nil {
+		return err
+	}
+	if err := t.setupChains(); err != nil {
+		return err
+	}
+	for _, s := range nodes {
+		if err := t.addNode(s); err != nil {
+			return fmt.Errorf("testlab: node %d (%v): %w", s.Index, s.Nat, err)
+		}
+		t.nodes = append(t.nodes, s)
+	}
+	return nil
+}
+
+// enableForwarding turns the host into a router between the lab
+// subnets, restoring the previous sysctl value on teardown.
+func (t *Topology) enableForwarding() error {
+	const path = "/proc/sys/net/ipv4/ip_forward"
+	old, err := t.runner.Run("cat", path)
+	if err != nil {
+		return err
+	}
+	prev := strings.TrimSpace(old)
+	if prev == "" {
+		prev = "0"
+	}
+	if err := t.run("sh", "-c", "echo 1 > "+path); err != nil {
+		return err
+	}
+	t.cleanup.Push("sh", "-c", fmt.Sprintf("echo %s > %s", prev, path))
+	return nil
+}
+
+// setupChains installs the lab's nat and filter chains. The filter
+// rules make the lab self-contained on hosts whose FORWARD policy is
+// DROP (docker et al.); they only match the lab's own subnets.
+func (t *Topology) setupChains() error {
+	if err := t.run("iptables", "-t", "nat", "-N", natChain); err != nil {
+		return err
+	}
+	t.cleanup.Push("iptables", "-t", "nat", "-X", natChain)
+	t.cleanup.Push("iptables", "-t", "nat", "-F", natChain)
+	if err := t.run("iptables", "-t", "nat", "-A", "POSTROUTING", "-j", natChain); err != nil {
+		return err
+	}
+	t.cleanup.Push("iptables", "-t", "nat", "-D", "POSTROUTING", "-j", natChain)
+
+	if err := t.run("iptables", "-N", fwdChain); err != nil {
+		return err
+	}
+	t.cleanup.Push("iptables", "-X", fwdChain)
+	t.cleanup.Push("iptables", "-F", fwdChain)
+	if err := t.run("iptables", "-I", "FORWARD", "-j", fwdChain); err != nil {
+		return err
+	}
+	t.cleanup.Push("iptables", "-D", "FORWARD", "-j", fwdChain)
+	for _, subnet := range []string{"10.200.0.0/16", "10.99.0.0/16"} {
+		if err := t.run("iptables", "-A", fwdChain, "-s", subnet, "-j", "ACCEPT"); err != nil {
+			return err
+		}
+		if err := t.run("iptables", "-A", fwdChain, "-d", subnet, "-j", "ACCEPT"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addNode creates the namespace, its veth pair, addressing, routing,
+// and (for NATed specs) the SNAT rule implementing its NAT kind.
+func (t *Topology) addNode(s NodeSpec) error {
+	ns, hdev, ndev := t.NSName(s), t.hostDev(s), t.nsDev(s)
+	if err := t.run("ip", "netns", "add", ns); err != nil {
+		return err
+	}
+	t.cleanup.Push("ip", "netns", "delete", ns)
+	if err := t.run("ip", "link", "add", hdev, "type", "veth", "peer", "name", ndev); err != nil {
+		return err
+	}
+	// Deleting the host side kills the pair even when the peer has
+	// moved into the (still live) namespace; runs before netns delete.
+	t.cleanup.Push("ip", "link", "delete", hdev)
+	steps := [][]string{
+		{"ip", "link", "set", ndev, "netns", ns},
+		{"ip", "addr", "add", s.HostIP() + "/24", "dev", hdev},
+		{"ip", "link", "set", hdev, "up"},
+		{"ip", "netns", "exec", ns, "ip", "addr", "add", s.NodeIP() + "/24", "dev", ndev},
+		{"ip", "netns", "exec", ns, "ip", "link", "set", ndev, "up"},
+		{"ip", "netns", "exec", ns, "ip", "link", "set", "lo", "up"},
+		{"ip", "netns", "exec", ns, "ip", "route", "add", "default", "via", s.HostIP()},
+	}
+	for _, c := range steps {
+		if err := t.run(c[0], c[1:]...); err != nil {
+			return err
+		}
+	}
+	if s.Nat != Open {
+		if err := t.run("iptables", t.snatRule("-A", s, s.Nat == Symmetric)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snatRule builds the iptables argument list implementing the node's
+// NAT. Cone relies on netfilter's source-port preservation: one fixed
+// external address, same port for every destination — an endpoint-
+// independent mapping. --random-fully forces a fresh random port per
+// flow, which is exactly an address-and-port-dependent (symmetric)
+// mapping from the probes' point of view.
+func (t *Topology) snatRule(op string, s NodeSpec, symmetric bool) []string {
+	args := []string{"-t", "nat", op, natChain,
+		"-s", s.NodeIP(), "-j", "SNAT", "--to-source", s.HostIP()}
+	if symmetric {
+		args = append(args, "--random-fully")
+	}
+	return args
+}
+
+// DriftToSymmetric swaps a cone node's SNAT rule for the symmetric
+// variant in place — the NAT-type drift event. Existing conntrack
+// entries keep their old mapping until they expire; pair with
+// SetUDPMappingTimeout to bound that window.
+func (t *Topology) DriftToSymmetric(s NodeSpec) error {
+	if s.Nat != Cone {
+		return fmt.Errorf("testlab: node %d is %v, not cone", s.Index, s.Nat)
+	}
+	if err := t.run("iptables", t.snatRule("-D", s, false)...); err != nil {
+		return err
+	}
+	return t.run("iptables", t.snatRule("-A", s, true)...)
+}
+
+// SetUDPMappingTimeout squeezes the kernel's UDP conntrack timeouts to
+// seconds — the mapping-expiry event: idle NAT mappings die after that
+// long, like a home router flushing its table. The first call records
+// the original values and registers their restoration with Close.
+func (t *Topology) SetUDPMappingTimeout(seconds int) error {
+	for _, name := range []string{
+		"nf_conntrack_udp_timeout",
+		"nf_conntrack_udp_timeout_stream",
+	} {
+		path := "/proc/sys/net/netfilter/" + name
+		old, err := t.runner.Run("cat", path)
+		if err != nil {
+			return err
+		}
+		if !t.restorePushed[name] {
+			t.cleanup.Push("sh", "-c", fmt.Sprintf("echo %s > %s", strings.TrimSpace(old), path))
+			t.restorePushed[name] = true
+		}
+		if err := t.run("sh", "-c", fmt.Sprintf("echo %d > %s", seconds, path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec runs a command inside the node's namespace and returns its
+// combined output.
+func (t *Topology) Exec(s NodeSpec, name string, args ...string) (string, error) {
+	full := append([]string{"netns", "exec", t.NSName(s), name}, args...)
+	return t.runner.Run("ip", full...)
+}
+
+// Close tears the lab down, newest state first. Idempotent; safe after
+// a failed Build.
+func (t *Topology) Close() []error { return t.cleanup.Close() }

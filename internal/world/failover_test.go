@@ -1,0 +1,95 @@
+package world
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/metrics"
+)
+
+// buildInstrumented is buildMixed with a registry attached, so the
+// failover hooks are wired by startProtocol.
+func buildInstrumented(t *testing.T, kind Kind, pub, priv int) (*World, *metrics.Registry) {
+	t.Helper()
+	r := metrics.NewRegistry()
+	w, err := New(Config{Kind: kind, Seed: 11, SkipNatID: true, Registry: r})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pub; i++ {
+		if _, err := w.JoinPublic(); err != nil {
+			t.Fatalf("JoinPublic: %v", err)
+		}
+	}
+	for i := 0; i < priv; i++ {
+		if _, err := w.JoinPrivate(); err != nil {
+			t.Fatalf("JoinPrivate: %v", err)
+		}
+	}
+	return w, r
+}
+
+// TestGozarFailoverMetricsWired runs a Gozar world with instrumented
+// relay churn: recruiting relays must move deploy_relays_gained_total,
+// and killing relay publics must register as deploy_relay_failovers_total.
+func TestGozarFailoverMetricsWired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round simulation; run without -short")
+	}
+	w, r := buildInstrumented(t, KindGozar, 10, 30)
+	w.RunUntil(40 * time.Second)
+
+	gained := r.Counter("deploy_relays_gained_total", "").Value()
+	if gained == 0 {
+		t.Fatal("no relays gained after 40 rounds of a Gozar world")
+	}
+	if got := r.Counter("deploy_relay_failovers_total", "").Value(); got != 0 {
+		t.Fatalf("relay failovers = %d before any failures", got)
+	}
+
+	// Kill half the publics: private nodes must detect the dead relays
+	// and fail over to replacements.
+	killed := 0
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Public && killed < 5 {
+			w.Fail(n.ID)
+			killed++
+		}
+	}
+	w.RunUntil(120 * time.Second)
+	if got := r.Counter("deploy_relay_failovers_total", "").Value(); got == 0 {
+		t.Fatal("no relay failovers counted after killing half the relay publics")
+	}
+	if got := r.Counter("deploy_relays_gained_total", "").Value(); got <= gained {
+		t.Fatalf("relays gained stuck at %d after failover (was %d)", got, gained)
+	}
+}
+
+// TestNylonFailoverMetricsWired runs a Nylon world and checks the RVP
+// lifecycle counters: establishing rendezvous points during normal
+// operation, and expiring them once the keep-alive source dies.
+func TestNylonFailoverMetricsWired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round simulation; run without -short")
+	}
+	w, r := buildInstrumented(t, KindNylon, 10, 30)
+	w.RunUntil(40 * time.Second)
+
+	established := r.Counter("deploy_rvp_established_total", "").Value()
+	if established == 0 {
+		t.Fatal("no RVP relationships established after 40 rounds of a Nylon world")
+	}
+
+	// Kill every private node: without keep-alives the public RVPs must
+	// expire their registrations.
+	for _, n := range w.AliveNodes() {
+		if n.Nat == addr.Private {
+			w.Fail(n.ID)
+		}
+	}
+	w.RunUntil(180 * time.Second)
+	if got := r.Counter("deploy_rvp_expirations_total", "").Value(); got == 0 {
+		t.Fatal("no RVP expirations counted after every private node died")
+	}
+}

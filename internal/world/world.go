@@ -19,6 +19,7 @@ import (
 	"repro/internal/bootstrap"
 	"repro/internal/croupier"
 	"repro/internal/cyclon"
+	"repro/internal/deploy"
 	"repro/internal/exchange"
 	"repro/internal/gozar"
 	"repro/internal/graph"
@@ -225,6 +226,10 @@ type World struct {
 	// protoMetrics is the world-shared instrument set handed to every
 	// node; nil when the world is uninstrumented.
 	protoMetrics *pss.Metrics
+
+	// failover translates the gozar relay-set and nylon RVP lifecycle
+	// hooks into the deploy_* counter series; nil when uninstrumented.
+	failover *deploy.FailoverMetrics
 }
 
 // New builds an empty world.
@@ -305,6 +310,7 @@ func New(cfg Config) (*World, error) {
 	}
 	if cfg.Registry != nil {
 		w.protoMetrics = pss.NewMetrics(cfg.Registry, cfg.Kind.String())
+		w.failover = deploy.NewFailoverMetrics(cfg.Registry)
 	}
 	return w, nil
 }
@@ -560,9 +566,15 @@ func (w *World) startProtocol(n *Node, sock *simnet.Socket, natType addr.NatType
 	case *gozar.Node:
 		p.SetRebootstrap(reseed)
 		p.SetMetrics(w.protoMetrics)
+		if w.failover != nil {
+			p.SetRelayEvents(w.failover.OnRelayEvents)
+		}
 	case *nylon.Node:
 		p.SetRebootstrap(reseed)
 		p.SetMetrics(w.protoMetrics)
+		if w.failover != nil {
+			p.SetRVPEvents(w.failover.OnRVPEvent)
+		}
 	}
 	if ws.trace != nil {
 		if tp, ok := proto.(pss.SelectionTraced); ok {

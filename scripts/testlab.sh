@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Real-kernel NAT testlab: network namespaces behind genuine netfilter
+# cone/symmetric NATs, live croupier-node processes, a churn/expiry/
+# drift timeline, NAT self-classification checks, and a tolerance-bound
+# comparison against the in-memory simulator running the same scenario.
+#
+# Needs root, ip(8) and iptables(8); without them the suite SKIPS with
+# the exact list of missing prerequisites (so it is safe to call from
+# any CI runner).
+#
+#   scripts/testlab.sh          run the tagged kernel suite (go test)
+#   scripts/testlab.sh -check   only print the capability report
+#   scripts/testlab.sh -cli     run via the croupier-testlab CLI (-smoke)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+  -check)
+    exec go run repro/cmd/croupier-testlab check
+    ;;
+  -cli)
+    exec go run repro/cmd/croupier-testlab run -smoke -keep -v
+    ;;
+  "")
+    exec go test -tags testlab -run TestTestlab -count=1 -v ./internal/testlab/
+    ;;
+  *)
+    echo "usage: scripts/testlab.sh [-check|-cli]" >&2
+    exit 2
+    ;;
+esac
